@@ -1,0 +1,131 @@
+//! Fully-connected linear layer with manual backprop.
+
+use rand::Rng;
+use spikefolio_tensor::init::Init;
+use spikefolio_tensor::{vector, Matrix};
+
+/// A dense layer `y = W·x + b`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Linear {
+    /// Weight matrix, `out × in`.
+    pub weights: Matrix,
+    /// Bias vector.
+    pub bias: Vec<f64>,
+}
+
+/// Gradients of a [`Linear`] layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearGradients {
+    /// `∂L/∂W`.
+    pub d_weights: Matrix,
+    /// `∂L/∂b`.
+    pub d_bias: Vec<f64>,
+}
+
+impl Linear {
+    /// Xavier-initialized layer.
+    pub fn new<R: Rng + ?Sized>(in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
+        assert!(in_dim > 0 && out_dim > 0, "layer dims must be positive");
+        Self { weights: Init::XavierUniform.matrix(out_dim, in_dim, rng), bias: vec![0.0; out_dim] }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != in_dim()`.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = self.weights.matvec(x);
+        vector::axpy(&mut y, 1.0, &self.bias);
+        y
+    }
+
+    /// Backward pass: given the input `x` that produced the forward output
+    /// and the upstream gradient `dy`, returns `(gradients, dx)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn backward(&self, x: &[f64], dy: &[f64]) -> (LinearGradients, Vec<f64>) {
+        assert_eq!(dy.len(), self.out_dim(), "dy length mismatch");
+        let mut d_weights = Matrix::zeros(self.out_dim(), self.in_dim());
+        d_weights.add_outer(1.0, dy, x);
+        let d_bias = dy.to_vec();
+        let dx = self.weights.matvec_transposed(dy);
+        (LinearGradients { d_weights, d_bias }, dx)
+    }
+
+    /// Number of trainable parameters.
+    pub fn num_params(&self) -> usize {
+        self.weights.len() + self.bias.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(4)
+    }
+
+    #[test]
+    fn forward_matches_manual() {
+        let mut l = Linear::new(2, 2, &mut rng());
+        l.weights = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        l.bias = vec![0.5, -0.5];
+        assert_eq!(l.forward(&[1.0, 1.0]), vec![3.5, 6.5]);
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let l = Linear::new(3, 2, &mut rng());
+        let x = [0.3, -0.7, 1.2];
+        let c = [1.0, -2.0]; // loss = c · y
+        let (grads, dx) = l.backward(&x, &c);
+        let eps = 1e-6;
+        // Weight gradients.
+        for r in 0..2 {
+            for cidx in 0..3 {
+                let mut lp = l.clone();
+                lp.weights[(r, cidx)] += eps;
+                let mut lm = l.clone();
+                lm.weights[(r, cidx)] -= eps;
+                let f = |ll: &Linear| -> f64 {
+                    ll.forward(&x).iter().zip(&c).map(|(a, b)| a * b).sum()
+                };
+                let num = (f(&lp) - f(&lm)) / (2.0 * eps);
+                assert!((grads.d_weights[(r, cidx)] - num).abs() < 1e-6);
+            }
+        }
+        // Input gradients.
+        for i in 0..3 {
+            let mut xp = x;
+            xp[i] += eps;
+            let mut xm = x;
+            xm[i] -= eps;
+            let f = |xx: &[f64]| -> f64 { l.forward(xx).iter().zip(&c).map(|(a, b)| a * b).sum() };
+            let num = (f(&xp) - f(&xm)) / (2.0 * eps);
+            assert!((dx[i] - num).abs() < 1e-6);
+        }
+        // Bias gradient equals upstream gradient.
+        assert_eq!(grads.d_bias, c.to_vec());
+    }
+
+    #[test]
+    fn param_count() {
+        let l = Linear::new(5, 3, &mut rng());
+        assert_eq!(l.num_params(), 18);
+    }
+}

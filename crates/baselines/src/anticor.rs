@@ -1,0 +1,174 @@
+//! ANTICOR: the anti-correlation follow-the-loser strategy of Borodin,
+//! El-Yaniv & Gogan (NIPS 2003).
+
+use spikefolio_env::{DecisionContext, Policy};
+use spikefolio_tensor::simplex::renormalize;
+use spikefolio_tensor::vector::{correlation, mean};
+
+/// ANTICOR with window `w`.
+///
+/// Compares two adjacent windows of log price relatives (`LX1` over
+/// `[t−2w+1, t−w]`, `LX2` over `[t−w+1, t]`). Wealth is shifted from asset
+/// `i` to asset `j` when `i` outperformed `j` in the recent window but the
+/// cross-window correlation `corr(LX1_i, LX2_j)` is positive — betting on
+/// mean reversion. The transfer *claim* is
+///
+/// ```text
+/// claim_{i→j} = corr(LX1_i, LX2_j)
+///             + max(0, −corr(LX1_i, LX2_i))
+///             + max(0, −corr(LX1_j, LX2_j))
+/// ```
+///
+/// and each asset distributes its current weight proportionally to its
+/// outgoing claims. In strongly trending (momentum) markets the
+/// mean-reversion bet fails — the paper's Table 3 shows ANTICOR collapsing
+/// in experiments 2 and 3, a shape our reproduction preserves.
+#[derive(Debug, Clone)]
+pub struct Anticor {
+    window: usize,
+    weights: Vec<f64>,
+}
+
+impl Anticor {
+    /// ANTICOR with the customary window of 15 periods.
+    pub fn new() -> Self {
+        Self::with_window(15)
+    }
+
+    /// ANTICOR with an explicit window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window < 2`.
+    pub fn with_window(window: usize) -> Self {
+        assert!(window >= 2, "anticor window must be at least 2");
+        Self { window, weights: Vec::new() }
+    }
+
+    /// Log price relatives of asset `a` over `[from, to)`.
+    fn log_relatives(ctx: &DecisionContext<'_>, a: usize, from: usize, to: usize) -> Vec<f64> {
+        (from..to).map(|t| ctx.market.price_relatives(t)[a].ln()).collect()
+    }
+}
+
+impl Default for Anticor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Policy for Anticor {
+    fn rebalance(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
+        let m = ctx.num_assets;
+        if self.weights.len() != m + 1 {
+            // Start uniform over risky assets.
+            self.weights = vec![1.0 / m as f64; m + 1];
+            self.weights[0] = 0.0;
+            renormalize(&mut self.weights);
+        }
+        let w = self.window;
+        if ctx.t + 1 < 2 * w {
+            return self.weights.clone();
+        }
+        // Windows: LX1 = (t−2w, t−w], LX2 = (t−w, t].
+        let lx1: Vec<Vec<f64>> =
+            (0..m).map(|a| Self::log_relatives(ctx, a, ctx.t + 1 - 2 * w, ctx.t + 1 - w)).collect();
+        let lx2: Vec<Vec<f64>> =
+            (0..m).map(|a| Self::log_relatives(ctx, a, ctx.t + 1 - w, ctx.t + 1)).collect();
+        let mu2: Vec<f64> = lx2.iter().map(|v| mean(v)).collect();
+
+        // Outgoing claims per asset pair.
+        let mut claims = vec![vec![0.0_f64; m]; m];
+        for i in 0..m {
+            for j in 0..m {
+                if i == j || mu2[i] <= mu2[j] {
+                    continue; // only transfer from recent winners to losers
+                }
+                let c_ij = correlation(&lx1[i], &lx2[j]);
+                if c_ij <= 0.0 {
+                    continue;
+                }
+                let self_i = correlation(&lx1[i], &lx2[i]);
+                let self_j = correlation(&lx1[j], &lx2[j]);
+                claims[i][j] = c_ij + (-self_i).max(0.0) + (-self_j).max(0.0);
+            }
+        }
+
+        // Apply proportional transfers on the risky sub-vector.
+        let mut new_w = self.weights.clone();
+        for i in 0..m {
+            let out_total: f64 = claims[i].iter().sum();
+            if out_total <= 0.0 {
+                continue;
+            }
+            let wi = self.weights[i + 1];
+            for j in 0..m {
+                if claims[i][j] > 0.0 {
+                    let transfer = wi * claims[i][j] / out_total;
+                    new_w[i + 1] -= transfer;
+                    new_w[j + 1] += transfer;
+                }
+            }
+        }
+        renormalize(&mut new_w);
+        self.weights = new_w.clone();
+        new_w
+    }
+
+    fn warmup_periods(&self) -> usize {
+        2 * self.window
+    }
+
+    fn name(&self) -> &str {
+        "ANTICOR"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spikefolio_env::Backtester;
+    use spikefolio_market::experiments::ExperimentPreset;
+    use spikefolio_tensor::simplex::is_on_simplex;
+
+    #[test]
+    fn weights_stay_on_simplex() {
+        let market = ExperimentPreset::experiment1().shrunk(60, 10).generate(13);
+        let r = Backtester::default().run(&mut Anticor::with_window(5), &market);
+        for w in &r.weights {
+            assert!(is_on_simplex(w, 1e-9));
+        }
+    }
+
+    #[test]
+    fn warmup_covers_two_windows() {
+        let a = Anticor::with_window(7);
+        assert_eq!(a.warmup_periods(), 14);
+    }
+
+    #[test]
+    fn transfers_move_weight_between_assets() {
+        let market = ExperimentPreset::experiment1().shrunk(80, 20).generate(13);
+        let r = Backtester::default().run(&mut Anticor::with_window(5), &market);
+        // Over a volatile market, ANTICOR must actually trade.
+        assert!(r.turnover > 0.1, "turnover {}", r.turnover);
+        // And weights should eventually deviate from uniform.
+        let max_dev = r
+            .weights
+            .iter()
+            .map(|w| {
+                w[1..]
+                    .iter()
+                    .map(|&x| (x - 1.0 / 11.0).abs())
+                    .fold(0.0_f64, f64::max)
+            })
+            .fold(0.0_f64, f64::max);
+        assert!(max_dev > 1e-3, "max deviation {max_dev}");
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn tiny_window_rejected() {
+        let _ = Anticor::with_window(1);
+    }
+}

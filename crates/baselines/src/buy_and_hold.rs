@@ -1,0 +1,77 @@
+//! Buy-and-hold market benchmark.
+
+use spikefolio_env::{DecisionContext, Policy};
+
+/// Buy-and-Hold: buy the uniform portfolio once, never rebalance.
+///
+/// After the initial purchase the policy simply returns the drifted
+/// weights, so no further transaction costs accrue. This is the "market"
+/// reference curve used in several of the extended reports.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BuyAndHold {
+    bought: bool,
+}
+
+impl BuyAndHold {
+    /// Creates the strategy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Policy for BuyAndHold {
+    fn rebalance(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
+        if !self.bought {
+            self.bought = true;
+            let m = ctx.num_assets;
+            let mut w = vec![1.0 / m as f64; m + 1];
+            w[0] = 0.0;
+            w
+        } else {
+            ctx.prev_weights.to_vec()
+        }
+    }
+
+    fn name(&self) -> &str {
+        "Buy and Hold"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spikefolio_env::{BacktestConfig, Backtester, CostModel};
+    use spikefolio_market::experiments::ExperimentPreset;
+
+    #[test]
+    fn pays_costs_only_once() {
+        let market = ExperimentPreset::experiment1().shrunk(20, 5).generate(4);
+        let cfg = BacktestConfig {
+            costs: CostModel::Proportional { rate: 0.0025 },
+            risk_free_per_period: 0.0,
+        };
+        let r = Backtester::new(cfg).run(&mut BuyAndHold::new(), &market);
+        // Turnover: 1.0 initial buy (weights move from cash to assets) and
+        // nothing afterwards.
+        assert!((r.turnover - 2.0).abs() < 1e-9, "turnover {}", r.turnover);
+    }
+
+    #[test]
+    fn fapv_equals_mean_total_relative_without_costs() {
+        let market = ExperimentPreset::experiment1().shrunk(20, 5).generate(4);
+        let cfg = BacktestConfig { costs: CostModel::Free, risk_free_per_period: 0.0 };
+        let r = Backtester::new(cfg).run(&mut BuyAndHold::new(), &market);
+        // BAH value = mean over assets of close(T)/close(0) (bought at t=0
+        // close, in effect at the t=1 relative onwards).
+        let last = market.num_periods() - 1;
+        let expected: f64 = (0..market.num_assets())
+            .map(|a| market.close(last, a) / market.close(0, a))
+            .sum::<f64>()
+            / market.num_assets() as f64;
+        assert!(
+            (r.fapv() - expected).abs() / expected < 1e-9,
+            "fAPV {} vs expected {expected}",
+            r.fapv()
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! Classical portfolio-selection baselines of Table 3.
+//!
+//! The paper compares SDP against five traditional strategies drawn from
+//! the online portfolio-selection literature (Li & Hoi's survey taxonomy):
+//!
+//! | strategy | family | module |
+//! |---|---|---|
+//! | UCRP | benchmark (uniform constant rebalanced) | [`ucrp`] |
+//! | Best Stock | benchmark (best asset in hindsight) | [`best_stock`] |
+//! | M0 | follow-the-winner (prediction counts) | [`m0`] |
+//! | ANTICOR | follow-the-loser (anti-correlation) | [`anticor`] |
+//! | ONS | meta-learning / online convex opt. | [`ons`] |
+//!
+//! Every strategy implements [`spikefolio_env::Policy`] so the one
+//! [`Backtester`](spikefolio_env::Backtester) drives them all — the same
+//! engine the SDP and DRL agents run through, keeping Table 3 comparisons
+//! apples-to-apples.
+//!
+//! # Example
+//!
+//! ```
+//! use spikefolio_baselines::Ucrp;
+//! use spikefolio_env::{Backtester, BacktestConfig};
+//! use spikefolio_market::experiments::ExperimentPreset;
+//!
+//! let market = ExperimentPreset::experiment1().shrunk(30, 10).generate(7);
+//! let result = Backtester::new(BacktestConfig::default()).run(&mut Ucrp::new(), &market);
+//! assert!(result.fapv() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod anticor;
+pub mod best_stock;
+pub mod buy_and_hold;
+pub mod eg;
+pub mod m0;
+pub mod olmar;
+pub mod ons;
+pub mod pamr;
+pub mod ucrp;
+
+pub use anticor::Anticor;
+pub use best_stock::BestStock;
+pub use buy_and_hold::BuyAndHold;
+pub use eg::Eg;
+pub use m0::M0;
+pub use olmar::Olmar;
+pub use ons::Ons;
+pub use pamr::Pamr;
+pub use ucrp::Ucrp;
+
+use spikefolio_env::Policy;
+
+/// Returns boxed instances of all Table 3 baseline strategies with their
+/// default parameters, in the paper's row order (ONS, Best Stock, ANTICOR,
+/// M0, UCRP).
+pub fn table3_baselines() -> Vec<Box<dyn Policy>> {
+    vec![
+        Box::new(Ons::new()),
+        Box::new(BestStock::new()),
+        Box::new(Anticor::new()),
+        Box::new(M0::new()),
+        Box::new(Ucrp::new()),
+    ]
+}
+
+/// Extended strategy roster: the Table 3 five plus EG, PAMR, OLMAR, and
+/// buy-and-hold — the broader Li & Hoi survey families, used by the
+/// extended comparison reports.
+pub fn extended_baselines() -> Vec<Box<dyn Policy>> {
+    let mut v = table3_baselines();
+    v.push(Box::new(Eg::new()));
+    v.push(Box::new(Pamr::new()));
+    v.push(Box::new(Olmar::new()));
+    v.push(Box::new(BuyAndHold::new()));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_five_baselines_are_exposed() {
+        let names: Vec<String> =
+            table3_baselines().iter().map(|p| p.name().to_owned()).collect();
+        assert_eq!(names, vec!["ONS", "Best Stock", "ANTICOR", "M0", "UCRP"]);
+    }
+
+    #[test]
+    fn extended_roster_adds_four_more() {
+        let names: Vec<String> =
+            extended_baselines().iter().map(|p| p.name().to_owned()).collect();
+        assert_eq!(names.len(), 9);
+        for extra in ["EG", "PAMR", "OLMAR", "Buy and Hold"] {
+            assert!(names.iter().any(|n| n == extra), "missing {extra}");
+        }
+    }
+}

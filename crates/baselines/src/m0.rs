@@ -1,0 +1,118 @@
+//! M0: the prediction-counting follow-the-winner strategy of Borodin,
+//! El-Yaniv & Gogan.
+
+use spikefolio_env::{DecisionContext, Policy};
+
+/// M0 strategy (Borodin et al., "Can we learn to beat the best stock").
+///
+/// Maintains, per asset, a count of the periods in which the asset's price
+/// relative beat the cross-sectional market average. Weights are the
+/// add-half (Krichevsky–Trofimov) smoothed win frequencies:
+///
+/// ```text
+/// w_i ∝ (wins_i + ½)
+/// ```
+///
+/// A simple "follow the winner by majority vote" rule: cheap, causal, and
+/// the paper's Table 3 shows it mid-pack — better than pure losers, worse
+/// than the RL agents.
+#[derive(Debug, Clone, Default)]
+pub struct M0 {
+    wins: Vec<f64>,
+    last_seen: Option<usize>,
+}
+
+impl M0 {
+    /// Creates the strategy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Policy for M0 {
+    fn rebalance(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
+        let m = ctx.num_assets;
+        if self.wins.len() != m {
+            self.wins = vec![0.0; m];
+            self.last_seen = None;
+        }
+        // Update win counts with every new period observed since last call
+        // (normally exactly one).
+        let from = self.last_seen.map(|t| t + 1).unwrap_or(1.min(ctx.t));
+        for t in from..=ctx.t {
+            if t == 0 {
+                continue;
+            }
+            let y = ctx.market.price_relatives(t);
+            let avg: f64 = y.iter().sum::<f64>() / m as f64;
+            for (w, &yi) in self.wins.iter_mut().zip(&y) {
+                if yi > avg {
+                    *w += 1.0;
+                }
+            }
+        }
+        self.last_seen = Some(ctx.t);
+
+        let total: f64 = self.wins.iter().map(|&c| c + 0.5).sum();
+        let mut weights = Vec::with_capacity(m + 1);
+        weights.push(0.0); // no cash
+        weights.extend(self.wins.iter().map(|&c| (c + 0.5) / total));
+        weights
+    }
+
+    fn warmup_periods(&self) -> usize {
+        1
+    }
+
+    fn name(&self) -> &str {
+        "M0"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spikefolio_env::Backtester;
+    use spikefolio_market::experiments::ExperimentPreset;
+    use spikefolio_tensor::simplex::is_on_simplex;
+
+    #[test]
+    fn starts_uniform_and_stays_on_simplex() {
+        let market = ExperimentPreset::experiment1().shrunk(20, 5).generate(6);
+        let r = Backtester::default().run(&mut M0::new(), &market);
+        for w in &r.weights {
+            assert!(is_on_simplex(w, 1e-9));
+            assert_eq!(w[0], 0.0);
+        }
+        // First decision (t=1, after one observed relative) is close to
+        // uniform: win counts are 0 or 1.
+        let w0 = &r.weights[0];
+        let spread = w0[1..].iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b))
+            - w0[1..].iter().fold(f64::INFINITY, |a, &b| a.min(b));
+        assert!(spread < 0.25, "first-step spread {spread}");
+    }
+
+    #[test]
+    fn persistent_winner_accumulates_weight() {
+        // Hand-built market: asset 0 rises 2%/period, asset 1 falls.
+        use spikefolio_market::{Candle, Date, MarketData};
+        let mut candles = Vec::new();
+        let (mut p0, mut p1) = (100.0, 100.0);
+        for _ in 0..40 {
+            let n0 = p0 * 1.02;
+            let n1 = p1 * 0.99;
+            candles.push(Candle::new(p0, n0, p0, n0, 1.0));
+            candles.push(Candle::new(p1 * 0.99, p1, p1 * 0.99, n1, 1.0));
+            p0 = n0;
+            p1 = n1;
+        }
+        let market =
+            MarketData::new(vec!["UP".into(), "DOWN".into()], Date::new(2020, 1, 1), 1, 2, candles);
+        let r = Backtester::default().run(&mut M0::new(), &market);
+        let last = r.weights.last().unwrap();
+        assert!(
+            last[1] > 0.9,
+            "persistent winner should dominate the M0 portfolio, got {last:?}"
+        );
+    }
+}

@@ -1,0 +1,143 @@
+//! OLMAR: On-Line Moving Average Reversion (Li & Hoi, ICML 2012).
+
+use spikefolio_env::{DecisionContext, Policy};
+use spikefolio_tensor::simplex::project_to_simplex;
+use spikefolio_tensor::vector::{dot, mean};
+
+/// OLMAR-1 with window `w` and reversion threshold `ε`.
+///
+/// Predicts next-period price relatives from the ratio of a `w`-period
+/// simple moving average to the current price,
+/// `ŷ_i = SMA_w(p_i) / p_i`, then takes a passive-aggressive step toward
+/// portfolios with predicted return at least `ε`:
+///
+/// ```text
+/// λ = max(0, (ε − w·ŷ)) / ‖ŷ − ȳ·1‖²
+/// w ← Π_Δ (w + λ (ŷ − ȳ·1))
+/// ```
+#[derive(Debug, Clone)]
+pub struct Olmar {
+    window: usize,
+    epsilon: f64,
+    weights: Vec<f64>,
+}
+
+impl Olmar {
+    /// OLMAR with the customary `w = 5`, `ε = 10`.
+    pub fn new() -> Self {
+        Self::with_params(5, 10.0)
+    }
+
+    /// OLMAR with explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window < 2` or `epsilon < 1`.
+    pub fn with_params(window: usize, epsilon: f64) -> Self {
+        assert!(window >= 2, "window must be at least 2");
+        assert!(epsilon >= 1.0, "epsilon must be at least 1");
+        Self { window, epsilon, weights: Vec::new() }
+    }
+}
+
+impl Default for Olmar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Policy for Olmar {
+    fn rebalance(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
+        let m = ctx.num_assets;
+        if self.weights.len() != m {
+            self.weights = vec![1.0 / m as f64; m];
+        }
+        if ctx.t + 1 >= self.window {
+            // Predicted relatives: SMA of the last `window` closes over the
+            // current close.
+            let y_hat: Vec<f64> = (0..m)
+                .map(|a| {
+                    let closes: Vec<f64> =
+                        (0..self.window).map(|k| ctx.market.close(ctx.t - k, a)).collect();
+                    mean(&closes) / ctx.market.close(ctx.t, a)
+                })
+                .collect();
+            let y_bar = mean(&y_hat);
+            let centered: Vec<f64> = y_hat.iter().map(|&v| v - y_bar).collect();
+            let denom: f64 = centered.iter().map(|v| v * v).sum();
+            if denom > 1e-12 {
+                let predicted = dot(&self.weights, &y_hat);
+                let lambda = ((self.epsilon - predicted).max(0.0)) / denom;
+                let moved: Vec<f64> = self
+                    .weights
+                    .iter()
+                    .zip(&centered)
+                    .map(|(&w, &cv)| w + lambda * cv)
+                    .collect();
+                self.weights = project_to_simplex(&moved);
+            }
+        }
+        let mut out = Vec::with_capacity(m + 1);
+        out.push(0.0);
+        out.extend_from_slice(&self.weights);
+        out
+    }
+
+    fn warmup_periods(&self) -> usize {
+        self.window
+    }
+
+    fn name(&self) -> &str {
+        "OLMAR"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spikefolio_env::Backtester;
+    use spikefolio_market::experiments::ExperimentPreset;
+    use spikefolio_tensor::simplex::is_on_simplex;
+
+    #[test]
+    fn weights_stay_on_simplex() {
+        let market = ExperimentPreset::experiment3().shrunk(50, 10).generate(19);
+        let r = Backtester::default().run(&mut Olmar::new(), &market);
+        for w in &r.weights {
+            assert!(is_on_simplex(w, 1e-9));
+        }
+    }
+
+    #[test]
+    fn olmar_buys_the_dip() {
+        use spikefolio_market::{Candle, Date, MarketData};
+        // Asset 0 drops sharply at the end ⇒ its SMA/price ratio exceeds 1
+        // ⇒ OLMAR overweights it.
+        let mut candles = Vec::new();
+        let prices_a = [100.0, 100.0, 100.0, 100.0, 100.0, 100.0, 70.0, 70.0];
+        for (i, &p) in prices_a.iter().enumerate() {
+            let prev = if i == 0 { p } else { prices_a[i - 1] };
+            candles.push(Candle::new(prev, prev.max(p), prev.min(p), p, 1.0));
+            candles.push(Candle::flat(50.0));
+        }
+        let market =
+            MarketData::new(vec!["DIP".into(), "FLAT".into()], Date::new(2020, 1, 1), 1, 2, candles);
+        let mut olmar = Olmar::with_params(5, 1.5);
+        let r = Backtester::default().run(&mut olmar, &market);
+        let last = r.weights.last().unwrap();
+        assert!(last[1] > 0.9, "dip asset should dominate: {last:?}");
+    }
+
+    #[test]
+    fn turnover_is_positive_on_real_markets() {
+        let market = ExperimentPreset::experiment1().shrunk(50, 10).generate(19);
+        let r = Backtester::default().run(&mut Olmar::new(), &market);
+        assert!(r.turnover > 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn rejects_tiny_window() {
+        let _ = Olmar::with_params(1, 10.0);
+    }
+}

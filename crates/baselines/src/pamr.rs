@@ -1,0 +1,147 @@
+//! PAMR: Passive-Aggressive Mean Reversion (Li, Zhao, Hoi & Gopalkrishnan,
+//! Machine Learning 2012).
+
+use spikefolio_env::{DecisionContext, Policy};
+use spikefolio_tensor::simplex::project_to_simplex;
+use spikefolio_tensor::vector::{dot, mean};
+
+/// PAMR with sensitivity `ε` (PAMR-0 variant).
+///
+/// When the last portfolio return `w · y` exceeds `ε`, the strategy
+/// *aggressively* moves against it (mean-reversion bet):
+///
+/// ```text
+/// τ = max(0, (w·y − ε)) / ‖y − ȳ·1‖²
+/// w ← Π_Δ (w − τ (y − ȳ·1))
+/// ```
+///
+/// with `Π_Δ` the Euclidean simplex projection.
+#[derive(Debug, Clone)]
+pub struct Pamr {
+    epsilon: f64,
+    weights: Vec<f64>,
+    last_seen: Option<usize>,
+}
+
+impl Pamr {
+    /// PAMR with the customary `ε = 0.5`.
+    pub fn new() -> Self {
+        Self::with_epsilon(0.5)
+    }
+
+    /// PAMR with an explicit sensitivity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon < 0`.
+    pub fn with_epsilon(epsilon: f64) -> Self {
+        assert!(epsilon >= 0.0, "epsilon must be non-negative");
+        Self { epsilon, weights: Vec::new(), last_seen: None }
+    }
+}
+
+impl Default for Pamr {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Policy for Pamr {
+    fn rebalance(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
+        let m = ctx.num_assets;
+        if self.weights.len() != m {
+            self.weights = vec![1.0 / m as f64; m];
+            self.last_seen = None;
+        }
+        let from = self.last_seen.map(|t| t + 1).unwrap_or(1.min(ctx.t));
+        for t in from..=ctx.t {
+            if t == 0 {
+                continue;
+            }
+            let y = ctx.market.price_relatives(t);
+            let ret = dot(&self.weights, &y);
+            let y_bar = mean(&y);
+            let centered: Vec<f64> = y.iter().map(|&v| v - y_bar).collect();
+            let denom: f64 = centered.iter().map(|v| v * v).sum();
+            if denom > 1e-12 {
+                let tau = ((ret - self.epsilon).max(0.0)) / denom;
+                let moved: Vec<f64> = self
+                    .weights
+                    .iter()
+                    .zip(&centered)
+                    .map(|(&w, &cv)| w - tau * cv)
+                    .collect();
+                self.weights = project_to_simplex(&moved);
+            }
+        }
+        self.last_seen = Some(ctx.t);
+
+        let mut out = Vec::with_capacity(m + 1);
+        out.push(0.0);
+        out.extend_from_slice(&self.weights);
+        out
+    }
+
+    fn warmup_periods(&self) -> usize {
+        1
+    }
+
+    fn name(&self) -> &str {
+        "PAMR"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spikefolio_env::Backtester;
+    use spikefolio_market::experiments::ExperimentPreset;
+    use spikefolio_tensor::simplex::is_on_simplex;
+
+    #[test]
+    fn weights_stay_on_simplex() {
+        let market = ExperimentPreset::experiment2().shrunk(40, 10).generate(4);
+        let r = Backtester::default().run(&mut Pamr::new(), &market);
+        for w in &r.weights {
+            assert!(is_on_simplex(w, 1e-9));
+        }
+    }
+
+    #[test]
+    fn pamr_moves_against_recent_winners() {
+        use spikefolio_market::{Candle, Date, MarketData};
+        // One big up-move for asset 0 at t=1; PAMR should then underweight
+        // asset 0 relative to uniform.
+        let mk = |p: f64, n: f64| Candle::new(p, p.max(n), p.min(n), n, 1.0);
+        let candles = vec![
+            Candle::flat(100.0),
+            Candle::flat(100.0),
+            mk(100.0, 130.0),
+            mk(100.0, 100.0),
+            Candle::flat(130.0),
+            Candle::flat(100.0),
+            Candle::flat(130.0),
+            Candle::flat(100.0),
+        ];
+        let market =
+            MarketData::new(vec!["A".into(), "B".into()], Date::new(2020, 1, 1), 1, 2, candles);
+        let r = Backtester::default().run(&mut Pamr::with_epsilon(0.5), &market);
+        let w_after = &r.weights[0]; // decision at t=1, right after the jump
+        assert!(w_after[1] < w_after[2], "PAMR should underweight the winner: {w_after:?}");
+    }
+
+    #[test]
+    fn zero_epsilon_is_most_aggressive() {
+        let market = ExperimentPreset::experiment1().shrunk(40, 10).generate(4);
+        let calm = Backtester::default().run(&mut Pamr::with_epsilon(10.0), &market);
+        let aggressive = Backtester::default().run(&mut Pamr::with_epsilon(0.0), &market);
+        // ε above any plausible return ⇒ PAMR never moves ⇒ minimal turnover.
+        assert!(aggressive.turnover > calm.turnover);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn rejects_negative_epsilon() {
+        let _ = Pamr::with_epsilon(-1.0);
+    }
+}

@@ -1,0 +1,66 @@
+//! UCRP: uniform constant rebalanced portfolio.
+
+use spikefolio_env::{DecisionContext, Policy};
+
+/// Uniform Constant Rebalanced Portfolio: rebalance to equal weights over
+/// the risky assets every period (no cash position).
+///
+/// The classical market benchmark — Cover's CRP with the uniform point.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ucrp {
+    _priv: (),
+}
+
+impl Ucrp {
+    /// Creates the strategy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Policy for Ucrp {
+    fn rebalance(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
+        let m = ctx.num_assets;
+        let mut w = vec![1.0 / m as f64; m + 1];
+        w[0] = 0.0;
+        w
+    }
+
+    fn name(&self) -> &str {
+        "UCRP"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spikefolio_env::Backtester;
+    use spikefolio_market::experiments::ExperimentPreset;
+
+    #[test]
+    fn weights_are_uniform_over_risky_assets() {
+        let market = ExperimentPreset::experiment1().shrunk(10, 2).generate(1);
+        let r = Backtester::default().run(&mut Ucrp::new(), &market);
+        for w in &r.weights {
+            assert_eq!(w[0], 0.0, "no cash");
+            for &wi in &w[1..] {
+                assert!((wi - 1.0 / 11.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn ucrp_matches_mean_of_relatives_one_period() {
+        // Over a single period without costs, UCRP growth is the mean of
+        // the asset relatives.
+        let market = ExperimentPreset::experiment1().shrunk(5, 0).generate(3);
+        let cfg = spikefolio_env::BacktestConfig {
+            costs: spikefolio_env::CostModel::Free,
+            risk_free_per_period: 0.0,
+        };
+        let r = Backtester::new(cfg).run(&mut Ucrp::new(), &market);
+        let y = market.price_relatives(1);
+        let mean_y: f64 = y.iter().sum::<f64>() / y.len() as f64;
+        assert!((r.values[1] - mean_y).abs() < 1e-12);
+    }
+}

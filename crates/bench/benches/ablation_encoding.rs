@@ -1,0 +1,48 @@
+//! Ablation B: probabilistic vs deterministic population coding (§II.B)
+//! — end-to-end comparison plus raw encoder throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use spikefolio::experiments::{encoding_comparison, RunOptions};
+use spikefolio::report::format_encoding_comparison;
+use spikefolio_snn::encoder::{Encoding, PopulationEncoder, PopulationEncoderConfig};
+
+fn options() -> RunOptions {
+    let mut opts = RunOptions::smoke();
+    opts.shrink = Some((60, 20));
+    opts.config.training.epochs = 2;
+    opts.config.training.steps_per_epoch = 6;
+    opts.config.training.batch_size = 16;
+    opts
+}
+
+fn print_comparison_once() {
+    let points = encoding_comparison(&options());
+    println!(
+        "\n===== Ablation: encoding mode =====\n{}",
+        format_encoding_comparison(&points)
+    );
+}
+
+fn bench_encoders(c: &mut Criterion) {
+    print_comparison_once();
+
+    let state: Vec<f64> = (0..128).map(|i| 0.8 + 0.005 * i as f64).collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let mut group = c.benchmark_group("ablation/encoder");
+    for (name, mode) in
+        [("deterministic", Encoding::Deterministic), ("probabilistic", Encoding::Probabilistic)]
+    {
+        let enc = PopulationEncoder::new(
+            state.len(),
+            PopulationEncoderConfig { encoding: mode, ..Default::default() },
+        );
+        group.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(enc.encode(&state, 5, &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encoders);
+criterion_main!(benches);

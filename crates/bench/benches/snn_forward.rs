@@ -1,0 +1,43 @@
+//! Forward-pass (Algorithm 1) kernels at paper scale and smoke scale,
+//! float vs fixed-point chip execution — the latency side of Fig. 2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use spikefolio_loihi::quantize::quantize_network;
+use spikefolio_loihi::LoihiChip;
+use spikefolio_snn::network::{SdpNetwork, SdpNetworkConfig};
+
+fn bench_forward(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+
+    // Paper scale: 364-dim state (11 assets × window 8 × 4 channels + 12
+    // weights), hidden 128 × 128, T = 5.
+    let paper_net = SdpNetwork::new(SdpNetworkConfig::paper(364, 12), &mut rng);
+    let paper_state: Vec<f64> = (0..364).map(|i| 0.85 + 0.001 * (i % 300) as f64).collect();
+
+    let small_net = SdpNetwork::new(SdpNetworkConfig::small(16, 4), &mut rng);
+    let small_state: Vec<f64> = (0..16).map(|i| 0.9 + 0.02 * i as f64).collect();
+
+    let (q, _) = quantize_network(&paper_net);
+    let chip_net = LoihiChip::default().map(q).expect("paper net fits");
+
+    let mut group = c.benchmark_group("snn/forward");
+    group.sample_size(20);
+    group.bench_function("paper_scale_float", |b| {
+        b.iter(|| std::hint::black_box(paper_net.act(&paper_state, &mut rng)))
+    });
+    group.bench_function("small_float", |b| {
+        b.iter(|| std::hint::black_box(small_net.act(&small_state, &mut rng)))
+    });
+    group.bench_function("paper_scale_with_trace", |b| {
+        b.iter(|| std::hint::black_box(paper_net.forward(&paper_state, &mut rng)))
+    });
+    group.bench_function("paper_scale_chip_fixed_point", |b| {
+        let raster = paper_net.encoder.encode(&paper_state, 5, &mut rng);
+        b.iter(|| std::hint::black_box(chip_net.infer(&raster)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward);
+criterion_main!(benches);

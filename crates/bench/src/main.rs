@@ -1,0 +1,14 @@
+//! `spikefolio-bench` is a bench-only crate; the real entry points are the
+//! Criterion benches under `benches/` (one per table/figure of the paper).
+//! This binary just points users at them.
+
+fn main() {
+    println!("spikefolio benchmark harness — run with `cargo bench`:");
+    println!("  table3             Table 3 strategy backtests");
+    println!("  table4             Table 4 power/performance rows");
+    println!("  ablation_timesteps timestep (T) energy/quality sweep");
+    println!("  ablation_encoding  deterministic vs probabilistic coding");
+    println!("  ablation_surrogate pseudo-gradient shape comparison");
+    println!("  snn_forward        SDP inference kernels (float + chip)");
+    println!("  stbp_backward      STBP backward-pass kernels");
+}

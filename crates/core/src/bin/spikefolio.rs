@@ -1,0 +1,149 @@
+//! `spikefolio` command-line interface: run any of the paper's experiments
+//! from one binary.
+//!
+//! ```sh
+//! spikefolio table3 [--full|--smoke] [--seed N]
+//! spikefolio table4 [--smoke] [--seed N]
+//! spikefolio ablation timesteps|encoding|costs|rate-penalty
+//! spikefolio figures [--out DIR]
+//! spikefolio stats            # synthetic-market diagnostics
+//! ```
+
+use spikefolio::experiments::{
+    cost_model_ablation, encoding_comparison, rate_penalty_ablation, run_table3, run_table4,
+    timestep_tradeoff, RunOptions,
+};
+use spikefolio::figures::{backtest_value_curves, training_reward_csv};
+use spikefolio::report;
+use spikefolio::SdpConfig;
+use spikefolio_market::experiments::ExperimentPreset;
+use spikefolio_market::stats::market_stats;
+
+fn medium_options(seed: u64) -> RunOptions {
+    let mut config = SdpConfig::paper();
+    config.state.window = 6;
+    config.network.hidden = vec![64, 64];
+    config.network.pop_in = 6;
+    config.network.pop_out = 6;
+    config.training.epochs = 10;
+    config.training.steps_per_epoch = 20;
+    config.training.batch_size = 32;
+    config.training.learning_rate = 5e-4;
+    config.training.parallelism = num_threads();
+    RunOptions { config, shrink: Some((240, 60)), market_seed: seed }
+}
+
+fn num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+fn parse_options(args: &[String]) -> RunOptions {
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2016);
+    if args.iter().any(|a| a == "--full") {
+        let mut opts = RunOptions::paper();
+        opts.market_seed = seed;
+        opts.config.training.parallelism = num_threads();
+        opts
+    } else if args.iter().any(|a| a == "--smoke") {
+        let mut opts = RunOptions::smoke();
+        opts.market_seed = seed;
+        opts
+    } else {
+        medium_options(seed)
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: spikefolio <command> [flags]\n\
+         commands:\n  \
+           table3       reproduce Table 3 (strategy performance)\n  \
+           table4       reproduce Table 4 (power/performance)\n  \
+           ablation <timesteps|encoding|costs|rate-penalty>\n  \
+           figures      write value/reward curve CSVs\n  \
+           stats        synthetic-market statistical diagnostics\n\
+         flags: --full | --smoke | --seed N | --out DIR"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    let opts = parse_options(&args);
+    match cmd.as_str() {
+        "table3" => {
+            let outcomes = run_table3(&opts);
+            print!("{}", report::format_table3(&outcomes));
+        }
+        "table4" => {
+            let outcomes = run_table4(&opts);
+            print!("{}", report::format_table4(&outcomes));
+        }
+        "ablation" => match args.get(1).map(String::as_str) {
+            Some("timesteps") => {
+                let pts = timestep_tradeoff(&opts, &[1, 2, 5, 10, 20]);
+                print!("{}", report::format_timestep_tradeoff(&pts));
+            }
+            Some("encoding") => {
+                let pts = encoding_comparison(&opts);
+                print!("{}", report::format_encoding_comparison(&pts));
+            }
+            Some("costs") => {
+                let pts = cost_model_ablation(&opts);
+                print!("{}", report::format_cost_ablation(&pts));
+            }
+            Some("rate-penalty") => {
+                let pts = rate_penalty_ablation(&opts, &[0.0, 0.5, 2.0, 10.0]);
+                print!("{}", report::format_rate_penalty(&pts));
+            }
+            _ => usage(),
+        },
+        "figures" => {
+            let out = args
+                .iter()
+                .position(|a| a == "--out")
+                .and_then(|i| args.get(i + 1))
+                .cloned()
+                .unwrap_or_else(|| "target/figures".to_owned());
+            let dir = std::path::Path::new(&out);
+            std::fs::create_dir_all(dir).expect("create output directory");
+            for (i, preset) in ExperimentPreset::all().into_iter().enumerate() {
+                let (curves, log) = backtest_value_curves(&opts, preset);
+                std::fs::write(dir.join(format!("experiment{}_value_curves.csv", i + 1)), curves)
+                    .expect("write curves");
+                std::fs::write(
+                    dir.join(format!("experiment{}_sdp_reward.csv", i + 1)),
+                    training_reward_csv(&log),
+                )
+                .expect("write rewards");
+                println!("experiment {} → {}", i + 1, dir.display());
+            }
+        }
+        "stats" => {
+            for preset in ExperimentPreset::all() {
+                let market = match opts.shrink {
+                    Some((a, b)) => preset.clone().shrunk(a, b).generate(opts.market_seed),
+                    None => preset.generate(opts.market_seed),
+                };
+                let s = market_stats(&market);
+                println!(
+                    "{}: mean corr {:.3}, vol clustering {:.3}, vol range {:.2}–{:.2}, kurtosis range {:.1}–{:.1}",
+                    preset.name,
+                    s.mean_correlation,
+                    s.mean_vol_clustering,
+                    s.annual_volatility.iter().cloned().fold(f64::INFINITY, f64::min),
+                    s.annual_volatility.iter().cloned().fold(0.0, f64::max),
+                    s.excess_kurtosis.iter().cloned().fold(f64::INFINITY, f64::min),
+                    s.excess_kurtosis.iter().cloned().fold(0.0, f64::max),
+                );
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,242 @@
+//! Saving and restoring trained policies.
+//!
+//! Checkpoints use a small self-describing text format (one header line,
+//! one `name length values…` line per parameter buffer, floats serialized
+//! via [`f64::to_bits`] in hex so round-trips are exact). No external
+//! serialization crate is needed and files diff cleanly.
+
+use crate::agent::SdpAgent;
+use crate::drl::DrlAgent;
+use spikefolio_snn::stbp::{flat_params, set_flat_params};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Magic tag of the checkpoint format.
+const MAGIC: &str = "spikefolio-checkpoint-v1";
+
+/// Error loading or parsing a checkpoint.
+#[derive(Debug)]
+pub enum LoadCheckpointError {
+    /// File could not be read.
+    Io(std::io::Error),
+    /// File contents did not parse as a checkpoint.
+    Parse(String),
+    /// Parameter counts do not match the target network.
+    Shape {
+        /// Parameters in the file.
+        found: usize,
+        /// Parameters the network expects.
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for LoadCheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadCheckpointError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            LoadCheckpointError::Parse(m) => write!(f, "invalid checkpoint syntax: {m}"),
+            LoadCheckpointError::Shape { found, expected } => {
+                write!(f, "checkpoint has {found} parameters, network expects {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadCheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoadCheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for LoadCheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        LoadCheckpointError::Io(e)
+    }
+}
+
+fn encode(kind: &str, params: &[f64]) -> String {
+    let mut s = String::with_capacity(params.len() * 18 + 64);
+    let _ = writeln!(s, "{MAGIC} kind={kind} params={}", params.len());
+    for chunk in params.chunks(64) {
+        for p in chunk {
+            let _ = write!(s, "{:016x} ", p.to_bits());
+        }
+        s.push('\n');
+    }
+    s
+}
+
+fn decode(text: &str, kind: &str) -> Result<Vec<f64>, LoadCheckpointError> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or_else(|| LoadCheckpointError::Parse("empty file".into()))?;
+    let mut fields = header.split_whitespace();
+    if fields.next() != Some(MAGIC) {
+        return Err(LoadCheckpointError::Parse("bad magic".into()));
+    }
+    let kind_field = fields.next().unwrap_or_default();
+    if kind_field != format!("kind={kind}") {
+        return Err(LoadCheckpointError::Parse(format!(
+            "expected kind={kind}, found {kind_field}"
+        )));
+    }
+    let count: usize = fields
+        .next()
+        .and_then(|f| f.strip_prefix("params="))
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| LoadCheckpointError::Parse("missing params= field".into()))?;
+    let mut out = Vec::with_capacity(count);
+    for line in lines {
+        for tok in line.split_whitespace() {
+            let bits = u64::from_str_radix(tok, 16)
+                .map_err(|_| LoadCheckpointError::Parse(format!("bad hex token {tok:?}")))?;
+            out.push(f64::from_bits(bits));
+        }
+    }
+    if out.len() != count {
+        return Err(LoadCheckpointError::Parse(format!(
+            "header promised {count} values, found {}",
+            out.len()
+        )));
+    }
+    Ok(out)
+}
+
+/// Saves an SDP agent's trained parameters.
+///
+/// # Errors
+///
+/// Returns any I/O error from writing the file.
+pub fn save_sdp(agent: &SdpAgent, path: impl AsRef<Path>) -> std::io::Result<()> {
+    std::fs::write(path, encode("sdp", &flat_params(&agent.network)))
+}
+
+/// Restores an SDP agent's parameters in place.
+///
+/// The agent must have been constructed with the same configuration
+/// (network shape) the checkpoint was saved from.
+///
+/// # Errors
+///
+/// Returns [`LoadCheckpointError`] on I/O failure, syntax errors, or a
+/// parameter-count mismatch.
+pub fn load_sdp(agent: &mut SdpAgent, path: impl AsRef<Path>) -> Result<(), LoadCheckpointError> {
+    let text = std::fs::read_to_string(path)?;
+    let params = decode(&text, "sdp")?;
+    let expected = flat_params(&agent.network).len();
+    if params.len() != expected {
+        return Err(LoadCheckpointError::Shape { found: params.len(), expected });
+    }
+    set_flat_params(&mut agent.network, &params);
+    Ok(())
+}
+
+/// Saves a DRL baseline agent's parameters.
+///
+/// # Errors
+///
+/// Returns any I/O error from writing the file.
+pub fn save_drl(agent: &DrlAgent, path: impl AsRef<Path>) -> std::io::Result<()> {
+    std::fs::write(path, encode("drl", &agent.network.flat_params()))
+}
+
+/// Restores a DRL baseline agent's parameters in place.
+///
+/// # Errors
+///
+/// Returns [`LoadCheckpointError`] on I/O failure, syntax errors, or a
+/// parameter-count mismatch.
+pub fn load_drl(agent: &mut DrlAgent, path: impl AsRef<Path>) -> Result<(), LoadCheckpointError> {
+    let text = std::fs::read_to_string(path)?;
+    let params = decode(&text, "drl")?;
+    let expected = agent.network.flat_params().len();
+    if params.len() != expected {
+        return Err(LoadCheckpointError::Shape { found: params.len(), expected });
+    }
+    agent.network.set_flat_params(&params);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SdpConfig;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("spikefolio-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn sdp_round_trip_is_bit_exact() {
+        let cfg = SdpConfig::smoke();
+        let agent = SdpAgent::new(&cfg, 5, 7);
+        let path = tmp("sdp.ckpt");
+        save_sdp(&agent, &path).unwrap();
+        let mut restored = SdpAgent::new(&cfg, 5, 999); // different init
+        load_sdp(&mut restored, &path).unwrap();
+        assert_eq!(flat_params(&restored.network), flat_params(&agent.network));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn drl_round_trip_is_bit_exact() {
+        let cfg = SdpConfig::smoke();
+        let agent = DrlAgent::new(&cfg, 5, 7);
+        let path = tmp("drl.ckpt");
+        save_drl(&agent, &path).unwrap();
+        let mut restored = DrlAgent::new(&cfg, 5, 999);
+        load_drl(&mut restored, &path).unwrap();
+        assert_eq!(restored.network.flat_params(), agent.network.flat_params());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn wrong_kind_is_rejected() {
+        let cfg = SdpConfig::smoke();
+        let agent = SdpAgent::new(&cfg, 5, 7);
+        let path = tmp("kind.ckpt");
+        save_sdp(&agent, &path).unwrap();
+        let mut drl = DrlAgent::new(&cfg, 5, 7);
+        let err = load_drl(&mut drl, &path).unwrap_err();
+        assert!(matches!(err, LoadCheckpointError::Parse(_)), "{err}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let cfg = SdpConfig::smoke();
+        let agent = SdpAgent::new(&cfg, 5, 7);
+        let path = tmp("shape.ckpt");
+        save_sdp(&agent, &path).unwrap();
+        let mut other = SdpAgent::new(&cfg, 11, 7); // different asset count
+        let err = load_sdp(&mut other, &path).unwrap_err();
+        assert!(matches!(err, LoadCheckpointError::Shape { .. }), "{err}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn garbage_files_are_rejected() {
+        let path = tmp("garbage.ckpt");
+        std::fs::write(&path, "not a checkpoint\n").unwrap();
+        let cfg = SdpConfig::smoke();
+        let mut agent = SdpAgent::new(&cfg, 5, 7);
+        assert!(load_sdp(&mut agent, &path).is_err());
+        std::fs::remove_file(&path).ok();
+        // Missing file is an Io error.
+        assert!(matches!(load_sdp(&mut agent, &path), Err(LoadCheckpointError::Io(_))));
+    }
+
+    #[test]
+    fn special_values_survive_round_trip() {
+        let params = vec![0.0, -0.0, f64::MIN_POSITIVE, 1e300, -1e-300, std::f64::consts::PI];
+        let text = encode("sdp", &params);
+        let back = decode(&text, "sdp").unwrap();
+        for (a, b) in params.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Loihi deployment pipeline (Fig. 2): train → rescale (eq. 14) → map →
+//! run on the chip model with the off-chip decoder.
+
+use crate::agent::SdpAgent;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spikefolio_env::{DecisionContext, Policy, StateBuilder};
+use spikefolio_loihi::chip::{LoihiChip, LoihiNetwork, LoihiRunStats};
+use spikefolio_loihi::quantize::{quantize_network, QuantizationReport};
+use spikefolio_snn::decoder::Decoder;
+use spikefolio_snn::PopulationEncoder;
+
+/// A trained SDP policy deployed on the behavioural Loihi chip model.
+///
+/// The spiking body runs in 8-bit integer arithmetic on the chip model;
+/// the population encoder and rate decoder run "off chip" (on Loihi's
+/// embedded x86 lakemont cores in real deployments). Implements
+/// [`Policy`], so the deployed network can be backtested with the exact
+/// same engine as the float agent — which is how the pipeline tests
+/// verify that quantization preserves trading behaviour.
+#[derive(Debug, Clone)]
+pub struct LoihiDeployment {
+    encoder: PopulationEncoder,
+    decoder: Decoder,
+    state_builder: StateBuilder,
+    chip_net: LoihiNetwork,
+    report: QuantizationReport,
+    timesteps: usize,
+    rng: StdRng,
+    /// Accumulated event counters over all inferences run so far.
+    pub total_stats: LoihiRunStats,
+    /// Number of inferences run so far.
+    pub inferences: u64,
+}
+
+impl LoihiDeployment {
+    /// Quantizes and maps a trained agent onto `chip`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the mapping error if the network exceeds the chip budget.
+    pub fn new(
+        agent: &SdpAgent,
+        chip: &LoihiChip,
+    ) -> Result<Self, spikefolio_loihi::chip::MapNetworkError> {
+        let (quantized, report) = quantize_network(&agent.network);
+        let timesteps = quantized.timesteps;
+        let chip_net = chip.map(quantized)?;
+        Ok(Self {
+            encoder: agent.network.encoder.clone(),
+            decoder: agent.network.decoder.clone(),
+            state_builder: *agent.state_builder(),
+            chip_net,
+            report,
+            timesteps,
+            rng: StdRng::seed_from_u64(0xC41),
+            total_stats: LoihiRunStats::default(),
+            inferences: 0,
+        })
+    }
+
+    /// The quantization report (per-layer ratios and error bounds).
+    pub fn quantization_report(&self) -> &QuantizationReport {
+        &self.report
+    }
+
+    /// Core allocation on the chip.
+    pub fn allocation(&self) -> &spikefolio_loihi::chip::CoreAllocation {
+        self.chip_net.allocation()
+    }
+
+    /// One on-chip inference from a raw state vector.
+    pub fn act(&mut self, state: &[f64]) -> Vec<f64> {
+        let raster = self.encoder.encode(state, self.timesteps, &mut self.rng);
+        let (sums, stats) = self.chip_net.infer(&raster);
+        self.total_stats.input_spikes += stats.input_spikes;
+        self.total_stats.neuron_spikes += stats.neuron_spikes;
+        self.total_stats.synops += stats.synops;
+        self.total_stats.neuron_updates += stats.neuron_updates;
+        self.total_stats.timesteps += stats.timesteps;
+        self.inferences += 1;
+        self.decoder.decode(&sums).action
+    }
+
+    /// Average event counts per inference so far (zeroes before the first
+    /// inference).
+    pub fn mean_stats(&self) -> LoihiRunStats {
+        if self.inferences == 0 {
+            return LoihiRunStats::default();
+        }
+        let n = self.inferences;
+        LoihiRunStats {
+            input_spikes: self.total_stats.input_spikes / n,
+            neuron_spikes: self.total_stats.neuron_spikes / n,
+            synops: self.total_stats.synops / n,
+            neuron_updates: self.total_stats.neuron_updates / n,
+            timesteps: self.total_stats.timesteps / n,
+        }
+    }
+}
+
+impl Policy for LoihiDeployment {
+    fn rebalance(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
+        let state = self.state_builder.build(ctx.market, ctx.t, ctx.prev_weights);
+        self.act(&state)
+    }
+
+    fn warmup_periods(&self) -> usize {
+        self.state_builder.min_period()
+    }
+
+    fn name(&self) -> &str {
+        "SDP (Loihi)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SdpConfig;
+    use spikefolio_env::Backtester;
+    use spikefolio_market::experiments::ExperimentPreset;
+    use spikefolio_tensor::simplex::is_on_simplex;
+    use spikefolio_tensor::vector::argmax;
+
+    fn agent_and_market() -> (SdpAgent, spikefolio_market::MarketData) {
+        let market = ExperimentPreset::experiment1().shrunk(30, 10).generate(5);
+        let agent = SdpAgent::new(&SdpConfig::smoke(), market.num_assets(), 2);
+        (agent, market)
+    }
+
+    #[test]
+    fn deployment_succeeds_for_smoke_network() {
+        let (agent, _) = agent_and_market();
+        let dep = LoihiDeployment::new(&agent, &LoihiChip::default());
+        assert!(dep.is_ok());
+        let dep = dep.unwrap();
+        assert!(dep.allocation().total_cores >= 1);
+        assert!(!dep.quantization_report().ratios.is_empty());
+    }
+
+    #[test]
+    fn chip_actions_match_float_agent_mostly() {
+        let (mut agent, market) = agent_and_market();
+        let mut dep = LoihiDeployment::new(&agent, &LoihiChip::default()).unwrap();
+        let w = vec![1.0 / 12.0; 12];
+        let mut agree = 0;
+        let total = 15;
+        for t in 4..4 + total {
+            let s = agent.state(&market, t, &w);
+            let a_float = agent.act(&s);
+            let a_chip = dep.act(&s);
+            assert!(is_on_simplex(&a_chip, 1e-9));
+            if argmax(&a_float) == argmax(&a_chip) {
+                agree += 1;
+            }
+        }
+        assert!(agree * 10 >= total * 8, "only {agree}/{total} argmax agreements");
+    }
+
+    #[test]
+    fn deployment_backtests_and_accumulates_stats() {
+        let (agent, market) = agent_and_market();
+        let mut dep = LoihiDeployment::new(&agent, &LoihiChip::default()).unwrap();
+        let r = Backtester::default().run(&mut dep, &market);
+        assert!(r.fapv() > 0.0);
+        assert!(dep.inferences > 0);
+        let mean = dep.mean_stats();
+        assert!(mean.neuron_updates > 0);
+        assert_eq!(mean.timesteps, 5);
+    }
+}

@@ -1,0 +1,112 @@
+//! Hyperparameter sweeps over the SDP trainer — the tooling behind
+//! Table 2's chosen values.
+
+use crate::agent::SdpAgent;
+use crate::experiments::RunOptions;
+use crate::training::Trainer;
+use serde::{Deserialize, Serialize};
+use spikefolio_env::{Backtester, Metrics};
+use spikefolio_market::experiments::ExperimentPreset;
+
+/// One grid point's outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Learning rate used.
+    pub learning_rate: f64,
+    /// Hidden layer widths used.
+    pub hidden: Vec<usize>,
+    /// Final training reward.
+    pub final_reward: f64,
+    /// Held-out backtest metrics.
+    pub metrics: Metrics,
+}
+
+/// Grid sweep over learning rates × hidden-layer shapes on experiment 1.
+///
+/// Each point trains a fresh agent with the base options' budget and
+/// backtests it on the held-out range; results come back in grid order
+/// (`lrs` outer, `hiddens` inner).
+///
+/// # Panics
+///
+/// Panics if either grid axis is empty.
+pub fn lr_hidden_sweep(
+    opts: &RunOptions,
+    lrs: &[f64],
+    hiddens: &[Vec<usize>],
+) -> Vec<SweepPoint> {
+    assert!(!lrs.is_empty() && !hiddens.is_empty(), "sweep axes must be non-empty");
+    let preset = match opts.shrink {
+        Some((a, b)) => ExperimentPreset::experiment1().shrunk(a, b),
+        None => ExperimentPreset::experiment1(),
+    };
+    let (train, test) = preset.generate_split(opts.market_seed);
+    let mut points = Vec::with_capacity(lrs.len() * hiddens.len());
+    for &lr in lrs {
+        for hidden in hiddens {
+            let mut config = opts.config.clone();
+            config.training.learning_rate = lr;
+            config.network.hidden = hidden.clone();
+            let mut agent = SdpAgent::new(&config, train.num_assets(), config.seed);
+            let log = Trainer::new(&config).train_sdp(&mut agent, &train);
+            let result = Backtester::new(config.backtest).run(&mut agent, &test);
+            points.push(SweepPoint {
+                learning_rate: lr,
+                hidden: hidden.clone(),
+                final_reward: log.final_reward(),
+                metrics: result.metrics,
+            });
+        }
+    }
+    points
+}
+
+/// Formats a sweep as an aligned table.
+pub fn format_sweep(points: &[SweepPoint]) -> String {
+    let mut s = format!(
+        "{:>10} {:<16} {:>14} {:>10} {:>10}\n",
+        "lr", "hidden", "final reward", "fAPV", "Sharpe"
+    );
+    for p in points {
+        s.push_str(&format!(
+            "{:>10.1e} {:<16} {:>14.6} {:>10.4} {:>10.3}\n",
+            p.learning_rate,
+            format!("{:?}", p.hidden),
+            p.final_reward,
+            p.metrics.fapv,
+            p.metrics.sharpe
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_the_grid() {
+        let mut opts = RunOptions::smoke();
+        opts.shrink = Some((25, 8));
+        opts.config.training.epochs = 1;
+        opts.config.training.steps_per_epoch = 2;
+        opts.config.training.batch_size = 4;
+        let points =
+            lr_hidden_sweep(&opts, &[1e-3, 1e-2], &[vec![8], vec![12, 8]]);
+        assert_eq!(points.len(), 4);
+        assert_eq!(points[0].hidden, vec![8]);
+        assert_eq!(points[1].hidden, vec![12, 8]);
+        assert!((points[2].learning_rate - 1e-2).abs() < 1e-15);
+        assert!(points.iter().all(|p| p.metrics.fapv.is_finite()));
+        let table = format_sweep(&points);
+        assert!(table.contains("fAPV"));
+        assert_eq!(table.lines().count(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_grid_rejected() {
+        let opts = RunOptions::smoke();
+        let _ = lr_hidden_sweep(&opts, &[], &[vec![8]]);
+    }
+}

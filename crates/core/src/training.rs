@@ -1,0 +1,690 @@
+//! Deterministic policy-gradient training (Jiang-style) for both the
+//! spiking SDP agent and the dense DRL baseline.
+//!
+//! The objective is eq. (1): maximize the mean log portfolio return over
+//! minibatches of market periods drawn from the training range. Following
+//! Jiang et al., a **portfolio vector memory** (PVM) stores the weights
+//! last chosen at every period so that transaction costs enter the reward
+//! with realistic previous positions, and minibatch periods are sampled
+//! with a geometric bias toward recent data.
+//!
+//! For each sampled decision period `t`:
+//!
+//! 1. drift the PVM weights of `t−1` through the period-`t` price move,
+//! 2. build the state (window + drifted weights) and run the policy,
+//! 3. reward `r = ln(μ_t(a, w′) · (y_{t+1} · a))`,
+//! 4. ascend `∂r/∂a` through STBP (spiking) or plain backprop (dense),
+//! 5. write `a` back into the PVM.
+
+use crate::agent::SdpAgent;
+use crate::config::SdpConfig;
+use crate::drl::DrlAgent;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use spikefolio_env::CostModel;
+use spikefolio_market::MarketData;
+use spikefolio_snn::stbp;
+use spikefolio_tensor::optim::Adam;
+use spikefolio_tensor::vector::dot;
+
+/// Per-epoch training diagnostics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingLog {
+    /// Mean minibatch reward (eq. 1 summand) per epoch.
+    pub epoch_rewards: Vec<f64>,
+    /// Number of gradient steps taken.
+    pub steps: usize,
+}
+
+impl TrainingLog {
+    /// Mean reward of the final epoch (0.0 if empty).
+    pub fn final_reward(&self) -> f64 {
+        self.epoch_rewards.last().copied().unwrap_or(0.0)
+    }
+
+    /// Whether the final epoch beat the first one.
+    pub fn improved(&self) -> bool {
+        match (self.epoch_rewards.first(), self.epoch_rewards.last()) {
+            (Some(a), Some(b)) => b >= a,
+            _ => false,
+        }
+    }
+}
+
+/// The portfolio vector memory of Jiang et al.
+#[derive(Debug, Clone)]
+struct Pvm {
+    weights: Vec<Vec<f64>>,
+}
+
+impl Pvm {
+    fn new(periods: usize, n: usize) -> Self {
+        let uniform = vec![1.0 / n as f64; n];
+        Self { weights: vec![uniform; periods] }
+    }
+
+    fn get(&self, t: usize) -> &[f64] {
+        &self.weights[t]
+    }
+
+    fn set(&mut self, t: usize, w: Vec<f64>) {
+        self.weights[t] = w;
+    }
+}
+
+/// Drifts weights `w` through the price-relative vector `y`:
+/// `w′ = (y ⊙ w) / (y · w)`.
+fn drift(w: &[f64], y: &[f64]) -> Vec<f64> {
+    let growth = dot(w, y).max(1e-12);
+    w.iter().zip(y).map(|(&wi, &yi)| wi * yi / growth).collect()
+}
+
+/// Reward and its gradient with respect to the action.
+///
+/// Returns `(r, ∂r/∂a)` with
+/// `r = ln(μ(a, w′)) + ln(y · a)` and the cost term differentiated through
+/// the proportional turnover model (the iterative model uses its combined
+/// rate as a first-order approximation — the standard treatment).
+fn reward_and_grad(
+    action: &[f64],
+    y_next: &[f64],
+    w_drifted: &[f64],
+    costs: &CostModel,
+) -> (f64, Vec<f64>) {
+    let mu = costs.shrink_factor(action, w_drifted);
+    let growth = dot(y_next, action).max(1e-12);
+    let r = (mu * growth).ln();
+    let rate = match *costs {
+        CostModel::Free => 0.0,
+        CostModel::Proportional { rate } => rate,
+        CostModel::Iterative { buy, sell } => buy + sell - buy * sell,
+    };
+    let grad: Vec<f64> = action
+        .iter()
+        .zip(y_next.iter().zip(w_drifted))
+        .enumerate()
+        .map(|(i, (&ai, (&yi, &wi)))| {
+            let mut g = yi / growth;
+            if i > 0 && rate > 0.0 {
+                // ∂μ/∂a_i = −rate · sign(a_i − w′_i) (risky legs only);
+                // subgradient 0 at the kink (f64::signum(0.0) is 1, so an
+                // explicit comparison is needed).
+                let d = ai - wi;
+                let sign = if d > 0.0 {
+                    1.0
+                } else if d < 0.0 {
+                    -1.0
+                } else {
+                    0.0
+                };
+                g -= rate * sign / mu;
+            }
+            g
+        })
+        .collect();
+    (r, grad)
+}
+
+/// Samples a decision period in `[min_t, max_t]` with geometric bias
+/// `lambda` toward `max_t` (0 = uniform).
+fn sample_period(rng: &mut StdRng, min_t: usize, max_t: usize, lambda: f64) -> usize {
+    debug_assert!(min_t <= max_t);
+    if lambda <= 0.0 {
+        return rng.gen_range(min_t..=max_t);
+    }
+    for _ in 0..64 {
+        // Exponential sample via inverse CDF.
+        let u: f64 = rng.gen::<f64>().max(1e-12);
+        let back = (-u.ln() / lambda) as usize;
+        if max_t - min_t >= back {
+            return max_t - back;
+        }
+    }
+    rng.gen_range(min_t..=max_t)
+}
+
+/// Trainer for the SDP agent and the DRL baseline.
+///
+/// See the [crate docs](crate) for a quickstart.
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    config: SdpConfig,
+}
+
+/// Persistent state of an in-progress SDP training run: the optimizer
+/// moments, portfolio-vector memory, and RNG streams survive between
+/// epochs so that epoch-at-a-time drivers (early stopping, curricula)
+/// behave identically to one long [`Trainer::train_sdp`] call.
+#[derive(Debug)]
+pub struct SdpTrainingSession<'m> {
+    market: &'m MarketData,
+    pvm: Pvm,
+    trainer: stbp::SdpTrainer<Adam>,
+    sample_rng: StdRng,
+    enc_rng: StdRng,
+    min_t: usize,
+    max_t: usize,
+    tc: crate::config::TrainingConfig,
+    costs: CostModel,
+    step_counter: u64,
+}
+
+impl SdpTrainingSession<'_> {
+    /// Runs one epoch (`steps_per_epoch` minibatches) of STBP training on
+    /// `agent`, returning the epoch's mean sample reward.
+    ///
+    /// Dispatches to the parallel minibatch path when
+    /// `training.parallelism > 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `agent` does not match the session's market shape.
+    pub fn run_epoch(&mut self, agent: &mut SdpAgent) -> f64 {
+        if self.tc.parallelism > 1 {
+            self.run_epoch_parallel(agent)
+        } else {
+            self.run_epoch_sequential(agent)
+        }
+    }
+
+    fn run_epoch_sequential(&mut self, agent: &mut SdpAgent) -> f64 {
+        let tc = self.tc;
+        let mut epoch_reward = 0.0;
+        let mut epoch_samples = 0usize;
+        for _step in 0..tc.steps_per_epoch {
+            let mut grads = stbp::SdpGradients::zeros_like(&agent.network);
+            let mut batch_reward = 0.0;
+            for _ in 0..tc.batch_size {
+                let t = sample_period(&mut self.sample_rng, self.min_t, self.max_t, tc.recency_bias);
+                let y_t = self.market.price_relatives_with_cash(t);
+                let w_drifted = drift(self.pvm.get(t - 1), &y_t);
+                let state = agent.state(self.market, t, &w_drifted);
+                let (action, trace) = agent.network.forward(&state, &mut self.enc_rng);
+                let y_next = self.market.price_relatives_with_cash(t + 1);
+                let (r, dr) = reward_and_grad(&action, &y_next, &w_drifted, &self.costs);
+                // Gradient *descent* on L = −r (+ optional rate penalty).
+                let d_action: Vec<f64> = dr.iter().map(|g| -g).collect();
+                let g = stbp::backward_with_rate_penalty(
+                    &agent.network,
+                    &trace,
+                    &d_action,
+                    tc.rate_penalty,
+                );
+                grads.accumulate(&g);
+                self.pvm.set(t, action);
+                batch_reward += r;
+            }
+            grads.scale(1.0 / tc.batch_size as f64);
+            self.trainer.apply(&mut agent.network, &grads);
+            epoch_reward += batch_reward;
+            epoch_samples += tc.batch_size;
+        }
+        epoch_reward / epoch_samples.max(1) as f64
+    }
+
+    /// Parallel minibatch path: samples and PVM reads stay sequential (so
+    /// the sampling stream is unchanged), forward/backward fan out across
+    /// `parallelism` scoped threads, and per-sample encoder RNGs are
+    /// seeded from `(step, sample)` so results do not depend on the thread
+    /// count.
+    fn run_epoch_parallel(&mut self, agent: &mut SdpAgent) -> f64 {
+        let tc = self.tc;
+        let workers = tc.parallelism.max(1);
+        let mut epoch_reward = 0.0;
+        let mut epoch_samples = 0usize;
+        for _step in 0..tc.steps_per_epoch {
+            self.step_counter += 1;
+            // Phase 1 (sequential): sample periods, read the PVM, build
+            // states.
+            struct Item {
+                t: usize,
+                w_drifted: Vec<f64>,
+                state: Vec<f64>,
+                seed: u64,
+            }
+            let items: Vec<Item> = (0..tc.batch_size)
+                .map(|i| {
+                    let t = sample_period(
+                        &mut self.sample_rng,
+                        self.min_t,
+                        self.max_t,
+                        tc.recency_bias,
+                    );
+                    let y_t = self.market.price_relatives_with_cash(t);
+                    let w_drifted = drift(self.pvm.get(t - 1), &y_t);
+                    let state = agent.state(self.market, t, &w_drifted);
+                    Item {
+                        t,
+                        w_drifted,
+                        state,
+                        seed: self
+                            .step_counter
+                            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                            .wrapping_add(i as u64),
+                    }
+                })
+                .collect();
+
+            // Phase 2 (parallel): forward, reward gradient, STBP backward.
+            let network = &agent.network;
+            let market = self.market;
+            let costs = self.costs;
+            let results: Vec<(usize, Vec<f64>, f64, stbp::SdpGradients)> =
+                std::thread::scope(|scope| {
+                    let mut handles = Vec::with_capacity(workers);
+                    for chunk in items.chunks(items.len().div_ceil(workers)) {
+                        handles.push(scope.spawn(move || {
+                            chunk
+                                .iter()
+                                .map(|item| {
+                                    let mut rng = StdRng::seed_from_u64(item.seed);
+                                    let (action, trace) = network.forward(&item.state, &mut rng);
+                                    let y_next =
+                                        market.price_relatives_with_cash(item.t + 1);
+                                    let (r, dr) = reward_and_grad(
+                                        &action,
+                                        &y_next,
+                                        &item.w_drifted,
+                                        &costs,
+                                    );
+                                    let d_action: Vec<f64> =
+                                        dr.iter().map(|g| -g).collect();
+                                    let g = stbp::backward_with_rate_penalty(
+                                        network,
+                                        &trace,
+                                        &d_action,
+                                        tc.rate_penalty,
+                                    );
+                                    (item.t, action, r, g)
+                                })
+                                .collect::<Vec<_>>()
+                        }));
+                    }
+                    handles
+                        .into_iter()
+                        .flat_map(|h| h.join().expect("worker thread panicked"))
+                        .collect()
+                });
+
+            // Phase 3 (sequential): accumulate gradients, write the PVM.
+            let mut grads = stbp::SdpGradients::zeros_like(&agent.network);
+            let mut batch_reward = 0.0;
+            for (t, action, r, g) in results {
+                grads.accumulate(&g);
+                self.pvm.set(t, action);
+                batch_reward += r;
+            }
+            grads.scale(1.0 / tc.batch_size as f64);
+            self.trainer.apply(&mut agent.network, &grads);
+            epoch_reward += batch_reward;
+            epoch_samples += tc.batch_size;
+        }
+        epoch_reward / epoch_samples.max(1) as f64
+    }
+}
+
+impl Trainer {
+    /// Creates a trainer from the shared configuration.
+    pub fn new(config: &SdpConfig) -> Self {
+        Self { config: config.clone() }
+    }
+
+    /// Borrow the configuration.
+    pub fn config(&self) -> &SdpConfig {
+        &self.config
+    }
+
+    fn bounds(&self, market: &MarketData, window_min: usize) -> (usize, usize) {
+        let n = market.num_periods();
+        let min_t = window_min.max(1);
+        let max_t = n.saturating_sub(2);
+        assert!(
+            min_t <= max_t,
+            "market too short for training: {n} periods, window needs t ≥ {min_t}"
+        );
+        (min_t, max_t)
+    }
+
+    /// Creates a persistent SDP training session (optimizer state, PVM,
+    /// RNG streams) over `market`. Used directly for epoch-at-a-time
+    /// control (see [`crate::validation`]); [`Trainer::train_sdp`] is the
+    /// plain loop on top of it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the market is shorter than the observation window + 2.
+    pub fn sdp_session<'m>(
+        &self,
+        agent: &SdpAgent,
+        market: &'m MarketData,
+    ) -> SdpTrainingSession<'m> {
+        let tc = self.config.training;
+        let (min_t, max_t) = self.bounds(market, agent.state_builder().min_period());
+        let mut trainer = stbp::SdpTrainer::new(&agent.network, Adam::new(tc.learning_rate));
+        trainer.max_grad_norm = Some(tc.max_grad_norm);
+        SdpTrainingSession {
+            market,
+            pvm: Pvm::new(market.num_periods(), market.num_assets() + 1),
+            trainer,
+            sample_rng: StdRng::seed_from_u64(self.config.seed ^ 0x5d_u64),
+            enc_rng: StdRng::seed_from_u64(self.config.seed ^ 0xe2c_u64),
+            min_t,
+            max_t,
+            tc,
+            costs: self.config.backtest.costs,
+            step_counter: 0,
+        }
+    }
+
+    /// Trains the spiking agent in place on `market`, returning the log.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the market is shorter than the observation window + 2.
+    pub fn train_sdp(&self, agent: &mut SdpAgent, market: &MarketData) -> TrainingLog {
+        let tc = self.config.training;
+        let mut session = self.sdp_session(agent, market);
+        let mut log = TrainingLog { epoch_rewards: Vec::with_capacity(tc.epochs), steps: 0 };
+        for _epoch in 0..tc.epochs {
+            let reward = session.run_epoch(agent);
+            log.steps += tc.steps_per_epoch;
+            log.epoch_rewards.push(reward);
+        }
+        log
+    }
+
+    /// Trains the EIIE (convolutional Jiang) baseline in place on
+    /// `market` — same deterministic policy gradient, PVM, and sampling
+    /// as the other agents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the market is shorter than the observation window + 2.
+    pub fn train_eiie(
+        &self,
+        agent: &mut crate::eiie::EiieAgent,
+        market: &MarketData,
+    ) -> TrainingLog {
+        let tc = self.config.training;
+        let costs = self.config.backtest.costs;
+        let n_assets = market.num_assets();
+        let (min_t, max_t) = self.bounds(market, agent.window() - 1);
+        let mut pvm = Pvm::new(market.num_periods(), n_assets + 1);
+        let mut trainer =
+            spikefolio_ann::EiieTrainer::new(&agent.network, Adam::new(tc.learning_rate));
+        trainer.max_grad_norm = Some(tc.max_grad_norm);
+        let mut sample_rng = StdRng::seed_from_u64(self.config.seed ^ 0xe11e_u64);
+
+        let mut log = TrainingLog { epoch_rewards: Vec::with_capacity(tc.epochs), steps: 0 };
+        for _epoch in 0..tc.epochs {
+            let mut epoch_reward = 0.0;
+            let mut epoch_samples = 0usize;
+            for _step in 0..tc.steps_per_epoch {
+                let mut grads: Option<spikefolio_ann::eiie::EiieGradients> = None;
+                let mut batch_reward = 0.0;
+                for _ in 0..tc.batch_size {
+                    let t = sample_period(&mut sample_rng, min_t, max_t, tc.recency_bias);
+                    let y_t = market.price_relatives_with_cash(t);
+                    let w_drifted = drift(pvm.get(t - 1), &y_t);
+                    let windows = agent.windows(market, t);
+                    let trace = agent.network.forward(&windows, &w_drifted);
+                    let action = trace.action().to_vec();
+                    let y_next = market.price_relatives_with_cash(t + 1);
+                    let (r, dr) = reward_and_grad(&action, &y_next, &w_drifted, &costs);
+                    let d_action: Vec<f64> = dr.iter().map(|g| -g).collect();
+                    let g = agent.network.backward(&trace, &d_action);
+                    match grads.as_mut() {
+                        Some(acc) => acc.accumulate(&g),
+                        None => grads = Some(g),
+                    }
+                    pvm.set(t, action);
+                    batch_reward += r;
+                }
+                if let Some(mut g) = grads {
+                    g.scale(1.0 / tc.batch_size as f64);
+                    trainer.apply(&mut agent.network, &g);
+                }
+                log.steps += 1;
+                epoch_reward += batch_reward;
+                epoch_samples += tc.batch_size;
+            }
+            log.epoch_rewards.push(epoch_reward / epoch_samples.max(1) as f64);
+        }
+        log
+    }
+
+    /// Trains the dense DRL baseline in place on `market`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the market is shorter than the observation window + 2.
+    pub fn train_drl(&self, agent: &mut DrlAgent, market: &MarketData) -> TrainingLog {
+        let tc = self.config.training;
+        let costs = self.config.backtest.costs;
+        let n_assets = market.num_assets();
+        let (min_t, max_t) = self.bounds(market, agent.state_builder().min_period());
+        let mut pvm = Pvm::new(market.num_periods(), n_assets + 1);
+        let mut trainer =
+            spikefolio_ann::MlpTrainer::new(&agent.network, Adam::new(tc.learning_rate));
+        trainer.max_grad_norm = Some(tc.max_grad_norm);
+        let mut sample_rng = StdRng::seed_from_u64(self.config.seed ^ 0xd71_u64);
+
+        let mut log = TrainingLog { epoch_rewards: Vec::with_capacity(tc.epochs), steps: 0 };
+        for _epoch in 0..tc.epochs {
+            let mut epoch_reward = 0.0;
+            let mut epoch_samples = 0usize;
+            for _step in 0..tc.steps_per_epoch {
+                let mut grads: Option<spikefolio_ann::MlpGradients> = None;
+                let mut batch_reward = 0.0;
+                for _ in 0..tc.batch_size {
+                    let t = sample_period(&mut sample_rng, min_t, max_t, tc.recency_bias);
+                    let y_t = market.price_relatives_with_cash(t);
+                    let w_drifted = drift(pvm.get(t - 1), &y_t);
+                    let state = agent.state(market, t, &w_drifted);
+                    let trace = agent.network.forward(&state);
+                    let action = trace.action().to_vec();
+                    let y_next = market.price_relatives_with_cash(t + 1);
+                    let (r, dr) = reward_and_grad(&action, &y_next, &w_drifted, &costs);
+                    let d_action: Vec<f64> = dr.iter().map(|g| -g).collect();
+                    let g = agent.network.backward(&trace, &d_action);
+                    match grads.as_mut() {
+                        Some(acc) => acc.accumulate(&g),
+                        None => grads = Some(g),
+                    }
+                    pvm.set(t, action);
+                    batch_reward += r;
+                }
+                if let Some(mut g) = grads {
+                    g.scale(1.0 / tc.batch_size as f64);
+                    trainer.apply(&mut agent.network, &g);
+                }
+                log.steps += 1;
+                epoch_reward += batch_reward;
+                epoch_samples += tc.batch_size;
+            }
+            log.epoch_rewards.push(epoch_reward / epoch_samples.max(1) as f64);
+        }
+        log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spikefolio_env::{BacktestConfig, Backtester};
+    use spikefolio_market::{Candle, Date};
+
+    /// A market where asset 1 steadily gains and the rest decay: any
+    /// reward-ascending learner must shift weight onto asset 1.
+    fn trending_market(periods: usize) -> MarketData {
+        let mut candles = Vec::new();
+        let mut up = 100.0;
+        let mut down = 100.0;
+        for _ in 0..periods {
+            let nu = up * 1.015;
+            let nd = down * 0.995;
+            candles.push(Candle::new(up, nu, up, nu, 1.0));
+            candles.push(Candle::new(down, down, nd, nd, 1.0));
+            candles.push(Candle::new(down, down, nd, nd, 1.0));
+            up = nu;
+            down = nd;
+        }
+        MarketData::new(
+            vec!["UP".into(), "D1".into(), "D2".into()],
+            Date::new(2020, 1, 1),
+            4,
+            3,
+            candles,
+        )
+    }
+
+    #[test]
+    fn reward_grad_matches_finite_difference() {
+        let costs = CostModel::Proportional { rate: 0.0025 };
+        let a = [0.1, 0.5, 0.4];
+        let y = [1.0, 1.1, 0.9];
+        let w = [0.3, 0.3, 0.4];
+        let (_, g) = reward_and_grad(&a, &y, &w, &costs);
+        let eps = 1e-7;
+        for i in 0..3 {
+            let mut ap = a;
+            ap[i] += eps;
+            let mut am = a;
+            am[i] -= eps;
+            let (rp, _) = reward_and_grad(&ap, &y, &w, &costs);
+            let (rm, _) = reward_and_grad(&am, &y, &w, &costs);
+            let num = (rp - rm) / (2.0 * eps);
+            assert!((g[i] - num).abs() < 1e-5, "component {i}: {} vs {num}", g[i]);
+        }
+    }
+
+    #[test]
+    fn drift_preserves_simplex() {
+        let w = [0.2, 0.5, 0.3];
+        let y = [1.0, 1.2, 0.8];
+        let d = drift(&w, &y);
+        assert!(spikefolio_tensor::simplex::is_on_simplex(&d, 1e-12));
+        // Winner gains share.
+        assert!(d[1] > w[1]);
+        assert!(d[2] < w[2]);
+    }
+
+    #[test]
+    fn sample_period_respects_bounds_and_bias() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut late = 0;
+        for _ in 0..2000 {
+            let t = sample_period(&mut rng, 10, 100, 0.05);
+            assert!((10..=100).contains(&t));
+            if t > 80 {
+                late += 1;
+            }
+        }
+        // With λ=0.05 the mean offset from the end is 20, so most samples
+        // land in the last fifth of the range.
+        assert!(late > 1000, "only {late}/2000 samples were recent");
+        // Uniform mode covers the range.
+        let t_min = (0..500)
+            .map(|_| sample_period(&mut rng, 10, 100, 0.0))
+            .min()
+            .unwrap();
+        assert!(t_min < 25);
+    }
+
+    #[test]
+    fn sdp_training_learns_trending_market() {
+        let market = trending_market(120);
+        let mut cfg = SdpConfig::smoke();
+        cfg.training.epochs = 6;
+        cfg.training.steps_per_epoch = 10;
+        cfg.training.batch_size = 12;
+        cfg.training.learning_rate = 2e-3;
+        let mut agent = SdpAgent::new(&cfg, market.num_assets(), 3);
+        let log = Trainer::new(&cfg).train_sdp(&mut agent, &market);
+        assert_eq!(log.epoch_rewards.len(), 6);
+        assert!(
+            log.final_reward() > log.epoch_rewards[0],
+            "reward did not improve: {:?}",
+            log.epoch_rewards
+        );
+        // The trained policy should allocate heavily to the winning asset.
+        let r = Backtester::new(BacktestConfig::default()).run(&mut agent, &market);
+        let mean_up: f64 =
+            r.weights.iter().map(|w| w[1]).sum::<f64>() / r.weights.len() as f64;
+        assert!(mean_up > 0.4, "mean weight on winner only {mean_up}");
+    }
+
+    #[test]
+    fn drl_training_learns_trending_market() {
+        let market = trending_market(120);
+        let mut cfg = SdpConfig::smoke();
+        cfg.training.epochs = 10;
+        cfg.training.steps_per_epoch = 10;
+        cfg.training.batch_size = 12;
+        cfg.training.learning_rate = 5e-3;
+        let mut agent = DrlAgent::new(&cfg, market.num_assets(), 3);
+        let log = Trainer::new(&cfg).train_drl(&mut agent, &market);
+        assert!(log.improved(), "rewards: {:?}", log.epoch_rewards);
+        let r = Backtester::new(BacktestConfig::default()).run(&mut agent, &market);
+        let mean_up: f64 =
+            r.weights.iter().map(|w| w[1]).sum::<f64>() / r.weights.len() as f64;
+        assert!(mean_up > 0.4, "mean weight on winner only {mean_up}");
+    }
+
+    #[test]
+    fn eiie_training_learns_trending_market() {
+        let market = trending_market(120);
+        let mut cfg = SdpConfig::smoke();
+        cfg.state.window = 5;
+        cfg.training.epochs = 14;
+        cfg.training.steps_per_epoch = 12;
+        cfg.training.batch_size = 12;
+        cfg.training.learning_rate = 8e-3;
+        let mut agent = crate::eiie::EiieAgent::new(&cfg, market.num_assets(), 3);
+        let log = Trainer::new(&cfg).train_eiie(&mut agent, &market);
+        assert!(log.improved(), "rewards: {:?}", log.epoch_rewards);
+        let r = Backtester::new(BacktestConfig::default()).run(&mut agent, &market);
+        let mean_up: f64 =
+            r.weights.iter().map(|w| w[1]).sum::<f64>() / r.weights.len() as f64;
+        assert!(mean_up > 0.35, "mean weight on winner only {mean_up}");
+    }
+
+    #[test]
+    fn parallel_training_learns_and_is_thread_count_invariant() {
+        let market = trending_market(120);
+        let mut cfg = SdpConfig::smoke();
+        cfg.training.epochs = 4;
+        cfg.training.steps_per_epoch = 8;
+        cfg.training.batch_size = 12;
+        cfg.training.learning_rate = 2e-3;
+
+        let run = |threads: usize| {
+            let mut c = cfg.clone();
+            c.training.parallelism = threads;
+            let mut agent = SdpAgent::new(&c, market.num_assets(), 3);
+            let log = Trainer::new(&c).train_sdp(&mut agent, &market);
+            (spikefolio_snn::stbp::flat_params(&agent.network), log)
+        };
+        let (p2, log2) = run(2);
+        let (p4, log4) = run(4);
+        // Per-sample seeding makes results independent of the thread count.
+        assert_eq!(log2.epoch_rewards, log4.epoch_rewards);
+        assert_eq!(p2, p4);
+        // And it still learns the trending market.
+        assert!(
+            log2.final_reward() > 0.0,
+            "parallel training failed to learn: {:?}",
+            log2.epoch_rewards
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn training_rejects_tiny_market() {
+        let market = trending_market(2);
+        let cfg = SdpConfig::smoke();
+        let mut agent = SdpAgent::new(&cfg, market.num_assets(), 3);
+        let _ = Trainer::new(&cfg).train_sdp(&mut agent, &market);
+    }
+}

@@ -1,0 +1,223 @@
+//! Transaction-cost models: the `μ_t` shrink factor of eq. (1).
+//!
+//! Rebalancing from the drifted weights `w'` to the target weights `w`
+//! shrinks portfolio value by a factor `μ_t ∈ (0, 1]`. Two models are
+//! provided:
+//!
+//! * [`CostModel::Proportional`] — the common first-order approximation
+//!   `μ = 1 − c · Σ_{i≥1} |w_i − w'_i|` over the risky assets.
+//! * [`CostModel::Iterative`] — Jiang et al.'s exact fixed-point equation
+//!   with separate buy/sell commission rates, solved by iteration.
+//!
+//! Weight vectors are `N = M + 1` long with the **cash entry first**.
+
+use serde::{Deserialize, Serialize};
+
+/// Transaction-cost model choices. See the [module docs](self).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CostModel {
+    /// Zero-cost idealization (useful for ablations).
+    Free,
+    /// First-order proportional cost with a single commission `rate`.
+    Proportional {
+        /// Commission per unit of one-way turnover (e.g. `0.0025` = 25 bp,
+        /// Poloniex's taker fee of the paper's era).
+        rate: f64,
+    },
+    /// Jiang et al. (2017) eq. (14): exact shrink factor with separate
+    /// purchase and sale commissions, solved as a fixed point.
+    Iterative {
+        /// Purchase commission rate `c_p`.
+        buy: f64,
+        /// Sale commission rate `c_s`.
+        sell: f64,
+    },
+}
+
+impl Default for CostModel {
+    /// 25 bp proportional — Poloniex's fee during the paper's data window.
+    fn default() -> Self {
+        CostModel::Proportional { rate: 0.0025 }
+    }
+}
+
+impl CostModel {
+    /// Computes the shrink factor `μ_t` for rebalancing from drifted
+    /// weights `w_drifted` to target weights `w_target`.
+    ///
+    /// Both vectors must be on the simplex with the cash entry at index 0.
+    /// The result is clamped into `(0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different or zero lengths.
+    pub fn shrink_factor(&self, w_target: &[f64], w_drifted: &[f64]) -> f64 {
+        assert_eq!(w_target.len(), w_drifted.len(), "weight length mismatch");
+        assert!(!w_target.is_empty(), "empty weight vectors");
+        match *self {
+            CostModel::Free => 1.0,
+            CostModel::Proportional { rate } => {
+                let turnover: f64 = w_target[1..]
+                    .iter()
+                    .zip(&w_drifted[1..])
+                    .map(|(a, b)| (a - b).abs())
+                    .sum();
+                (1.0 - rate * turnover).clamp(1e-6, 1.0)
+            }
+            CostModel::Iterative { buy, sell } => {
+                iterative_mu(w_target, w_drifted, buy, sell)
+            }
+        }
+    }
+
+    /// Convenience: the cost (value fraction lost) of the rebalance,
+    /// `1 − μ_t`.
+    pub fn cost(&self, w_target: &[f64], w_drifted: &[f64]) -> f64 {
+        1.0 - self.shrink_factor(w_target, w_drifted)
+    }
+}
+
+/// Fixed-point solution of Jiang et al. (2017) eq. (14):
+///
+/// ```text
+/// μ = 1/(1 − c_p·w_0) · [ 1 − c_p·w'_0 − (c_s + c_p − c_s·c_p) · Σ_{i≥1} (w'_i − μ·w_i)⁺ ]
+/// ```
+///
+/// where `w'` is the drifted vector, `w` the target, index 0 cash. The map
+/// is a contraction for commission rates < 1; we iterate from the
+/// proportional approximation until `|Δμ| < 1e-12` (at most 64 rounds).
+fn iterative_mu(w_target: &[f64], w_drifted: &[f64], c_p: f64, c_s: f64) -> f64 {
+    let combined = c_s + c_p - c_s * c_p;
+    let turnover: f64 =
+        w_target[1..].iter().zip(&w_drifted[1..]).map(|(a, b)| (a - b).abs()).sum();
+    let mut mu = (1.0 - combined * 0.5 * turnover).clamp(1e-6, 1.0);
+    for _ in 0..64 {
+        let sell_sum: f64 = w_drifted[1..]
+            .iter()
+            .zip(&w_target[1..])
+            .map(|(&wd, &wt)| (wd - mu * wt).max(0.0))
+            .sum();
+        let next = (1.0 / (1.0 - c_p * w_target[0]))
+            * (1.0 - c_p * w_drifted[0] - combined * sell_sum);
+        let next = next.clamp(1e-6, 1.0);
+        if (next - mu).abs() < 1e-12 {
+            return next;
+        }
+        mu = next;
+    }
+    mu
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn simplex(v: Vec<f64>) -> Vec<f64> {
+        let s: f64 = v.iter().sum();
+        if s <= 0.0 {
+            vec![1.0 / v.len() as f64; v.len()]
+        } else {
+            v.into_iter().map(|x| x / s).collect()
+        }
+    }
+
+    #[test]
+    fn no_rebalance_costs_nothing() {
+        let w = [0.2, 0.5, 0.3];
+        for model in [
+            CostModel::Free,
+            CostModel::Proportional { rate: 0.0025 },
+            CostModel::Iterative { buy: 0.0025, sell: 0.0025 },
+        ] {
+            let mu = model.shrink_factor(&w, &w);
+            assert!((mu - 1.0).abs() < 1e-9, "{model:?} gave {mu}");
+        }
+    }
+
+    #[test]
+    fn proportional_matches_hand_computation() {
+        let model = CostModel::Proportional { rate: 0.01 };
+        // Turnover over risky assets: |0.6-0.2| + |0.2-0.6| = 0.8.
+        let mu = model.shrink_factor(&[0.2, 0.6, 0.2], &[0.2, 0.2, 0.6]);
+        assert!((mu - (1.0 - 0.008)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_swap_iterative_close_to_double_commission() {
+        // Move everything from asset 1 to asset 2: sell all, buy all.
+        let model = CostModel::Iterative { buy: 0.0025, sell: 0.0025 };
+        let mu = model.shrink_factor(&[0.0, 0.0, 1.0], &[0.0, 1.0, 0.0]);
+        // Selling 1.0 then buying ~1.0: cost ≈ c_s + c_p ≈ 0.005.
+        assert!((mu - 0.995).abs() < 5e-4, "mu = {mu}");
+    }
+
+    #[test]
+    fn cash_to_assets_pays_only_buy_commission() {
+        let model = CostModel::Iterative { buy: 0.0025, sell: 0.0 };
+        let mu = model.shrink_factor(&[0.0, 1.0], &[1.0, 0.0]);
+        assert!((mu - (1.0 - 0.0025)).abs() < 1e-6, "mu = {mu}");
+    }
+
+    #[test]
+    fn assets_to_cash_pays_only_sell_commission() {
+        let model = CostModel::Iterative { buy: 0.0, sell: 0.0025 };
+        let mu = model.shrink_factor(&[1.0, 0.0], &[0.0, 1.0]);
+        assert!((mu - (1.0 - 0.0025)).abs() < 1e-6, "mu = {mu}");
+    }
+
+    #[test]
+    fn iterative_below_or_equal_proportional_bound() {
+        // The exact μ accounts for commission-on-commission, so it should
+        // not exceed 1 and should be close to the simple approximation.
+        let exact = CostModel::Iterative { buy: 0.0025, sell: 0.0025 };
+        let approx = CostModel::Proportional { rate: 0.0025 };
+        let wt = [0.1, 0.4, 0.3, 0.2];
+        let wd = [0.3, 0.1, 0.1, 0.5];
+        let me = exact.shrink_factor(&wt, &wd);
+        let ma = approx.shrink_factor(&wt, &wd);
+        assert!(me <= 1.0 && me > 0.9);
+        assert!((me - ma).abs() < 0.01);
+    }
+
+    #[test]
+    fn cost_is_one_minus_mu() {
+        let m = CostModel::Proportional { rate: 0.01 };
+        let wt = [0.0, 1.0, 0.0];
+        let wd = [0.0, 0.0, 1.0];
+        assert!((m.cost(&wt, &wd) + m.shrink_factor(&wt, &wd) - 1.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn mu_always_in_unit_interval(
+            a in proptest::collection::vec(0.0f64..1.0, 4),
+            b in proptest::collection::vec(0.0f64..1.0, 4),
+        ) {
+            let wt = simplex(a);
+            let wd = simplex(b);
+            for model in [
+                CostModel::Free,
+                CostModel::Proportional { rate: 0.0025 },
+                CostModel::Iterative { buy: 0.0025, sell: 0.0025 },
+            ] {
+                let mu = model.shrink_factor(&wt, &wd);
+                prop_assert!((0.0..=1.0).contains(&mu), "{:?} gave {}", model, mu);
+            }
+        }
+
+        #[test]
+        fn more_turnover_never_cheaper(scale in 0.0f64..1.0) {
+            // Interpolating the target toward the drifted weights reduces
+            // turnover, which must not increase cost.
+            let wd = vec![0.25, 0.25, 0.25, 0.25];
+            let far = vec![0.0, 1.0, 0.0, 0.0];
+            let near: Vec<f64> = far.iter().zip(&wd)
+                .map(|(f, d)| d + scale * (f - d)).collect();
+            let model = CostModel::Proportional { rate: 0.0025 };
+            let mu_near = model.shrink_factor(&near, &wd);
+            let mu_far = model.shrink_factor(&far, &wd);
+            prop_assert!(mu_near >= mu_far - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Gym-style episodic interface to the portfolio environment.
+//!
+//! [`Backtester`](crate::Backtester) drives a [`Policy`](crate::Policy)
+//! callback; this module inverts control: the caller owns the loop and
+//! feeds actions step by step — the natural shape for RL training code and
+//! for users porting agents from gym-like ecosystems.
+//!
+//! ```text
+//! let mut env = PortfolioEnv::new(&market, state_cfg, costs);
+//! let mut state = env.reset();
+//! while let Some(s) = state {
+//!     let action = agent.act(&s);
+//!     let outcome = env.step(&action);
+//!     state = outcome.next_state;
+//! }
+//! ```
+
+use crate::costs::CostModel;
+use crate::portfolio::PortfolioState;
+use crate::state::{StateBuilder, StateConfig};
+use spikefolio_market::MarketData;
+use spikefolio_tensor::simplex;
+
+/// Result of one environment step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepOutcome {
+    /// The step's log return `ln(μ_t · (y_t · w))` — the eq. (1) summand.
+    pub reward: f64,
+    /// The next observation, or `None` when the episode ended.
+    pub next_state: Option<Vec<f64>>,
+    /// Portfolio value after the step (`p_t / p_0`).
+    pub portfolio_value: f64,
+    /// Shrink factor `μ` paid at this step's rebalance.
+    pub shrink_factor: f64,
+}
+
+/// Episodic portfolio environment over one market dataset.
+#[derive(Debug, Clone)]
+pub struct PortfolioEnv<'m> {
+    market: &'m MarketData,
+    state_builder: StateBuilder,
+    costs: CostModel,
+    portfolio: PortfolioState,
+    t: usize,
+    started: bool,
+}
+
+impl<'m> PortfolioEnv<'m> {
+    /// Creates an environment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the market is shorter than the observation window + 2
+    /// periods.
+    pub fn new(market: &'m MarketData, state: StateConfig, costs: CostModel) -> Self {
+        let state_builder = StateBuilder::new(state);
+        assert!(
+            market.num_periods() >= state_builder.min_period() + 2,
+            "market has {} periods; window {} needs at least {}",
+            market.num_periods(),
+            state.window,
+            state_builder.min_period() + 2
+        );
+        let n = market.num_assets();
+        Self {
+            market,
+            state_builder,
+            costs,
+            portfolio: PortfolioState::new(n + 1),
+            t: state_builder.min_period(),
+            started: false,
+        }
+    }
+
+    /// Resets to the start of the episode and returns the first
+    /// observation.
+    pub fn reset(&mut self) -> Vec<f64> {
+        self.portfolio = PortfolioState::new(self.market.num_assets() + 1);
+        self.t = self.state_builder.min_period();
+        self.started = true;
+        self.observation()
+    }
+
+    /// Current period index.
+    pub fn t(&self) -> usize {
+        self.t
+    }
+
+    /// Current portfolio value.
+    pub fn value(&self) -> f64 {
+        self.portfolio.value()
+    }
+
+    /// Current drifted weights.
+    pub fn weights(&self) -> &[f64] {
+        self.portfolio.weights()
+    }
+
+    /// Total steps an episode contains.
+    pub fn episode_length(&self) -> usize {
+        self.market.num_periods() - 1 - self.state_builder.min_period()
+    }
+
+    /// Whether the episode has ended (no more price moves to apply).
+    pub fn done(&self) -> bool {
+        self.t + 1 >= self.market.num_periods()
+    }
+
+    fn observation(&self) -> Vec<f64> {
+        self.state_builder.build(self.market, self.t, self.portfolio.weights())
+    }
+
+    /// Applies `action` (target weights, cash first), advances one period,
+    /// and returns the outcome.
+    ///
+    /// The action is defensively renormalized onto the simplex, matching
+    /// the backtester's behaviour.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`reset`](Self::reset), after the episode
+    /// ended, or with the wrong action length.
+    pub fn step(&mut self, action: &[f64]) -> StepOutcome {
+        assert!(self.started, "call reset() before step()");
+        assert!(!self.done(), "episode already ended at t = {}", self.t);
+        assert_eq!(
+            action.len(),
+            self.market.num_assets() + 1,
+            "action must have num_assets + 1 entries"
+        );
+        let mut target = action.to_vec();
+        simplex::renormalize(&mut target);
+        let y = self.market.price_relatives_with_cash(self.t + 1);
+        let reward = self.portfolio.step(&target, &y, &self.costs);
+        let shrink_factor = self.portfolio.last_shrink_factor();
+        self.t += 1;
+        let next_state = if self.done() { None } else { Some(self.observation()) };
+        StepOutcome { reward, next_state, portfolio_value: self.portfolio.value(), shrink_factor }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backtest::{BacktestConfig, Backtester, DecisionContext, Policy};
+    use spikefolio_market::experiments::ExperimentPreset;
+    use spikefolio_tensor::uniform_simplex;
+
+    fn market() -> MarketData {
+        ExperimentPreset::experiment1().shrunk(20, 5).generate(13)
+    }
+
+    fn cfg() -> StateConfig {
+        StateConfig { window: 4, include_open: false, include_weights: true }
+    }
+
+    #[test]
+    fn episode_walks_to_the_end() {
+        let m = market();
+        let mut env = PortfolioEnv::new(&m, cfg(), CostModel::default());
+        let mut state = Some(env.reset());
+        let mut steps = 0;
+        let n = m.num_assets() + 1;
+        while state.is_some() {
+            let out = env.step(&uniform_simplex(n));
+            state = out.next_state;
+            steps += 1;
+            assert!(out.portfolio_value > 0.0);
+            assert!((0.0..=1.0).contains(&out.shrink_factor));
+        }
+        assert_eq!(steps, env.episode_length());
+        assert!(env.done());
+    }
+
+    #[test]
+    fn episode_matches_backtester_exactly() {
+        struct Uniform;
+        impl Policy for Uniform {
+            fn rebalance(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
+                uniform_simplex(ctx.num_assets + 1)
+            }
+            fn warmup_periods(&self) -> usize {
+                3 // = min_period of window 4
+            }
+        }
+        let m = market();
+        let costs = CostModel::Proportional { rate: 0.0025 };
+        let bt = Backtester::new(BacktestConfig { costs, risk_free_per_period: 0.0 })
+            .run(&mut Uniform, &m);
+
+        let mut env = PortfolioEnv::new(&m, cfg(), costs);
+        let mut state = Some(env.reset());
+        let mut rewards = Vec::new();
+        while state.is_some() {
+            let out = env.step(&uniform_simplex(m.num_assets() + 1));
+            rewards.push(out.reward);
+            state = out.next_state;
+        }
+        assert_eq!(rewards.len(), bt.log_returns.len());
+        for (a, b) in rewards.iter().zip(&bt.log_returns) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+        assert!((env.value() - bt.fapv()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let m = market();
+        let mut env = PortfolioEnv::new(&m, cfg(), CostModel::Free);
+        let s0 = env.reset();
+        let _ = env.step(&uniform_simplex(m.num_assets() + 1));
+        let _ = env.step(&uniform_simplex(m.num_assets() + 1));
+        let s1 = env.reset();
+        assert_eq!(s0, s1);
+        assert_eq!(env.value(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "reset")]
+    fn step_before_reset_panics() {
+        let m = market();
+        let mut env = PortfolioEnv::new(&m, cfg(), CostModel::Free);
+        let _ = env.step(&uniform_simplex(m.num_assets() + 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "already ended")]
+    fn step_after_done_panics() {
+        let m = market();
+        let mut env = PortfolioEnv::new(&m, cfg(), CostModel::Free);
+        let _ = env.reset();
+        for _ in 0..env.episode_length() {
+            let _ = env.step(&uniform_simplex(m.num_assets() + 1));
+        }
+        let _ = env.step(&uniform_simplex(m.num_assets() + 1));
+    }
+
+    #[test]
+    fn bad_actions_are_renormalized() {
+        let m = market();
+        let mut env = PortfolioEnv::new(&m, cfg(), CostModel::Free);
+        let _ = env.reset();
+        let out = env.step(&vec![-5.0; m.num_assets() + 1]);
+        assert!(out.portfolio_value > 0.0, "renormalization must keep the episode alive");
+    }
+}

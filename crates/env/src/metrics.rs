@@ -1,0 +1,239 @@
+//! Performance metrics of §III.A: fAPV, Sharpe ratio, maximum drawdown —
+//! plus Sortino, Calmar, annualized volatility, and turnover.
+
+use serde::{Deserialize, Serialize};
+use spikefolio_tensor::vector;
+
+/// Metric bundle computed from a backtest's portfolio value curve.
+///
+/// # Example
+///
+/// ```
+/// use spikefolio_env::Metrics;
+///
+/// // Value doubles smoothly over 4 periods.
+/// let values = [1.0, 1.19, 1.41, 1.68, 2.0];
+/// let m = Metrics::from_values(&values, 365.0, 0.0);
+/// assert!((m.fapv - 2.0).abs() < 1e-12);
+/// assert!(m.mdd < 1e-12);
+/// assert!(m.sharpe > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Final accumulated portfolio value `p_f / p_0` (eq. 15).
+    pub fapv: f64,
+    /// Per-period Sharpe ratio (eq. 16): mean excess periodic return over
+    /// its standard deviation. Zero if the return series is constant.
+    pub sharpe: f64,
+    /// Maximum drawdown (eq. 17), in `[0, 1]`.
+    pub mdd: f64,
+    /// Sortino ratio: mean excess return over downside deviation.
+    pub sortino: f64,
+    /// Calmar-style ratio: annualized log return over MDD.
+    pub calmar: f64,
+    /// Annualized volatility of periodic log returns.
+    pub annual_volatility: f64,
+    /// Mean log return per period.
+    pub mean_log_return: f64,
+    /// Number of periods in the curve.
+    pub periods: usize,
+}
+
+impl Metrics {
+    /// Computes the bundle from a portfolio value curve (`values[0]` is the
+    /// starting value). `periods_per_year` annualizes volatility/Calmar;
+    /// `risk_free_per_period` is the per-period risk-free return `p_f` of
+    /// eq. (16) (crypto convention: 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` has fewer than 2 points or contains non-positive
+    /// entries.
+    pub fn from_values(values: &[f64], periods_per_year: f64, risk_free_per_period: f64) -> Self {
+        assert!(values.len() >= 2, "need at least two portfolio values");
+        assert!(
+            values.iter().all(|&v| v > 0.0 && v.is_finite()),
+            "portfolio values must be positive and finite"
+        );
+        let returns: Vec<f64> = values.windows(2).map(|w| w[1] / w[0] - 1.0).collect();
+        let log_returns: Vec<f64> = values.windows(2).map(|w| (w[1] / w[0]).ln()).collect();
+        let excess: Vec<f64> = returns.iter().map(|r| r - risk_free_per_period).collect();
+
+        let mean_excess = vector::mean(&excess);
+        let std_excess = vector::std_dev(&excess);
+        let sharpe = if std_excess > 0.0 { mean_excess / std_excess } else { 0.0 };
+
+        let downside: Vec<f64> = excess.iter().map(|&r| r.min(0.0)).collect();
+        let downside_dev = (downside.iter().map(|d| d * d).sum::<f64>()
+            / downside.len() as f64)
+            .sqrt();
+        let sortino = if downside_dev > 0.0 { mean_excess / downside_dev } else { 0.0 };
+
+        let mdd = max_drawdown(values);
+        let mean_log = vector::mean(&log_returns);
+        let annual_log = mean_log * periods_per_year;
+        let calmar = if mdd > 0.0 { annual_log / mdd } else { 0.0 };
+        let annual_volatility = vector::std_dev(&log_returns) * periods_per_year.sqrt();
+
+        Self {
+            fapv: values[values.len() - 1] / values[0],
+            sharpe,
+            mdd,
+            sortino,
+            calmar,
+            annual_volatility,
+            mean_log_return: mean_log,
+            periods: returns.len(),
+        }
+    }
+}
+
+impl std::fmt::Display for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "fAPV {:.4e}  Sharpe {:+.3}  MDD {:.3}  Sortino {:+.3}  vol(ann) {:.2}",
+            self.fapv, self.sharpe, self.mdd, self.sortino, self.annual_volatility
+        )
+    }
+}
+
+/// Maximum drawdown of a value curve: `max_{τ>t} (p_t − p_τ) / p_t`
+/// (eq. 17), clamped into `[0, 1)` for positive curves.
+///
+/// Returns 0.0 for monotonically non-decreasing curves.
+pub fn max_drawdown(values: &[f64]) -> f64 {
+    let mut peak = f64::NEG_INFINITY;
+    let mut mdd = 0.0_f64;
+    for &v in values {
+        peak = peak.max(v);
+        if peak > 0.0 {
+            mdd = mdd.max((peak - v) / peak);
+        }
+    }
+    mdd
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fapv_is_final_over_initial() {
+        let m = Metrics::from_values(&[2.0, 3.0, 5.0], 365.0, 0.0);
+        assert!((m.fapv - 2.5).abs() < 1e-12);
+        assert_eq!(m.periods, 2);
+    }
+
+    #[test]
+    fn mdd_of_monotone_curve_is_zero() {
+        assert_eq!(max_drawdown(&[1.0, 1.1, 1.2, 1.3]), 0.0);
+    }
+
+    #[test]
+    fn mdd_known_case() {
+        // Peak 2.0, trough 1.0 → 50% drawdown, later recovery irrelevant.
+        let mdd = max_drawdown(&[1.0, 2.0, 1.0, 1.8, 2.5]);
+        assert!((mdd - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mdd_uses_running_peak() {
+        // Second, deeper drawdown from a later peak: 3.0 → 1.2 is 60%.
+        let mdd = max_drawdown(&[1.0, 2.0, 1.5, 3.0, 1.2]);
+        assert!((mdd - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sharpe_sign_follows_drift() {
+        let up: Vec<f64> = (0..50).map(|i| 1.0 * 1.01f64.powi(i)).collect();
+        let down: Vec<f64> = (0..50).map(|i| 1.0 * 0.99f64.powi(i)).collect();
+        // A perfectly steady series has zero variance → sharpe 0; perturb.
+        let mut up_noisy = up.clone();
+        up_noisy[10] *= 0.995;
+        let mut down_noisy = down.clone();
+        down_noisy[10] *= 1.005;
+        assert!(Metrics::from_values(&up_noisy, 365.0, 0.0).sharpe > 0.0);
+        assert!(Metrics::from_values(&down_noisy, 365.0, 0.0).sharpe < 0.0);
+    }
+
+    #[test]
+    fn constant_series_has_zero_ratios() {
+        let m = Metrics::from_values(&[1.0; 10], 365.0, 0.0);
+        assert_eq!(m.sharpe, 0.0);
+        assert_eq!(m.sortino, 0.0);
+        assert_eq!(m.mdd, 0.0);
+        assert_eq!(m.annual_volatility, 0.0);
+        assert_eq!(m.fapv, 1.0);
+    }
+
+    #[test]
+    fn risk_free_rate_lowers_sharpe() {
+        let values: Vec<f64> = (0..30).map(|i| (1.0 + 0.001 * (i % 3) as f64).powi(i)).collect();
+        let m0 = Metrics::from_values(&values, 365.0, 0.0);
+        let m1 = Metrics::from_values(&values, 365.0, 0.01);
+        assert!(m1.sharpe < m0.sharpe);
+    }
+
+    #[test]
+    fn sortino_ignores_upside_volatility() {
+        // Big gains, tiny losses → sortino should dwarf sharpe.
+        let values = [1.0, 1.5, 1.49, 2.2, 2.19, 3.2];
+        let m = Metrics::from_values(&values, 365.0, 0.0);
+        assert!(m.sortino > m.sharpe);
+    }
+
+    #[test]
+    #[should_panic(expected = "two portfolio values")]
+    fn rejects_short_series() {
+        let _ = Metrics::from_values(&[1.0], 365.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_values() {
+        let _ = Metrics::from_values(&[1.0, -0.5], 365.0, 0.0);
+    }
+
+    #[test]
+    fn display_contains_all_headline_metrics() {
+        let m = Metrics::from_values(&[1.0, 1.1, 1.05], 365.0, 0.0);
+        let s = m.to_string();
+        assert!(s.contains("fAPV") && s.contains("Sharpe") && s.contains("MDD"));
+    }
+
+    proptest! {
+        #[test]
+        fn mdd_always_in_unit_interval(
+            values in proptest::collection::vec(0.01f64..100.0, 2..100)
+        ) {
+            let mdd = max_drawdown(&values);
+            prop_assert!((0.0..1.0).contains(&mdd));
+        }
+
+        #[test]
+        fn fapv_positive_for_positive_curves(
+            values in proptest::collection::vec(0.01f64..100.0, 2..50)
+        ) {
+            let m = Metrics::from_values(&values, 365.0, 0.0);
+            prop_assert!(m.fapv > 0.0);
+            prop_assert!(m.fapv.is_finite());
+        }
+
+        #[test]
+        fn scaling_curve_leaves_metrics_invariant(
+            values in proptest::collection::vec(0.5f64..2.0, 5..30),
+            scale in 0.1f64..10.0,
+        ) {
+            // Metrics are ratios; multiplying the whole curve by a constant
+            // must not change them.
+            let m1 = Metrics::from_values(&values, 365.0, 0.0);
+            let scaled: Vec<f64> = values.iter().map(|v| v * scale).collect();
+            let m2 = Metrics::from_values(&scaled, 365.0, 0.0);
+            prop_assert!((m1.fapv - m2.fapv).abs() < 1e-9);
+            prop_assert!((m1.mdd - m2.mdd).abs() < 1e-9);
+            prop_assert!((m1.sharpe - m2.sharpe).abs() < 1e-9);
+        }
+    }
+}

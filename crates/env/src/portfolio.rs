@@ -1,0 +1,158 @@
+//! Portfolio value and weight dynamics.
+
+use crate::costs::CostModel;
+use spikefolio_tensor::vector::dot;
+
+/// Evolving portfolio state: accumulated value `p_t` and current (drifted)
+/// weights.
+///
+/// The update order per period follows Jiang et al. (and eq. (1) of the
+/// paper): at the start of period `t` the agent rebalances from the drifted
+/// weights `w'_{t-1}` to its chosen `w_{t-1}`, paying the shrink factor
+/// `μ_t`; prices then move by the relative vector `y_t`, multiplying value
+/// by `y_t · w_{t-1}` and drifting the weights to
+/// `w'_t = (y_t ⊙ w_{t-1}) / (y_t · w_{t-1})`.
+///
+/// Weight vectors are `N = M + 1` long, cash first; the cash relative is 1.
+///
+/// # Example
+///
+/// ```
+/// use spikefolio_env::{CostModel, PortfolioState};
+///
+/// let mut p = PortfolioState::new(3); // cash + 2 assets
+/// let r = p.step(&[0.0, 1.0, 0.0], &[1.0, 1.1, 0.9], &CostModel::Free);
+/// assert!((p.value() - 1.1).abs() < 1e-12);
+/// assert!((r - 1.1f64.ln()).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortfolioState {
+    value: f64,
+    weights: Vec<f64>,
+    last_mu: f64,
+}
+
+impl PortfolioState {
+    /// A fresh all-cash portfolio of unit value with `n` weight slots
+    /// (cash + `n − 1` assets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "portfolio needs at least the cash slot");
+        let mut weights = vec![0.0; n];
+        weights[0] = 1.0;
+        Self { value: 1.0, weights, last_mu: 1.0 }
+    }
+
+    /// Current accumulated portfolio value `p_t / p_0`.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Current *drifted* weights `w'_t`.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Shrink factor `μ` paid at the most recent rebalance.
+    pub fn last_shrink_factor(&self) -> f64 {
+        self.last_mu
+    }
+
+    /// Executes one period: rebalance to `target` (paying costs under
+    /// `costs`), then apply the price-relative vector `relatives`.
+    ///
+    /// Returns the period's log return `ln(μ_t · (y_t · w_{t-1}))` — the
+    /// summand of eq. (1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector lengths disagree with the portfolio size, or if
+    /// any relative is non-positive.
+    pub fn step(&mut self, target: &[f64], relatives: &[f64], costs: &CostModel) -> f64 {
+        assert_eq!(target.len(), self.weights.len(), "target weight length mismatch");
+        assert_eq!(relatives.len(), self.weights.len(), "relative vector length mismatch");
+        assert!(
+            relatives.iter().all(|&y| y > 0.0 && y.is_finite()),
+            "price relatives must be positive and finite"
+        );
+        let mu = costs.shrink_factor(target, &self.weights);
+        let growth = dot(relatives, target);
+        assert!(growth > 0.0, "portfolio growth factor must stay positive");
+        self.value *= mu * growth;
+        self.last_mu = mu;
+        for (w, (&t, &y)) in self.weights.iter_mut().zip(target.iter().zip(relatives)) {
+            *w = t * y / growth;
+        }
+        (mu * growth).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_all_cash_at_unit_value() {
+        let p = PortfolioState::new(4);
+        assert_eq!(p.value(), 1.0);
+        assert_eq!(p.weights(), &[1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn all_cash_portfolio_is_inert() {
+        let mut p = PortfolioState::new(3);
+        let r = p.step(&[1.0, 0.0, 0.0], &[1.0, 2.0, 0.5], &CostModel::Free);
+        assert_eq!(p.value(), 1.0);
+        assert_eq!(r, 0.0);
+    }
+
+    #[test]
+    fn weights_drift_with_prices() {
+        let mut p = PortfolioState::new(3);
+        p.step(&[0.0, 0.5, 0.5], &[1.0, 2.0, 1.0], &CostModel::Free);
+        // Growth = 1.5; asset 1 drifted to 1.0/1.5, asset 2 to 0.5/1.5.
+        assert!((p.value() - 1.5).abs() < 1e-12);
+        let w = p.weights();
+        assert!((w[1] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((w[2] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn costs_shrink_value() {
+        let mut free = PortfolioState::new(2);
+        let mut paid = PortfolioState::new(2);
+        let y = [1.0, 1.0];
+        free.step(&[0.0, 1.0], &y, &CostModel::Free);
+        paid.step(&[0.0, 1.0], &y, &CostModel::Proportional { rate: 0.01 });
+        assert_eq!(free.value(), 1.0);
+        assert!((paid.value() - 0.99).abs() < 1e-12);
+        assert!((paid.last_shrink_factor() - 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_returns_accumulate_to_value() {
+        let mut p = PortfolioState::new(3);
+        let costs = CostModel::Proportional { rate: 0.0025 };
+        let mut sum_log = 0.0;
+        let steps: [(&[f64], &[f64]); 3] = [
+            (&[0.0, 0.7, 0.3], &[1.0, 1.05, 0.98]),
+            (&[0.0, 0.2, 0.8], &[1.0, 0.94, 1.07]),
+            (&[1.0, 0.0, 0.0], &[1.0, 1.2, 0.8]),
+        ];
+        for (w, y) in steps {
+            sum_log += p.step(w, y, &costs);
+        }
+        assert!((p.value().ln() - sum_log).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_relatives() {
+        let mut p = PortfolioState::new(2);
+        p.step(&[0.5, 0.5], &[1.0, 0.0], &CostModel::Free);
+    }
+}

@@ -1,0 +1,92 @@
+//! The reward of eq. (1): average log portfolio return.
+
+use spikefolio_tensor::vector::dot;
+
+/// Log return of one period: `ln(μ_t · (y_t · w_{t-1}))` — the summand of
+/// eq. (1).
+///
+/// `mu` is the transaction shrink factor, `relatives` the price-relative
+/// vector `y_t` (cash first), `weights` the portfolio vector `w_{t-1}`
+/// chosen at the previous step.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths or the growth factor is
+/// non-positive.
+///
+/// # Example
+///
+/// ```
+/// let r = spikefolio_env::reward::log_return(1.0, &[1.0, 1.1], &[0.0, 1.0]);
+/// assert!((r - 1.1f64.ln()).abs() < 1e-12);
+/// ```
+pub fn log_return(mu: f64, relatives: &[f64], weights: &[f64]) -> f64 {
+    let growth = dot(relatives, weights);
+    assert!(growth > 0.0 && mu > 0.0, "growth and mu must be positive");
+    (mu * growth).ln()
+}
+
+/// Average reward `R = (1/t_f) Σ_t r_t` of eq. (1) over a batch of periods.
+///
+/// Returns 0.0 for an empty batch.
+pub fn average_reward(log_returns: &[f64]) -> f64 {
+    if log_returns.is_empty() {
+        0.0
+    } else {
+        log_returns.iter().sum::<f64>() / log_returns.len() as f64
+    }
+}
+
+/// Gradient of the period log return with respect to the weight vector:
+/// `∂/∂w ln(μ · (y·w)) = y / (y·w)` (treating `μ` as locally constant,
+/// the standard approximation in Jiang-style training).
+///
+/// # Panics
+///
+/// Panics if lengths differ or `y·w ≤ 0`.
+pub fn log_return_grad(relatives: &[f64], weights: &[f64]) -> Vec<f64> {
+    let growth = dot(relatives, weights);
+    assert!(growth > 0.0, "growth must be positive");
+    relatives.iter().map(|&y| y / growth).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reward_of_flat_market_is_zero() {
+        assert_eq!(log_return(1.0, &[1.0, 1.0, 1.0], &[0.2, 0.3, 0.5]), 0.0);
+    }
+
+    #[test]
+    fn costs_reduce_reward() {
+        let free = log_return(1.0, &[1.0, 1.1], &[0.0, 1.0]);
+        let paid = log_return(0.9975, &[1.0, 1.1], &[0.0, 1.0]);
+        assert!(paid < free);
+        assert!((free - paid - (1.0f64 / 0.9975).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_reward_matches_eq1() {
+        let rs = [0.1, -0.05, 0.02];
+        assert!((average_reward(&rs) - 0.07 / 3.0).abs() < 1e-12);
+        assert_eq!(average_reward(&[]), 0.0);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let y = [1.0, 1.08, 0.93, 1.2];
+        let w = [0.1, 0.4, 0.3, 0.2];
+        let g = log_return_grad(&y, &w);
+        let eps = 1e-7;
+        for i in 0..w.len() {
+            let mut wp = w;
+            wp[i] += eps;
+            let mut wm = w;
+            wm[i] -= eps;
+            let num = (log_return(1.0, &y, &wp) - log_return(1.0, &y, &wm)) / (2.0 * eps);
+            assert!((g[i] - num).abs() < 1e-6, "component {i}: {} vs {num}", g[i]);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Tail-risk and trade-quality measures beyond the paper's three headline
+//! metrics.
+
+use serde::{Deserialize, Serialize};
+use spikefolio_tensor::vector;
+
+/// Historical Value-at-Risk at confidence `alpha` (e.g. 0.95): the loss
+/// threshold exceeded in only `1 − alpha` of periods, reported as a
+/// positive number. Returns 0.0 for empty inputs.
+///
+/// # Panics
+///
+/// Panics if `alpha` is outside `(0, 1)`.
+pub fn value_at_risk(returns: &[f64], alpha: f64) -> f64 {
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1)");
+    if returns.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = returns.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let idx = ((1.0 - alpha) * sorted.len() as f64).floor() as usize;
+    let idx = idx.min(sorted.len() - 1);
+    (-sorted[idx]).max(0.0)
+}
+
+/// Conditional Value-at-Risk (expected shortfall): the mean loss over the
+/// worst `1 − alpha` fraction of periods, as a positive number.
+///
+/// # Panics
+///
+/// Panics if `alpha` is outside `(0, 1)`.
+pub fn conditional_value_at_risk(returns: &[f64], alpha: f64) -> f64 {
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1)");
+    if returns.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = returns.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let k = (((1.0 - alpha) * sorted.len() as f64).ceil() as usize).max(1);
+    let tail = &sorted[..k];
+    (-vector::mean(tail)).max(0.0)
+}
+
+/// Fraction of periods with a strictly positive return.
+pub fn win_rate(returns: &[f64]) -> f64 {
+    if returns.is_empty() {
+        return 0.0;
+    }
+    returns.iter().filter(|&&r| r > 0.0).count() as f64 / returns.len() as f64
+}
+
+/// Gross profits over gross losses (∞-free: returns `f64::INFINITY` only
+/// when there are profits and zero losses; 0.0 when there are no profits).
+pub fn profit_factor(returns: &[f64]) -> f64 {
+    let gains: f64 = returns.iter().filter(|&&r| r > 0.0).sum();
+    let losses: f64 = -returns.iter().filter(|&&r| r < 0.0).sum::<f64>();
+    if losses > 0.0 {
+        gains / losses
+    } else if gains > 0.0 {
+        f64::INFINITY
+    } else {
+        0.0
+    }
+}
+
+/// Risk report bundle over a series of periodic returns.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RiskReport {
+    /// 95% historical VaR (per period).
+    pub var_95: f64,
+    /// 95% expected shortfall (per period).
+    pub cvar_95: f64,
+    /// Fraction of winning periods.
+    pub win_rate: f64,
+    /// Gross profit / gross loss.
+    pub profit_factor: f64,
+    /// Worst single-period return.
+    pub worst_period: f64,
+    /// Best single-period return.
+    pub best_period: f64,
+}
+
+/// Computes the bundle from periodic simple returns.
+pub fn risk_report(returns: &[f64]) -> RiskReport {
+    RiskReport {
+        var_95: value_at_risk(returns, 0.95),
+        cvar_95: conditional_value_at_risk(returns, 0.95),
+        win_rate: win_rate(returns),
+        profit_factor: profit_factor(returns),
+        worst_period: vector::min(returns).min(0.0),
+        best_period: vector::max(returns).max(0.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn var_of_known_sample() {
+        // 100 returns: one -10%, rest +1%. At 95%, the 5th percentile of
+        // the distribution is +1% (only 1 bad value) → VaR clamps to 0.
+        let mut r = vec![0.01; 99];
+        r.push(-0.10);
+        assert_eq!(value_at_risk(&r, 0.95), 0.0);
+        // At 99.5% the worst value defines VaR.
+        assert!((value_at_risk(&r, 0.995) - 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cvar_dominates_var() {
+        let returns: Vec<f64> =
+            (0..200).map(|i| ((i * 37) % 41) as f64 / 100.0 - 0.2).collect();
+        let var = value_at_risk(&returns, 0.9);
+        let cvar = conditional_value_at_risk(&returns, 0.9);
+        assert!(cvar >= var, "CVaR {cvar} < VaR {var}");
+    }
+
+    #[test]
+    fn win_rate_and_profit_factor() {
+        let r = [0.1, -0.05, 0.1, -0.05];
+        assert_eq!(win_rate(&r), 0.5);
+        assert!((profit_factor(&r) - 2.0).abs() < 1e-12);
+        assert_eq!(profit_factor(&[0.1, 0.2]), f64::INFINITY);
+        assert_eq!(profit_factor(&[-0.1]), 0.0);
+        assert_eq!(profit_factor(&[]), 0.0);
+        assert_eq!(win_rate(&[]), 0.0);
+    }
+
+    #[test]
+    fn report_bundles_consistently() {
+        let r = [0.02, -0.03, 0.05, -0.01, 0.0];
+        let rep = risk_report(&r);
+        assert_eq!(rep.worst_period, -0.03);
+        assert_eq!(rep.best_period, 0.05);
+        assert!((rep.win_rate - 0.4).abs() < 1e-12);
+        assert!(rep.cvar_95 >= rep.var_95);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn bad_alpha_rejected() {
+        let _ = value_at_risk(&[0.1], 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn var_cvar_nonnegative_and_ordered(
+            returns in proptest::collection::vec(-0.5f64..0.5, 1..200),
+            alpha in 0.5f64..0.99,
+        ) {
+            let var = value_at_risk(&returns, alpha);
+            let cvar = conditional_value_at_risk(&returns, alpha);
+            prop_assert!(var >= 0.0);
+            prop_assert!(cvar + 1e-12 >= var);
+        }
+
+        #[test]
+        fn win_rate_in_unit_interval(
+            returns in proptest::collection::vec(-0.5f64..0.5, 0..100)
+        ) {
+            let w = win_rate(&returns);
+            prop_assert!((0.0..=1.0).contains(&w));
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Multi-chip Loihi board configurations (Kapoho Bay, Nahuku) and the
+//! power-trace probe used to emulate the paper's "energy probe"
+//! measurement methodology.
+
+use crate::chip::{ChipConfig, CoreAllocation, LoihiChip, LoihiNetwork, MapNetworkError};
+use crate::energy::LoihiEnergyModel;
+use crate::quantize::QuantizedNetwork;
+use serde::{Deserialize, Serialize};
+use spikefolio_snn::network::SpikeStats;
+
+/// A board hosting one or more Loihi chips.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Board {
+    /// Marketing name of the form factor.
+    pub name: &'static str,
+    /// Number of Loihi chips on the board.
+    pub chips: usize,
+    /// Per-chip resource budget.
+    pub chip: ChipConfig,
+    /// Idle power of the whole board, watts (replaces the single-chip
+    /// default in energy reports).
+    pub idle_w: f64,
+}
+
+impl Board {
+    /// Kapoho Bay: the 2-chip USB form factor — the device class the
+    /// paper's embedded/IoT motivation targets.
+    pub fn kapoho_bay() -> Self {
+        Self { name: "Kapoho Bay", chips: 2, chip: ChipConfig::default(), idle_w: 1.01 }
+    }
+
+    /// Nahuku-8: 8-chip remote-access board.
+    pub fn nahuku8() -> Self {
+        Self { name: "Nahuku-8", chips: 8, chip: ChipConfig::default(), idle_w: 4.0 }
+    }
+
+    /// Nahuku-32: 32-chip board.
+    pub fn nahuku32() -> Self {
+        Self { name: "Nahuku-32", chips: 32, chip: ChipConfig::default(), idle_w: 16.0 }
+    }
+
+    /// Total neurocores on the board.
+    pub fn total_cores(&self) -> usize {
+        self.chips * self.chip.cores
+    }
+
+    /// Maps a quantized network onto the board.
+    ///
+    /// The network still executes as a single logical core group (the chip
+    /// model is functional, not timing-accurate across chip boundaries);
+    /// the board check verifies the *aggregate* resource budget and
+    /// reports how many chips the allocation spans.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapNetworkError`] if even the aggregate budget is
+    /// exceeded.
+    pub fn map(&self, net: QuantizedNetwork) -> Result<BoardDeployment, MapNetworkError> {
+        // A board-sized virtual chip carries the aggregate budget.
+        let virtual_chip = LoihiChip::new(ChipConfig {
+            cores: self.total_cores(),
+            ..self.chip
+        });
+        let network = virtual_chip.map(net)?;
+        let chips_used = network.allocation().total_cores.div_ceil(self.chip.cores);
+        Ok(BoardDeployment { board: *self, network, chips_used })
+    }
+}
+
+/// A network mapped onto a board.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoardDeployment {
+    /// The board description.
+    pub board: Board,
+    /// The executable mapped network.
+    pub network: LoihiNetwork,
+    /// Chips spanned by the core allocation.
+    pub chips_used: usize,
+}
+
+impl BoardDeployment {
+    /// Core allocation details.
+    pub fn allocation(&self) -> &CoreAllocation {
+        self.network.allocation()
+    }
+}
+
+/// A time series of board power emulating the paper's energy-probe
+/// measurement: one sample per inference, `idle + E_dyn/interval`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerTrace {
+    /// Seconds between successive inferences (the decision period).
+    pub interval_s: f64,
+    /// Instantaneous power samples, watts.
+    pub samples: Vec<f64>,
+    /// Board idle power, watts.
+    pub idle_w: f64,
+}
+
+impl PowerTrace {
+    /// Builds a trace from per-inference event counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval_s <= 0`.
+    pub fn from_stats(
+        model: &LoihiEnergyModel,
+        idle_w: f64,
+        per_inference: &[SpikeStats],
+        interval_s: f64,
+    ) -> Self {
+        assert!(interval_s > 0.0, "interval must be positive");
+        let samples = per_inference
+            .iter()
+            .map(|s| idle_w + model.dynamic_energy(s) / interval_s)
+            .collect();
+        Self { interval_s, samples, idle_w }
+    }
+
+    /// Mean power over the trace (idle if empty).
+    pub fn mean_power(&self) -> f64 {
+        if self.samples.is_empty() {
+            self.idle_w
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Mean *dynamic* power (mean power minus idle).
+    pub fn mean_dynamic_power(&self) -> f64 {
+        self.mean_power() - self.idle_w
+    }
+
+    /// Total energy over the trace, joules.
+    pub fn total_energy(&self) -> f64 {
+        self.samples.iter().sum::<f64>() * self.interval_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantize::quantize_network;
+    use rand::SeedableRng;
+    use spikefolio_snn::network::{SdpNetwork, SdpNetworkConfig};
+
+    fn quantized(cfg: SdpNetworkConfig) -> QuantizedNetwork {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let net = SdpNetwork::new(cfg, &mut rng);
+        quantize_network(&net).0
+    }
+
+    #[test]
+    fn boards_have_increasing_capacity() {
+        assert!(Board::kapoho_bay().total_cores() < Board::nahuku8().total_cores());
+        assert!(Board::nahuku8().total_cores() < Board::nahuku32().total_cores());
+    }
+
+    #[test]
+    fn small_network_uses_one_chip() {
+        let dep = Board::kapoho_bay().map(quantized(SdpNetworkConfig::small(4, 3))).unwrap();
+        assert_eq!(dep.chips_used, 1);
+    }
+
+    #[test]
+    fn paper_network_fits_kapoho_bay() {
+        let dep = Board::kapoho_bay().map(quantized(SdpNetworkConfig::paper(364, 12)));
+        assert!(dep.is_ok(), "{:?}", dep.err());
+        assert!(dep.unwrap().chips_used <= 2);
+    }
+
+    #[test]
+    fn network_overflowing_one_board_fits_a_bigger_one() {
+        // Shrunken budgets exercise the same aggregate-capacity logic as
+        // multi-megasynapse networks without the test cost.
+        let tiny_chip = ChipConfig { cores: 2, compartments_per_core: 8, synapses_per_core: 64 };
+        let small_board = Board { name: "tiny-2", chips: 2, chip: tiny_chip, idle_w: 1.0 };
+        let big_board = Board { name: "tiny-64", chips: 64, chip: tiny_chip, idle_w: 1.0 };
+        let q = quantized(SdpNetworkConfig::small(4, 3));
+        assert!(small_board.map(q.clone()).is_err(), "must exceed 4 tiny cores");
+        let dep = big_board.map(q).expect("fits the aggregate budget");
+        assert!(dep.chips_used > 2, "spans {} chips", dep.chips_used);
+    }
+
+    #[test]
+    fn power_trace_math() {
+        let model = LoihiEnergyModel::davies2018();
+        let stats = SpikeStats {
+            encoder_spikes: 100,
+            neuron_spikes: 50,
+            synops: 10_000,
+            neuron_updates: 600,
+        };
+        let trace = PowerTrace::from_stats(&model, 1.01, &[stats, stats], 0.5);
+        assert_eq!(trace.samples.len(), 2);
+        let e = model.dynamic_energy(&stats);
+        assert!((trace.samples[0] - (1.01 + e / 0.5)).abs() < 1e-15);
+        assert!((trace.mean_dynamic_power() - e / 0.5).abs() < 1e-12);
+        assert!((trace.total_energy() - trace.mean_power() * 2.0 * 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_reports_idle() {
+        let model = LoihiEnergyModel::davies2018();
+        let trace = PowerTrace::from_stats(&model, 1.01, &[], 1.0);
+        assert_eq!(trace.mean_power(), 1.01);
+        assert_eq!(trace.mean_dynamic_power(), 0.0);
+    }
+}

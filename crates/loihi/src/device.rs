@@ -1,0 +1,235 @@
+//! Analytic CPU/GPU device models for the DRL baseline's Table 4 rows.
+//!
+//! The paper runs the DRL\[Jiang\] policy on a Core i7-7500 CPU and a Tesla
+//! K80 GPU and reads power from `powerstat`/`nvidia-smi`. Without the
+//! hardware, we model each device with two fitted quantities:
+//!
+//! * **energy per inference** — an energy-per-FLOP constant
+//!   (`E = e_flop · flops`), calibrated so a paper-scale policy reproduces
+//!   the paper's measured nJ/inference (CPU 2 935.62 nJ, GPU 8 119.44 nJ —
+//!   the rows behind the ≥186× / ≥516× headline ratios). The implied
+//!   per-op energies (~20–60 pJ/FLOP) are physically plausible for
+//!   sustained, batched inference on these parts.
+//! * **single-stream latency** — `t = flops / eff_throughput + dispatch`,
+//!   fitted so the relative speed matches the paper's *text* claims
+//!   (SDP-on-Loihi ≈ 2.0× faster than the CPU and ≈ 1.3× faster than the
+//!   GPU per decision).
+//!
+//! Note the paper's own Table 4 columns are mutually inconsistent
+//! (dyn-power × latency ≠ energy/inference at the reported throughputs);
+//! EXPERIMENTS.md discusses this. We reproduce each column with its own
+//! calibrated model, exactly as the paper reports them, and both models
+//! extrapolate with the FLOP count for other network sizes.
+
+use crate::energy::EnergyReport;
+use serde::{Deserialize, Serialize};
+use spikefolio_ann::Mlp;
+
+/// FLOPs of the paper-scale dense policy (364-128-128-12 MLP) used as the
+/// calibration reference.
+pub const PAPER_FLOPS_REF: u64 = 2 * (364 * 128 + 128 * 128 + 128 * 12) as u64;
+
+/// The paper's measured CPU energy per inference (Table 4, DRL-Exp2 row,
+/// the one behind the ≥186× claim), nanojoules.
+pub const PAPER_CPU_NJ_PER_INF: f64 = 2935.62;
+
+/// The paper's measured GPU energy per inference (Table 4, DRL-Exp2 row,
+/// behind the ≥516× claim), nanojoules.
+pub const PAPER_GPU_NJ_PER_INF: f64 = 8119.44;
+
+/// Which physical device is being modelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// Intel Core i7-7500U-class laptop CPU.
+    Cpu,
+    /// NVIDIA Tesla K80 datacenter GPU.
+    Gpu,
+}
+
+impl std::fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceKind::Cpu => f.write_str("CPU (Core i7-7500)"),
+            DeviceKind::Gpu => f.write_str("GPU (Tesla K80)"),
+        }
+    }
+}
+
+/// Analytic device model. See the [module docs](self).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceModel {
+    /// The device being modelled.
+    pub kind: DeviceKind,
+    /// Idle power, watts (Table 4 column).
+    pub idle_w: f64,
+    /// Dynamic power while running inference, watts (Table 4 column).
+    pub dyn_w: f64,
+    /// Energy per floating-point operation, joules (fitted).
+    pub e_flop: f64,
+    /// Effective single-stream arithmetic throughput, FLOP/s.
+    pub effective_flops: f64,
+    /// Fixed per-inference dispatch overhead, seconds (syscalls, kernel
+    /// launches, PCIe transfers on the GPU).
+    pub dispatch_overhead_s: f64,
+}
+
+impl DeviceModel {
+    /// Core i7-7500 constants, energy-calibrated to
+    /// [`PAPER_CPU_NJ_PER_INF`] at [`PAPER_FLOPS_REF`].
+    pub fn cpu_corei7_7500() -> Self {
+        Self {
+            kind: DeviceKind::Cpu,
+            idle_w: 8.59,
+            dyn_w: 23.41,
+            e_flop: PAPER_CPU_NJ_PER_INF * 1e-9 / PAPER_FLOPS_REF as f64,
+            effective_flops: 0.5e9,
+            dispatch_overhead_s: 80.0e-6,
+        }
+    }
+
+    /// Tesla K80 constants, energy-calibrated to [`PAPER_GPU_NJ_PER_INF`]
+    /// at [`PAPER_FLOPS_REF`].
+    pub fn gpu_tesla_k80() -> Self {
+        Self {
+            kind: DeviceKind::Gpu,
+            idle_w: 102.36,
+            dyn_w: 27.71,
+            e_flop: PAPER_GPU_NJ_PER_INF * 1e-9 / PAPER_FLOPS_REF as f64,
+            effective_flops: 6.0e9,
+            dispatch_overhead_s: 200.0e-6,
+        }
+    }
+
+    /// Recalibrates the energy constant so a policy of `flops_ref` FLOPs
+    /// costs exactly `nj_per_inf` nanojoules — used by the Table 4 driver
+    /// to anchor the rows at the configured network scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flops_ref == 0` or `nj_per_inf <= 0`.
+    pub fn calibrated_to(mut self, nj_per_inf: f64, flops_ref: u64) -> Self {
+        assert!(flops_ref > 0, "flops_ref must be positive");
+        assert!(nj_per_inf > 0.0, "target energy must be positive");
+        self.e_flop = nj_per_inf * 1e-9 / flops_ref as f64;
+        self
+    }
+
+    /// FLOPs of one forward pass of a dense policy network
+    /// (2 per multiply-accumulate, plus activation/softmax costs).
+    pub fn mlp_flops(net: &Mlp) -> u64 {
+        let mut flops = 0_u64;
+        for l in net.layers() {
+            flops += 2 * (l.in_dim() * l.out_dim()) as u64 + l.out_dim() as u64;
+            flops += 4 * l.out_dim() as u64; // activation/softmax-exp cost
+        }
+        flops
+    }
+
+    /// Dynamic energy of one inference costing `flops`, joules.
+    pub fn energy(&self, flops: u64) -> f64 {
+        self.e_flop * flops as f64
+    }
+
+    /// Single-stream latency of one inference, seconds.
+    pub fn latency(&self, flops: u64) -> f64 {
+        flops as f64 / self.effective_flops + self.dispatch_overhead_s
+    }
+
+    /// Builds the Table 4 row for a policy costing `flops` per inference.
+    ///
+    /// As in the paper's published table, the energy column comes from the
+    /// sustained (batched) measurement model while the throughput column
+    /// is single-stream — the two are calibrated independently.
+    pub fn report(&self, label: &str, flops: u64) -> EnergyReport {
+        EnergyReport {
+            label: label.to_owned(),
+            idle_w: self.idle_w,
+            dyn_w: self.dyn_w,
+            inf_per_s: 1.0 / self.latency(flops),
+            nj_per_inf: self.energy(flops) * 1e9,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use spikefolio_ann::Activation;
+
+    fn paper_mlp() -> Mlp {
+        // State ≈ 364 → 128 → 128 → 12: the DRL baseline at paper scale.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        Mlp::new(&[364, 128, 128, 12], Activation::Relu, &mut rng)
+    }
+
+    #[test]
+    fn flop_count_matches_layer_dims() {
+        let net = paper_mlp();
+        let flops = DeviceModel::mlp_flops(&net);
+        assert!(flops >= PAPER_FLOPS_REF);
+        assert!(flops < PAPER_FLOPS_REF + 10_000);
+    }
+
+    #[test]
+    fn paper_scale_energy_matches_calibration() {
+        let cpu = DeviceModel::cpu_corei7_7500().report("cpu", PAPER_FLOPS_REF);
+        let gpu = DeviceModel::gpu_tesla_k80().report("gpu", PAPER_FLOPS_REF);
+        assert!((cpu.nj_per_inf - PAPER_CPU_NJ_PER_INF).abs() < 1e-6);
+        assert!((gpu.nj_per_inf - PAPER_GPU_NJ_PER_INF).abs() < 1e-6);
+    }
+
+    #[test]
+    fn recalibration_hits_any_target() {
+        let dev = DeviceModel::cpu_corei7_7500().calibrated_to(1000.0, 50_000);
+        assert!((dev.energy(50_000) * 1e9 - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_speedup_shape_holds() {
+        // Loihi at T = 5 runs one decision in ~170 µs (10 µs/step + I/O);
+        // the fitted single-stream latencies put the CPU ≈ 2× and the GPU
+        // ≈ 1.3× slower at paper scale — the paper's text claim.
+        let loihi_latency = 5.0 * 10e-6 + 120e-6;
+        let cpu = DeviceModel::cpu_corei7_7500().latency(PAPER_FLOPS_REF);
+        let gpu = DeviceModel::gpu_tesla_k80().latency(PAPER_FLOPS_REF);
+        let cpu_ratio = cpu / loihi_latency;
+        let gpu_ratio = gpu / loihi_latency;
+        assert!((1.7..2.4).contains(&cpu_ratio), "cpu ratio {cpu_ratio}");
+        assert!((1.1..1.6).contains(&gpu_ratio), "gpu ratio {gpu_ratio}");
+    }
+
+    #[test]
+    fn report_columns_populated() {
+        let dev = DeviceModel::gpu_tesla_k80();
+        let r = dev.report("DRL / GPU", 100_000);
+        assert_eq!(r.idle_w, dev.idle_w);
+        assert_eq!(r.dyn_w, dev.dyn_w);
+        assert!(r.inf_per_s > 0.0);
+        assert!(r.nj_per_inf > 0.0);
+    }
+
+    #[test]
+    fn more_flops_cost_more_energy_and_time() {
+        let dev = DeviceModel::gpu_tesla_k80();
+        let small = dev.report("s", 10_000);
+        let large = dev.report("l", 10_000_000);
+        assert!(large.nj_per_inf > small.nj_per_inf);
+        assert!(large.inf_per_s < small.inf_per_s);
+    }
+
+    #[test]
+    fn implied_per_op_energy_is_physically_plausible() {
+        // 10–100 pJ/FLOP is the right ballpark for these devices.
+        for dev in [DeviceModel::cpu_corei7_7500(), DeviceModel::gpu_tesla_k80()] {
+            let pj = dev.e_flop * 1e12;
+            assert!((5.0..200.0).contains(&pj), "{:?}: {pj} pJ/FLOP", dev.kind);
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert!(DeviceKind::Cpu.to_string().contains("i7"));
+        assert!(DeviceKind::Gpu.to_string().contains("K80"));
+    }
+}

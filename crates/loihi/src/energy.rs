@@ -1,0 +1,258 @@
+//! Event-linear energy/latency model for the Loihi chip and the
+//! Table 4 report type.
+//!
+//! Loihi's dynamic energy is linear in event counts (Davies et al. 2018),
+//! so the model is
+//!
+//! ```text
+//! E_dyn/inference = E_synop·synops + E_spike·spikes + E_update·updates + E_io
+//! t/inference     = T · t_step + t_io
+//! ```
+//!
+//! Two constant sets are provided:
+//!
+//! * [`LoihiEnergyModel::davies2018`] — physically-grounded per-event
+//!   energies from the Loihi paper (23.6 pJ/synop, 81 pJ/update,
+//!   1.7 pJ/spike).
+//! * [`LoihiEnergyModel::calibrated`] — constants rescaled so that a
+//!   reference workload reproduces the paper's measured Table 4 value
+//!   (15.8 nJ/inference at `T = 5`). We cannot probe real hardware, so we
+//!   reproduce the paper's measurement *methodology* with its published
+//!   endpoints; the model still extrapolates with event counts, which is
+//!   what the timestep ablation exercises.
+
+use serde::{Deserialize, Serialize};
+use spikefolio_snn::network::SpikeStats;
+
+/// One row of Table 4.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// Algorithm + device label, e.g. `"SDP / Loihi (T=5)"`.
+    pub label: String,
+    /// Idle (static) power in watts.
+    pub idle_w: f64,
+    /// Dynamic power in watts while running inference.
+    pub dyn_w: f64,
+    /// Inference throughput, inferences per second.
+    pub inf_per_s: f64,
+    /// Dynamic energy per inference in nanojoules.
+    pub nj_per_inf: f64,
+}
+
+impl EnergyReport {
+    /// Energy ratio `other / self` on the nJ/inference column — e.g.
+    /// `loihi.energy_advantage(&cpu)` ≈ 186× in the paper.
+    pub fn energy_advantage(&self, other: &EnergyReport) -> f64 {
+        other.nj_per_inf / self.nj_per_inf
+    }
+
+    /// Throughput ratio `self / other` — the paper's "speed-up".
+    pub fn speedup(&self, other: &EnergyReport) -> f64 {
+        self.inf_per_s / other.inf_per_s
+    }
+}
+
+impl std::fmt::Display for EnergyReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<22} idle {:>7.2} W  dyn {:>7.3} W  {:>12.1} inf/s  {:>10.2} nJ/inf",
+            self.label, self.idle_w, self.dyn_w, self.inf_per_s, self.nj_per_inf
+        )
+    }
+}
+
+/// Per-event energy and latency constants of the Loihi model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoihiEnergyModel {
+    /// Energy per synaptic operation, joules.
+    pub e_synop: f64,
+    /// Energy per spike generation, joules.
+    pub e_spike: f64,
+    /// Energy per compartment update, joules.
+    pub e_update: f64,
+    /// Fixed I/O energy per inference (spike injection/readout), joules.
+    pub e_io: f64,
+    /// Wall-clock per algorithmic timestep, seconds.
+    pub t_step: f64,
+    /// Fixed I/O latency per inference, seconds.
+    pub t_io: f64,
+    /// Board idle power, watts.
+    pub idle_w: f64,
+}
+
+impl LoihiEnergyModel {
+    /// Physically-grounded constants from Davies et al., *IEEE Micro* 2018:
+    /// 23.6 pJ/synop, 81 pJ/neuron-update, 1.7 pJ/spike; ~10 µs per
+    /// algorithmic timestep on multi-layer workloads.
+    pub fn davies2018() -> Self {
+        Self {
+            e_synop: 23.6e-12,
+            e_spike: 1.7e-12,
+            e_update: 81.0e-12,
+            e_io: 0.0,
+            t_step: 10.0e-6,
+            t_io: 120.0e-6,
+            idle_w: 1.01,
+        }
+    }
+
+    /// Rescales the Davies-2018 ratios so that `reference` event counts
+    /// cost exactly `target_nj` nanojoules per inference — the calibration
+    /// used to reproduce the paper's measured Table 4 endpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reference workload has zero energy under the physical
+    /// constants (empty event counts).
+    pub fn calibrated(reference: &SpikeStats, target_nj: f64) -> Self {
+        let base = Self::davies2018();
+        let e_ref = base.dynamic_energy(reference);
+        assert!(e_ref > 0.0, "reference workload produced no events");
+        let scale = (target_nj * 1e-9) / e_ref;
+        Self {
+            e_synop: base.e_synop * scale,
+            e_spike: base.e_spike * scale,
+            e_update: base.e_update * scale,
+            e_io: base.e_io * scale,
+            ..base
+        }
+    }
+
+    /// Dynamic energy for one inference's event counts, joules.
+    pub fn dynamic_energy(&self, stats: &SpikeStats) -> f64 {
+        self.e_synop * stats.synops as f64
+            + self.e_spike * stats.total_spikes() as f64
+            + self.e_update * stats.neuron_updates as f64
+            + self.e_io
+    }
+
+    /// Wall-clock latency of one inference with `timesteps` algorithmic
+    /// steps, seconds.
+    pub fn latency(&self, timesteps: usize) -> f64 {
+        timesteps as f64 * self.t_step + self.t_io
+    }
+
+    /// Traffic-aware latency: Loihi's barrier-synchronized timesteps
+    /// stretch when spike traffic is heavy (each router can forward a
+    /// bounded number of spikes per step). The per-step time grows by
+    /// `t_step / 2` for every `spikes_per_step_knee` spikes routed in an
+    /// average step.
+    ///
+    /// With light traffic this reduces to [`latency`](Self::latency).
+    pub fn latency_with_traffic(&self, timesteps: usize, stats: &SpikeStats) -> f64 {
+        const SPIKES_PER_STEP_KNEE: f64 = 2048.0;
+        let steps = timesteps.max(1) as f64;
+        let spikes_per_step = stats.total_spikes() as f64 / steps;
+        let stretch = 1.0 + 0.5 * spikes_per_step / SPIKES_PER_STEP_KNEE;
+        steps * self.t_step * stretch + self.t_io
+    }
+
+    /// Builds the Table 4 row for a per-inference event profile.
+    ///
+    /// `stats` is the (average) event count of one inference and
+    /// `timesteps` its algorithmic length.
+    pub fn report(&self, label: &str, stats: &SpikeStats, timesteps: usize) -> EnergyReport {
+        let e = self.dynamic_energy(stats);
+        let t = self.latency(timesteps);
+        let inf_per_s = 1.0 / t;
+        EnergyReport {
+            label: label.to_owned(),
+            idle_w: self.idle_w,
+            dyn_w: e * inf_per_s,
+            inf_per_s,
+            nj_per_inf: e * 1e9,
+        }
+    }
+}
+
+impl Default for LoihiEnergyModel {
+    fn default() -> Self {
+        Self::davies2018()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> SpikeStats {
+        SpikeStats { encoder_spikes: 400, neuron_spikes: 300, synops: 60_000, neuron_updates: 700 }
+    }
+
+    #[test]
+    fn energy_is_linear_in_events() {
+        let m = LoihiEnergyModel::davies2018();
+        let one = m.dynamic_energy(&stats());
+        let double = SpikeStats {
+            encoder_spikes: 800,
+            neuron_spikes: 600,
+            synops: 120_000,
+            neuron_updates: 1400,
+        };
+        assert!((m.dynamic_energy(&double) - 2.0 * one).abs() < 1e-18);
+    }
+
+    #[test]
+    fn calibration_hits_target_exactly() {
+        let m = LoihiEnergyModel::calibrated(&stats(), 15.81);
+        let e_nj = m.dynamic_energy(&stats()) * 1e9;
+        assert!((e_nj - 15.81).abs() < 1e-9, "calibrated energy {e_nj}");
+    }
+
+    #[test]
+    fn calibration_preserves_event_ratios() {
+        let base = LoihiEnergyModel::davies2018();
+        let cal = LoihiEnergyModel::calibrated(&stats(), 100.0);
+        assert!((cal.e_synop / cal.e_update - base.e_synop / base.e_update).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_grows_with_timesteps() {
+        let m = LoihiEnergyModel::davies2018();
+        assert!(m.latency(10) > m.latency(5));
+        assert!((m.latency(5) - (5.0 * 10e-6 + 120e-6)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traffic_stretches_latency() {
+        let m = LoihiEnergyModel::davies2018();
+        let light = SpikeStats { encoder_spikes: 10, ..Default::default() };
+        let heavy = SpikeStats { encoder_spikes: 100_000, ..Default::default() };
+        let base = m.latency(5);
+        let l_light = m.latency_with_traffic(5, &light);
+        let l_heavy = m.latency_with_traffic(5, &heavy);
+        assert!((l_light - base).abs() / base < 0.01, "light traffic ≈ base latency");
+        assert!(l_heavy > 2.0 * base, "heavy traffic must stretch the timestep");
+    }
+
+    #[test]
+    fn report_columns_are_consistent() {
+        let m = LoihiEnergyModel::davies2018();
+        let r = m.report("SDP / Loihi (T=5)", &stats(), 5);
+        // dyn power = energy per inf × inf/s.
+        assert!((r.dyn_w - r.nj_per_inf * 1e-9 * r.inf_per_s).abs() < 1e-12);
+        assert_eq!(r.idle_w, 1.01);
+        assert!(r.to_string().contains("SDP / Loihi"));
+    }
+
+    #[test]
+    fn advantage_and_speedup_ratios() {
+        let a = EnergyReport {
+            label: "loihi".into(),
+            idle_w: 1.0,
+            dyn_w: 0.01,
+            inf_per_s: 2000.0,
+            nj_per_inf: 20.0,
+        };
+        let b = EnergyReport {
+            label: "cpu".into(),
+            idle_w: 8.0,
+            dyn_w: 24.0,
+            inf_per_s: 1000.0,
+            nj_per_inf: 4000.0,
+        };
+        assert!((a.energy_advantage(&b) - 200.0).abs() < 1e-12);
+        assert!((a.speedup(&b) - 2.0).abs() < 1e-12);
+    }
+}

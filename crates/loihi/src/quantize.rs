@@ -1,0 +1,220 @@
+//! Weight/threshold rescaling to Loihi's integer grid (eq. 14).
+//!
+//! Loihi stores synaptic weights as 8-bit integers. Eq. (14) rescales each
+//! layer independently:
+//!
+//! ```text
+//! r(k)        = w_max_loihi / max |w(k)|
+//! w_loihi(k)  = round(r(k) · w(k))
+//! V_th_loihi  = round(r(k) · V_th)
+//! ```
+//!
+//! Because current, voltage, and threshold all scale by the same `r(k)`,
+//! the spike pattern of the integer network matches the float network up
+//! to rounding error — verified by the round-trip tests and by the
+//! pipeline tests in the core crate.
+
+use spikefolio_snn::network::SdpNetwork;
+use spikefolio_snn::LifParams;
+
+/// Largest weight magnitude representable on Loihi (8-bit signed).
+pub const LOIHI_W_MAX: i32 = 127;
+
+/// One quantized layer: integer weights/bias plus the integer threshold
+/// and the rescale ratio used (eq. 14).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedLayer {
+    /// Integer weights, row-major `out × in`.
+    pub weights: Vec<i32>,
+    /// Output (row) count.
+    pub out_dim: usize,
+    /// Input (column) count.
+    pub in_dim: usize,
+    /// Integer bias (added to current each step), scaled by `ratio`.
+    pub bias: Vec<i32>,
+    /// Integer firing threshold `round(r · V_th)`.
+    pub v_th: i32,
+    /// The rescale ratio `r(k)`.
+    pub ratio: f64,
+}
+
+impl QuantizedLayer {
+    /// Integer weight at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn weight(&self, row: usize, col: usize) -> i32 {
+        assert!(row < self.out_dim && col < self.in_dim, "index out of bounds");
+        self.weights[row * self.in_dim + col]
+    }
+
+    /// Reconstructs the float weight matrix (`w_loihi / r`), for error
+    /// analysis.
+    pub fn dequantized(&self) -> Vec<f64> {
+        self.weights.iter().map(|&w| w as f64 / self.ratio).collect()
+    }
+}
+
+/// A fully quantized SDP network ready for chip mapping: integer LIF
+/// layers plus the float decoder (the decoder runs off-chip on the
+/// embedded x86 cores, as in the PopSAN deployments the paper follows).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedNetwork {
+    /// Quantized LIF layers, input-side first.
+    pub layers: Vec<QuantizedLayer>,
+    /// LIF decay parameters (shared with the float network; decays are
+    /// dimensionless and implemented as 12-bit multipliers on chip).
+    pub lif: LifParams,
+    /// Simulation length `T`.
+    pub timesteps: usize,
+}
+
+/// Summary statistics of a quantization pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizationReport {
+    /// Per-layer rescale ratios `r(k)`.
+    pub ratios: Vec<f64>,
+    /// Per-layer maximum absolute weight error after dequantization.
+    pub max_errors: Vec<f64>,
+    /// Per-layer share of weights that rounded to zero.
+    pub zero_fractions: Vec<f64>,
+}
+
+/// Quantizes every LIF layer of `net` per eq. (14).
+///
+/// # Panics
+///
+/// Panics if a layer is all-zero (no finite rescale ratio exists), or if
+/// the network uses adaptive thresholds (ALIF) — the chip model currently
+/// deploys plain LIF only, matching the paper's Loihi configuration.
+pub fn quantize_network(net: &SdpNetwork) -> (QuantizedNetwork, QuantizationReport) {
+    assert!(
+        net.layers.iter().all(|l| l.adaptation.is_none()),
+        "chip deployment supports plain LIF only; disable ALIF before quantizing"
+    );
+    let mut layers = Vec::with_capacity(net.layers.len());
+    let mut ratios = Vec::new();
+    let mut max_errors = Vec::new();
+    let mut zero_fractions = Vec::new();
+    for layer in &net.layers {
+        let w_max = layer
+            .weights
+            .max_abs()
+            .max(layer.bias.iter().fold(0.0_f64, |m, &b| m.max(b.abs())));
+        assert!(w_max > 0.0, "cannot quantize an all-zero layer");
+        let ratio = LOIHI_W_MAX as f64 / w_max;
+        let weights: Vec<i32> =
+            layer.weights.as_slice().iter().map(|&w| (ratio * w).round() as i32).collect();
+        let bias: Vec<i32> = layer.bias.iter().map(|&b| (ratio * b).round() as i32).collect();
+        let v_th = (ratio * layer.params.v_th).round().max(1.0) as i32;
+
+        let max_err = layer
+            .weights
+            .as_slice()
+            .iter()
+            .zip(&weights)
+            .map(|(&wf, &wi)| (wf - wi as f64 / ratio).abs())
+            .fold(0.0_f64, f64::max);
+        let zeros = weights.iter().filter(|&&w| w == 0).count() as f64 / weights.len() as f64;
+
+        ratios.push(ratio);
+        max_errors.push(max_err);
+        zero_fractions.push(zeros);
+        layers.push(QuantizedLayer {
+            weights,
+            out_dim: layer.out_dim(),
+            in_dim: layer.in_dim(),
+            bias,
+            v_th,
+            ratio,
+        });
+    }
+    (
+        QuantizedNetwork { layers, lif: net.config().lif, timesteps: net.config().timesteps },
+        QuantizationReport { ratios, max_errors, zero_fractions },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use spikefolio_snn::network::SdpNetworkConfig;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(42)
+    }
+
+    fn net() -> SdpNetwork {
+        SdpNetwork::new(SdpNetworkConfig::small(4, 3), &mut rng())
+    }
+
+    #[test]
+    fn quantized_weights_fit_in_8_bits() {
+        let (q, _) = quantize_network(&net());
+        for layer in &q.layers {
+            assert!(layer.weights.iter().all(|&w| (-LOIHI_W_MAX..=LOIHI_W_MAX).contains(&w)));
+        }
+    }
+
+    #[test]
+    fn max_weight_maps_to_full_scale() {
+        let (q, _) = quantize_network(&net());
+        // At least one weight (or bias) per layer reaches ±127.
+        for layer in &q.layers {
+            let max = layer
+                .weights
+                .iter()
+                .chain(&layer.bias)
+                .map(|w| w.abs())
+                .max()
+                .unwrap();
+            assert_eq!(max, LOIHI_W_MAX, "full scale must be used");
+        }
+    }
+
+    #[test]
+    fn dequantization_error_bounded_by_half_step() {
+        let (q, report) = quantize_network(&net());
+        for (layer, &err) in q.layers.iter().zip(&report.max_errors) {
+            // Max error after round() is half a quantization step.
+            assert!(err <= 0.5 / layer.ratio + 1e-12, "error {err} ratio {}", layer.ratio);
+        }
+    }
+
+    #[test]
+    fn threshold_scales_with_ratio() {
+        let (q, report) = quantize_network(&net());
+        for (layer, &r) in q.layers.iter().zip(&report.ratios) {
+            let expect = (r * 0.5).round() as i32; // paper V_th = 0.5
+            assert_eq!(layer.v_th, expect.max(1));
+        }
+    }
+
+    #[test]
+    fn report_shapes_match_network() {
+        let n = net();
+        let (q, report) = quantize_network(&n);
+        assert_eq!(q.layers.len(), n.depth());
+        assert_eq!(report.ratios.len(), n.depth());
+        assert_eq!(report.max_errors.len(), n.depth());
+        assert!(report.zero_fractions.iter().all(|&z| (0.0..=1.0).contains(&z)));
+    }
+
+    #[test]
+    fn weight_accessor_and_dequantized_agree() {
+        let (q, _) = quantize_network(&net());
+        let layer = &q.layers[0];
+        let deq = layer.dequantized();
+        assert_eq!(deq.len(), layer.out_dim * layer.in_dim);
+        assert_eq!(layer.weight(0, 0) as f64 / layer.ratio, deq[0]);
+    }
+
+    #[test]
+    fn timesteps_carried_over() {
+        let (q, _) = quantize_network(&net());
+        assert_eq!(q.timesteps, 5);
+        assert_eq!(q.lif, LifParams::paper());
+    }
+}

@@ -1,0 +1,152 @@
+//! OHLCV price candles.
+
+use serde::{Deserialize, Serialize};
+
+/// One OHLCV candle for a single asset over a single trading period.
+///
+/// Invariants (enforced by [`Candle::new`]):
+/// `low ≤ min(open, close)`, `high ≥ max(open, close)`, all prices positive,
+/// `volume ≥ 0`.
+///
+/// # Example
+///
+/// ```
+/// use spikefolio_market::Candle;
+///
+/// let c = Candle::new(100.0, 110.0, 95.0, 105.0, 1_000.0);
+/// assert!(c.is_bullish());
+/// assert!((c.range() - 15.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Candle {
+    /// Opening price of the period.
+    pub open: f64,
+    /// Highest traded price of the period.
+    pub high: f64,
+    /// Lowest traded price of the period.
+    pub low: f64,
+    /// Closing price of the period.
+    pub close: f64,
+    /// Traded volume (base-currency units).
+    pub volume: f64,
+}
+
+impl Candle {
+    /// Creates a candle, validating the OHLC invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any price is non-positive or non-finite, if
+    /// `low > min(open, close)`, if `high < max(open, close)`, or if
+    /// `volume` is negative.
+    pub fn new(open: f64, high: f64, low: f64, close: f64, volume: f64) -> Self {
+        assert!(
+            open > 0.0 && high > 0.0 && low > 0.0 && close > 0.0,
+            "candle prices must be positive: O={open} H={high} L={low} C={close}"
+        );
+        assert!(
+            open.is_finite() && high.is_finite() && low.is_finite() && close.is_finite(),
+            "candle prices must be finite"
+        );
+        assert!(low <= open.min(close), "low {low} above body (O={open}, C={close})");
+        assert!(high >= open.max(close), "high {high} below body (O={open}, C={close})");
+        assert!(volume >= 0.0 && volume.is_finite(), "volume must be non-negative");
+        Self { open, high, low, close, volume }
+    }
+
+    /// A flat candle at price `p` with zero volume (used for cash-like
+    /// assets and padding).
+    pub fn flat(p: f64) -> Self {
+        Self::new(p, p, p, p, 0.0)
+    }
+
+    /// Close ≥ open.
+    pub fn is_bullish(&self) -> bool {
+        self.close >= self.open
+    }
+
+    /// High minus low.
+    pub fn range(&self) -> f64 {
+        self.high - self.low
+    }
+
+    /// Simple return of the period: `close / open - 1`.
+    pub fn period_return(&self) -> f64 {
+        self.close / self.open - 1.0
+    }
+
+    /// Typical price `(high + low + close) / 3`.
+    pub fn typical_price(&self) -> f64 {
+        (self.high + self.low + self.close) / 3.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn valid_candle_constructs() {
+        let c = Candle::new(10.0, 12.0, 9.0, 11.0, 5.0);
+        assert_eq!(c.range(), 3.0);
+        assert!(c.is_bullish());
+        assert!((c.period_return() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flat_candle_is_degenerate_but_valid() {
+        let c = Candle::flat(42.0);
+        assert_eq!(c.range(), 0.0);
+        assert_eq!(c.period_return(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "low")]
+    fn rejects_low_above_body() {
+        let _ = Candle::new(10.0, 12.0, 10.5, 11.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "high")]
+    fn rejects_high_below_body() {
+        let _ = Candle::new(10.0, 10.5, 9.0, 11.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_price() {
+        let _ = Candle::new(0.0, 1.0, 0.5, 1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "volume")]
+    fn rejects_negative_volume() {
+        let _ = Candle::new(10.0, 12.0, 9.0, 11.0, -1.0);
+    }
+
+    #[test]
+    fn typical_price_is_between_low_and_high() {
+        let c = Candle::new(10.0, 14.0, 8.0, 9.0, 1.0);
+        assert!(c.typical_price() >= c.low && c.typical_price() <= c.high);
+    }
+
+    proptest! {
+        #[test]
+        fn constructed_candles_keep_invariants(
+            open in 0.01f64..1e6,
+            up in 0.0f64..2.0,
+            down in 0.0f64..0.99,
+            close_frac in 0.0f64..1.0,
+            volume in 0.0f64..1e9,
+        ) {
+            let high = open * (1.0 + up);
+            let low = open * (1.0 - down);
+            let close = low + close_frac * (high - low);
+            let c = Candle::new(open, high, low.max(1e-9), close.max(1e-9), volume);
+            prop_assert!(c.low <= c.open.min(c.close) + 1e-12);
+            prop_assert!(c.high >= c.open.max(c.close) - 1e-12);
+            prop_assert!(c.typical_price() > 0.0);
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! The three Table 1 experiment presets and the 2016–2021 crypto era
+//! calendar they draw from.
+
+use crate::generator::{AssetSpec, GarchParams, GeneratorConfig, MarketGenerator};
+use crate::data::MarketData;
+use crate::regime::Regime;
+use crate::time::Date;
+
+/// Era calendar mimicking the 2016–2021 cryptocurrency cycles.
+///
+/// | era | regime |
+/// |---|---|
+/// | 2016-08 → 2017-03 | mild bull (early accumulation) |
+/// | 2017-03 → 2018-01 | strong bull (the 2017 mania) |
+/// | 2018-01 → 2019-01 | bear (the 2018 unwind) |
+/// | 2019-01 → 2019-08 | mild bull (2019 recovery) |
+/// | 2019-08 → 2020-03 | sideways |
+/// | 2020-03 → 2020-04 | crash (COVID liquidity event) |
+/// | 2020-04 → 2021-01 | mild bull (recovery + early run) |
+/// | 2021-01 → 2021-05 | strong bull (2021 mania) |
+/// | 2021-05 → 2021-06 | crash (May 2021 correction) |
+/// | 2021-06 → …      | sideways |
+pub fn crypto_era_calendar() -> Vec<(Date, Regime)> {
+    vec![
+        (Date::new(2016, 8, 1), Regime::MildBull),
+        (Date::new(2017, 3, 1), Regime::StrongBull),
+        (Date::new(2018, 1, 7), Regime::Bear),
+        (Date::new(2019, 1, 1), Regime::MildBull),
+        (Date::new(2019, 8, 1), Regime::Sideways),
+        (Date::new(2020, 3, 8), Regime::Crash),
+        (Date::new(2020, 4, 1), Regime::MildBull),
+        (Date::new(2021, 1, 1), Regime::StrongBull),
+        (Date::new(2021, 5, 10), Regime::Crash),
+        (Date::new(2021, 6, 1), Regime::Sideways),
+    ]
+}
+
+/// One row of the paper's Table 1: a named experiment with its total time
+/// range and backtest split, plus generation parameters.
+///
+/// # Example
+///
+/// ```
+/// use spikefolio_market::experiments::ExperimentPreset;
+///
+/// let e2 = ExperimentPreset::experiment2();
+/// assert_eq!(e2.name, "Experiment 2");
+/// assert_eq!(e2.train_start.to_string(), "2017/08/01");
+/// assert_eq!(e2.backtest_start.to_string(), "2020/04/14");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentPreset {
+    /// Display name ("Experiment 1" …).
+    pub name: &'static str,
+    /// First day of the training range.
+    pub train_start: Date,
+    /// First day of the backtest range (end of training).
+    pub backtest_start: Date,
+    /// One-past-last day of the backtest range.
+    pub end: Date,
+    /// Candles per day of the synthetic grid.
+    pub periods_per_day: u32,
+    /// Intra-candle sub-steps.
+    pub substeps: u32,
+}
+
+impl ExperimentPreset {
+    /// Table 1, experiment 1: train 2016/08/01–2019/04/14, backtest
+    /// 2019/04/14–2019/08/01.
+    pub fn experiment1() -> Self {
+        Self {
+            name: "Experiment 1",
+            train_start: Date::new(2016, 8, 1),
+            backtest_start: Date::new(2019, 4, 14),
+            end: Date::new(2019, 8, 1),
+            periods_per_day: 4,
+            substeps: 6,
+        }
+    }
+
+    /// Table 1, experiment 2: train 2017/08/01–2020/04/14, backtest
+    /// 2020/04/14–2020/08/01.
+    pub fn experiment2() -> Self {
+        Self {
+            name: "Experiment 2",
+            train_start: Date::new(2017, 8, 1),
+            backtest_start: Date::new(2020, 4, 14),
+            end: Date::new(2020, 8, 1),
+            periods_per_day: 4,
+            substeps: 6,
+        }
+    }
+
+    /// Table 1, experiment 3: train 2018/08/01–2021/04/14, backtest
+    /// 2021/04/14–2021/08/01.
+    pub fn experiment3() -> Self {
+        Self {
+            name: "Experiment 3",
+            train_start: Date::new(2018, 8, 1),
+            backtest_start: Date::new(2021, 4, 14),
+            end: Date::new(2021, 8, 1),
+            periods_per_day: 4,
+            substeps: 6,
+        }
+    }
+
+    /// All three presets in order.
+    pub fn all() -> [ExperimentPreset; 3] {
+        [Self::experiment1(), Self::experiment2(), Self::experiment3()]
+    }
+
+    /// A shrunken variant for fast tests: same regime structure, but only
+    /// `train_days + test_days` days at 2 candles/day starting at
+    /// `train_start`.
+    pub fn shrunk(mut self, train_days: i64, test_days: i64) -> Self {
+        self.backtest_start = self.train_start + train_days;
+        self.end = self.backtest_start + test_days;
+        self.periods_per_day = 2;
+        self.substeps = 4;
+        self
+    }
+
+    /// The generator configuration for this preset (11 assets, crypto era
+    /// calendar).
+    pub fn generator_config(&self) -> GeneratorConfig {
+        GeneratorConfig {
+            assets: AssetSpec::top11(),
+            start: self.train_start,
+            end: self.end,
+            periods_per_day: self.periods_per_day,
+            substeps: self.substeps,
+            calendar: crypto_era_calendar(),
+            garch: Some(GarchParams::typical()),
+        }
+    }
+
+    /// Generates the full market (train + backtest) for this preset.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the preset was manually mutated into an invalid
+    /// configuration; the built-in presets always validate.
+    pub fn generate(&self, seed: u64) -> MarketData {
+        MarketGenerator::new(self.generator_config())
+            .expect("preset configs are valid")
+            .generate(seed)
+    }
+
+    /// Generates and splits into `(train, backtest)` at
+    /// [`backtest_start`](Self::backtest_start).
+    pub fn generate_split(&self, seed: u64) -> (MarketData, MarketData) {
+        self.generate(seed).split_at_date(self.backtest_start)
+    }
+
+    /// Fraction of periods assigned to training (the paper uses 80%).
+    pub fn train_fraction(&self) -> f64 {
+        let total = self.train_start.days_until(self.end) as f64;
+        self.train_start.days_until(self.backtest_start) as f64 / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_table1_dates() {
+        let e1 = ExperimentPreset::experiment1();
+        assert_eq!(e1.train_start.to_string(), "2016/08/01");
+        assert_eq!(e1.backtest_start.to_string(), "2019/04/14");
+        assert_eq!(e1.end.to_string(), "2019/08/01");
+        let e3 = ExperimentPreset::experiment3();
+        assert_eq!(e3.train_start.to_string(), "2018/08/01");
+        assert_eq!(e3.end.to_string(), "2021/08/01");
+    }
+
+    #[test]
+    fn split_is_roughly_80_20() {
+        for preset in ExperimentPreset::all() {
+            let f = preset.train_fraction();
+            assert!((0.85..0.93).contains(&f) || (0.78..0.93).contains(&f), "fraction {f}");
+        }
+    }
+
+    #[test]
+    fn generated_split_respects_dates() {
+        let preset = ExperimentPreset::experiment1().shrunk(40, 10);
+        let (train, test) = preset.generate_split(5);
+        assert_eq!(train.num_periods(), 40 * 2);
+        assert_eq!(test.num_periods(), 10 * 2);
+        assert_eq!(test.start_date(), preset.backtest_start);
+    }
+
+    #[test]
+    fn era_calendar_is_sorted() {
+        let cal = crypto_era_calendar();
+        assert!(cal.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn experiment2_backtest_is_post_covid_recovery() {
+        let cfg = ExperimentPreset::experiment2().generator_config();
+        assert_eq!(cfg.regime_at(Date::new(2020, 3, 15)), Regime::Crash);
+        assert_eq!(cfg.regime_at(Date::new(2020, 5, 1)), Regime::MildBull);
+    }
+
+    #[test]
+    fn experiment3_backtest_contains_may_crash() {
+        let cfg = ExperimentPreset::experiment3().generator_config();
+        assert_eq!(cfg.regime_at(Date::new(2021, 5, 15)), Regime::Crash);
+        assert_eq!(cfg.regime_at(Date::new(2021, 7, 1)), Regime::Sideways);
+    }
+
+    #[test]
+    fn full_generation_smoke() {
+        // Shrunk but spanning a regime change.
+        let preset = ExperimentPreset::experiment1().shrunk(200, 40);
+        let data = preset.generate(1);
+        assert_eq!(data.num_assets(), 11);
+        assert_eq!(data.num_periods(), 240 * 2);
+        // Prices stay positive and finite throughout.
+        for t in 0..data.num_periods() {
+            for a in 0..11 {
+                let c = data.candle(t, a);
+                assert!(c.close > 0.0 && c.close.is_finite());
+            }
+        }
+    }
+}

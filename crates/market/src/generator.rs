@@ -1,0 +1,483 @@
+//! Regime-switching synthetic market generator.
+//!
+//! Each asset's per-substep log return is
+//!
+//! ```text
+//! r_i = β_i · r_market + α_i·dt + σ_i·√dt · t_ν  (+ idiosyncratic jump)
+//! r_market = μ(regime)·dt + σ(regime)·√dt · z   (+ market jump)
+//! ```
+//!
+//! with Student-t idiosyncratic shocks (fat tails) and Poisson-arriving
+//! jumps whose intensity and sign depend on the regime. OHLC candles are
+//! formed from the intra-period sub-step price path, so the candle
+//! invariants hold by construction.
+
+use crate::candle::Candle;
+use crate::data::MarketData;
+use crate::regime::{Regime, RegimeParams};
+use crate::time::Date;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal, StudentT};
+use serde::{Deserialize, Serialize};
+
+const TRADING_DAYS_PER_YEAR: f64 = 365.0; // crypto trades 24/7
+
+/// Static description of one synthetic asset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AssetSpec {
+    /// Ticker-style display name.
+    pub name: String,
+    /// Loading on the common market factor (BTC-like ≈ 1.0, alts > 1).
+    pub beta: f64,
+    /// Annualized idiosyncratic volatility.
+    pub idio_vol: f64,
+    /// Annualized idiosyncratic drift on top of the factor exposure.
+    pub alpha: f64,
+    /// Price at the first period's open.
+    pub initial_price: f64,
+    /// Degrees of freedom of the Student-t idiosyncratic shock
+    /// (smaller = fatter tails). Must be > 2.
+    pub tail_df: f64,
+    /// Mean per-period traded volume.
+    pub base_volume: f64,
+}
+
+impl AssetSpec {
+    /// A reasonable generic altcoin spec with the given name and beta.
+    pub fn altcoin(name: &str, beta: f64, initial_price: f64) -> Self {
+        Self {
+            name: name.to_owned(),
+            beta,
+            idio_vol: 0.6 + 0.25 * (beta - 1.0).max(0.0),
+            alpha: 0.0,
+            initial_price,
+            tail_df: 4.0,
+            base_volume: 1.0e6 / initial_price.max(1e-6),
+        }
+    }
+
+    /// The 11 highest-volume Poloniex assets of the paper's era
+    /// (BTC-quoted alt markets plus BTC itself), with crypto-typical betas.
+    pub fn top11() -> Vec<AssetSpec> {
+        vec![
+            AssetSpec::altcoin("BTC", 1.0, 650.0),
+            AssetSpec::altcoin("ETH", 1.15, 11.0),
+            AssetSpec::altcoin("XRP", 1.35, 0.006),
+            AssetSpec::altcoin("LTC", 1.1, 4.0),
+            AssetSpec::altcoin("BCH", 1.3, 300.0),
+            AssetSpec::altcoin("EOS", 1.45, 1.0),
+            AssetSpec::altcoin("XLM", 1.4, 0.002),
+            AssetSpec::altcoin("ADA", 1.4, 0.02),
+            AssetSpec::altcoin("TRX", 1.5, 0.002),
+            AssetSpec::altcoin("DASH", 1.2, 9.0),
+            AssetSpec::altcoin("XMR", 1.15, 2.0),
+        ]
+    }
+}
+
+/// Configuration of a market generation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// Assets to simulate.
+    pub assets: Vec<AssetSpec>,
+    /// First simulated calendar day.
+    pub start: Date,
+    /// One-past-last simulated calendar day.
+    pub end: Date,
+    /// Candles per calendar day (Poloniex-style 30-min data would be 48;
+    /// the experiment presets default to a coarser grid for tractability).
+    pub periods_per_day: u32,
+    /// Intra-candle sub-steps used to synthesize OHLC extremes.
+    pub substeps: u32,
+    /// Era calendar: `(from_date, regime)` entries sorted by date. The
+    /// regime applies from its date until the next entry (or `end`).
+    /// Dates before the first entry use the first entry's regime.
+    pub calendar: Vec<(Date, Regime)>,
+    /// Optional GARCH(1,1)-style volatility clustering on top of the
+    /// regime vols. `None` leaves clustering to the regime switching
+    /// alone.
+    pub garch: Option<GarchParams>,
+}
+
+/// GARCH(1,1) multiplier on the per-substep volatility:
+/// `h_t = ω + α·ε²_{t−1} + β·h_{t−1}` with `ε` the previous *standardized*
+/// market shock. The realized per-substep volatility is
+/// `σ_regime · √h_t`, so `h` fluctuates around 1 when `ω = 1 − α − β`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GarchParams {
+    /// Shock loading `α` (ARCH term).
+    pub alpha: f64,
+    /// Persistence `β` (GARCH term).
+    pub beta: f64,
+}
+
+impl GarchParams {
+    /// Crypto-typical persistence: `α = 0.10`, `β = 0.85`.
+    pub fn typical() -> Self {
+        Self { alpha: 0.10, beta: 0.85 }
+    }
+
+    /// Validates stationarity (`α + β < 1`, both non-negative).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the process would be non-stationary.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.alpha < 0.0 || self.beta < 0.0 {
+            return Err("garch parameters must be non-negative".into());
+        }
+        if self.alpha + self.beta >= 1.0 {
+            return Err(format!(
+                "garch must be stationary: alpha + beta = {} >= 1",
+                self.alpha + self.beta
+            ));
+        }
+        Ok(())
+    }
+
+    /// The `ω` keeping the long-run variance multiplier at 1.
+    pub fn omega(&self) -> f64 {
+        1.0 - self.alpha - self.beta
+    }
+}
+
+impl GeneratorConfig {
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint: empty asset
+    /// list, non-positive time span, zero periods/substeps, unsorted
+    /// calendar, or invalid asset parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.assets.is_empty() {
+            return Err("no assets configured".into());
+        }
+        if self.start >= self.end {
+            return Err(format!("start {} must precede end {}", self.start, self.end));
+        }
+        if self.periods_per_day == 0 {
+            return Err("periods_per_day must be positive".into());
+        }
+        if self.substeps == 0 {
+            return Err("substeps must be positive".into());
+        }
+        if self.calendar.is_empty() {
+            return Err("era calendar is empty".into());
+        }
+        if self.calendar.windows(2).any(|w| w[0].0 >= w[1].0) {
+            return Err("era calendar dates must be strictly increasing".into());
+        }
+        if let Some(g) = &self.garch {
+            g.validate()?;
+        }
+        for a in &self.assets {
+            if a.initial_price <= 0.0 {
+                return Err(format!("asset {} has non-positive initial price", a.name));
+            }
+            if a.tail_df <= 2.0 {
+                return Err(format!("asset {} tail_df must exceed 2", a.name));
+            }
+            if a.idio_vol < 0.0 || a.base_volume < 0.0 {
+                return Err(format!("asset {} has negative vol/volume", a.name));
+            }
+        }
+        Ok(())
+    }
+
+    /// Total number of candles the run will produce per asset.
+    pub fn num_periods(&self) -> usize {
+        (self.start.days_until(self.end).max(0) as usize) * self.periods_per_day as usize
+    }
+
+    /// The regime in force on `date`.
+    pub fn regime_at(&self, date: Date) -> Regime {
+        let mut current = self.calendar[0].1;
+        for &(from, regime) in &self.calendar {
+            if date >= from {
+                current = regime;
+            } else {
+                break;
+            }
+        }
+        current
+    }
+}
+
+/// Seeded market generator. See the [module docs](self) for the model.
+#[derive(Debug, Clone)]
+pub struct MarketGenerator {
+    config: GeneratorConfig,
+}
+
+impl MarketGenerator {
+    /// Creates a generator after validating `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation error string of
+    /// [`GeneratorConfig::validate`].
+    pub fn new(config: GeneratorConfig) -> Result<Self, String> {
+        config.validate()?;
+        Ok(Self { config })
+    }
+
+    /// Borrow the configuration.
+    pub fn config(&self) -> &GeneratorConfig {
+        &self.config
+    }
+
+    /// Generates the full market deterministically from `seed`.
+    pub fn generate(&self, seed: u64) -> MarketData {
+        let cfg = &self.config;
+        let n_assets = cfg.assets.len();
+        let n_periods = cfg.num_periods();
+        let dt_period = 1.0 / (TRADING_DAYS_PER_YEAR * cfg.periods_per_day as f64);
+        let dt_sub = dt_period / cfg.substeps as f64;
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let normal = Normal::new(0.0, 1.0).expect("unit normal is valid");
+        let tails: Vec<StudentT<f64>> = cfg
+            .assets
+            .iter()
+            .map(|a| StudentT::new(a.tail_df).expect("validated tail_df > 2"))
+            .collect();
+        // Scale Student-t draws to unit variance: Var[t_ν] = ν/(ν-2).
+        let tail_scale: Vec<f64> =
+            cfg.assets.iter().map(|a| ((a.tail_df - 2.0) / a.tail_df).sqrt()).collect();
+
+        let mut prices: Vec<f64> = cfg.assets.iter().map(|a| a.initial_price).collect();
+        let mut candles: Vec<Candle> = Vec::with_capacity(n_periods * n_assets);
+        let mut garch_h = 1.0_f64; // conditional variance multiplier
+
+        for period in 0..n_periods {
+            let date = cfg.start + (period / cfg.periods_per_day as usize) as i64;
+            let params: RegimeParams = cfg.regime_at(date).params();
+            let mut opens = prices.clone();
+            let mut highs = prices.clone();
+            let mut lows = prices.clone();
+            let mut path_turnover = vec![0.0_f64; n_assets];
+
+            for _ in 0..cfg.substeps {
+                // Common factor increment, with optional GARCH clustering.
+                let z: f64 = normal.sample(&mut rng);
+                let vol_mult = garch_h.sqrt();
+                let mut r_m = params.drift(dt_sub) + params.vol(dt_sub) * vol_mult * z;
+                if let Some(g) = cfg.garch {
+                    garch_h = g.omega() + g.alpha * z * z * garch_h + g.beta * garch_h;
+                }
+                // Market-wide jump.
+                if rng.gen::<f64>() < params.jump_rate(dt_sub) {
+                    let j: f64 = normal.sample(&mut rng);
+                    r_m += params.jump_mean + params.jump_vol * j;
+                }
+                for (i, spec) in cfg.assets.iter().enumerate() {
+                    let t_shock: f64 = tails[i].sample(&mut rng) * tail_scale[i];
+                    let mut r = spec.beta * r_m
+                        + spec.alpha * dt_sub
+                        + spec.idio_vol * dt_sub.sqrt() * t_shock;
+                    // Rare idiosyncratic jump (exchange outages, forks...).
+                    if rng.gen::<f64>() < 2.0 * dt_sub {
+                        let j: f64 = normal.sample(&mut rng);
+                        r += -0.02 + 0.05 * j;
+                    }
+                    // Clamp a single sub-step to ±50% to keep prices sane.
+                    r = r.clamp(-0.5, 0.5);
+                    let p = (prices[i] * r.exp()).max(1e-12);
+                    path_turnover[i] += (p - prices[i]).abs();
+                    prices[i] = p;
+                    highs[i] = highs[i].max(p);
+                    lows[i] = lows[i].min(p);
+                }
+            }
+
+            for i in 0..n_assets {
+                let open = opens[i];
+                let close = prices[i];
+                let high = highs[i].max(open).max(close);
+                let low = lows[i].min(open).min(close);
+                // Volume rises with realized intra-period movement.
+                let activity = path_turnover[i] / open.max(1e-12);
+                let noise: f64 = (0.35 * normal.sample(&mut rng)).exp();
+                let volume = cfg.assets[i].base_volume * (1.0 + 8.0 * activity) * noise;
+                candles.push(Candle::new(open, high, low, close, volume));
+                opens[i] = close;
+            }
+        }
+
+        MarketData::new(
+            cfg.assets.iter().map(|a| a.name.clone()).collect(),
+            cfg.start,
+            cfg.periods_per_day,
+            n_assets,
+            candles,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> GeneratorConfig {
+        GeneratorConfig {
+            assets: AssetSpec::top11(),
+            start: Date::new(2020, 1, 1),
+            end: Date::new(2020, 3, 1),
+            periods_per_day: 4,
+            substeps: 6,
+            calendar: vec![(Date::new(2020, 1, 1), Regime::MildBull)],
+            garch: None,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let g = MarketGenerator::new(small_config()).unwrap();
+        let a = g.generate(7);
+        let b = g.generate(7);
+        assert_eq!(a.num_periods(), b.num_periods());
+        for t in 0..a.num_periods() {
+            for i in 0..a.num_assets() {
+                assert_eq!(a.candle(t, i), b.candle(t, i));
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let g = MarketGenerator::new(small_config()).unwrap();
+        let a = g.generate(1);
+        let b = g.generate(2);
+        assert_ne!(a.candle(10, 0).close, b.candle(10, 0).close);
+    }
+
+    #[test]
+    fn period_count_matches_config() {
+        let cfg = small_config();
+        let expected = 60 * 4; // 60 days, 4 candles/day
+        assert_eq!(cfg.num_periods(), expected);
+        let data = MarketGenerator::new(cfg).unwrap().generate(0);
+        assert_eq!(data.num_periods(), expected);
+    }
+
+    #[test]
+    fn candles_chain_open_to_previous_close() {
+        let g = MarketGenerator::new(small_config()).unwrap();
+        let d = g.generate(3);
+        for t in 1..d.num_periods() {
+            for i in 0..d.num_assets() {
+                assert_eq!(d.candle(t, i).open, d.candle(t - 1, i).close);
+            }
+        }
+    }
+
+    #[test]
+    fn bull_regime_tends_upward() {
+        let mut cfg = small_config();
+        cfg.calendar = vec![(cfg.start, Regime::StrongBull)];
+        cfg.end = Date::new(2020, 12, 1);
+        let d = MarketGenerator::new(cfg).unwrap().generate(11);
+        let last = d.num_periods() - 1;
+        // With a strong-bull common factor, most assets should appreciate.
+        let ups = (0..d.num_assets())
+            .filter(|&i| d.candle(last, i).close > d.candle(0, i).open)
+            .count();
+        assert!(ups >= 8, "only {ups}/11 assets rose in a strong bull market");
+    }
+
+    #[test]
+    fn crash_regime_tends_downward() {
+        let mut cfg = small_config();
+        cfg.calendar = vec![(cfg.start, Regime::Crash)];
+        let d = MarketGenerator::new(cfg).unwrap().generate(11);
+        let last = d.num_periods() - 1;
+        let downs = (0..d.num_assets())
+            .filter(|&i| d.candle(last, i).close < d.candle(0, i).open)
+            .count();
+        assert!(downs >= 8, "only {downs}/11 assets fell in a crash market");
+    }
+
+    #[test]
+    fn regime_calendar_lookup() {
+        let mut cfg = small_config();
+        cfg.calendar = vec![
+            (Date::new(2020, 1, 1), Regime::MildBull),
+            (Date::new(2020, 2, 1), Regime::Crash),
+        ];
+        assert_eq!(cfg.regime_at(Date::new(2019, 12, 1)), Regime::MildBull);
+        assert_eq!(cfg.regime_at(Date::new(2020, 1, 15)), Regime::MildBull);
+        assert_eq!(cfg.regime_at(Date::new(2020, 2, 1)), Regime::Crash);
+        assert_eq!(cfg.regime_at(Date::new(2020, 6, 1)), Regime::Crash);
+    }
+
+    #[test]
+    fn validation_catches_errors() {
+        let mut cfg = small_config();
+        cfg.assets.clear();
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = small_config();
+        cfg.end = cfg.start;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = small_config();
+        cfg.substeps = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = small_config();
+        cfg.calendar =
+            vec![(Date::new(2020, 2, 1), Regime::Bear), (Date::new(2020, 1, 1), Regime::Crash)];
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = small_config();
+        cfg.assets[0].tail_df = 1.5;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn garch_increases_volatility_clustering() {
+        use crate::stats::abs_return_autocorrelation;
+        let mut plain = small_config();
+        plain.end = Date::new(2020, 12, 1);
+        plain.calendar = vec![(plain.start, Regime::Sideways)]; // isolate GARCH
+        let mut clustered = plain.clone();
+        clustered.garch = Some(GarchParams { alpha: 0.25, beta: 0.7 });
+
+        let mean_ac = |cfg: GeneratorConfig| -> f64 {
+            let d = MarketGenerator::new(cfg).unwrap().generate(8);
+            (0..d.num_assets())
+                .map(|a| abs_return_autocorrelation(&d, a, 1))
+                .sum::<f64>()
+                / d.num_assets() as f64
+        };
+        let ac_plain = mean_ac(plain);
+        let ac_garch = mean_ac(clustered);
+        assert!(
+            ac_garch > ac_plain + 0.01,
+            "GARCH should raise |return| autocorrelation: {ac_plain} vs {ac_garch}"
+        );
+    }
+
+    #[test]
+    fn garch_validation() {
+        assert!(GarchParams::typical().validate().is_ok());
+        assert!(GarchParams { alpha: 0.5, beta: 0.6 }.validate().is_err());
+        assert!(GarchParams { alpha: -0.1, beta: 0.5 }.validate().is_err());
+        assert!((GarchParams::typical().omega() - 0.05).abs() < 1e-12);
+        let mut cfg = small_config();
+        cfg.garch = Some(GarchParams { alpha: 0.9, beta: 0.2 });
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn top11_has_eleven_distinct_names() {
+        let specs = AssetSpec::top11();
+        assert_eq!(specs.len(), 11);
+        let mut names: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 11);
+    }
+}

@@ -1,0 +1,233 @@
+//! CSV import/export of market datasets.
+//!
+//! The synthetic generator stands in for the paper's Poloniex feed, but a
+//! user with real OHLCV data can load it through this module and run every
+//! experiment on it unchanged. The format is long-form CSV:
+//!
+//! ```csv
+//! period,asset,open,high,low,close,volume
+//! 0,BTC,650.0,655.2,648.8,654.0,1250.5
+//! 0,ETH,11.2,11.4,11.1,11.3,80421.0
+//! 1,BTC,654.0,659.0,652.5,658.1,1300.2
+//! ...
+//! ```
+//!
+//! Rows must be grouped by period (ascending) and cover every asset in
+//! every period, in a consistent asset order.
+
+use crate::candle::Candle;
+use crate::data::MarketData;
+use crate::time::Date;
+
+/// Error parsing a market CSV.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseMarketError {
+    line: usize,
+    msg: String,
+}
+
+impl ParseMarketError {
+    fn new(line: usize, msg: impl Into<String>) -> Self {
+        Self { line, msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for ParseMarketError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid market csv at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseMarketError {}
+
+/// Serializes a dataset to long-form CSV (see the [module docs](self)).
+pub fn to_csv(data: &MarketData) -> String {
+    let mut s = String::from("period,asset,open,high,low,close,volume\n");
+    for t in 0..data.num_periods() {
+        for (a, name) in data.asset_names().iter().enumerate() {
+            let c = data.candle(t, a);
+            s.push_str(&format!(
+                "{t},{name},{},{},{},{},{}\n",
+                c.open, c.high, c.low, c.close, c.volume
+            ));
+        }
+    }
+    s
+}
+
+/// Parses a long-form CSV into a dataset anchored at `start` with
+/// `periods_per_day` candles per day.
+///
+/// # Errors
+///
+/// Returns [`ParseMarketError`] on syntax errors, inconsistent asset sets,
+/// out-of-order periods, or candle-invariant violations.
+pub fn from_csv(
+    text: &str,
+    start: Date,
+    periods_per_day: u32,
+) -> Result<MarketData, ParseMarketError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) =
+        lines.next().ok_or_else(|| ParseMarketError::new(1, "empty file"))?;
+    if header.trim() != "period,asset,open,high,low,close,volume" {
+        return Err(ParseMarketError::new(1, format!("unexpected header {header:?}")));
+    }
+
+    let mut asset_names: Vec<String> = Vec::new();
+    let mut candles: Vec<Candle> = Vec::new();
+    let mut current_period: Option<usize> = None;
+    let mut period_fill = 0usize;
+    let mut first_period_done = false;
+
+    for (idx, line) in lines {
+        let lineno = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 7 {
+            return Err(ParseMarketError::new(lineno, "expected 7 fields"));
+        }
+        let period: usize = fields[0]
+            .trim()
+            .parse()
+            .map_err(|_| ParseMarketError::new(lineno, "bad period"))?;
+        let asset = fields[1].trim().to_owned();
+        let nums: Result<Vec<f64>, _> =
+            fields[2..7].iter().map(|f| f.trim().parse::<f64>()).collect();
+        let nums = nums.map_err(|_| ParseMarketError::new(lineno, "bad number"))?;
+
+        match current_period {
+            None => {
+                if period != 0 {
+                    return Err(ParseMarketError::new(lineno, "periods must start at 0"));
+                }
+                current_period = Some(0);
+            }
+            Some(p) if period == p => {}
+            Some(p) if period == p + 1 => {
+                // Close out the finished period. (While the first period is
+                // being read, `asset_names` grows with `period_fill`, so the
+                // check holds trivially there.)
+                if period_fill != asset_names.len() {
+                    return Err(ParseMarketError::new(
+                        lineno,
+                        format!("period {p} has {period_fill} rows, expected {}", asset_names.len()),
+                    ));
+                }
+                first_period_done = true;
+                current_period = Some(period);
+                period_fill = 0;
+            }
+            Some(p) => {
+                return Err(ParseMarketError::new(
+                    lineno,
+                    format!("period jumped from {p} to {period}"),
+                ));
+            }
+        }
+
+        if !first_period_done {
+            if asset_names.contains(&asset) {
+                return Err(ParseMarketError::new(lineno, format!("duplicate asset {asset}")));
+            }
+            asset_names.push(asset);
+        } else {
+            let expect = asset_names
+                .get(period_fill)
+                .ok_or_else(|| ParseMarketError::new(lineno, "too many rows in period"))?;
+            if *expect != asset {
+                return Err(ParseMarketError::new(
+                    lineno,
+                    format!("expected asset {expect} at this position, found {asset}"),
+                ));
+            }
+        }
+        period_fill += 1;
+
+        let (open, high, low, close, volume) = (nums[0], nums[1], nums[2], nums[3], nums[4]);
+        if !(open > 0.0 && high > 0.0 && low > 0.0 && close > 0.0) {
+            return Err(ParseMarketError::new(lineno, "prices must be positive"));
+        }
+        if low > open.min(close) || high < open.max(close) || volume < 0.0 {
+            return Err(ParseMarketError::new(lineno, "candle invariants violated"));
+        }
+        candles.push(Candle::new(open, high, low, close, volume));
+    }
+
+    if asset_names.is_empty() {
+        return Err(ParseMarketError::new(2, "no data rows"));
+    }
+    if period_fill != asset_names.len() {
+        return Err(ParseMarketError::new(
+            0,
+            format!("last period has {period_fill} rows, expected {}", asset_names.len()),
+        ));
+    }
+    let n = asset_names.len();
+    Ok(MarketData::new(asset_names, start, periods_per_day, n, candles))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::ExperimentPreset;
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let d = ExperimentPreset::experiment1().shrunk(5, 2).generate(3);
+        let csv = to_csv(&d);
+        let back = from_csv(&csv, d.start_date(), d.periods_per_day()).unwrap();
+        assert_eq!(back.num_assets(), d.num_assets());
+        assert_eq!(back.num_periods(), d.num_periods());
+        assert_eq!(back.asset_names(), d.asset_names());
+        for t in 0..d.num_periods() {
+            for a in 0..d.num_assets() {
+                assert_eq!(back.candle(t, a), d.candle(t, a), "mismatch at ({t},{a})");
+            }
+        }
+    }
+
+    #[test]
+    fn hand_written_csv_parses() {
+        let csv = "period,asset,open,high,low,close,volume\n\
+                   0,BTC,100,105,99,104,10\n\
+                   0,ETH,10,10.5,9.9,10.4,100\n\
+                   1,BTC,104,106,103,105,12\n\
+                   1,ETH,10.4,10.6,10.3,10.5,90\n";
+        let d = from_csv(csv, Date::new(2020, 1, 1), 1).unwrap();
+        assert_eq!(d.num_assets(), 2);
+        assert_eq!(d.num_periods(), 2);
+        assert_eq!(d.close(1, 0), 105.0);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let hdr = "period,asset,open,high,low,close,volume\n";
+        // Wrong header.
+        assert!(from_csv("a,b,c\n", Date::new(2020, 1, 1), 1).is_err());
+        // Period gap.
+        let gap = format!("{hdr}0,X,1,1,1,1,0\n2,X,1,1,1,1,0\n");
+        assert!(from_csv(&gap, Date::new(2020, 1, 1), 1).is_err());
+        // Wrong asset order in later periods.
+        let order = format!("{hdr}0,A,1,1,1,1,0\n0,B,1,1,1,1,0\n1,B,1,1,1,1,0\n1,A,1,1,1,1,0\n");
+        assert!(from_csv(&order, Date::new(2020, 1, 1), 1).is_err());
+        // Candle invariant violation (high < close).
+        let bad = format!("{hdr}0,A,1,0.5,0.4,1,0\n");
+        assert!(from_csv(&bad, Date::new(2020, 1, 1), 1).is_err());
+        // Incomplete last period.
+        let trunc = format!("{hdr}0,A,1,1,1,1,0\n0,B,1,1,1,1,0\n1,A,1,1,1,1,0\n");
+        assert!(from_csv(&trunc, Date::new(2020, 1, 1), 1).is_err());
+        // Duplicate asset in first period.
+        let dup = format!("{hdr}0,A,1,1,1,1,0\n0,A,1,1,1,1,0\n");
+        assert!(from_csv(&dup, Date::new(2020, 1, 1), 1).is_err());
+    }
+
+    #[test]
+    fn error_messages_carry_line_numbers() {
+        let csv = "period,asset,open,high,low,close,volume\n0,X,zzz,1,1,1,0\n";
+        let err = from_csv(csv, Date::new(2020, 1, 1), 1).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+}

@@ -1,0 +1,170 @@
+//! Market regimes and their stochastic parameters.
+//!
+//! Crypto markets over 2016–2021 alternated between sharply distinct
+//! regimes. We model each as a parameter set for the return process
+//! (annualized drift/volatility of the common market factor, jump intensity
+//! and size). The [era calendar](crate::experiments) maps calendar dates
+//! onto regimes so that the three Table 1 experiments see qualitatively
+//! different training and backtest climates.
+
+use serde::{Deserialize, Serialize};
+
+/// Qualitative market regime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Regime {
+    /// Slow, steady appreciation (early 2016, 2019 recovery).
+    MildBull,
+    /// Mania-style exponential run-up (2017, early 2021).
+    StrongBull,
+    /// Prolonged drawdown (2018).
+    Bear,
+    /// Low-drift chop (2019H2, early 2020).
+    Sideways,
+    /// Acute liquidity crash (March 2020, May 2021).
+    Crash,
+}
+
+impl Regime {
+    /// All regimes, for exhaustive sweeps in tests and benches.
+    pub const ALL: [Regime; 5] =
+        [Regime::MildBull, Regime::StrongBull, Regime::Bear, Regime::Sideways, Regime::Crash];
+
+    /// Default parameter set for the regime.
+    ///
+    /// Drifts/volatilities are annualized log-return terms for the *common
+    /// market factor*; individual assets lever them by their beta and add
+    /// idiosyncratic noise. Magnitudes are chosen to be crypto-like: ~80–120%
+    /// annualized vol, manias that multiply prices several-fold in months,
+    /// crashes that halve them in weeks.
+    pub fn params(self) -> RegimeParams {
+        match self {
+            Regime::MildBull => RegimeParams {
+                regime: self,
+                annual_drift: 0.9,
+                annual_vol: 0.75,
+                jump_intensity_per_year: 4.0,
+                jump_mean: -0.03,
+                jump_vol: 0.05,
+            },
+            Regime::StrongBull => RegimeParams {
+                regime: self,
+                annual_drift: 2.8,
+                annual_vol: 1.05,
+                jump_intensity_per_year: 8.0,
+                jump_mean: 0.01,
+                jump_vol: 0.08,
+            },
+            Regime::Bear => RegimeParams {
+                regime: self,
+                annual_drift: -1.1,
+                annual_vol: 0.95,
+                jump_intensity_per_year: 10.0,
+                jump_mean: -0.05,
+                jump_vol: 0.07,
+            },
+            Regime::Sideways => RegimeParams {
+                regime: self,
+                annual_drift: 0.05,
+                annual_vol: 0.6,
+                jump_intensity_per_year: 5.0,
+                jump_mean: -0.01,
+                jump_vol: 0.04,
+            },
+            Regime::Crash => RegimeParams {
+                regime: self,
+                annual_drift: -8.0,
+                annual_vol: 2.2,
+                jump_intensity_per_year: 60.0,
+                jump_mean: -0.08,
+                jump_vol: 0.10,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for Regime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Regime::MildBull => "mild-bull",
+            Regime::StrongBull => "strong-bull",
+            Regime::Bear => "bear",
+            Regime::Sideways => "sideways",
+            Regime::Crash => "crash",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Stochastic parameters of one regime (all rates annualized).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RegimeParams {
+    /// The regime these parameters describe.
+    pub regime: Regime,
+    /// Annualized drift of the common factor's log return.
+    pub annual_drift: f64,
+    /// Annualized volatility of the common factor's log return.
+    pub annual_vol: f64,
+    /// Expected number of jump events per year.
+    pub jump_intensity_per_year: f64,
+    /// Mean log-jump size.
+    pub jump_mean: f64,
+    /// Standard deviation of the log-jump size.
+    pub jump_vol: f64,
+}
+
+impl RegimeParams {
+    /// Per-period drift for a period of `dt_years` years.
+    pub fn drift(&self, dt_years: f64) -> f64 {
+        self.annual_drift * dt_years
+    }
+
+    /// Per-period volatility for a period of `dt_years` years.
+    pub fn vol(&self, dt_years: f64) -> f64 {
+        self.annual_vol * dt_years.sqrt()
+    }
+
+    /// Expected jumps in a period of `dt_years` years.
+    pub fn jump_rate(&self, dt_years: f64) -> f64 {
+        self.jump_intensity_per_year * dt_years
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bull_regimes_have_positive_drift() {
+        assert!(Regime::MildBull.params().annual_drift > 0.0);
+        assert!(Regime::StrongBull.params().annual_drift > Regime::MildBull.params().annual_drift);
+    }
+
+    #[test]
+    fn bear_and_crash_have_negative_drift() {
+        assert!(Regime::Bear.params().annual_drift < 0.0);
+        assert!(Regime::Crash.params().annual_drift < Regime::Bear.params().annual_drift);
+    }
+
+    #[test]
+    fn crash_is_most_volatile() {
+        let crash_vol = Regime::Crash.params().annual_vol;
+        for r in Regime::ALL {
+            assert!(r.params().annual_vol <= crash_vol);
+        }
+    }
+
+    #[test]
+    fn per_period_scaling_follows_sqrt_time() {
+        let p = Regime::Sideways.params();
+        let dt = 1.0 / 365.0;
+        assert!((p.vol(4.0 * dt) - 2.0 * p.vol(dt)).abs() < 1e-12);
+        assert!((p.drift(2.0 * dt) - 2.0 * p.drift(dt)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_nonempty_for_all() {
+        for r in Regime::ALL {
+            assert!(!r.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Universe selection: the paper trades "the 11 cryptocurrencies with the
+//! highest trading volume in the last 30 days before the test data".
+
+use crate::data::MarketData;
+
+/// Indices of the `k` assets with the highest total volume over the
+/// `trailing` periods ending at `at` (inclusive), in descending volume
+/// order.
+///
+/// # Panics
+///
+/// Panics if `k == 0`, `k > num_assets`, or `at >= num_periods`.
+pub fn top_by_volume(data: &MarketData, at: usize, trailing: usize, k: usize) -> Vec<usize> {
+    assert!(k > 0 && k <= data.num_assets(), "k = {k} out of range");
+    assert!(at < data.num_periods(), "period {at} out of range");
+    let mut scored: Vec<(usize, f64)> = (0..data.num_assets())
+        .map(|a| (a, data.trailing_volume(at, a, trailing)))
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    scored.truncate(k);
+    scored.into_iter().map(|(a, _)| a).collect()
+}
+
+/// Returns a copy of `data` restricted to the given asset indices (in the
+/// given order).
+///
+/// # Panics
+///
+/// Panics if `assets` is empty or contains an out-of-range or duplicate
+/// index.
+pub fn select_assets(data: &MarketData, assets: &[usize]) -> MarketData {
+    assert!(!assets.is_empty(), "empty asset selection");
+    let mut seen = vec![false; data.num_assets()];
+    for &a in assets {
+        assert!(a < data.num_assets(), "asset index {a} out of range");
+        assert!(!seen[a], "duplicate asset index {a}");
+        seen[a] = true;
+    }
+    let names: Vec<String> =
+        assets.iter().map(|&a| data.asset_names()[a].clone()).collect();
+    let mut candles = Vec::with_capacity(data.num_periods() * assets.len());
+    for t in 0..data.num_periods() {
+        let row = data.cross_section(t);
+        for &a in assets {
+            candles.push(row[a]);
+        }
+    }
+    MarketData::new(names, data.start_date(), data.periods_per_day(), assets.len(), candles)
+}
+
+/// The paper's selection rule in one call: restrict `data` to the `k`
+/// highest-volume assets measured over the `trailing` periods ending just
+/// before `split_period` (the start of the backtest).
+///
+/// # Panics
+///
+/// Panics if `split_period == 0` or out of range, or `k` is invalid.
+pub fn paper_universe(
+    data: &MarketData,
+    split_period: usize,
+    trailing: usize,
+    k: usize,
+) -> MarketData {
+    assert!(
+        split_period > 0 && split_period <= data.num_periods(),
+        "split period {split_period} out of range"
+    );
+    let top = top_by_volume(data, split_period - 1, trailing, k);
+    select_assets(data, &top)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candle::Candle;
+    use crate::time::Date;
+
+    /// 3 assets × 4 periods; volumes: A low, B high, C medium.
+    fn toy() -> MarketData {
+        let mut candles = Vec::new();
+        for _ in 0..4 {
+            candles.push(Candle::new(1.0, 1.0, 1.0, 1.0, 1.0)); // A
+            candles.push(Candle::new(2.0, 2.0, 2.0, 2.0, 100.0)); // B
+            candles.push(Candle::new(3.0, 3.0, 3.0, 3.0, 10.0)); // C
+        }
+        MarketData::new(
+            vec!["A".into(), "B".into(), "C".into()],
+            Date::new(2020, 1, 1),
+            1,
+            3,
+            candles,
+        )
+    }
+
+    #[test]
+    fn top_by_volume_orders_descending() {
+        let d = toy();
+        assert_eq!(top_by_volume(&d, 3, 4, 3), vec![1, 2, 0]);
+        assert_eq!(top_by_volume(&d, 3, 4, 2), vec![1, 2]);
+        assert_eq!(top_by_volume(&d, 3, 4, 1), vec![1]);
+    }
+
+    #[test]
+    fn select_assets_reorders_and_restricts() {
+        let d = toy();
+        let s = select_assets(&d, &[2, 0]);
+        assert_eq!(s.num_assets(), 2);
+        assert_eq!(s.asset_names(), &["C".to_string(), "A".to_string()]);
+        assert_eq!(s.close(1, 0), 3.0);
+        assert_eq!(s.close(1, 1), 1.0);
+        assert_eq!(s.num_periods(), d.num_periods());
+    }
+
+    #[test]
+    fn paper_universe_composes_both() {
+        let d = toy();
+        let u = paper_universe(&d, 2, 2, 2);
+        assert_eq!(u.asset_names(), &["B".to_string(), "C".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicates_rejected() {
+        let d = toy();
+        let _ = select_assets(&d, &[1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_k_rejected() {
+        let d = toy();
+        let _ = top_by_volume(&d, 3, 4, 5);
+    }
+
+    #[test]
+    fn works_on_generated_markets() {
+        use crate::experiments::ExperimentPreset;
+        let d = ExperimentPreset::experiment1().shrunk(40, 10).generate(3);
+        let split = d.period_at_date(ExperimentPreset::experiment1().shrunk(40, 10).backtest_start);
+        let u = paper_universe(&d, split, 30 * d.periods_per_day() as usize, 5);
+        assert_eq!(u.num_assets(), 5);
+        assert_eq!(u.num_periods(), d.num_periods());
+        // Selected names are a subset of the originals.
+        for n in u.asset_names() {
+            assert!(d.asset_names().contains(n));
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Dual-state LIF neuron parameters and the spike nonlinearity.
+
+use crate::surrogate::Surrogate;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the dual-state (current + voltage) LIF neuron of
+/// eqs. (5)–(7).
+///
+/// The dynamics per timestep `t` for a layer `k` (Algorithm 1):
+///
+/// ```text
+/// c(t) = d_c · c(t−1) + W·o_in(t) + b          (synaptic current, eq. 5)
+/// v(t) = d_v · v(t−1) · (1 − o(t−1)) + c(t)    (membrane voltage, eq. 6)
+/// o(t) = 1 if v(t) > V_th else 0               (spike, eq. 7)
+/// ```
+///
+/// The `(1 − o(t−1))` factor implements the reset-to-zero of eq. (7) in a
+/// form that STBP can differentiate through.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LifParams {
+    /// Spike threshold `V_th`.
+    pub v_th: f64,
+    /// Current decay factor `d_c ∈ [0, 1)`.
+    pub d_c: f64,
+    /// Voltage decay factor `d_v ∈ [0, 1)`.
+    pub d_v: f64,
+}
+
+impl LifParams {
+    /// The paper's Table 2 values: `V_th = 0.5`, `d_c = 0.5`, `d_v = 0.8`.
+    pub fn paper() -> Self {
+        Self { v_th: 0.5, d_c: 0.5, d_v: 0.8 }
+    }
+
+    /// Validates parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the threshold is non-positive or a decay factor
+    /// is outside `[0, 1)`.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.v_th <= 0.0 || !self.v_th.is_finite() {
+            return Err(format!("v_th must be positive, got {}", self.v_th));
+        }
+        for (name, d) in [("d_c", self.d_c), ("d_v", self.d_v)] {
+            if !(0.0..1.0).contains(&d) {
+                return Err(format!("{name} must be in [0, 1), got {d}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for LifParams {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Threshold-adaptation parameters for **ALIF** (adaptive LIF) neurons.
+///
+/// Each spike raises a per-neuron adaptation trace `b`, which in turn
+/// raises the effective threshold — a homeostatic mechanism that spreads
+/// activity across the population and reduces bursting:
+///
+/// ```text
+/// b(t)  = ρ · b(t−1) + (1 − ρ) · o(t−1)
+/// th(t) = V_th + β · b(t)
+/// ```
+///
+/// ALIF is the richer-neuron direction the paper's future-work section
+/// points at (and the LSNN/PopSAN literature uses); `spikefolio` supports
+/// it end-to-end in training (STBP differentiates through the adaptation
+/// recurrence), while the Loihi chip model restricts deployment to plain
+/// LIF.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveParams {
+    /// Threshold increment per unit of adaptation trace (`β ≥ 0`).
+    pub beta: f64,
+    /// Adaptation decay (`ρ ∈ [0, 1)`): larger = longer memory.
+    pub rho: f64,
+}
+
+impl AdaptiveParams {
+    /// A moderate default: `β = 0.2`, `ρ = 0.9`.
+    pub fn new() -> Self {
+        Self { beta: 0.2, rho: 0.9 }
+    }
+
+    /// Validates parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if `beta < 0` or `rho` is outside `[0, 1)`.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.beta < 0.0 || !self.beta.is_finite() {
+            return Err(format!("beta must be non-negative, got {}", self.beta));
+        }
+        if !(0.0..1.0).contains(&self.rho) {
+            return Err(format!("rho must be in [0, 1), got {}", self.rho));
+        }
+        Ok(())
+    }
+}
+
+impl Default for AdaptiveParams {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The spike nonlinearity used in the forward pass.
+///
+/// [`SpikeFn::Hard`] is the paper's threshold (eq. 7) with a surrogate
+/// gradient for STBP. [`SpikeFn::Soft`] replaces the threshold with a
+/// sigmoid of matching location: the forward pass becomes fully
+/// differentiable and the analytic gradient *exactly* equals the backward
+/// pass — which is how the STBP recurrences are validated against finite
+/// differences in the test suite.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SpikeFn {
+    /// Heaviside threshold with surrogate gradient (production mode).
+    Hard {
+        /// Surrogate used during the backward pass.
+        surrogate: Surrogate,
+    },
+    /// Differentiable sigmoid relaxation (gradient-check mode).
+    Soft {
+        /// Sigmoid temperature: smaller = closer to the hard threshold.
+        temperature: f64,
+    },
+}
+
+impl SpikeFn {
+    /// Spike output for membrane voltage `v` and threshold `v_th`.
+    #[inline]
+    pub fn spike(&self, v: f64, v_th: f64) -> f64 {
+        match *self {
+            SpikeFn::Hard { .. } => {
+                if v > v_th {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            SpikeFn::Soft { temperature } => 1.0 / (1.0 + (-(v - v_th) / temperature).exp()),
+        }
+    }
+
+    /// Gradient `∂o/∂v` used in the backward pass.
+    #[inline]
+    pub fn grad(&self, v: f64, v_th: f64) -> f64 {
+        match *self {
+            SpikeFn::Hard { surrogate } => surrogate.grad(v, v_th),
+            SpikeFn::Soft { temperature } => {
+                let s = self.spike(v, v_th);
+                s * (1.0 - s) / temperature
+            }
+        }
+    }
+}
+
+impl Default for SpikeFn {
+    fn default() -> Self {
+        SpikeFn::Hard { surrogate: Surrogate::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_params_match_table2() {
+        let p = LifParams::paper();
+        assert_eq!((p.v_th, p.d_c, p.d_v), (0.5, 0.5, 0.8));
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_params() {
+        assert!(LifParams { v_th: 0.0, ..LifParams::paper() }.validate().is_err());
+        assert!(LifParams { d_c: 1.0, ..LifParams::paper() }.validate().is_err());
+        assert!(LifParams { d_v: -0.1, ..LifParams::paper() }.validate().is_err());
+    }
+
+    #[test]
+    fn hard_spike_is_binary() {
+        let f = SpikeFn::default();
+        assert_eq!(f.spike(0.6, 0.5), 1.0);
+        assert_eq!(f.spike(0.4, 0.5), 0.0);
+        assert_eq!(f.spike(0.5, 0.5), 0.0, "threshold itself does not spike (strict >)");
+    }
+
+    #[test]
+    fn soft_spike_is_sigmoid() {
+        let f = SpikeFn::Soft { temperature: 0.1 };
+        assert!((f.spike(0.5, 0.5) - 0.5).abs() < 1e-12);
+        assert!(f.spike(1.5, 0.5) > 0.999);
+        assert!(f.spike(-0.5, 0.5) < 0.001);
+    }
+
+    #[test]
+    fn soft_grad_matches_finite_difference() {
+        let f = SpikeFn::Soft { temperature: 0.3 };
+        for &v in &[0.1, 0.4, 0.5, 0.6, 1.2] {
+            let eps = 1e-6;
+            let num = (f.spike(v + eps, 0.5) - f.spike(v - eps, 0.5)) / (2.0 * eps);
+            assert!((f.grad(v, 0.5) - num).abs() < 1e-6, "v = {v}");
+        }
+    }
+
+    #[test]
+    fn hard_grad_uses_surrogate() {
+        let f = SpikeFn::Hard { surrogate: Surrogate::Rectangular { amplitude: 2.0, window: 0.1 } };
+        assert_eq!(f.grad(0.55, 0.5), 2.0);
+        assert_eq!(f.grad(0.75, 0.5), 0.0);
+    }
+}

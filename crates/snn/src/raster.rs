@@ -1,0 +1,92 @@
+//! ASCII spike-raster rendering — a debugging aid for inspecting what a
+//! network actually does over its `T` timesteps.
+
+use spikefolio_tensor::Matrix;
+
+/// Renders a spike raster (`T × neurons`, values in `[0, 1]`) as ASCII
+/// art: one row per timestep, `|` for a spike (≥ 0.5), `·` for silence,
+/// with a trailing per-step spike count. Wide rasters are downsampled to
+/// `max_width` columns by max-pooling, noted in the header.
+///
+/// # Example
+///
+/// ```
+/// use spikefolio_tensor::Matrix;
+///
+/// let raster = Matrix::from_rows(&[&[1.0, 0.0, 1.0], &[0.0, 1.0, 0.0]]);
+/// let art = spikefolio_snn::raster::render(&raster, 80);
+/// assert!(art.contains("|·|"));
+/// ```
+pub fn render(raster: &Matrix, max_width: usize) -> String {
+    let max_width = max_width.max(8);
+    let n = raster.cols();
+    let pool = n.div_ceil(max_width).max(1);
+    let width = n.div_ceil(pool);
+    let mut s = if pool > 1 {
+        format!("spike raster: {} steps × {} neurons (pooled ×{pool})\n", raster.rows(), n)
+    } else {
+        format!("spike raster: {} steps × {} neurons\n", raster.rows(), n)
+    };
+    for t in 0..raster.rows() {
+        let row = raster.row(t);
+        let mut count = 0usize;
+        s.push_str(&format!("t={t:<3} "));
+        for c in 0..width {
+            let from = c * pool;
+            let to = (from + pool).min(n);
+            let fired = row[from..to].iter().any(|&o| o >= 0.5);
+            count += row[from..to].iter().filter(|&&o| o >= 0.5).count();
+            s.push(if fired { '|' } else { '·' });
+        }
+        s.push_str(&format!("  ({count} spikes)\n"));
+    }
+    s
+}
+
+/// Per-neuron firing rates of a raster (mean over timesteps).
+pub fn firing_rates(raster: &Matrix) -> Vec<f64> {
+    let t = raster.rows().max(1) as f64;
+    (0..raster.cols()).map(|c| raster.col(c).iter().sum::<f64>() / t).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_spikes_and_counts() {
+        let r = Matrix::from_rows(&[&[1.0, 0.0, 1.0], &[0.0, 0.0, 0.0]]);
+        let art = render(&r, 80);
+        assert!(art.contains("t=0   |·|  (2 spikes)"), "{art}");
+        assert!(art.contains("t=1   ···  (0 spikes)"), "{art}");
+    }
+
+    #[test]
+    fn pools_wide_rasters() {
+        let r = Matrix::filled(2, 1000, 1.0);
+        let art = render(&r, 50);
+        assert!(art.contains("pooled"));
+        // Each line stays near the width budget.
+        let line = art.lines().nth(1).unwrap();
+        assert!(line.len() < 80, "line too long: {}", line.len());
+        assert!(art.contains("(1000 spikes)"));
+    }
+
+    #[test]
+    fn firing_rates_average_over_time() {
+        let r = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0]]);
+        let rates = firing_rates(&r);
+        assert_eq!(rates, vec![1.0, 0.5]);
+    }
+
+    #[test]
+    fn works_on_real_encoder_output() {
+        use crate::encoder::{PopulationEncoder, PopulationEncoderConfig};
+        use rand::SeedableRng;
+        let enc = PopulationEncoder::new(4, PopulationEncoderConfig::default());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let raster = enc.encode(&[1.0, 0.9, 1.1, 1.2], 5, &mut rng);
+        let art = render(&raster, 60);
+        assert_eq!(art.lines().count(), 6); // header + 5 steps
+    }
+}

@@ -1,0 +1,151 @@
+//! Pseudo-gradient (surrogate) functions for the spike nonlinearity.
+//!
+//! The Heaviside spike function has zero gradient almost everywhere, so
+//! STBP substitutes a *pseudo-gradient* `z(v)` around the threshold
+//! (eq. 11). The paper uses the rectangular window, which it reports as
+//! experimentally best; triangular and sigmoid-derivative shapes are
+//! provided for the ablation bench.
+
+use serde::{Deserialize, Serialize};
+
+/// Surrogate gradient shape for the spike threshold.
+///
+/// # Example
+///
+/// ```
+/// use spikefolio_snn::Surrogate;
+///
+/// let z = Surrogate::paper_rectangular(); // Table 2 parameters
+/// assert!(z.grad(0.5, 0.5) > 0.0);   // at threshold the gradient passes
+/// assert_eq!(z.grad(5.0, 0.5), 0.0); // far away it is zero
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Surrogate {
+    /// Rectangular window (eq. 11): `z(v) = a1` if `|v − V_th| < a2`,
+    /// else 0.
+    Rectangular {
+        /// Gradient amplitude `a1`.
+        amplitude: f64,
+        /// Half-width `a2` of the window around the threshold.
+        window: f64,
+    },
+    /// Triangular hat: `z(v) = a1 · max(0, 1 − |v − V_th|/a2)`.
+    Triangular {
+        /// Peak amplitude `a1`.
+        amplitude: f64,
+        /// Base half-width `a2`.
+        window: f64,
+    },
+    /// Derivative of a scaled sigmoid: `z(v) = a1 · σ'( (v − V_th)/a2 )`
+    /// with `σ'(x) = σ(x)(1 − σ(x))` (multiplied by `1/a2`).
+    SigmoidDerivative {
+        /// Amplitude `a1`.
+        amplitude: f64,
+        /// Temperature `a2`.
+        temperature: f64,
+    },
+}
+
+impl Surrogate {
+    /// The paper's Table 2 rectangular surrogate. Table 2 lists
+    /// `(a1, a2) = (9.0, 0.4)`; combined with the `×0.1` convention of the
+    /// STBP reference implementation this is an effective amplitude of 0.9
+    /// over a window of half-width 0.4.
+    pub fn paper_rectangular() -> Self {
+        Surrogate::Rectangular { amplitude: 0.9, window: 0.4 }
+    }
+
+    /// Pseudo-gradient `z(v)` at membrane voltage `v` with threshold
+    /// `v_th`.
+    pub fn grad(&self, v: f64, v_th: f64) -> f64 {
+        let d = v - v_th;
+        match *self {
+            Surrogate::Rectangular { amplitude, window } => {
+                if d.abs() < window {
+                    amplitude
+                } else {
+                    0.0
+                }
+            }
+            Surrogate::Triangular { amplitude, window } => {
+                amplitude * (1.0 - d.abs() / window).max(0.0)
+            }
+            Surrogate::SigmoidDerivative { amplitude, temperature } => {
+                let s = 1.0 / (1.0 + (-d / temperature).exp());
+                amplitude * s * (1.0 - s) / temperature
+            }
+        }
+    }
+
+    /// Short display name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Surrogate::Rectangular { .. } => "rectangular",
+            Surrogate::Triangular { .. } => "triangular",
+            Surrogate::SigmoidDerivative { .. } => "sigmoid",
+        }
+    }
+}
+
+impl Default for Surrogate {
+    fn default() -> Self {
+        Surrogate::paper_rectangular()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rectangular_is_flat_inside_window() {
+        let z = Surrogate::Rectangular { amplitude: 0.9, window: 0.4 };
+        assert_eq!(z.grad(0.5, 0.5), 0.9);
+        assert_eq!(z.grad(0.89, 0.5), 0.9);
+        assert_eq!(z.grad(0.91, 0.5), 0.0);
+        assert_eq!(z.grad(0.09, 0.5), 0.0);
+    }
+
+    #[test]
+    fn triangular_peaks_at_threshold() {
+        let z = Surrogate::Triangular { amplitude: 1.0, window: 0.5 };
+        assert_eq!(z.grad(0.5, 0.5), 1.0);
+        assert!((z.grad(0.75, 0.5) - 0.5).abs() < 1e-12);
+        assert_eq!(z.grad(1.1, 0.5), 0.0);
+    }
+
+    #[test]
+    fn sigmoid_derivative_is_smooth_and_positive() {
+        let z = Surrogate::SigmoidDerivative { amplitude: 1.0, temperature: 0.25 };
+        let peak = z.grad(0.5, 0.5);
+        assert!(peak > 0.0);
+        assert!(z.grad(0.6, 0.5) < peak);
+        assert!(z.grad(0.4, 0.5) < peak);
+        // Symmetric.
+        assert!((z.grad(0.6, 0.5) - z.grad(0.4, 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_shapes_vanish_far_from_threshold() {
+        for z in [
+            Surrogate::paper_rectangular(),
+            Surrogate::Triangular { amplitude: 1.0, window: 0.5 },
+            Surrogate::SigmoidDerivative { amplitude: 1.0, temperature: 0.1 },
+        ] {
+            assert!(z.grad(100.0, 0.5) < 1e-9, "{}", z.name());
+            assert!(z.grad(-100.0, 0.5) < 1e-9, "{}", z.name());
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names = [
+            Surrogate::paper_rectangular().name(),
+            Surrogate::Triangular { amplitude: 1.0, window: 1.0 }.name(),
+            Surrogate::SigmoidDerivative { amplitude: 1.0, temperature: 1.0 }.name(),
+        ];
+        assert_eq!(names.len(), 3);
+        assert_ne!(names[0], names[1]);
+        assert_ne!(names[1], names[2]);
+    }
+}

@@ -1,0 +1,114 @@
+//! Weight initializers for network layers.
+
+use crate::Matrix;
+use rand::Rng;
+
+/// Weight-initialization schemes for dense and spiking layers.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use spikefolio_tensor::init::Init;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let w = Init::XavierUniform.matrix(64, 32, &mut rng);
+/// assert_eq!(w.shape(), (64, 32));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Init {
+    /// All zeros (used for biases).
+    Zeros,
+    /// Constant value.
+    Constant(f64),
+    /// Uniform in `[-a, a]`.
+    Uniform(f64),
+    /// Xavier/Glorot uniform: `U(-√(6/(fan_in+fan_out)), +…)`.
+    XavierUniform,
+    /// Kaiming/He-style uniform scaled by `√(1/fan_in)`, the PyTorch default
+    /// for `nn.Linear` and a good fit for rate-coded spiking layers.
+    KaimingUniform,
+}
+
+impl Init {
+    /// Samples a `rows × cols` weight matrix (`rows` = fan-out,
+    /// `cols` = fan-in).
+    pub fn matrix<R: Rng + ?Sized>(self, rows: usize, cols: usize, rng: &mut R) -> Matrix {
+        match self {
+            Init::Zeros => Matrix::zeros(rows, cols),
+            Init::Constant(v) => Matrix::filled(rows, cols, v),
+            Init::Uniform(a) => {
+                Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-a.abs()..=a.abs()))
+            }
+            Init::XavierUniform => {
+                let a = (6.0 / (rows + cols) as f64).sqrt();
+                Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-a..=a))
+            }
+            Init::KaimingUniform => {
+                let a = (1.0 / cols.max(1) as f64).sqrt();
+                Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-a..=a))
+            }
+        }
+    }
+
+    /// Samples a bias vector of length `n` (fan-in taken as `fan_in` for the
+    /// scaled schemes).
+    pub fn vector<R: Rng + ?Sized>(self, n: usize, fan_in: usize, rng: &mut R) -> Vec<f64> {
+        match self {
+            Init::Zeros => vec![0.0; n],
+            Init::Constant(v) => vec![v; n],
+            Init::Uniform(a) => (0..n).map(|_| rng.gen_range(-a.abs()..=a.abs())).collect(),
+            Init::XavierUniform => {
+                let a = (6.0 / (n + fan_in) as f64).sqrt();
+                (0..n).map(|_| rng.gen_range(-a..=a)).collect()
+            }
+            Init::KaimingUniform => {
+                let a = (1.0 / fan_in.max(1) as f64).sqrt();
+                (0..n).map(|_| rng.gen_range(-a..=a)).collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn zeros_and_constant() {
+        let mut r = rng();
+        assert_eq!(Init::Zeros.matrix(2, 3, &mut r), Matrix::zeros(2, 3));
+        assert_eq!(Init::Constant(1.5).vector(3, 1, &mut r), vec![1.5; 3]);
+    }
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut r = rng();
+        let w = Init::XavierUniform.matrix(10, 20, &mut r);
+        let bound = (6.0 / 30.0f64).sqrt();
+        assert!(w.max_abs() <= bound + 1e-12);
+        // With 200 samples the spread should actually use the range.
+        assert!(w.max_abs() > bound * 0.5);
+    }
+
+    #[test]
+    fn kaiming_respects_bound() {
+        let mut r = rng();
+        let w = Init::KaimingUniform.matrix(8, 16, &mut r);
+        assert!(w.max_abs() <= 0.25 + 1e-12);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut r1 = rng();
+        let mut r2 = rng();
+        let a = Init::Uniform(0.3).matrix(4, 4, &mut r1);
+        let b = Init::Uniform(0.3).matrix(4, 4, &mut r2);
+        assert_eq!(a, b);
+    }
+}

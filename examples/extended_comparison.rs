@@ -1,0 +1,41 @@
+//! Extended strategy comparison: the Table 3 roster plus EG, PAMR, OLMAR,
+//! and buy-and-hold, with allocation statistics per strategy — a broader
+//! sweep over the Li & Hoi strategy families than the paper prints.
+//!
+//! ```sh
+//! cargo run --release --example extended_comparison
+//! ```
+
+use spikefolio::experiments::{run_extended_comparison, RunOptions};
+use spikefolio::SdpConfig;
+use spikefolio_market::experiments::ExperimentPreset;
+
+fn main() {
+    let mut config = SdpConfig::smoke();
+    config.training.epochs = 6;
+    config.training.steps_per_epoch = 15;
+    config.training.batch_size = 32;
+    config.training.learning_rate = 1e-3;
+    let opts = RunOptions { config, shrink: Some((160, 45)), market_seed: 2016 };
+
+    for preset in ExperimentPreset::all() {
+        let out = run_extended_comparison(&opts, preset);
+        println!("=== {} ===", out.experiment);
+        println!(
+            "{:<14} {:>10} {:>12} {:>10} {:>10} {:>10}",
+            "Strategy", "MDD", "fAPV", "Sharpe", "Sortino", "vol(ann)"
+        );
+        for row in &out.rows {
+            println!(
+                "{:<14} {:>10.3} {:>12.4} {:>10.3} {:>10.3} {:>10.3}",
+                row.strategy,
+                row.metrics.mdd,
+                row.metrics.fapv,
+                row.metrics.sharpe,
+                row.metrics.sortino,
+                row.metrics.annual_volatility
+            );
+        }
+        println!();
+    }
+}

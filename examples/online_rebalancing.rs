@@ -1,0 +1,44 @@
+//! Walk-forward (online) retraining: the agent periodically refreshes its
+//! weights on a trailing window while trading forward — the deployment
+//! mode the paper's real-time/embedded motivation implies.
+//!
+//! ```sh
+//! cargo run --release --example online_rebalancing
+//! ```
+
+use spikefolio::config::SdpConfig;
+use spikefolio::online::{walk_forward, WalkForwardConfig};
+use spikefolio_env::analysis::rolling_sharpe;
+use spikefolio_market::experiments::ExperimentPreset;
+
+fn main() {
+    // One long market spanning several regimes.
+    let market = ExperimentPreset::experiment2().shrunk(360, 0).generate(2016);
+
+    let mut config = SdpConfig::smoke();
+    config.training.epochs = 4;
+    config.training.steps_per_epoch = 10;
+    config.training.batch_size = 24;
+    config.training.learning_rate = 1e-3;
+
+    let wf = WalkForwardConfig { train_window: 300, trade_window: 80, retrain_from_scratch: false };
+    println!(
+        "walk-forward: retrain on trailing {} periods, trade {} periods per block",
+        wf.train_window, wf.trade_window
+    );
+    let result = walk_forward(&config, wf, &market, 7);
+    println!(
+        "{} retrainings over {} traded periods",
+        result.retrainings,
+        result.values.len() - 1
+    );
+    for (i, r) in result.block_rewards.iter().enumerate() {
+        println!("  block {:>2}: final training reward {:+.6}", i + 1, r);
+    }
+    println!("\ncompounded result: {}", result.metrics);
+
+    let rs = rolling_sharpe(&result.values, 40);
+    if let (Some(first), Some(last)) = (rs.first(), rs.last()) {
+        println!("rolling Sharpe (40-period): starts {:+.3}, ends {:+.3}", first, last);
+    }
+}

@@ -1,0 +1,43 @@
+//! Regenerates the evaluation "figures": writes CSV files with the
+//! portfolio value curves of every Table 3 strategy on each experiment's
+//! backtest range, plus the SDP training reward curve.
+//!
+//! ```sh
+//! cargo run --release --example value_curves
+//! ls target/figures/
+//! ```
+
+use spikefolio::experiments::RunOptions;
+use spikefolio::figures::{backtest_value_curves, training_reward_csv};
+use spikefolio::SdpConfig;
+use spikefolio_market::experiments::ExperimentPreset;
+
+fn main() -> std::io::Result<()> {
+    let mut config = SdpConfig::smoke();
+    config.training.epochs = 6;
+    config.training.steps_per_epoch = 15;
+    config.training.batch_size = 32;
+    config.training.learning_rate = 1e-3;
+    let opts = RunOptions { config, shrink: Some((160, 45)), market_seed: 2016 };
+
+    let out_dir = std::path::Path::new("target/figures");
+    std::fs::create_dir_all(out_dir)?;
+
+    for (i, preset) in ExperimentPreset::all().into_iter().enumerate() {
+        let (curves_csv, sdp_log) = backtest_value_curves(&opts, preset);
+        let curve_path = out_dir.join(format!("experiment{}_value_curves.csv", i + 1));
+        std::fs::write(&curve_path, &curves_csv)?;
+        let reward_path = out_dir.join(format!("experiment{}_sdp_reward.csv", i + 1));
+        std::fs::write(&reward_path, training_reward_csv(&sdp_log))?;
+        println!(
+            "experiment {}: wrote {} ({} rows) and {}",
+            i + 1,
+            curve_path.display(),
+            curves_csv.lines().count() - 1,
+            reward_path.display()
+        );
+    }
+    println!("\nplot with any tool, e.g.:");
+    println!("  python3 -c \"import pandas as pd; pd.read_csv('target/figures/experiment1_value_curves.csv', index_col=0).plot(logy=True)\"");
+    Ok(())
+}

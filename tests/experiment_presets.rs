@@ -1,0 +1,93 @@
+//! Integration tests for the Table 1 experiment presets: date ranges,
+//! split fractions, and generated-market properties.
+
+use spikefolio_market::experiments::{crypto_era_calendar, ExperimentPreset};
+use spikefolio_market::{Date, Regime};
+
+#[test]
+fn table1_ranges_are_exact() {
+    let cases = [
+        ("Experiment 1", "2016/08/01", "2019/04/14", "2019/08/01"),
+        ("Experiment 2", "2017/08/01", "2020/04/14", "2020/08/01"),
+        ("Experiment 3", "2018/08/01", "2021/04/14", "2021/08/01"),
+    ];
+    for (preset, (name, start, split, end)) in ExperimentPreset::all().into_iter().zip(cases) {
+        assert_eq!(preset.name, name);
+        assert_eq!(preset.train_start.to_string(), start);
+        assert_eq!(preset.backtest_start.to_string(), split);
+        assert_eq!(preset.end.to_string(), end);
+        // Each experiment spans three years.
+        let days = preset.train_start.days_until(preset.end);
+        assert!((1094..=1096).contains(&days), "{name} spans {days} days");
+    }
+}
+
+#[test]
+fn backtest_windows_are_about_15_weeks() {
+    for preset in ExperimentPreset::all() {
+        let days = preset.backtest_start.days_until(preset.end);
+        assert!((108..=110).contains(&days), "{}: {days} backtest days", preset.name);
+    }
+}
+
+#[test]
+fn generated_markets_have_eleven_assets_and_full_span() {
+    let preset = ExperimentPreset::experiment1().shrunk(100, 25);
+    let market = preset.generate(2024);
+    assert_eq!(market.num_assets(), 11);
+    assert_eq!(market.num_periods(), 125 * 2);
+    let (train, test) = market.split_at_date(preset.backtest_start);
+    assert_eq!(train.num_periods() + test.num_periods(), market.num_periods());
+    assert_eq!(test.start_date(), preset.backtest_start);
+}
+
+#[test]
+fn generation_is_reproducible_across_calls() {
+    let preset = ExperimentPreset::experiment2().shrunk(40, 10);
+    let a = preset.generate(7);
+    let b = preset.generate(7);
+    for t in (0..a.num_periods()).step_by(13) {
+        for asset in 0..a.num_assets() {
+            assert_eq!(a.candle(t, asset), b.candle(t, asset));
+        }
+    }
+}
+
+#[test]
+fn era_calendar_covers_all_three_experiments() {
+    let cal = crypto_era_calendar();
+    let first = cal.first().unwrap().0;
+    let last = cal.last().unwrap().0;
+    assert!(first <= Date::new(2016, 8, 1));
+    assert!(last <= Date::new(2021, 8, 1));
+    // The March 2020 COVID crash is present.
+    assert!(cal.iter().any(|&(d, r)| r == Regime::Crash && d.year() == 2020));
+    // The May 2021 correction is present.
+    assert!(cal.iter().any(|&(d, r)| r == Regime::Crash && d.year() == 2021));
+}
+
+#[test]
+fn experiment_climates_differ_across_presets() {
+    // The three backtest windows land in different regimes, which is the
+    // whole point of Table 1's three splits.
+    let e2 = ExperimentPreset::experiment2().generator_config();
+    let e3 = ExperimentPreset::experiment3().generator_config();
+    assert_eq!(e2.regime_at(Date::new(2020, 5, 1)), Regime::MildBull); // post-crash recovery
+    assert_eq!(e2.regime_at(Date::new(2020, 3, 15)), Regime::Crash); // …after the crash
+    assert_eq!(e3.regime_at(Date::new(2021, 5, 15)), Regime::Crash); // May 2021 correction
+    let e1 = ExperimentPreset::experiment1().generator_config();
+    assert_eq!(e1.regime_at(Date::new(2019, 5, 1)), Regime::MildBull);
+}
+
+#[test]
+fn candle_invariants_hold_across_a_full_generation() {
+    let market = ExperimentPreset::experiment3().shrunk(120, 30).generate(5);
+    for t in 0..market.num_periods() {
+        for a in 0..market.num_assets() {
+            let c = market.candle(t, a);
+            assert!(c.low <= c.open.min(c.close));
+            assert!(c.high >= c.open.max(c.close));
+            assert!(c.low > 0.0 && c.volume >= 0.0);
+        }
+    }
+}

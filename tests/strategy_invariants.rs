@@ -1,0 +1,82 @@
+//! Property tests spanning crates: every policy in the workspace must
+//! maintain portfolio invariants on arbitrary generated markets.
+
+use proptest::prelude::*;
+use spikefolio::agent::SdpAgent;
+use spikefolio::config::SdpConfig;
+use spikefolio::drl::DrlAgent;
+use spikefolio_baselines::{Anticor, BestStock, BuyAndHold, M0, Ons, Ucrp};
+use spikefolio_env::backtest::HoldCash;
+use spikefolio_env::{BacktestConfig, Backtester, CostModel, Policy};
+use spikefolio_market::experiments::ExperimentPreset;
+use spikefolio_market::MarketData;
+
+fn market_for(seed: u64, days: i64) -> MarketData {
+    ExperimentPreset::experiment1().shrunk(days, 0).generate(seed)
+}
+
+fn policies() -> Vec<Box<dyn Policy>> {
+    let cfg = SdpConfig::smoke();
+    vec![
+        Box::new(Ons::new()),
+        Box::new(BestStock::new()),
+        Box::new(Anticor::with_window(4)),
+        Box::new(M0::new()),
+        Box::new(Ucrp::new()),
+        Box::new(BuyAndHold::new()),
+        Box::new(HoldCash),
+        Box::new(SdpAgent::new(&cfg, 11, 5)),
+        Box::new(DrlAgent::new(&cfg, 11, 5)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn every_policy_keeps_portfolio_invariants(seed in 0u64..1000) {
+        let market = market_for(seed, 25);
+        for mut policy in policies() {
+            let r = Backtester::new(BacktestConfig {
+                costs: CostModel::Proportional { rate: 0.0025 },
+                risk_free_per_period: 0.0,
+            })
+            .run(policy.as_mut(), &market);
+            // Value curve strictly positive and finite.
+            prop_assert!(r.values.iter().all(|&v| v > 0.0 && v.is_finite()),
+                "{} produced a bad value curve", r.policy_name);
+            // All weights on the simplex.
+            for w in &r.weights {
+                prop_assert!(spikefolio_tensor::simplex::is_on_simplex(w, 1e-6),
+                    "{} left the simplex: {w:?}", r.policy_name);
+            }
+            // Metrics well-formed.
+            prop_assert!((0.0..1.0).contains(&r.metrics.mdd));
+            prop_assert!(r.metrics.fapv > 0.0);
+            prop_assert!(r.metrics.sharpe.is_finite());
+            prop_assert!(r.turnover >= 0.0);
+        }
+    }
+
+    #[test]
+    fn costs_never_help(seed in 0u64..200) {
+        // For any deterministic policy, adding transaction costs cannot
+        // increase the final value. (Run the high-turnover UCRP.)
+        let market = market_for(seed, 20);
+        let free = Backtester::new(BacktestConfig { costs: CostModel::Free, risk_free_per_period: 0.0 })
+            .run(&mut Ucrp::new(), &market);
+        let paid = Backtester::new(BacktestConfig {
+            costs: CostModel::Iterative { buy: 0.0025, sell: 0.0025 },
+            risk_free_per_period: 0.0,
+        })
+        .run(&mut Ucrp::new(), &market);
+        prop_assert!(paid.fapv() <= free.fapv() + 1e-12);
+    }
+
+    #[test]
+    fn hold_cash_is_exactly_flat(seed in 0u64..200) {
+        let market = market_for(seed, 15);
+        let r = Backtester::default().run(&mut HoldCash, &market);
+        prop_assert!(r.values.iter().all(|&v| (v - 1.0).abs() < 1e-12));
+    }
+}
