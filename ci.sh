@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Repository gate: formatting, lints (warnings are errors), and the full
+# test suite. Run from the workspace root before pushing.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "CI checks passed."

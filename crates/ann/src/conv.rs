@@ -189,12 +189,7 @@ mod tests {
         let y = c.forward(&x);
         let (grads, dx) = c.backward(&x, &coeff);
         let loss = |cc: &Conv1d, xx: &Matrix| -> f64 {
-            cc.forward(xx)
-                .as_slice()
-                .iter()
-                .zip(coeff.as_slice())
-                .map(|(a, b)| a * b)
-                .sum()
+            cc.forward(xx).as_slice().iter().zip(coeff.as_slice()).map(|(a, b)| a * b).sum()
         };
         let eps = 1e-6;
         // Weight gradients.

@@ -425,7 +425,13 @@ mod tests {
 
     #[test]
     fn gradients_match_finite_differences() {
-        let cfg = EiieConfig { channels: 2, window: 6, conv1_channels: 2, conv1_kernel: 3, conv2_channels: 4 };
+        let cfg = EiieConfig {
+            channels: 2,
+            window: 6,
+            conv1_channels: 2,
+            conv1_kernel: 3,
+            conv2_channels: 4,
+        };
         let net = Eiie::new(cfg, &mut rng());
         let assets = windows(3, &cfg, 1.0);
         let pw = [0.1, 0.3, 0.3, 0.3];
@@ -435,9 +441,8 @@ mod tests {
         let analytic = Eiie::flat_grads(&grads);
         let params = net.flat_params();
         assert_eq!(analytic.len(), params.len());
-        let loss = |n: &Eiie| -> f64 {
-            n.act(&assets, &pw).iter().zip(&c).map(|(a, b)| a * b).sum()
-        };
+        let loss =
+            |n: &Eiie| -> f64 { n.act(&assets, &pw).iter().zip(&c).map(|(a, b)| a * b).sum() };
         let eps = 1e-6;
         for i in 0..params.len() {
             let mut pp = params.clone();

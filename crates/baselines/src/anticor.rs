@@ -156,12 +156,7 @@ mod tests {
         let max_dev = r
             .weights
             .iter()
-            .map(|w| {
-                w[1..]
-                    .iter()
-                    .map(|&x| (x - 1.0 / 11.0).abs())
-                    .fold(0.0_f64, f64::max)
-            })
+            .map(|w| w[1..].iter().map(|&x| (x - 1.0 / 11.0).abs()).fold(0.0_f64, f64::max))
             .fold(0.0_f64, f64::max);
         assert!(max_dev > 1e-3, "max deviation {max_dev}");
     }

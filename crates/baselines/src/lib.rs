@@ -84,15 +84,13 @@ mod tests {
 
     #[test]
     fn all_five_baselines_are_exposed() {
-        let names: Vec<String> =
-            table3_baselines().iter().map(|p| p.name().to_owned()).collect();
+        let names: Vec<String> = table3_baselines().iter().map(|p| p.name().to_owned()).collect();
         assert_eq!(names, vec!["ONS", "Best Stock", "ANTICOR", "M0", "UCRP"]);
     }
 
     #[test]
     fn extended_roster_adds_four_more() {
-        let names: Vec<String> =
-            extended_baselines().iter().map(|p| p.name().to_owned()).collect();
+        let names: Vec<String> = extended_baselines().iter().map(|p| p.name().to_owned()).collect();
         assert_eq!(names.len(), 9);
         for extra in ["EG", "PAMR", "OLMAR", "Buy and Hold"] {
             assert!(names.iter().any(|n| n == extra), "missing {extra}");

@@ -110,9 +110,6 @@ mod tests {
             MarketData::new(vec!["UP".into(), "DOWN".into()], Date::new(2020, 1, 1), 1, 2, candles);
         let r = Backtester::default().run(&mut M0::new(), &market);
         let last = r.weights.last().unwrap();
-        assert!(
-            last[1] > 0.9,
-            "persistent winner should dominate the M0 portfolio, got {last:?}"
-        );
+        assert!(last[1] > 0.9, "persistent winner should dominate the M0 portfolio, got {last:?}");
     }
 }

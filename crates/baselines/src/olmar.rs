@@ -68,12 +68,8 @@ impl Policy for Olmar {
             if denom > 1e-12 {
                 let predicted = dot(&self.weights, &y_hat);
                 let lambda = ((self.epsilon - predicted).max(0.0)) / denom;
-                let moved: Vec<f64> = self
-                    .weights
-                    .iter()
-                    .zip(&centered)
-                    .map(|(&w, &cv)| w + lambda * cv)
-                    .collect();
+                let moved: Vec<f64> =
+                    self.weights.iter().zip(&centered).map(|(&w, &cv)| w + lambda * cv).collect();
                 self.weights = project_to_simplex(&moved);
             }
         }
@@ -120,8 +116,13 @@ mod tests {
             candles.push(Candle::new(prev, prev.max(p), prev.min(p), p, 1.0));
             candles.push(Candle::flat(50.0));
         }
-        let market =
-            MarketData::new(vec!["DIP".into(), "FLAT".into()], Date::new(2020, 1, 1), 1, 2, candles);
+        let market = MarketData::new(
+            vec!["DIP".into(), "FLAT".into()],
+            Date::new(2020, 1, 1),
+            1,
+            2,
+            candles,
+        );
         let mut olmar = Olmar::with_params(5, 1.5);
         let r = Backtester::default().run(&mut olmar, &market);
         let last = r.weights.last().unwrap();

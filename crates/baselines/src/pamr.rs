@@ -65,12 +65,8 @@ impl Policy for Pamr {
             let denom: f64 = centered.iter().map(|v| v * v).sum();
             if denom > 1e-12 {
                 let tau = ((ret - self.epsilon).max(0.0)) / denom;
-                let moved: Vec<f64> = self
-                    .weights
-                    .iter()
-                    .zip(&centered)
-                    .map(|(&w, &cv)| w - tau * cv)
-                    .collect();
+                let moved: Vec<f64> =
+                    self.weights.iter().zip(&centered).map(|(&w, &cv)| w - tau * cv).collect();
                 self.weights = project_to_simplex(&moved);
             }
         }

@@ -18,10 +18,7 @@ fn options() -> RunOptions {
 
 fn print_comparison_once() {
     let points = encoding_comparison(&options());
-    println!(
-        "\n===== Ablation: encoding mode =====\n{}",
-        format_encoding_comparison(&points)
-    );
+    println!("\n===== Ablation: encoding mode =====\n{}", format_encoding_comparison(&points));
 }
 
 fn bench_encoders(c: &mut Criterion) {

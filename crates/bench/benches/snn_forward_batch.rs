@@ -1,0 +1,48 @@
+//! Batched forward engine vs the looped per-sample path: the throughput
+//! case for `SdpNetwork::forward_batch` at paper scale (one GEMM per
+//! layer per timestep instead of B matvec sweeps).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spikefolio_snn::network::{SdpNetwork, SdpNetworkConfig};
+use spikefolio_snn::{BatchNetworkTrace, BatchWorkspace};
+use spikefolio_tensor::Matrix;
+
+fn states(batch: usize, dim: usize) -> Matrix {
+    Matrix::from_fn(batch, dim, |b, d| 0.85 + 0.001 * ((b * dim + d) % 300) as f64)
+}
+
+fn bench_forward_batch(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(9);
+    // Paper scale: 364-dim state, hidden 128 × 128, T = 5.
+    let net = SdpNetwork::new(SdpNetworkConfig::paper(364, 12), &mut rng);
+
+    let mut group = c.benchmark_group("snn/forward_batch");
+    group.sample_size(20);
+    for &batch in &[4usize, 32] {
+        let st = states(batch, 364);
+        group.bench_function(format!("looped_per_sample_b{batch}"), |b| {
+            b.iter(|| {
+                for s in 0..batch {
+                    let mut r = StdRng::seed_from_u64(s as u64);
+                    std::hint::black_box(net.forward(st.row(s), &mut r));
+                }
+            })
+        });
+        let mut ws = BatchWorkspace::new(&net, batch);
+        let mut trace = BatchNetworkTrace::new(&net, batch);
+        group.bench_function(format!("batched_b{batch}"), |b| {
+            b.iter(|| {
+                let mut rngs: Vec<StdRng> =
+                    (0..batch).map(|s| StdRng::seed_from_u64(s as u64)).collect();
+                net.forward_batch(&st, &mut rngs, &mut ws, &mut trace);
+                std::hint::black_box(trace.action(0)[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward_batch);
+criterion_main!(benches);

@@ -9,7 +9,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use spikefolio::experiments::{run_table3, RunOptions};
 use spikefolio::report::format_table3;
 use spikefolio::{DrlAgent, SdpAgent, SdpConfig};
-use spikefolio_baselines::{Anticor, BestStock, M0, Ons, Ucrp};
+use spikefolio_baselines::{Anticor, BestStock, Ons, Ucrp, M0};
 use spikefolio_env::{Backtester, Policy};
 use spikefolio_market::experiments::ExperimentPreset;
 

@@ -34,9 +34,8 @@ fn bench_inference_kernels(c: &mut Criterion) {
     let mut deployed = LoihiDeployment::new(&sdp, &LoihiChip::default()).unwrap();
     let drl = DrlAgent::new(&cfg, 11, 1);
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-    let state: Vec<f64> = (0..sdp.state_builder().state_dim(11))
-        .map(|i| 0.9 + 0.01 * (i % 20) as f64)
-        .collect();
+    let state: Vec<f64> =
+        (0..sdp.state_builder().state_dim(11)).map(|i| 0.9 + 0.01 * (i % 20) as f64).collect();
 
     let mut group = c.benchmark_group("table4/inference");
     group.bench_function("sdp_float", |b| b.iter(|| std::hint::black_box(sdp.act(&state))));

@@ -27,11 +27,18 @@ pub struct TrainingConfig {
     /// firing rates to trade backtest quality for on-chip energy; see
     /// [`spikefolio_snn::stbp::backward_with_rate_penalty`].
     pub rate_penalty: f64,
-    /// Worker threads for minibatch gradient computation. `1` runs the
-    /// exact sequential Jiang-style loop; `> 1` splits each minibatch
-    /// across threads (deterministic for a fixed thread-count-independent
-    /// seeding scheme, but a different stream than the sequential path).
+    /// Worker threads for minibatch gradient computation. Minibatches are
+    /// split into fixed-size micro-batches ([`Self::micro_batch`]) that
+    /// are assigned round-robin to workers, so epoch rewards and trained
+    /// parameters are identical for any `parallelism >= 1`.
     pub parallelism: usize,
+    /// Samples per batched SNN execution
+    /// ([`spikefolio_snn::SdpNetwork::forward_batch`]). Work units are
+    /// fixed-size micro-batches regardless of thread count, which is what
+    /// keeps training thread-count invariant. Larger values amortize more
+    /// weight-matrix traffic per GEMM; smaller values balance better
+    /// across workers.
+    pub micro_batch: usize,
 }
 
 impl TrainingConfig {
@@ -46,6 +53,7 @@ impl TrainingConfig {
             max_grad_norm: 10.0,
             rate_penalty: 0.0,
             parallelism: 1,
+            micro_batch: 16,
         }
     }
 
@@ -60,6 +68,7 @@ impl TrainingConfig {
             max_grad_norm: 10.0,
             rate_penalty: 0.0,
             parallelism: 1,
+            micro_batch: 4,
         }
     }
 }

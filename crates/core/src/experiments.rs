@@ -8,7 +8,7 @@ use crate::deploy::LoihiDeployment;
 use crate::drl::DrlAgent;
 use crate::training::{Trainer, TrainingLog};
 use serde::{Deserialize, Serialize};
-use spikefolio_baselines::{Anticor, BestStock, M0, Ons, Ucrp};
+use spikefolio_baselines::{Anticor, BestStock, Ons, Ucrp, M0};
 use spikefolio_env::{Backtester, Metrics, Policy};
 use spikefolio_loihi::device::DeviceModel;
 use spikefolio_loihi::energy::{EnergyReport, LoihiEnergyModel};
@@ -175,8 +175,9 @@ pub fn run_table4(opts: &RunOptions) -> Vec<PowerOutcome> {
         let _ = Backtester::new(opts.config.backtest).run(&mut deployed, &test);
         let mean_stats = deployed.mean_stats().to_spike_stats();
 
-        let model = *energy_model
-            .get_or_insert_with(|| LoihiEnergyModel::calibrated(&mean_stats, PAPER_LOIHI_NJ_PER_INF));
+        let model = *energy_model.get_or_insert_with(|| {
+            LoihiEnergyModel::calibrated(&mean_stats, PAPER_LOIHI_NJ_PER_INF)
+        });
         let t = opts.config.network.timesteps;
         let exp_no = preset.name.chars().last().unwrap_or('?');
         let loihi_row = model.report(&format!("SDP-Exp{exp_no} / Loihi (T={t})"), &mean_stats, t);
@@ -431,9 +432,11 @@ pub fn run_extended_comparison(opts: &RunOptions, base: ExperimentPreset) -> Exp
     outcome.rows.push(backtest_row(&opts.config, &mut Eg::new(), &test));
     outcome.rows.push(backtest_row(&opts.config, &mut Pamr::new(), &test));
     let olmar_window = 5.min(test.num_periods().saturating_sub(2)).max(2);
-    outcome
-        .rows
-        .push(backtest_row(&opts.config, &mut Olmar::with_params(olmar_window, 10.0), &test));
+    outcome.rows.push(backtest_row(
+        &opts.config,
+        &mut Olmar::with_params(olmar_window, 10.0),
+        &test,
+    ));
     outcome.rows.push(backtest_row(&opts.config, &mut BuyAndHold::new(), &test));
     outcome
 }
@@ -455,10 +458,7 @@ mod tests {
     fn experiment_outcome_has_all_seven_strategies() {
         let out = run_experiment(&tiny_opts(), ExperimentPreset::experiment1());
         let names: Vec<&str> = out.rows.iter().map(|r| r.strategy.as_str()).collect();
-        assert_eq!(
-            names,
-            vec!["SDP", "DRL[Jiang]", "ONS", "Best Stock", "ANTICOR", "M0", "UCRP"]
-        );
+        assert_eq!(names, vec!["SDP", "DRL[Jiang]", "ONS", "Best Stock", "ANTICOR", "M0", "UCRP"]);
         assert!(out.row("SDP").is_some());
         assert!(out.row("nope").is_none());
         for r in &out.rows {

@@ -11,7 +11,7 @@ use crate::agent::SdpAgent;
 use crate::drl::DrlAgent;
 use crate::experiments::RunOptions;
 use crate::training::{Trainer, TrainingLog};
-use spikefolio_baselines::{Anticor, BestStock, M0, Ons, Ucrp};
+use spikefolio_baselines::{Anticor, BestStock, Ons, Ucrp, M0};
 use spikefolio_env::analysis::value_curves_csv;
 use spikefolio_env::{Backtester, Policy};
 use spikefolio_market::experiments::ExperimentPreset;

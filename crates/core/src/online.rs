@@ -90,7 +90,8 @@ pub fn walk_forward(
         // Retrain on the trailing window.
         let train_slice = market.slice(block_start - wf.train_window, block_start);
         if wf.retrain_from_scratch {
-            agent = SdpAgent::new(config, market.num_assets(), seed.wrapping_add(retrainings as u64));
+            agent =
+                SdpAgent::new(config, market.num_assets(), seed.wrapping_add(retrainings as u64));
         }
         let log = trainer.train_sdp(&mut agent, &train_slice);
         block_rewards.push(log.final_reward());
@@ -128,11 +129,8 @@ mod tests {
     #[test]
     fn walk_forward_covers_the_whole_tail() {
         let market = ExperimentPreset::experiment1().shrunk(80, 0).generate(41);
-        let wf = WalkForwardConfig {
-            train_window: 60,
-            trade_window: 25,
-            retrain_from_scratch: false,
-        };
+        let wf =
+            WalkForwardConfig { train_window: 60, trade_window: 25, retrain_from_scratch: false };
         let result = walk_forward(&config(), wf, &market, 7);
         // 160 periods total, first 60 are history → 99 traded periods.
         assert_eq!(result.values.len(), market.num_periods() - 60);

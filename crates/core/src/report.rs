@@ -9,10 +9,7 @@ use crate::experiments::{
 /// each) with the paper's columns: MDD, fAPV, Sharpe.
 pub fn format_table3(outcomes: &[ExperimentOutcome]) -> String {
     let mut s = String::new();
-    s.push_str(&format!(
-        "{:<12} {:>10} {:>12} {:>12}\n",
-        "Strategy", "MDD", "fAPV", "Sharpe"
-    ));
+    s.push_str(&format!("{:<12} {:>10} {:>12} {:>12}\n", "Strategy", "MDD", "fAPV", "Sharpe"));
     for out in outcomes {
         s.push_str(&format!("--- {} ---\n", out.experiment));
         for row in &out.rows {

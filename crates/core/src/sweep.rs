@@ -30,11 +30,7 @@ pub struct SweepPoint {
 /// # Panics
 ///
 /// Panics if either grid axis is empty.
-pub fn lr_hidden_sweep(
-    opts: &RunOptions,
-    lrs: &[f64],
-    hiddens: &[Vec<usize>],
-) -> Vec<SweepPoint> {
+pub fn lr_hidden_sweep(opts: &RunOptions, lrs: &[f64], hiddens: &[Vec<usize>]) -> Vec<SweepPoint> {
     assert!(!lrs.is_empty() && !hiddens.is_empty(), "sweep axes must be non-empty");
     let preset = match opts.shrink {
         Some((a, b)) => ExperimentPreset::experiment1().shrunk(a, b),
@@ -91,8 +87,7 @@ mod tests {
         opts.config.training.epochs = 1;
         opts.config.training.steps_per_epoch = 2;
         opts.config.training.batch_size = 4;
-        let points =
-            lr_hidden_sweep(&opts, &[1e-3, 1e-2], &[vec![8], vec![12, 8]]);
+        let points = lr_hidden_sweep(&opts, &[1e-3, 1e-2], &[vec![8], vec![12, 8]]);
         assert_eq!(points.len(), 4);
         assert_eq!(points[0].hidden, vec![8]);
         assert_eq!(points[1].hidden, vec![12, 8]);

@@ -25,8 +25,10 @@ use serde::{Deserialize, Serialize};
 use spikefolio_env::CostModel;
 use spikefolio_market::MarketData;
 use spikefolio_snn::stbp;
+use spikefolio_snn::{BatchNetworkTrace, BatchWorkspace, SdpNetwork};
 use spikefolio_tensor::optim::Adam;
 use spikefolio_tensor::vector::dot;
+use spikefolio_tensor::Matrix;
 
 /// Per-epoch training diagnostics.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -126,6 +128,71 @@ fn reward_and_grad(
     (r, grad)
 }
 
+/// One sampled training example, prepared sequentially in phase 1 of a
+/// minibatch step.
+struct SampleItem {
+    t: usize,
+    w_drifted: Vec<f64>,
+    state: Vec<f64>,
+    seed: u64,
+}
+
+/// Reusable batched-execution buffers, one entry per micro-batch size
+/// encountered so far. Each worker slot owns one cache so the hot loop
+/// stays allocation-free across steps and epochs.
+type BatchCache = Vec<(usize, BatchWorkspace, BatchNetworkTrace)>;
+
+/// Per-sample `(period, action, reward)` rows plus the summed gradients of
+/// one processed micro-batch.
+type MicroBatchResult = (Vec<(usize, Vec<f64>, f64)>, stbp::SdpGradients);
+
+/// Runs one micro-batch through the batched SNN engine: forward all
+/// samples together, differentiate the reward per sample, then one
+/// batched STBP backward pass. Returns `(t, action, reward)` per sample
+/// (in item order) and the micro-batch's summed gradients.
+fn process_micro_batch(
+    network: &SdpNetwork,
+    market: &MarketData,
+    costs: &CostModel,
+    rate_penalty: f64,
+    items: &[SampleItem],
+    cache: &mut BatchCache,
+) -> MicroBatchResult {
+    let bsz = items.len();
+    let state_dim = items[0].state.len();
+    let slot = match cache.iter().position(|(n, _, _)| *n == bsz) {
+        Some(i) => i,
+        None => {
+            cache.push((
+                bsz,
+                BatchWorkspace::new(network, bsz),
+                BatchNetworkTrace::new(network, bsz),
+            ));
+            cache.len() - 1
+        }
+    };
+    let (_, ws, trace) = &mut cache[slot];
+    let states = Matrix::from_fn(bsz, state_dim, |b, d| items[b].state[d]);
+    let mut rngs: Vec<StdRng> = items.iter().map(|item| StdRng::seed_from_u64(item.seed)).collect();
+    network.forward_batch(&states, &mut rngs, ws, trace);
+
+    let action_dim = trace.actions.shape().1;
+    let mut d_actions = Matrix::zeros(bsz, action_dim);
+    let mut samples = Vec::with_capacity(bsz);
+    for (b, item) in items.iter().enumerate() {
+        let action = trace.action(b).to_vec();
+        let y_next = market.price_relatives_with_cash(item.t + 1);
+        let (r, dr) = reward_and_grad(&action, &y_next, &item.w_drifted, costs);
+        // Gradient *descent* on L = −r (+ optional rate penalty).
+        for (o, g) in d_actions.row_mut(b).iter_mut().zip(&dr) {
+            *o = -g;
+        }
+        samples.push((item.t, action, r));
+    }
+    let grads = stbp::backward_batch(network, trace, &d_actions, rate_penalty, ws);
+    (samples, grads)
+}
+
 /// Samples a decision period in `[min_t, max_t]` with geometric bias
 /// `lambda` toward `max_t` (0 = uniform).
 fn sample_period(rng: &mut StdRng, min_t: usize, max_t: usize, lambda: f64) -> usize {
@@ -162,88 +229,56 @@ pub struct SdpTrainingSession<'m> {
     pvm: Pvm,
     trainer: stbp::SdpTrainer<Adam>,
     sample_rng: StdRng,
-    enc_rng: StdRng,
     min_t: usize,
     max_t: usize,
     tc: crate::config::TrainingConfig,
     costs: CostModel,
     step_counter: u64,
+    worker_caches: Vec<BatchCache>,
 }
 
 impl SdpTrainingSession<'_> {
     /// Runs one epoch (`steps_per_epoch` minibatches) of STBP training on
     /// `agent`, returning the epoch's mean sample reward.
     ///
-    /// Dispatches to the parallel minibatch path when
-    /// `training.parallelism > 1`.
+    /// Every minibatch runs on the batched SNN engine
+    /// ([`SdpNetwork::forward_batch`] / [`stbp::backward_batch`]):
+    ///
+    /// 1. **Phase 1 (sequential):** sample periods, read the PVM, build
+    ///    states, and assign each sample a seed derived from
+    ///    `(step, sample index)`.
+    /// 2. **Phase 2 (parallel):** split the minibatch into fixed-size
+    ///    micro-batches of `training.micro_batch` samples, assigned
+    ///    round-robin to `training.parallelism` workers. Each micro-batch
+    ///    is one batched forward + reward gradient + batched STBP
+    ///    backward, reusing the worker's cached workspace.
+    /// 3. **Phase 3 (sequential):** accumulate micro-batch gradients in
+    ///    micro-batch index order, write actions back into the PVM, and
+    ///    apply the Adam step.
+    ///
+    /// Because the work units (micro-batches) and the per-sample encoder
+    /// seeds are independent of the worker count, epoch rewards and
+    /// trained parameters are identical for any `parallelism >= 1`
+    /// (`parallelism == 1` runs the same micro-batches inline without
+    /// spawning threads).
     ///
     /// # Panics
     ///
     /// Panics if `agent` does not match the session's market shape.
     pub fn run_epoch(&mut self, agent: &mut SdpAgent) -> f64 {
-        if self.tc.parallelism > 1 {
-            self.run_epoch_parallel(agent)
-        } else {
-            self.run_epoch_sequential(agent)
-        }
-    }
-
-    fn run_epoch_sequential(&mut self, agent: &mut SdpAgent) -> f64 {
-        let tc = self.tc;
-        let mut epoch_reward = 0.0;
-        let mut epoch_samples = 0usize;
-        for _step in 0..tc.steps_per_epoch {
-            let mut grads = stbp::SdpGradients::zeros_like(&agent.network);
-            let mut batch_reward = 0.0;
-            for _ in 0..tc.batch_size {
-                let t = sample_period(&mut self.sample_rng, self.min_t, self.max_t, tc.recency_bias);
-                let y_t = self.market.price_relatives_with_cash(t);
-                let w_drifted = drift(self.pvm.get(t - 1), &y_t);
-                let state = agent.state(self.market, t, &w_drifted);
-                let (action, trace) = agent.network.forward(&state, &mut self.enc_rng);
-                let y_next = self.market.price_relatives_with_cash(t + 1);
-                let (r, dr) = reward_and_grad(&action, &y_next, &w_drifted, &self.costs);
-                // Gradient *descent* on L = −r (+ optional rate penalty).
-                let d_action: Vec<f64> = dr.iter().map(|g| -g).collect();
-                let g = stbp::backward_with_rate_penalty(
-                    &agent.network,
-                    &trace,
-                    &d_action,
-                    tc.rate_penalty,
-                );
-                grads.accumulate(&g);
-                self.pvm.set(t, action);
-                batch_reward += r;
-            }
-            grads.scale(1.0 / tc.batch_size as f64);
-            self.trainer.apply(&mut agent.network, &grads);
-            epoch_reward += batch_reward;
-            epoch_samples += tc.batch_size;
-        }
-        epoch_reward / epoch_samples.max(1) as f64
-    }
-
-    /// Parallel minibatch path: samples and PVM reads stay sequential (so
-    /// the sampling stream is unchanged), forward/backward fan out across
-    /// `parallelism` scoped threads, and per-sample encoder RNGs are
-    /// seeded from `(step, sample)` so results do not depend on the thread
-    /// count.
-    fn run_epoch_parallel(&mut self, agent: &mut SdpAgent) -> f64 {
         let tc = self.tc;
         let workers = tc.parallelism.max(1);
+        let micro = tc.micro_batch.max(1);
+        if self.worker_caches.len() < workers {
+            self.worker_caches.resize_with(workers, Vec::new);
+        }
         let mut epoch_reward = 0.0;
         let mut epoch_samples = 0usize;
         for _step in 0..tc.steps_per_epoch {
             self.step_counter += 1;
             // Phase 1 (sequential): sample periods, read the PVM, build
-            // states.
-            struct Item {
-                t: usize,
-                w_drifted: Vec<f64>,
-                state: Vec<f64>,
-                seed: u64,
-            }
-            let items: Vec<Item> = (0..tc.batch_size)
+            // states, fix per-sample encoder seeds.
+            let items: Vec<SampleItem> = (0..tc.batch_size)
                 .map(|i| {
                     let t = sample_period(
                         &mut self.sample_rng,
@@ -254,7 +289,7 @@ impl SdpTrainingSession<'_> {
                     let y_t = self.market.price_relatives_with_cash(t);
                     let w_drifted = drift(self.pvm.get(t - 1), &y_t);
                     let state = agent.state(self.market, t, &w_drifted);
-                    Item {
+                    SampleItem {
                         t,
                         w_drifted,
                         state,
@@ -266,37 +301,49 @@ impl SdpTrainingSession<'_> {
                 })
                 .collect();
 
-            // Phase 2 (parallel): forward, reward gradient, STBP backward.
+            // Phase 2: batched forward/backward over micro-batches.
             let network = &agent.network;
             let market = self.market;
             let costs = self.costs;
-            let results: Vec<(usize, Vec<f64>, f64, stbp::SdpGradients)> =
-                std::thread::scope(|scope| {
+            let rate_penalty = tc.rate_penalty;
+            let chunks: Vec<&[SampleItem]> = items.chunks(micro).collect();
+            let mut results: Vec<Option<MicroBatchResult>> =
+                (0..chunks.len()).map(|_| None).collect();
+            if workers == 1 {
+                let cache = &mut self.worker_caches[0];
+                for (slot, chunk) in results.iter_mut().zip(&chunks) {
+                    *slot = Some(process_micro_batch(
+                        network,
+                        market,
+                        &costs,
+                        rate_penalty,
+                        chunk,
+                        cache,
+                    ));
+                }
+            } else {
+                let chunks = &chunks;
+                let outs: Vec<(usize, _)> = std::thread::scope(|scope| {
                     let mut handles = Vec::with_capacity(workers);
-                    for chunk in items.chunks(items.len().div_ceil(workers)) {
+                    for (w, cache) in self.worker_caches.iter_mut().take(workers).enumerate() {
                         handles.push(scope.spawn(move || {
-                            chunk
+                            chunks
                                 .iter()
-                                .map(|item| {
-                                    let mut rng = StdRng::seed_from_u64(item.seed);
-                                    let (action, trace) = network.forward(&item.state, &mut rng);
-                                    let y_next =
-                                        market.price_relatives_with_cash(item.t + 1);
-                                    let (r, dr) = reward_and_grad(
-                                        &action,
-                                        &y_next,
-                                        &item.w_drifted,
-                                        &costs,
-                                    );
-                                    let d_action: Vec<f64> =
-                                        dr.iter().map(|g| -g).collect();
-                                    let g = stbp::backward_with_rate_penalty(
-                                        network,
-                                        &trace,
-                                        &d_action,
-                                        tc.rate_penalty,
-                                    );
-                                    (item.t, action, r, g)
+                                .enumerate()
+                                .skip(w)
+                                .step_by(workers)
+                                .map(|(mb, chunk)| {
+                                    (
+                                        mb,
+                                        process_micro_batch(
+                                            network,
+                                            market,
+                                            &costs,
+                                            rate_penalty,
+                                            chunk,
+                                            cache,
+                                        ),
+                                    )
                                 })
                                 .collect::<Vec<_>>()
                         }));
@@ -306,14 +353,22 @@ impl SdpTrainingSession<'_> {
                         .flat_map(|h| h.join().expect("worker thread panicked"))
                         .collect()
                 });
+                for (mb, out) in outs {
+                    results[mb] = Some(out);
+                }
+            }
 
-            // Phase 3 (sequential): accumulate gradients, write the PVM.
+            // Phase 3 (sequential, micro-batch index order): accumulate
+            // gradients, write the PVM.
             let mut grads = stbp::SdpGradients::zeros_like(&agent.network);
             let mut batch_reward = 0.0;
-            for (t, action, r, g) in results {
+            for out in results {
+                let (samples, g) = out.expect("micro-batch result missing");
                 grads.accumulate(&g);
-                self.pvm.set(t, action);
-                batch_reward += r;
+                for (t, action, r) in samples {
+                    self.pvm.set(t, action);
+                    batch_reward += r;
+                }
             }
             grads.scale(1.0 / tc.batch_size as f64);
             self.trainer.apply(&mut agent.network, &grads);
@@ -368,12 +423,12 @@ impl Trainer {
             pvm: Pvm::new(market.num_periods(), market.num_assets() + 1),
             trainer,
             sample_rng: StdRng::seed_from_u64(self.config.seed ^ 0x5d_u64),
-            enc_rng: StdRng::seed_from_u64(self.config.seed ^ 0xe2c_u64),
             min_t,
             max_t,
             tc,
             costs: self.config.backtest.costs,
             step_counter: 0,
+            worker_caches: Vec::new(),
         }
     }
 
@@ -585,10 +640,7 @@ mod tests {
         // land in the last fifth of the range.
         assert!(late > 1000, "only {late}/2000 samples were recent");
         // Uniform mode covers the range.
-        let t_min = (0..500)
-            .map(|_| sample_period(&mut rng, 10, 100, 0.0))
-            .min()
-            .unwrap();
+        let t_min = (0..500).map(|_| sample_period(&mut rng, 10, 100, 0.0)).min().unwrap();
         assert!(t_min < 25);
     }
 
@@ -610,8 +662,7 @@ mod tests {
         );
         // The trained policy should allocate heavily to the winning asset.
         let r = Backtester::new(BacktestConfig::default()).run(&mut agent, &market);
-        let mean_up: f64 =
-            r.weights.iter().map(|w| w[1]).sum::<f64>() / r.weights.len() as f64;
+        let mean_up: f64 = r.weights.iter().map(|w| w[1]).sum::<f64>() / r.weights.len() as f64;
         assert!(mean_up > 0.4, "mean weight on winner only {mean_up}");
     }
 
@@ -627,8 +678,7 @@ mod tests {
         let log = Trainer::new(&cfg).train_drl(&mut agent, &market);
         assert!(log.improved(), "rewards: {:?}", log.epoch_rewards);
         let r = Backtester::new(BacktestConfig::default()).run(&mut agent, &market);
-        let mean_up: f64 =
-            r.weights.iter().map(|w| w[1]).sum::<f64>() / r.weights.len() as f64;
+        let mean_up: f64 = r.weights.iter().map(|w| w[1]).sum::<f64>() / r.weights.len() as f64;
         assert!(mean_up > 0.4, "mean weight on winner only {mean_up}");
     }
 
@@ -637,7 +687,7 @@ mod tests {
         let market = trending_market(120);
         let mut cfg = SdpConfig::smoke();
         cfg.state.window = 5;
-        cfg.training.epochs = 14;
+        cfg.training.epochs = 24;
         cfg.training.steps_per_epoch = 12;
         cfg.training.batch_size = 12;
         cfg.training.learning_rate = 8e-3;
@@ -645,8 +695,7 @@ mod tests {
         let log = Trainer::new(&cfg).train_eiie(&mut agent, &market);
         assert!(log.improved(), "rewards: {:?}", log.epoch_rewards);
         let r = Backtester::new(BacktestConfig::default()).run(&mut agent, &market);
-        let mean_up: f64 =
-            r.weights.iter().map(|w| w[1]).sum::<f64>() / r.weights.len() as f64;
+        let mean_up: f64 = r.weights.iter().map(|w| w[1]).sum::<f64>() / r.weights.len() as f64;
         assert!(mean_up > 0.35, "mean weight on winner only {mean_up}");
     }
 

@@ -138,12 +138,8 @@ impl Backtester {
 
         for t in warmup..n_periods - 1 {
             let mut target = {
-                let ctx = DecisionContext {
-                    market,
-                    t,
-                    num_assets: n,
-                    prev_weights: portfolio.weights(),
-                };
+                let ctx =
+                    DecisionContext { market, t, num_assets: n, prev_weights: portfolio.weights() };
                 policy.rebalance(&ctx)
             };
             assert_eq!(
@@ -290,8 +286,9 @@ mod tests {
             }
         }
         let m = market();
-        let free = Backtester::new(BacktestConfig { costs: CostModel::Free, risk_free_per_period: 0.0 })
-            .run(&mut Flipper(false), &m);
+        let free =
+            Backtester::new(BacktestConfig { costs: CostModel::Free, risk_free_per_period: 0.0 })
+                .run(&mut Flipper(false), &m);
         let paid = Backtester::new(BacktestConfig {
             costs: CostModel::Proportional { rate: 0.0025 },
             risk_free_per_period: 0.0,

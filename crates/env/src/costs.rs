@@ -57,16 +57,11 @@ impl CostModel {
         match *self {
             CostModel::Free => 1.0,
             CostModel::Proportional { rate } => {
-                let turnover: f64 = w_target[1..]
-                    .iter()
-                    .zip(&w_drifted[1..])
-                    .map(|(a, b)| (a - b).abs())
-                    .sum();
+                let turnover: f64 =
+                    w_target[1..].iter().zip(&w_drifted[1..]).map(|(a, b)| (a - b).abs()).sum();
                 (1.0 - rate * turnover).clamp(1e-6, 1.0)
             }
-            CostModel::Iterative { buy, sell } => {
-                iterative_mu(w_target, w_drifted, buy, sell)
-            }
+            CostModel::Iterative { buy, sell } => iterative_mu(w_target, w_drifted, buy, sell),
         }
     }
 
@@ -88,8 +83,7 @@ impl CostModel {
 /// proportional approximation until `|Δμ| < 1e-12` (at most 64 rounds).
 fn iterative_mu(w_target: &[f64], w_drifted: &[f64], c_p: f64, c_s: f64) -> f64 {
     let combined = c_s + c_p - c_s * c_p;
-    let turnover: f64 =
-        w_target[1..].iter().zip(&w_drifted[1..]).map(|(a, b)| (a - b).abs()).sum();
+    let turnover: f64 = w_target[1..].iter().zip(&w_drifted[1..]).map(|(a, b)| (a - b).abs()).sum();
     let mut mu = (1.0 - combined * 0.5 * turnover).clamp(1e-6, 1.0);
     for _ in 0..64 {
         let sell_sum: f64 = w_drifted[1..]
@@ -97,8 +91,8 @@ fn iterative_mu(w_target: &[f64], w_drifted: &[f64], c_p: f64, c_s: f64) -> f64 
             .zip(&w_target[1..])
             .map(|(&wd, &wt)| (wd - mu * wt).max(0.0))
             .sum();
-        let next = (1.0 / (1.0 - c_p * w_target[0]))
-            * (1.0 - c_p * w_drifted[0] - combined * sell_sum);
+        let next =
+            (1.0 / (1.0 - c_p * w_target[0])) * (1.0 - c_p * w_drifted[0] - combined * sell_sum);
         let next = next.clamp(1e-6, 1.0);
         if (next - mu).abs() < 1e-12 {
             return next;

@@ -64,9 +64,8 @@ impl Metrics {
         let sharpe = if std_excess > 0.0 { mean_excess / std_excess } else { 0.0 };
 
         let downside: Vec<f64> = excess.iter().map(|&r| r.min(0.0)).collect();
-        let downside_dev = (downside.iter().map(|d| d * d).sum::<f64>()
-            / downside.len() as f64)
-            .sqrt();
+        let downside_dev =
+            (downside.iter().map(|d| d * d).sum::<f64>() / downside.len() as f64).sqrt();
         let sortino = if downside_dev > 0.0 { mean_excess / downside_dev } else { 0.0 };
 
         let mdd = max_drawdown(values);

@@ -110,8 +110,7 @@ mod tests {
 
     #[test]
     fn cvar_dominates_var() {
-        let returns: Vec<f64> =
-            (0..200).map(|i| ((i * 37) % 41) as f64 / 100.0 - 0.2).collect();
+        let returns: Vec<f64> = (0..200).map(|i| ((i * 37) % 41) as f64 / 100.0 - 0.2).collect();
         let var = value_at_risk(&returns, 0.9);
         let cvar = conditional_value_at_risk(&returns, 0.9);
         assert!(cvar >= var, "CVaR {cvar} < VaR {var}");

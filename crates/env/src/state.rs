@@ -114,11 +114,7 @@ impl StateBuilder {
             }
         }
         if self.config.include_weights {
-            assert_eq!(
-                prev_weights.len(),
-                n + 1,
-                "prev_weights must have length num_assets + 1"
-            );
+            assert_eq!(prev_weights.len(), n + 1, "prev_weights must have length num_assets + 1");
             state.extend_from_slice(prev_weights);
         }
         state
@@ -136,10 +132,14 @@ mod tests {
 
     #[test]
     fn state_dim_formula() {
-        let sb = StateBuilder::new(StateConfig { window: 5, include_open: true, include_weights: true });
+        let sb =
+            StateBuilder::new(StateConfig { window: 5, include_open: true, include_weights: true });
         assert_eq!(sb.state_dim(11), 11 * 5 * 4 + 12);
-        let sb2 =
-            StateBuilder::new(StateConfig { window: 3, include_open: false, include_weights: false });
+        let sb2 = StateBuilder::new(StateConfig {
+            window: 3,
+            include_open: false,
+            include_weights: false,
+        });
         assert_eq!(sb2.state_dim(11), 11 * 3 * 3);
     }
 
@@ -161,7 +161,11 @@ mod tests {
     #[test]
     fn latest_close_normalizes_to_one() {
         let m = market();
-        let sb = StateBuilder::new(StateConfig { window: 4, include_open: true, include_weights: false });
+        let sb = StateBuilder::new(StateConfig {
+            window: 4,
+            include_open: true,
+            include_weights: false,
+        });
         let s = sb.build(&m, 10, &[]);
         let channels = 4;
         // The first entry of each asset block is close(t)/close(t) = 1.
@@ -174,7 +178,11 @@ mod tests {
     #[test]
     fn weights_are_appended_verbatim() {
         let m = market();
-        let sb = StateBuilder::new(StateConfig { window: 2, include_open: false, include_weights: true });
+        let sb = StateBuilder::new(StateConfig {
+            window: 2,
+            include_open: false,
+            include_weights: true,
+        });
         let mut w = vec![0.0; 12];
         w[0] = 0.25;
         w[5] = 0.75;
@@ -205,7 +213,11 @@ mod tests {
     #[test]
     fn high_channel_dominates_low_channel() {
         let m = market();
-        let sb = StateBuilder::new(StateConfig { window: 6, include_open: true, include_weights: false });
+        let sb = StateBuilder::new(StateConfig {
+            window: 6,
+            include_open: true,
+            include_weights: false,
+        });
         let s = sb.build(&m, 12, &[]);
         // Layout per lag: [close, high, low, open].
         for chunk in s.chunks_exact(4) {

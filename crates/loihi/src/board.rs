@@ -57,10 +57,7 @@ impl Board {
     /// exceeded.
     pub fn map(&self, net: QuantizedNetwork) -> Result<BoardDeployment, MapNetworkError> {
         // A board-sized virtual chip carries the aggregate budget.
-        let virtual_chip = LoihiChip::new(ChipConfig {
-            cores: self.total_cores(),
-            ..self.chip
-        });
+        let virtual_chip = LoihiChip::new(ChipConfig { cores: self.total_cores(), ..self.chip });
         let network = virtual_chip.map(net)?;
         let chips_used = network.allocation().total_cores.div_ceil(self.chip.cores);
         Ok(BoardDeployment { board: *self, network, chips_used })
@@ -110,10 +107,8 @@ impl PowerTrace {
         interval_s: f64,
     ) -> Self {
         assert!(interval_s > 0.0, "interval must be positive");
-        let samples = per_inference
-            .iter()
-            .map(|s| idle_w + model.dynamic_energy(s) / interval_s)
-            .collect();
+        let samples =
+            per_inference.iter().map(|s| idle_w + model.dynamic_energy(s) / interval_s).collect();
         Self { interval_s, samples, idle_w }
     }
 

@@ -132,12 +132,8 @@ impl LoihiChip {
                 what: format!("needs {total_cores} cores, chip has {}", self.config.cores),
             });
         }
-        let allocation = CoreAllocation {
-            cores_per_layer,
-            total_cores,
-            total_compartments,
-            total_synapses,
-        };
+        let allocation =
+            CoreAllocation { cores_per_layer, total_cores, total_compartments, total_synapses };
         Ok(LoihiNetwork { net, allocation })
     }
 }
@@ -182,8 +178,7 @@ impl LoihiNetwork {
         let dv = (self.net.lif.d_v * DECAY_ONE as f64).round() as i64;
 
         let mut stats = LoihiRunStats { timesteps: t_max as u64, ..Default::default() };
-        stats.input_spikes =
-            input_spikes.as_slice().iter().filter(|&&s| s > 0.0).count() as u64;
+        stats.input_spikes = input_spikes.as_slice().iter().filter(|&&s| s > 0.0).count() as u64;
 
         // Per-layer integer state.
         let mut currents: Vec<Vec<i64>> =
@@ -285,8 +280,11 @@ mod tests {
 
     #[test]
     fn oversized_network_is_rejected() {
-        let tiny_chip =
-            LoihiChip::new(ChipConfig { cores: 1, compartments_per_core: 4, synapses_per_core: 64 });
+        let tiny_chip = LoihiChip::new(ChipConfig {
+            cores: 1,
+            compartments_per_core: 4,
+            synapses_per_core: 64,
+        });
         let net = SdpNetwork::new(SdpNetworkConfig::small(4, 3), &mut rng());
         let (q, _) = quantize_network(&net);
         let err = tiny_chip.map(q).unwrap_err();
@@ -302,12 +300,7 @@ mod tests {
         let mut agree = 0;
         let total = 20;
         for i in 0..total {
-            let s = [
-                0.8 + 0.04 * i as f64,
-                1.0,
-                1.2 - 0.03 * i as f64,
-                0.9 + 0.02 * i as f64,
-            ];
+            let s = [0.8 + 0.04 * i as f64, 1.0, 1.2 - 0.03 * i as f64, 0.9 + 0.02 * i as f64];
             let enc = net.encoder.encode(&s, net.config().timesteps, &mut r);
             let (sums, _) = mapped.infer(&enc);
             let chip_action = net.decoder.decode(&sums).action;

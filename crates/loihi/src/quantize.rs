@@ -98,10 +98,8 @@ pub fn quantize_network(net: &SdpNetwork) -> (QuantizedNetwork, QuantizationRepo
     let mut max_errors = Vec::new();
     let mut zero_fractions = Vec::new();
     for layer in &net.layers {
-        let w_max = layer
-            .weights
-            .max_abs()
-            .max(layer.bias.iter().fold(0.0_f64, |m, &b| m.max(b.abs())));
+        let w_max =
+            layer.weights.max_abs().max(layer.bias.iter().fold(0.0_f64, |m, &b| m.max(b.abs())));
         assert!(w_max > 0.0, "cannot quantize an all-zero layer");
         let ratio = LOIHI_W_MAX as f64 / w_max;
         let weights: Vec<i32> =
@@ -163,13 +161,7 @@ mod tests {
         let (q, _) = quantize_network(&net());
         // At least one weight (or bias) per layer reaches ±127.
         for layer in &q.layers {
-            let max = layer
-                .weights
-                .iter()
-                .chain(&layer.bias)
-                .map(|w| w.abs())
-                .max()
-                .unwrap();
+            let max = layer.weights.iter().chain(&layer.bias).map(|w| w.abs()).max().unwrap();
             assert_eq!(max, LOIHI_W_MAX, "full scale must be used");
         }
     }

@@ -1,8 +1,8 @@
 //! The three Table 1 experiment presets and the 2016–2021 crypto era
 //! calendar they draw from.
 
-use crate::generator::{AssetSpec, GarchParams, GeneratorConfig, MarketGenerator};
 use crate::data::MarketData;
+use crate::generator::{AssetSpec, GarchParams, GeneratorConfig, MarketGenerator};
 use crate::regime::Regime;
 use crate::time::Date;
 

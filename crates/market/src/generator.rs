@@ -381,9 +381,8 @@ mod tests {
         let d = MarketGenerator::new(cfg).unwrap().generate(11);
         let last = d.num_periods() - 1;
         // With a strong-bull common factor, most assets should appreciate.
-        let ups = (0..d.num_assets())
-            .filter(|&i| d.candle(last, i).close > d.candle(0, i).open)
-            .count();
+        let ups =
+            (0..d.num_assets()).filter(|&i| d.candle(last, i).close > d.candle(0, i).open).count();
         assert!(ups >= 8, "only {ups}/11 assets rose in a strong bull market");
     }
 
@@ -393,19 +392,16 @@ mod tests {
         cfg.calendar = vec![(cfg.start, Regime::Crash)];
         let d = MarketGenerator::new(cfg).unwrap().generate(11);
         let last = d.num_periods() - 1;
-        let downs = (0..d.num_assets())
-            .filter(|&i| d.candle(last, i).close < d.candle(0, i).open)
-            .count();
+        let downs =
+            (0..d.num_assets()).filter(|&i| d.candle(last, i).close < d.candle(0, i).open).count();
         assert!(downs >= 8, "only {downs}/11 assets fell in a crash market");
     }
 
     #[test]
     fn regime_calendar_lookup() {
         let mut cfg = small_config();
-        cfg.calendar = vec![
-            (Date::new(2020, 1, 1), Regime::MildBull),
-            (Date::new(2020, 2, 1), Regime::Crash),
-        ];
+        cfg.calendar =
+            vec![(Date::new(2020, 1, 1), Regime::MildBull), (Date::new(2020, 2, 1), Regime::Crash)];
         assert_eq!(cfg.regime_at(Date::new(2019, 12, 1)), Regime::MildBull);
         assert_eq!(cfg.regime_at(Date::new(2020, 1, 15)), Regime::MildBull);
         assert_eq!(cfg.regime_at(Date::new(2020, 2, 1)), Regime::Crash);
@@ -447,9 +443,7 @@ mod tests {
 
         let mean_ac = |cfg: GeneratorConfig| -> f64 {
             let d = MarketGenerator::new(cfg).unwrap().generate(8);
-            (0..d.num_assets())
-                .map(|a| abs_return_autocorrelation(&d, a, 1))
-                .sum::<f64>()
+            (0..d.num_assets()).map(|a| abs_return_autocorrelation(&d, a, 1)).sum::<f64>()
                 / d.num_assets() as f64
         };
         let ac_plain = mean_ac(plain);

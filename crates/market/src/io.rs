@@ -68,8 +68,7 @@ pub fn from_csv(
     periods_per_day: u32,
 ) -> Result<MarketData, ParseMarketError> {
     let mut lines = text.lines().enumerate();
-    let (_, header) =
-        lines.next().ok_or_else(|| ParseMarketError::new(1, "empty file"))?;
+    let (_, header) = lines.next().ok_or_else(|| ParseMarketError::new(1, "empty file"))?;
     if header.trim() != "period,asset,open,high,low,close,volume" {
         return Err(ParseMarketError::new(1, format!("unexpected header {header:?}")));
     }
@@ -89,10 +88,8 @@ pub fn from_csv(
         if fields.len() != 7 {
             return Err(ParseMarketError::new(lineno, "expected 7 fields"));
         }
-        let period: usize = fields[0]
-            .trim()
-            .parse()
-            .map_err(|_| ParseMarketError::new(lineno, "bad period"))?;
+        let period: usize =
+            fields[0].trim().parse().map_err(|_| ParseMarketError::new(lineno, "bad period"))?;
         let asset = fields[1].trim().to_owned();
         let nums: Result<Vec<f64>, _> =
             fields[2..7].iter().map(|f| f.trim().parse::<f64>()).collect();
@@ -113,7 +110,10 @@ pub fn from_csv(
                 if period_fill != asset_names.len() {
                     return Err(ParseMarketError::new(
                         lineno,
-                        format!("period {p} has {period_fill} rows, expected {}", asset_names.len()),
+                        format!(
+                            "period {p} has {period_fill} rows, expected {}",
+                            asset_names.len()
+                        ),
                     ));
                 }
                 first_period_done = true;

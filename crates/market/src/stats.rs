@@ -80,12 +80,8 @@ pub struct MarketStats {
 pub fn market_stats(data: &MarketData) -> MarketStats {
     let n = data.num_assets();
     let annual_volatility = (0..n).map(|a| realized_volatility(data, a)).collect();
-    let excess_kurtosis_v =
-        (0..n).map(|a| excess_kurtosis(&log_returns(data, a))).collect();
-    let clustering = (0..n)
-        .map(|a| abs_return_autocorrelation(data, a, 1))
-        .sum::<f64>()
-        / n as f64;
+    let excess_kurtosis_v = (0..n).map(|a| excess_kurtosis(&log_returns(data, a))).collect();
+    let clustering = (0..n).map(|a| abs_return_autocorrelation(data, a, 1)).sum::<f64>() / n as f64;
     MarketStats {
         annual_volatility,
         excess_kurtosis: excess_kurtosis_v,

@@ -94,8 +94,8 @@ impl Date {
         let z = self.days + 719_468;
         let era = z.div_euclid(DAYS_PER_400Y);
         let doe = z.rem_euclid(DAYS_PER_400Y);
-        let yoe = (doe - doe / (DAYS_PER_4Y - 1) + doe / DAYS_PER_100Y - doe / (DAYS_PER_400Y - 1))
-            / 365;
+        let yoe =
+            (doe - doe / (DAYS_PER_4Y - 1) + doe / DAYS_PER_100Y - doe / (DAYS_PER_400Y - 1)) / 365;
         let y = yoe + era * 400;
         let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
         let mp = (5 * doy + 2) / 153;

@@ -13,9 +13,8 @@ use crate::data::MarketData;
 pub fn top_by_volume(data: &MarketData, at: usize, trailing: usize, k: usize) -> Vec<usize> {
     assert!(k > 0 && k <= data.num_assets(), "k = {k} out of range");
     assert!(at < data.num_periods(), "period {at} out of range");
-    let mut scored: Vec<(usize, f64)> = (0..data.num_assets())
-        .map(|a| (a, data.trailing_volume(at, a, trailing)))
-        .collect();
+    let mut scored: Vec<(usize, f64)> =
+        (0..data.num_assets()).map(|a| (a, data.trailing_volume(at, a, trailing))).collect();
     scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
     scored.truncate(k);
     scored.into_iter().map(|(a, _)| a).collect()
@@ -36,8 +35,7 @@ pub fn select_assets(data: &MarketData, assets: &[usize]) -> MarketData {
         assert!(!seen[a], "duplicate asset index {a}");
         seen[a] = true;
     }
-    let names: Vec<String> =
-        assets.iter().map(|&a| data.asset_names()[a].clone()).collect();
+    let names: Vec<String> = assets.iter().map(|&a| data.asset_names()[a].clone()).collect();
     let mut candles = Vec::with_capacity(data.num_periods() * assets.len());
     for t in 0..data.num_periods() {
         let row = data.cross_section(t);

@@ -1,0 +1,460 @@
+//! Batched SNN execution engine: roll a whole minibatch of states through
+//! the `T` simulation steps with one matrix–matrix multiply per layer per
+//! step instead of `B` separate matrix–vector products.
+//!
+//! # Memory layout
+//!
+//! All per-timestep quantities are stored as *stacked* `(T·B) × dim`
+//! matrices with row index `r = t·B + b` — timestep-major, sample-minor. A
+//! timestep is therefore one contiguous `B × dim` row block, which is
+//! exactly the operand shape the GEMM kernels in `spikefolio_tensor::gemm`
+//! address without copying. Layer `k`'s inputs are layer `k−1`'s output
+//! stack (or the encoder stack for `k = 0`); inputs are never duplicated
+//! into per-layer traces.
+//!
+//! # Workspace reuse
+//!
+//! [`BatchWorkspace`] preallocates every per-step buffer (layer states,
+//! drive scratch, backward deltas, the stacked `Δc` and upstream-gradient
+//! matrices). After construction, [`SdpNetwork::forward_batch`] and
+//! [`crate::stbp::backward_batch`] allocate only O(B) decoder-sized
+//! vectors outside the per-step hot loop.
+//!
+//! # Determinism contract
+//!
+//! * The forward pass encodes sample `b` with `rngs[b]`, consuming exactly
+//!   the random stream [`crate::encoder::PopulationEncoder::encode`]
+//!   would, and every layer
+//!   update evaluates the same floating-point expressions in the same order
+//!   as [`crate::layer::LifLayer::step`] (the batched drive GEMM computes
+//!   k-ascending dot products, bitwise identical to `matvec`). Actions from
+//!   `forward_batch` are therefore **bit-identical** to per-sample
+//!   [`SdpNetwork::forward`] calls with the same per-sample RNGs.
+//! * The backward pass reproduces the per-sample recurrences bitwise and
+//!   only reorders the final `(t, b)` gradient reductions, so parameter
+//!   gradients match the per-sample path to ~1e-14 (well inside the 1e-12
+//!   equivalence budget).
+
+use crate::network::{SdpNetwork, SpikeStats};
+use rand::Rng;
+use spikefolio_tensor::{gemm, Matrix};
+
+/// Recorded history of one layer for a whole minibatch: stacked
+/// `(T·B) × out_dim` matrices, row `r = t·B + b`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchLayerTrace {
+    /// Post-update membrane voltages `v(t)`.
+    pub voltages: Matrix,
+    /// Output spikes `o(t)` — also the next layer's input stack.
+    pub outputs: Matrix,
+    /// Effective thresholds `th(t)` (constant `V_th` columns for plain LIF).
+    pub thresholds: Matrix,
+}
+
+/// Full forward trace of a minibatch, consumed by
+/// [`crate::stbp::backward_batch`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchNetworkTrace {
+    batch: usize,
+    timesteps: usize,
+    /// Encoder spike stack, `(T·B) × encoder_dim`, row `r = t·B + b`.
+    pub encoder: Matrix,
+    /// Per-layer traces, input-side first.
+    pub layers: Vec<BatchLayerTrace>,
+    /// Decoder firing rates, one row per sample (`B × action_dim`).
+    pub firing_rates: Matrix,
+    /// Softmax actions, one row per sample (`B × action_dim`).
+    pub actions: Matrix,
+    /// Event counters summed over the whole minibatch.
+    pub stats: SpikeStats,
+}
+
+impl BatchNetworkTrace {
+    /// Allocates a trace sized for `net` at minibatch size `batch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0`.
+    pub fn new(net: &SdpNetwork, batch: usize) -> Self {
+        assert!(batch > 0, "batch size must be positive");
+        let t_max = net.config().timesteps;
+        let rows = t_max * batch;
+        let action_dim = net.config().action_dim;
+        Self {
+            batch,
+            timesteps: t_max,
+            encoder: Matrix::zeros(rows, net.encoder.output_dim()),
+            layers: net
+                .layers
+                .iter()
+                .map(|l| BatchLayerTrace {
+                    voltages: Matrix::zeros(rows, l.out_dim()),
+                    outputs: Matrix::zeros(rows, l.out_dim()),
+                    thresholds: Matrix::zeros(rows, l.out_dim()),
+                })
+                .collect(),
+            firing_rates: Matrix::zeros(batch, action_dim),
+            actions: Matrix::zeros(batch, action_dim),
+            stats: SpikeStats::default(),
+        }
+    }
+
+    /// Minibatch size `B` the trace was allocated for.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Simulation length `T` the trace was allocated for.
+    pub fn timesteps(&self) -> usize {
+        self.timesteps
+    }
+
+    /// The action row of sample `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b >= batch`.
+    pub fn action(&self, b: usize) -> &[f64] {
+        self.actions.row(b)
+    }
+}
+
+/// Per-layer preallocated buffers of a [`BatchWorkspace`].
+#[derive(Debug, Clone)]
+pub(crate) struct BatchLayerBufs {
+    /// Synaptic currents `c`, `B × out`.
+    pub(crate) current: Matrix,
+    /// Membrane voltages `v`, `B × out`.
+    pub(crate) voltage: Matrix,
+    /// Previous-step spikes `o(t−1)`, `B × out`.
+    pub(crate) spikes: Matrix,
+    /// ALIF adaptation traces `b`, `B × out`.
+    pub(crate) adapt: Matrix,
+    /// Drive scratch `W·o_in` for one timestep, `B × out`.
+    pub(crate) drive: Matrix,
+    /// Backward scratch `δo(t)`, `B × out`.
+    pub(crate) d_o: Matrix,
+    /// Backward scratch `δv(t)`, `B × out`.
+    pub(crate) d_v: Matrix,
+    /// Backward carry `δv(t+1)`, `B × out`.
+    pub(crate) dv_next: Matrix,
+    /// Backward scratch `δb(t)` (adaptation chain), `B × out`.
+    pub(crate) d_b: Matrix,
+    /// Backward carry `δb(t+1)`, `B × out`.
+    pub(crate) db_next: Matrix,
+    /// Stacked `δc(t)` rows, `(T·B) × out` — the GEMM operand of eq. (13).
+    pub(crate) dc_stack: Matrix,
+    /// Stacked upstream gradient on this layer's output spikes,
+    /// `(T·B) × out`.
+    pub(crate) d_ext: Matrix,
+}
+
+/// Preallocated scratch for batched forward/backward passes.
+///
+/// Build once per `(network shape, batch size)` pair and reuse across
+/// steps: the hot loops of [`SdpNetwork::forward_batch`] and
+/// [`crate::stbp::backward_batch`] are then allocation-free.
+#[derive(Debug, Clone)]
+pub struct BatchWorkspace {
+    pub(crate) batch: usize,
+    /// Per-sample encoder scratch, `T × encoder_dim`.
+    pub(crate) enc_scratch: Matrix,
+    pub(crate) layers: Vec<BatchLayerBufs>,
+    /// Per-sample spike sums over the last layer, `B × out_last`.
+    pub(crate) spike_sums: Matrix,
+}
+
+impl BatchWorkspace {
+    /// Allocates a workspace sized for `net` at minibatch size `batch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0`.
+    pub fn new(net: &SdpNetwork, batch: usize) -> Self {
+        assert!(batch > 0, "batch size must be positive");
+        let t_max = net.config().timesteps;
+        let layers = net
+            .layers
+            .iter()
+            .map(|l| {
+                let out = l.out_dim();
+                BatchLayerBufs {
+                    current: Matrix::zeros(batch, out),
+                    voltage: Matrix::zeros(batch, out),
+                    spikes: Matrix::zeros(batch, out),
+                    adapt: Matrix::zeros(batch, out),
+                    drive: Matrix::zeros(batch, out),
+                    d_o: Matrix::zeros(batch, out),
+                    d_v: Matrix::zeros(batch, out),
+                    dv_next: Matrix::zeros(batch, out),
+                    d_b: Matrix::zeros(batch, out),
+                    db_next: Matrix::zeros(batch, out),
+                    dc_stack: Matrix::zeros(t_max * batch, out),
+                    d_ext: Matrix::zeros(t_max * batch, out),
+                }
+            })
+            .collect();
+        let out_last = net.layers.last().map_or(0, |l| l.out_dim());
+        Self {
+            batch,
+            enc_scratch: Matrix::zeros(t_max, net.encoder.output_dim()),
+            layers,
+            spike_sums: Matrix::zeros(batch, out_last),
+        }
+    }
+
+    /// Minibatch size `B` the workspace was allocated for.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+}
+
+fn count_spikes(data: &[f64]) -> u64 {
+    data.iter().filter(|&&s| s > 0.0).count() as u64
+}
+
+impl SdpNetwork {
+    /// Batched forward pass: runs every row of `states` (`B × state_dim`)
+    /// through Algorithm 1 simultaneously, one GEMM per layer per timestep.
+    ///
+    /// Sample `b` is encoded with `rngs[b]`, so with per-sample seeded RNGs
+    /// the result is independent of how samples are grouped into batches —
+    /// and bit-identical to per-sample [`SdpNetwork::forward`] calls (see
+    /// the [module docs](crate::batch)).
+    ///
+    /// `ws` and `trace` must have been built for this network at batch size
+    /// `states.rows()`; both are fully overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree (state width, batch size, RNG count, or a
+    /// workspace/trace built for a different network or batch size).
+    pub fn forward_batch<R: Rng>(
+        &self,
+        states: &Matrix,
+        rngs: &mut [R],
+        ws: &mut BatchWorkspace,
+        trace: &mut BatchNetworkTrace,
+    ) {
+        let bsz = states.rows();
+        let t_max = self.config().timesteps;
+        let enc_dim = self.encoder.output_dim();
+        assert!(bsz > 0, "forward_batch: empty batch");
+        assert_eq!(states.cols(), self.config().state_dim, "forward_batch: state width mismatch");
+        assert_eq!(rngs.len(), bsz, "forward_batch: need one RNG per sample");
+        assert_eq!(ws.batch, bsz, "forward_batch: workspace batch mismatch");
+        assert_eq!(trace.batch, bsz, "forward_batch: trace batch mismatch");
+        assert_eq!(trace.encoder.cols(), enc_dim, "forward_batch: trace encoder width mismatch");
+        assert_eq!(trace.layers.len(), self.layers.len(), "forward_batch: trace depth mismatch");
+
+        trace.stats = SpikeStats::default();
+
+        // Encode each sample with its own RNG, then interleave the T rows
+        // into the timestep-major stack (row t·B + b).
+        for (b, rng) in rngs.iter_mut().enumerate() {
+            self.encoder.encode_into(states.row(b), t_max, rng, &mut ws.enc_scratch);
+            for t in 0..t_max {
+                trace.encoder.row_mut(t * bsz + b).copy_from_slice(ws.enc_scratch.row(t));
+            }
+        }
+        trace.stats.encoder_spikes = count_spikes(trace.encoder.as_slice());
+
+        for lb in &mut ws.layers {
+            lb.current.fill_zero();
+            lb.voltage.fill_zero();
+            lb.spikes.fill_zero();
+            lb.adapt.fill_zero();
+        }
+
+        for t in 0..t_max {
+            for (k, layer) in self.layers.iter().enumerate() {
+                let out_dim = layer.out_dim();
+                let in_dim = layer.in_dim();
+                let (done, rest) = trace.layers.split_at_mut(k);
+                let lt = &mut rest[0];
+                let input_block: &[f64] = if k == 0 {
+                    &trace.encoder.as_slice()[t * bsz * in_dim..(t + 1) * bsz * in_dim]
+                } else {
+                    &done[k - 1].outputs.as_slice()[t * bsz * in_dim..(t + 1) * bsz * in_dim]
+                };
+                let lb = &mut ws.layers[k];
+                // c-drive for the whole block: B k-ascending dots per
+                // neuron, bitwise identical to per-sample `matvec`.
+                gemm::gemm_nt(
+                    input_block,
+                    layer.weights.as_slice(),
+                    lb.drive.as_mut_slice(),
+                    bsz,
+                    in_dim,
+                    out_dim,
+                );
+                let p = &layer.params;
+                for b in 0..bsz {
+                    let r = t * bsz + b;
+                    let drive = lb.drive.row(b);
+                    let cur = lb.current.row_mut(b);
+                    let volt = lb.voltage.row_mut(b);
+                    let spk = lb.spikes.row_mut(b);
+                    for i in 0..out_dim {
+                        // eq. (5): c(t) = d_c·c(t−1) + W·o_in + b.
+                        cur[i] = p.d_c * cur[i] + drive[i] + layer.bias[i];
+                        // eq. (6) + reset: v(t) = d_v·v(t−1)·(1 − o(t−1)) + c(t).
+                        volt[i] = p.d_v * volt[i] * (1.0 - spk[i]) + cur[i];
+                    }
+                    let th_row = lt.thresholds.row_mut(r);
+                    match layer.adaptation {
+                        Some(ad) => {
+                            let adapt = lb.adapt.row_mut(b);
+                            for i in 0..out_dim {
+                                adapt[i] = ad.rho * adapt[i] + (1.0 - ad.rho) * spk[i];
+                                th_row[i] = p.v_th + ad.beta * adapt[i];
+                            }
+                        }
+                        None => th_row.iter_mut().for_each(|th| *th = p.v_th),
+                    }
+                    lt.voltages.row_mut(r).copy_from_slice(volt);
+                    for i in 0..out_dim {
+                        spk[i] = layer.spike_fn.spike(volt[i], th_row[i]); // eq. (7)
+                    }
+                    lt.outputs.row_mut(r).copy_from_slice(spk);
+                }
+            }
+        }
+
+        // Event counters (summed over the batch, matching B per-sample runs).
+        for (k, layer) in self.layers.iter().enumerate() {
+            let inputs = if k == 0 {
+                trace.encoder.as_slice()
+            } else {
+                trace.layers[k - 1].outputs.as_slice()
+            };
+            trace.stats.synops += count_spikes(inputs) * layer.out_dim() as u64;
+            trace.stats.neuron_updates += (layer.out_dim() * t_max * bsz) as u64;
+            trace.stats.neuron_spikes += count_spikes(trace.layers[k].outputs.as_slice());
+        }
+
+        // Σ_t o(t) per sample over the last layer, t ascending as in the
+        // per-sample path, then decode each sample.
+        let last = trace.layers.last().expect("network has at least one layer");
+        ws.spike_sums.fill_zero();
+        for t in 0..t_max {
+            for b in 0..bsz {
+                let sums = ws.spike_sums.row_mut(b);
+                for (s, &o) in sums.iter_mut().zip(last.outputs.row(t * bsz + b)) {
+                    *s += o;
+                }
+            }
+        }
+        for b in 0..bsz {
+            let dec = self.decoder.decode(ws.spike_sums.row(b));
+            trace.firing_rates.row_mut(b).copy_from_slice(&dec.firing_rates);
+            trace.actions.row_mut(b).copy_from_slice(&dec.action);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::Encoding;
+    use crate::network::SdpNetworkConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn states(net: &SdpNetwork, batch: usize) -> Matrix {
+        let dim = net.config().state_dim;
+        Matrix::from_fn(batch, dim, |b, d| 0.8 + 0.05 * ((b * dim + d) % 9) as f64)
+    }
+
+    #[test]
+    fn forward_batch_is_bitwise_equal_to_per_sample_forward() {
+        for encoding in [Encoding::Deterministic, Encoding::Probabilistic] {
+            let mut cfg = SdpNetworkConfig::small(4, 3);
+            cfg.encoder.encoding = encoding;
+            let net = SdpNetwork::new(cfg, &mut rng(7));
+            let batch = 5;
+            let st = states(&net, batch);
+            let mut ws = BatchWorkspace::new(&net, batch);
+            let mut trace = BatchNetworkTrace::new(&net, batch);
+            let mut rngs: Vec<StdRng> = (0..batch).map(|b| rng(100 + b as u64)).collect();
+            net.forward_batch(&st, &mut rngs, &mut ws, &mut trace);
+            for b in 0..batch {
+                let mut r = rng(100 + b as u64);
+                let (action, _) = net.forward(st.row(b), &mut r);
+                assert_eq!(trace.action(b), action.as_slice(), "{encoding:?} sample {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_batch_stats_match_summed_per_sample_stats() {
+        let net = SdpNetwork::new(SdpNetworkConfig::small(4, 3), &mut rng(7));
+        let batch = 4;
+        let st = states(&net, batch);
+        let mut ws = BatchWorkspace::new(&net, batch);
+        let mut trace = BatchNetworkTrace::new(&net, batch);
+        let mut rngs: Vec<StdRng> = (0..batch).map(|b| rng(b as u64)).collect();
+        net.forward_batch(&st, &mut rngs, &mut ws, &mut trace);
+        let mut expect = SpikeStats::default();
+        for b in 0..batch {
+            let (_, s) = net.act_with_stats(st.row(b), &mut rng(b as u64));
+            expect.encoder_spikes += s.encoder_spikes;
+            expect.neuron_spikes += s.neuron_spikes;
+            expect.synops += s.synops;
+            expect.neuron_updates += s.neuron_updates;
+        }
+        assert_eq!(trace.stats, expect);
+    }
+
+    #[test]
+    fn workspace_and_trace_are_reusable_across_calls() {
+        let net = SdpNetwork::new(SdpNetworkConfig::small(4, 3), &mut rng(9));
+        let batch = 3;
+        let mut ws = BatchWorkspace::new(&net, batch);
+        let mut trace = BatchNetworkTrace::new(&net, batch);
+        let st1 = states(&net, batch);
+        let st2 = st1.map(|v| v + 0.01);
+        let mut rngs: Vec<StdRng> = (0..batch).map(|b| rng(b as u64)).collect();
+        net.forward_batch(&st1, &mut rngs, &mut ws, &mut trace);
+        let first = trace.actions.clone();
+        // Run different inputs through the same buffers, then the originals
+        // again: stale state must not leak.
+        let mut rngs2: Vec<StdRng> = (0..batch).map(|b| rng(b as u64)).collect();
+        net.forward_batch(&st2, &mut rngs2, &mut ws, &mut trace);
+        let mut rngs3: Vec<StdRng> = (0..batch).map(|b| rng(b as u64)).collect();
+        net.forward_batch(&st1, &mut rngs3, &mut ws, &mut trace);
+        assert_eq!(trace.actions, first, "workspace reuse must be stateless");
+    }
+
+    #[test]
+    fn adaptive_network_matches_per_sample_path() {
+        let mut cfg = SdpNetworkConfig::small(4, 3);
+        cfg.adaptation = Some(crate::neuron::AdaptiveParams { beta: 0.6, rho: 0.85 });
+        let net = SdpNetwork::new(cfg, &mut rng(21));
+        let batch = 3;
+        let st = states(&net, batch);
+        let mut ws = BatchWorkspace::new(&net, batch);
+        let mut trace = BatchNetworkTrace::new(&net, batch);
+        let mut rngs: Vec<StdRng> = (0..batch).map(|b| rng(b as u64)).collect();
+        net.forward_batch(&st, &mut rngs, &mut ws, &mut trace);
+        for b in 0..batch {
+            let (action, _) = net.forward(st.row(b), &mut rng(b as u64));
+            assert_eq!(trace.action(b), action.as_slice(), "ALIF sample {b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "workspace batch mismatch")]
+    fn wrong_workspace_batch_panics() {
+        let net = SdpNetwork::new(SdpNetworkConfig::small(4, 3), &mut rng(3));
+        let st = states(&net, 2);
+        let mut ws = BatchWorkspace::new(&net, 3);
+        let mut trace = BatchNetworkTrace::new(&net, 2);
+        let mut rngs = vec![rng(0), rng(1)];
+        net.forward_batch(&st, &mut rngs, &mut ws, &mut trace);
+    }
+}

@@ -197,7 +197,11 @@ mod tests {
             let lp: f64 = dp.decode(&sums).action.iter().zip(&c).map(|(a, b)| a * b).sum();
             let lm: f64 = dm.decode(&sums).action.iter().zip(&c).map(|(a, b)| a * b).sum();
             let num = (lp - lm) / (2.0 * eps);
-            assert!((grads.d_weights[i] - num).abs() < 1e-6, "w[{i}]: {} vs {num}", grads.d_weights[i]);
+            assert!(
+                (grads.d_weights[i] - num).abs() < 1e-6,
+                "w[{i}]: {} vs {num}",
+                grads.d_weights[i]
+            );
         }
     }
 

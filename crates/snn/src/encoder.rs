@@ -157,10 +157,38 @@ impl PopulationEncoder {
     ///
     /// Panics if `state.len() != state_dim` or `timesteps == 0`.
     pub fn encode<R: Rng + ?Sized>(&self, state: &[f64], timesteps: usize, rng: &mut R) -> Matrix {
+        let mut spikes = Matrix::zeros(timesteps, self.output_dim());
+        self.encode_into(state, timesteps, rng, &mut spikes);
+        spikes
+    }
+
+    /// Like [`PopulationEncoder::encode`], but writes into a caller-owned
+    /// `timesteps × output_dim` matrix (cleared first), so batch drivers can
+    /// reuse one scratch buffer across samples. Consumes `rng` identically
+    /// to [`PopulationEncoder::encode`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state.len() != state_dim`, `timesteps == 0`, or `out` has
+    /// the wrong shape.
+    pub fn encode_into<R: Rng + ?Sized>(
+        &self,
+        state: &[f64],
+        timesteps: usize,
+        rng: &mut R,
+        out: &mut Matrix,
+    ) {
         assert!(timesteps > 0, "timesteps must be positive");
-        let a = self.stimulation(state);
         let n = self.output_dim();
-        let mut spikes = Matrix::zeros(timesteps, n);
+        assert_eq!(
+            out.shape(),
+            (timesteps, n),
+            "encode_into: out shape {:?} != ({timesteps}, {n})",
+            out.shape()
+        );
+        let a = self.stimulation(state);
+        out.fill_zero();
+        let spikes = out;
         match self.config.encoding {
             Encoding::Probabilistic => {
                 for t in 0..timesteps {
@@ -185,7 +213,6 @@ impl PopulationEncoder {
                 }
             }
         }
-        spikes
     }
 }
 
@@ -310,6 +337,32 @@ mod tests {
         let s = e.encode(&[1.5], t, &mut rng());
         let rate = s.as_slice().iter().sum::<f64>() / t as f64;
         assert!((rate - a).abs() < 0.05, "rate {rate} vs A_E {a}");
+    }
+
+    #[test]
+    fn encode_into_reuses_buffer_and_matches_encode() {
+        for mode in [Encoding::Deterministic, Encoding::Probabilistic] {
+            let e = encoder(mode);
+            let state = [1.0, 0.9, 1.1];
+            let fresh = e.encode(&state, 5, &mut rng());
+            // Same seed, dirty reused buffer: identical spikes and RNG use.
+            let mut buf = Matrix::filled(5, e.output_dim(), 7.0);
+            let mut r = rng();
+            e.encode_into(&state, 5, &mut r, &mut buf);
+            assert_eq!(buf, fresh, "{mode:?}");
+            // The RNG must have advanced exactly as in `encode`.
+            let mut r2 = rng();
+            let _ = e.encode(&state, 5, &mut r2);
+            assert_eq!(r.next_u64(), r2.next_u64(), "{mode:?} RNG stream diverged");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "encode_into: out shape")]
+    fn encode_into_rejects_wrong_shape() {
+        let e = encoder(Encoding::Deterministic);
+        let mut buf = Matrix::zeros(4, e.output_dim());
+        e.encode_into(&[1.0, 0.9, 1.1], 5, &mut rng(), &mut buf);
     }
 
     #[test]

@@ -254,7 +254,8 @@ mod tests {
     #[test]
     fn reset_clears_voltage_contribution() {
         // After a spike, the voltage restarts from the new current alone.
-        let mut l = LifLayer::new(1, 1, LifParams { v_th: 0.5, d_c: 0.0, d_v: 0.9 }, hard(), &mut rng());
+        let mut l =
+            LifLayer::new(1, 1, LifParams { v_th: 0.5, d_c: 0.0, d_v: 0.9 }, hard(), &mut rng());
         l.weights = Matrix::filled(1, 1, 0.6); // immediate spike every step? v=0.6>0.5
         let inputs = Matrix::filled(3, 1, 1.0);
         let (out, tr) = l.forward(&inputs, true);
@@ -286,7 +287,8 @@ mod tests {
 
     #[test]
     fn soft_spikes_are_graded() {
-        let l = LifLayer::new(2, 2, LifParams::paper(), SpikeFn::Soft { temperature: 0.2 }, &mut rng());
+        let l =
+            LifLayer::new(2, 2, LifParams::paper(), SpikeFn::Soft { temperature: 0.2 }, &mut rng());
         let (out, _) = l.forward(&Matrix::filled(3, 2, 1.0), false);
         // Soft outputs are in (0,1), not exactly binary.
         assert!(out.as_slice().iter().all(|&o| (0.0..=1.0).contains(&o)));

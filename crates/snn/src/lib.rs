@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod decoder;
 pub mod encoder;
 pub mod layer;
@@ -40,6 +41,7 @@ pub mod raster;
 pub mod stbp;
 pub mod surrogate;
 
+pub use batch::{BatchLayerTrace, BatchNetworkTrace, BatchWorkspace};
 pub use encoder::{Encoding, PopulationEncoder, PopulationEncoderConfig};
 pub use network::{SdpNetwork, SdpNetworkConfig};
 pub use neuron::LifParams;

@@ -15,9 +15,11 @@
 //! exact (no surrogate) when the network uses the soft spike relaxation,
 //! which is how the recurrences are validated against finite differences.
 
+use crate::batch::{BatchNetworkTrace, BatchWorkspace};
+use crate::decoder::DecoderTrace;
 use crate::network::{NetworkTrace, SdpNetwork};
 use spikefolio_tensor::optim::{Optimizer, ParamSlot};
-use spikefolio_tensor::{vector, Matrix};
+use spikefolio_tensor::{gemm, vector, Matrix};
 
 /// Gradients of one LIF layer.
 #[derive(Debug, Clone, PartialEq)]
@@ -213,6 +215,159 @@ pub fn backward_with_rate_penalty(
             db_next = d_b;
         }
         d_out_ext = d_in;
+    }
+    grads
+}
+
+/// Batched STBP backward pass: the minibatch counterpart of
+/// [`backward_with_rate_penalty`], consuming a
+/// [`BatchNetworkTrace`] produced by
+/// [`SdpNetwork::forward_batch`](crate::batch) and the per-sample loss
+/// gradients `d_actions` (`B × action_dim`, one row per sample).
+///
+/// Returns the gradients **summed** over the batch — scale by `1/B`
+/// afterwards for the batch mean, exactly as when accumulating per-sample
+/// [`backward`] results.
+///
+/// The reverse-time `δo/δv/δc` recurrences are evaluated elementwise in the
+/// same order as the per-sample path (bitwise identical); the weight
+/// gradient is then formed as a single GEMM per layer,
+/// `∇W += Σ_{t,b} δc(t,b)ᵀ · o_in(t,b)`, whose `(t, b)` summation reorder
+/// is the only floating-point difference from accumulating per-sample
+/// backward passes (≈1e-14 relative).
+///
+/// # Panics
+///
+/// Panics if the trace, workspace, and `d_actions` shapes disagree with the
+/// network, or if `rate_penalty < 0`.
+pub fn backward_batch(
+    net: &SdpNetwork,
+    trace: &BatchNetworkTrace,
+    d_actions: &Matrix,
+    rate_penalty: f64,
+    ws: &mut BatchWorkspace,
+) -> SdpGradients {
+    let bsz = trace.batch();
+    let t_max = net.config().timesteps;
+    assert_eq!(trace.layers.len(), net.depth(), "trace depth mismatch");
+    assert_eq!(trace.timesteps(), t_max, "trace timestep mismatch");
+    assert_eq!(ws.batch, bsz, "workspace batch mismatch");
+    assert_eq!(
+        d_actions.shape(),
+        (bsz, net.config().action_dim),
+        "d_actions must be batch x action_dim"
+    );
+    assert!(rate_penalty >= 0.0, "rate penalty must be non-negative");
+    let n_hidden: usize = net.layers[..net.depth() - 1].iter().map(|l| l.out_dim()).sum();
+    let rate_grad = if n_hidden > 0 && rate_penalty > 0.0 {
+        rate_penalty / (t_max as f64 * n_hidden as f64)
+    } else {
+        0.0
+    };
+
+    let mut grads = SdpGradients::zeros_like(net);
+
+    // Decoder backward per sample (b ascending, the per-sample accumulation
+    // order); the time-constant spike gradient seeds the last layer's
+    // upstream-gradient stack for every timestep.
+    let depth = net.depth();
+    for b in 0..bsz {
+        let dt = DecoderTrace {
+            firing_rates: trace.firing_rates.row(b).to_vec(),
+            action: trace.actions.row(b).to_vec(),
+        };
+        let dg = net.decoder.backward(&dt, d_actions.row(b));
+        vector::axpy(&mut grads.d_decoder_weights, 1.0, &dg.d_weights);
+        vector::axpy(&mut grads.d_decoder_bias, 1.0, &dg.d_bias);
+        let last = &mut ws.layers[depth - 1];
+        for t in 0..t_max {
+            last.d_ext.row_mut(t * bsz + b).copy_from_slice(&dg.d_spikes_per_step);
+        }
+    }
+
+    for (k, layer) in net.layers.iter().enumerate().rev() {
+        let lt = &trace.layers[k];
+        let out_dim = layer.out_dim();
+        let in_dim = layer.in_dim();
+        let p = &layer.params;
+        let hidden_rate = k + 1 < net.layers.len() && rate_grad > 0.0;
+
+        let (lower, rest) = ws.layers.split_at_mut(k);
+        let lb = &mut rest[0];
+        lb.dv_next.fill_zero();
+        lb.db_next.fill_zero();
+
+        for t in (0..t_max).rev() {
+            // Split the δc stack so row block t (written now) and row block
+            // t+1 (the δc(t+1) carry) can be borrowed together.
+            let split = (t + 1) * bsz * out_dim;
+            let (head, tail) = lb.dc_stack.as_mut_slice().split_at_mut(split);
+            let cur_rows = &mut head[t * bsz * out_dim..];
+            for b in 0..bsz {
+                let r = t * bsz + b;
+                let v_t = lt.voltages.row(r);
+                let o_t = lt.outputs.row(r);
+                let th_t = lt.thresholds.row(r);
+                let ext = lb.d_ext.row(r);
+                let dv_next = lb.dv_next.row(b);
+                let db_next = lb.db_next.row(b);
+                let d_o = lb.d_o.row_mut(b);
+                let d_v = lb.d_v.row_mut(b);
+                let d_b = lb.d_b.row_mut(b);
+                let d_c = &mut cur_rows[b * out_dim..(b + 1) * out_dim];
+                let dc_next =
+                    if t + 1 < t_max { Some(&tail[b * out_dim..(b + 1) * out_dim]) } else { None };
+                for i in 0..out_dim {
+                    // δo(t): external + reset path (+ rate penalty on
+                    // hidden layers, + adaptation chain) — same evaluation
+                    // order as the per-sample path.
+                    let mut doi = ext[i];
+                    if hidden_rate {
+                        doi += rate_grad;
+                    }
+                    doi -= p.d_v * v_t[i] * dv_next[i];
+                    if let Some(ad) = layer.adaptation {
+                        doi += (1.0 - ad.rho) * db_next[i];
+                    }
+                    d_o[i] = doi;
+                    let z = layer.spike_fn.grad(v_t[i], th_t[i]);
+                    d_v[i] = doi * z + dv_next[i] * p.d_v * (1.0 - o_t[i]);
+                    if let Some(ad) = layer.adaptation {
+                        d_b[i] = -ad.beta * doi * z + ad.rho * db_next[i];
+                    }
+                    let dcn = dc_next.map_or(0.0, |row| row[i]);
+                    d_c[i] = d_v[i] + p.d_c * dcn;
+                }
+            }
+            // Gradient on this timestep's inputs → previous layer's
+            // upstream stack (one B×out · out×in GEMM). Layer 0's input
+            // gradient has no consumer and is skipped.
+            if k > 0 {
+                let dc_block = &head[t * bsz * out_dim..];
+                let dst = &mut lower[k - 1].d_ext.as_mut_slice()
+                    [t * bsz * in_dim..(t + 1) * bsz * in_dim];
+                gemm::gemm_nn(dc_block, layer.weights.as_slice(), dst, bsz, out_dim, in_dim);
+            }
+            std::mem::swap(&mut lb.d_v, &mut lb.dv_next);
+            std::mem::swap(&mut lb.d_b, &mut lb.db_next);
+        }
+
+        // Parameter gradients (eq. 13) as one GEMM over the whole stack:
+        // ∇W += Σ_{t,b} δc ⊗ o_in, ∇b = column sums of the δc stack.
+        let inputs: &[f64] =
+            if k == 0 { trace.encoder.as_slice() } else { trace.layers[k - 1].outputs.as_slice() };
+        gemm::gemm_tn_acc(
+            1.0,
+            lb.dc_stack.as_slice(),
+            inputs,
+            grads.layers[k].d_weights.as_mut_slice(),
+            t_max * bsz,
+            out_dim,
+            in_dim,
+        );
+        for r in 0..t_max * bsz {
+            vector::axpy(&mut grads.layers[k].d_bias, 1.0, lb.dc_stack.row(r));
+        }
     }
     grads
 }
@@ -575,8 +730,7 @@ mod tests {
             let hidden = &tr.layers[..n.depth() - 1];
             let t = n.config().timesteps as f64;
             let n_hidden: usize = n.layers[..n.depth() - 1].iter().map(|l| l.out_dim()).sum();
-            let total: f64 =
-                hidden.iter().flat_map(|lt| lt.outputs.iter()).flatten().sum();
+            let total: f64 = hidden.iter().flat_map(|lt| lt.outputs.iter()).flatten().sum();
             base + lambda * total / (t * n_hidden as f64)
         };
         let eps = 1e-5;

@@ -21,6 +21,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod gemm;
 pub mod init;
 pub mod matrix;
 pub mod ops;

@@ -242,6 +242,118 @@ impl Matrix {
         out
     }
 
+    /// Matrix–matrix product into a caller-owned output: `out = self * other`.
+    ///
+    /// Allocation-free variant of [`Matrix::matmul`] built on
+    /// [`gemm_nn`](crate::gemm::gemm_nn); `out` is fully overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.rows` or `out` is not
+    /// `self.rows × other.cols`.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul_into: lhs cols {} != rhs rows {}",
+            self.cols, other.rows
+        );
+        assert_eq!(
+            out.shape(),
+            (self.rows, other.cols),
+            "matmul_into: out shape {:?} != {:?}",
+            out.shape(),
+            (self.rows, other.cols)
+        );
+        crate::gemm::gemm_nn(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            other.cols,
+        );
+    }
+
+    /// Batched matrix product against a transposed weight matrix:
+    /// `out = self * otherᵀ`.
+    ///
+    /// With `self` holding one sample per row, row `i` of `out` equals
+    /// `other.matvec(self.row(i))` bitwise (see [`gemm_nt`](crate::gemm::gemm_nt)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.cols` or `out` is not
+    /// `self.rows × other.rows`.
+    pub fn matmul_transposed_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_transposed_into: lhs cols {} != rhs cols {}",
+            self.cols, other.cols
+        );
+        assert_eq!(
+            out.shape(),
+            (self.rows, other.rows),
+            "matmul_transposed_into: out shape {:?} != {:?}",
+            out.shape(),
+            (self.rows, other.rows)
+        );
+        crate::gemm::gemm_nt(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            other.rows,
+        );
+    }
+
+    /// Batched affine map `out = self * wᵀ + bias` with the bias broadcast
+    /// across rows: row `i` of `out` is `w · self.row(i) + bias`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree or `bias.len() != w.rows`.
+    pub fn affine_transposed_into(&self, w: &Matrix, bias: &[f64], out: &mut Matrix) {
+        assert_eq!(
+            bias.len(),
+            w.rows,
+            "affine_transposed_into: bias length {} != w rows {}",
+            bias.len(),
+            w.rows
+        );
+        self.matmul_transposed_into(w, out);
+        for r in 0..out.rows {
+            let row = &mut out.data[r * out.cols..(r + 1) * out.cols];
+            for (o, &b) in row.iter_mut().zip(bias) {
+                *o += b;
+            }
+        }
+    }
+
+    /// Accumulates `alpha * aᵀ * b` into `self`, where `a` and `b` share
+    /// their row count: the sum of per-row outer products
+    /// `alpha · a.row(r) ⊗ b.row(r)` in row-ascending order (the batched
+    /// form of repeated [`Matrix::add_outer`] calls).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.rows != b.rows` or `self` is not `a.cols × b.cols`.
+    pub fn add_matmul_transposed_lhs(&mut self, alpha: f64, a: &Matrix, b: &Matrix) {
+        assert_eq!(
+            a.rows, b.rows,
+            "add_matmul_transposed_lhs: a rows {} != b rows {}",
+            a.rows, b.rows
+        );
+        assert_eq!(
+            self.shape(),
+            (a.cols, b.cols),
+            "add_matmul_transposed_lhs: self shape {:?} != {:?}",
+            self.shape(),
+            (a.cols, b.cols)
+        );
+        crate::gemm::gemm_tn_acc(alpha, &a.data, &b.data, &mut self.data, a.rows, a.cols, b.cols);
+    }
+
     /// Returns the transpose of `self`.
     pub fn transposed(&self) -> Matrix {
         Matrix::from_fn(self.cols, self.rows, |r, c| self.data[c * self.cols + r])
@@ -301,11 +413,7 @@ impl Matrix {
 
     /// Returns a new matrix with `f` applied to every element.
     pub fn map(&self, mut f: impl FnMut(f64) -> f64) -> Matrix {
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&v| f(v)).collect(),
-        }
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&v| f(v)).collect() }
     }
 
     /// Maximum absolute value of any element (0.0 for an empty matrix).
@@ -566,6 +674,63 @@ mod tests {
         let i = Matrix::identity(4);
         let b = [1.0, 2.0, 3.0, 4.0];
         assert_eq!(i.solve(&b).unwrap(), b.to_vec());
+    }
+
+    #[test]
+    fn matmul_into_matches_matmul() {
+        let a = Matrix::from_fn(3, 4, |r, c| (r * 4 + c) as f64 * 0.5 - 2.0);
+        let b = Matrix::from_fn(4, 2, |r, c| (r + c) as f64 * 0.25);
+        let mut out = Matrix::filled(3, 2, f64::NAN);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+    }
+
+    #[test]
+    fn matmul_transposed_into_rows_match_matvec_bitwise() {
+        let samples = Matrix::from_fn(5, 6, |r, c| ((r * 6 + c) as f64).sin());
+        let w = Matrix::from_fn(3, 6, |r, c| ((r * 6 + c) as f64).cos());
+        let mut out = Matrix::zeros(5, 3);
+        samples.matmul_transposed_into(&w, &mut out);
+        for r in 0..5 {
+            assert_eq!(out.row(r), w.matvec(samples.row(r)).as_slice(), "row {r}");
+        }
+    }
+
+    #[test]
+    fn affine_transposed_into_broadcasts_bias() {
+        let samples = Matrix::from_fn(4, 3, |r, c| (r + c) as f64);
+        let w = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f64 * 0.1);
+        let bias = [1.0, -2.0];
+        let mut out = Matrix::zeros(4, 2);
+        samples.affine_transposed_into(&w, &bias, &mut out);
+        for r in 0..4 {
+            let z = w.matvec(samples.row(r));
+            for (j, &b) in bias.iter().enumerate() {
+                assert!((out[(r, j)] - (z[j] + b)).abs() < 1e-12, "({r},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn add_matmul_transposed_lhs_matches_outer_sum() {
+        let a = Matrix::from_fn(6, 2, |r, c| (r as f64 - c as f64) * 0.3);
+        let b = Matrix::from_fn(6, 3, |r, c| (r * 3 + c) as f64 * 0.2 - 1.0);
+        let mut fast = Matrix::zeros(2, 3);
+        fast.add_matmul_transposed_lhs(1.5, &a, &b);
+        let mut reference = Matrix::zeros(2, 3);
+        for r in 0..6 {
+            reference.add_outer(1.5, a.row(r), b.row(r));
+        }
+        assert_eq!(fast, reference);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul_into: out shape")]
+    fn matmul_into_rejects_bad_output_shape() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(3, 2);
+        let mut out = Matrix::zeros(3, 2);
+        a.matmul_into(&b, &mut out);
     }
 
     #[test]

@@ -128,12 +128,8 @@ mod tests {
             xm[i] -= eps;
             let yp = softmax(&xp);
             let ym = softmax(&xm);
-            let num: f64 = yp
-                .iter()
-                .zip(&ym)
-                .zip(&dy)
-                .map(|((p, m), d)| d * (p - m) / (2.0 * eps))
-                .sum();
+            let num: f64 =
+                yp.iter().zip(&ym).zip(&dy).map(|((p, m), d)| d * (p - m) / (2.0 * eps)).sum();
             assert!((dx[i] - num).abs() < 1e-6, "component {i}: {} vs {}", dx[i], num);
         }
     }

@@ -27,11 +27,7 @@ fn main() {
         wf.train_window, wf.trade_window
     );
     let result = walk_forward(&config, wf, &market, 7);
-    println!(
-        "{} retrainings over {} traded periods",
-        result.retrainings,
-        result.values.len() - 1
-    );
+    println!("{} retrainings over {} traded periods", result.retrainings, result.values.len() - 1);
     for (i, r) in result.block_rewards.iter().enumerate() {
         println!("  block {:>2}: final training reward {:+.6}", i + 1, r);
     }

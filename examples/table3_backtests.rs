@@ -51,7 +51,11 @@ fn main() {
             out.experiment,
             sdp.fapv,
             drl.fapv,
-            if sdp.fapv >= drl.fapv { "SDP ahead, as in the paper" } else { "DRL ahead on this seed" }
+            if sdp.fapv >= drl.fapv {
+                "SDP ahead, as in the paper"
+            } else {
+                "DRL ahead on this seed"
+            }
         );
     }
 }

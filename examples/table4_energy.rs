@@ -23,7 +23,9 @@ fn options() -> RunOptions {
 
 fn main() {
     let opts = options();
-    eprintln!("training + deploying SDP for each experiment (this touches every pipeline stage)...");
+    eprintln!(
+        "training + deploying SDP for each experiment (this touches every pipeline stage)..."
+    );
     let outcomes = run_table4(&opts);
     println!("{}", format_table4(&outcomes));
 

@@ -1,0 +1,206 @@
+//! Offline stand-in for `rand_distr`: the [`Distribution`] trait plus the
+//! [`Normal`] and [`StudentT`] distributions the market generator draws
+//! from. Sampling uses textbook transforms (Box–Muller, Marsaglia–Tsang)
+//! rather than upstream's ziggurat tables — the distributions match, the
+//! exact streams do not, and nothing in the workspace depends on the
+//! streams beyond seeded determinism.
+
+use rand::Rng;
+
+/// Types that can be sampled from a distribution.
+pub trait Distribution<T> {
+    /// Draws one value from `rng`.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error constructing a distribution from invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error(&'static str);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Uniform in `(0, 1]` — safe input for `ln`.
+#[inline]
+fn open_unit<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    1.0 - f64::sample_standard(rng)
+}
+
+/// Small helper so `?Sized` rngs can be sampled without the `Rng::gen`
+/// `Sized` bound.
+trait SampleStandard {
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> f64;
+}
+
+impl SampleStandard for f64 {
+    #[inline]
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Draws a standard normal via Box–Muller.
+#[inline]
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1 = open_unit(rng);
+    let u2 = f64::sample_standard(rng);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Normal distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `std_dev` is negative or not finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, Error> {
+        if !(std_dev >= 0.0 && std_dev.is_finite() && mean.is_finite()) {
+            return Err(Error("Normal requires finite mean and std_dev >= 0"));
+        }
+        Ok(Self { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// Student's t distribution with `df` degrees of freedom.
+///
+/// Generic parameter mirrors upstream's `StudentT<F>`; only `f64` is
+/// implemented here.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StudentT<F = f64> {
+    df: F,
+}
+
+impl StudentT<f64> {
+    /// Creates a Student-t distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `df` is not a positive finite number.
+    pub fn new(df: f64) -> Result<Self, Error> {
+        if !(df > 0.0 && df.is_finite()) {
+            return Err(Error("StudentT requires df > 0"));
+        }
+        Ok(Self { df })
+    }
+}
+
+/// Gamma(shape, scale = 1) via Marsaglia–Tsang, with the standard boost
+/// for `shape < 1`.
+fn standard_gamma<R: Rng + ?Sized>(shape: f64, rng: &mut R) -> f64 {
+    if shape < 1.0 {
+        // Boost: Gamma(a) = Gamma(a + 1) · U^{1/a}.
+        let u = open_unit(rng);
+        return standard_gamma(shape + 1.0, rng) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u = open_unit(rng);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+impl Distribution<f64> for StudentT<f64> {
+    /// Samples `t = z / √(χ²_df / df)` with `χ²_df = 2·Gamma(df/2)`.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let z = standard_normal(rng);
+        let chi2 = 2.0 * standard_gamma(self.df / 2.0, rng);
+        z / (chi2 / self.df).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn moments(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn normal_moments_match() {
+        let d = Normal::new(2.0, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let xs: Vec<f64> = (0..200_000).map(|_| d.sample(&mut rng)).collect();
+        let (mean, var) = moments(&xs);
+        assert!((mean - 2.0).abs() < 0.03, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn normal_rejects_bad_params() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn student_t_moments_match() {
+        // For df > 2: mean 0, variance df / (df − 2).
+        let df = 5.0;
+        let d = StudentT::new(df).unwrap();
+        let mut rng = StdRng::seed_from_u64(13);
+        let xs: Vec<f64> = (0..200_000).map(|_| d.sample(&mut rng)).collect();
+        let (mean, var) = moments(&xs);
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - df / (df - 2.0)).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn student_t_has_fatter_tails_than_normal() {
+        let t = StudentT::new(3.0).unwrap();
+        let n = Normal::new(0.0, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        let big = |xs: Vec<f64>| xs.iter().filter(|x| x.abs() > 4.0).count();
+        let t_tail = big((0..100_000).map(|_| t.sample(&mut rng)).collect());
+        let n_tail = big((0..100_000).map(|_| n.sample(&mut rng)).collect());
+        assert!(t_tail > n_tail * 5, "t tail {t_tail} vs normal tail {n_tail}");
+    }
+
+    #[test]
+    fn student_t_rejects_bad_df() {
+        assert!(StudentT::new(0.0).is_err());
+        assert!(StudentT::new(-2.0).is_err());
+        assert!(StudentT::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn gamma_boost_handles_small_shape() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..1000 {
+            let g = standard_gamma(0.4, &mut rng);
+            assert!(g > 0.0 && g.is_finite());
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! The workspace annotates config types with serde derives but never
+//! serializes through serde (checkpointing is a hand-rolled hex format in
+//! `spikefolio::checkpoint`). These derives therefore expand to nothing:
+//! the attribute stays valid, no trait impls are generated, and no
+//! registry access is needed to build offline.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts any item.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts any item.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -5,7 +5,7 @@ use proptest::prelude::*;
 use spikefolio::agent::SdpAgent;
 use spikefolio::config::SdpConfig;
 use spikefolio::drl::DrlAgent;
-use spikefolio_baselines::{Anticor, BestStock, BuyAndHold, M0, Ons, Ucrp};
+use spikefolio_baselines::{Anticor, BestStock, BuyAndHold, Ons, Ucrp, M0};
 use spikefolio_env::backtest::HoldCash;
 use spikefolio_env::{BacktestConfig, Backtester, CostModel, Policy};
 use spikefolio_market::experiments::ExperimentPreset;
