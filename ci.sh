@@ -13,4 +13,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo bench --no-run (benches must keep compiling)"
+cargo bench --no-run --workspace
+
 echo "CI checks passed."

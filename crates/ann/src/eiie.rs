@@ -142,6 +142,19 @@ impl EiieGradients {
         self.d_head_bias *= alpha;
         self.d_cash_bias *= alpha;
     }
+
+    /// Global L2 norm over every parameter gradient.
+    pub fn global_norm(&self) -> f64 {
+        let mut sq = 0.0;
+        for conv in [&self.conv1, &self.conv2] {
+            sq += conv.d_weights.as_slice().iter().map(|g| g * g).sum::<f64>();
+            sq += conv.d_bias.iter().map(|g| g * g).sum::<f64>();
+        }
+        sq += self.d_head.iter().map(|g| g * g).sum::<f64>();
+        sq += self.d_head_bias * self.d_head_bias;
+        sq += self.d_cash_bias * self.d_cash_bias;
+        sq.sqrt()
+    }
 }
 
 fn relu(m: &Matrix) -> Matrix {

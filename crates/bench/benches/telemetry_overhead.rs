@@ -1,0 +1,54 @@
+//! Telemetry overhead: one SDP training epoch with the zero-cost
+//! [`NoopRecorder`] vs a live [`JsonlSink`] (written to an in-memory
+//! buffer). The noop path is the observe-only guarantee's perf half —
+//! it must track the pre-telemetry baseline, while the sink path shows
+//! the true cost of recording a run log.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spikefolio::agent::SdpAgent;
+use spikefolio::config::SdpConfig;
+use spikefolio::training::Trainer;
+use spikefolio_market::experiments::ExperimentPreset;
+use spikefolio_telemetry::{JsonlSink, NoopRecorder, Recorder};
+
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let mut config = SdpConfig::smoke();
+    config.training.epochs = 1;
+    config.training.steps_per_epoch = 8;
+    let market = ExperimentPreset::experiment1().shrunk(60, 15).generate(7);
+    let trainer = Trainer::new(&config);
+
+    let mut group = c.benchmark_group("telemetry/epoch");
+    group.sample_size(20);
+    group.bench_function("noop_recorder", |b| {
+        b.iter(|| {
+            let mut agent = SdpAgent::new(&config, market.num_assets(), 3);
+            let log = trainer.train_sdp_with(&mut agent, &market, &mut NoopRecorder);
+            std::hint::black_box(log.final_reward())
+        })
+    });
+    group.bench_function("jsonl_sink", |b| {
+        b.iter(|| {
+            let mut agent = SdpAgent::new(&config, market.num_assets(), 3);
+            let mut sink = JsonlSink::new(Vec::with_capacity(64 * 1024));
+            let log = trainer.train_sdp_with(&mut agent, &market, &mut sink);
+            std::hint::black_box((log.final_reward(), sink.records_written()))
+        })
+    });
+    group.finish();
+
+    // The raw dispatch cost a disabled recorder adds to a hot call site.
+    let mut group = c.benchmark_group("telemetry/noop_dispatch");
+    group.bench_function("counter_call", |b| {
+        let rec: &mut dyn Recorder = &mut NoopRecorder;
+        b.iter(|| {
+            for _ in 0..1000 {
+                rec.counter(std::hint::black_box("loihi/synops"), 1);
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_telemetry_overhead);
+criterion_main!(benches);

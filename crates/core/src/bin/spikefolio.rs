@@ -2,22 +2,28 @@
 //! from one binary.
 //!
 //! ```sh
-//! spikefolio table3 [--full|--smoke] [--seed N]
-//! spikefolio table4 [--smoke] [--seed N]
+//! spikefolio table3 [--full|--smoke] [--seed N] [--telemetry RUN.jsonl]
+//! spikefolio table4 [--smoke] [--seed N] [--telemetry RUN.jsonl]
 //! spikefolio ablation timesteps|encoding|costs|rate-penalty
 //! spikefolio figures [--out DIR]
-//! spikefolio stats            # synthetic-market diagnostics
+//! spikefolio stats                        # synthetic-market diagnostics
+//! spikefolio telemetry summarize RUN.jsonl
 //! ```
+//!
+//! Unrecognized flags are rejected with an error rather than silently
+//! ignored, so a typo like `--telemtry` cannot quietly drop a run log.
 
 use spikefolio::experiments::{
-    cost_model_ablation, encoding_comparison, rate_penalty_ablation, run_table3, run_table4,
-    timestep_tradeoff, RunOptions,
+    cost_model_ablation, encoding_comparison, rate_penalty_ablation, run_table3_with,
+    run_table4_with, timestep_tradeoff, RunOptions,
 };
 use spikefolio::figures::{backtest_value_curves, training_reward_csv};
 use spikefolio::report;
+use spikefolio::telemetry_report::format_run_summary;
 use spikefolio::SdpConfig;
 use spikefolio_market::experiments::ExperimentPreset;
 use spikefolio_market::stats::market_stats;
+use spikefolio_telemetry::JsonlSink;
 
 fn medium_options(seed: u64) -> RunOptions {
     let mut config = SdpConfig::paper();
@@ -37,24 +43,93 @@ fn num_threads() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
+/// Flags a command accepts: value-taking flags consume the next argument,
+/// boolean flags stand alone.
+struct FlagSpec {
+    value: &'static [&'static str],
+    boolean: &'static [&'static str],
+}
+
+impl FlagSpec {
+    /// Validates `args` against the spec, rejecting anything unknown.
+    /// Returns nothing — all lookups happen through [`flag_value`] /
+    /// [`has_flag`] after validation passes.
+    fn check(&self, args: &[String]) {
+        let mut i = 0;
+        while i < args.len() {
+            let a = args[i].as_str();
+            if self.value.contains(&a) {
+                match args.get(i + 1) {
+                    Some(v) if !v.starts_with("--") => i += 2,
+                    _ => fail(&format!("flag '{a}' requires a value")),
+                }
+            } else if self.boolean.contains(&a) {
+                i += 1;
+            } else if a.starts_with("--") {
+                fail(&format!("unrecognized flag '{a}'"));
+            } else {
+                fail(&format!("unexpected argument '{a}'"));
+            }
+        }
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}\nrun 'spikefolio' without arguments for usage");
+    std::process::exit(2);
+}
+
 fn parse_options(args: &[String]) -> RunOptions {
-    let seed = args
-        .iter()
-        .position(|a| a == "--seed")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2016);
-    if args.iter().any(|a| a == "--full") {
+    let seed = match flag_value(args, "--seed") {
+        Some(s) => {
+            s.parse().unwrap_or_else(|_| fail(&format!("--seed expects an integer, got '{s}'")))
+        }
+        None => 2016,
+    };
+    if has_flag(args, "--full") {
         let mut opts = RunOptions::paper();
         opts.market_seed = seed;
         opts.config.training.parallelism = num_threads();
         opts
-    } else if args.iter().any(|a| a == "--smoke") {
+    } else if has_flag(args, "--smoke") {
         let mut opts = RunOptions::smoke();
         opts.market_seed = seed;
         opts
     } else {
         medium_options(seed)
+    }
+}
+
+/// Opens the `--telemetry` sink if requested, runs `f` with it (or a
+/// no-op recorder), prints the report, and closes the log.
+fn run_with_optional_telemetry<T>(
+    args: &[String],
+    run: impl FnOnce(&mut dyn spikefolio_telemetry::Recorder) -> T,
+    render: impl FnOnce(&T) -> String,
+) {
+    match flag_value(args, "--telemetry") {
+        Some(path) => {
+            let mut sink = JsonlSink::create(path)
+                .unwrap_or_else(|e| fail(&format!("cannot create telemetry log '{path}': {e}")));
+            let out = run(&mut sink);
+            print!("{}", render(&out));
+            match sink.finish() {
+                Ok(_) => eprintln!("telemetry log written to {path}"),
+                Err(e) => fail(&format!("failed to write telemetry log '{path}': {e}")),
+            }
+        }
+        None => {
+            let out = run(&mut spikefolio_telemetry::NoopRecorder);
+            print!("{}", render(&out));
+        }
     }
 }
 
@@ -66,51 +141,69 @@ fn usage() -> ! {
            table4       reproduce Table 4 (power/performance)\n  \
            ablation <timesteps|encoding|costs|rate-penalty>\n  \
            figures      write value/reward curve CSVs\n  \
-           stats        synthetic-market statistical diagnostics\n\
-         flags: --full | --smoke | --seed N | --out DIR"
+           stats        synthetic-market statistical diagnostics\n  \
+           telemetry summarize <run.jsonl>   render a recorded run log\n\
+         flags: --full | --smoke | --seed N | --out DIR | --telemetry RUN.jsonl"
     );
     std::process::exit(2);
 }
 
+const RUN_FLAGS: FlagSpec = FlagSpec { value: &["--seed"], boolean: &["--full", "--smoke"] };
+const TELEMETRY_RUN_FLAGS: FlagSpec =
+    FlagSpec { value: &["--seed", "--telemetry"], boolean: &["--full", "--smoke"] };
+const FIGURES_FLAGS: FlagSpec =
+    FlagSpec { value: &["--seed", "--out"], boolean: &["--full", "--smoke"] };
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { usage() };
-    let opts = parse_options(&args);
     match cmd.as_str() {
         "table3" => {
-            let outcomes = run_table3(&opts);
-            print!("{}", report::format_table3(&outcomes));
+            TELEMETRY_RUN_FLAGS.check(&args[1..]);
+            let opts = parse_options(&args[1..]);
+            run_with_optional_telemetry(
+                &args[1..],
+                |rec| run_table3_with(&opts, rec),
+                |outcomes| report::format_table3(outcomes),
+            );
         }
         "table4" => {
-            let outcomes = run_table4(&opts);
-            print!("{}", report::format_table4(&outcomes));
+            TELEMETRY_RUN_FLAGS.check(&args[1..]);
+            let opts = parse_options(&args[1..]);
+            run_with_optional_telemetry(
+                &args[1..],
+                |rec| run_table4_with(&opts, rec),
+                |outcomes| report::format_table4(outcomes),
+            );
         }
-        "ablation" => match args.get(1).map(String::as_str) {
-            Some("timesteps") => {
-                let pts = timestep_tradeoff(&opts, &[1, 2, 5, 10, 20]);
-                print!("{}", report::format_timestep_tradeoff(&pts));
+        "ablation" => {
+            let Some(which) = args.get(1) else { usage() };
+            RUN_FLAGS.check(&args[2..]);
+            let opts = parse_options(&args[2..]);
+            match which.as_str() {
+                "timesteps" => {
+                    let pts = timestep_tradeoff(&opts, &[1, 2, 5, 10, 20]);
+                    print!("{}", report::format_timestep_tradeoff(&pts));
+                }
+                "encoding" => {
+                    let pts = encoding_comparison(&opts);
+                    print!("{}", report::format_encoding_comparison(&pts));
+                }
+                "costs" => {
+                    let pts = cost_model_ablation(&opts);
+                    print!("{}", report::format_cost_ablation(&pts));
+                }
+                "rate-penalty" => {
+                    let pts = rate_penalty_ablation(&opts, &[0.0, 0.5, 2.0, 10.0]);
+                    print!("{}", report::format_rate_penalty(&pts));
+                }
+                other => fail(&format!("unknown ablation '{other}'")),
             }
-            Some("encoding") => {
-                let pts = encoding_comparison(&opts);
-                print!("{}", report::format_encoding_comparison(&pts));
-            }
-            Some("costs") => {
-                let pts = cost_model_ablation(&opts);
-                print!("{}", report::format_cost_ablation(&pts));
-            }
-            Some("rate-penalty") => {
-                let pts = rate_penalty_ablation(&opts, &[0.0, 0.5, 2.0, 10.0]);
-                print!("{}", report::format_rate_penalty(&pts));
-            }
-            _ => usage(),
-        },
+        }
         "figures" => {
-            let out = args
-                .iter()
-                .position(|a| a == "--out")
-                .and_then(|i| args.get(i + 1))
-                .cloned()
-                .unwrap_or_else(|| "target/figures".to_owned());
+            FIGURES_FLAGS.check(&args[1..]);
+            let opts = parse_options(&args[1..]);
+            let out = flag_value(&args[1..], "--out").unwrap_or("target/figures").to_owned();
             let dir = std::path::Path::new(&out);
             std::fs::create_dir_all(dir).expect("create output directory");
             for (i, preset) in ExperimentPreset::all().into_iter().enumerate() {
@@ -126,6 +219,8 @@ fn main() {
             }
         }
         "stats" => {
+            RUN_FLAGS.check(&args[1..]);
+            let opts = parse_options(&args[1..]);
             for preset in ExperimentPreset::all() {
                 let market = match opts.shrink {
                     Some((a, b)) => preset.clone().shrunk(a, b).generate(opts.market_seed),
@@ -144,6 +239,22 @@ fn main() {
                 );
             }
         }
-        _ => usage(),
+        "telemetry" => {
+            match args.get(1).map(String::as_str) {
+                Some("summarize") => {}
+                Some(other) => fail(&format!("unknown telemetry subcommand '{other}'")),
+                None => usage(),
+            }
+            let Some(path) = args.get(2) else {
+                fail("telemetry summarize expects a run-log path");
+            };
+            if let Some(extra) = args.get(3) {
+                fail(&format!("unexpected argument '{extra}'"));
+            }
+            let summary = spikefolio_telemetry::summarize_file(path)
+                .unwrap_or_else(|e| fail(&format!("cannot read run log '{path}': {e}")));
+            print!("{}", format_run_summary(&summary));
+        }
+        other => fail(&format!("unknown command '{other}'")),
     }
 }

@@ -9,6 +9,7 @@ use spikefolio_loihi::chip::{LoihiChip, LoihiNetwork, LoihiRunStats};
 use spikefolio_loihi::quantize::{quantize_network, QuantizationReport};
 use spikefolio_snn::decoder::Decoder;
 use spikefolio_snn::PopulationEncoder;
+use spikefolio_telemetry::{labels, NoopRecorder, Recorder, Stopwatch};
 
 /// A trained SDP policy deployed on the behavioural Loihi chip model.
 ///
@@ -71,14 +72,27 @@ impl LoihiDeployment {
 
     /// One on-chip inference from a raw state vector.
     pub fn act(&mut self, state: &[f64]) -> Vec<f64> {
+        self.act_recorded(state, &mut NoopRecorder)
+    }
+
+    /// [`act`](Self::act) with telemetry: times the off-chip encode and
+    /// the chip inference (`encode` / `loihi/infer` spans) and records the
+    /// inference's event counts under the `loihi/*` counters. Observe-only
+    /// — the action is identical with any recorder.
+    pub fn act_recorded(&mut self, state: &[f64], rec: &mut dyn Recorder) -> Vec<f64> {
+        let encode_watch = Stopwatch::start(rec);
         let raster = self.encoder.encode(state, self.timesteps, &mut self.rng);
+        encode_watch.stop(rec, labels::SPAN_ENCODE);
+        let infer_watch = Stopwatch::start(rec);
         let (sums, stats) = self.chip_net.infer(&raster);
+        infer_watch.stop(rec, labels::SPAN_CHIP_INFER);
         self.total_stats.input_spikes += stats.input_spikes;
         self.total_stats.neuron_spikes += stats.neuron_spikes;
         self.total_stats.synops += stats.synops;
         self.total_stats.neuron_updates += stats.neuron_updates;
         self.total_stats.timesteps += stats.timesteps;
         self.inferences += 1;
+        spikefolio_loihi::telemetry::record_run_stats(rec, &stats, 1);
         self.decoder.decode(&sums).action
     }
 
@@ -156,6 +170,23 @@ mod tests {
             }
         }
         assert!(agree * 10 >= total * 8, "only {agree}/{total} argmax agreements");
+    }
+
+    #[test]
+    fn recorded_act_is_identical_and_counts_events() {
+        let (agent, market) = agent_and_market();
+        let mut plain_dep = LoihiDeployment::new(&agent, &LoihiChip::default()).unwrap();
+        let mut rec_dep = LoihiDeployment::new(&agent, &LoihiChip::default()).unwrap();
+        let w = vec![1.0 / 12.0; 12];
+        let s = agent.state_builder().build(&market, 4, &w);
+        let plain = plain_dep.act(&s);
+        let mut rec = spikefolio_telemetry::MemoryRecorder::new();
+        let recorded = rec_dep.act_recorded(&s, &mut rec);
+        assert_eq!(plain, recorded, "telemetry must not change the action");
+        assert_eq!(rec.counter_total(labels::COUNTER_LOIHI_INFERENCES), 1);
+        assert_eq!(rec.counter_total(labels::COUNTER_LOIHI_SYNOPS), rec_dep.total_stats.synops);
+        assert_eq!(rec.span_total(labels::SPAN_ENCODE).1, 1);
+        assert_eq!(rec.span_total(labels::SPAN_CHIP_INFER).1, 1);
     }
 
     #[test]

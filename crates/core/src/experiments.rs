@@ -15,6 +15,7 @@ use spikefolio_loihi::energy::{EnergyReport, LoihiEnergyModel};
 use spikefolio_loihi::LoihiChip;
 use spikefolio_market::experiments::ExperimentPreset;
 use spikefolio_market::MarketData;
+use spikefolio_telemetry::{NoopRecorder, Record, Recorder};
 
 /// The paper's measured Loihi energy per inference at `T = 5`
 /// (Table 4, SDP-Exp1 row) — the calibration endpoint of the energy model.
@@ -84,35 +85,47 @@ fn backtest_row(
     config: &SdpConfig,
     policy: &mut dyn Policy,
     market: &MarketData,
+    rec: &mut dyn Recorder,
 ) -> StrategyOutcome {
-    let result = Backtester::new(config.backtest).run(policy, market);
+    let result = Backtester::new(config.backtest).run_recorded(policy, market, rec);
     StrategyOutcome { strategy: result.policy_name.clone(), metrics: result.metrics }
 }
 
 /// Trains the two RL agents on one experiment's training range and
 /// backtests all seven Table 3 strategies on the held-out range.
 pub fn run_experiment(opts: &RunOptions, base: ExperimentPreset) -> ExperimentOutcome {
+    run_experiment_with(opts, base, &mut NoopRecorder)
+}
+
+/// [`run_experiment`] with telemetry: training epochs and every
+/// strategy's backtest steps flow into `rec`. Results are identical with
+/// any recorder.
+pub fn run_experiment_with(
+    opts: &RunOptions,
+    base: ExperimentPreset,
+    rec: &mut dyn Recorder,
+) -> ExperimentOutcome {
     let preset = opts.preset(base);
     let (train, test) = preset.generate_split(opts.market_seed);
     let trainer = Trainer::new(&opts.config);
 
     let mut sdp = SdpAgent::new(&opts.config, train.num_assets(), opts.config.seed);
-    let sdp_log = trainer.train_sdp(&mut sdp, &train);
+    let sdp_log = trainer.train_sdp_with(&mut sdp, &train, rec);
     let mut drl = DrlAgent::new(&opts.config, train.num_assets(), opts.config.seed);
-    let drl_log = trainer.train_drl(&mut drl, &train);
+    let drl_log = trainer.train_drl_with(&mut drl, &train, rec);
 
     // ANTICOR's customary window is 15 periods; shrink it when the
     // backtest range is too short for the double-window warmup.
     let anticor_window = 15.min((test.num_periods() / 2).saturating_sub(1)).max(2);
 
     let rows = vec![
-        backtest_row(&opts.config, &mut sdp, &test),
-        backtest_row(&opts.config, &mut drl, &test),
-        backtest_row(&opts.config, &mut Ons::new(), &test),
-        backtest_row(&opts.config, &mut BestStock::new(), &test),
-        backtest_row(&opts.config, &mut Anticor::with_window(anticor_window), &test),
-        backtest_row(&opts.config, &mut M0::new(), &test),
-        backtest_row(&opts.config, &mut Ucrp::new(), &test),
+        backtest_row(&opts.config, &mut sdp, &test, rec),
+        backtest_row(&opts.config, &mut drl, &test, rec),
+        backtest_row(&opts.config, &mut Ons::new(), &test, rec),
+        backtest_row(&opts.config, &mut BestStock::new(), &test, rec),
+        backtest_row(&opts.config, &mut Anticor::with_window(anticor_window), &test, rec),
+        backtest_row(&opts.config, &mut M0::new(), &test, rec),
+        backtest_row(&opts.config, &mut Ucrp::new(), &test, rec),
     ];
 
     ExperimentOutcome { experiment: preset.name.to_owned(), rows, sdp_log, drl_log }
@@ -120,7 +133,12 @@ pub fn run_experiment(opts: &RunOptions, base: ExperimentPreset) -> ExperimentOu
 
 /// Regenerates Table 3: all three experiments, all seven strategies.
 pub fn run_table3(opts: &RunOptions) -> Vec<ExperimentOutcome> {
-    ExperimentPreset::all().into_iter().map(|p| run_experiment(opts, p)).collect()
+    run_table3_with(opts, &mut NoopRecorder)
+}
+
+/// [`run_table3`] with telemetry threaded through every experiment.
+pub fn run_table3_with(opts: &RunOptions, rec: &mut dyn Recorder) -> Vec<ExperimentOutcome> {
+    ExperimentPreset::all().into_iter().map(|p| run_experiment_with(opts, p, rec)).collect()
 }
 
 /// One experiment's block of Table 4 (three device rows).
@@ -159,6 +177,15 @@ impl PowerOutcome {
 /// their rows are genuine model extrapolations. The CPU/GPU rows cost the
 /// DRL baseline's FLOPs on the fitted device models.
 pub fn run_table4(opts: &RunOptions) -> Vec<PowerOutcome> {
+    run_table4_with(opts, &mut NoopRecorder)
+}
+
+/// [`run_table4`] with telemetry: SDP training epochs and the deployed
+/// backtests flow into `rec`, and each deployment's accumulated event
+/// counts are recorded under the `loihi/*` counters — the exact inputs of
+/// the energy model, so the Table 4 energy rows can be recomputed from
+/// the run log alone.
+pub fn run_table4_with(opts: &RunOptions, rec: &mut dyn Recorder) -> Vec<PowerOutcome> {
     let trainer = Trainer::new(&opts.config);
     let chip = LoihiChip::default();
     let mut outcomes = Vec::with_capacity(3);
@@ -169,10 +196,15 @@ pub fn run_table4(opts: &RunOptions) -> Vec<PowerOutcome> {
         let (train, test) = preset.generate_split(opts.market_seed);
 
         let mut sdp = SdpAgent::new(&opts.config, train.num_assets(), opts.config.seed);
-        let _ = trainer.train_sdp(&mut sdp, &train);
+        let _ = trainer.train_sdp_with(&mut sdp, &train, rec);
         let mut deployed =
             LoihiDeployment::new(&sdp, &chip).expect("paper-scale network fits one chip");
-        let _ = Backtester::new(opts.config.backtest).run(&mut deployed, &test);
+        let _ = Backtester::new(opts.config.backtest).run_recorded(&mut deployed, &test, rec);
+        spikefolio_loihi::telemetry::record_run_stats(
+            rec,
+            &deployed.total_stats,
+            deployed.inferences,
+        );
         let mean_stats = deployed.mean_stats().to_spike_stats();
 
         let model = *energy_model.get_or_insert_with(|| {
@@ -181,6 +213,15 @@ pub fn run_table4(opts: &RunOptions) -> Vec<PowerOutcome> {
         let t = opts.config.network.timesteps;
         let exp_no = preset.name.chars().last().unwrap_or('?');
         let loihi_row = model.report(&format!("SDP-Exp{exp_no} / Loihi (T={t})"), &mean_stats, t);
+        if rec.enabled() {
+            rec.emit(
+                Record::new("energy_report")
+                    .field("label", loihi_row.label.as_str())
+                    .field("nj_per_inf", loihi_row.nj_per_inf)
+                    .field("inf_per_s", loihi_row.inf_per_s)
+                    .field("dyn_w", loihi_row.dyn_w),
+            );
+        }
 
         let drl = DrlAgent::new(&opts.config, train.num_assets(), opts.config.seed);
         let flops = DeviceModel::mlp_flops(&drl.network);
@@ -428,16 +469,17 @@ pub fn run_extended_comparison(opts: &RunOptions, base: ExperimentPreset) -> Exp
     // The architecture-faithful Jiang baseline (convolutional EIIE).
     let mut eiie = crate::eiie::EiieAgent::new(&opts.config, train.num_assets(), opts.config.seed);
     let _ = Trainer::new(&opts.config).train_eiie(&mut eiie, &train);
-    outcome.rows.push(backtest_row(&opts.config, &mut eiie, &test));
-    outcome.rows.push(backtest_row(&opts.config, &mut Eg::new(), &test));
-    outcome.rows.push(backtest_row(&opts.config, &mut Pamr::new(), &test));
+    outcome.rows.push(backtest_row(&opts.config, &mut eiie, &test, &mut NoopRecorder));
+    outcome.rows.push(backtest_row(&opts.config, &mut Eg::new(), &test, &mut NoopRecorder));
+    outcome.rows.push(backtest_row(&opts.config, &mut Pamr::new(), &test, &mut NoopRecorder));
     let olmar_window = 5.min(test.num_periods().saturating_sub(2)).max(2);
     outcome.rows.push(backtest_row(
         &opts.config,
         &mut Olmar::with_params(olmar_window, 10.0),
         &test,
+        &mut NoopRecorder,
     ));
-    outcome.rows.push(backtest_row(&opts.config, &mut BuyAndHold::new(), &test));
+    outcome.rows.push(backtest_row(&opts.config, &mut BuyAndHold::new(), &test, &mut NoopRecorder));
     outcome
 }
 

@@ -77,7 +77,11 @@ mod tests {
 
     #[test]
     fn reward_csv_is_one_line_per_epoch() {
-        let log = TrainingLog { epoch_rewards: vec![0.1, 0.2, 0.15], steps: 30 };
+        let log = TrainingLog {
+            epoch_rewards: vec![0.1, 0.2, 0.15],
+            steps: 30,
+            ..TrainingLog::default()
+        };
         let csv = training_reward_csv(&log);
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -55,6 +55,7 @@ pub mod figures;
 pub mod online;
 pub mod report;
 pub mod sweep;
+pub mod telemetry_report;
 pub mod training;
 pub mod validation;
 

@@ -1,0 +1,236 @@
+//! Plain-text rendering of a summarized JSONL run log — the output of
+//! `spikefolio telemetry summarize <run.jsonl>`.
+//!
+//! Takes the aggregate view produced by
+//! [`spikefolio_telemetry::summarize_file`] and formats reward curves,
+//! spike activity, phase timings, counter totals, backtests, and an
+//! energy estimate. The energy section prefers the chip model's `loihi/*`
+//! event counters (recorded by a deployed backtest) and falls back to the
+//! float trainer's per-epoch spike totals when no deployment was logged.
+
+use spikefolio_loihi::energy::LoihiEnergyModel;
+use spikefolio_loihi::telemetry::{mean_spike_stats, run_stats_from_counters};
+use spikefolio_snn::network::SpikeStats;
+use spikefolio_telemetry::RunSummary;
+
+/// Renders the full human-readable report for one summarized run log.
+pub fn format_run_summary(s: &RunSummary) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("run log: {} records ({} lines skipped)\n", s.records, s.skipped_lines));
+    push_rewards(&mut out, s);
+    push_spike_activity(&mut out, s);
+    push_phases(&mut out, s);
+    push_counters(&mut out, s);
+    push_backtests(&mut out, s);
+    push_energy(&mut out, s);
+    out
+}
+
+fn push_rewards(out: &mut String, s: &RunSummary) {
+    if s.epochs.is_empty() {
+        return;
+    }
+    out.push_str("\n== reward curves ==\n");
+    out.push_str(&format!(
+        "{:<8} {:>7} {:>12} {:>12} {:>12} {:>12}\n",
+        "agent", "epochs", "first", "last", "best", "mean"
+    ));
+    for agent in s.epochs.keys() {
+        let Some(r) = s.reward_stats(agent) else { continue };
+        out.push_str(&format!(
+            "{:<8} {:>7} {:>12.6} {:>12.6} {:>12.6} {:>12.6}\n",
+            agent, r.epochs, r.first, r.last, r.best, r.mean
+        ));
+    }
+}
+
+fn push_spike_activity(out: &mut String, s: &RunSummary) {
+    if s.firing_rates.is_empty() && s.spike_totals.samples == 0 {
+        return;
+    }
+    out.push_str("\n== spike activity ==\n");
+    if !s.firing_rates.is_empty() {
+        out.push_str(&format!("{:<10} {:>12}\n", "layer", "firing rate"));
+        for (k, rate) in s.firing_rates.iter().enumerate() {
+            out.push_str(&format!("{:<10} {:>12.4}\n", format!("L{}", k + 1), rate));
+        }
+        out.push_str(&format!("{:<10} {:>12.4}\n", "encoder", s.encoder_rate));
+    }
+    if let Some(t) = s.timesteps {
+        out.push_str(&format!(
+            "T={} timesteps, {} training inferences\n",
+            t, s.spike_totals.samples
+        ));
+    }
+    if let Some((enc, neu, syn, upd)) = s.mean_events_per_inference() {
+        out.push_str(&format!(
+            "mean events/inference: {enc:.1} encoder spikes, {neu:.1} neuron spikes, \
+             {syn:.1} synops, {upd:.1} updates\n"
+        ));
+    }
+}
+
+fn push_phases(out: &mut String, s: &RunSummary) {
+    if s.spans.is_empty() {
+        return;
+    }
+    out.push_str("\n== phase breakdown ==\n");
+    out.push_str(&format!(
+        "{:<28} {:>12} {:>10} {:>12}\n",
+        "span", "total(s)", "count", "mean(ms)"
+    ));
+    // Largest total first: the expensive phases are what the reader wants.
+    let mut spans: Vec<_> = s.spans.iter().collect();
+    spans.sort_by(|a, b| b.1 .0.total_cmp(&a.1 .0));
+    for (label, (total_s, count)) in spans {
+        let mean_ms = if *count > 0 { total_s * 1e3 / *count as f64 } else { 0.0 };
+        out.push_str(&format!("{label:<28} {total_s:>12.3} {count:>10} {mean_ms:>12.3}\n"));
+    }
+}
+
+fn push_counters(out: &mut String, s: &RunSummary) {
+    if s.counters.is_empty() {
+        return;
+    }
+    out.push_str("\n== counter totals ==\n");
+    for (label, total) in &s.counters {
+        out.push_str(&format!("{label:<28} {total:>14}\n"));
+    }
+}
+
+fn push_backtests(out: &mut String, s: &RunSummary) {
+    if s.backtests.is_empty() {
+        return;
+    }
+    out.push_str("\n== backtests ==\n");
+    out.push_str(&format!(
+        "{:<20} {:>7} {:>14} {:>10}\n",
+        "policy", "steps", "final value", "turnover"
+    ));
+    for b in &s.backtests {
+        out.push_str(&format!(
+            "{:<20} {:>7} {:>14.4} {:>10.3}\n",
+            b.policy, b.steps, b.final_value, b.turnover
+        ));
+    }
+}
+
+fn push_energy(out: &mut String, s: &RunSummary) {
+    let Some((label, stats, timesteps)) = energy_workload(s) else { return };
+    if timesteps == 0 {
+        return;
+    }
+    let report = LoihiEnergyModel::davies2018().report(&label, &stats, timesteps);
+    out.push_str("\n== energy estimate (davies2018 event model) ==\n");
+    out.push_str(&format!(
+        "{:<28} {:>9} {:>9} {:>14} {:>13}\n",
+        "workload", "idle(W)", "dyn(W)", "inf/s", "nJ/inf"
+    ));
+    out.push_str(&format!(
+        "{:<28} {:>9.2} {:>9.4} {:>14.1} {:>13.2}\n",
+        report.label, report.idle_w, report.dyn_w, report.inf_per_s, report.nj_per_inf
+    ));
+}
+
+/// Picks the per-inference workload to cost: recorded `loihi/*` chip
+/// counters when present, otherwise the training epochs' spike totals.
+fn energy_workload(s: &RunSummary) -> Option<(String, SpikeStats, usize)> {
+    let counter = |label: &str| s.counters.get(label).copied().unwrap_or(0);
+    if let Some((totals, inferences)) = run_stats_from_counters(counter) {
+        let (stats, timesteps) = mean_spike_stats(&totals, inferences);
+        return Some(("chip counters (per inf)".to_owned(), stats, timesteps));
+    }
+    let (enc, neu, syn, upd) = s.mean_events_per_inference()?;
+    let stats = SpikeStats {
+        encoder_spikes: enc.round() as u64,
+        neuron_spikes: neu.round() as u64,
+        synops: syn.round() as u64,
+        neuron_updates: upd.round() as u64,
+    };
+    Some(("training epochs (per inf)".to_owned(), stats, s.timesteps? as usize))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spikefolio_telemetry::{labels, Record, Recorder, Value};
+
+    fn sample_summary(with_chip_counters: bool) -> RunSummary {
+        let mut sink = spikefolio_telemetry::JsonlSink::new(Vec::new());
+        for (e, reward) in [0.1_f64, 0.3].iter().enumerate() {
+            sink.span(labels::SPAN_TRAIN_EPOCH, 2.0);
+            sink.emit(
+                Record::new("epoch")
+                    .field("agent", "sdp")
+                    .field("epoch", e as u64)
+                    .field("reward", *reward)
+                    .field("wall_s", 2.0)
+                    .field("grad_norm", 0.5)
+                    .field("samples", 10u64)
+                    .field("timesteps", 5u64)
+                    .field("firing_rates", vec![0.25, 0.5])
+                    .field("encoder_rate", 0.1)
+                    .field(
+                        "spikes",
+                        Value::Map(vec![
+                            ("encoder".into(), Value::U64(400)),
+                            ("neuron".into(), Value::U64(300)),
+                            ("synops".into(), Value::U64(60_000)),
+                            ("updates".into(), Value::U64(700)),
+                        ]),
+                    ),
+            );
+        }
+        if with_chip_counters {
+            let stats = spikefolio_loihi::chip::LoihiRunStats {
+                input_spikes: 4_000,
+                neuron_spikes: 3_000,
+                synops: 600_000,
+                neuron_updates: 7_000,
+                timesteps: 50,
+            };
+            spikefolio_loihi::telemetry::record_run_stats(&mut sink, &stats, 10);
+        }
+        sink.emit(
+            Record::new("backtest_end")
+                .field("policy", "SDP")
+                .field("steps", 20u64)
+                .field("final_value", 1.25)
+                .field("turnover", 3.0),
+        );
+        let log = sink.finish().unwrap();
+        spikefolio_telemetry::summarize_lines(&log[..]).unwrap()
+    }
+
+    #[test]
+    fn report_renders_every_section() {
+        let text = format_run_summary(&sample_summary(true));
+        for needle in [
+            "== reward curves ==",
+            "== spike activity ==",
+            "== phase breakdown ==",
+            "== counter totals ==",
+            "== backtests ==",
+            "== energy estimate (davies2018 event model) ==",
+            "chip counters (per inf)",
+            "train/epoch",
+            "loihi/synops",
+            "SDP",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn energy_falls_back_to_training_totals_without_chip_counters() {
+        let text = format_run_summary(&sample_summary(false));
+        assert!(text.contains("training epochs (per inf)"), "{text}");
+        assert!(!text.contains("chip counters"), "{text}");
+    }
+
+    #[test]
+    fn empty_summary_renders_header_only() {
+        let text = format_run_summary(&RunSummary::default());
+        assert_eq!(text, "run log: 0 records (0 lines skipped)\n");
+    }
+}

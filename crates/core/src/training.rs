@@ -24,34 +24,75 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use spikefolio_env::CostModel;
 use spikefolio_market::MarketData;
+use spikefolio_snn::network::SpikeStats;
 use spikefolio_snn::stbp;
 use spikefolio_snn::{BatchNetworkTrace, BatchWorkspace, SdpNetwork};
+use spikefolio_telemetry::{labels, NoopRecorder, Record, Recorder, Stopwatch, Value};
 use spikefolio_tensor::optim::Adam;
 use spikefolio_tensor::vector::dot;
 use spikefolio_tensor::Matrix;
+use std::time::Instant;
 
 /// Per-epoch training diagnostics.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct TrainingLog {
     /// Mean minibatch reward (eq. 1 summand) per epoch.
     pub epoch_rewards: Vec<f64>,
+    /// Wall-clock seconds each epoch took.
+    pub epoch_wall_s: Vec<f64>,
+    /// Mean global gradient L2 norm (pre-clipping) over each epoch's
+    /// steps.
+    pub epoch_grad_norms: Vec<f64>,
     /// Number of gradient steps taken.
     pub steps: usize,
 }
 
 impl TrainingLog {
+    /// An empty log with vectors sized for `epochs`.
+    pub fn with_capacity(epochs: usize) -> Self {
+        Self {
+            epoch_rewards: Vec::with_capacity(epochs),
+            epoch_wall_s: Vec::with_capacity(epochs),
+            epoch_grad_norms: Vec::with_capacity(epochs),
+            steps: 0,
+        }
+    }
+
+    /// Appends one epoch's diagnostics, keeping the series aligned.
+    pub fn push_epoch(&mut self, stats: &EpochStats) {
+        self.epoch_rewards.push(stats.reward);
+        self.epoch_wall_s.push(stats.wall_s);
+        self.epoch_grad_norms.push(stats.grad_norm);
+    }
+
     /// Mean reward of the final epoch (0.0 if empty).
     pub fn final_reward(&self) -> f64 {
         self.epoch_rewards.last().copied().unwrap_or(0.0)
     }
 
     /// Whether the final epoch beat the first one.
+    ///
+    /// `false` for an empty log; a single epoch trivially "improves" on
+    /// itself. Any NaN reward at either end compares `false`.
     pub fn improved(&self) -> bool {
         match (self.epoch_rewards.first(), self.epoch_rewards.last()) {
             (Some(a), Some(b)) => b >= a,
             _ => false,
         }
     }
+}
+
+/// Diagnostics of one training epoch, as returned by
+/// [`SdpTrainingSession::run_epoch_with`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochStats {
+    /// Mean sample reward (eq. 1 summand).
+    pub reward: f64,
+    /// Wall-clock seconds the epoch took.
+    pub wall_s: f64,
+    /// Mean global gradient L2 norm (pre-clipping) over the epoch's
+    /// steps.
+    pub grad_norm: f64,
 }
 
 /// The portfolio vector memory of Jiang et al.
@@ -142,14 +183,32 @@ struct SampleItem {
 /// stays allocation-free across steps and epochs.
 type BatchCache = Vec<(usize, BatchWorkspace, BatchNetworkTrace)>;
 
+/// Observation-only measurements taken inside a worker while it processed
+/// one micro-batch. Collected per micro-batch (workers cannot share the
+/// caller's recorder) and folded into the epoch's telemetry on the main
+/// thread. `None` unless a recorder is enabled.
+struct MicroTelemetry {
+    /// Seconds spent in the batched forward pass.
+    forward_s: f64,
+    /// Seconds spent in the batched STBP backward pass.
+    backward_s: f64,
+    /// Spike/synop event counters of the forward pass.
+    stats: SpikeStats,
+    /// Spikes emitted per LIF layer.
+    layer_spikes: Vec<u64>,
+}
+
 /// Per-sample `(period, action, reward)` rows plus the summed gradients of
-/// one processed micro-batch.
-type MicroBatchResult = (Vec<(usize, Vec<f64>, f64)>, stbp::SdpGradients);
+/// one processed micro-batch, and its measurements when observing.
+type MicroBatchResult = (Vec<(usize, Vec<f64>, f64)>, stbp::SdpGradients, Option<MicroTelemetry>);
 
 /// Runs one micro-batch through the batched SNN engine: forward all
 /// samples together, differentiate the reward per sample, then one
 /// batched STBP backward pass. Returns `(t, action, reward)` per sample
 /// (in item order) and the micro-batch's summed gradients.
+///
+/// `observe` requests timing + spike-counter capture; it must not change
+/// any computed value (the observe-only telemetry contract).
 fn process_micro_batch(
     network: &SdpNetwork,
     market: &MarketData,
@@ -157,6 +216,7 @@ fn process_micro_batch(
     rate_penalty: f64,
     items: &[SampleItem],
     cache: &mut BatchCache,
+    observe: bool,
 ) -> MicroBatchResult {
     let bsz = items.len();
     let state_dim = items[0].state.len();
@@ -174,7 +234,9 @@ fn process_micro_batch(
     let (_, ws, trace) = &mut cache[slot];
     let states = Matrix::from_fn(bsz, state_dim, |b, d| items[b].state[d]);
     let mut rngs: Vec<StdRng> = items.iter().map(|item| StdRng::seed_from_u64(item.seed)).collect();
+    let t0 = observe.then(Instant::now);
     network.forward_batch(&states, &mut rngs, ws, trace);
+    let forward_s = t0.map_or(0.0, |t| t.elapsed().as_secs_f64());
 
     let action_dim = trace.actions.shape().1;
     let mut d_actions = Matrix::zeros(bsz, action_dim);
@@ -189,8 +251,15 @@ fn process_micro_batch(
         }
         samples.push((item.t, action, r));
     }
+    let t1 = observe.then(Instant::now);
     let grads = stbp::backward_batch(network, trace, &d_actions, rate_penalty, ws);
-    (samples, grads)
+    let telemetry = t1.map(|t| MicroTelemetry {
+        forward_s,
+        backward_s: t.elapsed().as_secs_f64(),
+        stats: trace.stats,
+        layer_spikes: trace.layer_spikes.clone(),
+    });
+    (samples, grads, telemetry)
 }
 
 /// Samples a decision period in `[min_t, max_t]` with geometric bias
@@ -234,6 +303,7 @@ pub struct SdpTrainingSession<'m> {
     tc: crate::config::TrainingConfig,
     costs: CostModel,
     step_counter: u64,
+    epochs_run: u64,
     worker_caches: Vec<BatchCache>,
 }
 
@@ -266,6 +336,23 @@ impl SdpTrainingSession<'_> {
     ///
     /// Panics if `agent` does not match the session's market shape.
     pub fn run_epoch(&mut self, agent: &mut SdpAgent) -> f64 {
+        self.run_epoch_with(agent, &mut NoopRecorder).reward
+    }
+
+    /// [`run_epoch`](Self::run_epoch) with telemetry: phase spans, queue
+    /// gauges, and one `"epoch"` record flow into `rec` when it is
+    /// enabled. With a [`NoopRecorder`] this is exactly `run_epoch` — all
+    /// measurement (clock reads, spike-counter clones, per-layer norm
+    /// sums) is skipped and every computed value is bitwise identical
+    /// either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `agent` does not match the session's market shape.
+    pub fn run_epoch_with(&mut self, agent: &mut SdpAgent, rec: &mut dyn Recorder) -> EpochStats {
+        let observe = rec.enabled();
+        let epoch_watch = Stopwatch::start(rec);
+        let epoch_t0 = Instant::now();
         let tc = self.tc;
         let workers = tc.parallelism.max(1);
         let micro = tc.micro_batch.max(1);
@@ -274,10 +361,17 @@ impl SdpTrainingSession<'_> {
         }
         let mut epoch_reward = 0.0;
         let mut epoch_samples = 0usize;
+        let mut grad_norm_sum = 0.0;
+        // Observation-only accumulators (filled when `observe`).
+        let mut layer_grad_norm_sums: Vec<f64> = Vec::new();
+        let mut update_mag_sum = 0.0;
+        let mut epoch_spikes = SpikeStats::default();
+        let mut epoch_layer_spikes: Vec<u64> = vec![0; agent.network.layers.len()];
         for _step in 0..tc.steps_per_epoch {
             self.step_counter += 1;
             // Phase 1 (sequential): sample periods, read the PVM, build
             // states, fix per-sample encoder seeds.
+            let sample_watch = Stopwatch::start(rec);
             let items: Vec<SampleItem> = (0..tc.batch_size)
                 .map(|i| {
                     let t = sample_period(
@@ -300,6 +394,7 @@ impl SdpTrainingSession<'_> {
                     }
                 })
                 .collect();
+            sample_watch.stop(rec, labels::SPAN_TRAIN_SAMPLE);
 
             // Phase 2: batched forward/backward over micro-batches.
             let network = &agent.network;
@@ -309,6 +404,11 @@ impl SdpTrainingSession<'_> {
             let chunks: Vec<&[SampleItem]> = items.chunks(micro).collect();
             let mut results: Vec<Option<MicroBatchResult>> =
                 (0..chunks.len()).map(|_| None).collect();
+            if observe {
+                rec.gauge(labels::GAUGE_QUEUE_MICRO_BATCHES, chunks.len() as f64);
+                rec.gauge(labels::GAUGE_QUEUE_WORKERS, workers as f64);
+                rec.gauge(labels::GAUGE_QUEUE_OCCUPANCY, chunks.len() as f64 / workers as f64);
+            }
             if workers == 1 {
                 let cache = &mut self.worker_caches[0];
                 for (slot, chunk) in results.iter_mut().zip(&chunks) {
@@ -319,6 +419,7 @@ impl SdpTrainingSession<'_> {
                         rate_penalty,
                         chunk,
                         cache,
+                        observe,
                     ));
                 }
             } else {
@@ -342,6 +443,7 @@ impl SdpTrainingSession<'_> {
                                             rate_penalty,
                                             chunk,
                                             cache,
+                                            observe,
                                         ),
                                     )
                                 })
@@ -360,22 +462,97 @@ impl SdpTrainingSession<'_> {
 
             // Phase 3 (sequential, micro-batch index order): accumulate
             // gradients, write the PVM.
+            let apply_watch = Stopwatch::start(rec);
             let mut grads = stbp::SdpGradients::zeros_like(&agent.network);
             let mut batch_reward = 0.0;
+            let mut forward_s = 0.0;
+            let mut backward_s = 0.0;
             for out in results {
-                let (samples, g) = out.expect("micro-batch result missing");
+                let (samples, g, telemetry) = out.expect("micro-batch result missing");
                 grads.accumulate(&g);
                 for (t, action, r) in samples {
                     self.pvm.set(t, action);
                     batch_reward += r;
                 }
+                if let Some(mt) = telemetry {
+                    forward_s += mt.forward_s;
+                    backward_s += mt.backward_s;
+                    epoch_spikes.encoder_spikes += mt.stats.encoder_spikes;
+                    epoch_spikes.neuron_spikes += mt.stats.neuron_spikes;
+                    epoch_spikes.synops += mt.stats.synops;
+                    epoch_spikes.neuron_updates += mt.stats.neuron_updates;
+                    for (total, n) in epoch_layer_spikes.iter_mut().zip(&mt.layer_spikes) {
+                        *total += n;
+                    }
+                }
             }
             grads.scale(1.0 / tc.batch_size as f64);
-            self.trainer.apply(&mut agent.network, &grads);
+            grad_norm_sum += grads.global_norm();
+            if observe {
+                rec.span(labels::SPAN_TRAIN_FORWARD, forward_s);
+                rec.span(labels::SPAN_TRAIN_BACKWARD, backward_s);
+                if layer_grad_norm_sums.len() < grads.layers.len() {
+                    layer_grad_norm_sums.resize(grads.layers.len(), 0.0);
+                }
+                for (sum, lg) in layer_grad_norm_sums.iter_mut().zip(&grads.layers) {
+                    let sq: f64 = lg.d_weights.as_slice().iter().map(|g| g * g).sum::<f64>()
+                        + lg.d_bias.iter().map(|g| g * g).sum::<f64>();
+                    *sum += sq.sqrt();
+                }
+                let before = stbp::flat_params(&agent.network);
+                self.trainer.apply(&mut agent.network, &grads);
+                let after = stbp::flat_params(&agent.network);
+                update_mag_sum +=
+                    before.iter().zip(&after).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+            } else {
+                self.trainer.apply(&mut agent.network, &grads);
+            }
+            apply_watch.stop(rec, labels::SPAN_TRAIN_APPLY);
             epoch_reward += batch_reward;
             epoch_samples += tc.batch_size;
         }
-        epoch_reward / epoch_samples.max(1) as f64
+        self.epochs_run += 1;
+        let steps = tc.steps_per_epoch.max(1) as f64;
+        let stats = EpochStats {
+            reward: epoch_reward / epoch_samples.max(1) as f64,
+            wall_s: epoch_t0.elapsed().as_secs_f64(),
+            grad_norm: grad_norm_sum / steps,
+        };
+        epoch_watch.stop(rec, labels::SPAN_TRAIN_EPOCH);
+        if observe {
+            let net = &agent.network;
+            let samples = epoch_samples as u64;
+            rec.emit(
+                Record::new("epoch")
+                    .field("agent", "sdp")
+                    .field("epoch", self.epochs_run - 1)
+                    .field("reward", stats.reward)
+                    .field("wall_s", stats.wall_s)
+                    .field("grad_norm", stats.grad_norm)
+                    .field(
+                        "grad_norms",
+                        layer_grad_norm_sums.iter().map(|s| s / steps).collect::<Vec<f64>>(),
+                    )
+                    .field("update_mag", update_mag_sum / steps)
+                    .field("samples", samples)
+                    .field("timesteps", net.config().timesteps as u64)
+                    .field("firing_rates", net.layer_firing_rates(&epoch_layer_spikes, samples))
+                    .field(
+                        "encoder_rate",
+                        net.encoder_spike_rate(epoch_spikes.encoder_spikes, samples),
+                    )
+                    .field(
+                        "spikes",
+                        Value::Map(vec![
+                            ("encoder".into(), Value::U64(epoch_spikes.encoder_spikes)),
+                            ("neuron".into(), Value::U64(epoch_spikes.neuron_spikes)),
+                            ("synops".into(), Value::U64(epoch_spikes.synops)),
+                            ("updates".into(), Value::U64(epoch_spikes.neuron_updates)),
+                        ]),
+                    ),
+            );
+        }
+        stats
     }
 }
 
@@ -428,6 +605,7 @@ impl Trainer {
             tc,
             costs: self.config.backtest.costs,
             step_counter: 0,
+            epochs_run: 0,
             worker_caches: Vec::new(),
         }
     }
@@ -438,13 +616,30 @@ impl Trainer {
     ///
     /// Panics if the market is shorter than the observation window + 2.
     pub fn train_sdp(&self, agent: &mut SdpAgent, market: &MarketData) -> TrainingLog {
+        self.train_sdp_with(agent, market, &mut NoopRecorder)
+    }
+
+    /// [`train_sdp`](Self::train_sdp) with telemetry: emits one `"epoch"`
+    /// record per epoch into `rec` (see
+    /// [`SdpTrainingSession::run_epoch_with`]). Training results are
+    /// bitwise identical with any recorder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the market is shorter than the observation window + 2.
+    pub fn train_sdp_with(
+        &self,
+        agent: &mut SdpAgent,
+        market: &MarketData,
+        rec: &mut dyn Recorder,
+    ) -> TrainingLog {
         let tc = self.config.training;
         let mut session = self.sdp_session(agent, market);
-        let mut log = TrainingLog { epoch_rewards: Vec::with_capacity(tc.epochs), steps: 0 };
+        let mut log = TrainingLog::with_capacity(tc.epochs);
         for _epoch in 0..tc.epochs {
-            let reward = session.run_epoch(agent);
+            let stats = session.run_epoch_with(agent, rec);
             log.steps += tc.steps_per_epoch;
-            log.epoch_rewards.push(reward);
+            log.push_epoch(&stats);
         }
         log
     }
@@ -461,6 +656,21 @@ impl Trainer {
         agent: &mut crate::eiie::EiieAgent,
         market: &MarketData,
     ) -> TrainingLog {
+        self.train_eiie_with(agent, market, &mut NoopRecorder)
+    }
+
+    /// [`train_eiie`](Self::train_eiie) with telemetry: emits one
+    /// `"epoch"` record (agent `"eiie"`) per epoch into `rec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the market is shorter than the observation window + 2.
+    pub fn train_eiie_with(
+        &self,
+        agent: &mut crate::eiie::EiieAgent,
+        market: &MarketData,
+        rec: &mut dyn Recorder,
+    ) -> TrainingLog {
         let tc = self.config.training;
         let costs = self.config.backtest.costs;
         let n_assets = market.num_assets();
@@ -471,10 +681,12 @@ impl Trainer {
         trainer.max_grad_norm = Some(tc.max_grad_norm);
         let mut sample_rng = StdRng::seed_from_u64(self.config.seed ^ 0xe11e_u64);
 
-        let mut log = TrainingLog { epoch_rewards: Vec::with_capacity(tc.epochs), steps: 0 };
-        for _epoch in 0..tc.epochs {
+        let mut log = TrainingLog::with_capacity(tc.epochs);
+        for epoch in 0..tc.epochs {
+            let epoch_t0 = Instant::now();
             let mut epoch_reward = 0.0;
             let mut epoch_samples = 0usize;
+            let mut grad_norm_sum = 0.0;
             for _step in 0..tc.steps_per_epoch {
                 let mut grads: Option<spikefolio_ann::eiie::EiieGradients> = None;
                 let mut batch_reward = 0.0;
@@ -498,13 +710,20 @@ impl Trainer {
                 }
                 if let Some(mut g) = grads {
                     g.scale(1.0 / tc.batch_size as f64);
+                    grad_norm_sum += g.global_norm();
                     trainer.apply(&mut agent.network, &g);
                 }
                 log.steps += 1;
                 epoch_reward += batch_reward;
                 epoch_samples += tc.batch_size;
             }
-            log.epoch_rewards.push(epoch_reward / epoch_samples.max(1) as f64);
+            let stats = EpochStats {
+                reward: epoch_reward / epoch_samples.max(1) as f64,
+                wall_s: epoch_t0.elapsed().as_secs_f64(),
+                grad_norm: grad_norm_sum / tc.steps_per_epoch.max(1) as f64,
+            };
+            log.push_epoch(&stats);
+            emit_dense_epoch(rec, "eiie", epoch, &stats, epoch_samples);
         }
         log
     }
@@ -515,6 +734,21 @@ impl Trainer {
     ///
     /// Panics if the market is shorter than the observation window + 2.
     pub fn train_drl(&self, agent: &mut DrlAgent, market: &MarketData) -> TrainingLog {
+        self.train_drl_with(agent, market, &mut NoopRecorder)
+    }
+
+    /// [`train_drl`](Self::train_drl) with telemetry: emits one `"epoch"`
+    /// record (agent `"drl"`) per epoch into `rec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the market is shorter than the observation window + 2.
+    pub fn train_drl_with(
+        &self,
+        agent: &mut DrlAgent,
+        market: &MarketData,
+        rec: &mut dyn Recorder,
+    ) -> TrainingLog {
         let tc = self.config.training;
         let costs = self.config.backtest.costs;
         let n_assets = market.num_assets();
@@ -525,10 +759,12 @@ impl Trainer {
         trainer.max_grad_norm = Some(tc.max_grad_norm);
         let mut sample_rng = StdRng::seed_from_u64(self.config.seed ^ 0xd71_u64);
 
-        let mut log = TrainingLog { epoch_rewards: Vec::with_capacity(tc.epochs), steps: 0 };
-        for _epoch in 0..tc.epochs {
+        let mut log = TrainingLog::with_capacity(tc.epochs);
+        for epoch in 0..tc.epochs {
+            let epoch_t0 = Instant::now();
             let mut epoch_reward = 0.0;
             let mut epoch_samples = 0usize;
+            let mut grad_norm_sum = 0.0;
             for _step in 0..tc.steps_per_epoch {
                 let mut grads: Option<spikefolio_ann::MlpGradients> = None;
                 let mut batch_reward = 0.0;
@@ -552,16 +788,46 @@ impl Trainer {
                 }
                 if let Some(mut g) = grads {
                     g.scale(1.0 / tc.batch_size as f64);
+                    grad_norm_sum += g.global_norm();
                     trainer.apply(&mut agent.network, &g);
                 }
                 log.steps += 1;
                 epoch_reward += batch_reward;
                 epoch_samples += tc.batch_size;
             }
-            log.epoch_rewards.push(epoch_reward / epoch_samples.max(1) as f64);
+            let stats = EpochStats {
+                reward: epoch_reward / epoch_samples.max(1) as f64,
+                wall_s: epoch_t0.elapsed().as_secs_f64(),
+                grad_norm: grad_norm_sum / tc.steps_per_epoch.max(1) as f64,
+            };
+            log.push_epoch(&stats);
+            emit_dense_epoch(rec, "drl", epoch, &stats, epoch_samples);
         }
         log
     }
+}
+
+/// Emits a dense-baseline epoch record (no spike fields) when `rec` is
+/// enabled.
+fn emit_dense_epoch(
+    rec: &mut dyn Recorder,
+    agent: &str,
+    epoch: usize,
+    stats: &EpochStats,
+    samples: usize,
+) {
+    if !rec.enabled() {
+        return;
+    }
+    rec.emit(
+        Record::new("epoch")
+            .field("agent", agent)
+            .field("epoch", epoch as u64)
+            .field("reward", stats.reward)
+            .field("wall_s", stats.wall_s)
+            .field("grad_norm", stats.grad_norm)
+            .field("samples", samples as u64),
+    );
 }
 
 #[cfg(test)]
@@ -726,6 +992,76 @@ mod tests {
             "parallel training failed to learn: {:?}",
             log2.epoch_rewards
         );
+    }
+
+    #[test]
+    fn training_log_edge_cases() {
+        // Empty log: no reward, no improvement.
+        let empty = TrainingLog::default();
+        assert_eq!(empty.final_reward(), 0.0);
+        assert!(!empty.improved());
+
+        // Single epoch: it is its own first and last, so it "improved".
+        let single = TrainingLog { epoch_rewards: vec![0.4], steps: 5, ..TrainingLog::default() };
+        assert_eq!(single.final_reward(), 0.4);
+        assert!(single.improved());
+
+        // NaN at either end compares false.
+        let nan_last = TrainingLog { epoch_rewards: vec![0.1, f64::NAN], ..TrainingLog::default() };
+        assert!(nan_last.final_reward().is_nan());
+        assert!(!nan_last.improved());
+        let nan_first =
+            TrainingLog { epoch_rewards: vec![f64::NAN, 0.1], ..TrainingLog::default() };
+        assert!(!nan_first.improved());
+    }
+
+    #[test]
+    fn training_log_series_stay_aligned() {
+        let market = trending_market(60);
+        let mut cfg = SdpConfig::smoke();
+        cfg.training.epochs = 3;
+        cfg.training.steps_per_epoch = 2;
+        cfg.training.batch_size = 4;
+        let mut agent = SdpAgent::new(&cfg, market.num_assets(), 3);
+        let log = Trainer::new(&cfg).train_sdp(&mut agent, &market);
+        assert_eq!(log.epoch_rewards.len(), 3);
+        assert_eq!(log.epoch_wall_s.len(), 3);
+        assert_eq!(log.epoch_grad_norms.len(), 3);
+        assert!(log.epoch_wall_s.iter().all(|&s| s >= 0.0));
+        assert!(log.epoch_grad_norms.iter().all(|&g| g.is_finite() && g >= 0.0));
+    }
+
+    #[test]
+    fn telemetry_recording_does_not_change_training() {
+        let market = trending_market(80);
+        let mut cfg = SdpConfig::smoke();
+        cfg.training.epochs = 2;
+        cfg.training.steps_per_epoch = 4;
+        cfg.training.batch_size = 8;
+        cfg.training.parallelism = 2;
+
+        let mut plain = SdpAgent::new(&cfg, market.num_assets(), 3);
+        let log_plain = Trainer::new(&cfg).train_sdp(&mut plain, &market);
+
+        let mut observed = SdpAgent::new(&cfg, market.num_assets(), 3);
+        let mut rec = spikefolio_telemetry::MemoryRecorder::new();
+        let log_observed = Trainer::new(&cfg).train_sdp_with(&mut observed, &market, &mut rec);
+
+        // Observe-only contract: rewards, grad norms, and every trained
+        // parameter are bitwise identical with a recorder attached.
+        assert_eq!(log_plain.epoch_rewards, log_observed.epoch_rewards);
+        assert_eq!(log_plain.epoch_grad_norms, log_observed.epoch_grad_norms);
+        assert_eq!(stbp::flat_params(&plain.network), stbp::flat_params(&observed.network));
+
+        // And the recorder saw the run: one record per epoch plus spans.
+        assert_eq!(rec.records().len(), 2);
+        let epoch0 = &rec.records()[0];
+        assert_eq!(epoch0.get("agent").and_then(Value::as_str), Some("sdp"));
+        assert!(epoch0.get("reward").and_then(Value::as_f64).is_some());
+        assert!(epoch0.get("firing_rates").is_some());
+        let (fwd_s, fwd_n) = rec.span_total(labels::SPAN_TRAIN_FORWARD);
+        assert_eq!(fwd_n, 8, "one forward span per step");
+        assert!(fwd_s > 0.0);
     }
 
     #[test]

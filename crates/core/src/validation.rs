@@ -73,7 +73,7 @@ pub fn train_sdp_validated(
     let mut session = trainer.sdp_session(agent, &fit);
 
     let mut log = ValidatedTrainingLog {
-        training: TrainingLog { epoch_rewards: Vec::with_capacity(epochs), steps: 0 },
+        training: TrainingLog::with_capacity(epochs),
         val_rewards: Vec::with_capacity(epochs),
         best_epoch: 0,
         stopped_early: false,
@@ -83,8 +83,8 @@ pub fn train_sdp_validated(
     let mut since_best = 0usize;
 
     for epoch in 0..epochs {
-        let train_reward = session.run_epoch(agent);
-        log.training.epoch_rewards.push(train_reward);
+        let epoch_stats = session.run_epoch_with(agent, &mut spikefolio_telemetry::NoopRecorder);
+        log.training.push_epoch(&epoch_stats);
         log.training.steps += trainer.config().training.steps_per_epoch;
 
         let result = backtester.run(agent, &val);

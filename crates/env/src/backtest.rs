@@ -6,6 +6,7 @@ use crate::metrics::Metrics;
 use crate::portfolio::PortfolioState;
 use serde::{Deserialize, Serialize};
 use spikefolio_market::MarketData;
+use spikefolio_telemetry::{labels, NoopRecorder, Record, Recorder, Stopwatch};
 use spikefolio_tensor::simplex;
 
 /// Everything a policy may inspect when deciding the next weight vector.
@@ -122,6 +123,25 @@ impl Backtester {
     ///
     /// Panics if the market has fewer than `warmup + 2` periods.
     pub fn run(&self, policy: &mut dyn Policy, market: &MarketData) -> BacktestResult {
+        self.run_recorded(policy, market, &mut NoopRecorder)
+    }
+
+    /// [`run`](Self::run) with telemetry: when `rec` is enabled, each
+    /// decision step emits a `"backtest_step"` record (period, portfolio
+    /// value, one-way turnover of the step, cost fraction paid) under a
+    /// `backtest/step` span, and the run closes with one `"backtest_end"`
+    /// record. Recording is observe-only — the returned
+    /// [`BacktestResult`] is identical with any recorder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the market has fewer than `warmup + 2` periods.
+    pub fn run_recorded(
+        &self,
+        policy: &mut dyn Policy,
+        market: &MarketData,
+        rec: &mut dyn Recorder,
+    ) -> BacktestResult {
         let warmup = policy.warmup_periods();
         let n_periods = market.num_periods();
         assert!(
@@ -137,6 +157,7 @@ impl Backtester {
         let mut turnover = 0.0;
 
         for t in warmup..n_periods - 1 {
+            let step_watch = Stopwatch::start(rec);
             let mut target = {
                 let ctx =
                     DecisionContext { market, t, num_assets: n, prev_weights: portfolio.weights() };
@@ -151,12 +172,25 @@ impl Backtester {
                 n + 1
             );
             simplex::renormalize(&mut target);
-            turnover += spikefolio_tensor::vector::l1_distance(&target, portfolio.weights());
+            let step_turnover =
+                spikefolio_tensor::vector::l1_distance(&target, portfolio.weights());
+            turnover += step_turnover;
             let y = market.price_relatives_with_cash(t + 1);
             let r = portfolio.step(&target, &y, &self.config.costs);
             values.push(portfolio.value());
             log_returns.push(r);
             weights_hist.push(target);
+            step_watch.stop(rec, labels::SPAN_BACKTEST_STEP);
+            if rec.enabled() {
+                rec.emit(
+                    Record::new("backtest_step")
+                        .field("t", t as u64)
+                        .field("value", portfolio.value())
+                        .field("log_return", r)
+                        .field("turnover", step_turnover)
+                        .field("cost", 1.0 - portfolio.last_shrink_factor()),
+                );
+            }
         }
 
         let metrics = Metrics::from_values(
@@ -164,14 +198,24 @@ impl Backtester {
             market.periods_per_year(),
             self.config.risk_free_per_period,
         );
-        BacktestResult {
+        let result = BacktestResult {
             policy_name: policy.name().to_owned(),
             values,
             weights: weights_hist,
             log_returns,
             turnover,
             metrics,
+        };
+        if rec.enabled() {
+            rec.emit(
+                Record::new("backtest_end")
+                    .field("policy", result.policy_name.as_str())
+                    .field("steps", result.log_returns.len() as u64)
+                    .field("final_value", result.fapv())
+                    .field("turnover", result.turnover),
+            );
         }
+        result
     }
 }
 
@@ -307,6 +351,25 @@ mod tests {
         let risk = r.risk_report();
         assert!((0.0..=1.0).contains(&risk.win_rate));
         assert!(risk.cvar_95 >= risk.var_95);
+    }
+
+    #[test]
+    fn recorded_run_is_identical_and_logs_every_step() {
+        let m = market();
+        let plain = Backtester::default().run(&mut Uniform, &m);
+        let mut rec = spikefolio_telemetry::MemoryRecorder::new();
+        let recorded = Backtester::default().run_recorded(&mut Uniform, &m, &mut rec);
+        // Observe-only contract: the result is bitwise identical.
+        assert_eq!(plain, recorded);
+        // One backtest_step record per trade, plus the backtest_end.
+        assert_eq!(rec.records().len(), plain.log_returns.len() + 1);
+        let end = rec.records().last().unwrap();
+        assert_eq!(
+            end.get("steps").and_then(spikefolio_telemetry::Value::as_u64),
+            Some(plain.log_returns.len() as u64)
+        );
+        let (_, n) = rec.span_total(labels::SPAN_BACKTEST_STEP);
+        assert_eq!(n as usize, plain.log_returns.len());
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod chip;
 pub mod device;
 pub mod energy;
 pub mod quantize;
+pub mod telemetry;
 
 pub use board::{Board, BoardDeployment, PowerTrace};
 pub use chip::{ChipConfig, LoihiChip, LoihiNetwork};

@@ -1,0 +1,110 @@
+//! Bridges chip-model event counters into the run-telemetry layer.
+//!
+//! A deployment accumulates [`LoihiRunStats`] while trading; this module
+//! records those event totals as monotonic counters under the canonical
+//! `loihi/*` labels and reconstructs them from a summarized run log, so
+//! [`LoihiEnergyModel::report`](crate::energy::LoihiEnergyModel::report)
+//! can be fed from recorded telemetry alone (no live deployment needed).
+
+use crate::chip::LoihiRunStats;
+use spikefolio_snn::network::SpikeStats;
+use spikefolio_telemetry::{labels, Recorder};
+
+/// Records `stats` (event totals over `inferences` inferences) as
+/// `loihi/*` counters on `rec`. Counters are monotonic: call this once
+/// per batch of new events, not with running totals.
+pub fn record_run_stats(rec: &mut dyn Recorder, stats: &LoihiRunStats, inferences: u64) {
+    if !rec.enabled() {
+        return;
+    }
+    rec.counter(labels::COUNTER_LOIHI_INPUT_SPIKES, stats.input_spikes);
+    rec.counter(labels::COUNTER_LOIHI_NEURON_SPIKES, stats.neuron_spikes);
+    rec.counter(labels::COUNTER_LOIHI_SYNOPS, stats.synops);
+    rec.counter(labels::COUNTER_LOIHI_NEURON_UPDATES, stats.neuron_updates);
+    rec.counter(labels::COUNTER_LOIHI_TIMESTEPS, stats.timesteps);
+    rec.counter(labels::COUNTER_LOIHI_INFERENCES, inferences);
+}
+
+/// Reconstructs the event totals and inference count from counter totals
+/// (e.g. [`RunSummary::counters`](spikefolio_telemetry::RunSummary)).
+/// `get` maps a counter label to its total, 0 when absent. Returns `None`
+/// when the log recorded no inferences.
+pub fn run_stats_from_counters(get: impl Fn(&str) -> u64) -> Option<(LoihiRunStats, u64)> {
+    let inferences = get(labels::COUNTER_LOIHI_INFERENCES);
+    if inferences == 0 {
+        return None;
+    }
+    let stats = LoihiRunStats {
+        input_spikes: get(labels::COUNTER_LOIHI_INPUT_SPIKES),
+        neuron_spikes: get(labels::COUNTER_LOIHI_NEURON_SPIKES),
+        synops: get(labels::COUNTER_LOIHI_SYNOPS),
+        neuron_updates: get(labels::COUNTER_LOIHI_NEURON_UPDATES),
+        timesteps: get(labels::COUNTER_LOIHI_TIMESTEPS),
+    };
+    Some((stats, inferences))
+}
+
+/// Mean per-inference event bundle and timestep count from event totals —
+/// the exact inputs of
+/// [`LoihiEnergyModel::report`](crate::energy::LoihiEnergyModel::report).
+pub fn mean_spike_stats(totals: &LoihiRunStats, inferences: u64) -> (SpikeStats, usize) {
+    let n = inferences.max(1);
+    let per = LoihiRunStats {
+        input_spikes: totals.input_spikes / n,
+        neuron_spikes: totals.neuron_spikes / n,
+        synops: totals.synops / n,
+        neuron_updates: totals.neuron_updates / n,
+        timesteps: totals.timesteps / n,
+    };
+    let timesteps = per.timesteps as usize;
+    (per.to_spike_stats(), timesteps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::energy::LoihiEnergyModel;
+    use spikefolio_telemetry::MemoryRecorder;
+
+    fn totals() -> LoihiRunStats {
+        LoihiRunStats {
+            input_spikes: 4_000,
+            neuron_spikes: 3_000,
+            synops: 600_000,
+            neuron_updates: 7_000,
+            timesteps: 50,
+        }
+    }
+
+    #[test]
+    fn counters_round_trip_through_a_recorder() {
+        let mut rec = MemoryRecorder::new();
+        record_run_stats(&mut rec, &totals(), 10);
+        let (back, inferences) = run_stats_from_counters(|label| rec.counter_total(label)).unwrap();
+        assert_eq!(back, totals());
+        assert_eq!(inferences, 10);
+    }
+
+    #[test]
+    fn energy_report_from_recorded_counters_matches_direct_path() {
+        let mut rec = MemoryRecorder::new();
+        record_run_stats(&mut rec, &totals(), 10);
+        let (back, inferences) = run_stats_from_counters(|label| rec.counter_total(label)).unwrap();
+        let (per_inf, timesteps) = mean_spike_stats(&back, inferences);
+
+        // The ad-hoc path a live deployment uses: mean stats directly.
+        let (direct, direct_t) = mean_spike_stats(&totals(), 10);
+
+        let model = LoihiEnergyModel::davies2018();
+        let from_log = model.report("log", &per_inf, timesteps);
+        let live = model.report("live", &direct, direct_t);
+        assert_eq!(from_log.nj_per_inf, live.nj_per_inf);
+        assert_eq!(from_log.inf_per_s, live.inf_per_s);
+        assert_eq!(from_log.dyn_w, live.dyn_w);
+    }
+
+    #[test]
+    fn missing_inference_counter_yields_none() {
+        assert!(run_stats_from_counters(|_| 0).is_none());
+    }
+}

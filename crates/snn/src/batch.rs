@@ -67,6 +67,11 @@ pub struct BatchNetworkTrace {
     pub actions: Matrix,
     /// Event counters summed over the whole minibatch.
     pub stats: SpikeStats,
+    /// Spikes emitted per LIF layer (input-side first), summed over the
+    /// minibatch; sums to [`SpikeStats::neuron_spikes`]. Feeds the
+    /// per-layer spike-activity telemetry
+    /// ([`SdpNetwork::layer_firing_rates`]).
+    pub layer_spikes: Vec<u64>,
 }
 
 impl BatchNetworkTrace {
@@ -96,6 +101,7 @@ impl BatchNetworkTrace {
             firing_rates: Matrix::zeros(batch, action_dim),
             actions: Matrix::zeros(batch, action_dim),
             stats: SpikeStats::default(),
+            layer_spikes: vec![0; net.layers.len()],
         }
     }
 
@@ -330,7 +336,9 @@ impl SdpNetwork {
             };
             trace.stats.synops += count_spikes(inputs) * layer.out_dim() as u64;
             trace.stats.neuron_updates += (layer.out_dim() * t_max * bsz) as u64;
-            trace.stats.neuron_spikes += count_spikes(trace.layers[k].outputs.as_slice());
+            let out_spikes = count_spikes(trace.layers[k].outputs.as_slice());
+            trace.stats.neuron_spikes += out_spikes;
+            trace.layer_spikes[k] = out_spikes;
         }
 
         // Σ_t o(t) per sample over the last layer, t ascending as in the
@@ -408,6 +416,32 @@ mod tests {
             expect.neuron_updates += s.neuron_updates;
         }
         assert_eq!(trace.stats, expect);
+    }
+
+    #[test]
+    fn forward_batch_layer_spikes_match_summed_per_sample_traces() {
+        let net = SdpNetwork::new(SdpNetworkConfig::small(4, 3), &mut rng(11));
+        let batch = 4;
+        let st = states(&net, batch);
+        let mut ws = BatchWorkspace::new(&net, batch);
+        let mut trace = BatchNetworkTrace::new(&net, batch);
+        let mut rngs: Vec<StdRng> = (0..batch).map(|b| rng(b as u64)).collect();
+        net.forward_batch(&st, &mut rngs, &mut ws, &mut trace);
+        let mut expect = vec![0u64; net.layers.len()];
+        for b in 0..batch {
+            let (_, t) = net.forward(st.row(b), &mut rng(b as u64));
+            assert_eq!(t.layer_spikes.iter().sum::<u64>(), t.stats.neuron_spikes);
+            for (e, s) in expect.iter_mut().zip(&t.layer_spikes) {
+                *e += s;
+            }
+        }
+        assert_eq!(trace.layer_spikes, expect);
+        assert_eq!(trace.layer_spikes.iter().sum::<u64>(), trace.stats.neuron_spikes);
+        let rates = net.layer_firing_rates(&trace.layer_spikes, batch as u64);
+        assert_eq!(rates.len(), net.layers.len());
+        for r in &rates {
+            assert!((0.0..=1.0).contains(r), "firing rate {r} out of [0, 1]");
+        }
     }
 
     #[test]

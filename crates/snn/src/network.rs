@@ -122,6 +122,11 @@ pub struct NetworkTrace {
     pub decoder: DecoderTrace,
     /// Event counters.
     pub stats: SpikeStats,
+    /// Spikes emitted by each LIF layer (input-side first); sums to
+    /// [`SpikeStats::neuron_spikes`]. The per-layer resolution feeds the
+    /// spike-activity telemetry (see
+    /// [`SdpNetwork::layer_firing_rates`]).
+    pub layer_spikes: Vec<u64>,
 }
 
 /// The spiking deterministic policy network of Fig. 1.
@@ -259,13 +264,16 @@ impl SdpNetwork {
 
         let mut raster = enc.clone();
         let mut layer_traces = Vec::with_capacity(self.layers.len());
+        let mut layer_spikes = Vec::with_capacity(self.layers.len());
         for layer in &self.layers {
             // Synops: every incoming spike fans out to all `out_dim` neurons.
             let in_spikes = raster.as_slice().iter().filter(|&&s| s > 0.0).count() as u64;
             stats.synops += in_spikes * layer.out_dim() as u64;
             stats.neuron_updates += (layer.out_dim() * t_max) as u64;
             let (out, tr) = layer.forward(&raster, record);
-            stats.neuron_spikes += out.as_slice().iter().filter(|&&s| s > 0.0).count() as u64;
+            let out_spikes = out.as_slice().iter().filter(|&&s| s > 0.0).count() as u64;
+            stats.neuron_spikes += out_spikes;
+            layer_spikes.push(out_spikes);
             if let Some(tr) = tr {
                 layer_traces.push(tr);
             }
@@ -282,7 +290,42 @@ impl SdpNetwork {
         }
         let dec = self.decoder.decode(&sums);
         let action = dec.action.clone();
-        (action, NetworkTrace { encoder_spikes: enc, layers: layer_traces, decoder: dec, stats })
+        (
+            action,
+            NetworkTrace {
+                encoder_spikes: enc,
+                layers: layer_traces,
+                decoder: dec,
+                stats,
+                layer_spikes,
+            },
+        )
+    }
+
+    /// Converts per-layer spike counts (summed over `samples` forward
+    /// passes) into per-layer firing rates: spikes per neuron per
+    /// timestep, in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer_spikes.len()` does not match the network depth.
+    pub fn layer_firing_rates(&self, layer_spikes: &[u64], samples: u64) -> Vec<f64> {
+        assert_eq!(layer_spikes.len(), self.layers.len(), "layer spike count mismatch");
+        let t = self.config.timesteps as f64;
+        let n = samples.max(1) as f64;
+        self.layers
+            .iter()
+            .zip(layer_spikes)
+            .map(|(layer, &spikes)| spikes as f64 / (layer.out_dim() as f64 * t * n))
+            .collect()
+    }
+
+    /// Encoder spike rate: spikes per encoder neuron per timestep over
+    /// `samples` forward passes, in `[0, 1]`.
+    pub fn encoder_spike_rate(&self, encoder_spikes: u64, samples: u64) -> f64 {
+        let denom =
+            self.encoder.output_dim() as f64 * self.config.timesteps as f64 * samples.max(1) as f64;
+        encoder_spikes as f64 / denom
     }
 }
 

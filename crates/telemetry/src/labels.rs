@@ -1,0 +1,41 @@
+//! Canonical hierarchical label constants shared by all instrumented
+//! crates, so run logs stay greppable and the summarizer can rely on
+//! exact names.
+
+/// Span: one whole training epoch.
+pub const SPAN_TRAIN_EPOCH: &str = "train/epoch";
+/// Span: phase 1 of a training step — sampling periods and building
+/// states.
+pub const SPAN_TRAIN_SAMPLE: &str = "train/epoch/sample";
+/// Span: batched SNN forward passes of a training step.
+pub const SPAN_TRAIN_FORWARD: &str = "train/epoch/forward_batch";
+/// Span: batched STBP backward passes of a training step.
+pub const SPAN_TRAIN_BACKWARD: &str = "train/epoch/backward_batch";
+/// Span: gradient accumulation + optimizer apply of a training step.
+pub const SPAN_TRAIN_APPLY: &str = "train/epoch/apply";
+/// Span: one backtester decision + portfolio step.
+pub const SPAN_BACKTEST_STEP: &str = "backtest/step";
+/// Span: population encoding of one state (off-chip path).
+pub const SPAN_ENCODE: &str = "encode";
+/// Span: one chip-model inference (quantized spiking body).
+pub const SPAN_CHIP_INFER: &str = "loihi/infer";
+
+/// Gauge: micro-batches in flight per training step.
+pub const GAUGE_QUEUE_MICRO_BATCHES: &str = "train/queue/micro_batches";
+/// Gauge: worker threads serving the micro-batch queue.
+pub const GAUGE_QUEUE_WORKERS: &str = "train/queue/workers";
+/// Gauge: micro-batch queue occupancy (micro-batches per worker).
+pub const GAUGE_QUEUE_OCCUPANCY: &str = "train/queue/occupancy";
+
+/// Counter: spikes injected into the chip (encoder output).
+pub const COUNTER_LOIHI_INPUT_SPIKES: &str = "loihi/input_spikes";
+/// Counter: spikes fired by on-chip neurons.
+pub const COUNTER_LOIHI_NEURON_SPIKES: &str = "loihi/neuron_spikes";
+/// Counter: on-chip synaptic operations.
+pub const COUNTER_LOIHI_SYNOPS: &str = "loihi/synops";
+/// Counter: on-chip compartment updates.
+pub const COUNTER_LOIHI_NEURON_UPDATES: &str = "loihi/neuron_updates";
+/// Counter: algorithmic timesteps executed on chip.
+pub const COUNTER_LOIHI_TIMESTEPS: &str = "loihi/timesteps";
+/// Counter: quantized inferences executed.
+pub const COUNTER_LOIHI_INFERENCES: &str = "loihi/inferences";

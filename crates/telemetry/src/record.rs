@@ -1,0 +1,82 @@
+//! The structured record emitted once per observation unit.
+
+use crate::value::Value;
+
+/// One self-describing observation record (a training epoch, a backtest
+/// step, a deployment summary, …).
+///
+/// Built fluently:
+///
+/// ```
+/// use spikefolio_telemetry::Record;
+///
+/// let r = Record::new("epoch").field("epoch", 3u64).field("reward", 0.12);
+/// assert_eq!(r.kind(), "epoch");
+/// assert_eq!(r.get("epoch").and_then(|v| v.as_u64()), Some(3));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    kind: String,
+    fields: Vec<(String, Value)>,
+}
+
+impl Record {
+    /// Creates an empty record of the given kind (`"epoch"`,
+    /// `"backtest_step"`, …).
+    pub fn new(kind: &str) -> Self {
+        Self { kind: kind.to_owned(), fields: Vec::new() }
+    }
+
+    /// The record kind.
+    pub fn kind(&self) -> &str {
+        &self.kind
+    }
+
+    /// Adds a field (builder style). Keys keep insertion order in the
+    /// serialized record.
+    pub fn field(mut self, key: &str, value: impl Into<Value>) -> Self {
+        self.fields.push((key.to_owned(), value.into()));
+        self
+    }
+
+    /// Adds a field only when `value` is `Some`.
+    pub fn opt_field(self, key: &str, value: Option<impl Into<Value>>) -> Self {
+        match value {
+            Some(v) => self.field(key, v),
+            None => self,
+        }
+    }
+
+    /// Looks up a field by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// The fields in insertion order.
+    pub fn fields(&self) -> &[(String, Value)] {
+        &self.fields
+    }
+
+    /// Consumes the record into its fields.
+    pub fn into_fields(self) -> Vec<(String, Value)> {
+        self.fields
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_preserves_order_and_lookup() {
+        let r = Record::new("k")
+            .field("a", 1u64)
+            .field("b", "text")
+            .opt_field("c", Some(2.5))
+            .opt_field("d", None::<f64>);
+        assert_eq!(r.fields().len(), 3);
+        assert_eq!(r.fields()[0].0, "a");
+        assert_eq!(r.get("b").and_then(|v| v.as_str()), Some("text"));
+        assert_eq!(r.get("d"), None);
+    }
+}

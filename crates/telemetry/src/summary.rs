@@ -1,0 +1,342 @@
+//! Run-log readback: parse a JSONL run log and aggregate it into a
+//! [`RunSummary`] (reward series, spike activity, phase timings, counter
+//! totals).
+//!
+//! The reader is tolerant by design: unknown record kinds and fields are
+//! ignored, so logs written by newer schema revisions (which may only add
+//! fields) still summarize.
+
+use crate::sink::SCHEMA;
+use crate::value::{parse, Value};
+use std::collections::BTreeMap;
+use std::io::{self, BufRead};
+use std::path::Path;
+
+/// One training epoch as read back from the log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochPoint {
+    /// Epoch index.
+    pub epoch: u64,
+    /// Mean sample reward of the epoch (eq. 1 summand).
+    pub reward: f64,
+    /// Wall-clock seconds the epoch took.
+    pub wall_s: f64,
+    /// Mean global gradient L2 norm over the epoch's steps.
+    pub grad_norm: f64,
+}
+
+/// Reward-curve statistics of one agent's epoch series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RewardStats {
+    /// Number of epochs.
+    pub epochs: usize,
+    /// First epoch's reward.
+    pub first: f64,
+    /// Final epoch's reward.
+    pub last: f64,
+    /// Best epoch's reward.
+    pub best: f64,
+    /// Mean reward across epochs.
+    pub mean: f64,
+}
+
+/// Spike-event totals summed over every epoch record in the log.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpikeTotals {
+    /// Forward samples (inferences) the totals cover.
+    pub samples: u64,
+    /// Encoder spikes.
+    pub encoder_spikes: u64,
+    /// LIF neuron spikes.
+    pub neuron_spikes: u64,
+    /// Synaptic operations.
+    pub synops: u64,
+    /// Neuron-update operations.
+    pub neuron_updates: u64,
+}
+
+/// One completed backtest as read back from its `backtest_end` record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BacktestSummary {
+    /// Policy display name.
+    pub policy: String,
+    /// Decision steps taken.
+    pub steps: u64,
+    /// Final accumulated portfolio value.
+    pub final_value: f64,
+    /// Total one-way turnover.
+    pub turnover: f64,
+}
+
+/// Aggregated view of one run log.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunSummary {
+    /// Records read (including `run_end`).
+    pub records: usize,
+    /// Lines that failed to parse or carried a different schema.
+    pub skipped_lines: usize,
+    /// Epoch series keyed by agent label (`"sdp"`, `"drl"`, `"eiie"`).
+    pub epochs: BTreeMap<String, Vec<EpochPoint>>,
+    /// Sample-weighted mean firing rate per LIF layer (spiking epochs
+    /// only; empty when the log has none).
+    pub firing_rates: Vec<f64>,
+    /// Sample-weighted mean encoder spike rate.
+    pub encoder_rate: f64,
+    /// Spike-event totals over all epoch records.
+    pub spike_totals: SpikeTotals,
+    /// Simulation length `T` reported by the epoch records, if any.
+    pub timesteps: Option<u64>,
+    /// Span totals: label → (seconds, count).
+    pub spans: BTreeMap<String, (f64, u64)>,
+    /// Counter totals: label → count.
+    pub counters: BTreeMap<String, u64>,
+    /// Completed backtests, in log order.
+    pub backtests: Vec<BacktestSummary>,
+}
+
+impl RunSummary {
+    /// Reward-curve statistics for one agent's epoch series.
+    pub fn reward_stats(&self, agent: &str) -> Option<RewardStats> {
+        let pts = self.epochs.get(agent)?;
+        let (first, last) = (pts.first()?, pts.last()?);
+        Some(RewardStats {
+            epochs: pts.len(),
+            first: first.reward,
+            last: last.reward,
+            best: pts.iter().map(|p| p.reward).fold(f64::NEG_INFINITY, f64::max),
+            mean: pts.iter().map(|p| p.reward).sum::<f64>() / pts.len() as f64,
+        })
+    }
+
+    /// Mean per-inference spike events `(encoder, neuron, synops,
+    /// updates)`, if any samples were recorded.
+    pub fn mean_events_per_inference(&self) -> Option<(f64, f64, f64, f64)> {
+        let n = self.spike_totals.samples;
+        if n == 0 {
+            return None;
+        }
+        let n = n as f64;
+        Some((
+            self.spike_totals.encoder_spikes as f64 / n,
+            self.spike_totals.neuron_spikes as f64 / n,
+            self.spike_totals.synops as f64 / n,
+            self.spike_totals.neuron_updates as f64 / n,
+        ))
+    }
+}
+
+/// Parses and aggregates a JSONL run log from a reader.
+///
+/// Lines that are not valid JSON or not stamped with the expected schema
+/// are counted in [`RunSummary::skipped_lines`] rather than failing the
+/// whole summary.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the reader.
+pub fn summarize_lines(reader: impl BufRead) -> io::Result<RunSummary> {
+    let mut s = RunSummary::default();
+    // Firing-rate accumulation: Σ rate·samples per layer, ÷ Σ samples.
+    let mut rate_weight = 0.0_f64;
+    let mut rate_sums: Vec<f64> = Vec::new();
+    let mut encoder_rate_sum = 0.0_f64;
+    let mut counter_deltas: BTreeMap<String, u64> = BTreeMap::new();
+    let mut end_totals: Option<BTreeMap<String, u64>> = None;
+
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Ok(v) = parse(&line) else {
+            s.skipped_lines += 1;
+            continue;
+        };
+        if v.get("schema").and_then(Value::as_str) != Some(SCHEMA) {
+            s.skipped_lines += 1;
+            continue;
+        }
+        s.records += 1;
+
+        if let Some(Value::Map(spans)) = v.get("spans") {
+            for (label, span) in spans {
+                let slot = s.spans.entry(label.clone()).or_insert((0.0, 0));
+                slot.0 += span.get("s").and_then(Value::as_f64).unwrap_or(0.0);
+                slot.1 += span.get("n").and_then(Value::as_u64).unwrap_or(0);
+            }
+        }
+        if let Some(Value::Map(counters)) = v.get("counters") {
+            for (label, c) in counters {
+                *counter_deltas.entry(label.clone()).or_insert(0) += c.as_u64().unwrap_or(0);
+            }
+        }
+
+        match v.get("kind").and_then(Value::as_str) {
+            Some("epoch") => {
+                let agent = v.get("agent").and_then(Value::as_str).unwrap_or("unknown").to_owned();
+                s.epochs.entry(agent).or_default().push(EpochPoint {
+                    epoch: v.get("epoch").and_then(Value::as_u64).unwrap_or(0),
+                    reward: v.get("reward").and_then(Value::as_f64).unwrap_or(f64::NAN),
+                    wall_s: v.get("wall_s").and_then(Value::as_f64).unwrap_or(0.0),
+                    grad_norm: v.get("grad_norm").and_then(Value::as_f64).unwrap_or(0.0),
+                });
+                let samples = v.get("samples").and_then(Value::as_u64).unwrap_or(0);
+                if let Some(rates) = v.get("firing_rates").and_then(Value::as_list) {
+                    let w = samples as f64;
+                    if rate_sums.len() < rates.len() {
+                        rate_sums.resize(rates.len(), 0.0);
+                    }
+                    for (sum, r) in rate_sums.iter_mut().zip(rates) {
+                        *sum += r.as_f64().unwrap_or(0.0) * w;
+                    }
+                    encoder_rate_sum +=
+                        v.get("encoder_rate").and_then(Value::as_f64).unwrap_or(0.0) * w;
+                    rate_weight += w;
+                }
+                if let Some(spikes) = v.get("spikes") {
+                    let g = |k: &str| spikes.get(k).and_then(Value::as_u64).unwrap_or(0);
+                    s.spike_totals.samples += samples;
+                    s.spike_totals.encoder_spikes += g("encoder");
+                    s.spike_totals.neuron_spikes += g("neuron");
+                    s.spike_totals.synops += g("synops");
+                    s.spike_totals.neuron_updates += g("updates");
+                }
+                if s.timesteps.is_none() {
+                    s.timesteps = v.get("timesteps").and_then(Value::as_u64);
+                }
+            }
+            Some("backtest_end") => s.backtests.push(BacktestSummary {
+                policy: v.get("policy").and_then(Value::as_str).unwrap_or("policy").to_owned(),
+                steps: v.get("steps").and_then(Value::as_u64).unwrap_or(0),
+                final_value: v.get("final_value").and_then(Value::as_f64).unwrap_or(f64::NAN),
+                turnover: v.get("turnover").and_then(Value::as_f64).unwrap_or(f64::NAN),
+            }),
+            Some("run_end") => {
+                if let Some(Value::Map(totals)) = v.get("counter_totals") {
+                    end_totals = Some(
+                        totals.iter().map(|(k, c)| (k.clone(), c.as_u64().unwrap_or(0))).collect(),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Prefer the authoritative run_end totals; fall back to summed deltas
+    // (e.g. a truncated log without its final record).
+    s.counters = end_totals.unwrap_or(counter_deltas);
+    if rate_weight > 0.0 {
+        s.firing_rates = rate_sums.iter().map(|r| r / rate_weight).collect();
+        s.encoder_rate = encoder_rate_sum / rate_weight;
+    }
+    Ok(s)
+}
+
+/// Parses and aggregates the JSONL run log at `path`.
+///
+/// # Errors
+///
+/// Propagates I/O errors; malformed lines are skipped, not fatal (see
+/// [`summarize_lines`]).
+pub fn summarize_file(path: impl AsRef<Path>) -> io::Result<RunSummary> {
+    let f = std::fs::File::open(path)?;
+    summarize_lines(io::BufReader::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Record;
+    use crate::sink::JsonlSink;
+    use crate::value::Value;
+    use crate::Recorder;
+
+    fn sample_log() -> Vec<u8> {
+        let mut sink = JsonlSink::new(Vec::new());
+        for (e, reward) in [0.1_f64, 0.3].iter().enumerate() {
+            sink.counter("loihi/synops", 1000);
+            sink.span("train/epoch/forward_batch", 0.5);
+            sink.emit(
+                Record::new("epoch")
+                    .field("agent", "sdp")
+                    .field("epoch", e as u64)
+                    .field("reward", *reward)
+                    .field("wall_s", 1.5)
+                    .field("grad_norm", 0.2)
+                    .field("samples", 100u64)
+                    .field("timesteps", 5u64)
+                    .field("firing_rates", vec![0.2, 0.4])
+                    .field("encoder_rate", 0.1)
+                    .field(
+                        "spikes",
+                        Value::Map(vec![
+                            ("encoder".into(), Value::U64(50)),
+                            ("neuron".into(), Value::U64(30)),
+                            ("synops".into(), Value::U64(1000)),
+                            ("updates".into(), Value::U64(70)),
+                        ]),
+                    ),
+            );
+        }
+        sink.emit(
+            Record::new("backtest_end")
+                .field("policy", "SDP")
+                .field("steps", 20u64)
+                .field("final_value", 1.25)
+                .field("turnover", 3.0),
+        );
+        sink.finish().unwrap()
+    }
+
+    #[test]
+    fn summary_aggregates_epochs_spans_and_counters() {
+        let log = sample_log();
+        let s = summarize_lines(&log[..]).unwrap();
+        assert_eq!(s.records, 4);
+        assert_eq!(s.skipped_lines, 0);
+        let stats = s.reward_stats("sdp").unwrap();
+        assert_eq!(stats.epochs, 2);
+        assert_eq!(stats.first, 0.1);
+        assert_eq!(stats.last, 0.3);
+        assert_eq!(stats.best, 0.3);
+        assert!((stats.mean - 0.2).abs() < 1e-12);
+        assert_eq!(s.firing_rates, vec![0.2, 0.4]);
+        assert_eq!(s.encoder_rate, 0.1);
+        assert_eq!(s.spike_totals.samples, 200);
+        assert_eq!(s.spike_totals.synops, 2000);
+        assert_eq!(s.timesteps, Some(5));
+        assert_eq!(s.counters.get("loihi/synops"), Some(&2000));
+        assert_eq!(s.spans.get("train/epoch/forward_batch"), Some(&(1.0, 2)));
+        assert_eq!(s.backtests.len(), 1);
+        assert_eq!(s.backtests[0].policy, "SDP");
+        let (enc, neu, syn, upd) = s.mean_events_per_inference().unwrap();
+        assert_eq!((enc, neu, syn, upd), (0.5, 0.3, 10.0, 0.7));
+    }
+
+    #[test]
+    fn malformed_and_foreign_lines_are_skipped() {
+        let mut log = b"not json\n{\"schema\":\"other.v9\",\"kind\":\"epoch\"}\n".to_vec();
+        log.extend_from_slice(&sample_log());
+        let s = summarize_lines(&log[..]).unwrap();
+        assert_eq!(s.skipped_lines, 2);
+        assert_eq!(s.records, 4);
+    }
+
+    #[test]
+    fn truncated_log_falls_back_to_counter_deltas() {
+        let log = sample_log();
+        // Drop the final run_end line.
+        let text = String::from_utf8(log).unwrap();
+        let truncated: String = text.lines().take(3).map(|l| format!("{l}\n")).collect();
+        let s = summarize_lines(truncated.as_bytes()).unwrap();
+        assert_eq!(s.counters.get("loihi/synops"), Some(&2000));
+    }
+
+    #[test]
+    fn empty_log_summarizes_to_defaults() {
+        let s = summarize_lines(&b""[..]).unwrap();
+        assert_eq!(s.records, 0);
+        assert!(s.reward_stats("sdp").is_none());
+        assert!(s.mean_events_per_inference().is_none());
+    }
+}

@@ -1,0 +1,137 @@
+//! Run-telemetry integration: the JSONL schema contract and the
+//! observe-only guarantee, exercised through real SDP training.
+//!
+//! Two properties are pinned here:
+//!
+//! 1. **Schema golden file** — the writer's byte-level output for a fixed
+//!    record sequence, and the shape (kind + required fields) of every
+//!    record a real training run emits under `spikefolio.run.v1`.
+//! 2. **Determinism** — training with a [`JsonlSink`] attached produces
+//!    bitwise-identical results to training with the [`NoopRecorder`].
+
+use spikefolio::agent::SdpAgent;
+use spikefolio::config::SdpConfig;
+use spikefolio::training::Trainer;
+use spikefolio_market::experiments::ExperimentPreset;
+use spikefolio_snn::stbp;
+use spikefolio_telemetry::{
+    labels, summarize_lines, JsonlSink, NoopRecorder, Record, Recorder, Value,
+};
+
+fn market() -> spikefolio_market::MarketData {
+    ExperimentPreset::experiment1().shrunk(40, 10).generate(11)
+}
+
+fn trained_log(rec: &mut dyn Recorder) -> (SdpAgent, spikefolio::training::TrainingLog) {
+    let config = SdpConfig::smoke();
+    let market = market();
+    let mut agent = SdpAgent::new(&config, market.num_assets(), 3);
+    let log = Trainer::new(&config).train_sdp_with(&mut agent, &market, rec);
+    (agent, log)
+}
+
+/// Byte-exact golden file for the writer: a fixed record sequence must
+/// serialize to exactly these lines. Any change here is a schema revision
+/// and needs a version bump in `spikefolio_telemetry::sink::SCHEMA`.
+#[test]
+fn jsonl_writer_matches_golden_output() {
+    let mut sink = JsonlSink::new(Vec::new());
+    sink.counter(labels::COUNTER_LOIHI_SYNOPS, 42);
+    sink.span(labels::SPAN_TRAIN_EPOCH, 0.5);
+    sink.emit(
+        Record::new("epoch")
+            .field("agent", "sdp")
+            .field("epoch", 0u64)
+            .field("reward", 0.25)
+            .field("firing_rates", vec![0.5]),
+    );
+    let bytes = sink.finish().unwrap();
+    let golden = concat!(
+        "{\"schema\":\"spikefolio.run.v1\",\"seq\":0,\"kind\":\"epoch\",",
+        "\"agent\":\"sdp\",\"epoch\":0,\"reward\":0.25,\"firing_rates\":[0.5],",
+        "\"counters\":{\"loihi/synops\":42},",
+        "\"spans\":{\"train/epoch\":{\"s\":0.5,\"n\":1}}}\n",
+        "{\"schema\":\"spikefolio.run.v1\",\"seq\":1,\"kind\":\"run_end\",",
+        "\"records\":1,\"counter_totals\":{\"loihi/synops\":42}}\n",
+    );
+    assert_eq!(
+        String::from_utf8(bytes).unwrap(),
+        golden,
+        "JSONL writer output changed — bump the schema version if intentional"
+    );
+}
+
+/// Every record of a real training run carries the schema stamp, a
+/// strictly increasing `seq`, a known `kind`, and the fields the
+/// summarizer relies on.
+#[test]
+fn training_run_log_conforms_to_schema() {
+    let mut sink = JsonlSink::new(Vec::new());
+    let (_, log) = trained_log(&mut sink);
+    let bytes = sink.finish().unwrap();
+    let text = String::from_utf8(bytes).unwrap();
+
+    let mut epoch_records = 0usize;
+    let mut saw_run_end = false;
+    for (seq_expected, line) in text.lines().enumerate() {
+        let v = spikefolio_telemetry::value::parse(line).expect("every line parses");
+        assert_eq!(v.get("schema").and_then(Value::as_str), Some("spikefolio.run.v1"));
+        assert_eq!(v.get("seq").and_then(Value::as_u64), Some(seq_expected as u64));
+        let kind = v.get("kind").and_then(Value::as_str).expect("kind present");
+        match kind {
+            "epoch" => {
+                epoch_records += 1;
+                for field in [
+                    "agent",
+                    "epoch",
+                    "reward",
+                    "wall_s",
+                    "grad_norm",
+                    "grad_norms",
+                    "update_mag",
+                    "samples",
+                    "timesteps",
+                    "firing_rates",
+                    "encoder_rate",
+                    "spikes",
+                ] {
+                    assert!(v.get(field).is_some(), "epoch record missing '{field}': {line}");
+                }
+                assert_eq!(v.get("agent").and_then(Value::as_str), Some("sdp"));
+            }
+            "run_end" => {
+                saw_run_end = true;
+                // Training records no counters (those are loihi/*), so
+                // run_end carries the record count but no counter_totals.
+                assert!(v.get("records").and_then(Value::as_u64).is_some());
+            }
+            other => panic!("unexpected record kind '{other}'"),
+        }
+    }
+    assert_eq!(epoch_records, log.epoch_rewards.len(), "one epoch record per epoch");
+    assert!(saw_run_end, "finish() must append the run_end record");
+}
+
+/// Telemetry is observe-only: identical seeds with and without a live
+/// sink give bitwise-identical rewards, gradient norms, and weights —
+/// and the log's reward series reads back equal to the returned log.
+#[test]
+fn recorded_training_is_bitwise_identical_to_noop() {
+    let (plain_agent, plain_log) = trained_log(&mut NoopRecorder);
+    let mut sink = JsonlSink::new(Vec::new());
+    let (rec_agent, rec_log) = trained_log(&mut sink);
+    let bytes = sink.finish().unwrap();
+
+    assert_eq!(plain_log.epoch_rewards, rec_log.epoch_rewards);
+    assert_eq!(plain_log.epoch_grad_norms, rec_log.epoch_grad_norms);
+    assert_eq!(
+        stbp::flat_params(&plain_agent.network),
+        stbp::flat_params(&rec_agent.network),
+        "weights diverged — telemetry perturbed training"
+    );
+
+    let summary = summarize_lines(&bytes[..]).unwrap();
+    let logged: Vec<f64> =
+        summary.epochs.get("sdp").expect("sdp series").iter().map(|p| p.reward).collect();
+    assert_eq!(logged, rec_log.epoch_rewards, "log must replay the exact reward series");
+}
