@@ -13,6 +13,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> chaos suite (fault injection + property tests)"
+cargo test -q -p spikefolio --test fault_injection
+
 echo "==> cargo bench --no-run (benches must keep compiling)"
 cargo bench --no-run --workspace
 

@@ -81,6 +81,7 @@ impl Policy for SdpAgent {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use spikefolio_env::Backtester;
     use spikefolio_market::experiments::ExperimentPreset;

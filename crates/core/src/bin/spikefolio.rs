@@ -2,8 +2,8 @@
 //! from one binary.
 //!
 //! ```sh
-//! spikefolio table3 [--full|--smoke] [--seed N] [--telemetry RUN.jsonl]
-//! spikefolio table4 [--smoke] [--seed N] [--telemetry RUN.jsonl]
+//! spikefolio table3 [--full|--smoke] [--seed N] [--telemetry RUN.jsonl] [--guard] [--sanitize]
+//! spikefolio table4 [--smoke] [--seed N] [--telemetry RUN.jsonl] [--guard] [--sanitize]
 //! spikefolio ablation timesteps|encoding|costs|rate-penalty
 //! spikefolio figures [--out DIR]
 //! spikefolio stats                        # synthetic-market diagnostics
@@ -36,7 +36,7 @@ fn medium_options(seed: u64) -> RunOptions {
     config.training.batch_size = 32;
     config.training.learning_rate = 5e-4;
     config.training.parallelism = num_threads();
-    RunOptions { config, shrink: Some((240, 60)), market_seed: seed }
+    RunOptions { config, shrink: Some((240, 60)), market_seed: seed, guard: None, sanitize: None }
 }
 
 fn num_threads() -> usize {
@@ -94,18 +94,23 @@ fn parse_options(args: &[String]) -> RunOptions {
         }
         None => 2016,
     };
-    if has_flag(args, "--full") {
+    let mut opts = if has_flag(args, "--full") {
         let mut opts = RunOptions::paper();
-        opts.market_seed = seed;
         opts.config.training.parallelism = num_threads();
         opts
     } else if has_flag(args, "--smoke") {
-        let mut opts = RunOptions::smoke();
-        opts.market_seed = seed;
-        opts
+        RunOptions::smoke()
     } else {
         medium_options(seed)
+    };
+    opts.market_seed = seed;
+    if has_flag(args, "--guard") {
+        opts.guard = Some(spikefolio_resilience::GuardConfig::default());
     }
+    if has_flag(args, "--sanitize") {
+        opts.sanitize = Some(spikefolio_market::SanitizeConfig::default());
+    }
+    opts
 }
 
 /// Opens the `--telemetry` sink if requested, runs `f` with it (or a
@@ -143,16 +148,22 @@ fn usage() -> ! {
            figures      write value/reward curve CSVs\n  \
            stats        synthetic-market statistical diagnostics\n  \
            telemetry summarize <run.jsonl>   render a recorded run log\n\
-         flags: --full | --smoke | --seed N | --out DIR | --telemetry RUN.jsonl"
+         flags: --full | --smoke | --seed N | --out DIR | --telemetry RUN.jsonl\n        \
+                --guard (fault-guarded SDP training) | --sanitize (market data sanitizer)"
     );
     std::process::exit(2);
 }
 
-const RUN_FLAGS: FlagSpec = FlagSpec { value: &["--seed"], boolean: &["--full", "--smoke"] };
-const TELEMETRY_RUN_FLAGS: FlagSpec =
-    FlagSpec { value: &["--seed", "--telemetry"], boolean: &["--full", "--smoke"] };
-const FIGURES_FLAGS: FlagSpec =
-    FlagSpec { value: &["--seed", "--out"], boolean: &["--full", "--smoke"] };
+const RUN_FLAGS: FlagSpec =
+    FlagSpec { value: &["--seed"], boolean: &["--full", "--smoke", "--guard", "--sanitize"] };
+const TELEMETRY_RUN_FLAGS: FlagSpec = FlagSpec {
+    value: &["--seed", "--telemetry"],
+    boolean: &["--full", "--smoke", "--guard", "--sanitize"],
+};
+const FIGURES_FLAGS: FlagSpec = FlagSpec {
+    value: &["--seed", "--out"],
+    boolean: &["--full", "--smoke", "--guard", "--sanitize"],
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();

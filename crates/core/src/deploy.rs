@@ -5,8 +5,10 @@ use crate::agent::SdpAgent;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use spikefolio_env::{DecisionContext, Policy, StateBuilder};
-use spikefolio_loihi::chip::{LoihiChip, LoihiNetwork, LoihiRunStats};
-use spikefolio_loihi::quantize::{quantize_network, QuantizationReport};
+use spikefolio_loihi::chip::{LoihiChip, LoihiNetwork, LoihiRunStats, MapNetworkError};
+use spikefolio_loihi::quantize::{
+    try_quantize_network, QuantizationReport, QuantizeError, QuantizeOptions,
+};
 use spikefolio_snn::decoder::Decoder;
 use spikefolio_snn::PopulationEncoder;
 use spikefolio_telemetry::{labels, NoopRecorder, Recorder, Stopwatch};
@@ -34,19 +36,76 @@ pub struct LoihiDeployment {
     pub inferences: u64,
 }
 
+/// Why a trained agent could not be deployed on the chip model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeployError {
+    /// Quantization failed (ALIF network, all-zero layer, or too many
+    /// weights saturating at full scale).
+    Quantize(QuantizeError),
+    /// The quantized network exceeds the chip budget.
+    Map(MapNetworkError),
+}
+
+impl std::fmt::Display for DeployError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeployError::Quantize(e) => write!(f, "quantization failed: {e}"),
+            DeployError::Map(e) => write!(f, "chip mapping failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeployError {}
+
 impl LoihiDeployment {
-    /// Quantizes and maps a trained agent onto `chip`.
+    /// Quantizes and maps a trained agent onto `chip` with default
+    /// quantization options (max-abs ratio — nothing saturates).
     ///
     /// # Errors
     ///
     /// Returns the mapping error if the network exceeds the chip budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if quantization itself fails (all-zero layer or ALIF
+    /// network) — impossible for agents produced by this crate's
+    /// constructors and training loop.
+    #[allow(clippy::expect_used)] // documented panic contract of the legacy API
     pub fn new(
         agent: &SdpAgent,
         chip: &LoihiChip,
     ) -> Result<Self, spikefolio_loihi::chip::MapNetworkError> {
-        let (quantized, report) = quantize_network(&agent.network);
+        Self::new_recorded(agent, chip, &QuantizeOptions::default(), &mut NoopRecorder).map_err(
+            |e| match e {
+                DeployError::Map(m) => m,
+                DeployError::Quantize(q) => panic!("{q}"),
+            },
+        )
+    }
+
+    /// [`new`](Self::new) with explicit [`QuantizeOptions`] and telemetry:
+    /// the number of weights clamped to full scale during rescaling is
+    /// recorded on the `loihi/saturated_weights` counter. Observe-only —
+    /// the deployment is identical with any recorder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployError`] if quantization fails (including a
+    /// saturated fraction above `opts.max_saturation_fraction`) or the
+    /// network exceeds the chip budget.
+    pub fn new_recorded(
+        agent: &SdpAgent,
+        chip: &LoihiChip,
+        opts: &QuantizeOptions,
+        rec: &mut dyn Recorder,
+    ) -> Result<Self, DeployError> {
+        let (quantized, report) =
+            try_quantize_network(&agent.network, opts).map_err(DeployError::Quantize)?;
+        if rec.enabled() && report.total_saturated() > 0 {
+            rec.counter(labels::COUNTER_LOIHI_SATURATED_WEIGHTS, report.total_saturated());
+        }
         let timesteps = quantized.timesteps;
-        let chip_net = chip.map(quantized)?;
+        let chip_net = chip.map(quantized).map_err(DeployError::Map)?;
         Ok(Self {
             encoder: agent.network.encoder.clone(),
             decoder: agent.network.decoder.clone(),
@@ -130,6 +189,7 @@ impl Policy for LoihiDeployment {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::config::SdpConfig;
     use spikefolio_env::Backtester;
@@ -187,6 +247,42 @@ mod tests {
         assert_eq!(rec.counter_total(labels::COUNTER_LOIHI_SYNOPS), rec_dep.total_stats.synops);
         assert_eq!(rec.span_total(labels::SPAN_ENCODE).1, 1);
         assert_eq!(rec.span_total(labels::SPAN_CHIP_INFER).1, 1);
+    }
+
+    #[test]
+    fn saturation_counter_is_emitted_for_aggressive_options() {
+        use spikefolio_loihi::quantize::QuantizeOptions;
+        let (agent, _) = agent_and_market();
+        // Defaults: nothing saturates, counter untouched.
+        let mut rec = spikefolio_telemetry::MemoryRecorder::new();
+        let dep = LoihiDeployment::new_recorded(
+            &agent,
+            &LoihiChip::default(),
+            &QuantizeOptions::default(),
+            &mut rec,
+        )
+        .unwrap();
+        assert_eq!(rec.counter_total(labels::COUNTER_LOIHI_SATURATED_WEIGHTS), 0);
+        assert_eq!(dep.quantization_report().total_saturated(), 0);
+        // Median-scaled ratio: outlier weights clamp and the counter sees
+        // exactly the report's total.
+        let opts = QuantizeOptions { ratio_percentile: 0.5, max_saturation_fraction: 1.0 };
+        let mut rec = spikefolio_telemetry::MemoryRecorder::new();
+        let dep =
+            LoihiDeployment::new_recorded(&agent, &LoihiChip::default(), &opts, &mut rec).unwrap();
+        let saturated = dep.quantization_report().total_saturated();
+        assert!(saturated > 0);
+        assert_eq!(rec.counter_total(labels::COUNTER_LOIHI_SATURATED_WEIGHTS), saturated);
+        // A tight bound turns the same saturation into a typed error.
+        let tight = QuantizeOptions { ratio_percentile: 0.1, max_saturation_fraction: 0.001 };
+        let err = LoihiDeployment::new_recorded(
+            &agent,
+            &LoihiChip::default(),
+            &tight,
+            &mut spikefolio_telemetry::NoopRecorder,
+        )
+        .unwrap_err();
+        assert!(matches!(err, DeployError::Quantize(_)), "{err}");
     }
 
     #[test]

@@ -6,6 +6,7 @@ use crate::agent::SdpAgent;
 use crate::config::SdpConfig;
 use crate::deploy::LoihiDeployment;
 use crate::drl::DrlAgent;
+use crate::guarded::{train_sdp_guarded, ResilienceOptions};
 use crate::training::{Trainer, TrainingLog};
 use serde::{Deserialize, Serialize};
 use spikefolio_baselines::{Anticor, BestStock, Ons, Ucrp, M0};
@@ -14,8 +15,9 @@ use spikefolio_loihi::device::DeviceModel;
 use spikefolio_loihi::energy::{EnergyReport, LoihiEnergyModel};
 use spikefolio_loihi::LoihiChip;
 use spikefolio_market::experiments::ExperimentPreset;
-use spikefolio_market::MarketData;
-use spikefolio_telemetry::{NoopRecorder, Record, Recorder};
+use spikefolio_market::{sanitize_market, MarketData, SanitizeConfig};
+use spikefolio_resilience::GuardConfig;
+use spikefolio_telemetry::{labels, NoopRecorder, Record, Recorder};
 
 /// The paper's measured Loihi energy per inference at `T = 5`
 /// (Table 4, SDP-Exp1 row) — the calibration endpoint of the energy model.
@@ -31,17 +33,40 @@ pub struct RunOptions {
     pub shrink: Option<(i64, i64)>,
     /// Market generation seed.
     pub market_seed: u64,
+    /// If set, SDP training runs under the fault guard (per-epoch health
+    /// checks + recovery policy) instead of the plain loop. With no
+    /// injected faults and a healthy run the results are bitwise
+    /// identical, so this is safe to leave on.
+    pub guard: Option<GuardConfig>,
+    /// If set, generated market data is sanitized before training and
+    /// backtesting; repairs are counted under `sanitize/repairs`.
+    /// Generated markets are clean by construction, so this is a no-op
+    /// guardrail unless the data was mutated (fault injection, external
+    /// CSV loads).
+    pub sanitize: Option<SanitizeConfig>,
 }
 
 impl RunOptions {
     /// Full paper-scale run (minutes per experiment).
     pub fn paper() -> Self {
-        Self { config: SdpConfig::paper(), shrink: None, market_seed: 2016 }
+        Self {
+            config: SdpConfig::paper(),
+            shrink: None,
+            market_seed: 2016,
+            guard: None,
+            sanitize: None,
+        }
     }
 
     /// Seconds-scale run for tests and CI.
     pub fn smoke() -> Self {
-        Self { config: SdpConfig::smoke(), shrink: Some((60, 20)), market_seed: 2016 }
+        Self {
+            config: SdpConfig::smoke(),
+            shrink: Some((60, 20)),
+            market_seed: 2016,
+            guard: None,
+            sanitize: None,
+        }
     }
 
     fn preset(&self, base: ExperimentPreset) -> ExperimentPreset {
@@ -49,6 +74,45 @@ impl RunOptions {
             Some((train, test)) => base.shrunk(train, test),
             None => base,
         }
+    }
+}
+
+/// Sanitizes one market split in place per the run options; counts
+/// repairs under [`labels::COUNTER_SANITIZE_REPAIRS`].
+///
+/// # Panics
+///
+/// Panics when the sanitizer runs with [`RepairPolicy::Reject`]
+/// (spikefolio_market::RepairPolicy) and the data has defects — an
+/// experiment cannot proceed on rejected data.
+fn sanitize_split(opts: &RunOptions, market: &mut MarketData, rec: &mut dyn Recorder) {
+    let Some(cfg) = opts.sanitize else { return };
+    match sanitize_market(market, &cfg) {
+        Ok(report) => {
+            let repairs = report.repairs() as u64;
+            if repairs > 0 {
+                rec.counter(labels::COUNTER_SANITIZE_REPAIRS, repairs);
+            }
+        }
+        Err(e) => panic!("market data rejected by sanitizer: {e}"),
+    }
+}
+
+/// Trains the SDP agent for one experiment, guarded or plain per the run
+/// options.
+fn train_sdp_for(
+    opts: &RunOptions,
+    trainer: &Trainer,
+    sdp: &mut SdpAgent,
+    train: &MarketData,
+    rec: &mut dyn Recorder,
+) -> TrainingLog {
+    match opts.guard {
+        Some(guard) => {
+            let mut ropts = ResilienceOptions { guard, ..Default::default() };
+            train_sdp_guarded(trainer, sdp, train, &mut ropts, rec).log
+        }
+        None => trainer.train_sdp_with(sdp, train, rec),
     }
 }
 
@@ -106,11 +170,13 @@ pub fn run_experiment_with(
     rec: &mut dyn Recorder,
 ) -> ExperimentOutcome {
     let preset = opts.preset(base);
-    let (train, test) = preset.generate_split(opts.market_seed);
+    let (mut train, mut test) = preset.generate_split(opts.market_seed);
+    sanitize_split(opts, &mut train, rec);
+    sanitize_split(opts, &mut test, rec);
     let trainer = Trainer::new(&opts.config);
 
     let mut sdp = SdpAgent::new(&opts.config, train.num_assets(), opts.config.seed);
-    let sdp_log = trainer.train_sdp_with(&mut sdp, &train, rec);
+    let sdp_log = train_sdp_for(opts, &trainer, &mut sdp, &train, rec);
     let mut drl = DrlAgent::new(&opts.config, train.num_assets(), opts.config.seed);
     let drl_log = trainer.train_drl_with(&mut drl, &train, rec);
 
@@ -193,12 +259,21 @@ pub fn run_table4_with(opts: &RunOptions, rec: &mut dyn Recorder) -> Vec<PowerOu
 
     for base in ExperimentPreset::all() {
         let preset = opts.preset(base);
-        let (train, test) = preset.generate_split(opts.market_seed);
+        let (mut train, mut test) = preset.generate_split(opts.market_seed);
+        sanitize_split(opts, &mut train, rec);
+        sanitize_split(opts, &mut test, rec);
 
         let mut sdp = SdpAgent::new(&opts.config, train.num_assets(), opts.config.seed);
-        let _ = trainer.train_sdp_with(&mut sdp, &train, rec);
-        let mut deployed =
-            LoihiDeployment::new(&sdp, &chip).expect("paper-scale network fits one chip");
+        let _ = train_sdp_for(opts, &trainer, &mut sdp, &train, rec);
+        let mut deployed = match LoihiDeployment::new_recorded(
+            &sdp,
+            &chip,
+            &spikefolio_loihi::QuantizeOptions::default(),
+            rec,
+        ) {
+            Ok(d) => d,
+            Err(e) => panic!("paper-scale network must deploy on one chip: {e}"),
+        };
         let _ = Backtester::new(opts.config.backtest).run_recorded(&mut deployed, &test, rec);
         spikefolio_loihi::telemetry::record_run_stats(
             rec,
@@ -272,6 +347,9 @@ pub fn timestep_tradeoff(opts: &RunOptions, timesteps: &[usize]) -> Vec<Timestep
         let trainer = Trainer::new(&config);
         let mut sdp = SdpAgent::new(&config, train.num_assets(), config.seed);
         let _ = trainer.train_sdp(&mut sdp, &train);
+        // Ablations have no error channel; every preset network fits one
+        // chip by construction.
+        #[allow(clippy::expect_used)]
         let mut deployed = LoihiDeployment::new(&sdp, &chip).expect("network fits");
         let result = Backtester::new(config.backtest).run(&mut deployed, &test);
         let stats = deployed.mean_stats().to_spike_stats();
@@ -396,6 +474,9 @@ pub fn rate_penalty_ablation(opts: &RunOptions, lambdas: &[f64]) -> Vec<RatePena
             config.training.rate_penalty = lambda;
             let mut sdp = SdpAgent::new(&config, train.num_assets(), config.seed);
             let _ = Trainer::new(&config).train_sdp(&mut sdp, &train);
+            // Same invariant as the timestep sweep: preset networks always
+            // fit one chip.
+            #[allow(clippy::expect_used)]
             let mut deployed = LoihiDeployment::new(&sdp, &chip).expect("network fits");
             let result = Backtester::new(config.backtest).run(&mut deployed, &test);
             let stats = deployed.mean_stats().to_spike_stats();
@@ -485,6 +566,7 @@ pub fn run_extended_comparison(opts: &RunOptions, base: ExperimentPreset) -> Exp
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     fn tiny_opts() -> RunOptions {

@@ -64,6 +64,7 @@ pub fn backtest_value_curves(opts: &RunOptions, base: ExperimentPreset) -> (Stri
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     fn tiny_opts() -> RunOptions {

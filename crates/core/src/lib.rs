@@ -43,6 +43,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod agent;
 pub mod checkpoint;
@@ -52,6 +53,7 @@ pub mod drl;
 pub mod eiie;
 pub mod experiments;
 pub mod figures;
+pub mod guarded;
 pub mod online;
 pub mod report;
 pub mod sweep;
@@ -63,4 +65,5 @@ pub use agent::SdpAgent;
 pub use config::SdpConfig;
 pub use deploy::LoihiDeployment;
 pub use drl::DrlAgent;
+pub use guarded::{train_sdp_guarded, GuardedOutcome, ResilienceOptions};
 pub use training::{Trainer, TrainingLog};

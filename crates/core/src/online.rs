@@ -115,6 +115,7 @@ pub fn walk_forward(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use spikefolio_market::experiments::ExperimentPreset;
 

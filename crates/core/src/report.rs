@@ -121,6 +121,7 @@ pub fn format_rate_penalty(points: &[RatePenaltyPoint]) -> String {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::experiments::{run_experiment, RunOptions};
     use spikefolio_market::experiments::ExperimentPreset;

@@ -78,6 +78,7 @@ pub fn format_sweep(points: &[SweepPoint]) -> String {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     #[test]

@@ -152,6 +152,7 @@ fn energy_workload(s: &RunSummary) -> Option<(String, SpikeStats, usize)> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use spikefolio_telemetry::{labels, Record, Recorder, Value};
 

@@ -307,7 +307,74 @@ pub struct SdpTrainingSession<'m> {
     worker_caches: Vec<BatchCache>,
 }
 
+/// Point-in-time copy of everything that determines an SDP session's
+/// future: network parameters, optimizer moments, portfolio-vector
+/// memory, sampling RNG, and the step/epoch counters. Restoring a
+/// snapshot and re-running an epoch reproduces it bit for bit — the
+/// mechanism behind the guarded trainer's rollback recovery
+/// (see [`crate::guarded`]). Worker scratch buffers are excluded; they
+/// carry no training state.
+#[derive(Debug, Clone)]
+pub struct SessionSnapshot {
+    params: Vec<f64>,
+    trainer: stbp::SdpTrainer<Adam>,
+    pvm: Pvm,
+    sample_rng: StdRng,
+    step_counter: u64,
+    epochs_run: u64,
+}
+
+impl SessionSnapshot {
+    /// The flat network parameters captured in this snapshot.
+    pub fn params(&self) -> &[f64] {
+        &self.params
+    }
+}
+
 impl SdpTrainingSession<'_> {
+    /// Captures the full training state (including `agent`'s parameters).
+    pub fn snapshot(&self, agent: &SdpAgent) -> SessionSnapshot {
+        SessionSnapshot {
+            params: stbp::flat_params(&agent.network),
+            trainer: self.trainer.clone(),
+            pvm: self.pvm.clone(),
+            sample_rng: self.sample_rng.clone(),
+            step_counter: self.step_counter,
+            epochs_run: self.epochs_run,
+        }
+    }
+
+    /// Restores the session and `agent` to a captured state. Subsequent
+    /// epochs replay bit-for-bit what would have run from that point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `agent`'s network shape differs from the snapshot's.
+    pub fn restore(&mut self, agent: &mut SdpAgent, snap: &SessionSnapshot) {
+        stbp::set_flat_params(&mut agent.network, &snap.params);
+        self.trainer = snap.trainer.clone();
+        self.pvm = snap.pvm.clone();
+        self.sample_rng = snap.sample_rng.clone();
+        self.step_counter = snap.step_counter;
+        self.epochs_run = snap.epochs_run;
+    }
+
+    /// Epochs completed so far (rolled-back epochs excluded).
+    pub fn epochs_run(&self) -> u64 {
+        self.epochs_run
+    }
+
+    /// The current global-norm gradient clip (None = unclipped).
+    pub fn max_grad_norm(&self) -> Option<f64> {
+        self.trainer.max_grad_norm
+    }
+
+    /// Overrides the global-norm gradient clip — the guarded trainer's
+    /// `Clip` recovery tightens this before retrying an epoch.
+    pub fn set_max_grad_norm(&mut self, clip: Option<f64>) {
+        self.trainer.max_grad_norm = clip;
+    }
+
     /// Runs one epoch (`steps_per_epoch` minibatches) of STBP training on
     /// `agent`, returning the epoch's mean sample reward.
     ///
@@ -452,7 +519,12 @@ impl SdpTrainingSession<'_> {
                     }
                     handles
                         .into_iter()
-                        .flat_map(|h| h.join().expect("worker thread panicked"))
+                        .flat_map(|h| {
+                            // join() only fails if the worker panicked;
+                            // propagating that panic is the correct response.
+                            #[allow(clippy::expect_used)]
+                            h.join().expect("worker thread panicked")
+                        })
                         .collect()
                 });
                 for (mb, out) in outs {
@@ -468,6 +540,9 @@ impl SdpTrainingSession<'_> {
             let mut forward_s = 0.0;
             let mut backward_s = 0.0;
             for out in results {
+                // Every micro-batch slot is filled by exactly one worker
+                // above; an empty slot is a scheduler bug worth a panic.
+                #[allow(clippy::expect_used)]
                 let (samples, g, telemetry) = out.expect("micro-batch result missing");
                 grads.accumulate(&g);
                 for (t, action, r) in samples {
@@ -832,6 +907,7 @@ fn emit_dense_epoch(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use spikefolio_env::{BacktestConfig, Backtester};
     use spikefolio_market::{Candle, Date};

@@ -110,6 +110,7 @@ pub fn train_sdp_validated(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::config::SdpConfig;
     use spikefolio_market::experiments::ExperimentPreset;

@@ -134,6 +134,7 @@ impl PowerTrace {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::quantize::quantize_network;
     use rand::SeedableRng;

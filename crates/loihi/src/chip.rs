@@ -241,6 +241,7 @@ impl LoihiNetwork {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::quantize::quantize_network;
     use rand::SeedableRng;

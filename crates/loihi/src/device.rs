@@ -153,6 +153,7 @@ impl DeviceModel {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use rand::SeedableRng;
     use spikefolio_ann::Activation;

@@ -174,6 +174,7 @@ impl Default for LoihiEnergyModel {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     fn stats() -> SpikeStats {

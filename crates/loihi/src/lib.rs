@@ -24,6 +24,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod board;
 pub mod chip;
@@ -36,4 +37,6 @@ pub use board::{Board, BoardDeployment, PowerTrace};
 pub use chip::{ChipConfig, LoihiChip, LoihiNetwork};
 pub use device::{DeviceKind, DeviceModel};
 pub use energy::{EnergyReport, LoihiEnergyModel};
-pub use quantize::{QuantizationReport, QuantizedLayer, QuantizedNetwork};
+pub use quantize::{
+    QuantizationReport, QuantizeError, QuantizeOptions, QuantizedLayer, QuantizedNetwork,
+};

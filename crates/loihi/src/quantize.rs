@@ -75,50 +75,167 @@ pub struct QuantizedNetwork {
 pub struct QuantizationReport {
     /// Per-layer rescale ratios `r(k)`.
     pub ratios: Vec<f64>,
-    /// Per-layer maximum absolute weight error after dequantization.
+    /// Per-layer maximum absolute weight error after dequantization
+    /// (saturated weights excluded — their error is unbounded by design).
     pub max_errors: Vec<f64>,
     /// Per-layer share of weights that rounded to zero.
     pub zero_fractions: Vec<f64>,
+    /// Per-layer count of weights/biases clamped to full scale (±127).
+    pub saturated_counts: Vec<usize>,
+    /// Per-layer share of weights/biases clamped to full scale.
+    pub saturated_fractions: Vec<f64>,
 }
 
-/// Quantizes every LIF layer of `net` per eq. (14).
+impl QuantizationReport {
+    /// Total clamped weights/biases across all layers — the value emitted
+    /// on the `loihi/saturated_weights` telemetry counter at deploy time.
+    pub fn total_saturated(&self) -> u64 {
+        self.saturated_counts.iter().map(|&c| c as u64).sum()
+    }
+}
+
+/// Tunable knobs of the rescale pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantizeOptions {
+    /// Which quantile of the per-layer `|w|` distribution maps to full
+    /// scale. `1.0` (the default) is the paper's eq. (14): the max maps to
+    /// 127 and nothing saturates. Lower values trade resolution for
+    /// outlier weights against resolution for the bulk — everything above
+    /// the quantile clamps to ±127 and is counted as saturated.
+    pub ratio_percentile: f64,
+    /// Largest tolerable per-layer saturated fraction before quantization
+    /// fails with [`QuantizeError::ExcessSaturation`].
+    pub max_saturation_fraction: f64,
+}
+
+impl Default for QuantizeOptions {
+    fn default() -> Self {
+        Self { ratio_percentile: 1.0, max_saturation_fraction: 0.05 }
+    }
+}
+
+/// Why a network could not be quantized.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuantizeError {
+    /// The network uses adaptive thresholds (ALIF); the chip model deploys
+    /// plain LIF only, matching the paper's Loihi configuration.
+    AdaptiveThresholds,
+    /// A layer is all-zero, so no finite rescale ratio exists.
+    AllZeroLayer {
+        /// Index of the offending layer.
+        layer: usize,
+    },
+    /// More weights clamped to full scale than the configured bound.
+    ExcessSaturation {
+        /// Index of the offending layer.
+        layer: usize,
+        /// Observed saturated fraction.
+        fraction: f64,
+        /// The configured [`QuantizeOptions::max_saturation_fraction`].
+        limit: f64,
+    },
+}
+
+impl std::fmt::Display for QuantizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuantizeError::AdaptiveThresholds => {
+                write!(f, "chip deployment supports plain LIF only; disable ALIF before quantizing")
+            }
+            QuantizeError::AllZeroLayer { layer } => {
+                write!(f, "cannot quantize all-zero layer {layer}")
+            }
+            QuantizeError::ExcessSaturation { layer, fraction, limit } => write!(
+                f,
+                "layer {layer}: {:.2}% of weights saturate at full scale (limit {:.2}%)",
+                fraction * 100.0,
+                limit * 100.0
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QuantizeError {}
+
+/// Reference magnitude that maps to full scale: the `pct`-quantile of the
+/// pooled `|weights| ∪ |bias|` distribution (1.0 = max).
+fn reference_magnitude(mags: &mut [f64], pct: f64) -> f64 {
+    mags.sort_by(|a, b| a.total_cmp(b));
+    let idx = ((mags.len() - 1) as f64 * pct.clamp(0.0, 1.0)).round() as usize;
+    mags[idx]
+}
+
+/// Quantizes every LIF layer of `net` per eq. (14), with explicit options
+/// and typed errors. Weights beyond full scale clamp to ±127 and are
+/// counted per layer in the report.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if a layer is all-zero (no finite rescale ratio exists), or if
-/// the network uses adaptive thresholds (ALIF) — the chip model currently
-/// deploys plain LIF only, matching the paper's Loihi configuration.
-pub fn quantize_network(net: &SdpNetwork) -> (QuantizedNetwork, QuantizationReport) {
-    assert!(
-        net.layers.iter().all(|l| l.adaptation.is_none()),
-        "chip deployment supports plain LIF only; disable ALIF before quantizing"
-    );
+/// Returns [`QuantizeError`] if the network uses ALIF, a layer is
+/// all-zero, or any layer saturates more than
+/// [`QuantizeOptions::max_saturation_fraction`] of its weights.
+pub fn try_quantize_network(
+    net: &SdpNetwork,
+    opts: &QuantizeOptions,
+) -> Result<(QuantizedNetwork, QuantizationReport), QuantizeError> {
+    if net.layers.iter().any(|l| l.adaptation.is_some()) {
+        return Err(QuantizeError::AdaptiveThresholds);
+    }
     let mut layers = Vec::with_capacity(net.layers.len());
-    let mut ratios = Vec::new();
-    let mut max_errors = Vec::new();
-    let mut zero_fractions = Vec::new();
-    for layer in &net.layers {
-        let w_max =
-            layer.weights.max_abs().max(layer.bias.iter().fold(0.0_f64, |m, &b| m.max(b.abs())));
-        assert!(w_max > 0.0, "cannot quantize an all-zero layer");
-        let ratio = LOIHI_W_MAX as f64 / w_max;
-        let weights: Vec<i32> =
-            layer.weights.as_slice().iter().map(|&w| (ratio * w).round() as i32).collect();
-        let bias: Vec<i32> = layer.bias.iter().map(|&b| (ratio * b).round() as i32).collect();
+    let mut report = QuantizationReport {
+        ratios: Vec::new(),
+        max_errors: Vec::new(),
+        zero_fractions: Vec::new(),
+        saturated_counts: Vec::new(),
+        saturated_fractions: Vec::new(),
+    };
+    for (k, layer) in net.layers.iter().enumerate() {
+        let mut mags: Vec<f64> =
+            layer.weights.as_slice().iter().chain(layer.bias.iter()).map(|w| w.abs()).collect();
+        let w_ref = reference_magnitude(&mut mags, opts.ratio_percentile);
+        if w_ref <= 0.0 || w_ref.is_nan() {
+            return Err(QuantizeError::AllZeroLayer { layer: k });
+        }
+        let ratio = LOIHI_W_MAX as f64 / w_ref;
+        let mut saturated = 0usize;
+        let mut q = |w: f64| -> i32 {
+            let scaled = (ratio * w).round();
+            if scaled.abs() > LOIHI_W_MAX as f64 {
+                saturated += 1;
+                LOIHI_W_MAX * scaled.signum() as i32
+            } else {
+                scaled as i32
+            }
+        };
+        let weights: Vec<i32> = layer.weights.as_slice().iter().map(|&w| q(w)).collect();
+        let bias: Vec<i32> = layer.bias.iter().map(|&b| q(b)).collect();
         let v_th = (ratio * layer.params.v_th).round().max(1.0) as i32;
+
+        let total = weights.len() + bias.len();
+        let sat_fraction = saturated as f64 / total as f64;
+        if sat_fraction > opts.max_saturation_fraction {
+            return Err(QuantizeError::ExcessSaturation {
+                layer: k,
+                fraction: sat_fraction,
+                limit: opts.max_saturation_fraction,
+            });
+        }
 
         let max_err = layer
             .weights
             .as_slice()
             .iter()
             .zip(&weights)
+            .filter(|(&wf, _)| wf.abs() * ratio <= LOIHI_W_MAX as f64 + 0.5)
             .map(|(&wf, &wi)| (wf - wi as f64 / ratio).abs())
             .fold(0.0_f64, f64::max);
         let zeros = weights.iter().filter(|&&w| w == 0).count() as f64 / weights.len() as f64;
 
-        ratios.push(ratio);
-        max_errors.push(max_err);
-        zero_fractions.push(zeros);
+        report.ratios.push(ratio);
+        report.max_errors.push(max_err);
+        report.zero_fractions.push(zeros);
+        report.saturated_counts.push(saturated);
+        report.saturated_fractions.push(sat_fraction);
         layers.push(QuantizedLayer {
             weights,
             out_dim: layer.out_dim(),
@@ -128,14 +245,28 @@ pub fn quantize_network(net: &SdpNetwork) -> (QuantizedNetwork, QuantizationRepo
             ratio,
         });
     }
-    (
+    Ok((
         QuantizedNetwork { layers, lif: net.config().lif, timesteps: net.config().timesteps },
-        QuantizationReport { ratios, max_errors, zero_fractions },
-    )
+        report,
+    ))
+}
+
+/// Quantizes every LIF layer of `net` per eq. (14) with default options
+/// (max-abs ratio, so nothing saturates).
+///
+/// # Panics
+///
+/// Panics if a layer is all-zero (no finite rescale ratio exists), or if
+/// the network uses adaptive thresholds (ALIF) — the chip model currently
+/// deploys plain LIF only, matching the paper's Loihi configuration.
+#[allow(clippy::expect_used)] // documented panic contract of the legacy API
+pub fn quantize_network(net: &SdpNetwork) -> (QuantizedNetwork, QuantizationReport) {
+    try_quantize_network(net, &QuantizeOptions::default()).expect("quantization failed")
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use rand::SeedableRng;
     use spikefolio_snn::network::SdpNetworkConfig;
@@ -208,5 +339,47 @@ mod tests {
         let (q, _) = quantize_network(&net());
         assert_eq!(q.timesteps, 5);
         assert_eq!(q.lif, LifParams::paper());
+    }
+
+    #[test]
+    fn default_options_never_saturate() {
+        let (_, report) = try_quantize_network(&net(), &QuantizeOptions::default()).unwrap();
+        assert_eq!(report.total_saturated(), 0);
+        assert!(report.saturated_fractions.iter().all(|&f| f == 0.0));
+        assert_eq!(report.saturated_counts.len(), report.ratios.len());
+    }
+
+    #[test]
+    fn legacy_wrapper_matches_try_with_defaults() {
+        let n = net();
+        let (q1, r1) = quantize_network(&n);
+        let (q2, r2) = try_quantize_network(&n, &QuantizeOptions::default()).unwrap();
+        assert_eq!(q1, q2);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn lower_percentile_saturates_and_counts() {
+        let opts = QuantizeOptions { ratio_percentile: 0.5, max_saturation_fraction: 1.0 };
+        let (q, report) = try_quantize_network(&net(), &opts).unwrap();
+        assert!(report.total_saturated() > 0, "median-scaled layers must clamp outliers");
+        for layer in &q.layers {
+            assert!(
+                layer.weights.iter().chain(&layer.bias).all(|w| w.abs() <= LOIHI_W_MAX),
+                "clamped weights must stay in range"
+            );
+        }
+        for (&count, &frac) in report.saturated_counts.iter().zip(&report.saturated_fractions) {
+            assert_eq!(count > 0, frac > 0.0);
+            assert!((0.0..=1.0).contains(&frac));
+        }
+    }
+
+    #[test]
+    fn excess_saturation_is_a_typed_error() {
+        let opts = QuantizeOptions { ratio_percentile: 0.1, max_saturation_fraction: 0.01 };
+        let err = try_quantize_network(&net(), &opts).unwrap_err();
+        assert!(matches!(err, QuantizeError::ExcessSaturation { limit, .. } if limit == 0.01));
+        assert!(err.to_string().contains("saturate"), "{err}");
     }
 }

@@ -62,6 +62,7 @@ pub fn mean_spike_stats(totals: &LoihiRunStats, inferences: u64) -> (SpikeStats,
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::energy::LoihiEnergyModel;
     use spikefolio_telemetry::MemoryRecorder;

@@ -109,6 +109,22 @@ impl MarketData {
         self.candles[t * self.num_assets + a]
     }
 
+    /// Replaces the candle at `(t, a)` without validating OHLC invariants.
+    ///
+    /// This is the seam used by fault injection (to plant deliberately
+    /// broken candles for resilience tests) and by the sanitizer (to write
+    /// repaired ones). Ordinary construction goes through [`Candle::new`],
+    /// which enforces the invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set_candle_unchecked(&mut self, t: usize, a: usize, candle: Candle) {
+        assert!(t < self.num_periods(), "period {t} out of bounds");
+        assert!(a < self.num_assets, "asset {a} out of bounds");
+        self.candles[t * self.num_assets + a] = candle;
+    }
+
     /// Cross-section of all assets' candles at period `t`.
     pub fn cross_section(&self, t: usize) -> &[Candle] {
         assert!(t < self.num_periods(), "period {t} out of bounds");
@@ -189,6 +205,7 @@ impl MarketData {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     fn toy() -> MarketData {

@@ -237,11 +237,17 @@ impl MarketGenerator {
         let dt_sub = dt_period / cfg.substeps as f64;
 
         let mut rng = StdRng::seed_from_u64(seed);
+        // Constructor invariants: the unit normal is always valid and
+        // config validation has already bounded tail_df > 2.
+        #[allow(clippy::expect_used)]
         let normal = Normal::new(0.0, 1.0).expect("unit normal is valid");
         let tails: Vec<StudentT<f64>> = cfg
             .assets
             .iter()
-            .map(|a| StudentT::new(a.tail_df).expect("validated tail_df > 2"))
+            .map(|a| {
+                #[allow(clippy::expect_used)]
+                StudentT::new(a.tail_df).expect("validated tail_df > 2")
+            })
             .collect();
         // Scale Student-t draws to unit variance: Var[t_ν] = ν/(ν-2).
         let tail_scale: Vec<f64> =
@@ -318,6 +324,7 @@ impl MarketGenerator {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     fn small_config() -> GeneratorConfig {

@@ -13,28 +13,65 @@
 //! ```
 //!
 //! Rows must be grouped by period (ascending) and cover every asset in
-//! every period, in a consistent asset order.
+//! every period, in a consistent asset order. CRLF line endings, blank
+//! lines, and a missing trailing newline are all tolerated. Parsing
+//! collects **every** malformed row in one pass — [`ParseMarketError`]
+//! reports them all, so a messy file is fixed in one round trip instead
+//! of one error at a time. [`from_csv_lenient`] additionally forward-fills
+//! whole missing periods (a common defect of real exchange dumps) and
+//! reports them in a [`SanitizeReport`].
 
 use crate::candle::Candle;
 use crate::data::MarketData;
+use crate::sanitize::{Issue, IssueKind, SanitizeReport};
 use crate::time::Date;
 
-/// Error parsing a market CSV.
+/// One malformed row (or structural defect) of a market CSV.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowError {
+    /// 1-based line number in the source text.
+    pub line: usize,
+    /// What was wrong with it.
+    pub msg: String,
+}
+
+impl std::fmt::Display for RowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+/// Error parsing a market CSV. Carries **all** defects found in one pass,
+/// not just the first.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParseMarketError {
-    line: usize,
-    msg: String,
+    errors: Vec<RowError>,
 }
 
 impl ParseMarketError {
     fn new(line: usize, msg: impl Into<String>) -> Self {
-        Self { line, msg: msg.into() }
+        Self { errors: vec![RowError { line, msg: msg.into() }] }
+    }
+
+    /// Every defect found, in source order.
+    pub fn errors(&self) -> &[RowError] {
+        &self.errors
     }
 }
 
 impl std::fmt::Display for ParseMarketError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "invalid market csv at line {}: {}", self.line, self.msg)
+        match self.errors.as_slice() {
+            [] => write!(f, "invalid market csv"),
+            [only] => write!(f, "invalid market csv at {only}"),
+            [first, rest @ ..] => {
+                write!(f, "invalid market csv: {} defects; at {first}", rest.len() + 1)?;
+                for e in rest {
+                    write!(f, "; at {e}")?;
+                }
+                Ok(())
+            }
+        }
     }
 }
 
@@ -60,24 +97,55 @@ pub fn to_csv(data: &MarketData) -> String {
 ///
 /// # Errors
 ///
-/// Returns [`ParseMarketError`] on syntax errors, inconsistent asset sets,
-/// out-of-order periods, or candle-invariant violations.
+/// Returns [`ParseMarketError`] carrying *every* syntax error,
+/// inconsistent asset set, out-of-order period, or candle-invariant
+/// violation found in the file.
 pub fn from_csv(
     text: &str,
     start: Date,
     periods_per_day: u32,
 ) -> Result<MarketData, ParseMarketError> {
+    parse_csv(text, start, periods_per_day, false).map(|(data, _)| data)
+}
+
+/// [`from_csv`] that tolerates whole missing periods by forward-filling
+/// the previous cross-section as flat zero-volume candles. Each filled
+/// candle is reported as an [`IssueKind::MissingPeriod`] issue in the
+/// returned [`SanitizeReport`].
+///
+/// # Errors
+///
+/// As [`from_csv`], except period gaps are repaired instead of rejected.
+pub fn from_csv_lenient(
+    text: &str,
+    start: Date,
+    periods_per_day: u32,
+) -> Result<(MarketData, SanitizeReport), ParseMarketError> {
+    parse_csv(text, start, periods_per_day, true)
+}
+
+fn parse_csv(
+    text: &str,
+    start: Date,
+    periods_per_day: u32,
+    fill_gaps: bool,
+) -> Result<(MarketData, SanitizeReport), ParseMarketError> {
     let mut lines = text.lines().enumerate();
     let (_, header) = lines.next().ok_or_else(|| ParseMarketError::new(1, "empty file"))?;
     if header.trim() != "period,asset,open,high,low,close,volume" {
         return Err(ParseMarketError::new(1, format!("unexpected header {header:?}")));
     }
 
+    let mut errors: Vec<RowError> = Vec::new();
+    let mut report = SanitizeReport::default();
     let mut asset_names: Vec<String> = Vec::new();
     let mut candles: Vec<Candle> = Vec::new();
     let mut current_period: Option<usize> = None;
     let mut period_fill = 0usize;
     let mut first_period_done = false;
+    let fail = |errors: &mut Vec<RowError>, line: usize, msg: String| {
+        errors.push(RowError { line, msg });
+    };
 
     for (idx, line) in lines {
         let lineno = idx + 1;
@@ -86,91 +154,144 @@ pub fn from_csv(
         }
         let fields: Vec<&str> = line.split(',').collect();
         if fields.len() != 7 {
-            return Err(ParseMarketError::new(lineno, "expected 7 fields"));
+            fail(&mut errors, lineno, format!("expected 7 fields, found {}", fields.len()));
+            continue;
         }
-        let period: usize =
-            fields[0].trim().parse().map_err(|_| ParseMarketError::new(lineno, "bad period"))?;
+        let period: usize = match fields[0].trim().parse() {
+            Ok(p) => p,
+            Err(_) => {
+                fail(&mut errors, lineno, format!("bad period {:?}", fields[0].trim()));
+                continue;
+            }
+        };
         let asset = fields[1].trim().to_owned();
-        let nums: Result<Vec<f64>, _> =
-            fields[2..7].iter().map(|f| f.trim().parse::<f64>()).collect();
-        let nums = nums.map_err(|_| ParseMarketError::new(lineno, "bad number"))?;
+        let nums: Vec<f64> = fields[2..7]
+            .iter()
+            .map(|f| {
+                f.trim().parse::<f64>().unwrap_or_else(|_| {
+                    fail(&mut errors, lineno, format!("bad number {:?}", f.trim()));
+                    f64::NAN
+                })
+            })
+            .collect();
 
         match current_period {
             None => {
                 if period != 0 {
-                    return Err(ParseMarketError::new(lineno, "periods must start at 0"));
+                    fail(&mut errors, lineno, "periods must start at 0".into());
                 }
-                current_period = Some(0);
+                current_period = Some(period);
             }
             Some(p) if period == p => {}
-            Some(p) if period == p + 1 => {
+            Some(p) if period > p => {
                 // Close out the finished period. (While the first period is
                 // being read, `asset_names` grows with `period_fill`, so the
                 // check holds trivially there.)
                 if period_fill != asset_names.len() {
-                    return Err(ParseMarketError::new(
+                    fail(
+                        &mut errors,
                         lineno,
                         format!(
                             "period {p} has {period_fill} rows, expected {}",
                             asset_names.len()
                         ),
-                    ));
+                    );
+                }
+                if period > p + 1 {
+                    // Filling needs a complete previous cross-section to
+                    // copy from.
+                    let fillable = !asset_names.is_empty() && period_fill == asset_names.len();
+                    if fill_gaps && fillable {
+                        for missing in (p + 1)..period {
+                            let prev_start = candles.len() - asset_names.len();
+                            for a in 0..asset_names.len() {
+                                let prev_close = candles[prev_start + a].close;
+                                candles.push(Candle::flat(prev_close));
+                                report.issues.push(Issue {
+                                    period: missing,
+                                    asset: a,
+                                    kind: IssueKind::MissingPeriod,
+                                    repaired: true,
+                                });
+                            }
+                        }
+                    } else {
+                        fail(&mut errors, lineno, format!("period jumped from {p} to {period}"));
+                    }
                 }
                 first_period_done = true;
                 current_period = Some(period);
                 period_fill = 0;
             }
             Some(p) => {
-                return Err(ParseMarketError::new(
-                    lineno,
-                    format!("period jumped from {p} to {period}"),
-                ));
+                fail(&mut errors, lineno, format!("period went backwards from {p} to {period}"));
+                continue;
             }
         }
 
         if !first_period_done {
             if asset_names.contains(&asset) {
-                return Err(ParseMarketError::new(lineno, format!("duplicate asset {asset}")));
+                fail(&mut errors, lineno, format!("duplicate asset {asset}"));
+                continue;
             }
             asset_names.push(asset);
         } else {
-            let expect = asset_names
-                .get(period_fill)
-                .ok_or_else(|| ParseMarketError::new(lineno, "too many rows in period"))?;
-            if *expect != asset {
-                return Err(ParseMarketError::new(
-                    lineno,
-                    format!("expected asset {expect} at this position, found {asset}"),
-                ));
+            match asset_names.get(period_fill) {
+                None => {
+                    fail(&mut errors, lineno, "too many rows in period".into());
+                    continue;
+                }
+                Some(expect) if *expect != asset => {
+                    fail(
+                        &mut errors,
+                        lineno,
+                        format!("expected asset {expect} at this position, found {asset}"),
+                    );
+                }
+                Some(_) => {}
             }
         }
         period_fill += 1;
 
         let (open, high, low, close, volume) = (nums[0], nums[1], nums[2], nums[3], nums[4]);
-        if !(open > 0.0 && high > 0.0 && low > 0.0 && close > 0.0) {
-            return Err(ParseMarketError::new(lineno, "prices must be positive"));
+        let finite = nums.iter().all(|n| n.is_finite());
+        let positive = open > 0.0 && high > 0.0 && low > 0.0 && close > 0.0;
+        if finite && !positive {
+            fail(&mut errors, lineno, "prices must be positive".into());
         }
-        if low > open.min(close) || high < open.max(close) || volume < 0.0 {
-            return Err(ParseMarketError::new(lineno, "candle invariants violated"));
+        let body_ok =
+            positive && low <= open.min(close) && high >= open.max(close) && volume >= 0.0;
+        if finite && positive && !body_ok {
+            fail(&mut errors, lineno, "candle invariants violated".into());
         }
-        candles.push(Candle::new(open, high, low, close, volume));
+        if finite && body_ok {
+            candles.push(Candle::new(open, high, low, close, volume));
+        } else {
+            // Keep the grid aligned so later rows still validate against
+            // the right asset slot; the file is rejected anyway.
+            candles.push(Candle::flat(1.0));
+        }
     }
 
     if asset_names.is_empty() {
-        return Err(ParseMarketError::new(2, "no data rows"));
-    }
-    if period_fill != asset_names.len() {
-        return Err(ParseMarketError::new(
+        fail(&mut errors, 2, "no data rows".into());
+    } else if period_fill != asset_names.len() {
+        fail(
+            &mut errors,
             0,
             format!("last period has {period_fill} rows, expected {}", asset_names.len()),
-        ));
+        );
+    }
+    if !errors.is_empty() {
+        return Err(ParseMarketError { errors });
     }
     let n = asset_names.len();
-    Ok(MarketData::new(asset_names, start, periods_per_day, n, candles))
+    Ok((MarketData::new(asset_names, start, periods_per_day, n, candles), report))
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::experiments::ExperimentPreset;
 
@@ -203,6 +324,21 @@ mod tests {
     }
 
     #[test]
+    fn crlf_blank_lines_and_missing_trailing_newline_parse() {
+        let csv = "period,asset,open,high,low,close,volume\r\n\
+                   0,BTC,100,105,99,104,10\r\n\
+                   \r\n\
+                   0,ETH,10,10.5,9.9,10.4,100\r\n\
+                   \n\
+                   1,BTC,104,106,103,105,12\r\n\
+                   1,ETH,10.4,10.6,10.3,10.5,90";
+        let d = from_csv(csv, Date::new(2020, 1, 1), 1).unwrap();
+        assert_eq!(d.num_assets(), 2);
+        assert_eq!(d.num_periods(), 2);
+        assert_eq!(d.close(1, 1), 10.5);
+    }
+
+    #[test]
     fn rejects_bad_inputs() {
         let hdr = "period,asset,open,high,low,close,volume\n";
         // Wrong header.
@@ -229,5 +365,50 @@ mod tests {
         let csv = "period,asset,open,high,low,close,volume\n0,X,zzz,1,1,1,0\n";
         let err = from_csv(csv, Date::new(2020, 1, 1), 1).unwrap_err();
         assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn all_malformed_rows_are_reported_in_one_pass() {
+        let csv = "period,asset,open,high,low,close,volume\n\
+                   0,A,zzz,1,1,1,0\n\
+                   0,B,1,1,1,1,0\n\
+                   1,A,1,1,1,1,-5\n\
+                   1,B,1,1\n\
+                   2,A,1,1,1,1,0\n\
+                   2,B,0,1,1,1,0\n";
+        let err = from_csv(csv, Date::new(2020, 1, 1), 1).unwrap_err();
+        let lines: Vec<usize> = err.errors().iter().map(|e| e.line).collect();
+        assert!(lines.contains(&2), "bad number: {err}");
+        assert!(lines.contains(&4), "negative volume: {err}");
+        assert!(lines.contains(&5), "wrong field count: {err}");
+        assert!(lines.contains(&7), "non-positive price: {err}");
+        assert!(err.errors().len() >= 4, "{err}");
+    }
+
+    #[test]
+    fn lenient_loader_forward_fills_missing_periods() {
+        let csv = "period,asset,open,high,low,close,volume\n\
+                   0,A,100,105,99,104,10\n\
+                   0,B,10,10.5,9.9,10.4,100\n\
+                   3,A,104,106,103,105,12\n\
+                   3,B,10.4,10.6,10.3,10.5,90\n";
+        let (d, report) = from_csv_lenient(csv, Date::new(2020, 1, 1), 1).unwrap();
+        assert_eq!(d.num_periods(), 4);
+        // Filled periods are flat at the previous close, zero volume.
+        assert_eq!(d.candle(1, 0), Candle::flat(104.0));
+        assert_eq!(d.candle(2, 1), Candle::flat(10.4));
+        assert_eq!(report.issues.len(), 4);
+        assert!(report.issues.iter().all(|i| i.kind == IssueKind::MissingPeriod && i.repaired));
+        assert_eq!(report.repairs(), 4);
+    }
+
+    #[test]
+    fn lenient_loader_is_strict_about_everything_else() {
+        let csv = "period,asset,open,high,low,close,volume\n0,A,1,0.5,0.4,1,0\n";
+        assert!(from_csv_lenient(csv, Date::new(2020, 1, 1), 1).is_err());
+        // And a gap-free file reports clean.
+        let ok = "period,asset,open,high,low,close,volume\n0,A,1,1,1,1,0\n1,A,1,1,1,1,0\n";
+        let (_, report) = from_csv_lenient(ok, Date::new(2020, 1, 1), 1).unwrap();
+        assert!(report.clean());
     }
 }

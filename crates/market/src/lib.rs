@@ -33,6 +33,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod candle;
 pub mod data;
@@ -40,6 +41,7 @@ pub mod experiments;
 pub mod generator;
 pub mod io;
 pub mod regime;
+pub mod sanitize;
 pub mod stats;
 pub mod time;
 pub mod universe;
@@ -48,4 +50,5 @@ pub use candle::Candle;
 pub use data::MarketData;
 pub use generator::{AssetSpec, GeneratorConfig, MarketGenerator};
 pub use regime::{Regime, RegimeParams};
+pub use sanitize::{sanitize_market, RepairPolicy, SanitizeConfig, SanitizeReport};
 pub use time::Date;

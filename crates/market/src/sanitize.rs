@@ -1,0 +1,347 @@
+//! Market-data sanitization: detect and repair corrupted candles.
+//!
+//! Real exchange feeds contain NaNs, zero prices, inverted candle bodies,
+//! and fat-fingered outlier ticks; the paper's pipeline assumes a clean
+//! dense OHLCV grid. [`sanitize_market`] walks a [`MarketData`] once per
+//! asset, classifies every violation as an [`IssueKind`], and — under
+//! [`RepairPolicy::Repair`] — rewrites broken candles by forward-filling
+//! the last good close and clamps outlier moves to a configurable
+//! relative step. [`RepairPolicy::Reject`] turns any issue into an error
+//! instead, for pipelines that must not run on repaired data.
+//!
+//! The returned [`SanitizeReport`] is the audit trail: every issue with
+//! its grid coordinates and whether it was repaired.
+
+use crate::candle::Candle;
+use crate::data::MarketData;
+use serde::{Deserialize, Serialize};
+
+/// What to do with candles that fail validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RepairPolicy {
+    /// Rewrite broken candles in place (forward-fill / clamp).
+    Repair,
+    /// Treat any issue as fatal: return [`SanitizeError`], data untouched.
+    Reject,
+}
+
+/// Sanitizer configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SanitizeConfig {
+    /// Repair or reject on detection.
+    pub policy: RepairPolicy,
+    /// Maximum `|close_t / close_{t-1} - 1|` before a candle counts as an
+    /// outlier tick; `None` disables outlier detection. Structurally
+    /// broken candles are always detected.
+    pub max_rel_step: Option<f64>,
+}
+
+impl Default for SanitizeConfig {
+    fn default() -> Self {
+        // 5.0 = a 6x move within one period. Far beyond anything the
+        // regime generator produces, including its jump component, so a
+        // fault-free synthetic market sanitizes to zero issues.
+        Self { policy: RepairPolicy::Repair, max_rel_step: Some(5.0) }
+    }
+}
+
+/// One class of candle defect.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum IssueKind {
+    /// A price or volume field is NaN or infinite.
+    NonFinite,
+    /// A price field is zero or negative.
+    NonPositive,
+    /// `low`/`high` do not bracket the open–close body.
+    BodyInvariant,
+    /// Volume is negative.
+    NegativeVolume,
+    /// Close moved more than the configured relative step from the
+    /// previous close.
+    Outlier {
+        /// Observed relative step `close_t / close_{t-1} - 1`.
+        rel_step: f64,
+    },
+    /// A whole period was absent from the source feed (detected by the
+    /// lenient CSV loader, which forward-fills it).
+    MissingPeriod,
+}
+
+impl IssueKind {
+    /// Short machine-readable label (telemetry field value).
+    pub fn label(&self) -> &'static str {
+        match self {
+            IssueKind::NonFinite => "non_finite",
+            IssueKind::NonPositive => "non_positive",
+            IssueKind::BodyInvariant => "body_invariant",
+            IssueKind::NegativeVolume => "negative_volume",
+            IssueKind::Outlier { .. } => "outlier",
+            IssueKind::MissingPeriod => "missing_period",
+        }
+    }
+}
+
+/// One detected defect, located on the period × asset grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Issue {
+    /// Period index of the offending candle.
+    pub period: usize,
+    /// Asset index of the offending candle.
+    pub asset: usize,
+    /// What was wrong.
+    pub kind: IssueKind,
+    /// Whether the sanitizer rewrote the candle.
+    pub repaired: bool,
+}
+
+/// Audit trail of one sanitization pass.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SanitizeReport {
+    /// Every detected issue, in grid order.
+    pub issues: Vec<Issue>,
+}
+
+impl SanitizeReport {
+    /// Whether the data had no issues at all.
+    pub fn clean(&self) -> bool {
+        self.issues.is_empty()
+    }
+
+    /// How many candles were rewritten.
+    pub fn repairs(&self) -> usize {
+        self.issues.iter().filter(|i| i.repaired).count()
+    }
+
+    /// Appends another report's issues (used by the lenient CSV loader).
+    pub fn merge(&mut self, other: SanitizeReport) {
+        self.issues.extend(other.issues);
+    }
+}
+
+/// Sanitization failed under [`RepairPolicy::Reject`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SanitizeError {
+    /// Everything that was wrong with the data.
+    pub issues: Vec<Issue>,
+}
+
+impl std::fmt::Display for SanitizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "market data rejected: {} issue(s)", self.issues.len())?;
+        if let Some(first) = self.issues.first() {
+            write!(
+                f,
+                ", first: {} at period {} asset {}",
+                first.kind.label(),
+                first.period,
+                first.asset
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for SanitizeError {}
+
+fn structural_issue(c: &Candle) -> Option<IssueKind> {
+    let prices = [c.open, c.high, c.low, c.close];
+    if prices.iter().any(|p| !p.is_finite()) || !c.volume.is_finite() {
+        return Some(IssueKind::NonFinite);
+    }
+    if prices.iter().any(|p| *p <= 0.0) {
+        return Some(IssueKind::NonPositive);
+    }
+    if c.low > c.open.min(c.close) || c.high < c.open.max(c.close) {
+        return Some(IssueKind::BodyInvariant);
+    }
+    if c.volume < 0.0 {
+        return Some(IssueKind::NegativeVolume);
+    }
+    None
+}
+
+/// First usable reference price for an asset: scans forward for the first
+/// structurally valid candle and takes its open. Falls back to 1.0 on a
+/// column with no valid candle at all.
+fn backfill_reference(data: &MarketData, asset: usize) -> f64 {
+    (0..data.num_periods())
+        .map(|t| data.candle(t, asset))
+        .find(|c| structural_issue(c).is_none())
+        .map(|c| c.open)
+        .unwrap_or(1.0)
+}
+
+/// Validates (and under [`RepairPolicy::Repair`] rewrites) every candle.
+///
+/// Repairs: structurally broken candles become flat candles at the last
+/// good close (forward-fill; the first periods of a broken column
+/// back-fill from the first valid candle); outlier closes are clamped to
+/// `last_good · (1 ± max_rel_step)` while preserving move direction.
+///
+/// # Errors
+///
+/// Under [`RepairPolicy::Reject`], returns [`SanitizeError`] listing every
+/// issue and leaves `data` untouched.
+pub fn sanitize_market(
+    data: &mut MarketData,
+    cfg: &SanitizeConfig,
+) -> Result<SanitizeReport, SanitizeError> {
+    let mut report = SanitizeReport::default();
+    let repair = cfg.policy == RepairPolicy::Repair;
+    for a in 0..data.num_assets() {
+        let mut last_good: Option<f64> = None;
+        for t in 0..data.num_periods() {
+            let c = data.candle(t, a);
+            if let Some(kind) = structural_issue(&c) {
+                report.issues.push(Issue { period: t, asset: a, kind, repaired: repair });
+                if repair {
+                    let fill = last_good.unwrap_or_else(|| backfill_reference(data, a));
+                    data.set_candle_unchecked(t, a, Candle::flat(fill));
+                    last_good = Some(fill);
+                }
+                continue;
+            }
+            if let (Some(limit), Some(prev)) = (cfg.max_rel_step, last_good) {
+                let rel_step = c.close / prev - 1.0;
+                if rel_step.abs() > limit {
+                    report.issues.push(Issue {
+                        period: t,
+                        asset: a,
+                        kind: IssueKind::Outlier { rel_step },
+                        repaired: repair,
+                    });
+                    if repair {
+                        // Clamp a hair inside the limit: landing exactly on
+                        // it can round the recomputed relative step just
+                        // past the threshold, and repairs must converge.
+                        let inside = limit * (1.0 - 1e-9);
+                        let clamped = prev * (1.0 + inside.copysign(rel_step));
+                        let repaired = Candle::new(
+                            prev,
+                            prev.max(clamped),
+                            prev.min(clamped),
+                            clamped,
+                            c.volume,
+                        );
+                        data.set_candle_unchecked(t, a, repaired);
+                        last_good = Some(clamped);
+                    }
+                    continue;
+                }
+            }
+            last_good = Some(c.close);
+        }
+    }
+    if !repair && !report.clean() {
+        return Err(SanitizeError { issues: report.issues });
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+    use super::*;
+    use crate::experiments::ExperimentPreset;
+    use crate::time::Date;
+
+    fn toy() -> MarketData {
+        // 2 assets × 8 periods, both drifting 1.0/period.
+        let candles = (0..8).flat_map(|t| [Candle::flat(100.0 + t as f64); 2]).collect::<Vec<_>>();
+        MarketData::new(vec!["A".into(), "B".into()], Date::new(2020, 1, 1), 1, 2, candles)
+    }
+
+    #[test]
+    fn clean_data_reports_clean_and_is_untouched() {
+        let mut d = toy();
+        let before = d.clone();
+        let report = sanitize_market(&mut d, &SanitizeConfig::default()).unwrap();
+        assert!(report.clean());
+        assert_eq!(report.repairs(), 0);
+        assert_eq!(d, before);
+    }
+
+    #[test]
+    fn generated_market_is_clean_under_defaults() {
+        let mut d = ExperimentPreset::experiment1().shrunk(5, 10).generate(7);
+        let report = sanitize_market(&mut d, &SanitizeConfig::default()).unwrap();
+        assert!(report.clean(), "generator produced issues: {:?}", report.issues);
+    }
+
+    #[test]
+    fn nan_candle_is_forward_filled() {
+        let mut d = toy();
+        d.set_candle_unchecked(2, 0, Candle { open: f64::NAN, ..Candle::flat(1.0) });
+        let report = sanitize_market(&mut d, &SanitizeConfig::default()).unwrap();
+        assert_eq!(report.issues.len(), 1);
+        assert_eq!(report.issues[0].kind, IssueKind::NonFinite);
+        assert!(report.issues[0].repaired);
+        // Forward-filled from period 1's close.
+        assert_eq!(d.candle(2, 0), Candle::flat(d.candle(1, 0).close));
+    }
+
+    #[test]
+    fn broken_first_period_backfills() {
+        let mut d = toy();
+        d.set_candle_unchecked(0, 1, Candle { close: -3.0, ..Candle::flat(1.0) });
+        sanitize_market(&mut d, &SanitizeConfig::default()).unwrap();
+        // Back-filled from the first valid candle's open (period 1).
+        assert_eq!(d.candle(0, 1).close, d.candle(1, 1).open);
+    }
+
+    #[test]
+    fn outlier_is_clamped_preserving_direction() {
+        let mut d = toy();
+        let spike = Candle::new(101.0, 9000.0, 101.0, 9000.0, 1.0);
+        d.set_candle_unchecked(2, 0, spike);
+        let cfg = SanitizeConfig { max_rel_step: Some(0.5), ..SanitizeConfig::default() };
+        let report = sanitize_market(&mut d, &cfg).unwrap();
+        assert!(matches!(report.issues[0].kind, IssueKind::Outlier { rel_step } if rel_step > 0.5));
+        // Clamps land a hair inside the limit (see the repair code), so
+        // compare with a tolerance above that margin.
+        let prev = d.candle(1, 0).close;
+        assert!((d.candle(2, 0).close - prev * 1.5).abs() < 1e-6);
+        // Downward spikes clamp downward.
+        let mut d2 = toy();
+        d2.set_candle_unchecked(2, 0, Candle::new(101.0, 101.0, 0.1, 0.1, 1.0));
+        sanitize_market(&mut d2, &cfg).unwrap();
+        assert!((d2.candle(2, 0).close - prev * 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn inverted_body_and_negative_volume_are_detected() {
+        let mut d = toy();
+        d.set_candle_unchecked(1, 0, Candle { low: 500.0, ..Candle::flat(100.0) });
+        d.set_candle_unchecked(3, 1, Candle { volume: -2.0, ..Candle::flat(103.0) });
+        let report = sanitize_market(&mut d, &SanitizeConfig::default()).unwrap();
+        let kinds: Vec<_> = report.issues.iter().map(|i| i.kind).collect();
+        assert!(kinds.contains(&IssueKind::BodyInvariant));
+        assert!(kinds.contains(&IssueKind::NegativeVolume));
+    }
+
+    #[test]
+    fn reject_policy_errors_and_leaves_data_untouched() {
+        let mut d = toy();
+        // NaN would break the PartialEq comparison below, so use a
+        // non-positive price as the defect.
+        d.set_candle_unchecked(2, 0, Candle { close: -3.0, ..Candle::flat(1.0) });
+        let before = d.clone();
+        let cfg = SanitizeConfig { policy: RepairPolicy::Reject, ..SanitizeConfig::default() };
+        let err = sanitize_market(&mut d, &cfg).unwrap_err();
+        assert_eq!(err.issues.len(), 1);
+        assert!(err.to_string().contains("non_positive"), "{err}");
+        assert_eq!(d, before);
+    }
+
+    #[test]
+    fn repaired_data_passes_a_second_pass() {
+        let mut d = toy();
+        d.set_candle_unchecked(2, 0, Candle { open: f64::INFINITY, ..Candle::flat(1.0) });
+        d.set_candle_unchecked(5, 1, Candle::new(105.0, 99999.0, 105.0, 99999.0, 1.0));
+        let cfg = SanitizeConfig { max_rel_step: Some(0.5), ..SanitizeConfig::default() };
+        let first = sanitize_market(&mut d, &cfg).unwrap();
+        assert_eq!(first.repairs(), 2);
+        let second = sanitize_market(&mut d, &cfg).unwrap();
+        assert!(second.clean(), "repair must converge: {:?}", second.issues);
+    }
+}

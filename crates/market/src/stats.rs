@@ -92,6 +92,7 @@ pub fn market_stats(data: &MarketData) -> MarketStats {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::experiments::ExperimentPreset;
 

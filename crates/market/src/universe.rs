@@ -69,6 +69,7 @@ pub fn paper_universe(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::candle::Candle;
     use crate::time::Date;

@@ -1,0 +1,298 @@
+//! Deterministic, scripted fault injection.
+//!
+//! A [`FaultPlan`] is a seeded schedule of faults that fire at defined
+//! seams: IO reads/writes (by label), checkpoint bytes after a write,
+//! market candles (by `(period, asset)`), and per-epoch gradients. Every
+//! fault is scripted — nothing fires unless the plan says so — and every
+//! byte-level corruption is derived from the plan's seed, so a faulted
+//! run is reproducible bit for bit given the same seed and schedule.
+//!
+//! Code under test passes `Option<&mut FaultPlan>` (or an empty plan)
+//! through the seams it hardens; production callers pass `None` /
+//! [`FaultPlan::default`], which never fires and costs a branch.
+
+use std::io;
+
+/// A gradient-level fault injected into one training epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GradFault {
+    /// The epoch's gradients become NaN (poisoning weights and reward).
+    NaN,
+    /// The epoch's gradients become +Inf.
+    Inf,
+    /// The epoch's gradient norm explodes by this power of ten.
+    Explode,
+}
+
+/// What a scripted market fault does to its candle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MarketFaultKind {
+    /// All four prices become NaN (a dropped/missing candle in a feed).
+    DropNan,
+    /// The close becomes zero (a non-positive price tick).
+    NonPositive,
+    /// Prices are multiplied by this factor (a fat-finger outlier).
+    Outlier(f64),
+}
+
+/// One scripted candle corruption.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MarketFault {
+    /// Period index of the corrupted candle.
+    pub period: usize,
+    /// Asset index of the corrupted candle.
+    pub asset: usize,
+    /// The corruption applied.
+    pub kind: MarketFaultKind,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic, scripted fault-injection schedule (see the
+/// [module docs](self)).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    grad_faults: Vec<(u64, GradFault)>,
+    write_faults: Vec<(String, u32)>,
+    read_faults: Vec<(String, u32)>,
+    /// `(label, write index)` pairs whose stored bytes get corrupted
+    /// after an otherwise-successful write.
+    corrupt_writes: Vec<(String, u64)>,
+    /// Labels whose next stored bytes get truncated instead of bit-flipped.
+    truncate_writes: Vec<(String, u64)>,
+    /// Writes observed so far, per label.
+    writes_seen: Vec<(String, u64)>,
+    market_faults: Vec<MarketFault>,
+    corruption_nonce: u64,
+}
+
+impl FaultPlan {
+    /// An empty plan deriving any byte-level corruption from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { seed, ..Self::default() }
+    }
+
+    /// Whether no fault is scheduled (fast path for production callers).
+    pub fn is_empty(&self) -> bool {
+        self.grad_faults.is_empty()
+            && self.write_faults.is_empty()
+            && self.read_faults.is_empty()
+            && self.corrupt_writes.is_empty()
+            && self.truncate_writes.is_empty()
+            && self.market_faults.is_empty()
+    }
+
+    /// Schedules a gradient fault for training epoch `epoch` (one-shot:
+    /// the fault is consumed the first time that epoch runs, so a retried
+    /// epoch runs clean).
+    pub fn grad_fault_at(mut self, epoch: u64, fault: GradFault) -> Self {
+        self.grad_faults.push((epoch, fault));
+        self
+    }
+
+    /// Schedules the next `count` writes under `label` to fail with a
+    /// transient IO error.
+    pub fn fail_writes(mut self, label: &str, count: u32) -> Self {
+        self.write_faults.push((label.to_owned(), count));
+        self
+    }
+
+    /// Schedules the next `count` reads under `label` to fail with a
+    /// transient IO error.
+    pub fn fail_reads(mut self, label: &str, count: u32) -> Self {
+        self.read_faults.push((label.to_owned(), count));
+        self
+    }
+
+    /// Schedules the `index`-th successful write under `label` (0-based)
+    /// to have its stored bytes bit-flipped afterwards — simulated bitrot
+    /// or a torn sector.
+    pub fn corrupt_write(mut self, label: &str, index: u64) -> Self {
+        self.corrupt_writes.push((label.to_owned(), index));
+        self
+    }
+
+    /// Schedules the `index`-th successful write under `label` to be
+    /// truncated to half its length afterwards — a simulated crash
+    /// mid-rewrite of a non-atomic writer.
+    pub fn truncate_write(mut self, label: &str, index: u64) -> Self {
+        self.truncate_writes.push((label.to_owned(), index));
+        self
+    }
+
+    /// Schedules a candle corruption.
+    pub fn market_fault(mut self, period: usize, asset: usize, kind: MarketFaultKind) -> Self {
+        self.market_faults.push(MarketFault { period, asset, kind });
+        self
+    }
+
+    /// The scripted candle corruptions (applied by the market-owning
+    /// layer; this crate stays market-agnostic).
+    pub fn market_faults(&self) -> &[MarketFault] {
+        &self.market_faults
+    }
+
+    /// Consumes the gradient fault scheduled for `epoch`, if any.
+    pub fn take_grad_fault(&mut self, epoch: u64) -> Option<GradFault> {
+        let i = self.grad_faults.iter().position(|(e, _)| *e == epoch)?;
+        Some(self.grad_faults.remove(i).1)
+    }
+
+    /// Consumes one scheduled write failure for `label`, if any.
+    pub fn take_write_fault(&mut self, label: &str) -> Option<io::Error> {
+        Self::take_io_fault(&mut self.write_faults, label, "write")
+    }
+
+    /// Consumes one scheduled read failure for `label`, if any.
+    pub fn take_read_fault(&mut self, label: &str) -> Option<io::Error> {
+        Self::take_io_fault(&mut self.read_faults, label, "read")
+    }
+
+    fn take_io_fault(faults: &mut Vec<(String, u32)>, label: &str, op: &str) -> Option<io::Error> {
+        let i = faults.iter().position(|(l, n)| l == label && *n > 0)?;
+        faults[i].1 -= 1;
+        if faults[i].1 == 0 {
+            faults.remove(i);
+        }
+        Some(io::Error::new(
+            io::ErrorKind::Interrupted,
+            format!("injected transient {op} fault for '{label}'"),
+        ))
+    }
+
+    /// Records one successful write under `label` and reports whether the
+    /// plan wants its stored bytes corrupted (`true` = bit-flip,
+    /// truncation is reported separately by [`Self::take_truncation`]).
+    pub fn take_corruption(&mut self, label: &str) -> bool {
+        let index = self.bump_writes_seen(label);
+        match self.corrupt_writes.iter().position(|(l, i)| l == label && *i == index) {
+            Some(pos) => {
+                self.corrupt_writes.remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether the write just recorded by [`Self::take_corruption`] should
+    /// also/instead be truncated. Checked against the same write index.
+    pub fn take_truncation(&mut self, label: &str) -> bool {
+        let index = self.writes_seen(label).saturating_sub(1);
+        match self.truncate_writes.iter().position(|(l, i)| l == label && *i == index) {
+            Some(pos) => {
+                self.truncate_writes.remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn bump_writes_seen(&mut self, label: &str) -> u64 {
+        match self.writes_seen.iter_mut().find(|(l, _)| l == label) {
+            Some((_, n)) => {
+                let index = *n;
+                *n += 1;
+                index
+            }
+            None => {
+                self.writes_seen.push((label.to_owned(), 1));
+                0
+            }
+        }
+    }
+
+    fn writes_seen(&self, label: &str) -> u64 {
+        self.writes_seen.iter().find(|(l, _)| l == label).map_or(0, |(_, n)| *n)
+    }
+
+    /// Deterministically corrupts `bytes` in place: flips one bit in each
+    /// of three seed-derived positions. Offsets depend only on the plan
+    /// seed, an internal nonce, and the buffer length, so the same plan
+    /// corrupts the same bytes every run.
+    pub fn corrupt_bytes(&mut self, bytes: &mut [u8]) {
+        if bytes.is_empty() {
+            return;
+        }
+        let mut state = self.seed ^ 0xC0FF_EE00_D15E_A5ED ^ self.corruption_nonce;
+        self.corruption_nonce = self.corruption_nonce.wrapping_add(1);
+        for _ in 0..3 {
+            let r = splitmix64(&mut state);
+            let pos = (r as usize) % bytes.len();
+            let bit = ((r >> 32) % 8) as u8;
+            bytes[pos] ^= 1 << bit;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+    use super::*;
+
+    #[test]
+    fn empty_plan_never_fires() {
+        let mut plan = FaultPlan::new(7);
+        assert!(plan.is_empty());
+        assert!(plan.take_grad_fault(0).is_none());
+        assert!(plan.take_write_fault("ckpt").is_none());
+        assert!(plan.take_read_fault("ckpt").is_none());
+        assert!(!plan.take_corruption("ckpt"));
+    }
+
+    #[test]
+    fn grad_faults_are_one_shot() {
+        let mut plan = FaultPlan::new(1).grad_fault_at(2, GradFault::NaN);
+        assert!(plan.take_grad_fault(1).is_none());
+        assert_eq!(plan.take_grad_fault(2), Some(GradFault::NaN));
+        assert!(plan.take_grad_fault(2).is_none(), "retried epoch must run clean");
+    }
+
+    #[test]
+    fn write_faults_count_down() {
+        let mut plan = FaultPlan::new(1).fail_writes("ckpt", 2);
+        assert!(plan.take_write_fault("other").is_none());
+        assert!(plan.take_write_fault("ckpt").is_some());
+        assert!(plan.take_write_fault("ckpt").is_some());
+        assert!(plan.take_write_fault("ckpt").is_none());
+    }
+
+    #[test]
+    fn corruption_targets_one_write_index() {
+        let mut plan = FaultPlan::new(1).corrupt_write("ckpt", 1);
+        assert!(!plan.take_corruption("ckpt"), "write 0 untouched");
+        assert!(plan.take_corruption("ckpt"), "write 1 corrupted");
+        assert!(!plan.take_corruption("ckpt"), "write 2 untouched");
+    }
+
+    #[test]
+    fn corrupt_bytes_is_deterministic_and_changes_data() {
+        let base = vec![0u8; 64];
+        let mut a = base.clone();
+        let mut b = base.clone();
+        FaultPlan::new(9).corrupt_bytes(&mut a);
+        FaultPlan::new(9).corrupt_bytes(&mut b);
+        assert_eq!(a, b, "same seed, same corruption");
+        assert_ne!(a, base, "corruption must change bytes");
+        let mut c = base.clone();
+        FaultPlan::new(10).corrupt_bytes(&mut c);
+        assert_ne!(a, c, "different seed, different corruption");
+    }
+
+    #[test]
+    fn market_faults_are_recorded() {
+        let plan = FaultPlan::new(3).market_fault(5, 1, MarketFaultKind::DropNan).market_fault(
+            6,
+            0,
+            MarketFaultKind::Outlier(100.0),
+        );
+        assert_eq!(plan.market_faults().len(), 2);
+        assert_eq!(plan.market_faults()[0].period, 5);
+    }
+}

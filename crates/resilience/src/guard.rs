@@ -1,0 +1,220 @@
+//! Per-epoch training health checks and recovery policies.
+//!
+//! [`check_epoch`] inspects one epoch's reward, gradient norm, and
+//! parameter buffer; anything non-finite, an exploding gradient norm, or
+//! a collapsed reward makes the epoch *unhealthy*. What happens next is
+//! the [`GuardPolicy`] of the [`GuardConfig`]: skip the epoch, retry it
+//! with tightened clipping, or roll back to the last-good checkpoint and
+//! retry. The guarded trainer in `spikefolio::guarded` drives the loop;
+//! this module only decides.
+
+use serde::{Deserialize, Serialize};
+
+/// What to do when an epoch fails its health check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GuardPolicy {
+    /// Discard the epoch's update (restore pre-epoch state) and move on.
+    Skip,
+    /// Restore pre-epoch state and retry with a tightened gradient clip.
+    Clip,
+    /// Restore the last-good state and retry the epoch as-is.
+    Rollback,
+}
+
+/// Guarded-training configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GuardConfig {
+    /// Recovery policy for unhealthy epochs.
+    pub policy: GuardPolicy,
+    /// Gradient-norm explosion threshold (pre-clip epoch mean); anything
+    /// above it is unhealthy. Non-finite norms are always unhealthy.
+    pub grad_norm_limit: f64,
+    /// If set, an epoch whose reward drops more than this below the best
+    /// reward seen so far is flagged as collapsed.
+    pub reward_collapse_drop: Option<f64>,
+    /// Retries per epoch before the run is abandoned (weights restored to
+    /// the last-good state and training returns early).
+    pub max_retries: u32,
+    /// Attempts for each checkpoint IO operation (≥ 1).
+    pub io_retries: u32,
+    /// Base of the exponential backoff between IO attempts, milliseconds
+    /// (attempt `k` sleeps `base << k`); 0 disables sleeping.
+    pub backoff_base_ms: u64,
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        Self {
+            policy: GuardPolicy::Rollback,
+            grad_norm_limit: 1e6,
+            reward_collapse_drop: None,
+            max_retries: 3,
+            io_retries: 4,
+            backoff_base_ms: 5,
+        }
+    }
+}
+
+/// One reason an epoch failed its health check.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HealthIssue {
+    /// The epoch's mean reward is NaN or infinite.
+    NonFiniteReward,
+    /// The epoch's mean gradient norm is NaN or infinite.
+    NonFiniteGradNorm,
+    /// The gradient norm exceeded [`GuardConfig::grad_norm_limit`].
+    GradExplosion {
+        /// Observed epoch-mean gradient norm.
+        norm: f64,
+        /// The configured limit.
+        limit: f64,
+    },
+    /// Some trained parameters are NaN or infinite.
+    NonFiniteParams {
+        /// How many parameters are non-finite.
+        count: usize,
+    },
+    /// The reward fell more than the configured drop below the best seen.
+    RewardCollapse {
+        /// This epoch's reward.
+        reward: f64,
+        /// Best epoch reward seen so far.
+        best: f64,
+    },
+}
+
+impl HealthIssue {
+    /// Short machine-readable label (telemetry field value).
+    pub fn label(&self) -> &'static str {
+        match self {
+            HealthIssue::NonFiniteReward => "nonfinite_reward",
+            HealthIssue::NonFiniteGradNorm => "nonfinite_grad",
+            HealthIssue::GradExplosion { .. } => "grad_explosion",
+            HealthIssue::NonFiniteParams { .. } => "nonfinite_params",
+            HealthIssue::RewardCollapse { .. } => "reward_collapse",
+        }
+    }
+}
+
+impl std::fmt::Display for HealthIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HealthIssue::NonFiniteReward => write!(f, "epoch reward is non-finite"),
+            HealthIssue::NonFiniteGradNorm => write!(f, "gradient norm is non-finite"),
+            HealthIssue::GradExplosion { norm, limit } => {
+                write!(f, "gradient norm {norm:.3e} exceeds limit {limit:.3e}")
+            }
+            HealthIssue::NonFiniteParams { count } => {
+                write!(f, "{count} parameters are non-finite")
+            }
+            HealthIssue::RewardCollapse { reward, best } => {
+                write!(f, "reward {reward:.4} collapsed from best {best:.4}")
+            }
+        }
+    }
+}
+
+/// Health-check verdict for one epoch.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EpochHealth {
+    /// Everything wrong with the epoch (empty = healthy).
+    pub issues: Vec<HealthIssue>,
+}
+
+impl EpochHealth {
+    /// Whether the epoch passed every check.
+    pub fn healthy(&self) -> bool {
+        self.issues.is_empty()
+    }
+}
+
+/// Checks one epoch: `reward` and `grad_norm` are the epoch's mean
+/// statistics, `params` the post-epoch trained parameters, `best_reward`
+/// the best epoch reward seen so far (for collapse detection).
+pub fn check_epoch(
+    reward: f64,
+    grad_norm: f64,
+    params: &[f64],
+    best_reward: Option<f64>,
+    cfg: &GuardConfig,
+) -> EpochHealth {
+    let mut issues = Vec::new();
+    if !reward.is_finite() {
+        issues.push(HealthIssue::NonFiniteReward);
+    }
+    if !grad_norm.is_finite() {
+        issues.push(HealthIssue::NonFiniteGradNorm);
+    } else if grad_norm > cfg.grad_norm_limit {
+        issues.push(HealthIssue::GradExplosion { norm: grad_norm, limit: cfg.grad_norm_limit });
+    }
+    let bad = params.iter().filter(|p| !p.is_finite()).count();
+    if bad > 0 {
+        issues.push(HealthIssue::NonFiniteParams { count: bad });
+    }
+    if let (Some(drop), Some(best)) = (cfg.reward_collapse_drop, best_reward) {
+        if reward.is_finite() && reward < best - drop {
+            issues.push(HealthIssue::RewardCollapse { reward, best });
+        }
+    }
+    EpochHealth { issues }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+    use super::*;
+
+    #[test]
+    fn clean_epoch_is_healthy() {
+        let cfg = GuardConfig::default();
+        let h = check_epoch(0.01, 2.5, &[0.1, -0.2], Some(0.02), &cfg);
+        assert!(h.healthy(), "{:?}", h.issues);
+    }
+
+    #[test]
+    fn nonfinite_values_are_flagged() {
+        let cfg = GuardConfig::default();
+        let h =
+            check_epoch(f64::NAN, f64::INFINITY, &[f64::NAN, 0.0, f64::NEG_INFINITY], None, &cfg);
+        assert!(!h.healthy());
+        let labels: Vec<_> = h.issues.iter().map(HealthIssue::label).collect();
+        assert!(labels.contains(&"nonfinite_reward"));
+        assert!(labels.contains(&"nonfinite_grad"));
+        assert!(labels.contains(&"nonfinite_params"));
+        assert!(matches!(
+            h.issues.iter().find(|i| i.label() == "nonfinite_params"),
+            Some(HealthIssue::NonFiniteParams { count: 2 })
+        ));
+    }
+
+    #[test]
+    fn explosion_threshold_applies() {
+        let cfg = GuardConfig { grad_norm_limit: 10.0, ..GuardConfig::default() };
+        assert!(check_epoch(0.0, 9.9, &[], None, &cfg).healthy());
+        let h = check_epoch(0.0, 10.1, &[], None, &cfg);
+        assert_eq!(h.issues.len(), 1);
+        assert_eq!(h.issues[0].label(), "grad_explosion");
+    }
+
+    #[test]
+    fn reward_collapse_requires_opt_in() {
+        let off = GuardConfig::default();
+        assert!(check_epoch(-5.0, 1.0, &[], Some(1.0), &off).healthy());
+        let on = GuardConfig { reward_collapse_drop: Some(2.0), ..GuardConfig::default() };
+        assert!(check_epoch(-0.5, 1.0, &[], Some(1.0), &on).healthy());
+        let h = check_epoch(-1.5, 1.0, &[], Some(1.0), &on);
+        assert_eq!(h.issues[0].label(), "reward_collapse");
+    }
+
+    #[test]
+    fn issues_render_human_readable() {
+        for issue in [
+            HealthIssue::NonFiniteReward,
+            HealthIssue::GradExplosion { norm: 1e9, limit: 1e6 },
+            HealthIssue::NonFiniteParams { count: 3 },
+            HealthIssue::RewardCollapse { reward: -1.0, best: 0.5 },
+        ] {
+            assert!(!issue.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Hardened file IO: atomic writes and bounded retry with exponential
+//! backoff.
+//!
+//! [`atomic_write`] stages content in a sibling temp file, fsyncs it, and
+//! renames it over the destination, so a crash mid-write can never leave
+//! a truncated file behind — the destination either holds the old bytes
+//! or the new ones. [`retry_io`] wraps a fallible IO closure with a
+//! bounded attempt budget and exponential backoff, the standard response
+//! to transient `EINTR`/`EAGAIN`-class faults.
+
+use crate::fault::FaultPlan;
+use std::io;
+use std::path::Path;
+
+/// Writes `bytes` to `path` atomically: temp file + fsync + rename.
+///
+/// The temp file lives in the destination's directory (same filesystem,
+/// so the rename is atomic) and is named after the destination plus a
+/// process-unique suffix. On any error the temp file is removed
+/// best-effort and the destination is left untouched.
+///
+/// # Errors
+///
+/// Returns the underlying IO error from create/write/sync/rename.
+pub fn atomic_write(path: impl AsRef<Path>, bytes: &[u8]) -> io::Result<()> {
+    let path = path.as_ref();
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".tmp.{}", std::process::id()));
+    let tmp = std::path::PathBuf::from(tmp);
+    let result = (|| {
+        let mut file = std::fs::File::create(&tmp)?;
+        io::Write::write_all(&mut file, bytes)?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// [`atomic_write`] with a fault-injection seam.
+///
+/// When `faults` is `Some`, the plan may (a) fail the write with an
+/// injected transient error before anything touches disk, or (b) corrupt
+/// or truncate the stored bytes *after* a successful atomic write —
+/// simulated bitrot, exercised by the checkpoint CRC on the next load.
+/// An empty or `None` plan behaves exactly like [`atomic_write`].
+///
+/// # Errors
+///
+/// Returns injected faults as `ErrorKind::Interrupted`, otherwise any
+/// real IO error.
+pub fn atomic_write_faulted(
+    path: impl AsRef<Path>,
+    bytes: &[u8],
+    label: &str,
+    faults: Option<&mut FaultPlan>,
+) -> io::Result<()> {
+    let Some(plan) = faults else {
+        return atomic_write(path, bytes);
+    };
+    if let Some(err) = plan.take_write_fault(label) {
+        return Err(err);
+    }
+    atomic_write(&path, bytes)?;
+    if plan.take_corruption(label) {
+        let mut stored = std::fs::read(&path)?;
+        plan.corrupt_bytes(&mut stored);
+        atomic_write(&path, &stored)?;
+    }
+    if plan.take_truncation(label) {
+        let stored = std::fs::read(&path)?;
+        atomic_write(&path, &stored[..stored.len() / 2])?;
+    }
+    Ok(())
+}
+
+/// What [`retry_io`] did before settling on its result.
+#[derive(Debug)]
+pub struct RetryOutcome<T> {
+    /// The final attempt's result.
+    pub result: io::Result<T>,
+    /// How many *failed* attempts preceded it (0 = first try worked).
+    pub retries: u32,
+}
+
+/// Runs `op` up to `attempts` times (≥ 1), sleeping `backoff_base_ms <<
+/// k` milliseconds after failed attempt `k`. Returns the first success or
+/// the last error, plus the retry count for telemetry.
+pub fn retry_io<T>(
+    attempts: u32,
+    backoff_base_ms: u64,
+    mut op: impl FnMut() -> io::Result<T>,
+) -> RetryOutcome<T> {
+    let attempts = attempts.max(1);
+    let mut retries = 0;
+    loop {
+        match op() {
+            Ok(v) => return RetryOutcome { result: Ok(v), retries },
+            Err(e) if retries + 1 >= attempts => {
+                return RetryOutcome { result: Err(e), retries };
+            }
+            Err(_) => {
+                if backoff_base_ms > 0 {
+                    let ms = backoff_base_ms.saturating_mul(1 << retries.min(10));
+                    std::thread::sleep(std::time::Duration::from_millis(ms));
+                }
+                retries += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("spikefolio-resilience-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn atomic_write_round_trips() {
+        let path = tmp("atomic.txt");
+        atomic_write(&path, b"hello").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"hello");
+        atomic_write(&path, b"replaced").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"replaced");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn atomic_write_leaves_no_temp_droppings() {
+        let path = tmp("clean.txt");
+        atomic_write(&path, b"x").unwrap();
+        let dir = path.parent().unwrap();
+        let stem = path.file_name().unwrap().to_string_lossy().to_string();
+        let leftovers: Vec<_> = std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| {
+                let n = e.file_name().to_string_lossy().to_string();
+                n.starts_with(&stem) && n != stem
+            })
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left behind: {leftovers:?}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn injected_write_fault_fails_then_recovers() {
+        let path = tmp("faulted.txt");
+        let mut plan = FaultPlan::new(1).fail_writes("ckpt", 1);
+        let err = atomic_write_faulted(&path, b"v1", "ckpt", Some(&mut plan)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+        assert!(!path.exists(), "failed write must not touch the destination");
+        atomic_write_faulted(&path, b"v1", "ckpt", Some(&mut plan)).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"v1");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn injected_corruption_changes_stored_bytes() {
+        let path = tmp("bitrot.txt");
+        let payload = vec![0xABu8; 128];
+        let mut plan = FaultPlan::new(2).corrupt_write("ckpt", 0);
+        atomic_write_faulted(&path, &payload, "ckpt", Some(&mut plan)).unwrap();
+        let stored = std::fs::read(&path).unwrap();
+        assert_eq!(stored.len(), payload.len());
+        assert_ne!(stored, payload, "corruption must have been applied");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn injected_truncation_halves_the_file() {
+        let path = tmp("torn.txt");
+        let payload = vec![0x11u8; 100];
+        let mut plan = FaultPlan::new(2).truncate_write("ckpt", 0);
+        atomic_write_faulted(&path, &payload, "ckpt", Some(&mut plan)).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap().len(), 50);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn retry_io_retries_until_success() {
+        let mut fails_left = 2;
+        let out = retry_io(5, 0, || {
+            if fails_left > 0 {
+                fails_left -= 1;
+                Err(io::Error::new(io::ErrorKind::Interrupted, "transient"))
+            } else {
+                Ok(42)
+            }
+        });
+        assert_eq!(out.result.unwrap(), 42);
+        assert_eq!(out.retries, 2);
+    }
+
+    #[test]
+    fn retry_io_gives_up_after_budget() {
+        let mut calls = 0;
+        let out: RetryOutcome<()> = retry_io(3, 0, || {
+            calls += 1;
+            Err(io::Error::new(io::ErrorKind::Interrupted, "always"))
+        });
+        assert!(out.result.is_err());
+        assert_eq!(calls, 3);
+        assert_eq!(out.retries, 2);
+    }
+}

@@ -1,0 +1,38 @@
+//! Fault tolerance for `spikefolio`: deterministic fault injection,
+//! training health guards, and hardened file IO.
+//!
+//! Training the paper's SDP agent is a long-running numerical pipeline
+//! where a single non-finite gradient, a corrupted candle, or a truncated
+//! checkpoint silently poisons every downstream table. This crate holds
+//! the pieces that let the rest of the workspace *degrade gracefully*
+//! instead of panicking, and — just as important — lets tests exercise
+//! every recovery path deterministically:
+//!
+//! * [`FaultPlan`] — a scripted, seeded fault-injection schedule. Faults
+//!   fire at defined seams (IO reads/writes, checkpoint bytes, market
+//!   candles, per-epoch gradients) exactly when the plan says so, so a
+//!   recovered run is reproducible bit for bit.
+//! * [`GuardConfig`] / [`check_epoch`] — per-epoch health checks
+//!   (non-finite loss/gradient/weight detection, gradient-norm explosion,
+//!   reward collapse) and the policy to apply when a check fails.
+//! * [`atomic_write`] / [`retry_io`] — temp-file + fsync + rename writes
+//!   and bounded exponential-backoff retry for transient IO faults.
+//! * [`crc32`] — the checksum used by the v2 checkpoint trailer.
+//!
+//! The crate is dependency-light by design (serde + telemetry labels
+//! only) so `market`, `loihi`, and `core` can all build on it without
+//! cycles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
+pub mod crc;
+pub mod fault;
+pub mod guard;
+pub mod io;
+
+pub use crc::crc32;
+pub use fault::{FaultPlan, GradFault, MarketFault, MarketFaultKind};
+pub use guard::{check_epoch, EpochHealth, GuardConfig, GuardPolicy, HealthIssue};
+pub use io::{atomic_write, atomic_write_faulted, retry_io, RetryOutcome};

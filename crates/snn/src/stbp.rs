@@ -393,7 +393,7 @@ pub fn backward_batch(
 /// trainer.apply(&mut net, &grads);
 /// # let _ = action;
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SdpTrainer<O: Optimizer> {
     optimizer: O,
     layer_weight_slots: Vec<ParamSlot>,

@@ -39,3 +39,16 @@ pub const COUNTER_LOIHI_NEURON_UPDATES: &str = "loihi/neuron_updates";
 pub const COUNTER_LOIHI_TIMESTEPS: &str = "loihi/timesteps";
 /// Counter: quantized inferences executed.
 pub const COUNTER_LOIHI_INFERENCES: &str = "loihi/inferences";
+/// Counter: weights clamped to full scale during quantization.
+pub const COUNTER_LOIHI_SATURATED_WEIGHTS: &str = "loihi/saturated_weights";
+
+/// Counter: successful recoveries (rollback + retry) of guarded training.
+pub const COUNTER_RESILIENCE_RECOVERIES: &str = "resilience/recoveries";
+/// Counter: epochs discarded by the `Skip` guard policy.
+pub const COUNTER_RESILIENCE_EPOCHS_SKIPPED: &str = "resilience/epochs_skipped";
+/// Counter: corrupted checkpoints detected at load time.
+pub const COUNTER_RESILIENCE_CORRUPTIONS: &str = "resilience/corruption_detected";
+/// Counter: transient checkpoint IO failures absorbed by retry/backoff.
+pub const COUNTER_RESILIENCE_IO_RETRIES: &str = "resilience/io_retries";
+/// Counter: market candles repaired by the sanitizer.
+pub const COUNTER_SANITIZE_REPAIRS: &str = "sanitize/repairs";

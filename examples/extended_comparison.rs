@@ -16,7 +16,13 @@ fn main() {
     config.training.steps_per_epoch = 15;
     config.training.batch_size = 32;
     config.training.learning_rate = 1e-3;
-    let opts = RunOptions { config, shrink: Some((160, 45)), market_seed: 2016 };
+    let opts = RunOptions {
+        config,
+        shrink: Some((160, 45)),
+        market_seed: 2016,
+        guard: None,
+        sanitize: None,
+    };
 
     for preset in ExperimentPreset::all() {
         let out = run_extended_comparison(&opts, preset);

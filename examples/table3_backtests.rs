@@ -28,7 +28,13 @@ fn options() -> RunOptions {
             config.training.steps_per_epoch = 20;
             config.training.batch_size = 32;
             config.training.learning_rate = 5e-4;
-            RunOptions { config, shrink: Some((240, 60)), market_seed: 2016 }
+            RunOptions {
+                config,
+                shrink: Some((240, 60)),
+                market_seed: 2016,
+                guard: None,
+                sanitize: None,
+            }
         }
     }
 }

@@ -18,7 +18,7 @@ fn options() -> RunOptions {
     config.training.epochs = 4; // Table 4 only needs a trained-enough policy
     config.training.steps_per_epoch = 10;
     config.training.batch_size = 32;
-    RunOptions { config, shrink: Some((120, 40)), market_seed: 2016 }
+    RunOptions { config, shrink: Some((120, 40)), market_seed: 2016, guard: None, sanitize: None }
 }
 
 fn main() {

@@ -16,7 +16,13 @@ fn main() {
     config.training.steps_per_epoch = 12;
     config.training.batch_size = 24;
     config.training.learning_rate = 1e-3;
-    let opts = RunOptions { config, shrink: Some((120, 30)), market_seed: 2016 };
+    let opts = RunOptions {
+        config,
+        shrink: Some((120, 30)),
+        market_seed: 2016,
+        guard: None,
+        sanitize: None,
+    };
 
     let sweep = [1, 2, 5, 10, 20];
     eprintln!("retraining and redeploying SDP at T = {sweep:?} ...");

@@ -18,7 +18,13 @@ fn main() -> std::io::Result<()> {
     config.training.steps_per_epoch = 15;
     config.training.batch_size = 32;
     config.training.learning_rate = 1e-3;
-    let opts = RunOptions { config, shrink: Some((160, 45)), market_seed: 2016 };
+    let opts = RunOptions {
+        config,
+        shrink: Some((160, 45)),
+        market_seed: 2016,
+        guard: None,
+        sanitize: None,
+    };
 
     let out_dir = std::path::Path::new("target/figures");
     std::fs::create_dir_all(out_dir)?;
