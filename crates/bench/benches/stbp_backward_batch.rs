@@ -5,21 +5,18 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use spikefolio_snn::network::{SdpNetwork, SdpNetworkConfig};
+use spikefolio_bench::bench_support;
 use spikefolio_snn::stbp;
 use spikefolio_snn::{BatchNetworkTrace, BatchWorkspace};
-use spikefolio_tensor::Matrix;
 
 fn bench_backward_batch(c: &mut Criterion) {
-    let mut rng = StdRng::seed_from_u64(13);
-    let net = SdpNetwork::new(SdpNetworkConfig::paper(364, 12), &mut rng);
+    let net = bench_support::paper_network(13);
 
     let mut group = c.benchmark_group("stbp/backward_batch");
     group.sample_size(20);
     for &batch in &[4usize, 32] {
-        let states =
-            Matrix::from_fn(batch, 364, |b, d| 0.85 + 0.001 * ((b * 364 + d) % 300) as f64);
-        let d_actions = Matrix::from_fn(batch, 12, |_, a| 0.1 - 0.01 * a as f64);
+        let states = bench_support::pinned_states(batch, bench_support::PAPER_STATE_DIM);
+        let d_actions = bench_support::pinned_d_actions(batch, bench_support::PAPER_ACTION_DIM);
 
         // Per-sample baseline: forward traces precomputed, backward looped.
         let traces: Vec<_> = (0..batch)
@@ -42,7 +39,7 @@ fn bench_backward_batch(c: &mut Criterion) {
         // Batched path: one forward_batch fills the trace, backward reuses it.
         let mut ws = BatchWorkspace::new(&net, batch);
         let mut trace = BatchNetworkTrace::new(&net, batch);
-        let mut rngs: Vec<StdRng> = (0..batch).map(|s| StdRng::seed_from_u64(s as u64)).collect();
+        let mut rngs = bench_support::sample_rngs(batch);
         net.forward_batch(&states, &mut rngs, &mut ws, &mut trace);
         group.bench_function(format!("batched_b{batch}"), |b| {
             b.iter(|| {

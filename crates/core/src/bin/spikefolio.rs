@@ -8,6 +8,9 @@
 //! spikefolio figures [--out DIR]
 //! spikefolio stats                        # synthetic-market diagnostics
 //! spikefolio telemetry summarize RUN.jsonl
+//! spikefolio profile [--smoke] [--seed N] [--trace TRACE.json]
+//! spikefolio bench run [--smoke] [--seed N] [--out BENCH.json]
+//! spikefolio bench compare BENCH.json [--smoke] [--seed N]
 //! ```
 //!
 //! Unrecognized flags are rejected with an error rather than silently
@@ -18,6 +21,7 @@ use spikefolio::experiments::{
     run_table4_with, timestep_tradeoff, RunOptions,
 };
 use spikefolio::figures::{backtest_value_curves, training_reward_csv};
+use spikefolio::profiling::{run_bench_workloads, run_profile_workload, WorkloadOptions};
 use spikefolio::report;
 use spikefolio::telemetry_report::format_run_summary;
 use spikefolio::SdpConfig;
@@ -147,15 +151,39 @@ fn usage() -> ! {
            ablation <timesteps|encoding|costs|rate-penalty>\n  \
            figures      write value/reward curve CSVs\n  \
            stats        synthetic-market statistical diagnostics\n  \
-           telemetry summarize <run.jsonl>   render a recorded run log\n\
+           telemetry summarize <run.jsonl>   render a recorded run log\n  \
+           profile      phase-profile a pinned run (--trace writes chrome-trace JSON)\n  \
+           bench run    record a performance baseline (--out BENCH.json)\n  \
+           bench compare <BENCH.json>        gate against a recorded baseline\n\
          flags: --full | --smoke | --seed N | --out DIR | --telemetry RUN.jsonl\n        \
-                --guard (fault-guarded SDP training) | --sanitize (market data sanitizer)"
+                --trace TRACE.json (profile) | --guard (fault-guarded SDP training)\n        \
+                --sanitize (market data sanitizer)"
     );
     std::process::exit(2);
 }
 
+/// Parses the shared `--smoke` / `--seed` flags of the profile and bench
+/// commands into workload options (paper-scale kernels by default).
+fn workload_options(args: &[String]) -> WorkloadOptions {
+    let seed = match flag_value(args, "--seed") {
+        Some(s) => {
+            s.parse().unwrap_or_else(|_| fail(&format!("--seed expects an integer, got '{s}'")))
+        }
+        None => 2016,
+    };
+    if has_flag(args, "--smoke") {
+        WorkloadOptions::smoke(seed)
+    } else {
+        WorkloadOptions::full(seed)
+    }
+}
+
 const RUN_FLAGS: FlagSpec =
     FlagSpec { value: &["--seed"], boolean: &["--full", "--smoke", "--guard", "--sanitize"] };
+const PROFILE_FLAGS: FlagSpec =
+    FlagSpec { value: &["--seed", "--trace"], boolean: &["--full", "--smoke"] };
+const BENCH_FLAGS: FlagSpec =
+    FlagSpec { value: &["--seed", "--out"], boolean: &["--full", "--smoke"] };
 const TELEMETRY_RUN_FLAGS: FlagSpec = FlagSpec {
     value: &["--seed", "--telemetry"],
     boolean: &["--full", "--smoke", "--guard", "--sanitize"],
@@ -266,6 +294,68 @@ fn main() {
                 .unwrap_or_else(|e| fail(&format!("cannot read run log '{path}': {e}")));
             print!("{}", format_run_summary(&summary));
         }
+        "profile" => {
+            PROFILE_FLAGS.check(&args[1..]);
+            let opts = workload_options(&args[1..]);
+            let report = run_profile_workload(&opts);
+            if let Some(path) = flag_value(&args[1..], "--trace") {
+                // Self-validate before writing: a trace Perfetto cannot
+                // parse is worse than no trace.
+                if let Err(e) = spikefolio_telemetry::value::parse(&report.trace_json) {
+                    fail(&format!("generated chrome trace is not valid JSON: {e}"));
+                }
+                std::fs::write(path, &report.trace_json)
+                    .unwrap_or_else(|e| fail(&format!("cannot write trace '{path}': {e}")));
+                eprintln!("chrome trace written to {path} (load in Perfetto or chrome://tracing)");
+            }
+            print!("{}", report.phase_tree);
+            print!("{}", report.cost.render());
+            if let Some(s) = report.train_sparsity {
+                println!("training effective sparsity (last epoch): {:.1}%", s * 100.0);
+            }
+        }
+        "bench" => match args.get(1).map(String::as_str) {
+            Some("run") => {
+                BENCH_FLAGS.check(&args[2..]);
+                let opts = workload_options(&args[2..]);
+                let baseline = run_bench_workloads(&opts);
+                let out = match flag_value(&args[2..], "--out") {
+                    Some(p) => p.to_owned(),
+                    None => format!("BENCH_{}.json", baseline.created_unix),
+                };
+                let mut json = baseline.to_json();
+                json.push('\n');
+                std::fs::write(&out, json)
+                    .unwrap_or_else(|e| fail(&format!("cannot write baseline '{out}': {e}")));
+                for e in &baseline.entries {
+                    println!("{:<16} {:>12.6}s  (best of {})", e.name, e.wall_s, e.reps);
+                }
+                println!("bench baseline written to {out}");
+            }
+            Some("compare") => {
+                let Some(path) = args.get(2) else {
+                    fail("bench compare expects a baseline path");
+                };
+                BENCH_FLAGS.check(&args[3..]);
+                let opts = workload_options(&args[3..]);
+                let raw = std::fs::read_to_string(path)
+                    .unwrap_or_else(|e| fail(&format!("cannot read baseline '{path}': {e}")));
+                let baseline = spikefolio_profile::BenchBaseline::parse(&raw)
+                    .unwrap_or_else(|e| fail(&format!("invalid baseline '{path}': {e}")));
+                let current = run_bench_workloads(&opts);
+                let report = spikefolio_profile::compare(
+                    &baseline,
+                    &current,
+                    &spikefolio_profile::CompareThresholds::default(),
+                );
+                print!("{}", report.render());
+                if !report.passed() {
+                    std::process::exit(1);
+                }
+            }
+            Some(other) => fail(&format!("unknown bench subcommand '{other}'")),
+            None => usage(),
+        },
         other => fail(&format!("unknown command '{other}'")),
     }
 }

@@ -99,8 +99,10 @@ impl LoihiDeployment {
         opts: &QuantizeOptions,
         rec: &mut dyn Recorder,
     ) -> Result<Self, DeployError> {
+        let quantize_watch = Stopwatch::start(rec);
         let (quantized, report) =
             try_quantize_network(&agent.network, opts).map_err(DeployError::Quantize)?;
+        quantize_watch.stop(rec, labels::SPAN_PROFILE_LOIHI_QUANTIZE);
         if rec.enabled() && report.total_saturated() > 0 {
             rec.counter(labels::COUNTER_LOIHI_SATURATED_WEIGHTS, report.total_saturated());
         }

@@ -41,7 +41,7 @@ use spikefolio_resilience::{
     check_epoch, FaultPlan, GradFault, GuardConfig, GuardPolicy, MarketFault, MarketFaultKind,
 };
 use spikefolio_snn::stbp;
-use spikefolio_telemetry::{labels, NoopRecorder, Record, Recorder};
+use spikefolio_telemetry::{labels, NoopRecorder, Record, Recorder, Stopwatch};
 use std::path::PathBuf;
 
 /// Configuration of one guarded training run.
@@ -157,6 +157,7 @@ fn write_checkpoint(
     outcome: &mut GuardedOutcome,
     rec: &mut dyn Recorder,
 ) -> bool {
+    let watch = Stopwatch::start(rec);
     let attempt = retry_io(guard.io_retries, guard.backoff_base_ms, || {
         checkpoint::save_sdp_faulted(agent, path, Some(faults))
     });
@@ -164,7 +165,7 @@ fn write_checkpoint(
         outcome.io_retries += attempt.retries as u64;
         rec.counter(labels::COUNTER_RESILIENCE_IO_RETRIES, attempt.retries as u64);
     }
-    match attempt.result {
+    let ok = match attempt.result {
         Ok(()) => true,
         Err(e) => {
             // Training can proceed without the checkpoint; record the
@@ -178,7 +179,9 @@ fn write_checkpoint(
             }
             false
         }
-    }
+    };
+    watch.stop(rec, labels::SPAN_TRAIN_CHECKPOINT);
+    ok
 }
 
 /// Rollback recovery: probe the on-disk checkpoint for integrity, then

@@ -55,6 +55,7 @@ pub mod experiments;
 pub mod figures;
 pub mod guarded;
 pub mod online;
+pub mod profiling;
 pub mod report;
 pub mod sweep;
 pub mod telemetry_report;

@@ -32,14 +32,24 @@ fn push_rewards(out: &mut String, s: &RunSummary) {
     }
     out.push_str("\n== reward curves ==\n");
     out.push_str(&format!(
-        "{:<8} {:>7} {:>12} {:>12} {:>12} {:>12}\n",
-        "agent", "epochs", "first", "last", "best", "mean"
+        "{:<8} {:>7} {:>12} {:>12} {:>12} {:>12} {:>10} {:>10}\n",
+        "agent", "epochs", "first", "last", "best", "mean", "wall(s)", "grad"
     ));
+    // Logs written before the wall/grad fields existed render "-" there
+    // instead of a fabricated zero.
+    let opt = |v: Option<f64>| v.map_or_else(|| "-".to_owned(), |x| format!("{x:.3}"));
     for agent in s.epochs.keys() {
         let Some(r) = s.reward_stats(agent) else { continue };
         out.push_str(&format!(
-            "{:<8} {:>7} {:>12.6} {:>12.6} {:>12.6} {:>12.6}\n",
-            agent, r.epochs, r.first, r.last, r.best, r.mean
+            "{:<8} {:>7} {:>12.6} {:>12.6} {:>12.6} {:>12.6} {:>10} {:>10}\n",
+            agent,
+            r.epochs,
+            r.first,
+            r.last,
+            r.best,
+            r.mean,
+            opt(r.mean_wall_s),
+            opt(r.mean_grad_norm)
         ));
     }
 }
@@ -227,6 +237,19 @@ mod tests {
         let text = format_run_summary(&sample_summary(false));
         assert!(text.contains("training epochs (per inf)"), "{text}");
         assert!(!text.contains("chip counters"), "{text}");
+    }
+
+    #[test]
+    fn old_schema_epochs_render_dashes_for_missing_wall_and_grad() {
+        let mut sink = spikefolio_telemetry::JsonlSink::new(Vec::new());
+        sink.emit(
+            Record::new("epoch").field("agent", "sdp").field("epoch", 0u64).field("reward", 0.2),
+        );
+        let log = sink.finish().unwrap();
+        let summary = spikefolio_telemetry::summarize_lines(&log[..]).unwrap();
+        let text = format_run_summary(&summary);
+        let row = text.lines().find(|l| l.starts_with("sdp")).unwrap();
+        assert_eq!(row.split_whitespace().rev().take(2).collect::<Vec<_>>(), ["-", "-"], "{text}");
     }
 
     #[test]

@@ -27,7 +27,9 @@ use spikefolio_market::MarketData;
 use spikefolio_snn::network::SpikeStats;
 use spikefolio_snn::stbp;
 use spikefolio_snn::{BatchNetworkTrace, BatchWorkspace, SdpNetwork};
-use spikefolio_telemetry::{labels, NoopRecorder, Record, Recorder, Stopwatch, Value};
+use spikefolio_telemetry::{
+    labels, MemoryRecorder, NoopRecorder, Record, Recorder, Stopwatch, Value,
+};
 use spikefolio_tensor::optim::Adam;
 use spikefolio_tensor::vector::dot;
 use spikefolio_tensor::Matrix;
@@ -192,6 +194,12 @@ struct MicroTelemetry {
     forward_s: f64,
     /// Seconds spent in the batched STBP backward pass.
     backward_s: f64,
+    /// Seconds of the forward pass spent population-encoding states.
+    encode_s: f64,
+    /// Seconds of the forward pass spent in the LIF timestep loop.
+    lif_s: f64,
+    /// Seconds spent inside the STBP recurrences (excludes caller glue).
+    stbp_s: f64,
     /// Spike/synop event counters of the forward pass.
     stats: SpikeStats,
     /// Spikes emitted per LIF layer.
@@ -234,8 +242,15 @@ fn process_micro_batch(
     let (_, ws, trace) = &mut cache[slot];
     let states = Matrix::from_fn(bsz, state_dim, |b, d| items[b].state[d]);
     let mut rngs: Vec<StdRng> = items.iter().map(|item| StdRng::seed_from_u64(item.seed)).collect();
+    // Workers cannot share the caller's `&mut dyn Recorder`, so profiled
+    // sub-phase spans are captured into a local recorder per micro-batch
+    // and folded into the epoch telemetry on the main thread.
+    let mut micro_rec = observe.then(MemoryRecorder::new);
     let t0 = observe.then(Instant::now);
-    network.forward_batch(&states, &mut rngs, ws, trace);
+    match micro_rec.as_mut() {
+        Some(m) => network.forward_batch_recorded(&states, &mut rngs, ws, trace, m),
+        None => network.forward_batch(&states, &mut rngs, ws, trace),
+    }
     let forward_s = t0.map_or(0.0, |t| t.elapsed().as_secs_f64());
 
     let action_dim = trace.actions.shape().1;
@@ -252,12 +267,23 @@ fn process_micro_batch(
         samples.push((item.t, action, r));
     }
     let t1 = observe.then(Instant::now);
-    let grads = stbp::backward_batch(network, trace, &d_actions, rate_penalty, ws);
-    let telemetry = t1.map(|t| MicroTelemetry {
-        forward_s,
-        backward_s: t.elapsed().as_secs_f64(),
-        stats: trace.stats,
-        layer_spikes: trace.layer_spikes.clone(),
+    let grads = match micro_rec.as_mut() {
+        Some(m) => stbp::backward_batch_recorded(network, trace, &d_actions, rate_penalty, ws, m),
+        None => stbp::backward_batch(network, trace, &d_actions, rate_penalty, ws),
+    };
+    let telemetry = t1.map(|t| {
+        // `observe` implies `micro_rec` above; an empty fallback keeps the
+        // fold total-safe either way.
+        let span = |label| micro_rec.as_ref().map_or(0.0, |m| m.span_total(label).0);
+        MicroTelemetry {
+            forward_s,
+            backward_s: t.elapsed().as_secs_f64(),
+            encode_s: span(labels::SPAN_PROFILE_SNN_ENCODE),
+            lif_s: span(labels::SPAN_PROFILE_SNN_LIF),
+            stbp_s: span(labels::SPAN_PROFILE_SNN_STBP),
+            stats: trace.stats,
+            layer_spikes: trace.layer_spikes.clone(),
+        }
     });
     (samples, grads, telemetry)
 }
@@ -539,6 +565,9 @@ impl SdpTrainingSession<'_> {
             let mut batch_reward = 0.0;
             let mut forward_s = 0.0;
             let mut backward_s = 0.0;
+            let mut encode_s = 0.0;
+            let mut lif_s = 0.0;
+            let mut stbp_s = 0.0;
             for out in results {
                 // Every micro-batch slot is filled by exactly one worker
                 // above; an empty slot is a scheduler bug worth a panic.
@@ -552,6 +581,9 @@ impl SdpTrainingSession<'_> {
                 if let Some(mt) = telemetry {
                     forward_s += mt.forward_s;
                     backward_s += mt.backward_s;
+                    encode_s += mt.encode_s;
+                    lif_s += mt.lif_s;
+                    stbp_s += mt.stbp_s;
                     epoch_spikes.encoder_spikes += mt.stats.encoder_spikes;
                     epoch_spikes.neuron_spikes += mt.stats.neuron_spikes;
                     epoch_spikes.synops += mt.stats.synops;
@@ -566,6 +598,9 @@ impl SdpTrainingSession<'_> {
             if observe {
                 rec.span(labels::SPAN_TRAIN_FORWARD, forward_s);
                 rec.span(labels::SPAN_TRAIN_BACKWARD, backward_s);
+                rec.span(labels::SPAN_PROFILE_SNN_ENCODE, encode_s);
+                rec.span(labels::SPAN_PROFILE_SNN_LIF, lif_s);
+                rec.span(labels::SPAN_PROFILE_SNN_STBP, stbp_s);
                 if layer_grad_norm_sums.len() < grads.layers.len() {
                     layer_grad_norm_sums.resize(grads.layers.len(), 0.0);
                 }
@@ -597,6 +632,24 @@ impl SdpTrainingSession<'_> {
         if observe {
             let net = &agent.network;
             let samples = epoch_samples as u64;
+            // Op-level cost model: dense MACs an equivalent ANN would have
+            // executed for this epoch's forwards vs the spike-driven synops
+            // actually performed (counted in the forward pass).
+            let dense_macs = net
+                .layers
+                .iter()
+                .map(|l| spikefolio_tensor::gemm::dense_mac_count(l.in_dim(), l.out_dim(), 1))
+                .fold(0u64, |acc, m| acc.saturating_add(m))
+                .saturating_mul(net.config().timesteps as u64)
+                .saturating_mul(samples);
+            rec.counter(labels::COUNTER_OPS_DENSE_MACS, dense_macs);
+            rec.counter(labels::COUNTER_OPS_SYNOPS, epoch_spikes.synops);
+            if dense_macs > 0 {
+                rec.gauge(
+                    labels::GAUGE_OPS_SPARSITY,
+                    1.0 - epoch_spikes.synops as f64 / dense_macs as f64,
+                );
+            }
             rec.emit(
                 Record::new("epoch")
                     .field("agent", "sdp")
@@ -1138,6 +1191,24 @@ mod tests {
         let (fwd_s, fwd_n) = rec.span_total(labels::SPAN_TRAIN_FORWARD);
         assert_eq!(fwd_n, 8, "one forward span per step");
         assert!(fwd_s > 0.0);
+
+        // Profiled SNN sub-phases fold to one span per step, and the
+        // encode + LIF sections cannot exceed the whole forward pass.
+        let (enc_s, enc_n) = rec.span_total(labels::SPAN_PROFILE_SNN_ENCODE);
+        let (lif_s, lif_n) = rec.span_total(labels::SPAN_PROFILE_SNN_LIF);
+        let (stbp_s, stbp_n) = rec.span_total(labels::SPAN_PROFILE_SNN_STBP);
+        assert_eq!((enc_n, lif_n, stbp_n), (8, 8, 8), "one profile span per step");
+        assert!(enc_s + lif_s <= fwd_s, "sub-phases exceed forward total");
+        assert!(stbp_s > 0.0);
+
+        // Op-level cost counters: dense MACs bound synops from above.
+        let dense = rec.counter_total(labels::COUNTER_OPS_DENSE_MACS);
+        let synops = rec.counter_total(labels::COUNTER_OPS_SYNOPS);
+        assert!(dense > 0);
+        assert!(synops > 0);
+        assert!(synops <= dense, "synops {synops} exceed dense MACs {dense}");
+        let sparsity = rec.gauge_value(labels::GAUGE_OPS_SPARSITY).expect("sparsity gauge");
+        assert!((0.0..=1.0).contains(&sparsity), "sparsity {sparsity} out of range");
     }
 
     #[test]

@@ -1,0 +1,379 @@
+//! Schema-versioned bench baselines and the regression comparator behind
+//! `spikefolio bench run|compare`.
+//!
+//! A baseline is a JSON document (`spikefolio.bench.v1`) holding one
+//! [`BenchEntry`] per workload: best-of-reps wall-clock seconds plus the
+//! deterministic op counts (dense MACs, synops, spikes) of that workload.
+//! [`compare`] checks a fresh run against a stored baseline:
+//!
+//! * **wall-clock** is gated *two-sided* by ratio — a run that is much
+//!   slower than baseline is a regression, and a run that is impossibly
+//!   faster means the baseline no longer describes this machine or
+//!   workload, which is just as much a gate failure (it is exactly what
+//!   an inflated or stale baseline looks like). Entries whose baseline
+//!   time sits below a noise floor are not wall-gated at all.
+//! * **op counts** are seeded-deterministic, so they are gated tightly
+//!   (±2% by default); a drifted count means the workload itself changed
+//!   and the baseline must be re-recorded deliberately.
+
+use spikefolio_telemetry::value::{parse, Value};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Schema tag written into every baseline document.
+pub const SCHEMA: &str = "spikefolio.bench.v1";
+
+/// One benched workload: timing plus deterministic op counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Workload name, e.g. `forward/b8`.
+    pub name: String,
+    /// Best-of-`reps` wall-clock seconds for one execution.
+    pub wall_s: f64,
+    /// Repetitions the minimum was taken over.
+    pub reps: u64,
+    /// Deterministic op counts for the workload (label → count).
+    pub ops: BTreeMap<String, u64>,
+}
+
+/// A full baseline document: schema + creation stamp + entries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchBaseline {
+    /// Unix seconds when the baseline was recorded.
+    pub created_unix: u64,
+    /// One entry per workload, in run order.
+    pub entries: Vec<BenchEntry>,
+}
+
+impl BenchBaseline {
+    /// Looks up an entry by workload name.
+    pub fn entry(&self, name: &str) -> Option<&BenchEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// Serializes the baseline to schema-versioned JSON.
+    pub fn to_json(&self) -> String {
+        let entries = self
+            .entries
+            .iter()
+            .map(|e| {
+                let ops =
+                    e.ops.iter().map(|(k, &v)| (k.clone(), Value::U64(v))).collect::<Vec<_>>();
+                Value::Map(vec![
+                    ("name".into(), Value::Str(e.name.clone())),
+                    ("wall_s".into(), Value::F64(e.wall_s)),
+                    ("reps".into(), Value::U64(e.reps)),
+                    ("ops".into(), Value::Map(ops)),
+                ])
+            })
+            .collect::<Vec<_>>();
+        Value::Map(vec![
+            ("schema".into(), Value::Str(SCHEMA.into())),
+            ("created_unix".into(), Value::U64(self.created_unix)),
+            ("entries".into(), Value::List(entries)),
+        ])
+        .to_json()
+    }
+
+    /// Parses a baseline from JSON, validating the schema tag and every
+    /// entry's required fields.
+    pub fn parse(input: &str) -> Result<Self, String> {
+        let doc = parse(input)?;
+        let schema = doc.get("schema").and_then(Value::as_str).unwrap_or("");
+        if schema != SCHEMA {
+            return Err(format!("expected schema {SCHEMA:?}, found {schema:?}"));
+        }
+        let created_unix = doc
+            .get("created_unix")
+            .and_then(Value::as_u64)
+            .ok_or("baseline missing created_unix")?;
+        let raw_entries =
+            doc.get("entries").and_then(Value::as_list).ok_or("baseline missing entries list")?;
+        let mut entries = Vec::with_capacity(raw_entries.len());
+        for (i, raw) in raw_entries.iter().enumerate() {
+            let name = raw
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("entry {i} missing name"))?
+                .to_owned();
+            let wall_s = raw
+                .get("wall_s")
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("entry {name:?} missing wall_s"))?;
+            let reps = raw
+                .get("reps")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("entry {name:?} missing reps"))?;
+            let mut ops = BTreeMap::new();
+            if let Some(Value::Map(pairs)) = raw.get("ops") {
+                for (label, v) in pairs {
+                    let count = v
+                        .as_u64()
+                        .ok_or_else(|| format!("entry {name:?} op {label:?} is not a count"))?;
+                    ops.insert(label.clone(), count);
+                }
+            }
+            entries.push(BenchEntry { name, wall_s, reps, ops });
+        }
+        Ok(Self { created_unix, entries })
+    }
+}
+
+/// Gate thresholds for [`compare`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompareThresholds {
+    /// Maximum allowed `current/baseline` wall ratio; the inverse bounds
+    /// the fast side. Must be > 1.
+    pub wall_ratio: f64,
+    /// Maximum allowed fractional drift of any op count.
+    pub ops_frac: f64,
+    /// Baseline wall times below this (seconds) are noise and not gated.
+    pub wall_floor_s: f64,
+}
+
+impl Default for CompareThresholds {
+    fn default() -> Self {
+        Self { wall_ratio: 1.5, ops_frac: 0.02, wall_floor_s: 1e-5 }
+    }
+}
+
+/// Outcome for one compared workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareLine {
+    /// Workload name.
+    pub name: String,
+    /// `current/baseline` wall ratio, when both sides were gated.
+    pub wall_ratio: Option<f64>,
+    /// Human-readable gate failures for this workload (empty = pass).
+    pub failures: Vec<String>,
+}
+
+/// Full comparison outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareReport {
+    /// One line per baseline workload.
+    pub lines: Vec<CompareLine>,
+}
+
+impl CompareReport {
+    /// True when no workload tripped a gate.
+    pub fn passed(&self) -> bool {
+        self.lines.iter().all(|l| l.failures.is_empty())
+    }
+
+    /// Number of workloads that tripped at least one gate.
+    pub fn num_failed(&self) -> usize {
+        self.lines.iter().filter(|l| !l.failures.is_empty()).count()
+    }
+
+    /// Renders one status line per workload plus a verdict.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for line in &self.lines {
+            let ratio =
+                line.wall_ratio.map(|r| format!("{r:.3}x")).unwrap_or_else(|| "-".to_owned());
+            let status = if line.failures.is_empty() { "ok" } else { "FAIL" };
+            let _ = writeln!(out, "{status:<5} {:<24} wall {ratio}", line.name);
+            for failure in &line.failures {
+                let _ = writeln!(out, "        {failure}");
+            }
+        }
+        let verdict = if self.passed() {
+            format!("bench compare: PASS ({} workloads)", self.lines.len())
+        } else {
+            format!(
+                "bench compare: FAIL ({}/{} workloads regressed)",
+                self.num_failed(),
+                self.lines.len()
+            )
+        };
+        let _ = writeln!(out, "{verdict}");
+        out
+    }
+}
+
+/// Compares a current run against a baseline. Every baseline workload
+/// must be present in the current run; wall-clock and op-count gates are
+/// applied per [`CompareThresholds`]. Workloads only present in the
+/// current run are new coverage, not failures.
+pub fn compare(
+    baseline: &BenchBaseline,
+    current: &BenchBaseline,
+    thresholds: &CompareThresholds,
+) -> CompareReport {
+    let mut lines = Vec::with_capacity(baseline.entries.len());
+    for base in &baseline.entries {
+        let mut failures = Vec::new();
+        let mut wall_ratio = None;
+        match current.entry(&base.name) {
+            None => failures.push("missing from current run".to_owned()),
+            Some(cur) => {
+                if base.wall_s >= thresholds.wall_floor_s {
+                    let ratio = cur.wall_s / base.wall_s;
+                    wall_ratio = Some(ratio);
+                    if ratio > thresholds.wall_ratio {
+                        failures.push(format!(
+                            "wall-clock regression: {:.6}s vs baseline {:.6}s ({ratio:.3}x > {:.3}x)",
+                            cur.wall_s, base.wall_s, thresholds.wall_ratio
+                        ));
+                    } else if ratio < 1.0 / thresholds.wall_ratio {
+                        failures.push(format!(
+                            "wall-clock anomaly: {:.6}s vs baseline {:.6}s ({ratio:.3}x < {:.3}x) — baseline looks stale or inflated",
+                            cur.wall_s,
+                            base.wall_s,
+                            1.0 / thresholds.wall_ratio
+                        ));
+                    }
+                }
+                for (label, &base_count) in &base.ops {
+                    match cur.ops.get(label) {
+                        None => {
+                            failures.push(format!("op count {label:?} missing from current run"))
+                        }
+                        Some(&cur_count) => {
+                            let denom = base_count.max(1) as f64;
+                            let drift = (cur_count as f64 - base_count as f64).abs() / denom;
+                            if drift > thresholds.ops_frac {
+                                failures.push(format!(
+                                    "op count {label:?} drifted: {cur_count} vs baseline {base_count} ({:.2}% > {:.2}%)",
+                                    drift * 100.0,
+                                    thresholds.ops_frac * 100.0
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        lines.push(CompareLine { name: base.name.clone(), wall_ratio, failures });
+    }
+    CompareReport { lines }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+    use super::*;
+
+    fn baseline() -> BenchBaseline {
+        let mut ops = BTreeMap::new();
+        ops.insert("dense_macs".to_owned(), 1_000_000);
+        ops.insert("synops".to_owned(), 42_000);
+        BenchBaseline {
+            created_unix: 1_700_000_000,
+            entries: vec![
+                BenchEntry { name: "forward/b8".to_owned(), wall_s: 0.002, reps: 5, ops },
+                BenchEntry {
+                    name: "table3/smoke".to_owned(),
+                    wall_s: 0.5,
+                    reps: 1,
+                    ops: BTreeMap::new(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let base = baseline();
+        let parsed = BenchBaseline::parse(&base.to_json()).unwrap();
+        assert_eq!(parsed, base);
+        assert!(base.to_json().contains("spikefolio.bench.v1"));
+    }
+
+    #[test]
+    fn parse_rejects_wrong_schema() {
+        let err = BenchBaseline::parse(r#"{"schema":"other.v9","created_unix":1,"entries":[]}"#)
+            .unwrap_err();
+        assert!(err.contains("spikefolio.bench.v1"), "{err}");
+        assert!(BenchBaseline::parse("not json").is_err());
+    }
+
+    #[test]
+    fn self_compare_passes() {
+        let base = baseline();
+        let report = compare(&base, &base, &CompareThresholds::default());
+        assert!(report.passed(), "{}", report.render());
+        assert_eq!(report.lines.len(), 2);
+        assert!(report.render().contains("PASS"));
+    }
+
+    #[test]
+    fn doubled_baseline_wall_fails_two_sided_gate() {
+        // Simulates comparing against a 2x-inflated baseline: the current
+        // run looks "2x faster", ratio 0.5 < 1/1.5.
+        let mut inflated = baseline();
+        for e in &mut inflated.entries {
+            e.wall_s *= 2.0;
+        }
+        let current = baseline();
+        let report = compare(&inflated, &current, &CompareThresholds::default());
+        assert!(!report.passed());
+        assert_eq!(report.num_failed(), 2);
+        assert!(report.render().contains("FAIL"));
+    }
+
+    #[test]
+    fn slow_current_run_fails() {
+        let base = baseline();
+        let mut slow = baseline();
+        for e in &mut slow.entries {
+            e.wall_s *= 2.0;
+        }
+        let report = compare(&base, &slow, &CompareThresholds::default());
+        assert!(!report.passed());
+        assert!(report.render().contains("wall-clock regression"));
+    }
+
+    #[test]
+    fn op_count_drift_fails_tight_gate() {
+        let base = baseline();
+        let mut drifted = baseline();
+        drifted.entries[0].ops.insert("synops".to_owned(), 43_500); // +3.6%
+        let report = compare(&base, &drifted, &CompareThresholds::default());
+        assert!(!report.passed());
+        assert!(report.render().contains("synops"));
+        // Within 2% passes.
+        let mut near = baseline();
+        near.entries[0].ops.insert("synops".to_owned(), 42_500); // +1.2%
+        assert!(compare(&base, &near, &CompareThresholds::default()).passed());
+    }
+
+    #[test]
+    fn missing_workload_or_op_fails() {
+        let base = baseline();
+        let mut partial = baseline();
+        partial.entries.pop();
+        let report = compare(&base, &partial, &CompareThresholds::default());
+        assert!(!report.passed());
+        assert!(report.render().contains("missing from current run"));
+
+        let mut no_ops = baseline();
+        no_ops.entries[0].ops.remove("synops");
+        assert!(!compare(&base, &no_ops, &CompareThresholds::default()).passed());
+    }
+
+    #[test]
+    fn noise_floor_skips_wall_gate() {
+        let mut tiny = baseline();
+        tiny.entries[0].wall_s = 1e-7;
+        let mut cur = tiny.clone();
+        cur.entries[0].wall_s = 1e-6; // 10x, but under the floor
+        let report = compare(&tiny, &cur, &CompareThresholds::default());
+        assert!(report.lines[0].wall_ratio.is_none());
+        assert!(report.passed(), "{}", report.render());
+    }
+
+    #[test]
+    fn extra_current_workloads_are_not_failures() {
+        let base = baseline();
+        let mut bigger = baseline();
+        bigger.entries.push(BenchEntry {
+            name: "backward/b32".to_owned(),
+            wall_s: 0.01,
+            reps: 5,
+            ops: BTreeMap::new(),
+        });
+        assert!(compare(&base, &bigger, &CompareThresholds::default()).passed());
+    }
+}

@@ -1,0 +1,219 @@
+//! Op-level cost model: dense multiply–accumulates vs spike-sparse
+//! synaptic operations.
+//!
+//! The paper's neuromorphic-efficiency argument rests on the SNN doing
+//! *event-driven* work: a synapse is only exercised when its presynaptic
+//! neuron actually spikes, while an equivalent ANN multiplies every
+//! weight every forward pass. This module makes that ratio concrete for
+//! a recorded workload:
+//!
+//! * **dense MACs** — `in_dim · out_dim` per layer, per timestep, per
+//!   sample: what a dense matrix–vector product would cost,
+//! * **synops** — `input_spikes · out_dim` per layer: each input spike
+//!   fans out across one row of synapses (layer 0's input spikes are the
+//!   encoder's; layer `k`'s are layer `k−1`'s output spikes),
+//! * **effective sparsity** — `1 − synops / dense_macs`.
+//!
+//! All inputs are observable from a forward trace
+//! (`SpikeStats.encoder_spikes` + per-layer spike totals) plus the
+//! network shape, so the model never needs hooks inside the kernels.
+
+use std::fmt::Write as _;
+
+/// Dense multiply–accumulate count for one `m×k · k×n` product.
+///
+/// Saturates instead of overflowing so pathological shapes degrade to
+/// `u64::MAX` rather than wrapping.
+pub fn dense_macs(m: usize, k: usize, n: usize) -> u64 {
+    (m as u64).saturating_mul(k as u64).saturating_mul(n as u64)
+}
+
+/// Cost breakdown for one layer over a whole workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerCost {
+    /// Fan-in of the layer.
+    pub in_dim: usize,
+    /// Fan-out of the layer.
+    pub out_dim: usize,
+    /// Dense MACs an ANN would execute: `in · out · timesteps · samples`.
+    pub dense_macs: u64,
+    /// Spike-driven synaptic ops executed: `input_spikes · out_dim`.
+    pub synops: u64,
+    /// Spikes that entered this layer over the workload.
+    pub input_spikes: u64,
+}
+
+impl LayerCost {
+    /// Effective synaptic sparsity `1 − synops/dense_macs` (0 when the
+    /// dense count is zero).
+    pub fn sparsity(&self) -> f64 {
+        if self.dense_macs == 0 {
+            return 0.0;
+        }
+        1.0 - self.synops as f64 / self.dense_macs as f64
+    }
+}
+
+/// Whole-network cost report for a recorded workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostReport {
+    /// Per-layer breakdown, input-to-output order.
+    pub layers: Vec<LayerCost>,
+    /// Timesteps per forward pass.
+    pub timesteps: usize,
+    /// Samples (forward passes) in the workload.
+    pub samples: usize,
+}
+
+impl CostReport {
+    /// Builds the report from a network's layer shapes and a recorded
+    /// workload.
+    ///
+    /// * `shapes` — `(in_dim, out_dim)` per spiking layer, input first,
+    /// * `timesteps` — simulation timesteps per forward pass,
+    /// * `samples` — forward passes in the workload,
+    /// * `encoder_spikes` — total encoder output spikes (layer 0 input),
+    /// * `layer_spikes` — total output spikes per layer; layer `k>0`'s
+    ///   input spikes are `layer_spikes[k−1]`. Missing tail entries count
+    ///   as zero input (no spikes observed).
+    pub fn from_workload(
+        shapes: &[(usize, usize)],
+        timesteps: usize,
+        samples: usize,
+        encoder_spikes: u64,
+        layer_spikes: &[u64],
+    ) -> Self {
+        let passes = (timesteps as u64).saturating_mul(samples as u64);
+        let layers = shapes
+            .iter()
+            .enumerate()
+            .map(|(k, &(in_dim, out_dim))| {
+                let input_spikes = if k == 0 {
+                    encoder_spikes
+                } else {
+                    layer_spikes.get(k - 1).copied().unwrap_or(0)
+                };
+                LayerCost {
+                    in_dim,
+                    out_dim,
+                    dense_macs: dense_macs(in_dim, 1, out_dim).saturating_mul(passes),
+                    synops: input_spikes.saturating_mul(out_dim as u64),
+                    input_spikes,
+                }
+            })
+            .collect();
+        Self { layers, timesteps, samples }
+    }
+
+    /// Total dense MACs across all layers.
+    pub fn total_dense_macs(&self) -> u64 {
+        self.layers.iter().fold(0u64, |acc, l| acc.saturating_add(l.dense_macs))
+    }
+
+    /// Total synops across all layers.
+    pub fn total_synops(&self) -> u64 {
+        self.layers.iter().fold(0u64, |acc, l| acc.saturating_add(l.synops))
+    }
+
+    /// Network-wide effective sparsity.
+    pub fn sparsity(&self) -> f64 {
+        let dense = self.total_dense_macs();
+        if dense == 0 {
+            return 0.0;
+        }
+        1.0 - self.total_synops() as f64 / dense as f64
+    }
+
+    /// Renders the per-layer table plus totals as aligned text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "op-level cost model ({} timesteps x {} samples)",
+            self.timesteps, self.samples
+        );
+        let _ = writeln!(
+            out,
+            "{:<8} {:>12} {:>16} {:>16} {:>10}",
+            "layer", "shape", "dense_macs", "synops", "sparsity"
+        );
+        for (k, l) in self.layers.iter().enumerate() {
+            let shape = format!("{}x{}", l.in_dim, l.out_dim);
+            let _ = writeln!(
+                out,
+                "{:<8} {:>12} {:>16} {:>16} {:>9.1}%",
+                format!("fc{k}"),
+                shape,
+                l.dense_macs,
+                l.synops,
+                l.sparsity() * 100.0
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:<8} {:>12} {:>16} {:>16} {:>9.1}%",
+            "total",
+            "",
+            self.total_dense_macs(),
+            self.total_synops(),
+            self.sparsity() * 100.0
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+    use super::*;
+
+    #[test]
+    fn dense_macs_multiplies_and_saturates() {
+        assert_eq!(dense_macs(2, 3, 4), 24);
+        assert_eq!(dense_macs(0, 3, 4), 0);
+        assert_eq!(dense_macs(usize::MAX, usize::MAX, 2), u64::MAX);
+    }
+
+    #[test]
+    fn workload_cost_chains_layer_spikes() {
+        // Two layers: 10 -> 8 -> 4, T=5, 3 samples.
+        let report = CostReport::from_workload(&[(10, 8), (8, 4)], 5, 3, 60, &[45, 12]);
+        assert_eq!(report.layers.len(), 2);
+        // Layer 0: dense 10*8*5*3 = 1200, synops = encoder 60 * 8 = 480.
+        assert_eq!(report.layers[0].dense_macs, 1200);
+        assert_eq!(report.layers[0].synops, 480);
+        assert_eq!(report.layers[0].input_spikes, 60);
+        // Layer 1: dense 8*4*5*3 = 480, synops = layer0 spikes 45 * 4 = 180.
+        assert_eq!(report.layers[1].dense_macs, 480);
+        assert_eq!(report.layers[1].synops, 180);
+        assert_eq!(report.total_dense_macs(), 1680);
+        assert_eq!(report.total_synops(), 660);
+        let expected = 1.0 - 660.0 / 1680.0;
+        assert!((report.sparsity() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_spikes_means_full_sparsity() {
+        let report = CostReport::from_workload(&[(10, 8)], 5, 2, 0, &[0]);
+        assert_eq!(report.total_synops(), 0);
+        assert!((report.sparsity() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_network_reports_zero_sparsity() {
+        let report = CostReport::from_workload(&[], 5, 2, 10, &[]);
+        assert_eq!(report.total_dense_macs(), 0);
+        assert_eq!(report.sparsity(), 0.0);
+    }
+
+    #[test]
+    fn render_lists_every_layer_and_totals() {
+        let report = CostReport::from_workload(&[(10, 8), (8, 4)], 5, 3, 60, &[45, 12]);
+        let text = report.render();
+        assert!(text.contains("fc0"));
+        assert!(text.contains("fc1"));
+        assert!(text.contains("total"));
+        assert!(text.contains("10x8"));
+        assert!(text.contains("1200"));
+    }
+}

@@ -37,6 +37,8 @@
 
 use crate::network::{SdpNetwork, SpikeStats};
 use rand::Rng;
+use spikefolio_telemetry::labels::{SPAN_PROFILE_SNN_ENCODE, SPAN_PROFILE_SNN_LIF};
+use spikefolio_telemetry::{NoopRecorder, Recorder, Stopwatch};
 use spikefolio_tensor::{gemm, Matrix};
 
 /// Recorded history of one layer for a whole minibatch: stacked
@@ -242,6 +244,26 @@ impl SdpNetwork {
         ws: &mut BatchWorkspace,
         trace: &mut BatchNetworkTrace,
     ) {
+        self.forward_batch_recorded(states, rngs, ws, trace, &mut NoopRecorder);
+    }
+
+    /// [`SdpNetwork::forward_batch`] with phase profiling: the encode
+    /// section and the LIF timestep loop are timed as
+    /// [`SPAN_PROFILE_SNN_ENCODE`] and [`SPAN_PROFILE_SNN_LIF`] spans on
+    /// `rec`.
+    ///
+    /// Observe-only: the recorder never influences the computation, and
+    /// with a disabled recorder (e.g. [`NoopRecorder`]) the stopwatches
+    /// never read the clock — the cost over `forward_batch` is a few
+    /// predictable branches per call, not per element.
+    pub fn forward_batch_recorded<R: Rng>(
+        &self,
+        states: &Matrix,
+        rngs: &mut [R],
+        ws: &mut BatchWorkspace,
+        trace: &mut BatchNetworkTrace,
+        rec: &mut dyn Recorder,
+    ) {
         let bsz = states.rows();
         let t_max = self.config().timesteps;
         let enc_dim = self.encoder.output_dim();
@@ -257,6 +279,7 @@ impl SdpNetwork {
 
         // Encode each sample with its own RNG, then interleave the T rows
         // into the timestep-major stack (row t·B + b).
+        let encode_watch = Stopwatch::start(rec);
         for (b, rng) in rngs.iter_mut().enumerate() {
             self.encoder.encode_into(states.row(b), t_max, rng, &mut ws.enc_scratch);
             for t in 0..t_max {
@@ -264,6 +287,7 @@ impl SdpNetwork {
             }
         }
         trace.stats.encoder_spikes = count_spikes(trace.encoder.as_slice());
+        encode_watch.stop(rec, SPAN_PROFILE_SNN_ENCODE);
 
         for lb in &mut ws.layers {
             lb.current.fill_zero();
@@ -272,6 +296,7 @@ impl SdpNetwork {
             lb.adapt.fill_zero();
         }
 
+        let lif_watch = Stopwatch::start(rec);
         for t in 0..t_max {
             for (k, layer) in self.layers.iter().enumerate() {
                 let out_dim = layer.out_dim();
@@ -326,6 +351,7 @@ impl SdpNetwork {
                 }
             }
         }
+        lif_watch.stop(rec, SPAN_PROFILE_SNN_LIF);
 
         // Event counters (summed over the batch, matching B per-sample runs).
         for (k, layer) in self.layers.iter().enumerate() {
@@ -479,6 +505,29 @@ mod tests {
             let (action, _) = net.forward(st.row(b), &mut rng(b as u64));
             assert_eq!(trace.action(b), action.as_slice(), "ALIF sample {b}");
         }
+    }
+
+    #[test]
+    fn recorded_forward_is_bitwise_identical_and_emits_profile_spans() {
+        use spikefolio_telemetry::MemoryRecorder;
+        let net = SdpNetwork::new(SdpNetworkConfig::small(4, 3), &mut rng(7));
+        let batch = 4;
+        let st = states(&net, batch);
+        let mut ws = BatchWorkspace::new(&net, batch);
+        let mut plain = BatchNetworkTrace::new(&net, batch);
+        let mut rngs: Vec<StdRng> = (0..batch).map(|b| rng(b as u64)).collect();
+        net.forward_batch(&st, &mut rngs, &mut ws, &mut plain);
+
+        let mut rec = MemoryRecorder::default();
+        let mut observed = BatchNetworkTrace::new(&net, batch);
+        let mut rngs2: Vec<StdRng> = (0..batch).map(|b| rng(b as u64)).collect();
+        net.forward_batch_recorded(&st, &mut rngs2, &mut ws, &mut observed, &mut rec);
+
+        assert_eq!(observed, plain, "recording must not change the forward pass");
+        let (enc_s, enc_n) = rec.span_total(SPAN_PROFILE_SNN_ENCODE);
+        let (lif_s, lif_n) = rec.span_total(SPAN_PROFILE_SNN_LIF);
+        assert_eq!((enc_n, lif_n), (1, 1), "one span per profiled section");
+        assert!(enc_s >= 0.0 && lif_s >= 0.0);
     }
 
     #[test]

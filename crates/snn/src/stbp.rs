@@ -18,6 +18,8 @@
 use crate::batch::{BatchNetworkTrace, BatchWorkspace};
 use crate::decoder::DecoderTrace;
 use crate::network::{NetworkTrace, SdpNetwork};
+use spikefolio_telemetry::labels::SPAN_PROFILE_SNN_STBP;
+use spikefolio_telemetry::{NoopRecorder, Recorder, Stopwatch};
 use spikefolio_tensor::optim::{Optimizer, ParamSlot};
 use spikefolio_tensor::{gemm, vector, Matrix};
 
@@ -241,6 +243,39 @@ pub fn backward_with_rate_penalty(
 /// Panics if the trace, workspace, and `d_actions` shapes disagree with the
 /// network, or if `rate_penalty < 0`.
 pub fn backward_batch(
+    net: &SdpNetwork,
+    trace: &BatchNetworkTrace,
+    d_actions: &Matrix,
+    rate_penalty: f64,
+    ws: &mut BatchWorkspace,
+) -> SdpGradients {
+    backward_batch_recorded(net, trace, d_actions, rate_penalty, ws, &mut NoopRecorder)
+}
+
+/// [`backward_batch`] with phase profiling: the whole batched STBP pass is
+/// timed as one [`SPAN_PROFILE_SNN_STBP`] span on `rec`.
+///
+/// Observe-only: the recorder never influences the gradients, and with a
+/// disabled recorder the stopwatch never reads the clock.
+///
+/// # Panics
+///
+/// As [`backward_batch`].
+pub fn backward_batch_recorded(
+    net: &SdpNetwork,
+    trace: &BatchNetworkTrace,
+    d_actions: &Matrix,
+    rate_penalty: f64,
+    ws: &mut BatchWorkspace,
+    rec: &mut dyn Recorder,
+) -> SdpGradients {
+    let watch = Stopwatch::start(rec);
+    let grads = backward_batch_inner(net, trace, d_actions, rate_penalty, ws);
+    watch.stop(rec, SPAN_PROFILE_SNN_STBP);
+    grads
+}
+
+fn backward_batch_inner(
     net: &SdpNetwork,
     trace: &BatchNetworkTrace,
     d_actions: &Matrix,

@@ -13,12 +13,23 @@ pub const SPAN_TRAIN_FORWARD: &str = "train/epoch/forward_batch";
 pub const SPAN_TRAIN_BACKWARD: &str = "train/epoch/backward_batch";
 /// Span: gradient accumulation + optimizer apply of a training step.
 pub const SPAN_TRAIN_APPLY: &str = "train/epoch/apply";
+/// Span: checkpoint write (serialize + IO + retries) of a guarded epoch.
+pub const SPAN_TRAIN_CHECKPOINT: &str = "train/epoch/checkpoint";
 /// Span: one backtester decision + portfolio step.
 pub const SPAN_BACKTEST_STEP: &str = "backtest/step";
 /// Span: population encoding of one state (off-chip path).
 pub const SPAN_ENCODE: &str = "encode";
 /// Span: one chip-model inference (quantized spiking body).
 pub const SPAN_CHIP_INFER: &str = "loihi/infer";
+
+/// Span: population-encoding section of a batched SNN forward pass.
+pub const SPAN_PROFILE_SNN_ENCODE: &str = "profile/snn/encode";
+/// Span: LIF timestep loop (eqs. 5–7) of a batched SNN forward pass.
+pub const SPAN_PROFILE_SNN_LIF: &str = "profile/snn/lif_forward";
+/// Span: one batched STBP backward pass (eqs. 11–13).
+pub const SPAN_PROFILE_SNN_STBP: &str = "profile/snn/stbp_backward";
+/// Span: eq. (14) weight quantization during a Loihi deployment.
+pub const SPAN_PROFILE_LOIHI_QUANTIZE: &str = "profile/loihi/quantize";
 
 /// Gauge: micro-batches in flight per training step.
 pub const GAUGE_QUEUE_MICRO_BATCHES: &str = "train/queue/micro_batches";
@@ -52,3 +63,14 @@ pub const COUNTER_RESILIENCE_CORRUPTIONS: &str = "resilience/corruption_detected
 pub const COUNTER_RESILIENCE_IO_RETRIES: &str = "resilience/io_retries";
 /// Counter: market candles repaired by the sanitizer.
 pub const COUNTER_SANITIZE_REPAIRS: &str = "sanitize/repairs";
+
+/// Counter: dense multiply–accumulates an equivalent ANN forward pass
+/// would execute for the same workload (`Σ_k in_k · out_k · T` per
+/// sample) — the denominator of the effective-sparsity gauge.
+pub const COUNTER_OPS_DENSE_MACS: &str = "profile/ops/dense_macs";
+/// Counter: spike-driven synaptic operations actually executed (every
+/// input spike fanned out across one layer's synapses).
+pub const COUNTER_OPS_SYNOPS: &str = "profile/ops/synops";
+/// Gauge: effective synaptic sparsity, `1 − synops / dense_macs`, over
+/// the records of one observation window.
+pub const GAUGE_OPS_SPARSITY: &str = "profile/ops/sparsity";

@@ -176,4 +176,45 @@ mod tests {
         assert_eq!(count, 1);
         assert!((total - dt).abs() < 1e-12);
     }
+
+    #[test]
+    fn stopwatch_elapsed_is_monotonic_and_non_negative() {
+        let rec = MemoryRecorder::new();
+        let sw = Stopwatch::start(&rec);
+        let mut prev = 0.0;
+        for _ in 0..50 {
+            let now = sw.elapsed_s();
+            assert!(now >= 0.0);
+            assert!(now >= prev, "elapsed_s went backwards: {now} < {prev}");
+            prev = now;
+        }
+    }
+
+    #[test]
+    fn stop_emits_exactly_one_span_under_the_given_label() {
+        let mut rec = MemoryRecorder::new();
+        let sw = Stopwatch::start(&rec);
+        let dt = sw.stop(&mut rec, "train/epoch/forward_batch");
+        assert!(dt >= 0.0);
+        let spanned: Vec<&str> = ["train/epoch/forward_batch", "train/epoch", "train"]
+            .into_iter()
+            .filter(|l| rec.span_total(l).1 > 0)
+            .collect();
+        assert_eq!(spanned, ["train/epoch/forward_batch"], "span under exactly one label");
+        assert_eq!(rec.span_total("train/epoch/forward_batch").1, 1);
+        // Nothing but the span was observed.
+        assert!(rec.records().is_empty());
+    }
+
+    #[test]
+    fn inert_stopwatch_records_nothing_even_into_an_enabled_recorder() {
+        // Started against a disabled recorder, the watch stays inert no
+        // matter which recorder it is stopped into.
+        let noop = NoopRecorder;
+        let sw = Stopwatch::start(&noop);
+        let mut mem = MemoryRecorder::new();
+        assert_eq!(sw.stop(&mut mem, "phase"), 0.0);
+        assert_eq!(mem.span_total("phase"), (0.0, 0));
+        assert!(mem.records().is_empty());
+    }
 }

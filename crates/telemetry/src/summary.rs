@@ -13,16 +13,21 @@ use std::io::{self, BufRead};
 use std::path::Path;
 
 /// One training epoch as read back from the log.
+///
+/// `wall_s` and `grad_norm` were added to the epoch record after the
+/// first schema revision shipped, so both are optional: logs written by
+/// older writers summarize with those fields absent rather than
+/// fabricating zeros.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EpochPoint {
     /// Epoch index.
     pub epoch: u64,
     /// Mean sample reward of the epoch (eq. 1 summand).
     pub reward: f64,
-    /// Wall-clock seconds the epoch took.
-    pub wall_s: f64,
-    /// Mean global gradient L2 norm over the epoch's steps.
-    pub grad_norm: f64,
+    /// Wall-clock seconds the epoch took, if the writer recorded it.
+    pub wall_s: Option<f64>,
+    /// Mean global gradient L2 norm over the epoch's steps, if recorded.
+    pub grad_norm: Option<f64>,
 }
 
 /// Reward-curve statistics of one agent's epoch series.
@@ -38,6 +43,11 @@ pub struct RewardStats {
     pub best: f64,
     /// Mean reward across epochs.
     pub mean: f64,
+    /// Mean wall-clock seconds per epoch, over epochs that recorded it
+    /// (`None` when no epoch did — e.g. an old-schema log).
+    pub mean_wall_s: Option<f64>,
+    /// Mean gradient norm, over epochs that recorded it.
+    pub mean_grad_norm: Option<f64>,
 }
 
 /// Spike-event totals summed over every epoch record in the log.
@@ -99,12 +109,22 @@ impl RunSummary {
     pub fn reward_stats(&self, agent: &str) -> Option<RewardStats> {
         let pts = self.epochs.get(agent)?;
         let (first, last) = (pts.first()?, pts.last()?);
+        let present_mean = |get: fn(&EpochPoint) -> Option<f64>| {
+            let vals: Vec<f64> = pts.iter().filter_map(get).collect();
+            if vals.is_empty() {
+                None
+            } else {
+                Some(vals.iter().sum::<f64>() / vals.len() as f64)
+            }
+        };
         Some(RewardStats {
             epochs: pts.len(),
             first: first.reward,
             last: last.reward,
             best: pts.iter().map(|p| p.reward).fold(f64::NEG_INFINITY, f64::max),
             mean: pts.iter().map(|p| p.reward).sum::<f64>() / pts.len() as f64,
+            mean_wall_s: present_mean(|p| p.wall_s),
+            mean_grad_norm: present_mean(|p| p.grad_norm),
         })
     }
 
@@ -177,8 +197,8 @@ pub fn summarize_lines(reader: impl BufRead) -> io::Result<RunSummary> {
                 s.epochs.entry(agent).or_default().push(EpochPoint {
                     epoch: v.get("epoch").and_then(Value::as_u64).unwrap_or(0),
                     reward: v.get("reward").and_then(Value::as_f64).unwrap_or(f64::NAN),
-                    wall_s: v.get("wall_s").and_then(Value::as_f64).unwrap_or(0.0),
-                    grad_norm: v.get("grad_norm").and_then(Value::as_f64).unwrap_or(0.0),
+                    wall_s: v.get("wall_s").and_then(Value::as_f64),
+                    grad_norm: v.get("grad_norm").and_then(Value::as_f64),
                 });
                 let samples = v.get("samples").and_then(Value::as_u64).unwrap_or(0);
                 if let Some(rates) = v.get("firing_rates").and_then(Value::as_list) {
@@ -300,6 +320,8 @@ mod tests {
         assert_eq!(stats.last, 0.3);
         assert_eq!(stats.best, 0.3);
         assert!((stats.mean - 0.2).abs() < 1e-12);
+        assert_eq!(stats.mean_wall_s, Some(1.5));
+        assert_eq!(stats.mean_grad_norm, Some(0.2));
         assert_eq!(s.firing_rates, vec![0.2, 0.4]);
         assert_eq!(s.encoder_rate, 0.1);
         assert_eq!(s.spike_totals.samples, 200);
@@ -330,6 +352,60 @@ mod tests {
         let truncated: String = text.lines().take(3).map(|l| format!("{l}\n")).collect();
         let s = summarize_lines(truncated.as_bytes()).unwrap();
         assert_eq!(s.counters.get("loihi/synops"), Some(&2000));
+    }
+
+    #[test]
+    fn mixed_version_log_tolerates_epochs_without_wall_or_grad_fields() {
+        // An old-schema epoch record (no wall_s / grad_norm / grad_norms)
+        // followed by a current-schema one in the same log.
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.emit(
+            Record::new("epoch")
+                .field("agent", "sdp")
+                .field("epoch", 0u64)
+                .field("reward", 0.1)
+                .field("samples", 50u64),
+        );
+        sink.emit(
+            Record::new("epoch")
+                .field("agent", "sdp")
+                .field("epoch", 1u64)
+                .field("reward", 0.3)
+                .field("wall_s", 2.0)
+                .field("grad_norm", 0.4)
+                .field("grad_norms", vec![0.3, 0.5])
+                .field("samples", 50u64),
+        );
+        let log = sink.finish().unwrap();
+
+        let s = summarize_lines(&log[..]).unwrap();
+        let pts = &s.epochs["sdp"];
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].wall_s, None);
+        assert_eq!(pts[0].grad_norm, None);
+        assert_eq!(pts[1].wall_s, Some(2.0));
+        assert_eq!(pts[1].grad_norm, Some(0.4));
+
+        // Stats average only the epochs that carried the field, and reward
+        // stats are unaffected by the missing ones.
+        let stats = s.reward_stats("sdp").unwrap();
+        assert_eq!(stats.epochs, 2);
+        assert_eq!(stats.mean_wall_s, Some(2.0));
+        assert_eq!(stats.mean_grad_norm, Some(0.4));
+        assert!((stats.mean - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_old_schema_epochs_leave_wall_and_grad_stats_absent() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.emit(
+            Record::new("epoch").field("agent", "sdp").field("epoch", 0u64).field("reward", 0.2),
+        );
+        let log = sink.finish().unwrap();
+        let s = summarize_lines(&log[..]).unwrap();
+        let stats = s.reward_stats("sdp").unwrap();
+        assert_eq!(stats.mean_wall_s, None);
+        assert_eq!(stats.mean_grad_norm, None);
     }
 
     #[test]

@@ -157,6 +157,26 @@ pub fn gemm_tn_acc(
     }
 }
 
+/// Dense multiply–accumulate count of an `m×k · k×n` product: the work a
+/// kernel with no sparsity skip would perform. Saturates instead of
+/// overflowing on pathological shapes.
+pub fn dense_mac_count(m: usize, k: usize, n: usize) -> u64 {
+    (m as u64).saturating_mul(k as u64).saturating_mul(n as u64)
+}
+
+/// Multiply–accumulates the zero-skipping kernels actually perform for an
+/// `a[m × k]` left operand fanned out over `n` outputs: every *non-zero*
+/// `a` entry costs `n` MACs ([`gemm_nt`] row-dot form, [`gemm_nn`] and
+/// [`gemm_tn_acc`] row-broadcast form alike). With a spike raster as `a`
+/// this is exactly `spikes · n` — the synaptic-operation count of the
+/// neuromorphic cost model.
+///
+/// Saturates instead of overflowing.
+pub fn effective_mac_count(a: &[f64], n: usize) -> u64 {
+    let nonzero = a.iter().filter(|&&x| x != 0.0).count() as u64;
+    nonzero.saturating_mul(n as u64)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,6 +279,19 @@ mod tests {
             reference.add_outer(0.5, a.row(r), b.row(r));
         }
         assert_eq!(out, reference);
+    }
+
+    #[test]
+    fn op_counts_report_dense_and_effective_macs() {
+        assert_eq!(dense_mac_count(7, 13, 5), 7 * 13 * 5);
+        assert_eq!(dense_mac_count(usize::MAX, usize::MAX, 2), u64::MAX);
+        // 2 of 6 entries are exact zeros: only 4 fan out over n = 3.
+        let a = [0.0, 1.0, 0.5, 0.0, -2.0, 1.0];
+        assert_eq!(effective_mac_count(&a, 3), 4 * 3);
+        assert_eq!(effective_mac_count(&[], 3), 0);
+        // A dense operand costs the full dense count.
+        let dense = [1.0; 12]; // 4×3 lhs
+        assert_eq!(effective_mac_count(&dense, 5), dense_mac_count(4, 3, 5));
     }
 
     #[test]

@@ -1,0 +1,124 @@
+//! Integration tests for the performance observatory: the pinned bench
+//! matrix behind `spikefolio bench`, the baseline JSON round-trip and
+//! regression gate, and the chrome-trace profile workload behind
+//! `spikefolio profile`.
+
+use spikefolio::profiling::{
+    run_bench_workloads, run_profile_workload, WorkloadOptions, BENCH_BATCHES,
+};
+use spikefolio_profile::{compare, BenchBaseline, CompareThresholds};
+use spikefolio_telemetry::labels;
+use spikefolio_telemetry::value::{parse, Value};
+
+#[test]
+fn bench_baseline_round_trips_through_schema_tagged_json() {
+    let base = run_bench_workloads(&WorkloadOptions::smoke(2016));
+    let json = base.to_json();
+    assert!(json.contains(spikefolio_profile::bench::SCHEMA));
+    let back = BenchBaseline::parse(&json).expect("baseline JSON parses back");
+    assert_eq!(back.entries.len(), base.entries.len());
+    for e in &base.entries {
+        let b = back.entry(&e.name).expect("entry survives round trip");
+        assert_eq!(b.ops, e.ops, "{}", e.name);
+        assert_eq!(b.reps, e.reps);
+        assert!((b.wall_s - e.wall_s).abs() < 1e-12);
+    }
+
+    // The matrix covers forward+backward at every pinned batch size plus
+    // the end-to-end slice.
+    for batch in BENCH_BATCHES {
+        assert!(base.entry(&format!("forward/b{batch}")).is_some());
+        assert!(base.entry(&format!("backward/b{batch}")).is_some());
+    }
+    assert!(base.entry("table3/slice").is_some());
+}
+
+#[test]
+fn bench_compare_gates_regressions_but_passes_a_fresh_self_run() {
+    let opts = WorkloadOptions::smoke(2016);
+    let base = run_bench_workloads(&opts);
+    let thresholds = CompareThresholds::default();
+
+    // A same-seed re-run has identical op counts, so the only live gate is
+    // the wide two-sided wall-clock ratio — it must pass.
+    let current = run_bench_workloads(&opts);
+    for e in &base.entries {
+        assert_eq!(current.entry(&e.name).expect("same matrix").ops, e.ops, "{}", e.name);
+    }
+
+    let selfcheck = compare(&base, &base, &thresholds);
+    assert!(selfcheck.passed(), "self-compare must pass:\n{}", selfcheck.render());
+    assert_eq!(selfcheck.num_failed(), 0);
+
+    // A 2x-inflated baseline trips the stale-baseline side of the gate.
+    let mut inflated = base.clone();
+    for e in &mut inflated.entries {
+        e.wall_s *= 2.0;
+    }
+    let report = compare(&inflated, &current, &thresholds);
+    assert!(!report.passed(), "2x-inflated baseline must fail:\n{}", report.render());
+
+    // Drifted op counts fail even when wall clock is identical.
+    let mut drifted = base.clone();
+    if let Some(ops) = drifted.entries[0].ops.get_mut("dense_macs") {
+        *ops = ops.saturating_mul(2);
+    }
+    let report = compare(&drifted, &base, &thresholds);
+    assert!(!report.passed(), "op-count drift must fail the gate");
+}
+
+#[test]
+fn profile_trace_exports_nested_epoch_phases_and_deploy_spans() {
+    let report = run_profile_workload(&WorkloadOptions::smoke(2016));
+
+    let doc = parse(&report.trace_json).expect("chrome trace is valid JSON");
+    let events = doc.get("traceEvents").and_then(Value::as_list).expect("traceEvents list");
+    let complete_spans = |name: &str| {
+        events
+            .iter()
+            .filter(|e| {
+                e.get("ph").and_then(Value::as_str) == Some("X")
+                    && e.get("name").and_then(Value::as_str) == Some(name)
+            })
+            .map(|e| {
+                let ts = e.get("ts").and_then(Value::as_f64).unwrap_or(f64::NAN);
+                let dur = e.get("dur").and_then(Value::as_f64).unwrap_or(f64::NAN);
+                (ts, ts + dur)
+            })
+            .collect::<Vec<_>>()
+    };
+
+    let epochs = complete_spans(labels::SPAN_TRAIN_EPOCH);
+    assert!(!epochs.is_empty(), "trace has no epoch spans");
+    for phase in [
+        labels::SPAN_TRAIN_SAMPLE,
+        labels::SPAN_TRAIN_FORWARD,
+        labels::SPAN_TRAIN_BACKWARD,
+        labels::SPAN_TRAIN_APPLY,
+    ] {
+        let spans = complete_spans(phase);
+        assert!(!spans.is_empty(), "trace has no {phase} spans");
+        for (t0, t1) in spans {
+            assert!(
+                epochs.iter().any(|&(e0, e1)| e0 <= t0 && t1 <= e1 + 1e-6),
+                "{phase} span [{t0}, {t1}] escapes every epoch interval"
+            );
+        }
+    }
+
+    // The Loihi deployment contributes quantize + inference spans.
+    assert!(
+        !complete_spans(labels::SPAN_PROFILE_LOIHI_QUANTIZE).is_empty(),
+        "trace has no quantize span"
+    );
+    assert!(!complete_spans(labels::SPAN_CHIP_INFER).is_empty(), "trace has no chip-infer spans");
+
+    // Cost model + sparsity sanity.
+    assert!(!report.cost.layers.is_empty());
+    assert!(report.cost.total_synops() <= report.cost.total_dense_macs());
+    assert!((0.0..=1.0).contains(&report.cost.sparsity()));
+    if let Some(s) = report.train_sparsity {
+        assert!((0.0..=1.0).contains(&s), "training sparsity gauge out of range: {s}");
+    }
+    assert!(report.phase_tree.contains("train/"), "phase tree misses train/ group");
+}

@@ -98,12 +98,50 @@ fn training_run_log_conforms_to_schema() {
                     assert!(v.get(field).is_some(), "epoch record missing '{field}': {line}");
                 }
                 assert_eq!(v.get("agent").and_then(Value::as_str), Some("sdp"));
+
+                // The profiler attaches phase spans and op counters to
+                // every epoch record.
+                let spans = v.get("spans").expect("epoch record carries spans");
+                for label in [
+                    labels::SPAN_TRAIN_EPOCH,
+                    labels::SPAN_TRAIN_SAMPLE,
+                    labels::SPAN_TRAIN_FORWARD,
+                    labels::SPAN_TRAIN_BACKWARD,
+                    labels::SPAN_TRAIN_APPLY,
+                    labels::SPAN_PROFILE_SNN_ENCODE,
+                    labels::SPAN_PROFILE_SNN_LIF,
+                    labels::SPAN_PROFILE_SNN_STBP,
+                ] {
+                    let span = spans.get(label).unwrap_or_else(|| panic!("missing span {label}"));
+                    assert!(span.get("s").and_then(Value::as_f64).is_some());
+                    assert!(span.get("n").and_then(Value::as_u64).is_some());
+                }
+                let counters = v.get("counters").expect("epoch record carries op counters");
+                for label in [labels::COUNTER_OPS_DENSE_MACS, labels::COUNTER_OPS_SYNOPS] {
+                    assert!(
+                        counters.get(label).and_then(Value::as_u64).is_some(),
+                        "missing counter {label}: {line}"
+                    );
+                }
+                let sparsity = v
+                    .get("gauges")
+                    .and_then(|g| g.get(labels::GAUGE_OPS_SPARSITY))
+                    .and_then(Value::as_f64)
+                    .expect("epoch record carries the sparsity gauge");
+                assert!((0.0..=1.0).contains(&sparsity), "sparsity out of range: {sparsity}");
             }
             "run_end" => {
                 saw_run_end = true;
-                // Training records no counters (those are loihi/*), so
-                // run_end carries the record count but no counter_totals.
                 assert!(v.get("records").and_then(Value::as_u64).is_some());
+                // Training counts dense MACs and synops, so run_end
+                // carries their authoritative totals.
+                let totals = v.get("counter_totals").expect("run_end carries counter totals");
+                for label in [labels::COUNTER_OPS_DENSE_MACS, labels::COUNTER_OPS_SYNOPS] {
+                    assert!(
+                        totals.get(label).and_then(Value::as_u64).is_some(),
+                        "missing counter total {label}: {line}"
+                    );
+                }
             }
             other => panic!("unexpected record kind '{other}'"),
         }
