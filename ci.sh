@@ -33,4 +33,10 @@ events=d['traceEvents']; assert events, 'empty trace'; \
 print(f'    profile_trace.json OK ({len(events)} events)')" 2>/dev/null \
   || test -s target/profile_trace.json
 
+echo "==> serve smoke (loopback server, seeded checkpoint, deterministic loadgen)"
+cargo run --release -q --bin spikefolio -- checkpoint init target/serve_smoke.ckpt \
+  --smoke --seed 7
+cargo run --release -q --bin spikefolio -- loadgen --smoke \
+  --checkpoint target/serve_smoke.ckpt --seed 7
+
 echo "CI checks passed."

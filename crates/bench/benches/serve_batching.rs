@@ -1,0 +1,38 @@
+//! Serving-path throughput: the float policy backend's `infer_batch` at
+//! batch 1 vs batch 32 — the kernel-level headroom the micro-batcher in
+//! `spikefolio-serve` converts into request throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spikefolio::config::SdpConfig;
+use spikefolio::serving::FloatPolicyBackend;
+use spikefolio::SdpAgent;
+use spikefolio_env::StateBuilder;
+use spikefolio_serve::InferenceBackend;
+
+fn backend() -> FloatPolicyBackend {
+    let config = SdpConfig::smoke();
+    let num_assets = 5;
+    let agent = SdpAgent::new(&config, num_assets, 7);
+    FloatPolicyBackend::new(agent.network.clone(), StateBuilder::new(config.state))
+}
+
+fn flat_states(dim: usize, batch: usize) -> Vec<f64> {
+    (0..batch * dim).map(|i| 0.85 + 0.3 * ((i % 13) as f64 / 13.0)).collect()
+}
+
+fn bench_serve_batching(c: &mut Criterion) {
+    let backend = backend();
+    let dim = backend.state_dim();
+    let mut group = c.benchmark_group("serve/infer_batch");
+    for batch in [1usize, 8, 32] {
+        let states = flat_states(dim, batch);
+        let seeds: Vec<u64> = (0..batch as u64).collect();
+        group.bench_function(format!("b{batch}"), |b| {
+            b.iter(|| std::hint::black_box(backend.infer_batch(&states, &seeds)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve_batching);
+criterion_main!(benches);

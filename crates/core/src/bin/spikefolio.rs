@@ -11,6 +11,15 @@
 //! spikefolio profile [--smoke] [--seed N] [--trace TRACE.json]
 //! spikefolio bench run [--smoke] [--seed N] [--out BENCH.json]
 //! spikefolio bench compare BENCH.json [--smoke] [--seed N]
+//! spikefolio checkpoint init PATH [--smoke|--full] [--seed N] [--assets N]
+//! spikefolio serve --checkpoint CKPT [--addr HOST:PORT] [--backend float|loihi]
+//!                  [--smoke|--full] [--assets N] [--max-batch N] [--max-wait-us N]
+//!                  [--queue N] [--workers N] [--deterministic] [--telemetry RUN.jsonl]
+//! spikefolio loadgen --smoke [--checkpoint CKPT] [--seed N]
+//! spikefolio loadgen --addr HOST:PORT [--requests N] [--concurrency N] [--open-rps R]
+//!                    [--seed N] [--deadline-ms N] [--check-determinism] [--out REPORT.json]
+//! spikefolio loadgen --self-bench --checkpoint CKPT [--smoke|--full] [--assets N]
+//!                    [--requests N] [--concurrency N] [--seed N] [--max-batch N]
 //! ```
 //!
 //! Unrecognized flags are rejected with an error rather than silently
@@ -23,10 +32,15 @@ use spikefolio::experiments::{
 use spikefolio::figures::{backtest_value_curves, training_reward_csv};
 use spikefolio::profiling::{run_bench_workloads, run_profile_workload, WorkloadOptions};
 use spikefolio::report;
-use spikefolio::telemetry_report::format_run_summary;
+use spikefolio::serving::{
+    run_loadgen_smoke, run_self_bench, run_serve, write_reference_checkpoint, BackendKind,
+    ServeRunOptions,
+};
+use spikefolio::telemetry_report::{empty_run_message, format_run_summary};
 use spikefolio::SdpConfig;
 use spikefolio_market::experiments::ExperimentPreset;
 use spikefolio_market::stats::market_stats;
+use spikefolio_serve::{run_loadgen, LoadgenOptions, ServiceConfig};
 use spikefolio_telemetry::JsonlSink;
 
 fn medium_options(seed: u64) -> RunOptions {
@@ -154,7 +168,10 @@ fn usage() -> ! {
            telemetry summarize <run.jsonl>   render a recorded run log\n  \
            profile      phase-profile a pinned run (--trace writes chrome-trace JSON)\n  \
            bench run    record a performance baseline (--out BENCH.json)\n  \
-           bench compare <BENCH.json>        gate against a recorded baseline\n\
+           bench compare <BENCH.json>        gate against a recorded baseline\n  \
+           checkpoint init <PATH>            write a fresh reference checkpoint\n  \
+           serve        serve a checkpoint over NDJSON/TCP (--checkpoint CKPT)\n  \
+           loadgen      drive a server: --smoke | --addr HOST:PORT | --self-bench\n\
          flags: --full | --smoke | --seed N | --out DIR | --telemetry RUN.jsonl\n        \
                 --trace TRACE.json (profile) | --guard (fault-guarded SDP training)\n        \
                 --sanitize (market data sanitizer)"
@@ -178,6 +195,43 @@ fn workload_options(args: &[String]) -> WorkloadOptions {
     }
 }
 
+/// Parses a numeric `flag` from `args`, falling back to `default`.
+fn parsed_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    match flag_value(args, flag) {
+        Some(s) => {
+            s.parse().unwrap_or_else(|_| fail(&format!("{flag} expects a number, got '{s}'")))
+        }
+        None => default,
+    }
+}
+
+/// Model topology for the serving commands: `--full` means paper scale,
+/// anything else the smoke topology (what `checkpoint init --smoke` and
+/// the CI fixtures use).
+fn serve_config(args: &[String]) -> SdpConfig {
+    if has_flag(args, "--full") {
+        SdpConfig::paper()
+    } else {
+        SdpConfig::smoke()
+    }
+}
+
+/// The exact `bench run` invocation that regenerates the baseline at
+/// `path` with the same workload flags as the current compare.
+fn bench_regen_hint(path: &str, args: &[String]) -> String {
+    let mut cmd = String::from("spikefolio bench run");
+    if has_flag(args, "--smoke") {
+        cmd.push_str(" --smoke");
+    } else if has_flag(args, "--full") {
+        cmd.push_str(" --full");
+    }
+    if let Some(seed) = flag_value(args, "--seed") {
+        cmd.push_str(&format!(" --seed {seed}"));
+    }
+    cmd.push_str(&format!(" --out {path}"));
+    cmd
+}
+
 const RUN_FLAGS: FlagSpec =
     FlagSpec { value: &["--seed"], boolean: &["--full", "--smoke", "--guard", "--sanitize"] };
 const PROFILE_FLAGS: FlagSpec =
@@ -192,6 +246,38 @@ const FIGURES_FLAGS: FlagSpec = FlagSpec {
     value: &["--seed", "--out"],
     boolean: &["--full", "--smoke", "--guard", "--sanitize"],
 };
+const SERVE_FLAGS: FlagSpec = FlagSpec {
+    value: &[
+        "--checkpoint",
+        "--addr",
+        "--backend",
+        "--assets",
+        "--max-batch",
+        "--max-wait-us",
+        "--queue",
+        "--workers",
+        "--telemetry",
+        "--seed",
+    ],
+    boolean: &["--full", "--smoke", "--deterministic"],
+};
+const LOADGEN_FLAGS: FlagSpec = FlagSpec {
+    value: &[
+        "--checkpoint",
+        "--addr",
+        "--requests",
+        "--concurrency",
+        "--open-rps",
+        "--seed",
+        "--deadline-ms",
+        "--out",
+        "--max-batch",
+        "--assets",
+    ],
+    boolean: &["--full", "--smoke", "--self-bench", "--check-determinism"],
+};
+const CHECKPOINT_FLAGS: FlagSpec =
+    FlagSpec { value: &["--seed", "--assets"], boolean: &["--full", "--smoke"] };
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -292,6 +378,13 @@ fn main() {
             }
             let summary = spikefolio_telemetry::summarize_file(path)
                 .unwrap_or_else(|e| fail(&format!("cannot read run log '{path}': {e}")));
+            // An empty or header-only log gets one clear message and a
+            // clean exit instead of a bare record count that looks like a
+            // rendering bug.
+            if let Some(msg) = empty_run_message(path, &summary) {
+                println!("{msg}");
+                return;
+            }
             print!("{}", format_run_summary(&summary));
         }
         "profile" => {
@@ -338,10 +431,13 @@ fn main() {
                 };
                 BENCH_FLAGS.check(&args[3..]);
                 let opts = workload_options(&args[3..]);
-                let raw = std::fs::read_to_string(path)
-                    .unwrap_or_else(|e| fail(&format!("cannot read baseline '{path}': {e}")));
-                let baseline = spikefolio_profile::BenchBaseline::parse(&raw)
-                    .unwrap_or_else(|e| fail(&format!("invalid baseline '{path}': {e}")));
+                let regen = bench_regen_hint(path, &args[3..]);
+                let raw = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                    fail(&format!("cannot read baseline '{path}': {e}\nrecord one with: {regen}"))
+                });
+                let baseline = spikefolio_profile::BenchBaseline::parse(&raw).unwrap_or_else(|e| {
+                    fail(&format!("invalid baseline '{path}': {e}\nre-record it with: {regen}"))
+                });
                 let current = run_bench_workloads(&opts);
                 let report = spikefolio_profile::compare(
                     &baseline,
@@ -350,12 +446,154 @@ fn main() {
                 );
                 print!("{}", report.render());
                 if !report.passed() {
+                    if report.suspects_stale_baseline() {
+                        eprintln!(
+                            "baseline '{path}' looks stale (current run is anomalously fast \
+                             against it)\nre-record it with: {regen}"
+                        );
+                    }
                     std::process::exit(1);
                 }
             }
             Some(other) => fail(&format!("unknown bench subcommand '{other}'")),
             None => usage(),
         },
+        "checkpoint" => {
+            match args.get(1).map(String::as_str) {
+                Some("init") => {}
+                Some(other) => fail(&format!("unknown checkpoint subcommand '{other}'")),
+                None => usage(),
+            }
+            let Some(path) = args.get(2) else {
+                fail("checkpoint init expects an output path");
+            };
+            CHECKPOINT_FLAGS.check(&args[3..]);
+            let a = &args[3..];
+            let config = serve_config(a);
+            let assets = parsed_flag(a, "--assets", 5usize);
+            let seed = parsed_flag(a, "--seed", 2016u64);
+            write_reference_checkpoint(path, &config, assets, seed).unwrap_or_else(|e| fail(&e));
+            println!("reference checkpoint written to {path} (assets {assets}, seed {seed})");
+        }
+        "serve" => {
+            SERVE_FLAGS.check(&args[1..]);
+            let a = &args[1..];
+            let Some(checkpoint) = flag_value(a, "--checkpoint") else {
+                fail("serve requires --checkpoint PATH (see 'spikefolio checkpoint init')");
+            };
+            let backend: BackendKind = flag_value(a, "--backend")
+                .unwrap_or("float")
+                .parse()
+                .unwrap_or_else(|e: String| fail(&e));
+            let mut service = ServiceConfig::default();
+            service.batch.max_batch = parsed_flag(a, "--max-batch", service.batch.max_batch);
+            service.batch.max_wait_us = parsed_flag(a, "--max-wait-us", service.batch.max_wait_us);
+            service.queue_capacity = parsed_flag(a, "--queue", service.queue_capacity);
+            service.workers = parsed_flag(a, "--workers", num_threads().min(4));
+            service.deterministic = has_flag(a, "--deterministic");
+            let opts = ServeRunOptions {
+                addr: flag_value(a, "--addr").unwrap_or("127.0.0.1:7878").to_owned(),
+                checkpoint: checkpoint.to_owned(),
+                config: serve_config(a),
+                num_assets: parsed_flag(a, "--assets", 5usize),
+                backend,
+                service,
+                telemetry: flag_value(a, "--telemetry").map(str::to_owned),
+            };
+            run_serve(&opts).unwrap_or_else(|e| fail(&e));
+        }
+        "loadgen" => {
+            LOADGEN_FLAGS.check(&args[1..]);
+            let a = &args[1..];
+            let seed = parsed_flag(a, "--seed", 2016u64);
+            if has_flag(a, "--self-bench") {
+                let Some(checkpoint) = flag_value(a, "--checkpoint") else {
+                    fail("loadgen --self-bench requires --checkpoint PATH");
+                };
+                // 2048 requests: long enough that steady-state full
+                // batches dominate the warm-up's partial ones.
+                let load = LoadgenOptions {
+                    requests: parsed_flag(a, "--requests", 2048usize),
+                    concurrency: parsed_flag(a, "--concurrency", 32usize),
+                    seed,
+                    ..Default::default()
+                };
+                let mut service = ServiceConfig::default();
+                service.batch.max_batch = parsed_flag(a, "--max-batch", service.batch.max_batch);
+                // One worker on both sides: the bench isolates what the
+                // micro-batcher buys, not worker-level parallelism (which
+                // would mask it by scaling the unbatched side too).
+                service.workers = 1;
+                let config = serve_config(a);
+                let assets = parsed_flag(a, "--assets", 5usize);
+                let (batching, unbatched) =
+                    run_self_bench(checkpoint, &config, assets, &load, service)
+                        .unwrap_or_else(|e| fail(&e));
+                println!("-- batching (max_batch {}) --", service.batch.max_batch.max(2));
+                print!("{}", batching.render());
+                println!("-- unbatched (max_batch 1) --");
+                print!("{}", unbatched.render());
+                let ratio = if unbatched.throughput_rps > 0.0 {
+                    batching.throughput_rps / unbatched.throughput_rps
+                } else {
+                    f64::INFINITY
+                };
+                println!("batching speedup: {ratio:.2}x");
+            } else if has_flag(a, "--smoke") {
+                let outcome = run_loadgen_smoke(flag_value(a, "--checkpoint"), seed)
+                    .unwrap_or_else(|e| fail(&e));
+                print!("{}", outcome.report.render());
+                if outcome.passed() {
+                    println!("serve smoke: PASS (deterministic double-run, clean shutdown)");
+                } else {
+                    eprintln!(
+                        "serve smoke: FAIL (clean_shutdown {}, deterministic {:?}, \
+                         served {}/{}, shed {}+{}, errors {})",
+                        outcome.clean_shutdown,
+                        outcome.report.deterministic,
+                        outcome.report.served,
+                        outcome.report.requests,
+                        outcome.report.shed_queue_full,
+                        outcome.report.shed_deadline,
+                        outcome.report.errors,
+                    );
+                    std::process::exit(1);
+                }
+            } else {
+                let Some(addr) = flag_value(a, "--addr") else {
+                    fail("loadgen expects --smoke, --self-bench, or --addr HOST:PORT");
+                };
+                let load = LoadgenOptions {
+                    requests: parsed_flag(a, "--requests", 256usize),
+                    concurrency: parsed_flag(a, "--concurrency", 8usize),
+                    open_rps: flag_value(a, "--open-rps").map(|s| {
+                        s.parse().unwrap_or_else(|_| {
+                            fail(&format!("--open-rps expects a number, got '{s}'"))
+                        })
+                    }),
+                    seed,
+                    deadline_ms: flag_value(a, "--deadline-ms").map(|s| {
+                        s.parse().unwrap_or_else(|_| {
+                            fail(&format!("--deadline-ms expects a number, got '{s}'"))
+                        })
+                    }),
+                    runs: if has_flag(a, "--check-determinism") { 2 } else { 1 },
+                };
+                let report = run_loadgen(addr, &load).unwrap_or_else(|e| fail(&e));
+                print!("{}", report.render());
+                if let Some(out) = flag_value(a, "--out") {
+                    let mut json = report.to_json();
+                    json.push('\n');
+                    std::fs::write(out, json)
+                        .unwrap_or_else(|e| fail(&format!("cannot write report '{out}': {e}")));
+                    eprintln!("loadgen report written to {out}");
+                }
+                if report.deterministic == Some(false) {
+                    eprintln!("determinism check FAILED: passes disagreed bitwise");
+                    std::process::exit(1);
+                }
+            }
+        }
         other => fail(&format!("unknown command '{other}'")),
     }
 }

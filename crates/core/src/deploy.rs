@@ -147,11 +147,7 @@ impl LoihiDeployment {
         let infer_watch = Stopwatch::start(rec);
         let (sums, stats) = self.chip_net.infer(&raster);
         infer_watch.stop(rec, labels::SPAN_CHIP_INFER);
-        self.total_stats.input_spikes += stats.input_spikes;
-        self.total_stats.neuron_spikes += stats.neuron_spikes;
-        self.total_stats.synops += stats.synops;
-        self.total_stats.neuron_updates += stats.neuron_updates;
-        self.total_stats.timesteps += stats.timesteps;
+        self.total_stats += stats;
         self.inferences += 1;
         spikefolio_loihi::telemetry::record_run_stats(rec, &stats, 1);
         self.decoder.decode(&sums).action

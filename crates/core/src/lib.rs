@@ -57,6 +57,7 @@ pub mod guarded;
 pub mod online;
 pub mod profiling;
 pub mod report;
+pub mod serving;
 pub mod sweep;
 pub mod telemetry_report;
 pub mod training;

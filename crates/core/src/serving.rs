@@ -1,0 +1,569 @@
+//! Concrete serving backends and CLI drivers behind `spikefolio-serve`.
+//!
+//! The serve crate is policy-agnostic; this module plugs the repo's real
+//! policies into it: the float SNN backend (batched `forward_batch`
+//! kernels, bitwise batch-composition invariant) and the Loihi-quantized
+//! emulation backend (eq. (14) quantization + fixed-point chip model),
+//! both constructed from the same shape-validated v1/v2 checkpoints the
+//! trainer writes. It also hosts the `spikefolio serve` / `spikefolio
+//! loadgen` subcommand implementations, including the CI smoke flow and
+//! the batching-vs-unbatched self benchmark.
+
+use std::str::FromStr;
+use std::sync::{Arc, Mutex};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spikefolio_env::StateBuilder;
+use spikefolio_loihi::chip::{LoihiChip, LoihiNetwork, LoihiRunStats};
+use spikefolio_loihi::quantize::try_quantize_network;
+use spikefolio_loihi::QuantizeOptions;
+use spikefolio_market::Candle;
+use spikefolio_serve::{
+    run_loadgen, InferenceBackend, LoadReport, LoadgenOptions, ModelLoader, ModelStore, Server,
+    ServerHandle, ServerOptions, Service, ServiceConfig,
+};
+use spikefolio_snn::{BatchNetworkTrace, BatchWorkspace, SdpNetwork};
+use spikefolio_tensor::Matrix;
+
+use crate::agent::SdpAgent;
+use crate::checkpoint;
+use crate::config::SdpConfig;
+
+/// Which policy implementation answers requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// The float SNN running the PR 1 batched kernels.
+    Float,
+    /// The Loihi-quantized fixed-point emulation (per-sample chip
+    /// inference; batching still amortizes queueing and dispatch).
+    Loihi,
+}
+
+impl FromStr for BackendKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "float" | "snn" => Ok(Self::Float),
+            "loihi" => Ok(Self::Loihi),
+            other => Err(format!("unknown backend {other:?} (expected float|loihi)")),
+        }
+    }
+}
+
+/// Parses a flat `[open, high, low, close]` stream into candles for
+/// [`StateBuilder::build_from_window`].
+fn candles_from_flat(flat: &[f64]) -> Result<Vec<Candle>, String> {
+    if !flat.len().is_multiple_of(4) {
+        return Err(format!(
+            "window carries {} values, expected a multiple of 4 ([open,high,low,close] per candle)",
+            flat.len()
+        ));
+    }
+    Ok(flat
+        .chunks_exact(4)
+        .map(|c| Candle { open: c[0], high: c[1], low: c[2], close: c[3], volume: 0.0 })
+        .collect())
+}
+
+/// The float SNN backend: one `forward_batch` per micro-batch, each
+/// sample encoded with its own request-seeded RNG, so served weights are
+/// independent of batch composition.
+#[derive(Debug)]
+pub struct FloatPolicyBackend {
+    network: SdpNetwork,
+    state_builder: StateBuilder,
+    // Recycled forward buffers: at paper scale the (T·B)×dim stack
+    // allocations cost as much as the batched GEMMs save, so the last
+    // workspace is parked here between micro-batches. `forward_batch`
+    // overwrites every cell it reads, so reuse cannot leak state across
+    // calls; a size mismatch just rebuilds. Taken out of the lock for
+    // the duration of the forward pass so concurrent workers never
+    // serialize on it — a loser simply allocates its own.
+    scratch: Mutex<Option<(usize, BatchWorkspace, BatchNetworkTrace)>>,
+}
+
+impl Clone for FloatPolicyBackend {
+    fn clone(&self) -> Self {
+        Self::new(self.network.clone(), self.state_builder)
+    }
+}
+
+impl FloatPolicyBackend {
+    /// Wraps a trained network and its state layout.
+    pub fn new(network: SdpNetwork, state_builder: StateBuilder) -> Self {
+        Self { network, state_builder, scratch: Mutex::new(None) }
+    }
+}
+
+impl InferenceBackend for FloatPolicyBackend {
+    fn name(&self) -> &str {
+        "snn-float"
+    }
+
+    fn state_dim(&self) -> usize {
+        self.network.config().state_dim
+    }
+
+    fn action_dim(&self) -> usize {
+        self.network.config().action_dim
+    }
+
+    fn infer_batch(&self, states: &[f64], seeds: &[u64]) -> Vec<Vec<f64>> {
+        let batch = seeds.len();
+        let dim = self.state_dim();
+        let Ok(matrix) = Matrix::try_from_vec(batch, dim, states.to_vec()) else {
+            // Shape mismatches are caught at admission; if one slips
+            // through, emit rejectable output instead of panicking a
+            // batcher worker.
+            return vec![vec![f64::NAN; self.action_dim()]; batch];
+        };
+        let mut rngs: Vec<StdRng> = seeds.iter().map(|&s| StdRng::seed_from_u64(s)).collect();
+        if batch == 1 {
+            // Singleton batches take the canonical per-sample path
+            // (bitwise identical by the batch-composition invariance
+            // contract); the batch engine and its recycled workspaces
+            // below only pay for width > 1.
+            return vec![self.network.act(matrix.row(0), &mut rngs[0])];
+        }
+        let cached = self.scratch.lock().unwrap_or_else(std::sync::PoisonError::into_inner).take();
+        let (mut ws, mut trace) = match cached {
+            Some((b, ws, trace)) if b == batch => (ws, trace),
+            _ => (
+                BatchWorkspace::new(&self.network, batch),
+                BatchNetworkTrace::new(&self.network, batch),
+            ),
+        };
+        self.network.forward_batch(&matrix, &mut rngs, &mut ws, &mut trace);
+        let actions = (0..batch).map(|b| trace.action(b).to_vec()).collect();
+        *self.scratch.lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
+            Some((batch, ws, trace));
+        actions
+    }
+
+    fn state_from_window(
+        &self,
+        candles_flat: &[f64],
+        num_assets: usize,
+        prev_weights: &[f64],
+    ) -> Result<Vec<f64>, String> {
+        let candles = candles_from_flat(candles_flat)?;
+        self.state_builder.build_from_window(&candles, num_assets, prev_weights)
+    }
+}
+
+/// The Loihi backend: states are population-encoded off-chip with the
+/// request seed, then run through the mapped fixed-point chip model one
+/// sample at a time (the chip model is sequential), decoding spike sums
+/// back into weights. Event counts accumulate across requests.
+pub struct LoihiPolicyBackend {
+    encoder: spikefolio_snn::PopulationEncoder,
+    decoder: spikefolio_snn::decoder::Decoder,
+    chip_net: LoihiNetwork,
+    timesteps: usize,
+    state_dim: usize,
+    action_dim: usize,
+    state_builder: StateBuilder,
+    total_stats: Mutex<LoihiRunStats>,
+}
+
+impl std::fmt::Debug for LoihiPolicyBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LoihiPolicyBackend")
+            .field("state_dim", &self.state_dim)
+            .field("action_dim", &self.action_dim)
+            .field("timesteps", &self.timesteps)
+            .finish()
+    }
+}
+
+impl LoihiPolicyBackend {
+    /// Quantizes `network` (eq. (14)) and maps it onto `chip`.
+    ///
+    /// # Errors
+    ///
+    /// Quantization or chip-mapping failures as a message.
+    pub fn new(
+        network: &SdpNetwork,
+        state_builder: StateBuilder,
+        chip: &LoihiChip,
+        opts: &QuantizeOptions,
+    ) -> Result<Self, String> {
+        let (quantized, _report) =
+            try_quantize_network(network, opts).map_err(|e| format!("quantize: {e:?}"))?;
+        let timesteps = quantized.timesteps;
+        let chip_net = chip.map(quantized).map_err(|e| format!("chip map: {e:?}"))?;
+        Ok(Self {
+            encoder: network.encoder.clone(),
+            decoder: network.decoder.clone(),
+            chip_net,
+            timesteps,
+            state_dim: network.config().state_dim,
+            action_dim: network.config().action_dim,
+            state_builder,
+            total_stats: Mutex::new(LoihiRunStats::default()),
+        })
+    }
+
+    /// Accumulated on-chip event counts across every served sample.
+    pub fn total_stats(&self) -> LoihiRunStats {
+        *self.total_stats.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl InferenceBackend for LoihiPolicyBackend {
+    fn name(&self) -> &str {
+        "loihi-quantized"
+    }
+
+    fn state_dim(&self) -> usize {
+        self.state_dim
+    }
+
+    fn action_dim(&self) -> usize {
+        self.action_dim
+    }
+
+    fn infer_batch(&self, states: &[f64], seeds: &[u64]) -> Vec<Vec<f64>> {
+        let dim = self.state_dim;
+        let mut out = Vec::with_capacity(seeds.len());
+        let mut batch_stats = LoihiRunStats::default();
+        for (b, &seed) in seeds.iter().enumerate() {
+            let Some(row) = states.get(b * dim..(b + 1) * dim) else {
+                out.push(vec![f64::NAN; self.action_dim]);
+                continue;
+            };
+            let mut rng = StdRng::seed_from_u64(seed);
+            let raster = self.encoder.encode(row, self.timesteps, &mut rng);
+            let (sums, stats) = self.chip_net.infer(&raster);
+            batch_stats += stats;
+            out.push(self.decoder.decode(&sums).action);
+        }
+        *self.total_stats.lock().unwrap_or_else(std::sync::PoisonError::into_inner) += batch_stats;
+        out
+    }
+
+    fn state_from_window(
+        &self,
+        candles_flat: &[f64],
+        num_assets: usize,
+        prev_weights: &[f64],
+    ) -> Result<Vec<f64>, String> {
+        let candles = candles_from_flat(candles_flat)?;
+        self.state_builder.build_from_window(&candles, num_assets, prev_weights)
+    }
+}
+
+/// A [`ModelLoader`] that builds backends from the trainer's v1/v2
+/// checkpoints: every load constructs a fresh agent skeleton from the
+/// fixed `(config, num_assets)` pair, so `load_sdp`'s shape validation
+/// rejects any checkpoint that does not match the serving topology.
+pub struct CheckpointBackendLoader {
+    config: SdpConfig,
+    num_assets: usize,
+    kind: BackendKind,
+    chip: LoihiChip,
+    quantize: QuantizeOptions,
+}
+
+impl CheckpointBackendLoader {
+    /// A loader for the given serving topology.
+    pub fn new(config: SdpConfig, num_assets: usize, kind: BackendKind) -> Self {
+        Self {
+            config,
+            num_assets,
+            kind,
+            chip: LoihiChip::default(),
+            quantize: QuantizeOptions::default(),
+        }
+    }
+}
+
+impl ModelLoader for CheckpointBackendLoader {
+    fn load(&self, source: &str) -> Result<Box<dyn InferenceBackend>, String> {
+        let mut agent = SdpAgent::new(&self.config, self.num_assets, 0);
+        checkpoint::load_sdp(&mut agent, source)
+            .map_err(|e| format!("checkpoint {source}: {e}"))?;
+        let state_builder = *agent.state_builder();
+        match self.kind {
+            BackendKind::Float => {
+                Ok(Box::new(FloatPolicyBackend::new(agent.network, state_builder)))
+            }
+            BackendKind::Loihi => Ok(Box::new(LoihiPolicyBackend::new(
+                &agent.network,
+                state_builder,
+                &self.chip,
+                &self.quantize,
+            )?)),
+        }
+    }
+}
+
+/// Writes a reference checkpoint: a freshly initialized (untrained but
+/// fully valid) agent for `(config, num_assets, seed)` — the seeded model
+/// the CI smoke flow and the self benchmark serve.
+///
+/// # Errors
+///
+/// IO failures as a message.
+pub fn write_reference_checkpoint(
+    path: &str,
+    config: &SdpConfig,
+    num_assets: usize,
+    seed: u64,
+) -> Result<(), String> {
+    let agent = SdpAgent::new(config, num_assets, seed);
+    checkpoint::save_sdp(&agent, path).map_err(|e| format!("write {path}: {e}"))
+}
+
+/// Everything `spikefolio serve` needs.
+#[derive(Debug, Clone)]
+pub struct ServeRunOptions {
+    /// Listen address, e.g. `127.0.0.1:7878` (port 0 picks a free port).
+    pub addr: String,
+    /// Checkpoint to serve.
+    pub checkpoint: String,
+    /// Model topology the checkpoint must match.
+    pub config: SdpConfig,
+    /// Risky-asset count of the serving universe.
+    pub num_assets: usize,
+    /// Float or Loihi backend.
+    pub backend: BackendKind,
+    /// Queue / batch / worker configuration.
+    pub service: ServiceConfig,
+    /// Optional JSONL run-log path for the final telemetry flush.
+    pub telemetry: Option<String>,
+}
+
+/// Builds the store + service + server stack for `opts` without running
+/// the accept loop — shared by the CLI, the smoke flow, and tests.
+///
+/// # Errors
+///
+/// Checkpoint load or bind failures as a message.
+pub fn build_server(
+    opts: &ServeRunOptions,
+) -> Result<(Server, ServerHandle, Arc<Service>), String> {
+    let loader = CheckpointBackendLoader::new(opts.config.clone(), opts.num_assets, opts.backend);
+    let store = ModelStore::open(Box::new(loader), &opts.checkpoint)?;
+    let service = Service::start(Arc::new(store), opts.service);
+    let server = Server::bind(&opts.addr, Arc::clone(&service), ServerOptions::default())
+        .map_err(|e| format!("bind {}: {e}", opts.addr))?;
+    let handle = server.handle();
+    Ok((server, handle, service))
+}
+
+/// `spikefolio serve`: builds the stack, prints the bound address, and
+/// blocks until a client sends `{"cmd":"shutdown"}`. On exit the service
+/// counters are flushed to the `--telemetry` run log when one was given.
+///
+/// # Errors
+///
+/// Build, run, or telemetry-write failures as a message.
+pub fn run_serve(opts: &ServeRunOptions) -> Result<(), String> {
+    let (server, handle, service) = build_server(opts)?;
+    println!("serving {} on {} (backend {})", opts.checkpoint, handle.addr(), backend_name(opts));
+    server.run().map_err(|e| format!("server: {e}"))?;
+    finish_telemetry(&service, opts.telemetry.as_deref())?;
+    let stats = service.stats();
+    println!(
+        "served {} requests in {} batches (max batch {}), shed {} (queue) / {} (deadline)",
+        stats.served, stats.batches, stats.max_batch, stats.shed_queue_full, stats.shed_deadline
+    );
+    Ok(())
+}
+
+fn backend_name(opts: &ServeRunOptions) -> &'static str {
+    match opts.backend {
+        BackendKind::Float => "snn-float",
+        BackendKind::Loihi => "loihi-quantized",
+    }
+}
+
+fn finish_telemetry(service: &Service, path: Option<&str>) -> Result<(), String> {
+    let Some(path) = path else { return Ok(()) };
+    let mut sink = spikefolio_telemetry::JsonlSink::create(path)
+        .map_err(|e| format!("telemetry {path}: {e}"))?;
+    service.flush_telemetry(&mut sink);
+    sink.finish().map_err(|e| format!("telemetry {path}: {e}"))?;
+    Ok(())
+}
+
+/// Outcome of the scripted smoke flow ([`run_loadgen_smoke`]).
+#[derive(Debug, Clone)]
+pub struct SmokeOutcome {
+    /// The loadgen report of the double-run.
+    pub report: LoadReport,
+    /// Whether the server's accept loop exited and joined cleanly.
+    pub clean_shutdown: bool,
+}
+
+impl SmokeOutcome {
+    /// All smoke invariants: every request served, bitwise-identical
+    /// responses across the two passes, and a clean shutdown.
+    pub fn passed(&self) -> bool {
+        self.clean_shutdown
+            && self.report.served == self.report.requests
+            && self.report.shed_queue_full == 0
+            && self.report.shed_deadline == 0
+            && self.report.errors == 0
+            && self.report.deterministic == Some(true)
+    }
+}
+
+/// `spikefolio loadgen --smoke`: spins up a deterministic single-worker
+/// server on a loopback port around `checkpoint` (written fresh when
+/// absent), replays a seeded scripted request set twice through the real
+/// TCP path, checks the responses are bitwise identical, and shuts the
+/// server down.
+///
+/// # Errors
+///
+/// Any setup, load, or protocol failure as a message.
+pub fn run_loadgen_smoke(checkpoint: Option<&str>, seed: u64) -> Result<SmokeOutcome, String> {
+    let config = SdpConfig::smoke();
+    let num_assets = 5;
+    let owned_path;
+    let path = match checkpoint {
+        Some(p) => p,
+        None => {
+            let dir = std::env::temp_dir();
+            owned_path = dir
+                .join(format!("spikefolio_serve_smoke_{seed}.ckpt"))
+                .to_string_lossy()
+                .into_owned();
+            write_reference_checkpoint(&owned_path, &config, num_assets, seed)?;
+            &owned_path
+        }
+    };
+    let opts = ServeRunOptions {
+        addr: "127.0.0.1:0".to_string(),
+        checkpoint: path.to_string(),
+        config,
+        num_assets,
+        backend: BackendKind::Float,
+        service: ServiceConfig { deterministic: true, queue_capacity: 1024, ..Default::default() },
+        telemetry: None,
+    };
+    let (server, handle, _service) = build_server(&opts)?;
+    let addr = handle.addr().to_string();
+    let server_thread = std::thread::spawn(move || server.run());
+    let load = LoadgenOptions { requests: 64, concurrency: 4, seed, runs: 2, ..Default::default() };
+    let result = run_loadgen(&addr, &load);
+    handle.shutdown();
+    let clean_shutdown = matches!(server_thread.join(), Ok(Ok(())));
+    Ok(SmokeOutcome { report: result?, clean_shutdown })
+}
+
+/// The batching-vs-unbatched self benchmark: serves `checkpoint` twice on
+/// loopback — once with the given batching policy, once pinned to
+/// `max_batch = 1` — and drives both with the identical closed-loop
+/// request stream. Returns `(batching report, unbatched report)`.
+///
+/// # Errors
+///
+/// Any setup or load failure as a message.
+pub fn run_self_bench(
+    checkpoint: &str,
+    config: &SdpConfig,
+    num_assets: usize,
+    load: &LoadgenOptions,
+    service: ServiceConfig,
+) -> Result<(LoadReport, LoadReport), String> {
+    let mut reports = Vec::with_capacity(2);
+    for max_batch in [service.batch.max_batch.max(2), 1] {
+        let mut svc = service;
+        svc.batch.max_batch = max_batch;
+        let opts = ServeRunOptions {
+            addr: "127.0.0.1:0".to_string(),
+            checkpoint: checkpoint.to_string(),
+            config: config.clone(),
+            num_assets,
+            backend: BackendKind::Float,
+            service: svc,
+            telemetry: None,
+        };
+        let (server, handle, _service) = build_server(&opts)?;
+        let addr = handle.addr().to_string();
+        let server_thread = std::thread::spawn(move || server.run());
+        let result = run_loadgen(&addr, load);
+        handle.shutdown();
+        let _ = server_thread.join();
+        reports.push(result?);
+    }
+    let unbatched = reports.pop().unwrap_or_else(unreachable_report);
+    let batching = reports.pop().unwrap_or_else(unreachable_report);
+    Ok((batching, unbatched))
+}
+
+/// Placeholder satisfying the no-unwrap lint on a vec we just filled.
+fn unreachable_report() -> LoadReport {
+    LoadReport {
+        mode: String::new(),
+        requests: 0,
+        served: 0,
+        shed_queue_full: 0,
+        shed_deadline: 0,
+        errors: 0,
+        wall_s: 0.0,
+        throughput_rps: 0.0,
+        latency: spikefolio_serve::LatencySummary::default(),
+        batch_hist: Vec::new(),
+        max_batch: 0,
+        deterministic: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn float_backend_matches_direct_network_act() {
+        let config = SdpConfig::smoke();
+        let agent = SdpAgent::new(&config, 3, 11);
+        let backend = FloatPolicyBackend::new(agent.network.clone(), *agent.state_builder());
+        let dim = backend.state_dim();
+        let mut rng = StdRng::seed_from_u64(5);
+        let states: Vec<f64> = (0..2 * dim).map(|_| rng.gen_range(0.8..1.2)).collect();
+        let out = backend.infer_batch(&states, &[42, 43]);
+        for (b, &seed) in [42u64, 43].iter().enumerate() {
+            let mut sample_rng = StdRng::seed_from_u64(seed);
+            let direct = agent.network.act(&states[b * dim..(b + 1) * dim], &mut sample_rng);
+            assert_eq!(out[b], direct, "sample {b} must match per-sample act");
+        }
+    }
+
+    #[test]
+    fn candle_parsing_validates_multiple_of_four() {
+        assert!(candles_from_flat(&[1.0, 2.0, 3.0]).is_err());
+        let candles = candles_from_flat(&[1.0, 2.0, 0.5, 1.5]).expect("one candle");
+        assert_eq!(candles.len(), 1);
+        assert_eq!(candles[0].high, 2.0);
+        assert_eq!(candles[0].close, 1.5);
+    }
+
+    #[test]
+    fn loader_rejects_missing_and_accepts_written_checkpoint() {
+        let config = SdpConfig::smoke();
+        let dir = std::env::temp_dir();
+        let path = dir.join("spikefolio_serving_loader_test.ckpt");
+        let path_str = path.to_string_lossy().into_owned();
+        write_reference_checkpoint(&path_str, &config, 3, 7).expect("write");
+        let loader = CheckpointBackendLoader::new(config.clone(), 3, BackendKind::Float);
+        let backend = loader.load(&path_str).expect("load");
+        assert_eq!(backend.action_dim(), 4);
+        assert!(loader.load("/nonexistent/nope.ckpt").is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn backend_kind_parses() {
+        assert_eq!("float".parse::<BackendKind>(), Ok(BackendKind::Float));
+        assert_eq!("loihi".parse::<BackendKind>(), Ok(BackendKind::Loihi));
+        assert!("gpu".parse::<BackendKind>().is_err());
+    }
+}

@@ -13,6 +13,37 @@ use spikefolio_loihi::telemetry::{mean_spike_stats, run_stats_from_counters};
 use spikefolio_snn::network::SpikeStats;
 use spikefolio_telemetry::RunSummary;
 
+/// Returns a clear one-line explanation when the run log has nothing to
+/// summarize — no epochs, spans, counters, spike totals, or backtests —
+/// so the CLI can exit cleanly instead of printing a bare header that
+/// looks like a formatting bug. Distinguishes a truly empty log from a
+/// header-only one (e.g. a run that died before recording anything).
+pub fn empty_run_message(path: &str, s: &RunSummary) -> Option<String> {
+    let has_content = !s.epochs.is_empty()
+        || !s.backtests.is_empty()
+        || !s.spans.is_empty()
+        || !s.counters.is_empty()
+        || s.spike_totals.samples > 0
+        || !s.firing_rates.is_empty();
+    if has_content {
+        return None;
+    }
+    Some(if s.records == 0 {
+        format!(
+            "run log '{path}' is empty: no telemetry records found.\n\
+             The run may have exited before any instrumentation fired; re-run with\n\
+             --telemetry to record a fresh log."
+        )
+    } else {
+        format!(
+            "run log '{path}' contains {} record(s) but no summarizable data\n\
+             (no epochs, spans, counters, spike totals, or backtests) — likely a\n\
+             header-only log from a run that stopped before doing any work.",
+            s.records
+        )
+    })
+}
+
 /// Renders the full human-readable report for one summarized run log.
 pub fn format_run_summary(s: &RunSummary) -> String {
     let mut out = String::new();
@@ -256,5 +287,29 @@ mod tests {
     fn empty_summary_renders_header_only() {
         let text = format_run_summary(&RunSummary::default());
         assert_eq!(text, "run log: 0 records (0 lines skipped)\n");
+    }
+
+    #[test]
+    fn empty_run_message_flags_empty_and_header_only_logs() {
+        // Truly empty: zero records.
+        let msg = empty_run_message("runs/a.jsonl", &RunSummary::default()).unwrap();
+        assert!(msg.contains("runs/a.jsonl"), "{msg}");
+        assert!(msg.contains("empty"), "{msg}");
+
+        // Header-only: records exist (e.g. run_start/run_end) but nothing
+        // summarizable was recorded.
+        let header_only = RunSummary { records: 2, ..Default::default() };
+        let msg = empty_run_message("runs/b.jsonl", &header_only).unwrap();
+        assert!(msg.contains("2 record(s)"), "{msg}");
+        assert!(msg.contains("no summarizable data"), "{msg}");
+    }
+
+    #[test]
+    fn empty_run_message_is_none_for_real_logs() {
+        assert!(empty_run_message("x.jsonl", &sample_summary(false)).is_none());
+        // Any single section counts as content.
+        let mut counters_only = RunSummary { records: 3, ..Default::default() };
+        counters_only.counters.insert("serve/requests".to_owned(), 5);
+        assert!(empty_run_message("x.jsonl", &counters_only).is_none());
     }
 }

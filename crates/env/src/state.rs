@@ -119,6 +119,65 @@ impl StateBuilder {
         }
         state
     }
+
+    /// Builds the state vector from a raw OHLC window instead of a full
+    /// [`MarketData`] — the serving path, where a caller ships exactly the
+    /// candles the policy needs. `candles` holds `window × num_assets`
+    /// entries in row-major period order, oldest period first, so
+    /// `candles[p * num_assets + a]` is asset `a` at the `p`-th oldest
+    /// period; the last row is "now". Produces bitwise the same vector as
+    /// [`build`](Self::build) over the matching slice of market data.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the candle count does not equal
+    /// `window * num_assets`, if `num_assets == 0`, or if
+    /// `prev_weights.len() != num_assets + 1` when weights are included.
+    pub fn build_from_window(
+        &self,
+        candles: &[spikefolio_market::Candle],
+        num_assets: usize,
+        prev_weights: &[f64],
+    ) -> Result<Vec<f64>, String> {
+        if num_assets == 0 {
+            return Err("window must cover at least one asset".to_string());
+        }
+        let expected = self.config.window * num_assets;
+        if candles.len() != expected {
+            return Err(format!(
+                "window carries {} candles, expected {} ({} periods x {} assets)",
+                candles.len(),
+                expected,
+                self.config.window,
+                num_assets
+            ));
+        }
+        if self.config.include_weights && prev_weights.len() != num_assets + 1 {
+            return Err(format!(
+                "prev_weights has length {}, expected num_assets + 1 = {}",
+                prev_weights.len(),
+                num_assets + 1
+            ));
+        }
+        let last = self.config.window - 1;
+        let mut state = Vec::with_capacity(self.state_dim(num_assets));
+        for a in 0..num_assets {
+            let latest_close = candles[last * num_assets + a].close;
+            for k in 0..self.config.window {
+                let c = &candles[(last - k) * num_assets + a];
+                state.push(c.close / latest_close);
+                state.push(c.high / latest_close);
+                state.push(c.low / latest_close);
+                if self.config.include_open {
+                    state.push(c.open / latest_close);
+                }
+            }
+        }
+        if self.config.include_weights {
+            state.extend_from_slice(prev_weights);
+        }
+        Ok(state)
+    }
 }
 
 #[cfg(test)]
@@ -208,6 +267,56 @@ mod tests {
         let sb = StateBuilder::new(StateConfig::default());
         let w = vec![1.0 / 12.0; 12];
         let _ = sb.build(&m, sb.min_period() - 1, &w);
+    }
+
+    #[test]
+    fn window_build_matches_market_build_bitwise() {
+        let m = market();
+        for cfg in [
+            StateConfig::default(),
+            StateConfig { window: 3, include_open: false, include_weights: false },
+            StateConfig { window: 1, include_open: true, include_weights: true },
+        ] {
+            let sb = StateBuilder::new(cfg);
+            let n = m.num_assets();
+            let w: Vec<f64> =
+                (0..=n).map(|i| (i + 1) as f64 / ((n + 2) * (n + 1) / 2) as f64).collect();
+            for t in [sb.min_period(), m.num_periods() - 1] {
+                // Flatten the trailing window, oldest period first.
+                let mut candles = Vec::new();
+                for p in (t + 1 - cfg.window)..=t {
+                    for a in 0..n {
+                        candles.push(m.candle(p, a));
+                    }
+                }
+                let from_window = sb.build_from_window(&candles, n, &w).expect("valid window");
+                let from_market = sb.build(&m, t, &w);
+                assert_eq!(from_window.len(), from_market.len());
+                for (x, y) in from_window.iter().zip(&from_market) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "cfg {cfg:?} t {t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn window_build_rejects_bad_shapes() {
+        let m = market();
+        let sb = StateBuilder::new(StateConfig::default());
+        let n = m.num_assets();
+        let w = vec![1.0 / (n + 1) as f64; n + 1];
+        let mut candles = Vec::new();
+        for p in 0..sb.config().window {
+            for a in 0..n {
+                candles.push(m.candle(p, a));
+            }
+        }
+        // Wrong candle count.
+        assert!(sb.build_from_window(&candles[1..], n, &w).is_err());
+        // Zero assets.
+        assert!(sb.build_from_window(&[], 0, &[]).is_err());
+        // Wrong weight length.
+        assert!(sb.build_from_window(&candles, n, &w[1..]).is_err());
     }
 
     #[test]

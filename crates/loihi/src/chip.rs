@@ -70,6 +70,18 @@ pub struct LoihiRunStats {
     pub timesteps: u64,
 }
 
+impl core::ops::AddAssign for LoihiRunStats {
+    /// Accumulates event counts across inferences — the serving path sums
+    /// per-request chip stats into a session total.
+    fn add_assign(&mut self, rhs: Self) {
+        self.input_spikes += rhs.input_spikes;
+        self.neuron_spikes += rhs.neuron_spikes;
+        self.synops += rhs.synops;
+        self.neuron_updates += rhs.neuron_updates;
+        self.timesteps += rhs.timesteps;
+    }
+}
+
 impl LoihiRunStats {
     /// Converts to the generic [`SpikeStats`] event bundle.
     pub fn to_spike_stats(self) -> SpikeStats {

@@ -146,6 +146,10 @@ pub struct CompareLine {
     pub wall_ratio: Option<f64>,
     /// Human-readable gate failures for this workload (empty = pass).
     pub failures: Vec<String>,
+    /// True when the failure is the *fast-side* wall anomaly — the
+    /// signature of a stale or inflated baseline rather than a code
+    /// regression. Callers can use this to suggest re-recording.
+    pub stale_wall: bool,
 }
 
 /// Full comparison outcome.
@@ -164,6 +168,14 @@ impl CompareReport {
     /// Number of workloads that tripped at least one gate.
     pub fn num_failed(&self) -> usize {
         self.lines.iter().filter(|l| !l.failures.is_empty()).count()
+    }
+
+    /// True when at least one workload failed on the fast-side wall
+    /// anomaly — evidence the *baseline* is stale or inflated, not that
+    /// the code regressed. The right remedy is re-recording the baseline
+    /// with `bench run`, and callers should say so.
+    pub fn suspects_stale_baseline(&self) -> bool {
+        self.lines.iter().any(|l| l.stale_wall)
     }
 
     /// Renders one status line per workload plus a verdict.
@@ -205,6 +217,7 @@ pub fn compare(
     for base in &baseline.entries {
         let mut failures = Vec::new();
         let mut wall_ratio = None;
+        let mut stale_wall = false;
         match current.entry(&base.name) {
             None => failures.push("missing from current run".to_owned()),
             Some(cur) => {
@@ -217,6 +230,7 @@ pub fn compare(
                             cur.wall_s, base.wall_s, thresholds.wall_ratio
                         ));
                     } else if ratio < 1.0 / thresholds.wall_ratio {
+                        stale_wall = true;
                         failures.push(format!(
                             "wall-clock anomaly: {:.6}s vs baseline {:.6}s ({ratio:.3}x < {:.3}x) — baseline looks stale or inflated",
                             cur.wall_s,
@@ -245,7 +259,7 @@ pub fn compare(
                 }
             }
         }
-        lines.push(CompareLine { name: base.name.clone(), wall_ratio, failures });
+        lines.push(CompareLine { name: base.name.clone(), wall_ratio, failures, stale_wall });
     }
     CompareReport { lines }
 }
@@ -311,6 +325,25 @@ mod tests {
         assert!(!report.passed());
         assert_eq!(report.num_failed(), 2);
         assert!(report.render().contains("FAIL"));
+        // The fast-side failure is flagged as a stale-baseline suspect so
+        // the CLI can suggest re-recording rather than hunting a regression.
+        assert!(report.suspects_stale_baseline());
+        assert!(report.lines.iter().all(|l| l.stale_wall));
+    }
+
+    #[test]
+    fn slow_regression_is_not_flagged_stale() {
+        let base = baseline();
+        let mut slow = baseline();
+        for e in &mut slow.entries {
+            e.wall_s *= 2.0;
+        }
+        let report = compare(&base, &slow, &CompareThresholds::default());
+        assert!(!report.passed());
+        assert!(!report.suspects_stale_baseline());
+
+        // A clean pass suspects nothing either.
+        assert!(!compare(&base, &base, &CompareThresholds::default()).suspects_stale_baseline());
     }
 
     #[test]

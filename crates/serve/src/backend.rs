@@ -1,0 +1,47 @@
+//! The policy abstraction the server batches over.
+
+/// A frozen policy that maps state vectors to portfolio weight vectors.
+///
+/// Implementations must be safe to call from multiple batcher threads at
+/// once (`&self`, `Send + Sync`) and deterministic in `(state, seed)`:
+/// the same state and seed must produce bitwise the same weights no
+/// matter how the sample is grouped into a batch. The PR 1 batched SNN
+/// kernels guarantee exactly this (per-sample RNGs), which is what makes
+/// dynamic micro-batching invisible to callers.
+pub trait InferenceBackend: Send + Sync {
+    /// Short human-readable backend name (e.g. `"snn-float"`).
+    fn name(&self) -> &str;
+
+    /// Expected state-vector length.
+    fn state_dim(&self) -> usize;
+
+    /// Length of the produced weight vector (`num_assets + 1`).
+    fn action_dim(&self) -> usize;
+
+    /// Runs one batch: `states` holds `seeds.len()` rows of
+    /// [`state_dim`](Self::state_dim) values flattened row-major, sample
+    /// `b` is evaluated with seed `seeds[b]`. Returns one weight vector
+    /// per sample, in order.
+    fn infer_batch(&self, states: &[f64], seeds: &[u64]) -> Vec<Vec<f64>>;
+
+    /// Builds a state vector from a raw OHLC window, for protocol clients
+    /// that ship candles instead of features. `candles_flat` holds
+    /// `[open, high, low, close]` per asset per period, assets
+    /// consecutive within a period, oldest period first;
+    /// `prev_weights` is the previous portfolio vector
+    /// (`num_assets + 1`, cash first).
+    ///
+    /// # Errors
+    ///
+    /// The default implementation rejects window requests; backends with
+    /// a state builder override it and report shape mismatches.
+    fn state_from_window(
+        &self,
+        candles_flat: &[f64],
+        num_assets: usize,
+        prev_weights: &[f64],
+    ) -> Result<Vec<f64>, String> {
+        let _ = (candles_flat, num_assets, prev_weights);
+        Err("this backend does not accept raw OHLC windows".to_string())
+    }
+}

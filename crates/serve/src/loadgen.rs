@@ -1,0 +1,528 @@
+//! Seeded load generation against a running server, with a
+//! `spikefolio.serve.v1` JSON report.
+//!
+//! Two modes: **closed-loop** (`concurrency` connections, each sending
+//! its next request the moment the previous response lands — measures
+//! peak sustainable throughput) and **open-loop** (requests paced at a
+//! target aggregate rate regardless of response latency — measures
+//! latency under a fixed offered load, the way a market data feed
+//! actually arrives). Request states are derived from the run seed and
+//! the request index only, so two runs against a deterministic server
+//! must produce bitwise-identical weights; `runs: 2` checks exactly
+//! that.
+
+use std::collections::{BTreeMap, HashMap};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spikefolio_telemetry::value::{parse, Value};
+
+use crate::lock;
+use crate::protocol::SERVE_SCHEMA;
+
+/// Load-generation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadgenOptions {
+    /// Total requests per run.
+    pub requests: usize,
+    /// Concurrent connections (closed-loop workers, or pacing lanes in
+    /// open-loop mode).
+    pub concurrency: usize,
+    /// `Some(rps)` switches to open-loop mode at that aggregate rate.
+    pub open_rps: Option<f64>,
+    /// Seed for the generated request states.
+    pub seed: u64,
+    /// Per-request deadline forwarded to the server (ms).
+    pub deadline_ms: Option<u64>,
+    /// Number of identical passes; with 2 the report carries a bitwise
+    /// determinism verdict comparing served weights across passes.
+    pub runs: usize,
+}
+
+impl Default for LoadgenOptions {
+    fn default() -> Self {
+        Self {
+            requests: 256,
+            concurrency: 8,
+            open_rps: None,
+            seed: 2016,
+            deadline_ms: None,
+            runs: 1,
+        }
+    }
+}
+
+/// Latency percentiles over served responses (µs).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencySummary {
+    /// Median.
+    pub p50_us: u64,
+    /// 95th percentile.
+    pub p95_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// Arithmetic mean.
+    pub mean_us: u64,
+    /// Worst observed.
+    pub max_us: u64,
+}
+
+/// One load-generation run, rendered with [`LoadReport::to_json`] /
+/// [`LoadReport::render`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// `"closed"` or `"open"`.
+    pub mode: String,
+    /// Requests sent.
+    pub requests: u64,
+    /// Responses with weights.
+    pub served: u64,
+    /// Sheds reported as `queue_full`.
+    pub shed_queue_full: u64,
+    /// Sheds reported as `deadline`.
+    pub shed_deadline: u64,
+    /// Every other error line.
+    pub errors: u64,
+    /// Wall time of the run (s).
+    pub wall_s: f64,
+    /// Served responses per second.
+    pub throughput_rps: f64,
+    /// Latency percentiles over served responses.
+    pub latency: LatencySummary,
+    /// `batch size → response count` distribution reported by the
+    /// server (absent in deterministic mode, which omits batch fields).
+    pub batch_hist: Vec<(usize, u64)>,
+    /// Largest batch observed in responses.
+    pub max_batch: u64,
+    /// `Some(true)` when a two-pass run produced bitwise-identical
+    /// weights, `Some(false)` when it did not, `None` for single runs.
+    pub deterministic: Option<bool>,
+}
+
+impl LoadReport {
+    /// Serializes as a `spikefolio.serve.v1` JSON object.
+    pub fn to_json(&self) -> String {
+        let hist = Value::List(
+            self.batch_hist
+                .iter()
+                .map(|&(size, count)| {
+                    Value::Map(vec![
+                        ("batch".to_string(), Value::U64(size as u64)),
+                        ("count".to_string(), Value::U64(count)),
+                    ])
+                })
+                .collect(),
+        );
+        let latency = Value::Map(vec![
+            ("p50_us".to_string(), Value::U64(self.latency.p50_us)),
+            ("p95_us".to_string(), Value::U64(self.latency.p95_us)),
+            ("p99_us".to_string(), Value::U64(self.latency.p99_us)),
+            ("mean_us".to_string(), Value::U64(self.latency.mean_us)),
+            ("max_us".to_string(), Value::U64(self.latency.max_us)),
+        ]);
+        Value::Map(vec![
+            ("schema".to_string(), Value::Str(SERVE_SCHEMA.to_string())),
+            ("kind".to_string(), Value::Str("loadgen_report".to_string())),
+            ("mode".to_string(), Value::Str(self.mode.clone())),
+            ("requests".to_string(), Value::U64(self.requests)),
+            ("served".to_string(), Value::U64(self.served)),
+            ("shed_queue_full".to_string(), Value::U64(self.shed_queue_full)),
+            ("shed_deadline".to_string(), Value::U64(self.shed_deadline)),
+            ("errors".to_string(), Value::U64(self.errors)),
+            ("wall_s".to_string(), Value::F64(self.wall_s)),
+            ("throughput_rps".to_string(), Value::F64(self.throughput_rps)),
+            ("latency".to_string(), latency),
+            ("batch_hist".to_string(), hist),
+            ("max_batch".to_string(), Value::U64(self.max_batch)),
+            ("deterministic".to_string(), self.deterministic.map_or(Value::Null, Value::Bool)),
+        ])
+        .to_json()
+    }
+
+    /// Human-readable multi-line summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "loadgen ({} loop): {} requests in {:.3} s -> {:.1} served/s\n",
+            self.mode, self.requests, self.wall_s, self.throughput_rps
+        ));
+        out.push_str(&format!(
+            "  served {}  shed {} (queue_full {}, deadline {})  errors {}\n",
+            self.served,
+            self.shed_queue_full + self.shed_deadline,
+            self.shed_queue_full,
+            self.shed_deadline,
+            self.errors
+        ));
+        out.push_str(&format!(
+            "  latency p50 {} us  p95 {} us  p99 {} us  mean {} us  max {} us\n",
+            self.latency.p50_us,
+            self.latency.p95_us,
+            self.latency.p99_us,
+            self.latency.mean_us,
+            self.latency.max_us
+        ));
+        if self.batch_hist.is_empty() {
+            out.push_str("  batch sizes: (not reported)\n");
+        } else {
+            out.push_str("  batch sizes:");
+            for (size, count) in &self.batch_hist {
+                out.push_str(&format!(" {size}x{count}"));
+            }
+            out.push('\n');
+        }
+        if let Some(ok) = self.deterministic {
+            out.push_str(&format!(
+                "  determinism: {}\n",
+                if ok { "bitwise identical across runs" } else { "MISMATCH across runs" }
+            ));
+        }
+        out
+    }
+}
+
+/// Nearest-rank percentile of an already sorted slice.
+fn percentile(sorted: &[u64], pct: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn summarize_latencies(mut lat_us: Vec<u64>) -> LatencySummary {
+    if lat_us.is_empty() {
+        return LatencySummary::default();
+    }
+    lat_us.sort_unstable();
+    let sum: u64 = lat_us.iter().sum();
+    LatencySummary {
+        p50_us: percentile(&lat_us, 50.0),
+        p95_us: percentile(&lat_us, 95.0),
+        p99_us: percentile(&lat_us, 99.0),
+        mean_us: sum / lat_us.len() as u64,
+        max_us: *lat_us.last().unwrap_or(&0),
+    }
+}
+
+/// The state vector for request `index`: depends only on `(seed, index)`
+/// so every run regenerates the identical stream.
+fn request_state(seed: u64, index: u64, dim: usize) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed ^ (index.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+    (0..dim).map(|_| rng.gen_range(0.8..1.2)).collect()
+}
+
+fn request_seed(seed: u64, index: u64) -> u64 {
+    seed.wrapping_add(index).wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// Accumulated per-run observations.
+#[derive(Default)]
+struct RunTally {
+    served: u64,
+    shed_queue_full: u64,
+    shed_deadline: u64,
+    errors: u64,
+    latencies_us: Vec<u64>,
+    batch_hist: BTreeMap<usize, u64>,
+    weights_bits: HashMap<u64, Vec<u64>>,
+}
+
+impl RunTally {
+    fn absorb_response(&mut self, line: &str, latency_us: u64) {
+        let Ok(v) = parse(line) else {
+            self.errors += 1;
+            return;
+        };
+        let ok = matches!(v.get("ok"), Some(Value::Bool(true)));
+        if !ok {
+            match v.get("error").and_then(Value::as_str) {
+                Some("queue_full") => self.shed_queue_full += 1,
+                Some("deadline") => self.shed_deadline += 1,
+                _ => self.errors += 1,
+            }
+            return;
+        }
+        self.served += 1;
+        self.latencies_us.push(latency_us);
+        if let Some(batch) = v.get("batch").and_then(Value::as_u64) {
+            *self.batch_hist.entry(batch as usize).or_insert(0) += 1;
+        }
+        if let (Some(id), Some(weights)) =
+            (v.get("id").and_then(Value::as_u64), v.get("weights").and_then(Value::as_list))
+        {
+            let bits: Vec<u64> =
+                weights.iter().filter_map(Value::as_f64).map(f64::to_bits).collect();
+            self.weights_bits.insert(id, bits);
+        }
+    }
+
+    fn merge(&mut self, other: RunTally) {
+        self.served += other.served;
+        self.shed_queue_full += other.shed_queue_full;
+        self.shed_deadline += other.shed_deadline;
+        self.errors += other.errors;
+        self.latencies_us.extend(other.latencies_us);
+        for (k, c) in other.batch_hist {
+            *self.batch_hist.entry(k).or_insert(0) += c;
+        }
+        self.weights_bits.extend(other.weights_bits);
+    }
+}
+
+fn render_request(id: u64, state: &[f64], seed: u64, deadline_ms: Option<u64>) -> String {
+    let mut pairs = vec![
+        ("id".to_string(), Value::U64(id)),
+        ("state".to_string(), Value::List(state.iter().map(|&x| Value::F64(x)).collect())),
+        ("seed".to_string(), Value::U64(seed)),
+    ];
+    if let Some(ms) = deadline_ms {
+        pairs.push(("deadline_ms".to_string(), Value::U64(ms)));
+    }
+    Value::Map(pairs).to_json()
+}
+
+/// Queries the server's `info` verb for the expected state dimension.
+fn probe_state_dim(addr: &str) -> Result<usize, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream.set_nodelay(true).map_err(|e| format!("set_nodelay: {e}"))?;
+    let mut writer = stream.try_clone().map_err(|e| format!("clone stream: {e}"))?;
+    writer.write_all(b"{\"cmd\":\"info\"}\n").map_err(|e| format!("send info: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).map_err(|e| format!("read info: {e}"))?;
+    let v = parse(line.trim()).map_err(|e| format!("parse info response: {e}"))?;
+    v.get("state_dim")
+        .and_then(Value::as_u64)
+        .map(|d| d as usize)
+        .ok_or_else(|| format!("info response carries no state_dim: {}", line.trim()))
+}
+
+/// One closed-loop worker: send, wait, repeat over its pre-rendered
+/// request lines.
+fn closed_loop_worker(addr: &str, requests: &[(u64, String)]) -> Result<RunTally, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    // Without this, Nagle on our side plus delayed ACK on the server's
+    // turns every request into a ~40 ms stall: the newline sits in the
+    // socket until the server acknowledges the first fragment.
+    stream.set_nodelay(true).map_err(|e| format!("set_nodelay: {e}"))?;
+    let mut writer = stream.try_clone().map_err(|e| format!("clone stream: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let mut tally = RunTally::default();
+    let mut line = String::new();
+    for (i, req) in requests {
+        let sent = Instant::now();
+        // One write_all per line: writeln! would split the body and the
+        // newline into separate packets.
+        writer.write_all(req.as_bytes()).map_err(|e| format!("send request {i}: {e}"))?;
+        line.clear();
+        let n = reader.read_line(&mut line).map_err(|e| format!("read response {i}: {e}"))?;
+        if n == 0 {
+            return Err(format!("server closed the connection before response {i}"));
+        }
+        let latency_us = (sent.elapsed().as_secs_f64() * 1e6) as u64;
+        tally.absorb_response(line.trim(), latency_us);
+    }
+    Ok(tally)
+}
+
+/// One open-loop lane: a paced writer plus a reader tracking send times.
+fn open_loop_worker(
+    addr: &str,
+    requests: Vec<(u64, String)>,
+    interarrival: Duration,
+) -> Result<RunTally, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream.set_nodelay(true).map_err(|e| format!("set_nodelay: {e}"))?;
+    let mut writer = stream.try_clone().map_err(|e| format!("clone stream: {e}"))?;
+    let reader_stream = stream;
+    let sent_at = Mutex::new(HashMap::<u64, Instant>::new());
+    let expected = requests.len();
+
+    std::thread::scope(|scope| {
+        let sent_ref = &sent_at;
+        let writer_handle = scope.spawn(move || -> Result<(), String> {
+            let start = Instant::now();
+            for (k, (i, req)) in requests.iter().enumerate() {
+                let due = start + interarrival.mul_f64(k as f64);
+                let now = Instant::now();
+                if due > now {
+                    std::thread::sleep(due - now);
+                }
+                lock(sent_ref).insert(*i, Instant::now());
+                writer.write_all(req.as_bytes()).map_err(|e| format!("send request {i}: {e}"))?;
+            }
+            Ok(())
+        });
+
+        let mut tally = RunTally::default();
+        let mut reader = BufReader::new(reader_stream);
+        let mut line = String::new();
+        for _ in 0..expected {
+            line.clear();
+            let n = reader.read_line(&mut line).map_err(|e| format!("read response: {e}"))?;
+            if n == 0 {
+                return Err("server closed the connection mid-run".to_string());
+            }
+            let trimmed = line.trim();
+            let latency_us = parse(trimmed)
+                .ok()
+                .and_then(|v| v.get("id").and_then(Value::as_u64))
+                .and_then(|id| lock(sent_ref).remove(&id))
+                .map_or(0, |t| (t.elapsed().as_secs_f64() * 1e6) as u64);
+            tally.absorb_response(trimmed, latency_us);
+        }
+        writer_handle.join().map_err(|_| "writer lane panicked".to_string())??;
+        Ok(tally)
+    })
+}
+
+fn one_pass(addr: &str, opts: &LoadgenOptions, dim: usize) -> Result<(RunTally, f64), String> {
+    let concurrency = opts.concurrency.max(1).min(opts.requests.max(1));
+    // The workload is materialized before the clock starts: rendering a
+    // few hundred floats of JSON per request costs real CPU, and on small
+    // machines that client-side work would otherwise be billed to the
+    // server under test.
+    let mut assignments: Vec<Vec<(u64, String)>> = vec![Vec::new(); concurrency];
+    for i in 0..opts.requests as u64 {
+        let state = request_state(opts.seed, i, dim);
+        let mut req = render_request(i, &state, request_seed(opts.seed, i), opts.deadline_ms);
+        req.push('\n');
+        assignments[(i as usize) % concurrency].push((i, req));
+    }
+    let interarrival = opts.open_rps.map(|rps| {
+        let lane_rate = (rps / concurrency as f64).max(1e-3);
+        Duration::from_secs_f64(1.0 / lane_rate)
+    });
+    let t0 = Instant::now();
+    let tallies: Vec<Result<RunTally, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = assignments
+            .into_iter()
+            .map(|requests| {
+                scope.spawn(move || match interarrival {
+                    None => closed_loop_worker(addr, &requests),
+                    Some(gap) => open_loop_worker(addr, requests, gap),
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|_| Err("loadgen worker panicked".to_string())))
+            .collect()
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+    let mut total = RunTally::default();
+    for t in tallies {
+        total.merge(t?);
+    }
+    Ok((total, wall_s))
+}
+
+/// Runs load against `addr` and produces the report. With
+/// `opts.runs >= 2` the identical request stream is replayed and served
+/// weights are compared bitwise across passes (the report's
+/// `deterministic` field); throughput and latency come from the first
+/// pass.
+///
+/// # Errors
+///
+/// Connection, protocol, or worker failures as a message.
+pub fn run_loadgen(addr: &str, opts: &LoadgenOptions) -> Result<LoadReport, String> {
+    if opts.requests == 0 {
+        return Err("loadgen needs at least one request".to_string());
+    }
+    let dim = probe_state_dim(addr)?;
+    let (first, wall_s) = one_pass(addr, opts, dim)?;
+    let mut deterministic = None;
+    for _ in 1..opts.runs.max(1) {
+        let (next, _) = one_pass(addr, opts, dim)?;
+        let same = next.weights_bits == first.weights_bits
+            && next.weights_bits.len() == first.served as usize;
+        deterministic = Some(deterministic.unwrap_or(true) && same);
+    }
+    let max_batch = first.batch_hist.keys().max().copied().unwrap_or(0) as u64;
+    Ok(LoadReport {
+        mode: if opts.open_rps.is_some() { "open" } else { "closed" }.to_string(),
+        requests: opts.requests as u64,
+        served: first.served,
+        shed_queue_full: first.shed_queue_full,
+        shed_deadline: first.shed_deadline,
+        errors: first.errors,
+        wall_s,
+        throughput_rps: if wall_s > 0.0 { first.served as f64 / wall_s } else { 0.0 },
+        latency: summarize_latencies(first.latencies_us),
+        batch_hist: first.batch_hist.into_iter().collect(),
+        max_batch,
+        deterministic,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 50.0), 50);
+        assert_eq!(percentile(&sorted, 95.0), 95);
+        assert_eq!(percentile(&sorted, 99.0), 99);
+        assert_eq!(percentile(&sorted, 100.0), 100);
+        assert_eq!(percentile(&[7], 50.0), 7);
+        assert_eq!(percentile(&[], 50.0), 0);
+    }
+
+    #[test]
+    fn request_stream_is_reproducible() {
+        let a = request_state(9, 3, 16);
+        let b = request_state(9, 3, 16);
+        assert_eq!(a, b);
+        assert_ne!(request_state(9, 4, 16), a);
+        assert_eq!(request_seed(9, 3), request_seed(9, 3));
+    }
+
+    #[test]
+    fn tally_classifies_responses() {
+        let mut t = RunTally::default();
+        t.absorb_response(r#"{"id":1,"ok":true,"weights":[0.5,0.5],"batch":4}"#, 100);
+        t.absorb_response(r#"{"id":2,"ok":false,"error":"queue_full","message":"m"}"#, 5);
+        t.absorb_response(r#"{"id":3,"ok":false,"error":"deadline","message":"m"}"#, 5);
+        t.absorb_response("garbage", 5);
+        assert_eq!(t.served, 1);
+        assert_eq!(t.shed_queue_full, 1);
+        assert_eq!(t.shed_deadline, 1);
+        assert_eq!(t.errors, 1);
+        assert_eq!(t.batch_hist.get(&4), Some(&1));
+        assert_eq!(t.weights_bits.get(&1).map(Vec::len), Some(2));
+    }
+
+    #[test]
+    fn report_json_is_parseable_and_schema_tagged() {
+        let report = LoadReport {
+            mode: "closed".to_string(),
+            requests: 10,
+            served: 9,
+            shed_queue_full: 1,
+            shed_deadline: 0,
+            errors: 0,
+            wall_s: 0.5,
+            throughput_rps: 18.0,
+            latency: LatencySummary { p50_us: 10, p95_us: 20, p99_us: 30, mean_us: 12, max_us: 31 },
+            batch_hist: vec![(1, 3), (4, 2)],
+            max_batch: 4,
+            deterministic: Some(true),
+        };
+        let v = parse(&report.to_json()).expect("report must be valid JSON");
+        assert_eq!(v.get("schema").and_then(Value::as_str), Some(SERVE_SCHEMA));
+        assert_eq!(v.get("served").and_then(Value::as_u64), Some(9));
+        assert_eq!(v.get("max_batch").and_then(Value::as_u64), Some(4));
+        let text = report.render();
+        assert!(text.contains("p95"));
+        assert!(text.contains("bitwise identical"));
+    }
+}

@@ -1,0 +1,351 @@
+//! The `spikefolio.serve.v1` newline-delimited JSON wire protocol.
+//!
+//! One JSON object per line in each direction. Inference request:
+//!
+//! ```json
+//! {"id":1,"state":[...],"seed":9,"deadline_ms":50}
+//! {"id":2,"window":[...],"assets":11,"prev_weights":[...],"seed":9}
+//! ```
+//!
+//! `state` is a ready feature vector; `window` ships raw candles as
+//! `[open, high, low, close]` per asset per period (assets consecutive
+//! within a period, oldest period first) and is turned into a state by
+//! the backend's `StateBuilder`. Control verbs:
+//!
+//! ```json
+//! {"cmd":"info"} {"cmd":"stats"} {"cmd":"ping"}
+//! {"cmd":"reload","path":"model.ckpt"} {"cmd":"shutdown"}
+//! ```
+//!
+//! Successful inference response (deterministic mode omits the three
+//! timing/batch fields so identical request streams render bitwise
+//! identical lines):
+//!
+//! ```json
+//! {"id":1,"ok":true,"weights":[...],"model_version":2,
+//!  "renormalized":false,"batch":4,"queue_us":120,"infer_us":900}
+//! ```
+//!
+//! Errors: `{"id":1,"ok":false,"error":"queue_full","message":"..."}`
+//! with `error` one of `parse`, `invalid`, `queue_full`, `deadline`,
+//! `shutting_down`, `reload_failed`.
+
+use spikefolio_telemetry::value::{parse, Value};
+
+use crate::service::{InferenceResponse, ServeError, ShedReason};
+
+/// Schema tag carried by `info` responses and loadgen reports.
+pub const SERVE_SCHEMA: &str = "spikefolio.serve.v1";
+
+/// The payload of an inference request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// A ready state vector.
+    State(Vec<f64>),
+    /// A raw OHLC window to run through the backend's state builder.
+    Window {
+        /// `[open, high, low, close]` × assets × periods, oldest first.
+        candles: Vec<f64>,
+        /// Number of risky assets in the window.
+        num_assets: usize,
+        /// Previous portfolio vector (`num_assets + 1`, cash first).
+        prev_weights: Vec<f64>,
+    },
+}
+
+/// A parsed inference request line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireInfer {
+    /// Caller id, echoed back.
+    pub id: u64,
+    /// State or window payload.
+    pub payload: Payload,
+    /// Encoder seed (defaults to 0).
+    pub seed: u64,
+    /// Relative deadline in milliseconds, if any.
+    pub deadline_ms: Option<u64>,
+}
+
+/// A parsed control line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Control {
+    /// Model / schema / dimensions probe.
+    Info,
+    /// Counter snapshot.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Hot-swap to the checkpoint at the given path.
+    Reload(String),
+    /// Stop accepting connections and drain.
+    Shutdown,
+}
+
+/// Any parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireRequest {
+    /// An inference request.
+    Infer(WireInfer),
+    /// A control verb.
+    Control(Control),
+}
+
+/// A request line that could not be parsed; `id` is echoed when it was
+/// recoverable so the client can correlate the error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseFail {
+    /// The request id, when one could be read.
+    pub id: Option<u64>,
+    /// What was wrong.
+    pub message: String,
+}
+
+fn f64_list(v: &Value, what: &str) -> Result<Vec<f64>, String> {
+    let items = v.as_list().ok_or_else(|| format!("{what} must be an array of numbers"))?;
+    items
+        .iter()
+        .map(|x| x.as_f64().ok_or_else(|| format!("{what} must contain only numbers")))
+        .collect()
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// [`ParseFail`] with the offending detail and the request id when
+/// present.
+pub fn parse_request(line: &str) -> Result<WireRequest, ParseFail> {
+    let value =
+        parse(line).map_err(|e| ParseFail { id: None, message: format!("bad JSON: {e}") })?;
+    let id = value.get("id").and_then(Value::as_u64);
+    let fail = |message: String| ParseFail { id, message };
+
+    if let Some(cmd) = value.get("cmd").and_then(Value::as_str) {
+        let control = match cmd {
+            "info" => Control::Info,
+            "stats" => Control::Stats,
+            "ping" => Control::Ping,
+            "shutdown" => Control::Shutdown,
+            "reload" => {
+                let path = value
+                    .get("path")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| fail("reload needs a \"path\" string".to_string()))?;
+                Control::Reload(path.to_string())
+            }
+            other => return Err(fail(format!("unknown cmd {other:?}"))),
+        };
+        return Ok(WireRequest::Control(control));
+    }
+
+    let id = id.ok_or_else(|| ParseFail {
+        id: None,
+        message: "inference request needs a non-negative integer \"id\"".to_string(),
+    })?;
+    let fail = |message: String| ParseFail { id: Some(id), message };
+
+    let payload = if let Some(state) = value.get("state") {
+        Payload::State(f64_list(state, "state").map_err(fail)?)
+    } else if let Some(window) = value.get("window") {
+        let candles = f64_list(window, "window").map_err(fail)?;
+        let num_assets = value
+            .get("assets")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| fail("window requests need an \"assets\" count".to_string()))?
+            as usize;
+        let prev_weights = match value.get("prev_weights") {
+            Some(v) => f64_list(v, "prev_weights").map_err(fail)?,
+            None => Vec::new(),
+        };
+        Payload::Window { candles, num_assets, prev_weights }
+    } else {
+        return Err(fail("request needs a \"state\" or \"window\" payload".to_string()));
+    };
+
+    let seed = value.get("seed").and_then(Value::as_u64).unwrap_or(0);
+    let deadline_ms = value.get("deadline_ms").and_then(Value::as_u64);
+    Ok(WireRequest::Infer(WireInfer { id, payload, seed, deadline_ms }))
+}
+
+/// Renders a served response. In `deterministic` mode the `batch`,
+/// `queue_us`, and `infer_us` fields are omitted so the line depends
+/// only on `(model, state, seed)`.
+pub fn render_response(resp: &InferenceResponse, deterministic: bool) -> String {
+    let mut pairs = vec![
+        ("id".to_string(), Value::U64(resp.id)),
+        ("ok".to_string(), Value::Bool(true)),
+        ("weights".to_string(), Value::List(resp.weights.iter().map(|&w| Value::F64(w)).collect())),
+        ("model_version".to_string(), Value::U64(resp.model_version)),
+        ("renormalized".to_string(), Value::Bool(resp.renormalized)),
+    ];
+    if !deterministic {
+        pairs.push(("batch".to_string(), Value::U64(resp.batch_size as u64)));
+        pairs.push(("queue_us".to_string(), Value::U64(resp.queue_us)));
+        pairs.push(("infer_us".to_string(), Value::U64(resp.infer_us)));
+    }
+    Value::Map(pairs).to_json()
+}
+
+/// Wire name for each error class.
+pub fn error_kind(err: &ServeError) -> &'static str {
+    match err {
+        ServeError::Shed(ShedReason::QueueFull) => "queue_full",
+        ServeError::Shed(ShedReason::DeadlineExceeded) => "deadline",
+        ServeError::Shed(ShedReason::ShuttingDown) => "shutting_down",
+        ServeError::Invalid(_) => "invalid",
+    }
+}
+
+/// Renders an error line.
+pub fn render_error(id: Option<u64>, kind: &str, message: &str) -> String {
+    let id_value = id.map_or(Value::Null, Value::U64);
+    Value::Map(vec![
+        ("id".to_string(), id_value),
+        ("ok".to_string(), Value::Bool(false)),
+        ("error".to_string(), Value::Str(kind.to_string())),
+        ("message".to_string(), Value::Str(message.to_string())),
+    ])
+    .to_json()
+}
+
+/// Renders a simple `{"ok":true,...}` control acknowledgement from
+/// prebuilt fields.
+pub fn render_ok(extra: Vec<(String, Value)>) -> String {
+    let mut pairs = vec![("ok".to_string(), Value::Bool(true))];
+    pairs.extend(extra);
+    Value::Map(pairs).to_json()
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+    use super::*;
+
+    #[test]
+    fn parses_state_request_with_defaults() {
+        let req = parse_request(r#"{"id":3,"state":[1.0,2.5,-0.5]}"#).unwrap();
+        match req {
+            WireRequest::Infer(inf) => {
+                assert_eq!(inf.id, 3);
+                assert_eq!(inf.seed, 0);
+                assert_eq!(inf.deadline_ms, None);
+                assert_eq!(inf.payload, Payload::State(vec![1.0, 2.5, -0.5]));
+            }
+            other => panic!("expected infer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_window_request() {
+        let req = parse_request(
+            r#"{"id":9,"window":[1,2,3,4,5,6,7,8],"assets":1,"prev_weights":[0.5,0.5],"seed":7,"deadline_ms":20}"#,
+        )
+        .unwrap();
+        match req {
+            WireRequest::Infer(inf) => {
+                assert_eq!(inf.seed, 7);
+                assert_eq!(inf.deadline_ms, Some(20));
+                match inf.payload {
+                    Payload::Window { candles, num_assets, prev_weights } => {
+                        assert_eq!(candles.len(), 8);
+                        assert_eq!(num_assets, 1);
+                        assert_eq!(prev_weights, vec![0.5, 0.5]);
+                    }
+                    other => panic!("expected window, got {other:?}"),
+                }
+            }
+            other => panic!("expected infer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_control_verbs() {
+        assert_eq!(
+            parse_request(r#"{"cmd":"info"}"#).unwrap(),
+            WireRequest::Control(Control::Info)
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"ping"}"#).unwrap(),
+            WireRequest::Control(Control::Ping)
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"reload","path":"m.ckpt"}"#).unwrap(),
+            WireRequest::Control(Control::Reload("m.ckpt".to_string()))
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"shutdown"}"#).unwrap(),
+            WireRequest::Control(Control::Shutdown)
+        );
+    }
+
+    #[test]
+    fn parse_failures_carry_the_id_when_readable() {
+        let err = parse_request(r#"{"id":5,"state":"nope"}"#).unwrap_err();
+        assert_eq!(err.id, Some(5));
+        assert!(err.message.contains("state"));
+        let err = parse_request("not json").unwrap_err();
+        assert_eq!(err.id, None);
+        let err = parse_request(r#"{"id":1}"#).unwrap_err();
+        assert!(err.message.contains("payload"));
+        let err = parse_request(r#"{"cmd":"nope"}"#).unwrap_err();
+        assert!(err.message.contains("unknown cmd"));
+    }
+
+    #[test]
+    fn response_rendering_round_trips_weights_exactly() {
+        let resp = InferenceResponse {
+            id: 11,
+            weights: vec![0.1, 0.2, 0.7],
+            model_version: 4,
+            batch_size: 8,
+            queue_us: 120,
+            infer_us: 900,
+            renormalized: false,
+        };
+        let line = render_response(&resp, false);
+        let v = parse(&line).unwrap();
+        assert_eq!(v.get("id").and_then(Value::as_u64), Some(11));
+        assert_eq!(v.get("model_version").and_then(Value::as_u64), Some(4));
+        assert_eq!(v.get("batch").and_then(Value::as_u64), Some(8));
+        let weights = v.get("weights").and_then(Value::as_list).unwrap();
+        for (got, want) in weights.iter().zip(&resp.weights) {
+            assert_eq!(got.as_f64().unwrap().to_bits(), want.to_bits());
+        }
+    }
+
+    #[test]
+    fn deterministic_rendering_omits_timing() {
+        let resp = InferenceResponse {
+            id: 1,
+            weights: vec![1.0],
+            model_version: 1,
+            batch_size: 3,
+            queue_us: 5,
+            infer_us: 6,
+            renormalized: false,
+        };
+        let line = render_response(&resp, true);
+        assert!(!line.contains("batch"));
+        assert!(!line.contains("queue_us"));
+        assert!(!line.contains("infer_us"));
+        assert!(line.contains("model_version"));
+    }
+
+    #[test]
+    fn error_rendering_is_parseable() {
+        let line = render_error(Some(2), "queue_full", "shed: admission queue full");
+        let v = parse(&line).unwrap();
+        assert_eq!(v.get("error").and_then(Value::as_str), Some("queue_full"));
+        assert_eq!(v.get("id").and_then(Value::as_u64), Some(2));
+        let line = render_error(None, "parse", "bad JSON");
+        assert!(parse(&line).is_ok());
+    }
+
+    #[test]
+    fn error_kinds_cover_all_variants() {
+        assert_eq!(error_kind(&ServeError::Shed(ShedReason::QueueFull)), "queue_full");
+        assert_eq!(error_kind(&ServeError::Shed(ShedReason::DeadlineExceeded)), "deadline");
+        assert_eq!(error_kind(&ServeError::Shed(ShedReason::ShuttingDown)), "shutting_down");
+        assert_eq!(error_kind(&ServeError::Invalid("x".into())), "invalid");
+    }
+}

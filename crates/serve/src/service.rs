@@ -1,0 +1,748 @@
+//! The in-process serving engine: admission queue, dynamic micro-batcher,
+//! deadlines, shedding, boundary validation, graceful drain.
+//!
+//! Requests enter through [`Service::submit`] (or the blocking
+//! [`Service::call`]) into a bounded `std::sync::mpsc` queue. Batcher
+//! workers drain the queue up to [`BatchPolicy::max_batch`] requests or
+//! [`BatchPolicy::max_wait_us`] microseconds — whichever comes first —
+//! run one batched forward on the current model, validate every outgoing
+//! weight vector, and fan results back out over per-request reply
+//! channels. A full queue sheds immediately ([`ShedReason::QueueFull`]);
+//! a request whose deadline expires while queued is shed at dispatch time
+//! ([`ShedReason::DeadlineExceeded`]) rather than wasting a batch slot.
+//! [`Service::shutdown`] closes admission, drains every queued request,
+//! and joins the workers.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use spikefolio_telemetry::{labels, Recorder};
+
+use crate::lock;
+use crate::store::ModelStore;
+
+/// Relative tolerance before a weight sum triggers renormalization.
+/// Softmax output sums to 1 within a few ULP; anything past this is a
+/// backend defect worth counting, not rounding noise.
+const SIMPLEX_TOL: f64 = 1e-6;
+/// Most negative component accepted (clamped to zero) before the vector
+/// is rejected outright.
+const NEG_TOL: f64 = -1e-9;
+
+/// Micro-batch formation policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Largest batch a worker dispatches.
+    pub max_batch: usize,
+    /// Longest a worker waits (µs) for the batch to fill after the first
+    /// request arrives. `0` means "dispatch whatever is already queued".
+    pub max_wait_us: u64,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        Self { max_batch: 32, max_wait_us: 2_000 }
+    }
+}
+
+/// Service construction parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Batch formation policy.
+    pub batch: BatchPolicy,
+    /// Admission queue capacity; a full queue sheds.
+    pub queue_capacity: usize,
+    /// Batcher worker threads. Forced to 1 in deterministic mode.
+    pub workers: usize,
+    /// Deterministic single-worker mode: one worker, and the protocol
+    /// layer omits timing fields so identical request streams render
+    /// bitwise-identical responses.
+    pub deterministic: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            batch: BatchPolicy::default(),
+            queue_capacity: 256,
+            workers: 1,
+            deterministic: false,
+        }
+    }
+}
+
+/// One inference request.
+#[derive(Debug, Clone)]
+pub struct InferenceRequest {
+    /// Caller-chosen id, echoed back in the response.
+    pub id: u64,
+    /// State vector; must match the serving model's `state_dim`.
+    pub state: Vec<f64>,
+    /// Seed for the policy's stochastic encoder. Same `(model, state,
+    /// seed)` always yields bitwise the same weights.
+    pub seed: u64,
+    /// Absolute deadline; the request is shed if still queued past it.
+    pub deadline: Option<Instant>,
+}
+
+/// One served response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferenceResponse {
+    /// Echo of the request id.
+    pub id: u64,
+    /// Portfolio weight vector (cash first), validated finite and
+    /// on-simplex.
+    pub weights: Vec<f64>,
+    /// Version of the model that answered.
+    pub model_version: u64,
+    /// Size of the micro-batch this request rode in.
+    pub batch_size: usize,
+    /// Time spent queued before dispatch (µs).
+    pub queue_us: u64,
+    /// Wall time of the batched forward (µs, whole batch).
+    pub infer_us: u64,
+    /// Whether the weight vector needed renormalization at the boundary.
+    pub renormalized: bool,
+}
+
+/// Why a request was shed without being served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The admission queue was full.
+    QueueFull,
+    /// The deadline expired before dispatch.
+    DeadlineExceeded,
+    /// The service is shutting down.
+    ShuttingDown,
+}
+
+/// A request that produced no weights.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Load-shedding: the request was never run.
+    Shed(ShedReason),
+    /// The request (or the model's output for it) was invalid.
+    Invalid(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Shed(ShedReason::QueueFull) => write!(f, "shed: admission queue full"),
+            ServeError::Shed(ShedReason::DeadlineExceeded) => write!(f, "shed: deadline exceeded"),
+            ServeError::Shed(ShedReason::ShuttingDown) => write!(f, "shed: shutting down"),
+            ServeError::Invalid(msg) => write!(f, "invalid: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Point-in-time view of the service counters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StatsSnapshot {
+    /// Requests admitted into the queue.
+    pub requests: u64,
+    /// Responses served with weights.
+    pub served: u64,
+    /// Sheds: queue full at admission.
+    pub shed_queue_full: u64,
+    /// Sheds: deadline expired while queued.
+    pub shed_deadline: u64,
+    /// Rejected at the boundary: bad dimension / non-finite input.
+    pub invalid_input: u64,
+    /// Rejected at the boundary: non-finite model output.
+    pub nonfinite_output: u64,
+    /// Outputs renormalized back onto the simplex.
+    pub renormalized: u64,
+    /// Micro-batches executed.
+    pub batches: u64,
+    /// Samples served across all batches.
+    pub batched_samples: u64,
+    /// Largest micro-batch dispatched.
+    pub max_batch: u64,
+    /// Requests currently queued.
+    pub queue_depth: u64,
+    /// Peak queue depth observed.
+    pub queue_depth_peak: u64,
+    /// Total wall time spent inside batched forwards (seconds).
+    pub batch_wall_s: f64,
+    /// `batch size → dispatch count` histogram.
+    pub batch_hist: Vec<(usize, u64)>,
+}
+
+/// Shared atomic counters; workers update them lock-free except for the
+/// wall-clock accumulator and histogram.
+#[derive(Default)]
+struct ServeStats {
+    requests: AtomicU64,
+    served: AtomicU64,
+    shed_queue_full: AtomicU64,
+    shed_deadline: AtomicU64,
+    invalid_input: AtomicU64,
+    nonfinite_output: AtomicU64,
+    renormalized: AtomicU64,
+    batches: AtomicU64,
+    batched_samples: AtomicU64,
+    max_batch: AtomicU64,
+    queue_depth: AtomicU64,
+    queue_depth_peak: AtomicU64,
+    batch_wall: Mutex<f64>,
+    batch_hist: Mutex<BTreeMap<usize, u64>>,
+}
+
+impl ServeStats {
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            served: self.served.load(Ordering::Relaxed),
+            shed_queue_full: self.shed_queue_full.load(Ordering::Relaxed),
+            shed_deadline: self.shed_deadline.load(Ordering::Relaxed),
+            invalid_input: self.invalid_input.load(Ordering::Relaxed),
+            nonfinite_output: self.nonfinite_output.load(Ordering::Relaxed),
+            renormalized: self.renormalized.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_samples: self.batched_samples.load(Ordering::Relaxed),
+            max_batch: self.max_batch.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            queue_depth_peak: self.queue_depth_peak.load(Ordering::Relaxed),
+            batch_wall_s: *lock(&self.batch_wall),
+            batch_hist: lock(&self.batch_hist).iter().map(|(&k, &v)| (k, v)).collect(),
+        }
+    }
+}
+
+/// One queued unit of work.
+struct Job {
+    request: InferenceRequest,
+    enqueued: Instant,
+    reply: SyncSender<Result<InferenceResponse, ServeError>>,
+}
+
+/// The serving engine. Construct with [`Service::start`]; share via `Arc`.
+pub struct Service {
+    tx: Mutex<Option<SyncSender<Job>>>,
+    stats: Arc<ServeStats>,
+    store: Arc<ModelStore>,
+    config: ServiceConfig,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Service {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Service").field("config", &self.config).finish()
+    }
+}
+
+impl Service {
+    /// Starts the batcher workers and returns the running service.
+    pub fn start(store: Arc<ModelStore>, mut config: ServiceConfig) -> Arc<Self> {
+        if config.deterministic {
+            config.workers = 1;
+        }
+        config.workers = config.workers.max(1);
+        config.batch.max_batch = config.batch.max_batch.max(1);
+        config.queue_capacity = config.queue_capacity.max(1);
+        let (tx, rx) = sync_channel::<Job>(config.queue_capacity);
+        let queue_rx = Arc::new(Mutex::new(rx));
+        let service = Arc::new(Self {
+            tx: Mutex::new(Some(tx)),
+            stats: Arc::new(ServeStats::default()),
+            store,
+            config,
+            workers: Mutex::new(Vec::new()),
+        });
+        let mut handles = Vec::with_capacity(config.workers);
+        for i in 0..config.workers {
+            let rx = Arc::clone(&queue_rx);
+            let stats = Arc::clone(&service.stats);
+            let store = Arc::clone(&service.store);
+            let policy = config.batch;
+            let handle = std::thread::Builder::new()
+                .name(format!("serve-batcher-{i}"))
+                .spawn(move || worker_loop(&rx, &stats, &store, policy));
+            if let Ok(h) = handle {
+                handles.push(h);
+            }
+        }
+        *lock(&service.workers) = handles;
+        service
+    }
+
+    /// The configuration the service is running with (after
+    /// deterministic-mode normalization).
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// The model store behind this service.
+    pub fn store(&self) -> &Arc<ModelStore> {
+        &self.store
+    }
+
+    /// Validates and enqueues a request; the returned channel yields the
+    /// response (or shed/invalid error) exactly once.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Invalid`] for malformed input,
+    /// [`ServeError::Shed`] when the queue is full or the service is
+    /// shutting down.
+    pub fn submit(
+        &self,
+        request: InferenceRequest,
+    ) -> Result<Receiver<Result<InferenceResponse, ServeError>>, ServeError> {
+        let model = self.store.current();
+        let dim = model.backend.state_dim();
+        if request.state.len() != dim {
+            self.stats.invalid_input.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::Invalid(format!(
+                "state has {} values, model expects {dim}",
+                request.state.len()
+            )));
+        }
+        if !request.state.iter().all(|v| v.is_finite()) {
+            self.stats.invalid_input.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::Invalid("state contains non-finite values".to_string()));
+        }
+        let (reply_tx, reply_rx) = sync_channel(1);
+        let job = Job { request, enqueued: Instant::now(), reply: reply_tx };
+        let guard = lock(&self.tx);
+        let Some(tx) = guard.as_ref() else {
+            return Err(ServeError::Shed(ShedReason::ShuttingDown));
+        };
+        match tx.try_send(job) {
+            Ok(()) => {
+                self.stats.requests.fetch_add(1, Ordering::Relaxed);
+                let depth = self.stats.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+                self.stats.queue_depth_peak.fetch_max(depth, Ordering::Relaxed);
+                Ok(reply_rx)
+            }
+            Err(TrySendError::Full(_)) => {
+                self.stats.shed_queue_full.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::Shed(ShedReason::QueueFull))
+            }
+            Err(TrySendError::Disconnected(_)) => Err(ServeError::Shed(ShedReason::ShuttingDown)),
+        }
+    }
+
+    /// Blocking convenience: [`submit`](Self::submit) then wait.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`submit`](Self::submit) returns, plus
+    /// [`ShedReason::ShuttingDown`] if the service stops before replying.
+    pub fn call(&self, request: InferenceRequest) -> Result<InferenceResponse, ServeError> {
+        let rx = self.submit(request)?;
+        rx.recv().unwrap_or(Err(ServeError::Shed(ShedReason::ShuttingDown)))
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Dumps all counters, the queue-depth peak gauge, and the aggregate
+    /// per-batch span into `rec`. Observe-only; typically called once at
+    /// shutdown against a JSONL sink.
+    pub fn flush_telemetry(&self, rec: &mut dyn Recorder) {
+        let snap = self.stats.snapshot();
+        let (swaps, swap_failures) = self.store.swap_counts();
+        rec.counter(labels::COUNTER_SERVE_REQUESTS, snap.requests);
+        rec.counter(labels::COUNTER_SERVE_SERVED, snap.served);
+        rec.counter(labels::COUNTER_SERVE_SHED_QUEUE_FULL, snap.shed_queue_full);
+        rec.counter(labels::COUNTER_SERVE_SHED_DEADLINE, snap.shed_deadline);
+        rec.counter(labels::COUNTER_SERVE_INVALID_INPUT, snap.invalid_input);
+        rec.counter(labels::COUNTER_SERVE_NONFINITE_OUTPUT, snap.nonfinite_output);
+        rec.counter(labels::COUNTER_SERVE_RENORMALIZED, snap.renormalized);
+        rec.counter(labels::COUNTER_SERVE_BATCHES, snap.batches);
+        rec.counter(labels::COUNTER_SERVE_SWAPS, swaps);
+        rec.counter(labels::COUNTER_SERVE_SWAP_FAILURES, swap_failures);
+        rec.gauge(labels::GAUGE_SERVE_QUEUE_DEPTH, snap.queue_depth_peak as f64);
+        if snap.batches > 0 {
+            rec.span(labels::SPAN_SERVE_BATCH, snap.batch_wall_s);
+        }
+    }
+
+    /// Graceful drain: closes admission (new submits shed with
+    /// [`ShedReason::ShuttingDown`]), lets the workers serve everything
+    /// already queued, and joins them. Idempotent.
+    pub fn shutdown(&self) {
+        lock(&self.tx).take();
+        let handles: Vec<JoinHandle<()>> = lock(&self.workers).drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Collects one micro-batch: blocks for the first job, then fills up to
+/// `max_batch` within `max_wait_us`. Returns `None` when the queue is
+/// closed and empty.
+fn collect_batch(rx: &Mutex<Receiver<Job>>, policy: BatchPolicy) -> Option<Vec<Job>> {
+    let rx = lock(rx);
+    let mut jobs = Vec::with_capacity(policy.max_batch);
+    match rx.recv() {
+        Ok(job) => jobs.push(job),
+        Err(_) => return None,
+    }
+    if policy.max_wait_us == 0 {
+        while jobs.len() < policy.max_batch {
+            match rx.try_recv() {
+                Ok(job) => jobs.push(job),
+                Err(_) => break,
+            }
+        }
+        return Some(jobs);
+    }
+    let window = Duration::from_micros(policy.max_wait_us);
+    let opened = Instant::now();
+    while jobs.len() < policy.max_batch {
+        let elapsed = opened.elapsed();
+        if elapsed >= window {
+            break;
+        }
+        match rx.recv_timeout(window - elapsed) {
+            Ok(job) => jobs.push(job),
+            Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    Some(jobs)
+}
+
+fn worker_loop(
+    rx: &Mutex<Receiver<Job>>,
+    stats: &ServeStats,
+    store: &ModelStore,
+    policy: BatchPolicy,
+) {
+    while let Some(jobs) = collect_batch(rx, policy) {
+        stats.queue_depth.fetch_sub(jobs.len() as u64, Ordering::Relaxed);
+        run_batch(jobs, stats, store);
+    }
+}
+
+/// Dispatches one collected batch: sheds expired jobs, runs the rest on
+/// the current model, validates and fans out the results.
+fn run_batch(jobs: Vec<Job>, stats: &ServeStats, store: &ModelStore) {
+    let model = store.current();
+    let backend = model.backend.as_ref();
+    let dim = backend.state_dim();
+    let now = Instant::now();
+    let mut live = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        if job.request.deadline.is_some_and(|d| d <= now) {
+            stats.shed_deadline.fetch_add(1, Ordering::Relaxed);
+            let _ = job.reply.try_send(Err(ServeError::Shed(ShedReason::DeadlineExceeded)));
+        } else if job.request.state.len() != dim {
+            // A hot swap cannot change dims, but stay defensive: a shape
+            // mismatch must never reach `infer_batch` as a panic.
+            stats.invalid_input.fetch_add(1, Ordering::Relaxed);
+            let _ = job.reply.try_send(Err(ServeError::Invalid(format!(
+                "state has {} values, model expects {dim}",
+                job.request.state.len()
+            ))));
+        } else {
+            live.push(job);
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+
+    let batch = live.len();
+    let mut states = Vec::with_capacity(batch * dim);
+    let mut seeds = Vec::with_capacity(batch);
+    for job in &live {
+        states.extend_from_slice(&job.request.state);
+        seeds.push(job.request.seed);
+    }
+    let t0 = Instant::now();
+    let mut actions = backend.infer_batch(&states, &seeds);
+    let infer_s = t0.elapsed().as_secs_f64();
+    let infer_us = (infer_s * 1e6) as u64;
+
+    stats.batches.fetch_add(1, Ordering::Relaxed);
+    stats.batched_samples.fetch_add(batch as u64, Ordering::Relaxed);
+    stats.max_batch.fetch_max(batch as u64, Ordering::Relaxed);
+    *lock(&stats.batch_wall) += infer_s;
+    *lock(&stats.batch_hist).entry(batch).or_insert(0) += 1;
+
+    for (job, weights) in live.into_iter().zip(actions.drain(..)) {
+        let queue_us = (job.enqueued.elapsed().as_secs_f64() * 1e6) as u64;
+        let reply = match validate_weights(weights) {
+            Ok((weights, renormalized)) => {
+                stats.served.fetch_add(1, Ordering::Relaxed);
+                if renormalized {
+                    stats.renormalized.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(InferenceResponse {
+                    id: job.request.id,
+                    weights,
+                    model_version: model.version,
+                    batch_size: batch,
+                    queue_us,
+                    infer_us,
+                    renormalized,
+                })
+            }
+            Err(msg) => {
+                stats.nonfinite_output.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::Invalid(msg))
+            }
+        };
+        let _ = job.reply.try_send(reply);
+    }
+}
+
+/// Serving-boundary output validation: weights must be finite,
+/// non-negative, and sum to 1. Tiny negatives are clamped, an off-simplex
+/// sum is renormalized (reported via the bool), anything non-finite or
+/// degenerate is rejected so it never leaves the service.
+fn validate_weights(mut weights: Vec<f64>) -> Result<(Vec<f64>, bool), String> {
+    if weights.is_empty() {
+        return Err("model produced an empty weight vector".to_string());
+    }
+    let mut renormalized = false;
+    for w in &mut weights {
+        if !w.is_finite() {
+            return Err("model produced non-finite weights".to_string());
+        }
+        if *w < 0.0 {
+            if *w < NEG_TOL {
+                return Err(format!("model produced negative weight {w}"));
+            }
+            *w = 0.0;
+            renormalized = true;
+        }
+    }
+    let sum: f64 = weights.iter().sum();
+    if !sum.is_finite() || sum <= 0.0 {
+        return Err(format!("weight sum {sum} is not renormalizable"));
+    }
+    if renormalized || (sum - 1.0).abs() > SIMPLEX_TOL {
+        if (sum - 1.0).abs() > SIMPLEX_TOL {
+            renormalized = true;
+        }
+        for w in &mut weights {
+            *w /= sum;
+        }
+    }
+    Ok((weights, renormalized))
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+    use super::*;
+    use crate::backend::InferenceBackend;
+    use crate::store::ModelLoader;
+
+    /// Deterministic test backend: weight `i` is proportional to
+    /// `state[i % dim] + seed`, softmax-free but normalized.
+    struct EchoBackend {
+        dim: usize,
+        actions: usize,
+        delay: Duration,
+    }
+
+    impl InferenceBackend for EchoBackend {
+        fn name(&self) -> &str {
+            "echo"
+        }
+        fn state_dim(&self) -> usize {
+            self.dim
+        }
+        fn action_dim(&self) -> usize {
+            self.actions
+        }
+        fn infer_batch(&self, states: &[f64], seeds: &[u64]) -> Vec<Vec<f64>> {
+            if !self.delay.is_zero() {
+                std::thread::sleep(self.delay);
+            }
+            seeds
+                .iter()
+                .enumerate()
+                .map(|(b, &seed)| {
+                    let row = &states[b * self.dim..(b + 1) * self.dim];
+                    let raw: Vec<f64> = (0..self.actions)
+                        .map(|i| row[i % self.dim].abs() + seed as f64 + 1.0)
+                        .collect();
+                    let sum: f64 = raw.iter().sum();
+                    raw.into_iter().map(|v| v / sum).collect()
+                })
+                .collect()
+        }
+    }
+
+    fn echo_loader(dim: usize, actions: usize, delay_ms: u64) -> Box<dyn ModelLoader> {
+        Box::new(move |_: &str| -> Result<Box<dyn InferenceBackend>, String> {
+            Ok(Box::new(EchoBackend { dim, actions, delay: Duration::from_millis(delay_ms) }))
+        })
+    }
+
+    fn service(delay_ms: u64, cfg: ServiceConfig) -> Arc<Service> {
+        let store = ModelStore::open(echo_loader(4, 3, delay_ms), "echo").unwrap();
+        Service::start(Arc::new(store), cfg)
+    }
+
+    fn req(id: u64) -> InferenceRequest {
+        InferenceRequest { id, state: vec![0.1, 0.2, 0.3, 0.4], seed: id, deadline: None }
+    }
+
+    #[test]
+    fn serves_a_single_request() {
+        let svc = service(0, ServiceConfig::default());
+        let resp = svc.call(req(7)).unwrap();
+        assert_eq!(resp.id, 7);
+        assert_eq!(resp.model_version, 1);
+        assert_eq!(resp.weights.len(), 3);
+        let sum: f64 = resp.weights.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        svc.shutdown();
+        assert_eq!(svc.stats().served, 1);
+    }
+
+    #[test]
+    fn rejects_bad_dimension_and_nonfinite_state() {
+        let svc = service(0, ServiceConfig::default());
+        let mut bad = req(1);
+        bad.state.pop();
+        assert!(matches!(svc.call(bad), Err(ServeError::Invalid(_))));
+        let mut nan = req(2);
+        nan.state[0] = f64::NAN;
+        assert!(matches!(svc.call(nan), Err(ServeError::Invalid(_))));
+        assert_eq!(svc.stats().invalid_input, 2);
+    }
+
+    #[test]
+    fn sheds_when_queue_is_full() {
+        let cfg = ServiceConfig {
+            queue_capacity: 2,
+            batch: BatchPolicy { max_batch: 1, max_wait_us: 0 },
+            ..ServiceConfig::default()
+        };
+        // 50 ms per batch: the burst below cannot drain in time.
+        let svc = service(50, cfg);
+        let mut pending = Vec::new();
+        let mut shed = 0;
+        for i in 0..12 {
+            match svc.submit(req(i)) {
+                Ok(rx) => pending.push(rx),
+                Err(ServeError::Shed(ShedReason::QueueFull)) => shed += 1,
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        assert!(shed > 0, "burst should overflow a capacity-2 queue");
+        for rx in pending {
+            assert!(rx.recv().unwrap().is_ok());
+        }
+        assert_eq!(svc.stats().shed_queue_full, shed);
+    }
+
+    #[test]
+    fn sheds_expired_deadlines_at_dispatch() {
+        let svc = service(0, ServiceConfig::default());
+        let mut r = req(1);
+        r.deadline = Some(Instant::now() - Duration::from_millis(1));
+        match svc.call(r) {
+            Err(ServeError::Shed(ShedReason::DeadlineExceeded)) => {}
+            other => panic!("expected deadline shed, got {other:?}"),
+        }
+        assert_eq!(svc.stats().shed_deadline, 1);
+    }
+
+    #[test]
+    fn batches_concurrent_requests() {
+        let cfg = ServiceConfig {
+            batch: BatchPolicy { max_batch: 16, max_wait_us: 20_000 },
+            ..ServiceConfig::default()
+        };
+        // 20 ms per batch so the follow-up burst queues behind batch one.
+        let svc = service(20, cfg);
+        let receivers: Vec<_> = (0..12).map(|i| svc.submit(req(i)).unwrap()).collect();
+        for rx in receivers {
+            assert!(rx.recv().unwrap().is_ok());
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.served, 12);
+        assert!(stats.max_batch > 1, "expected batching, saw max batch {}", stats.max_batch);
+        assert!(stats.batches < 12, "expected fewer batches than requests");
+    }
+
+    #[test]
+    fn shutdown_drains_queued_requests() {
+        let cfg = ServiceConfig {
+            batch: BatchPolicy { max_batch: 4, max_wait_us: 0 },
+            ..ServiceConfig::default()
+        };
+        let svc = service(10, cfg);
+        let receivers: Vec<_> = (0..8).map(|i| svc.submit(req(i)).unwrap()).collect();
+        svc.shutdown();
+        for rx in receivers {
+            assert!(rx.recv().unwrap().is_ok(), "queued request lost in shutdown");
+        }
+        assert!(matches!(svc.call(req(99)), Err(ServeError::Shed(ShedReason::ShuttingDown))));
+        assert_eq!(svc.stats().served, 8);
+    }
+
+    #[test]
+    fn deterministic_mode_forces_single_worker() {
+        let cfg = ServiceConfig { workers: 8, deterministic: true, ..ServiceConfig::default() };
+        let svc = service(0, cfg);
+        assert_eq!(svc.config().workers, 1);
+    }
+
+    #[test]
+    fn validate_accepts_simplex() {
+        let (w, renorm) = validate_weights(vec![0.25, 0.5, 0.25]).unwrap();
+        assert_eq!(w, vec![0.25, 0.5, 0.25]);
+        assert!(!renorm);
+    }
+
+    #[test]
+    fn validate_renormalizes_off_simplex() {
+        let (w, renorm) = validate_weights(vec![0.5, 0.5, 0.5]).unwrap();
+        assert!(renorm);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validate_clamps_tiny_negative_and_renormalizes() {
+        let (w, renorm) = validate_weights(vec![-1e-12, 0.6, 0.4]).unwrap();
+        assert!(renorm);
+        assert_eq!(w[0], 0.0);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validate_rejects_nonfinite_and_degenerate() {
+        assert!(validate_weights(vec![f64::NAN, 0.5]).is_err());
+        assert!(validate_weights(vec![f64::INFINITY, 0.5]).is_err());
+        assert!(validate_weights(vec![0.0, 0.0]).is_err());
+        assert!(validate_weights(vec![-0.5, 1.5]).is_err());
+        assert!(validate_weights(Vec::new()).is_err());
+    }
+
+    #[test]
+    fn flush_telemetry_reports_counters() {
+        let svc = service(0, ServiceConfig::default());
+        svc.call(req(1)).unwrap();
+        svc.shutdown();
+        let mut rec = spikefolio_telemetry::MemoryRecorder::default();
+        svc.flush_telemetry(&mut rec);
+        assert_eq!(rec.counter_total(labels::COUNTER_SERVE_SERVED), 1);
+        assert_eq!(rec.counter_total(labels::COUNTER_SERVE_REQUESTS), 1);
+        assert_eq!(rec.span_total(labels::SPAN_SERVE_BATCH).1, 1);
+    }
+}

@@ -1,0 +1,249 @@
+//! The hot-swappable model store.
+//!
+//! The currently served model lives behind an `RwLock<Arc<LoadedModel>>`.
+//! Batcher workers clone the `Arc` once per micro-batch, so a batch
+//! always runs start-to-finish on one model version even while a reload
+//! is in flight; swapping is a pointer exchange, never a wait for
+//! in-flight inference. Reloads are validate-then-swap: the candidate
+//! checkpoint is fully loaded and shape-checked before the pointer moves,
+//! and any failure leaves the previous model serving untouched.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use crate::backend::InferenceBackend;
+
+/// Loads a backend from a source string (typically a checkpoint path).
+///
+/// Implementations must validate fully — shapes, checksums, finiteness —
+/// and return an error message rather than a half-initialized backend;
+/// the store treats any `Ok` as safe to serve immediately.
+pub trait ModelLoader: Send + Sync {
+    /// Loads and validates one model.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason the source cannot be served.
+    fn load(&self, source: &str) -> Result<Box<dyn InferenceBackend>, String>;
+}
+
+impl<F> ModelLoader for F
+where
+    F: Fn(&str) -> Result<Box<dyn InferenceBackend>, String> + Send + Sync,
+{
+    fn load(&self, source: &str) -> Result<Box<dyn InferenceBackend>, String> {
+        self(source)
+    }
+}
+
+/// One validated model plus its swap metadata.
+pub struct LoadedModel {
+    /// The policy.
+    pub backend: Box<dyn InferenceBackend>,
+    /// Monotonic version, starting at 1 for the initially loaded model
+    /// and incremented by every successful swap. Served responses carry
+    /// it so callers can tell which model answered.
+    pub version: u64,
+    /// The source string the model was loaded from.
+    pub source: String,
+}
+
+impl std::fmt::Debug for LoadedModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LoadedModel")
+            .field("backend", &self.backend.name())
+            .field("version", &self.version)
+            .field("source", &self.source)
+            .finish()
+    }
+}
+
+/// The store: current model + loader + swap counters.
+pub struct ModelStore {
+    loader: Box<dyn ModelLoader>,
+    current: RwLock<Arc<LoadedModel>>,
+    swaps: AtomicU64,
+    swap_failures: AtomicU64,
+}
+
+impl std::fmt::Debug for ModelStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelStore").field("current", &self.current()).finish()
+    }
+}
+
+impl ModelStore {
+    /// Loads the initial model (version 1) from `source`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the loader's message; an empty store is never
+    /// constructed.
+    pub fn open(loader: Box<dyn ModelLoader>, source: &str) -> Result<Self, String> {
+        let backend = loader.load(source)?;
+        let model = Arc::new(LoadedModel { backend, version: 1, source: source.to_string() });
+        Ok(Self {
+            loader,
+            current: RwLock::new(model),
+            swaps: AtomicU64::new(0),
+            swap_failures: AtomicU64::new(0),
+        })
+    }
+
+    /// The model serving right now. Hold the `Arc`, not the store, across
+    /// a batch: in-flight work then finishes on the version it started
+    /// with even if a swap lands meanwhile.
+    pub fn current(&self) -> Arc<LoadedModel> {
+        Arc::clone(&self.current.read().unwrap_or_else(std::sync::PoisonError::into_inner))
+    }
+
+    /// Version of the currently served model.
+    pub fn version(&self) -> u64 {
+        self.current().version
+    }
+
+    /// Hot-swaps to a freshly loaded model from `source`.
+    ///
+    /// The candidate is loaded and validated *before* the swap; requests
+    /// admitted against the old model keep their old dimensions valid, so
+    /// a candidate whose state or action dimension differs from the
+    /// serving model is rejected. Returns the new version on success.
+    ///
+    /// # Errors
+    ///
+    /// On any failure the previous model keeps serving (rollback is
+    /// "never moved the pointer") and the failure counter increments.
+    pub fn reload(&self, source: &str) -> Result<u64, String> {
+        let result = self.try_reload(source);
+        match result {
+            Ok(_) => {
+                self.swaps.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.swap_failures.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        result
+    }
+
+    fn try_reload(&self, source: &str) -> Result<u64, String> {
+        let backend = self.loader.load(source)?;
+        let old = self.current();
+        if backend.state_dim() != old.backend.state_dim()
+            || backend.action_dim() != old.backend.action_dim()
+        {
+            return Err(format!(
+                "refusing hot swap: candidate dims {}x{} differ from serving model {}x{}",
+                backend.state_dim(),
+                backend.action_dim(),
+                old.backend.state_dim(),
+                old.backend.action_dim()
+            ));
+        }
+        let mut slot = self.current.write().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let version = slot.version + 1;
+        *slot = Arc::new(LoadedModel { backend, version, source: source.to_string() });
+        Ok(version)
+    }
+
+    /// `(successful swaps, rejected swap attempts)` so far.
+    pub fn swap_counts(&self) -> (u64, u64) {
+        (self.swaps.load(Ordering::Relaxed), self.swap_failures.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+    use super::*;
+
+    /// A backend that answers with a constant vector.
+    pub(crate) struct ConstBackend {
+        pub name: String,
+        pub state_dim: usize,
+        pub weights: Vec<f64>,
+    }
+
+    impl InferenceBackend for ConstBackend {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn state_dim(&self) -> usize {
+            self.state_dim
+        }
+        fn action_dim(&self) -> usize {
+            self.weights.len()
+        }
+        fn infer_batch(&self, _states: &[f64], seeds: &[u64]) -> Vec<Vec<f64>> {
+            seeds.iter().map(|_| self.weights.clone()).collect()
+        }
+    }
+
+    fn test_loader() -> Box<dyn ModelLoader> {
+        Box::new(|source: &str| -> Result<Box<dyn InferenceBackend>, String> {
+            match source {
+                "a" => Ok(Box::new(ConstBackend {
+                    name: "a".into(),
+                    state_dim: 4,
+                    weights: vec![1.0, 0.0],
+                })),
+                "b" => Ok(Box::new(ConstBackend {
+                    name: "b".into(),
+                    state_dim: 4,
+                    weights: vec![0.0, 1.0],
+                })),
+                "narrow" => Ok(Box::new(ConstBackend {
+                    name: "narrow".into(),
+                    state_dim: 2,
+                    weights: vec![0.0, 1.0],
+                })),
+                other => Err(format!("no such model: {other}")),
+            }
+        })
+    }
+
+    #[test]
+    fn open_loads_version_one() {
+        let store = ModelStore::open(test_loader(), "a").expect("open");
+        assert_eq!(store.version(), 1);
+        assert_eq!(store.current().backend.name(), "a");
+        assert_eq!(store.current().source, "a");
+    }
+
+    #[test]
+    fn open_propagates_load_failure() {
+        let err = ModelStore::open(test_loader(), "missing").expect_err("must fail");
+        assert!(err.contains("no such model"), "{err}");
+    }
+
+    #[test]
+    fn reload_swaps_and_bumps_version() {
+        let store = ModelStore::open(test_loader(), "a").expect("open");
+        let held = store.current(); // simulates an in-flight batch
+        assert_eq!(store.reload("b"), Ok(2));
+        assert_eq!(store.current().backend.name(), "b");
+        assert_eq!(store.version(), 2);
+        // The held Arc still points at the old model.
+        assert_eq!(held.backend.name(), "a");
+        assert_eq!(held.version, 1);
+        assert_eq!(store.swap_counts(), (1, 0));
+    }
+
+    #[test]
+    fn failed_reload_keeps_old_model() {
+        let store = ModelStore::open(test_loader(), "a").expect("open");
+        assert!(store.reload("missing").is_err());
+        assert_eq!(store.version(), 1);
+        assert_eq!(store.current().backend.name(), "a");
+        assert_eq!(store.swap_counts(), (0, 1));
+    }
+
+    #[test]
+    fn reload_rejects_dimension_change() {
+        let store = ModelStore::open(test_loader(), "a").expect("open");
+        let err = store.reload("narrow").expect_err("dims differ");
+        assert!(err.contains("refusing hot swap"), "{err}");
+        assert_eq!(store.version(), 1);
+        assert_eq!(store.swap_counts(), (0, 1));
+    }
+}

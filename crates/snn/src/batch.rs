@@ -247,6 +247,23 @@ impl SdpNetwork {
         self.forward_batch_recorded(states, rngs, ws, trace, &mut NoopRecorder);
     }
 
+    /// One-shot batched action selection: allocates a workspace and trace
+    /// for `states.rows()` samples, runs [`forward_batch`](Self::forward_batch),
+    /// and returns each sample's portfolio weight vector. The serving path
+    /// uses this when it has no long-lived workspace to reuse; results are
+    /// bit-identical to per-sample [`SdpNetwork::act`] with the same RNGs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same shape mismatches as [`forward_batch`](Self::forward_batch).
+    pub fn act_batch<R: Rng>(&self, states: &Matrix, rngs: &mut [R]) -> Vec<Vec<f64>> {
+        let bsz = states.rows();
+        let mut ws = BatchWorkspace::new(self, bsz);
+        let mut trace = BatchNetworkTrace::new(self, bsz);
+        self.forward_batch(states, rngs, &mut ws, &mut trace);
+        (0..bsz).map(|b| trace.action(b).to_vec()).collect()
+    }
+
     /// [`SdpNetwork::forward_batch`] with phase profiling: the encode
     /// section and the LIF timestep loop are timed as
     /// [`SPAN_PROFILE_SNN_ENCODE`] and [`SPAN_PROFILE_SNN_LIF`] spans on

@@ -64,6 +64,34 @@ pub const COUNTER_RESILIENCE_IO_RETRIES: &str = "resilience/io_retries";
 /// Counter: market candles repaired by the sanitizer.
 pub const COUNTER_SANITIZE_REPAIRS: &str = "sanitize/repairs";
 
+/// Span: one micro-batch dispatched by the inference server (collect +
+/// forward + fan-out).
+pub const SPAN_SERVE_BATCH: &str = "serve/batch";
+/// Gauge: requests waiting in the inference server's admission queue.
+pub const GAUGE_SERVE_QUEUE_DEPTH: &str = "serve/queue/depth";
+/// Counter: inference requests admitted into the queue.
+pub const COUNTER_SERVE_REQUESTS: &str = "serve/requests";
+/// Counter: inference responses successfully served.
+pub const COUNTER_SERVE_SERVED: &str = "serve/served";
+/// Counter: requests shed because the admission queue was full.
+pub const COUNTER_SERVE_SHED_QUEUE_FULL: &str = "serve/shed/queue_full";
+/// Counter: requests shed because their deadline expired before dispatch.
+pub const COUNTER_SERVE_SHED_DEADLINE: &str = "serve/shed/deadline";
+/// Counter: requests rejected at the boundary (bad dimension or
+/// non-finite state input).
+pub const COUNTER_SERVE_INVALID_INPUT: &str = "serve/invalid_input";
+/// Counter: decoder outputs rejected because they were non-finite.
+pub const COUNTER_SERVE_NONFINITE_OUTPUT: &str = "serve/nonfinite_output";
+/// Counter: decoder outputs renormalized back onto the simplex before
+/// leaving the service.
+pub const COUNTER_SERVE_RENORMALIZED: &str = "serve/renormalized";
+/// Counter: micro-batches executed by the server.
+pub const COUNTER_SERVE_BATCHES: &str = "serve/batches";
+/// Counter: successful hot checkpoint swaps.
+pub const COUNTER_SERVE_SWAPS: &str = "serve/swaps";
+/// Counter: rejected hot-swap attempts (old model kept serving).
+pub const COUNTER_SERVE_SWAP_FAILURES: &str = "serve/swap_failures";
+
 /// Counter: dense multiply–accumulates an equivalent ANN forward pass
 /// would execute for the same workload (`Σ_k in_k · out_k · T` per
 /// sample) — the denominator of the effective-sparsity gauge.

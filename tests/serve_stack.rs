@@ -1,0 +1,324 @@
+//! Integration tests for the `spikefolio-serve` stack: hot checkpoint
+//! swap under live load, serving-boundary weight guarantees, the NDJSON
+//! TCP protocol end to end, deterministic-mode bitwise reproducibility,
+//! and the CI smoke flow.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spikefolio::config::SdpConfig;
+use spikefolio::serving::{
+    run_loadgen_smoke, write_reference_checkpoint, BackendKind, CheckpointBackendLoader,
+};
+use spikefolio_serve::{
+    InferenceRequest, ModelLoader, ModelStore, Server, ServerOptions, Service, ServiceConfig,
+};
+use spikefolio_telemetry::value::{parse, Value};
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
+
+const ASSETS: usize = 5;
+
+fn temp_ckpt(name: &str, seed: u64) -> String {
+    let path: PathBuf = std::env::temp_dir().join(format!("spikefolio_{name}_{seed}.ckpt"));
+    let path = path.to_string_lossy().into_owned();
+    write_reference_checkpoint(&path, &SdpConfig::smoke(), ASSETS, seed).expect("write checkpoint");
+    path
+}
+
+fn loader() -> CheckpointBackendLoader {
+    CheckpointBackendLoader::new(SdpConfig::smoke(), ASSETS, BackendKind::Float)
+}
+
+/// A state every test can agree on: deterministic, mid-range values.
+fn fixed_state(dim: usize) -> Vec<f64> {
+    (0..dim).map(|i| 0.9 + 0.2 * ((i % 7) as f64 / 7.0)).collect()
+}
+
+// ---------------------------------------------------------------- smoke
+
+#[test]
+fn loadgen_smoke_flow_passes() {
+    let outcome = run_loadgen_smoke(None, 11).expect("smoke run");
+    assert!(outcome.clean_shutdown, "server did not shut down cleanly");
+    assert_eq!(outcome.report.served, outcome.report.requests);
+    assert_eq!(outcome.report.deterministic, Some(true), "responses not bitwise identical");
+    assert!(outcome.passed(), "{}", outcome.report.render());
+}
+
+// ------------------------------------------------------- hot swap (sat 6)
+
+#[test]
+fn hot_swap_under_load_switches_versions_and_survives_bad_reload() {
+    let ckpt_a = temp_ckpt("swap_a", 1);
+    let ckpt_b = temp_ckpt("swap_b", 2);
+
+    // Precompute, per version, the exact weights the fixed probe request
+    // must yield: (model, state, seed) fully determines them.
+    let probe_seed = 9u64;
+    let backend_a = loader().load(&ckpt_a).expect("load A");
+    let backend_b = loader().load(&ckpt_b).expect("load B");
+    let dim = backend_a.state_dim();
+    let state = fixed_state(dim);
+    let expect_a = backend_a.infer_batch(&state, &[probe_seed]).remove(0);
+    let expect_b = backend_b.infer_batch(&state, &[probe_seed]).remove(0);
+    assert_ne!(
+        expect_a.iter().map(|w| w.to_bits()).collect::<Vec<_>>(),
+        expect_b.iter().map(|w| w.to_bits()).collect::<Vec<_>>(),
+        "seeds 1 and 2 produced identical checkpoints"
+    );
+
+    let store = Arc::new(ModelStore::open(Box::new(loader()), &ckpt_a).expect("open store"));
+    let service =
+        Service::start(Arc::clone(&store), ServiceConfig { workers: 2, ..Default::default() });
+
+    let bits = |w: &[f64]| w.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+
+    // Callers hammer the service while the swap happens; every response
+    // must carry weights consistent with the version it reports.
+    std::thread::scope(|s| {
+        let mut callers = Vec::new();
+        for t in 0..3u64 {
+            let service = Arc::clone(&service);
+            let state = state.clone();
+            let (expect_a, expect_b) = (expect_a.clone(), expect_b.clone());
+            callers.push(s.spawn(move || {
+                for i in 0..120u64 {
+                    let resp = service
+                        .call(InferenceRequest {
+                            id: t * 1000 + i,
+                            state: state.clone(),
+                            seed: probe_seed,
+                            deadline: None,
+                        })
+                        .expect("call during swap");
+                    let expect = match resp.model_version {
+                        1 => &expect_a,
+                        2 => &expect_b,
+                        v => panic!("unexpected model version {v}"),
+                    };
+                    assert_eq!(
+                        bits(&resp.weights),
+                        bits(expect),
+                        "weights inconsistent with reported version {}",
+                        resp.model_version
+                    );
+                }
+            }));
+        }
+        // Let some version-1 traffic through, then swap mid-flight.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let v = store.reload(&ckpt_b).expect("hot swap to B");
+        assert_eq!(v, 2);
+        for c in callers {
+            c.join().expect("caller thread");
+        }
+    });
+
+    // After the swap every new request sees version 2.
+    let resp = service
+        .call(InferenceRequest { id: 9999, state: state.clone(), seed: probe_seed, deadline: None })
+        .expect("post-swap call");
+    assert_eq!(resp.model_version, 2);
+    assert_eq!(bits(&resp.weights), bits(&expect_b));
+
+    // A bad checkpoint must be rejected and leave version 2 serving.
+    let err = store.reload("/nonexistent/model.ckpt").expect_err("bad reload must fail");
+    assert!(!err.is_empty());
+    assert_eq!(store.version(), 2);
+    assert_eq!(store.swap_counts(), (1, 1), "one swap, one rejected swap");
+    let resp = service
+        .call(InferenceRequest { id: 10_000, state, seed: probe_seed, deadline: None })
+        .expect("call after failed reload");
+    assert_eq!(resp.model_version, 2);
+    assert_eq!(bits(&resp.weights), bits(&expect_b));
+
+    service.shutdown();
+}
+
+// ------------------------------------- boundary validation proptest (sat 1)
+
+/// One shared service for the property test (building the SNN stack per
+/// case would dominate the runtime), plus the model's state dimension.
+fn shared_service() -> &'static (Arc<Service>, usize) {
+    static SERVICE: OnceLock<(Arc<Service>, usize)> = OnceLock::new();
+    SERVICE.get_or_init(|| {
+        let ckpt = temp_ckpt("proptest", 3);
+        let store = Arc::new(ModelStore::open(Box::new(loader()), &ckpt).expect("open store"));
+        let dim = store.current().backend.state_dim();
+        (Service::start(store, ServiceConfig::default()), dim)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whatever finite state a client sends — huge, negative, tiny — the
+    /// served weights are finite and on the probability simplex.
+    #[test]
+    fn served_weights_are_finite_and_sum_to_one(seed in 0u64..500, scale in 1e-3f64..1e6) {
+        let (service, state_dim) = shared_service();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let state: Vec<f64> = (0..*state_dim).map(|_| rng.gen_range(-scale..scale)).collect();
+        let resp = service
+            .call(InferenceRequest { id: seed, state, seed, deadline: None })
+            .expect("adversarial-but-finite state must be served");
+        prop_assert!(resp.weights.iter().all(|w| w.is_finite()));
+        prop_assert!(
+            spikefolio_tensor::simplex::is_on_simplex(&resp.weights, 1e-6),
+            "served weights off the simplex: {:?}",
+            resp.weights
+        );
+    }
+}
+
+// --------------------------------------------------------- TCP round trip
+
+fn is_true(v: &Value, key: &str) -> bool {
+    matches!(v.get(key), Some(Value::Bool(true)))
+}
+
+fn send_line(reader: &mut BufReader<TcpStream>, line: &str) -> Value {
+    let mut out = line.to_string();
+    out.push('\n');
+    reader.get_mut().write_all(out.as_bytes()).expect("write request");
+    let mut resp = String::new();
+    reader.read_line(&mut resp).expect("read response");
+    parse(resp.trim()).expect("response is JSON")
+}
+
+fn start_tcp_server(
+    ckpt: &str,
+    config: ServiceConfig,
+) -> (String, spikefolio_serve::ServerHandle, std::thread::JoinHandle<std::io::Result<()>>) {
+    let store = Arc::new(ModelStore::open(Box::new(loader()), ckpt).expect("open store"));
+    let service = Service::start(store, config);
+    let server =
+        Server::bind("127.0.0.1:0", service, ServerOptions::default()).expect("bind loopback");
+    let handle = server.handle();
+    let addr = handle.addr().to_string();
+    let join = std::thread::spawn(move || server.run());
+    (addr, handle, join)
+}
+
+#[test]
+fn tcp_protocol_round_trip_state_window_and_control_verbs() {
+    let ckpt = temp_ckpt("tcp", 4);
+    let ckpt_b = temp_ckpt("tcp_b", 5);
+    let (addr, handle, join) = start_tcp_server(&ckpt, ServiceConfig::default());
+    let stream = TcpStream::connect(&addr).expect("connect");
+    let mut reader = BufReader::new(stream);
+
+    // info: schema, dims, version.
+    let info = send_line(&mut reader, r#"{"cmd":"info"}"#);
+    assert_eq!(info.get("schema").and_then(Value::as_str), Some("spikefolio.serve.v1"));
+    assert_eq!(info.get("model_version").and_then(Value::as_u64), Some(1));
+    let dim = info.get("state_dim").and_then(Value::as_u64).expect("state_dim") as usize;
+    let action_dim = info.get("action_dim").and_then(Value::as_u64).expect("action_dim") as usize;
+    assert_eq!(action_dim, ASSETS + 1);
+
+    // ping.
+    let pong = send_line(&mut reader, r#"{"cmd":"ping"}"#);
+    assert!(is_true(&pong, "ok"), "{pong:?}");
+
+    // A raw-window request and the equivalent pre-built state request
+    // must serve identical weights (same model, same seed).
+    let config = SdpConfig::smoke();
+    let window = config.state.window;
+    let mut candles = Vec::new();
+    for p in 0..window {
+        for a in 0..ASSETS {
+            let base = 1.0 + 0.01 * (p * ASSETS + a) as f64;
+            candles.extend_from_slice(&[base, base * 1.02, base * 0.98, base * 1.01]);
+        }
+    }
+    let mut prev = vec![0.0; ASSETS + 1];
+    prev[0] = 1.0;
+    let backend = loader().load(&ckpt).expect("load");
+    let state = backend.state_from_window(&candles, ASSETS, &prev).expect("window state");
+    assert_eq!(state.len(), dim);
+
+    let render_list = |v: &[f64]| v.iter().map(|x| format!("{x}")).collect::<Vec<_>>().join(",");
+    let by_state = send_line(
+        &mut reader,
+        &format!(r#"{{"id":1,"state":[{}],"seed":7}}"#, render_list(&state)),
+    );
+    let by_window = send_line(
+        &mut reader,
+        &format!(
+            r#"{{"id":2,"window":[{}],"assets":{ASSETS},"prev_weights":[{}],"seed":7}}"#,
+            render_list(&candles),
+            render_list(&prev)
+        ),
+    );
+    assert!(is_true(&by_state, "ok"), "{by_state:?}");
+    assert!(is_true(&by_window, "ok"), "{by_window:?}");
+    let weights = |v: &Value| {
+        v.get("weights")
+            .and_then(Value::as_list)
+            .expect("weights")
+            .iter()
+            .map(|x| x.as_f64().expect("weight").to_bits())
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(weights(&by_state), weights(&by_window), "window path diverged from state path");
+
+    // A malformed line gets a parse error, not a dropped connection.
+    let bad = send_line(&mut reader, r#"{"id":3,"state":"nope"}"#);
+    assert!(!is_true(&bad, "ok"), "{bad:?}");
+
+    // reload to a second checkpoint bumps the served version.
+    let reloaded = send_line(&mut reader, &format!(r#"{{"cmd":"reload","path":"{ckpt_b}"}}"#));
+    assert_eq!(reloaded.get("model_version").and_then(Value::as_u64), Some(2), "{reloaded:?}");
+
+    // stats reflects the traffic and the swap.
+    let reply = send_line(&mut reader, r#"{"cmd":"stats"}"#);
+    let stats = reply.get("stats").expect("stats map");
+    assert!(stats.get("served").and_then(Value::as_u64).unwrap_or(0) >= 2, "{reply:?}");
+    assert_eq!(stats.get("swaps").and_then(Value::as_u64), Some(1), "{reply:?}");
+
+    // shutdown verb stops the server; the accept loop joins cleanly.
+    let ack = send_line(&mut reader, r#"{"cmd":"shutdown"}"#);
+    assert!(is_true(&ack, "ok"), "{ack:?}");
+    assert!(join.join().expect("server thread").is_ok());
+    assert!(handle.is_stopped());
+}
+
+// ------------------------------------------------- bitwise determinism
+
+#[test]
+fn deterministic_mode_renders_bitwise_identical_response_streams() {
+    let ckpt = temp_ckpt("det", 6);
+    let (addr, handle, join) =
+        start_tcp_server(&ckpt, ServiceConfig { deterministic: true, ..Default::default() });
+
+    let dim = {
+        let backend = loader().load(&ckpt).expect("load");
+        backend.state_dim()
+    };
+    let run_stream = || {
+        let stream = TcpStream::connect(&addr).expect("connect");
+        let mut reader = BufReader::new(stream);
+        let mut lines = Vec::new();
+        for i in 0..16u64 {
+            let mut rng = StdRng::seed_from_u64(i);
+            let state: Vec<f64> = (0..dim).map(|_| rng.gen_range(0.5..1.5)).collect();
+            let state_json = state.iter().map(|x| format!("{x}")).collect::<Vec<_>>().join(",");
+            let mut out = format!(r#"{{"id":{i},"state":[{state_json}],"seed":{i}}}"#);
+            out.push('\n');
+            reader.get_mut().write_all(out.as_bytes()).expect("write");
+            let mut resp = String::new();
+            reader.read_line(&mut resp).expect("read");
+            lines.push(resp);
+        }
+        lines
+    };
+    let first = run_stream();
+    let second = run_stream();
+    assert_eq!(first, second, "deterministic mode responses differ between identical streams");
+
+    handle.shutdown();
+    assert!(join.join().expect("server thread").is_ok());
+}
