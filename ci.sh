@@ -16,6 +16,9 @@ cargo test -q
 echo "==> chaos suite (fault injection + property tests)"
 cargo test -q -p spikefolio --test fault_injection
 
+echo "==> sparse-kernel equivalence battery (dense vs event-driven, bitwise)"
+cargo test -q -p spikefolio --test sparse_kernels
+
 echo "==> cargo bench --no-run (benches must keep compiling)"
 cargo bench --no-run --workspace
 
@@ -24,6 +27,11 @@ mkdir -p target
 cargo run --release -q --bin spikefolio -- bench run --smoke --seed 7 \
   --out target/bench_smoke.json
 cargo run --release -q --bin spikefolio -- bench compare target/bench_smoke.json --smoke --seed 7
+python3 -c "import json; d=json.load(open('target/bench_smoke.json')); \
+e={x['name']: x['ops'] for x in d['entries']}; f=e['forward/b32']; \
+assert f['sparse_events'] == f['synops'] > 0, \
+    f\"kernel event tally {f['sparse_events']} != synops {f['synops']}\"; \
+print(f\"    forward/b32 sparse_events == synops == {f['synops']}\")"
 
 echo "==> profile smoke (chrome trace must be valid JSON)"
 cargo run --release -q --bin spikefolio -- profile --smoke --seed 7 \

@@ -122,11 +122,18 @@ pub fn run_bench_workloads(opts: &WorkloadOptions) -> BenchBaseline {
         ops.insert("synops".to_owned(), trace.stats.synops);
         ops.insert("encoder_spikes".to_owned(), trace.stats.encoder_spikes);
 
+        // Kernel-side event tally from the sparse drive itself; the cost
+        // model's `synops` above is recomputed independently from the
+        // dense rasters. CI asserts the two are identical so the kernels
+        // and the accounting cannot drift apart.
+        let mut fwd_ops = ops.clone();
+        fwd_ops.insert("sparse_events".to_owned(), trace.kernel_events);
+
         entries.push(BenchEntry {
             name: format!("forward/b{batch}"),
             wall_s: wall_fwd,
             reps,
-            ops: ops.clone(),
+            ops: fwd_ops,
         });
 
         // The backward pass consumes the forward trace above, so its op
@@ -272,6 +279,10 @@ mod tests {
                 assert!(e.ops["dense_macs"] > 0);
                 assert!(e.ops["synops"] <= e.ops["dense_macs"]);
             }
+            // The kernel-tallied event count must equal the cost model's
+            // independently derived synops at every batch size.
+            let fwd = base.entry(&format!("forward/b{batch}")).unwrap();
+            assert_eq!(fwd.ops["sparse_events"], fwd.ops["synops"], "forward/b{batch}");
         }
         assert!(base.entry("table3/slice").is_some());
         // Re-running the same seed reproduces every op count.

@@ -70,6 +70,10 @@ fn candles_from_flat(flat: &[f64]) -> Result<Vec<Candle>, String> {
 /// The float SNN backend: one `forward_batch` per micro-batch, each
 /// sample encoded with its own request-seeded RNG, so served weights are
 /// independent of batch composition.
+///
+/// Inference rides the default event-driven sparse kernel path
+/// ([`spikefolio_snn::kernel_path`]); the bitwise contract means served
+/// actions are identical to the dense reference, just cheaper per spike.
 #[derive(Debug)]
 pub struct FloatPolicyBackend {
     network: SdpNetwork,

@@ -10,8 +10,14 @@
 //!   slower than baseline is a regression, and a run that is impossibly
 //!   faster means the baseline no longer describes this machine or
 //!   workload, which is just as much a gate failure (it is exactly what
-//!   an inflated or stale baseline looks like). Entries whose baseline
-//!   time sits below a noise floor are not wall-gated at all.
+//!   an inflated or stale baseline looks like). The noise floor is
+//!   applied **per measured execution**, not per entry: entries whose
+//!   baseline or current time sits below the floor are not wall-gated,
+//!   and every gated entry gets one floor quantum of absolute slack on
+//!   each side of the ratio gate. Single-rep entries (e.g. `table3/slice`,
+//!   whose one execution has no best-of-reps smoothing) therefore see the
+//!   same absolute noise allowance as multi-rep entries instead of
+//!   flapping when their small wall time sits near the ratio boundary.
 //! * **op counts** are seeded-deterministic, so they are gated tightly
 //!   (±2% by default); a drifted count means the workload itself changed
 //!   and the baseline must be re-recorded deliberately.
@@ -127,7 +133,11 @@ pub struct CompareThresholds {
     pub wall_ratio: f64,
     /// Maximum allowed fractional drift of any op count.
     pub ops_frac: f64,
-    /// Baseline wall times below this (seconds) are noise and not gated.
+    /// Per-execution timing noise quantum (seconds). Wall times below
+    /// this — on either side — are noise and not gated, and gated
+    /// comparisons get this much absolute slack on top of the ratio
+    /// bound, so `reps: 1` entries are held to the same per-measurement
+    /// standard as best-of-`reps` entries.
     pub wall_floor_s: f64,
 }
 
@@ -221,15 +231,22 @@ pub fn compare(
         match current.entry(&base.name) {
             None => failures.push("missing from current run".to_owned()),
             Some(cur) => {
-                if base.wall_s >= thresholds.wall_floor_s {
+                // Both sides must clear the per-execution noise floor to
+                // be gated at all, and the ratio gate carries one floor
+                // quantum of absolute slack per side — a single-rep entry
+                // is one noisy measurement, not a smoothed best-of-reps,
+                // and must not flap on sub-floor jitter.
+                if base.wall_s >= thresholds.wall_floor_s && cur.wall_s >= thresholds.wall_floor_s {
                     let ratio = cur.wall_s / base.wall_s;
                     wall_ratio = Some(ratio);
-                    if ratio > thresholds.wall_ratio {
+                    if cur.wall_s > base.wall_s * thresholds.wall_ratio + thresholds.wall_floor_s {
                         failures.push(format!(
                             "wall-clock regression: {:.6}s vs baseline {:.6}s ({ratio:.3}x > {:.3}x)",
                             cur.wall_s, base.wall_s, thresholds.wall_ratio
                         ));
-                    } else if ratio < 1.0 / thresholds.wall_ratio {
+                    } else if cur.wall_s
+                        < base.wall_s / thresholds.wall_ratio - thresholds.wall_floor_s
+                    {
                         stale_wall = true;
                         failures.push(format!(
                             "wall-clock anomaly: {:.6}s vs baseline {:.6}s ({ratio:.3}x < {:.3}x) — baseline looks stale or inflated",
@@ -395,6 +412,39 @@ mod tests {
         let report = compare(&tiny, &cur, &CompareThresholds::default());
         assert!(report.lines[0].wall_ratio.is_none());
         assert!(report.passed(), "{}", report.render());
+    }
+
+    #[test]
+    fn single_rep_entries_get_per_rep_noise_allowance() {
+        // A reps:1 entry at 12µs that comes back at 25µs is a 2.08x ratio
+        // — but the 13µs delta is within one-ish noise quantum of the
+        // 1.5x bound (18µs + 10µs floor), so it must NOT flap the gate.
+        let mk = |wall_s: f64| BenchBaseline {
+            created_unix: 1,
+            entries: vec![BenchEntry {
+                name: "table3/slice".to_owned(),
+                wall_s,
+                reps: 1,
+                ops: BTreeMap::new(),
+            }],
+        };
+        let th = CompareThresholds::default();
+        let report = compare(&mk(12e-6), &mk(25e-6), &th);
+        assert!(
+            report.passed(),
+            "sub-floor jitter must not fail reps:1 entries: {}",
+            report.render()
+        );
+        // The allowance is absolute, not a free pass: a genuine regression
+        // beyond ratio + floor still fails.
+        assert!(!compare(&mk(12e-6), &mk(40e-6), &th).passed());
+        // Same slack on the fast side before crying stale baseline.
+        assert!(compare(&mk(25e-6), &mk(12e-6), &th).passed());
+        assert!(compare(&mk(40e-6), &mk(12e-6), &th).suspects_stale_baseline());
+        // A current-run time below the floor is itself noise: not gated.
+        let report = compare(&mk(12e-6), &mk(5e-6), &th);
+        assert!(report.passed());
+        assert!(report.lines[0].wall_ratio.is_none());
     }
 
     #[test]

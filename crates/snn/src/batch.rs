@@ -1,6 +1,15 @@
 //! Batched SNN execution engine: roll a whole minibatch of states through
-//! the `T` simulation steps with one matrix–matrix multiply per layer per
-//! step instead of `B` separate matrix–vector products.
+//! the `T` simulation steps with one drive kernel per layer per step
+//! instead of `B` separate matrix–vector products.
+//!
+//! Since PR 6 the drive defaults to the **event-driven sparse path**
+//! ([`spikefolio_tensor::sparse`]): each spike stack carries a
+//! [`SpikeSet`] of its active indices, and the kernels touch only active
+//! presynaptic columns. The dense GEMM path is retained as the bitwise
+//! reference ([`KernelPath::Dense`], selectable per call via
+//! [`SdpNetwork::forward_batch_with`] or process-wide via
+//! [`set_kernel_path`]); in the default [`SparseMode::Bitwise`] the two
+//! paths produce bit-identical traces.
 //!
 //! # Memory layout
 //!
@@ -39,7 +48,81 @@ use crate::network::{SdpNetwork, SpikeStats};
 use rand::Rng;
 use spikefolio_telemetry::labels::{SPAN_PROFILE_SNN_ENCODE, SPAN_PROFILE_SNN_LIF};
 use spikefolio_telemetry::{NoopRecorder, Recorder, Stopwatch};
+use spikefolio_tensor::sparse::{self, SparseMode, SpikeSet};
 use spikefolio_tensor::{gemm, Matrix};
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Which kernel implementation the batched passes route through.
+///
+/// The event-driven sparse path is the production default; the dense GEMM
+/// path is kept as the bitwise reference the equivalence test battery
+/// compares against. In [`SparseMode::Bitwise`] the two produce
+/// bit-identical traces and gradients (see
+/// [`spikefolio_tensor::sparse`]), so which one runs is observable only
+/// in wall-clock time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelPath {
+    /// Event-driven sparse kernels ([`sparse::spike_drive`] /
+    /// [`sparse::spike_outer_acc`]) in the given reduction mode.
+    Sparse(SparseMode),
+    /// Dense GEMM reference kernels ([`gemm::gemm_nt`] /
+    /// [`gemm::gemm_tn_acc`]).
+    Dense,
+}
+
+/// Process-global kernel-path override, encoded for the atomic:
+/// 0 = default (sparse, mode from [`sparse::default_mode`]), 1 = dense,
+/// 2 = sparse bitwise, 3 = sparse fast-math.
+static KERNEL_PATH_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Forces every [`SdpNetwork::forward_batch`] /
+/// [`crate::stbp::backward_batch`] call in this process onto `path`.
+///
+/// Intended for equivalence testing of code that only exposes the default
+/// entry points (e.g. driving a full training run down the dense reference
+/// path). Note the override is process-global: concurrent tests observe
+/// it too, which is safe precisely because `Dense` and
+/// `Sparse(SparseMode::Bitwise)` are bit-identical — avoid setting
+/// `Sparse(SparseMode::FastMath)` globally in multi-threaded test runs.
+pub fn set_kernel_path(path: KernelPath) {
+    let code = match path {
+        KernelPath::Dense => 1,
+        KernelPath::Sparse(SparseMode::Bitwise) => 2,
+        KernelPath::Sparse(SparseMode::FastMath) => 3,
+    };
+    KERNEL_PATH_OVERRIDE.store(code, Ordering::SeqCst);
+}
+
+/// Clears a [`set_kernel_path`] override, restoring the default (sparse,
+/// with the mode chosen by [`sparse::default_mode`]).
+pub fn reset_kernel_path() {
+    KERNEL_PATH_OVERRIDE.store(0, Ordering::SeqCst);
+}
+
+/// The process default when no [`set_kernel_path`] override is active:
+/// the `SPIKEFOLIO_KERNEL_PATH` environment variable (`dense`, `sparse`,
+/// `fastmath`) read once at first use, falling back to the sparse path
+/// with the mode chosen by [`sparse::default_mode`]. The env hook exists
+/// for A/B benchmarking (`bench run` under each path) without a rebuild.
+fn env_default_path() -> KernelPath {
+    static PATH: std::sync::OnceLock<KernelPath> = std::sync::OnceLock::new();
+    *PATH.get_or_init(|| match std::env::var("SPIKEFOLIO_KERNEL_PATH").as_deref() {
+        Ok("dense") => KernelPath::Dense,
+        Ok("fastmath") => KernelPath::Sparse(SparseMode::FastMath),
+        Ok("sparse") => KernelPath::Sparse(SparseMode::Bitwise),
+        _ => KernelPath::Sparse(sparse::default_mode()),
+    })
+}
+
+/// The [`KernelPath`] the default entry points currently route through.
+pub fn kernel_path() -> KernelPath {
+    match KERNEL_PATH_OVERRIDE.load(Ordering::SeqCst) {
+        1 => KernelPath::Dense,
+        2 => KernelPath::Sparse(SparseMode::Bitwise),
+        3 => KernelPath::Sparse(SparseMode::FastMath),
+        _ => env_default_path(),
+    }
+}
 
 /// Recorded history of one layer for a whole minibatch: stacked
 /// `(T·B) × out_dim` matrices, row `r = t·B + b`.
@@ -51,6 +134,11 @@ pub struct BatchLayerTrace {
     pub outputs: Matrix,
     /// Effective thresholds `th(t)` (constant `V_th` columns for plain LIF).
     pub thresholds: Matrix,
+    /// Event view of `outputs`: per stacked row, the ascending indices of
+    /// the neurons that spiked. Built incrementally as rows are produced
+    /// and consumed by the event-driven kernels of the next layer's drive
+    /// and this layer's weight gradient.
+    pub output_set: SpikeSet,
 }
 
 /// Full forward trace of a minibatch, consumed by
@@ -61,6 +149,10 @@ pub struct BatchNetworkTrace {
     timesteps: usize,
     /// Encoder spike stack, `(T·B) × encoder_dim`, row `r = t·B + b`.
     pub encoder: Matrix,
+    /// Event view of `encoder`: per stacked row, the ascending active
+    /// column indices. Built once right after encoding and threaded
+    /// through the event-driven forward/backward kernels.
+    pub encoder_set: SpikeSet,
     /// Per-layer traces, input-side first.
     pub layers: Vec<BatchLayerTrace>,
     /// Decoder firing rates, one row per sample (`B × action_dim`).
@@ -74,6 +166,11 @@ pub struct BatchNetworkTrace {
     /// per-layer spike-activity telemetry
     /// ([`SdpNetwork::layer_firing_rates`]).
     pub layer_spikes: Vec<u64>,
+    /// Synaptic operations tallied *by the drive kernels themselves* while
+    /// propagating spikes (events × fan-out). Independently recomputed
+    /// from the dense rasters as [`SpikeStats::synops`]; the equivalence
+    /// suite and the CI bench smoke assert the two never drift apart.
+    pub kernel_events: u64,
 }
 
 impl BatchNetworkTrace {
@@ -91,6 +188,7 @@ impl BatchNetworkTrace {
             batch,
             timesteps: t_max,
             encoder: Matrix::zeros(rows, net.encoder.output_dim()),
+            encoder_set: SpikeSet::new(net.encoder.output_dim()),
             layers: net
                 .layers
                 .iter()
@@ -98,12 +196,14 @@ impl BatchNetworkTrace {
                     voltages: Matrix::zeros(rows, l.out_dim()),
                     outputs: Matrix::zeros(rows, l.out_dim()),
                     thresholds: Matrix::zeros(rows, l.out_dim()),
+                    output_set: SpikeSet::new(l.out_dim()),
                 })
                 .collect(),
             firing_rates: Matrix::zeros(batch, action_dim),
             actions: Matrix::zeros(batch, action_dim),
             stats: SpikeStats::default(),
             layer_spikes: vec![0; net.layers.len()],
+            kernel_events: 0,
         }
     }
 
@@ -140,6 +240,10 @@ pub(crate) struct BatchLayerBufs {
     pub(crate) adapt: Matrix,
     /// Drive scratch `W·o_in` for one timestep, `B × out`.
     pub(crate) drive: Matrix,
+    /// Transposed weights `Wᵀ`, `in × out` — refreshed once per batched
+    /// forward call so the event-driven drive streams one contiguous
+    /// `out`-wide row per presynaptic event.
+    pub(crate) wt: Matrix,
     /// Backward scratch `δo(t)`, `B × out`.
     pub(crate) d_o: Matrix,
     /// Backward scratch `δv(t)`, `B × out`.
@@ -192,6 +296,7 @@ impl BatchWorkspace {
                     spikes: Matrix::zeros(batch, out),
                     adapt: Matrix::zeros(batch, out),
                     drive: Matrix::zeros(batch, out),
+                    wt: Matrix::zeros(l.in_dim(), out),
                     d_o: Matrix::zeros(batch, out),
                     d_v: Matrix::zeros(batch, out),
                     dv_next: Matrix::zeros(batch, out),
@@ -264,6 +369,26 @@ impl SdpNetwork {
         (0..bsz).map(|b| trace.action(b).to_vec()).collect()
     }
 
+    /// [`SdpNetwork::forward_batch`] routed through an explicit
+    /// [`KernelPath`] instead of the process default — the entry point the
+    /// equivalence test battery uses to compare the event-driven path
+    /// against the dense reference on identical inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same shape mismatches as
+    /// [`forward_batch`](Self::forward_batch).
+    pub fn forward_batch_with<R: Rng>(
+        &self,
+        states: &Matrix,
+        rngs: &mut [R],
+        ws: &mut BatchWorkspace,
+        trace: &mut BatchNetworkTrace,
+        path: KernelPath,
+    ) {
+        self.forward_batch_impl(states, rngs, ws, trace, &mut NoopRecorder, path);
+    }
+
     /// [`SdpNetwork::forward_batch`] with phase profiling: the encode
     /// section and the LIF timestep loop are timed as
     /// [`SPAN_PROFILE_SNN_ENCODE`] and [`SPAN_PROFILE_SNN_LIF`] spans on
@@ -281,6 +406,18 @@ impl SdpNetwork {
         trace: &mut BatchNetworkTrace,
         rec: &mut dyn Recorder,
     ) {
+        self.forward_batch_impl(states, rngs, ws, trace, rec, kernel_path());
+    }
+
+    fn forward_batch_impl<R: Rng>(
+        &self,
+        states: &Matrix,
+        rngs: &mut [R],
+        ws: &mut BatchWorkspace,
+        trace: &mut BatchNetworkTrace,
+        rec: &mut dyn Recorder,
+        path: KernelPath,
+    ) {
         let bsz = states.rows();
         let t_max = self.config().timesteps;
         let enc_dim = self.encoder.output_dim();
@@ -293,9 +430,12 @@ impl SdpNetwork {
         assert_eq!(trace.layers.len(), self.layers.len(), "forward_batch: trace depth mismatch");
 
         trace.stats = SpikeStats::default();
+        trace.kernel_events = 0;
 
         // Encode each sample with its own RNG, then interleave the T rows
-        // into the timestep-major stack (row t·B + b).
+        // into the timestep-major stack (row t·B + b). The event view of
+        // the stack is built here, once, and threaded through the
+        // event-driven kernels of both passes.
         let encode_watch = Stopwatch::start(rec);
         for (b, rng) in rngs.iter_mut().enumerate() {
             self.encoder.encode_into(states.row(b), t_max, rng, &mut ws.enc_scratch);
@@ -303,6 +443,7 @@ impl SdpNetwork {
                 trace.encoder.row_mut(t * bsz + b).copy_from_slice(ws.enc_scratch.row(t));
             }
         }
+        trace.encoder_set.rebuild_from(&trace.encoder);
         trace.stats.encoder_spikes = count_spikes(trace.encoder.as_slice());
         encode_watch.stop(rec, SPAN_PROFILE_SNN_ENCODE);
 
@@ -312,7 +453,19 @@ impl SdpNetwork {
             lb.spikes.fill_zero();
             lb.adapt.fill_zero();
         }
+        for lt in &mut trace.layers {
+            lt.output_set.clear();
+        }
+        // The event-driven drive streams rows of Wᵀ; weights are constant
+        // over the simulation, so transpose once per call into the
+        // workspace (amortized over T·B drive rows).
+        if matches!(path, KernelPath::Sparse(_)) {
+            for (lb, layer) in ws.layers.iter_mut().zip(&self.layers) {
+                layer.weights.transpose_into(&mut lb.wt);
+            }
+        }
 
+        let mut kernel_events = 0u64;
         let lif_watch = Stopwatch::start(rec);
         for t in 0..t_max {
             for (k, layer) in self.layers.iter().enumerate() {
@@ -320,22 +473,55 @@ impl SdpNetwork {
                 let in_dim = layer.in_dim();
                 let (done, rest) = trace.layers.split_at_mut(k);
                 let lt = &mut rest[0];
-                let input_block: &[f64] = if k == 0 {
-                    &trace.encoder.as_slice()[t * bsz * in_dim..(t + 1) * bsz * in_dim]
+                let (input_block, input_set): (&[f64], &SpikeSet) = if k == 0 {
+                    (
+                        &trace.encoder.as_slice()[t * bsz * in_dim..(t + 1) * bsz * in_dim],
+                        &trace.encoder_set,
+                    )
                 } else {
-                    &done[k - 1].outputs.as_slice()[t * bsz * in_dim..(t + 1) * bsz * in_dim]
+                    (
+                        &done[k - 1].outputs.as_slice()[t * bsz * in_dim..(t + 1) * bsz * in_dim],
+                        &done[k - 1].output_set,
+                    )
                 };
                 let lb = &mut ws.layers[k];
-                // c-drive for the whole block: B k-ascending dots per
-                // neuron, bitwise identical to per-sample `matvec`.
-                gemm::gemm_nt(
-                    input_block,
-                    layer.weights.as_slice(),
-                    lb.drive.as_mut_slice(),
-                    bsz,
-                    in_dim,
-                    out_dim,
-                );
+                match path {
+                    KernelPath::Sparse(mode) => {
+                        // Event-driven c-drive: touch only the active
+                        // presynaptic columns, k-ascending — bitwise
+                        // identical to the dense reference in
+                        // `SparseMode::Bitwise` (see tensor::sparse).
+                        kernel_events += sparse::spike_drive(
+                            input_block,
+                            input_set,
+                            t * bsz,
+                            lb.wt.as_slice(),
+                            lb.drive.as_mut_slice(),
+                            bsz,
+                            in_dim,
+                            out_dim,
+                            mode,
+                        );
+                    }
+                    KernelPath::Dense => {
+                        // Dense reference: B k-ascending dots per neuron,
+                        // bitwise identical to per-sample `matvec`. Tally
+                        // the events the sparse kernel would process so
+                        // traces stay comparable across paths.
+                        gemm::gemm_nt(
+                            input_block,
+                            layer.weights.as_slice(),
+                            lb.drive.as_mut_slice(),
+                            bsz,
+                            in_dim,
+                            out_dim,
+                        );
+                        for b in 0..bsz {
+                            kernel_events +=
+                                input_set.row(t * bsz + b).len() as u64 * out_dim as u64;
+                        }
+                    }
+                }
                 let p = &layer.params;
                 for b in 0..bsz {
                     let r = t * bsz + b;
@@ -365,9 +551,15 @@ impl SdpNetwork {
                         spk[i] = layer.spike_fn.spike(volt[i], th_row[i]); // eq. (7)
                     }
                     lt.outputs.row_mut(r).copy_from_slice(spk);
+                    // Row r is final: record its events. t is outer and b
+                    // inner, so rows arrive in ascending stack order and
+                    // the set is complete for this timestep before the
+                    // next layer's drive reads it.
+                    lt.output_set.push_row(spk);
                 }
             }
         }
+        trace.kernel_events = kernel_events;
         lif_watch.stop(rec, SPAN_PROFILE_SNN_LIF);
 
         // Event counters (summed over the batch, matching B per-sample runs).
@@ -545,6 +737,56 @@ mod tests {
         let (lif_s, lif_n) = rec.span_total(SPAN_PROFILE_SNN_LIF);
         assert_eq!((enc_n, lif_n), (1, 1), "one span per profiled section");
         assert!(enc_s >= 0.0 && lif_s >= 0.0);
+    }
+
+    #[test]
+    fn sparse_and_dense_paths_produce_identical_traces() {
+        let net = SdpNetwork::new(SdpNetworkConfig::small(4, 3), &mut rng(17));
+        let batch = 4;
+        let st = states(&net, batch);
+        let mut ws = BatchWorkspace::new(&net, batch);
+        let mut dense = BatchNetworkTrace::new(&net, batch);
+        let mut rngs: Vec<StdRng> = (0..batch).map(|b| rng(b as u64)).collect();
+        net.forward_batch_with(&st, &mut rngs, &mut ws, &mut dense, KernelPath::Dense);
+        let mut sparse_t = BatchNetworkTrace::new(&net, batch);
+        let mut rngs2: Vec<StdRng> = (0..batch).map(|b| rng(b as u64)).collect();
+        net.forward_batch_with(
+            &st,
+            &mut rngs2,
+            &mut ws,
+            &mut sparse_t,
+            KernelPath::Sparse(SparseMode::Bitwise),
+        );
+        assert_eq!(sparse_t, dense, "bitwise sparse trace must equal the dense reference");
+        assert!(sparse_t.kernel_events > 0, "workload should produce events");
+    }
+
+    #[test]
+    fn kernel_events_match_independent_synops_count() {
+        // The drive kernels tally events as they propagate spikes; the
+        // stats recompute synops from the dense rasters. The two must agree.
+        let net = SdpNetwork::new(SdpNetworkConfig::small(4, 3), &mut rng(29));
+        let batch = 6;
+        let st = states(&net, batch);
+        let mut ws = BatchWorkspace::new(&net, batch);
+        let mut trace = BatchNetworkTrace::new(&net, batch);
+        let mut rngs: Vec<StdRng> = (0..batch).map(|b| rng(b as u64)).collect();
+        net.forward_batch(&st, &mut rngs, &mut ws, &mut trace);
+        assert_eq!(trace.kernel_events, trace.stats.synops);
+    }
+
+    #[test]
+    fn kernel_path_override_round_trips() {
+        // Default with no env override is the bitwise sparse path.
+        if std::env::var("SPIKEFOLIO_FAST_MATH").is_err() {
+            assert_eq!(kernel_path(), KernelPath::Sparse(SparseMode::Bitwise));
+        }
+        // Dense and Sparse(Bitwise) are bit-identical, so flipping the
+        // global override mid-run is safe for concurrently running tests.
+        set_kernel_path(KernelPath::Dense);
+        assert_eq!(kernel_path(), KernelPath::Dense);
+        reset_kernel_path();
+        assert_eq!(kernel_path(), KernelPath::Sparse(sparse::default_mode()));
     }
 
     #[test]

@@ -38,11 +38,16 @@ pub mod layer;
 pub mod network;
 pub mod neuron;
 pub mod raster;
+pub mod spikes;
 pub mod stbp;
 pub mod surrogate;
 
-pub use batch::{BatchLayerTrace, BatchNetworkTrace, BatchWorkspace};
+pub use batch::{
+    kernel_path, reset_kernel_path, set_kernel_path, BatchLayerTrace, BatchNetworkTrace,
+    BatchWorkspace, KernelPath,
+};
 pub use encoder::{Encoding, PopulationEncoder, PopulationEncoderConfig};
 pub use network::{SdpNetwork, SdpNetworkConfig};
 pub use neuron::LifParams;
+pub use spikes::{SparseMode, SpikeSet};
 pub use surrogate::Surrogate;

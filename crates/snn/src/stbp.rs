@@ -15,13 +15,13 @@
 //! exact (no surrogate) when the network uses the soft spike relaxation,
 //! which is how the recurrences are validated against finite differences.
 
-use crate::batch::{BatchNetworkTrace, BatchWorkspace};
+use crate::batch::{kernel_path, BatchNetworkTrace, BatchWorkspace, KernelPath};
 use crate::decoder::DecoderTrace;
 use crate::network::{NetworkTrace, SdpNetwork};
 use spikefolio_telemetry::labels::SPAN_PROFILE_SNN_STBP;
 use spikefolio_telemetry::{NoopRecorder, Recorder, Stopwatch};
 use spikefolio_tensor::optim::{Optimizer, ParamSlot};
-use spikefolio_tensor::{gemm, vector, Matrix};
+use spikefolio_tensor::{gemm, sparse, vector, Matrix};
 
 /// Gradients of one LIF layer.
 #[derive(Debug, Clone, PartialEq)]
@@ -252,6 +252,25 @@ pub fn backward_batch(
     backward_batch_recorded(net, trace, d_actions, rate_penalty, ws, &mut NoopRecorder)
 }
 
+/// [`backward_batch`] routed through an explicit
+/// [`KernelPath`] instead of the process default — the entry point the
+/// equivalence test battery uses to compare the event-driven weight
+/// gradient against the dense reference on identical traces.
+///
+/// # Panics
+///
+/// As [`backward_batch`].
+pub fn backward_batch_with(
+    net: &SdpNetwork,
+    trace: &BatchNetworkTrace,
+    d_actions: &Matrix,
+    rate_penalty: f64,
+    ws: &mut BatchWorkspace,
+    path: KernelPath,
+) -> SdpGradients {
+    backward_batch_inner(net, trace, d_actions, rate_penalty, ws, path)
+}
+
 /// [`backward_batch`] with phase profiling: the whole batched STBP pass is
 /// timed as one [`SPAN_PROFILE_SNN_STBP`] span on `rec`.
 ///
@@ -270,7 +289,7 @@ pub fn backward_batch_recorded(
     rec: &mut dyn Recorder,
 ) -> SdpGradients {
     let watch = Stopwatch::start(rec);
-    let grads = backward_batch_inner(net, trace, d_actions, rate_penalty, ws);
+    let grads = backward_batch_inner(net, trace, d_actions, rate_penalty, ws, kernel_path());
     watch.stop(rec, SPAN_PROFILE_SNN_STBP);
     grads
 }
@@ -281,6 +300,7 @@ fn backward_batch_inner(
     d_actions: &Matrix,
     rate_penalty: f64,
     ws: &mut BatchWorkspace,
+    path: KernelPath,
 ) -> SdpGradients {
     let bsz = trace.batch();
     let t_max = net.config().timesteps;
@@ -387,19 +407,40 @@ fn backward_batch_inner(
             std::mem::swap(&mut lb.d_b, &mut lb.db_next);
         }
 
-        // Parameter gradients (eq. 13) as one GEMM over the whole stack:
-        // ∇W += Σ_{t,b} δc ⊗ o_in, ∇b = column sums of the δc stack.
-        let inputs: &[f64] =
-            if k == 0 { trace.encoder.as_slice() } else { trace.layers[k - 1].outputs.as_slice() };
-        gemm::gemm_tn_acc(
-            1.0,
-            lb.dc_stack.as_slice(),
-            inputs,
-            grads.layers[k].d_weights.as_mut_slice(),
-            t_max * bsz,
-            out_dim,
-            in_dim,
-        );
+        // Parameter gradients (eq. 13) over the whole stack:
+        // ∇W += Σ_{t,b} δc ⊗ o_in, ∇b = column sums of the δc stack. The
+        // event-driven path restricts each rank-1 update to the active
+        // input-spike columns of that row — bitwise identical to the dense
+        // reference in both sparse modes (skipped zero addends cannot flip
+        // accumulator bits; see `spikefolio_tensor::sparse`).
+        let (inputs, input_set): (&[f64], &sparse::SpikeSet) = if k == 0 {
+            (trace.encoder.as_slice(), &trace.encoder_set)
+        } else {
+            (trace.layers[k - 1].outputs.as_slice(), &trace.layers[k - 1].output_set)
+        };
+        match path {
+            KernelPath::Sparse(_) => {
+                sparse::spike_outer_acc(
+                    1.0,
+                    lb.dc_stack.as_slice(),
+                    inputs,
+                    input_set,
+                    grads.layers[k].d_weights.as_mut_slice(),
+                    t_max * bsz,
+                    out_dim,
+                    in_dim,
+                );
+            }
+            KernelPath::Dense => gemm::gemm_tn_acc(
+                1.0,
+                lb.dc_stack.as_slice(),
+                inputs,
+                grads.layers[k].d_weights.as_mut_slice(),
+                t_max * bsz,
+                out_dim,
+                in_dim,
+            ),
+        }
         for r in 0..t_max * bsz {
             vector::axpy(&mut grads.layers[k].d_bias, 1.0, lb.dc_stack.row(r));
         }
@@ -817,6 +858,38 @@ mod tests {
         let net = soft_net();
         let (_, trace) = net.forward(&[1.0, 1.0, 1.0], &mut rng());
         let _ = backward_with_rate_penalty(&net, &trace, &[0.0, 0.0], -1.0);
+    }
+
+    #[test]
+    fn batched_backward_sparse_matches_dense_bitwise() {
+        use crate::batch::{BatchNetworkTrace, BatchWorkspace, KernelPath};
+        use spikefolio_tensor::sparse::SparseMode;
+        let mut cfg = SdpNetworkConfig::small(4, 3);
+        cfg.timesteps = 5;
+        let net = SdpNetwork::new(cfg, &mut rng());
+        let bsz = 4;
+        let states = Matrix::from_fn(bsz, 4, |b, d| 0.85 + 0.04 * ((b * 4 + d) % 7) as f64);
+        let mut ws = BatchWorkspace::new(&net, bsz);
+        let mut trace = BatchNetworkTrace::new(&net, bsz);
+        let mut rngs: Vec<rand::rngs::StdRng> =
+            (0..bsz).map(|b| rand::rngs::StdRng::seed_from_u64(40 + b as u64)).collect();
+        net.forward_batch(&states, &mut rngs, &mut ws, &mut trace);
+        let d_actions = Matrix::from_fn(bsz, 3, |b, a| if a == b % 3 { -1.0 } else { 0.5 });
+        let dense = backward_batch_with(&net, &trace, &d_actions, 0.3, &mut ws, KernelPath::Dense);
+        for mode in [SparseMode::Bitwise, SparseMode::FastMath] {
+            let sparse = backward_batch_with(
+                &net,
+                &trace,
+                &d_actions,
+                0.3,
+                &mut ws,
+                KernelPath::Sparse(mode),
+            );
+            // The event-driven weight gradient is bitwise identical in
+            // BOTH modes: per output element there is one contribution per
+            // stack row, so there is no reduction to reorder.
+            assert_eq!(flat_grads(&sparse), flat_grads(&dense), "{mode:?}");
+        }
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod matrix;
 pub mod ops;
 pub mod optim;
 pub mod simplex;
+pub mod sparse;
 pub mod vector;
 
 pub use matrix::Matrix;

@@ -359,6 +359,41 @@ impl Matrix {
         Matrix::from_fn(self.cols, self.rows, |r, c| self.data[c * self.cols + r])
     }
 
+    /// Writes the transpose of `self` into `out` without allocating.
+    ///
+    /// Used by the event-driven forward path, which re-transposes the
+    /// weights into a reusable workspace buffer once per batched call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is not `cols × rows`.
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        assert_eq!(
+            out.shape(),
+            (self.cols, self.rows),
+            "transpose_into: out shape {:?} != {:?}",
+            out.shape(),
+            (self.cols, self.rows)
+        );
+        // Tiled copy: within a tile both the source rows and the
+        // destination rows are short contiguous runs, so one side of the
+        // transpose no longer strides a cache line per element. Pure data
+        // movement — bit-for-bit the same result as the naive loop.
+        const TILE: usize = 32;
+        for r0 in (0..self.rows).step_by(TILE) {
+            let r1 = (r0 + TILE).min(self.rows);
+            for c0 in (0..self.cols).step_by(TILE) {
+                let c1 = (c0 + TILE).min(self.cols);
+                for r in r0..r1 {
+                    let src = &self.data[r * self.cols + c0..r * self.cols + c1];
+                    for (c, &v) in (c0..).zip(src) {
+                        out.data[c * self.rows + r] = v;
+                    }
+                }
+            }
+        }
+    }
+
     /// Adds `alpha * x yᵀ` (outer product) into `self` in place.
     ///
     /// Used for gradient accumulation `∇W += δ ⊗ input`.
@@ -594,6 +629,22 @@ mod tests {
     fn transpose_is_involution() {
         let m = Matrix::from_fn(3, 5, |r, c| (r * 5 + c) as f64);
         assert_eq!(m.transposed().transposed(), m);
+    }
+
+    #[test]
+    fn transpose_into_matches_transposed() {
+        let m = Matrix::from_fn(4, 7, |r, c| (r * 7 + c) as f64 * 0.25);
+        let mut out = Matrix::filled(7, 4, f64::NAN);
+        m.transpose_into(&mut out);
+        assert_eq!(out, m.transposed());
+    }
+
+    #[test]
+    #[should_panic(expected = "transpose_into: out shape")]
+    fn transpose_into_rejects_wrong_shape() {
+        let m = Matrix::zeros(2, 3);
+        let mut out = Matrix::zeros(2, 3);
+        m.transpose_into(&mut out);
     }
 
     #[test]
