@@ -47,4 +47,75 @@ cargo run --release -q --bin spikefolio -- checkpoint init target/serve_smoke.ck
 cargo run --release -q --bin spikefolio -- loadgen --smoke \
   --checkpoint target/serve_smoke.ckpt --seed 7
 
+echo "==> observatory smoke (metrics verb schema + exact stage counts under load)"
+OBS_REQUESTS=192
+cargo run --release -q --bin spikefolio -- serve --checkpoint target/serve_smoke.ckpt \
+  --smoke --addr 127.0.0.1:0 --trace-sample 64 --trace target/serve_trace.json \
+  > target/serve_obs.log 2>&1 &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+# The server prints its bound address ("serving ... on HOST:PORT ...") on
+# startup; poll the log until it appears.
+OBS_ADDR=""
+for _ in $(seq 1 50); do
+  OBS_ADDR=$(sed -n 's/^serving .* on \([0-9.]*:[0-9]*\) .*$/\1/p' target/serve_obs.log | head -1)
+  [ -n "$OBS_ADDR" ] && break
+  sleep 0.1
+done
+test -n "$OBS_ADDR" || { echo "server never reported its address"; cat target/serve_obs.log; exit 1; }
+cargo run --release -q --bin spikefolio -- loadgen --addr "$OBS_ADDR" \
+  --requests "$OBS_REQUESTS" --seed 7 --out target/loadgen_obs.json
+# Mid-life dashboard scrape: one serve-top frame must render.
+cargo run --release -q --bin spikefolio -- serve-top --addr "$OBS_ADDR" --iterations 1 \
+  | grep -q "spikefolio serve-top" || { echo "serve-top frame missing"; exit 1; }
+# Scrape the snapshot and validate: schema tag, and each of the six stage
+# histogram counts exactly equals the loadgen request tally (the
+# observatory's no-lost-no-double-count invariant).
+python3 - "$OBS_ADDR" "$OBS_REQUESTS" <<'PYEOF'
+import json, socket, sys
+addr, expected = sys.argv[1], int(sys.argv[2])
+host, port = addr.rsplit(":", 1)
+s = socket.create_connection((host, int(port)), timeout=10)
+s.sendall(b'{"cmd":"metrics"}\n')
+buf = b""
+while not buf.endswith(b"\n"):
+    chunk = s.recv(65536)
+    if not chunk:
+        break
+    buf += chunk
+s.close()
+resp = json.loads(buf.decode())
+assert resp.get("ok") is True, f"metrics verb failed: {resp}"
+assert resp.get("schema") == "spikefolio.metrics.v1", f"schema: {resp.get('schema')}"
+m = resp.get("metrics", {})
+stages = m.get("stages", {})
+for stage in ("accept", "parse", "queue_wait", "batch_form", "backend_infer", "render"):
+    count = stages.get(stage, {}).get("count")
+    assert count == expected, f"stage {stage}: count {count} != issued requests {expected}"
+served = m.get("counters", {}).get("served")
+assert served == expected, f"served {served} != {expected}"
+health = m.get("health", {})
+assert isinstance(health.get("degraded"), bool), "health.degraded missing"
+trace = m.get("trace", {})
+assert trace.get("sample_every") == 64, f"trace sampling: {trace}"
+print(f"    metrics schema OK; all 6 stage counts == {expected}; "
+      f"{trace.get('sampled', 0)} requests trace-sampled")
+PYEOF
+# Clean shutdown via the protocol, then the sampled request trace must be
+# valid chrome-trace JSON.
+python3 - "$OBS_ADDR" <<'PYEOF'
+import socket, sys
+host, port = sys.argv[1].rsplit(":", 1)
+s = socket.create_connection((host, int(port)), timeout=10)
+s.sendall(b'{"cmd":"shutdown"}\n')
+s.recv(4096)
+s.close()
+PYEOF
+wait "$SERVE_PID"
+trap - EXIT
+python3 -c "import json; d=json.load(open('target/serve_trace.json')); \
+events=[e for e in d['traceEvents'] if e.get('name','').startswith('serve/req/')]; \
+assert events, 'no sampled request spans in trace'; \
+print(f'    serve_trace.json OK ({len(events)} request spans)')"
+
 echo "CI checks passed."

@@ -15,6 +15,8 @@
 //! spikefolio serve --checkpoint CKPT [--addr HOST:PORT] [--backend float|loihi]
 //!                  [--smoke|--full] [--assets N] [--max-batch N] [--max-wait-us N]
 //!                  [--queue N] [--workers N] [--deterministic] [--telemetry RUN.jsonl]
+//!                  [--trace TRACE.json] [--trace-sample N] [--slo-us N]
+//! spikefolio serve-top --addr HOST:PORT [--interval-ms N] [--iterations N] [--raw] [--prom]
 //! spikefolio loadgen --smoke [--checkpoint CKPT] [--seed N]
 //! spikefolio loadgen --addr HOST:PORT [--requests N] [--concurrency N] [--open-rps R]
 //!                    [--seed N] [--deadline-ms N] [--check-determinism] [--out REPORT.json]
@@ -33,8 +35,8 @@ use spikefolio::figures::{backtest_value_curves, training_reward_csv};
 use spikefolio::profiling::{run_bench_workloads, run_profile_workload, WorkloadOptions};
 use spikefolio::report;
 use spikefolio::serving::{
-    run_loadgen_smoke, run_self_bench, run_serve, write_reference_checkpoint, BackendKind,
-    ServeRunOptions,
+    run_loadgen_smoke, run_self_bench, run_serve, run_serve_top, write_reference_checkpoint,
+    BackendKind, ServeRunOptions, ServeTopOptions,
 };
 use spikefolio::telemetry_report::{empty_run_message, format_run_summary};
 use spikefolio::SdpConfig;
@@ -171,6 +173,7 @@ fn usage() -> ! {
            bench compare <BENCH.json>        gate against a recorded baseline\n  \
            checkpoint init <PATH>            write a fresh reference checkpoint\n  \
            serve        serve a checkpoint over NDJSON/TCP (--checkpoint CKPT)\n  \
+           serve-top    live metrics dashboard for a running server (--addr HOST:PORT)\n  \
            loadgen      drive a server: --smoke | --addr HOST:PORT | --self-bench\n\
          flags: --full | --smoke | --seed N | --out DIR | --telemetry RUN.jsonl\n        \
                 --trace TRACE.json (profile) | --guard (fault-guarded SDP training)\n        \
@@ -258,9 +261,14 @@ const SERVE_FLAGS: FlagSpec = FlagSpec {
         "--workers",
         "--telemetry",
         "--seed",
+        "--trace",
+        "--trace-sample",
+        "--slo-us",
     ],
     boolean: &["--full", "--smoke", "--deterministic"],
 };
+const SERVE_TOP_FLAGS: FlagSpec =
+    FlagSpec { value: &["--addr", "--interval-ms", "--iterations"], boolean: &["--raw", "--prom"] };
 const LOADGEN_FLAGS: FlagSpec = FlagSpec {
     value: &[
         "--checkpoint",
@@ -499,8 +507,29 @@ fn main() {
                 backend,
                 service,
                 telemetry: flag_value(a, "--telemetry").map(str::to_owned),
+                trace: flag_value(a, "--trace").map(str::to_owned),
+                trace_sample: parsed_flag(a, "--trace-sample", 0u64),
+                slo_us: flag_value(a, "--slo-us").map(|s| {
+                    s.parse()
+                        .unwrap_or_else(|_| fail(&format!("--slo-us expects a number, got '{s}'")))
+                }),
             };
             run_serve(&opts).unwrap_or_else(|e| fail(&e));
+        }
+        "serve-top" => {
+            SERVE_TOP_FLAGS.check(&args[1..]);
+            let a = &args[1..];
+            let Some(addr) = flag_value(a, "--addr") else {
+                fail("serve-top requires --addr HOST:PORT");
+            };
+            let opts = ServeTopOptions {
+                addr: addr.to_owned(),
+                interval_ms: parsed_flag(a, "--interval-ms", 1000u64),
+                iterations: parsed_flag(a, "--iterations", 0usize),
+                raw: has_flag(a, "--raw"),
+                prometheus: has_flag(a, "--prom"),
+            };
+            run_serve_top(&opts).unwrap_or_else(|e| fail(&e));
         }
         "loadgen" => {
             LOADGEN_FLAGS.check(&args[1..]);

@@ -9,8 +9,11 @@
 //! loadgen` subcommand implementations, including the CI smoke flow and
 //! the batching-vs-unbatched self benchmark.
 
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
 use std::str::FromStr;
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -24,6 +27,7 @@ use spikefolio_serve::{
     ServerHandle, ServerOptions, Service, ServiceConfig,
 };
 use spikefolio_snn::{BatchNetworkTrace, BatchWorkspace, SdpNetwork};
+use spikefolio_telemetry::value::{parse, Value};
 use spikefolio_tensor::Matrix;
 
 use crate::agent::SdpAgent;
@@ -86,6 +90,9 @@ pub struct FloatPolicyBackend {
     // the duration of the forward pass so concurrent workers never
     // serialize on it — a loser simply allocates its own.
     scratch: Mutex<Option<(usize, BatchWorkspace, BatchNetworkTrace)>>,
+    // Per-layer firing rates of the most recent micro-batch, feeding the
+    // serving health monitor's drift EWMA.
+    rates: Mutex<Option<Vec<f64>>>,
 }
 
 impl Clone for FloatPolicyBackend {
@@ -97,7 +104,7 @@ impl Clone for FloatPolicyBackend {
 impl FloatPolicyBackend {
     /// Wraps a trained network and its state layout.
     pub fn new(network: SdpNetwork, state_builder: StateBuilder) -> Self {
-        Self { network, state_builder, scratch: Mutex::new(None) }
+        Self { network, state_builder, scratch: Mutex::new(None), rates: Mutex::new(None) }
     }
 }
 
@@ -141,9 +148,15 @@ impl InferenceBackend for FloatPolicyBackend {
         };
         self.network.forward_batch(&matrix, &mut rngs, &mut ws, &mut trace);
         let actions = (0..batch).map(|b| trace.action(b).to_vec()).collect();
+        *self.rates.lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
+            Some(self.network.layer_firing_rates(&trace.layer_spikes, batch as u64));
         *self.scratch.lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
             Some((batch, ws, trace));
         actions
+    }
+
+    fn layer_firing_rates(&self) -> Option<Vec<f64>> {
+        self.rates.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone()
     }
 
     fn state_from_window(
@@ -338,6 +351,14 @@ pub struct ServeRunOptions {
     pub service: ServiceConfig,
     /// Optional JSONL run-log path for the final telemetry flush.
     pub telemetry: Option<String>,
+    /// Optional Chrome-trace JSON output path, written at shutdown when
+    /// request-trace sampling is on (load in Perfetto / `chrome://tracing`).
+    pub trace: Option<String>,
+    /// Sample 1-in-N requests into the trace (`0` disables tracing).
+    pub trace_sample: u64,
+    /// Per-request latency SLO for the health watchdog (µs); `None`
+    /// keeps the service default.
+    pub slo_us: Option<u64>,
 }
 
 /// Builds the store + service + server stack for `opts` without running
@@ -351,7 +372,12 @@ pub fn build_server(
 ) -> Result<(Server, ServerHandle, Arc<Service>), String> {
     let loader = CheckpointBackendLoader::new(opts.config.clone(), opts.num_assets, opts.backend);
     let store = ModelStore::open(Box::new(loader), &opts.checkpoint)?;
-    let service = Service::start(Arc::new(store), opts.service);
+    let mut service_cfg = opts.service;
+    service_cfg.trace_sample = opts.trace_sample;
+    if let Some(slo) = opts.slo_us {
+        service_cfg.health.latency_slo_us = slo;
+    }
+    let service = Service::start(Arc::new(store), service_cfg);
     let server = Server::bind(&opts.addr, Arc::clone(&service), ServerOptions::default())
         .map_err(|e| format!("bind {}: {e}", opts.addr))?;
     let handle = server.handle();
@@ -370,6 +396,15 @@ pub fn run_serve(opts: &ServeRunOptions) -> Result<(), String> {
     println!("serving {} on {} (backend {})", opts.checkpoint, handle.addr(), backend_name(opts));
     server.run().map_err(|e| format!("server: {e}"))?;
     finish_telemetry(&service, opts.telemetry.as_deref())?;
+    if let Some(path) = opts.trace.as_deref() {
+        match service.trace_json() {
+            Some(json) => {
+                std::fs::write(path, json).map_err(|e| format!("trace {path}: {e}"))?;
+                println!("wrote request trace to {path} (1-in-{} sampling)", opts.trace_sample);
+            }
+            None => println!("--trace given but --trace-sample is 0; no trace recorded"),
+        }
+    }
     let stats = service.stats();
     println!(
         "served {} requests in {} batches (max batch {}), shed {} (queue) / {} (deadline)",
@@ -392,6 +427,176 @@ fn finish_telemetry(service: &Service, path: Option<&str>) -> Result<(), String>
     service.flush_telemetry(&mut sink);
     sink.finish().map_err(|e| format!("telemetry {path}: {e}"))?;
     Ok(())
+}
+
+/// `spikefolio serve-top` parameters: poll a running server's `metrics`
+/// verb and render a live terminal dashboard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeTopOptions {
+    /// Server address to poll.
+    pub addr: String,
+    /// Poll interval (ms).
+    pub interval_ms: u64,
+    /// Number of polls; `0` polls until the server goes away.
+    pub iterations: usize,
+    /// Print the raw `spikefolio.metrics.v1` JSON snapshot per poll
+    /// instead of the dashboard (machine-consumable).
+    pub raw: bool,
+    /// Print the Prometheus text exposition per poll instead of the
+    /// dashboard.
+    pub prometheus: bool,
+}
+
+impl Default for ServeTopOptions {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".to_string(),
+            interval_ms: 1000,
+            iterations: 0,
+            raw: false,
+            prometheus: false,
+        }
+    }
+}
+
+/// One `metrics` round trip on a fresh connection (stateless by design:
+/// a dashboard that holds no connection cannot pin a draining server).
+fn fetch_metrics(addr: &str, prometheus: bool) -> Result<Value, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream.set_nodelay(true).map_err(|e| format!("set_nodelay: {e}"))?;
+    let mut writer = stream.try_clone().map_err(|e| format!("clone stream: {e}"))?;
+    let cmd = if prometheus {
+        "{\"cmd\":\"metrics\",\"format\":\"prometheus\"}\n"
+    } else {
+        "{\"cmd\":\"metrics\"}\n"
+    };
+    writer.write_all(cmd.as_bytes()).map_err(|e| format!("send metrics: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).map_err(|e| format!("read metrics: {e}"))?;
+    let v = parse(line.trim()).map_err(|e| format!("parse metrics response: {e}"))?;
+    if !matches!(v.get("ok"), Some(Value::Bool(true))) {
+        return Err(format!("server refused metrics: {}", line.trim()));
+    }
+    Ok(v)
+}
+
+/// Formats one `spikefolio.metrics.v1` snapshot as the serve-top frame.
+fn render_top(m: &Value) -> String {
+    use std::fmt::Write as _;
+    let cnt =
+        |k: &str| m.get("counters").and_then(|c| c.get(k)).and_then(Value::as_u64).unwrap_or(0);
+    let gauge =
+        |k: &str| m.get("gauges").and_then(|g| g.get(k)).and_then(Value::as_u64).unwrap_or(0);
+    let health = m.get("health");
+    let hf = |k: &str| health.and_then(|h| h.get(k)).and_then(Value::as_f64).unwrap_or(0.0);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "spikefolio serve-top  backend {}  model v{}  uptime {:.1} s",
+        m.get("backend").and_then(Value::as_str).unwrap_or("?"),
+        m.get("model_version").and_then(Value::as_u64).unwrap_or(0),
+        m.get("uptime_s").and_then(Value::as_f64).unwrap_or(0.0),
+    );
+    let _ = writeln!(
+        out,
+        "requests {}  served {}  shed {} queue / {} deadline  parse_errors {}  over_slo {}",
+        cnt("requests"),
+        cnt("served"),
+        cnt("shed_queue_full"),
+        cnt("shed_deadline"),
+        cnt("parse_errors"),
+        cnt("over_slo"),
+    );
+    let _ = writeln!(
+        out,
+        "queue depth {} (peak {})  batches {}  max batch {}",
+        gauge("queue_depth"),
+        gauge("queue_depth_peak"),
+        cnt("batches"),
+        gauge("max_batch"),
+    );
+    let degraded = matches!(health.and_then(|h| h.get("degraded")), Some(Value::Bool(true)));
+    let reasons: Vec<&str> = health
+        .and_then(|h| h.get("reasons"))
+        .and_then(Value::as_list)
+        .map(|rs| rs.iter().filter_map(Value::as_str).collect())
+        .unwrap_or_default();
+    let _ = writeln!(
+        out,
+        "health {}  burn {:.2}  shed {:.2}  drift {:.3}{}",
+        if degraded { "DEGRADED" } else { "ok" },
+        hf("burn_rate"),
+        hf("shed_rate"),
+        hf("drift_score"),
+        if reasons.is_empty() { String::new() } else { format!("  [{}]", reasons.join(", ")) },
+    );
+    let _ = writeln!(
+        out,
+        "{:<14} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "stage (us)", "count", "p50", "p95", "p99", "max"
+    );
+    if let Some(Value::Map(stages)) = m.get("stages") {
+        for (name, s) in stages {
+            let sf = |k: &str| s.get(k).and_then(Value::as_f64).unwrap_or(0.0);
+            let _ = writeln!(
+                out,
+                "{:<14} {:>10} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+                name,
+                s.get("count").and_then(Value::as_u64).unwrap_or(0),
+                sf("p50_us"),
+                sf("p95_us"),
+                sf("p99_us"),
+                sf("max_us"),
+            );
+        }
+    }
+    if let Some(t) = m.get("trace") {
+        if let Some(every) = t.get("sample_every").and_then(Value::as_u64) {
+            let _ = writeln!(
+                out,
+                "trace: 1-in-{every} sampling, {} requests sampled",
+                t.get("sampled").and_then(Value::as_u64).unwrap_or(0),
+            );
+        }
+    }
+    out
+}
+
+/// `spikefolio serve-top`: polls the `metrics` verb and repaints a
+/// terminal dashboard (or emits raw JSON / Prometheus text with the
+/// corresponding flags — one line/block per poll, suitable for piping).
+///
+/// # Errors
+///
+/// Connection or protocol failures as a message.
+pub fn run_serve_top(opts: &ServeTopOptions) -> Result<(), String> {
+    let mut done = 0usize;
+    loop {
+        let v = fetch_metrics(&opts.addr, opts.prometheus)?;
+        if opts.prometheus {
+            print!("{}", v.get("text").and_then(Value::as_str).unwrap_or(""));
+        } else {
+            let metrics = v
+                .get("metrics")
+                .ok_or_else(|| "metrics response carries no `metrics` map".to_string())?;
+            if opts.raw {
+                println!("{}", metrics.to_json());
+            } else {
+                if opts.iterations != 1 {
+                    // Repaint in place when running as a live dashboard.
+                    print!("\x1b[2J\x1b[H");
+                }
+                print!("{}", render_top(metrics));
+            }
+        }
+        let _ = std::io::stdout().flush();
+        done += 1;
+        if opts.iterations != 0 && done >= opts.iterations {
+            return Ok(());
+        }
+        std::thread::sleep(Duration::from_millis(opts.interval_ms.max(50)));
+    }
 }
 
 /// Outcome of the scripted smoke flow ([`run_loadgen_smoke`]).
@@ -449,6 +654,9 @@ pub fn run_loadgen_smoke(checkpoint: Option<&str>, seed: u64) -> Result<SmokeOut
         backend: BackendKind::Float,
         service: ServiceConfig { deterministic: true, queue_capacity: 1024, ..Default::default() },
         telemetry: None,
+        trace: None,
+        trace_sample: 0,
+        slo_us: None,
     };
     let (server, handle, _service) = build_server(&opts)?;
     let addr = handle.addr().to_string();
@@ -487,6 +695,9 @@ pub fn run_self_bench(
             backend: BackendKind::Float,
             service: svc,
             telemetry: None,
+            trace: None,
+            trace_sample: 0,
+            slo_us: None,
         };
         let (server, handle, _service) = build_server(&opts)?;
         let addr = handle.addr().to_string();
@@ -516,6 +727,8 @@ fn unreachable_report() -> LoadReport {
         batch_hist: Vec::new(),
         max_batch: 0,
         deterministic: None,
+        server_stages: Vec::new(),
+        server_degraded: None,
     }
 }
 
@@ -562,6 +775,30 @@ mod tests {
         assert_eq!(backend.action_dim(), 4);
         assert!(loader.load("/nonexistent/nope.ckpt").is_err());
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn serve_top_renders_snapshot_fields() {
+        let json = concat!(
+            r#"{"uptime_s":1.5,"backend":"snn-float","model_version":2,"#,
+            r#""counters":{"requests":10,"served":9,"shed_queue_full":1,"shed_deadline":0,"#,
+            r#""parse_errors":0,"over_slo":3},"#,
+            r#""gauges":{"queue_depth":0,"queue_depth_peak":4,"max_batch":8},"#,
+            r#""stages":{"backend_infer":{"count":9,"p50_us":12.0,"p95_us":30.0,"#,
+            r#""p99_us":40.0,"max_us":44.0}},"#,
+            r#""health":{"degraded":true,"reasons":["latency_burn"],"burn_rate":1.2,"#,
+            r#""shed_rate":0.1,"drift_score":0.01},"#,
+            r#""trace":{"sample_every":64,"sampled":2}}"#,
+        );
+        let v = parse(json).expect("synthetic snapshot parses");
+        let frame = render_top(&v);
+        assert!(frame.contains("backend snn-float"));
+        assert!(frame.contains("model v2"));
+        assert!(frame.contains("requests 10"));
+        assert!(frame.contains("DEGRADED"));
+        assert!(frame.contains("latency_burn"));
+        assert!(frame.contains("backend_infer"));
+        assert!(frame.contains("1-in-64 sampling"));
     }
 
     #[test]

@@ -26,8 +26,8 @@ use std::time::Instant;
 /// One reconstructed timeline event.
 #[derive(Debug, Clone, PartialEq)]
 enum TraceEvent {
-    /// A completed span: `[ts_us, ts_us + dur_us]`.
-    Complete { name: String, ts_us: f64, dur_us: f64 },
+    /// A completed span on track `tid`: `[ts_us, ts_us + dur_us]`.
+    Complete { name: String, ts_us: f64, dur_us: f64, tid: u64 },
     /// A cumulative counter sample.
     Counter { name: String, ts_us: f64, value: f64 },
     /// An instantaneous marker (one per emitted record).
@@ -103,6 +103,20 @@ impl ChromeTraceRecorder {
         self.events.len()
     }
 
+    /// Records a completed span on an explicit track. The default
+    /// [`Recorder::span`] path keeps everything on `tid` 1; per-request
+    /// serving traces give each sampled request its own `tid` (its
+    /// correlation id) so its queue/batch/infer spans render as one lane
+    /// in Perfetto instead of interleaving with other requests.
+    pub fn span_on_track(&mut self, label: &str, seconds: f64, tid: u64) {
+        let slot = self.spans.entry(label.to_owned()).or_insert((0.0, 0));
+        slot.0 += seconds;
+        slot.1 += 1;
+        let dur_us = (seconds * 1e6).max(0.0);
+        let ts_us = (self.now_us() - dur_us).max(0.0);
+        self.events.push(TraceEvent::Complete { name: label.to_owned(), ts_us, dur_us, tid });
+    }
+
     /// Completed spans are reconstructed from durations at record time,
     /// so a scheduling delay between a parent phase's clock read (in its
     /// stopwatch) and the recorder's shifts the parent's reconstructed
@@ -118,7 +132,7 @@ impl ChromeTraceRecorder {
         let mut events = self.events.clone();
         let mut prev_index: BTreeMap<String, usize> = BTreeMap::new();
         for i in 0..events.len() {
-            let TraceEvent::Complete { name, ts_us, dur_us } = &events[i] else { continue };
+            let TraceEvent::Complete { name, ts_us, dur_us, .. } = &events[i] else { continue };
             let (name, end_us) = (name.clone(), ts_us + dur_us);
             let prefix = format!("{name}/");
             let scan_from = prev_index.get(&name).map_or(0, |&j| j + 1);
@@ -158,7 +172,11 @@ impl ChromeTraceRecorder {
             fields.push(("ph".into(), Value::Str(ph.into())));
             fields.push(("ts".into(), Value::F64(ts)));
             fields.push(("pid".into(), Value::U64(1)));
-            fields.push(("tid".into(), Value::U64(1)));
+            let tid = match ev {
+                TraceEvent::Complete { tid, .. } => *tid,
+                _ => 1,
+            };
+            fields.push(("tid".into(), Value::U64(tid)));
             match ev {
                 TraceEvent::Complete { dur_us, .. } => {
                     fields.push(("dur".into(), Value::F64(*dur_us)));
@@ -199,13 +217,8 @@ impl Recorder for ChromeTraceRecorder {
     }
 
     fn span(&mut self, label: &str, seconds: f64) {
-        let slot = self.spans.entry(label.to_owned()).or_insert((0.0, 0));
-        slot.0 += seconds;
-        slot.1 += 1;
-        let dur_us = (seconds * 1e6).max(0.0);
         // The span just ended: reconstruct its start from its duration.
-        let ts_us = (self.now_us() - dur_us).max(0.0);
-        self.events.push(TraceEvent::Complete { name: label.to_owned(), ts_us, dur_us });
+        self.span_on_track(label, seconds, 1);
     }
 
     fn emit(&mut self, record: Record) {
@@ -403,5 +416,25 @@ mod tests {
     #[test]
     fn empty_tree_renders_placeholder() {
         assert!(render_phase_tree(&BTreeMap::new()).contains("no spans"));
+    }
+
+    #[test]
+    fn span_on_track_exports_its_tid_and_counts_toward_totals() {
+        let mut rec = ChromeTraceRecorder::new();
+        rec.span("serve/batch", 1e-3);
+        rec.span_on_track("serve/req/2a", 2e-3, 42);
+        assert_eq!(rec.span_total("serve/req/2a"), (2e-3, 1));
+        let v = parse(&rec.to_chrome_json()).unwrap();
+        let events = v.get("traceEvents").and_then(Value::as_list).unwrap();
+        let tid = |name: &str| {
+            events
+                .iter()
+                .find(|e| e.get("name").and_then(Value::as_str) == Some(name))
+                .and_then(|e| e.get("tid"))
+                .and_then(Value::as_u64)
+                .expect(name)
+        };
+        assert_eq!(tid("serve/batch"), 1);
+        assert_eq!(tid("serve/req/2a"), 42);
     }
 }

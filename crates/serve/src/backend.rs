@@ -24,6 +24,14 @@ pub trait InferenceBackend: Send + Sync {
     /// per sample, in order.
     fn infer_batch(&self, states: &[f64], seeds: &[u64]) -> Vec<Vec<f64>>;
 
+    /// Per-layer firing rates observed during the most recent batched
+    /// forward, for the health drift monitor. `None` (the default) means
+    /// the backend does not expose spiking internals; spiking backends
+    /// override it.
+    fn layer_firing_rates(&self) -> Option<Vec<f64>> {
+        None
+    }
+
     /// Builds a state vector from a raw OHLC window, for protocol clients
     /// that ship candles instead of features. `candles_flat` holds
     /// `[open, high, low, close]` per asset per period, assets

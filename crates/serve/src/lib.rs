@@ -37,20 +37,25 @@
 
 pub mod backend;
 pub mod loadgen;
+pub mod metrics;
 pub mod protocol;
 pub mod server;
 pub mod service;
 pub mod store;
 
 pub use backend::InferenceBackend;
-pub use loadgen::{run_loadgen, LatencySummary, LoadReport, LoadgenOptions};
+pub use loadgen::{run_loadgen, LatencySummary, LoadReport, LoadgenOptions, ServerStage};
+pub use metrics::{
+    HealthConfig, HealthReport, HistogramSnapshot, LatencyHistogram, MetricsRegistry,
+    MetricsSnapshot, Stage, METRICS_SCHEMA,
+};
 pub use protocol::SERVE_SCHEMA;
 pub use server::{Server, ServerHandle, ServerOptions};
 pub use service::{
     BatchPolicy, InferenceRequest, InferenceResponse, ServeError, Service, ServiceConfig,
     ShedReason, StatsSnapshot,
 };
-pub use store::{LoadedModel, ModelLoader, ModelStore};
+pub use store::{LoadedModel, ModelLoader, ModelStore, SwapStatus};
 
 /// Locks a mutex, recovering the guard from a poisoned lock — serving
 /// must keep answering even if some thread panicked mid-update.

@@ -71,6 +71,22 @@ pub struct LatencySummary {
     pub max_us: u64,
 }
 
+/// One server-side stage latency summary scraped from the `metrics`
+/// verb (µs, except `count`).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ServerStage {
+    /// Observations the server recorded for this stage.
+    pub count: u64,
+    /// Median.
+    pub p50_us: f64,
+    /// 95th percentile.
+    pub p95_us: f64,
+    /// 99th percentile.
+    pub p99_us: f64,
+    /// Worst observed.
+    pub max_us: f64,
+}
+
 /// One load-generation run, rendered with [`LoadReport::to_json`] /
 /// [`LoadReport::render`].
 #[derive(Debug, Clone, PartialEq)]
@@ -101,6 +117,12 @@ pub struct LoadReport {
     /// `Some(true)` when a two-pass run produced bitwise-identical
     /// weights, `Some(false)` when it did not, `None` for single runs.
     pub deterministic: Option<bool>,
+    /// Per-stage server-side latency scraped from the `metrics` verb
+    /// after the final pass, in pipeline order (empty when the server
+    /// does not speak `spikefolio.metrics.v1`).
+    pub server_stages: Vec<(String, ServerStage)>,
+    /// The server's health `degraded` flag at scrape time.
+    pub server_degraded: Option<bool>,
 }
 
 impl LoadReport {
@@ -139,6 +161,27 @@ impl LoadReport {
             ("batch_hist".to_string(), hist),
             ("max_batch".to_string(), Value::U64(self.max_batch)),
             ("deterministic".to_string(), self.deterministic.map_or(Value::Null, Value::Bool)),
+            (
+                "server_stages".to_string(),
+                Value::Map(
+                    self.server_stages
+                        .iter()
+                        .map(|(name, s)| {
+                            (
+                                name.clone(),
+                                Value::Map(vec![
+                                    ("count".to_string(), Value::U64(s.count)),
+                                    ("p50_us".to_string(), Value::F64(s.p50_us)),
+                                    ("p95_us".to_string(), Value::F64(s.p95_us)),
+                                    ("p99_us".to_string(), Value::F64(s.p99_us)),
+                                    ("max_us".to_string(), Value::F64(s.max_us)),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+            ("server_degraded".to_string(), self.server_degraded.map_or(Value::Null, Value::Bool)),
         ])
         .to_json()
     }
@@ -181,17 +224,61 @@ impl LoadReport {
                 if ok { "bitwise identical across runs" } else { "MISMATCH across runs" }
             ));
         }
+        if !self.server_stages.is_empty() {
+            // Client-vs-server side by side: the client's end-to-end
+            // percentiles next to where the server says the time went.
+            out.push_str(&format!(
+                "  {:<16} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+                "latency (us)", "count", "p50", "p95", "p99", "max"
+            ));
+            out.push_str(&format!(
+                "  {:<16} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+                "client e2e",
+                self.served,
+                self.latency.p50_us,
+                self.latency.p95_us,
+                self.latency.p99_us,
+                self.latency.max_us
+            ));
+            for (name, s) in &self.server_stages {
+                out.push_str(&format!(
+                    "  {:<16} {:>8} {:>10.1} {:>10.1} {:>10.1} {:>10.1}\n",
+                    format!("server {name}"),
+                    s.count,
+                    s.p50_us,
+                    s.p95_us,
+                    s.p99_us,
+                    s.max_us
+                ));
+            }
+        }
+        if let Some(degraded) = self.server_degraded {
+            out.push_str(&format!(
+                "  server health: {}\n",
+                if degraded { "DEGRADED" } else { "ok" }
+            ));
+        }
         out
     }
 }
 
-/// Nearest-rank percentile of an already sorted slice.
+/// Linearly interpolated percentile of an already sorted slice.
+///
+/// The rank `pct/100 * (n-1)` generally falls between two samples; the
+/// result interpolates between them (then rounds) instead of truncating
+/// to the nearest rank, so small samples don't quantize p95/p99 onto
+/// whichever observation happens to sit at the cut.
 fn percentile(sorted: &[u64], pct: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
     }
-    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
+    let rank = (pct / 100.0).clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    let a = sorted[lo] as f64;
+    let b = sorted[hi.min(sorted.len() - 1)] as f64;
+    (a + frac * (b - a)).round() as u64
 }
 
 fn summarize_latencies(mut lat_us: Vec<u64>) -> LatencySummary {
@@ -300,6 +387,52 @@ fn probe_state_dim(addr: &str) -> Result<usize, String> {
         .and_then(Value::as_u64)
         .map(|d| d as usize)
         .ok_or_else(|| format!("info response carries no state_dim: {}", line.trim()))
+}
+
+/// Scrapes the server's `metrics` verb and extracts per-stage latency
+/// plus the health `degraded` flag. Tolerant by design: any failure
+/// (older server, parse mismatch) yields an empty result instead of
+/// failing the load run.
+fn scrape_server_metrics(addr: &str) -> (Vec<(String, ServerStage)>, Option<bool>) {
+    let Some(v) = (|| -> Option<Value> {
+        let stream = TcpStream::connect(addr).ok()?;
+        stream.set_nodelay(true).ok()?;
+        let mut writer = stream.try_clone().ok()?;
+        writer.write_all(b"{\"cmd\":\"metrics\"}\n").ok()?;
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line).ok()?;
+        parse(line.trim()).ok()
+    })() else {
+        return (Vec::new(), None);
+    };
+    if !matches!(v.get("ok"), Some(Value::Bool(true))) {
+        return (Vec::new(), None);
+    }
+    let Some(metrics) = v.get("metrics") else {
+        return (Vec::new(), None);
+    };
+    let mut stages = Vec::new();
+    if let Some(Value::Map(entries)) = metrics.get("stages") {
+        for (name, stage) in entries {
+            let f = |key: &str| stage.get(key).and_then(Value::as_f64).unwrap_or(0.0);
+            stages.push((
+                name.clone(),
+                ServerStage {
+                    count: stage.get("count").and_then(Value::as_u64).unwrap_or(0),
+                    p50_us: f("p50_us"),
+                    p95_us: f("p95_us"),
+                    p99_us: f("p99_us"),
+                    max_us: f("max_us"),
+                },
+            ));
+        }
+    }
+    let degraded = metrics.get("health").and_then(|h| h.get("degraded")).and_then(|d| match d {
+        Value::Bool(b) => Some(*b),
+        _ => None,
+    });
+    (stages, degraded)
 }
 
 /// One closed-loop worker: send, wait, repeat over its pre-rendered
@@ -445,6 +578,7 @@ pub fn run_loadgen(addr: &str, opts: &LoadgenOptions) -> Result<LoadReport, Stri
         deterministic = Some(deterministic.unwrap_or(true) && same);
     }
     let max_batch = first.batch_hist.keys().max().copied().unwrap_or(0) as u64;
+    let (server_stages, server_degraded) = scrape_server_metrics(addr);
     Ok(LoadReport {
         mode: if opts.open_rps.is_some() { "open" } else { "closed" }.to_string(),
         requests: opts.requests as u64,
@@ -458,6 +592,8 @@ pub fn run_loadgen(addr: &str, opts: &LoadgenOptions) -> Result<LoadReport, Stri
         batch_hist: first.batch_hist.into_iter().collect(),
         max_batch,
         deterministic,
+        server_stages,
+        server_degraded,
     })
 }
 
@@ -467,12 +603,18 @@ mod tests {
     use super::*;
 
     #[test]
-    fn percentiles_use_nearest_rank() {
+    fn percentiles_interpolate_between_ranks() {
         let sorted: Vec<u64> = (1..=100).collect();
-        assert_eq!(percentile(&sorted, 50.0), 50);
-        assert_eq!(percentile(&sorted, 95.0), 95);
-        assert_eq!(percentile(&sorted, 99.0), 99);
+        // rank 49.5 sits between 50 and 51: interpolation gives 50.5,
+        // rounded half-up to 51 — nearest-rank truncation would say 50.
+        assert_eq!(percentile(&sorted, 50.0), 51);
+        assert_eq!(percentile(&sorted, 95.0), 95); // 94.05 -> 95.05 -> 95
+        assert_eq!(percentile(&sorted, 99.0), 99); // 98.01 -> 99.01 -> 99
         assert_eq!(percentile(&sorted, 100.0), 100);
+        assert_eq!(percentile(&sorted, 0.0), 1);
+        // A two-sample gap interpolates rather than snapping to an end.
+        assert_eq!(percentile(&[0, 100], 50.0), 50);
+        assert_eq!(percentile(&[0, 100], 75.0), 75);
         assert_eq!(percentile(&[7], 50.0), 7);
         assert_eq!(percentile(&[], 50.0), 0);
     }
@@ -516,13 +658,33 @@ mod tests {
             batch_hist: vec![(1, 3), (4, 2)],
             max_batch: 4,
             deterministic: Some(true),
+            server_stages: vec![
+                (
+                    "backend_infer".to_string(),
+                    ServerStage { count: 9, p50_us: 8.0, p95_us: 18.0, p99_us: 25.0, max_us: 29.0 },
+                ),
+                (
+                    "queue_wait".to_string(),
+                    ServerStage { count: 9, p50_us: 2.0, p95_us: 4.0, p99_us: 5.0, max_us: 6.0 },
+                ),
+            ],
+            server_degraded: Some(false),
         };
         let v = parse(&report.to_json()).expect("report must be valid JSON");
         assert_eq!(v.get("schema").and_then(Value::as_str), Some(SERVE_SCHEMA));
         assert_eq!(v.get("served").and_then(Value::as_u64), Some(9));
         assert_eq!(v.get("max_batch").and_then(Value::as_u64), Some(4));
+        let stages = v.get("server_stages").expect("server_stages present");
+        assert_eq!(
+            stages.get("backend_infer").and_then(|s| s.get("count")).and_then(Value::as_u64),
+            Some(9)
+        );
+        assert_eq!(v.get("server_degraded"), Some(&Value::Bool(false)));
         let text = report.render();
         assert!(text.contains("p95"));
         assert!(text.contains("bitwise identical"));
+        assert!(text.contains("client e2e"), "side-by-side table renders the client row");
+        assert!(text.contains("server backend_infer"));
+        assert!(text.contains("server health: ok"));
     }
 }

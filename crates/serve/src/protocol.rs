@@ -14,16 +14,23 @@
 //!
 //! ```json
 //! {"cmd":"info"} {"cmd":"stats"} {"cmd":"ping"}
+//! {"cmd":"metrics"} {"cmd":"metrics","format":"prometheus"}
 //! {"cmd":"reload","path":"model.ckpt"} {"cmd":"shutdown"}
 //! ```
 //!
-//! Successful inference response (deterministic mode omits the three
-//! timing/batch fields so identical request streams render bitwise
+//! `metrics` returns the schema-versioned `spikefolio.metrics.v1`
+//! snapshot (stage latency histograms, per-version metrics, swap status,
+//! health verdict) under a `metrics` key; the Prometheus format variant
+//! embeds the text exposition as a JSON string under `text`.
+//!
+//! Successful inference response (deterministic mode omits the timing /
+//! batch / correlation fields so identical request streams render bitwise
 //! identical lines):
 //!
 //! ```json
 //! {"id":1,"ok":true,"weights":[...],"model_version":2,
-//!  "renormalized":false,"batch":4,"queue_us":120,"infer_us":900}
+//!  "renormalized":false,"batch":4,"queue_us":120,"infer_us":900,
+//!  "corr":17}
 //! ```
 //!
 //! Errors: `{"id":1,"ok":false,"error":"queue_full","message":"..."}`
@@ -73,6 +80,12 @@ pub enum Control {
     Info,
     /// Counter snapshot.
     Stats,
+    /// Full `spikefolio.metrics.v1` observability snapshot; `prometheus`
+    /// selects the text exposition instead of the JSON document.
+    Metrics {
+        /// Render as Prometheus text (embedded as a JSON string).
+        prometheus: bool,
+    },
     /// Liveness probe.
     Ping,
     /// Hot-swap to the checkpoint at the given path.
@@ -124,6 +137,18 @@ pub fn parse_request(line: &str) -> Result<WireRequest, ParseFail> {
         let control = match cmd {
             "info" => Control::Info,
             "stats" => Control::Stats,
+            "metrics" => {
+                let prometheus = match value.get("format").and_then(Value::as_str) {
+                    None | Some("json") => false,
+                    Some("prometheus") => true,
+                    Some(other) => {
+                        return Err(fail(format!(
+                            "unknown metrics format {other:?} (json | prometheus)"
+                        )))
+                    }
+                };
+                Control::Metrics { prometheus }
+            }
             "ping" => Control::Ping,
             "shutdown" => Control::Shutdown,
             "reload" => {
@@ -168,8 +193,10 @@ pub fn parse_request(line: &str) -> Result<WireRequest, ParseFail> {
 }
 
 /// Renders a served response. In `deterministic` mode the `batch`,
-/// `queue_us`, and `infer_us` fields are omitted so the line depends
-/// only on `(model, state, seed)`.
+/// `queue_us`, `infer_us`, and `corr` fields are omitted so the line
+/// depends only on `(model, state, seed)` — correlation ids reflect
+/// cross-connection arrival order, which is exactly what determinism
+/// must not leak.
 pub fn render_response(resp: &InferenceResponse, deterministic: bool) -> String {
     let mut pairs = vec![
         ("id".to_string(), Value::U64(resp.id)),
@@ -182,6 +209,7 @@ pub fn render_response(resp: &InferenceResponse, deterministic: bool) -> String 
         pairs.push(("batch".to_string(), Value::U64(resp.batch_size as u64)));
         pairs.push(("queue_us".to_string(), Value::U64(resp.queue_us)));
         pairs.push(("infer_us".to_string(), Value::U64(resp.infer_us)));
+        pairs.push(("corr".to_string(), Value::U64(resp.corr)));
     }
     Value::Map(pairs).to_json()
 }
@@ -279,6 +307,24 @@ mod tests {
     }
 
     #[test]
+    fn parses_metrics_verb_with_formats() {
+        assert_eq!(
+            parse_request(r#"{"cmd":"metrics"}"#).unwrap(),
+            WireRequest::Control(Control::Metrics { prometheus: false })
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"metrics","format":"json"}"#).unwrap(),
+            WireRequest::Control(Control::Metrics { prometheus: false })
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"metrics","format":"prometheus"}"#).unwrap(),
+            WireRequest::Control(Control::Metrics { prometheus: true })
+        );
+        let err = parse_request(r#"{"cmd":"metrics","format":"xml"}"#).unwrap_err();
+        assert!(err.message.contains("unknown metrics format"), "{}", err.message);
+    }
+
+    #[test]
     fn parse_failures_carry_the_id_when_readable() {
         let err = parse_request(r#"{"id":5,"state":"nope"}"#).unwrap_err();
         assert_eq!(err.id, Some(5));
@@ -295,6 +341,7 @@ mod tests {
     fn response_rendering_round_trips_weights_exactly() {
         let resp = InferenceResponse {
             id: 11,
+            corr: 17,
             weights: vec![0.1, 0.2, 0.7],
             model_version: 4,
             batch_size: 8,
@@ -307,6 +354,7 @@ mod tests {
         assert_eq!(v.get("id").and_then(Value::as_u64), Some(11));
         assert_eq!(v.get("model_version").and_then(Value::as_u64), Some(4));
         assert_eq!(v.get("batch").and_then(Value::as_u64), Some(8));
+        assert_eq!(v.get("corr").and_then(Value::as_u64), Some(17));
         let weights = v.get("weights").and_then(Value::as_list).unwrap();
         for (got, want) in weights.iter().zip(&resp.weights) {
             assert_eq!(got.as_f64().unwrap().to_bits(), want.to_bits());
@@ -317,6 +365,7 @@ mod tests {
     fn deterministic_rendering_omits_timing() {
         let resp = InferenceResponse {
             id: 1,
+            corr: 99,
             weights: vec![1.0],
             model_version: 1,
             batch_size: 3,
@@ -328,6 +377,7 @@ mod tests {
         assert!(!line.contains("batch"));
         assert!(!line.contains("queue_us"));
         assert!(!line.contains("infer_us"));
+        assert!(!line.contains("corr"));
         assert!(line.contains("model_version"));
     }
 

@@ -18,6 +18,7 @@ use std::time::{Duration, Instant};
 
 use spikefolio_telemetry::value::Value;
 
+use crate::metrics::{MetricsRegistry, Stage, METRICS_SCHEMA};
 use crate::protocol::{self, Control, Payload, WireRequest};
 use crate::service::{InferenceRequest, InferenceResponse, ServeError, Service};
 
@@ -151,21 +152,37 @@ enum Outgoing {
     Pending { id: u64, rx: Receiver<Result<InferenceResponse, ServeError>> },
 }
 
-fn writer_loop(stream: TcpStream, rx: &Receiver<Outgoing>, deterministic: bool) {
+fn writer_loop(
+    stream: TcpStream,
+    rx: &Receiver<Outgoing>,
+    deterministic: bool,
+    registry: &MetricsRegistry,
+) {
     let mut out = BufWriter::new(stream);
     while let Ok(item) = rx.recv() {
-        let line = match item {
-            Outgoing::Line(line) => line,
+        // Only served responses are timed through the render stage, so its
+        // histogram count matches the served-request tally exactly.
+        let (line, render_t0) = match item {
+            Outgoing::Line(line) => (line, None),
             Outgoing::Pending { id, rx } => match rx.recv() {
-                Ok(Ok(resp)) => protocol::render_response(&resp, deterministic),
-                Ok(Err(err)) => {
-                    protocol::render_error(Some(id), protocol::error_kind(&err), &err.to_string())
+                Ok(Ok(resp)) => {
+                    let t0 = Instant::now();
+                    (protocol::render_response(&resp, deterministic), Some(t0))
                 }
-                Err(_) => protocol::render_error(Some(id), "shutting_down", "service stopped"),
+                Ok(Err(err)) => (
+                    protocol::render_error(Some(id), protocol::error_kind(&err), &err.to_string()),
+                    None,
+                ),
+                Err(_) => {
+                    (protocol::render_error(Some(id), "shutting_down", "service stopped"), None)
+                }
             },
         };
         if writeln!(out, "{line}").and_then(|()| out.flush()).is_err() {
             break;
+        }
+        if let Some(t0) = render_t0 {
+            registry.observe_stage(Stage::Render, t0.elapsed());
         }
     }
 }
@@ -180,10 +197,11 @@ fn handle_connection(
     let _ = stream.set_read_timeout(Some(poll));
     let Ok(write_half) = stream.try_clone() else { return };
     let deterministic = service.config().deterministic;
+    let registry = Arc::clone(service.registry());
     let (out_tx, out_rx) = channel::<Outgoing>();
     let writer = std::thread::Builder::new()
         .name("serve-conn-writer".to_string())
-        .spawn(move || writer_loop(write_half, &out_rx, deterministic));
+        .spawn(move || writer_loop(write_half, &out_rx, deterministic, &registry));
 
     let mut read_half = stream;
     let mut buf: Vec<u8> = Vec::new();
@@ -228,9 +246,11 @@ fn process_line(
     handle: &ServerHandle,
     out: &Sender<Outgoing>,
 ) -> bool {
+    let parse_t0 = Instant::now();
     let request = match protocol::parse_request(line) {
         Ok(req) => req,
         Err(fail) => {
+            service.registry().count_parse_error();
             let _ =
                 out.send(Outgoing::Line(protocol::render_error(fail.id, "parse", &fail.message)));
             return true;
@@ -238,6 +258,11 @@ fn process_line(
     };
     match request {
         WireRequest::Infer(infer) => {
+            // Parse-stage latency covers only inference requests so its
+            // histogram count matches the issued-request tally; control
+            // verbs are deliberately excluded.
+            service.registry().observe_stage(Stage::Parse, parse_t0.elapsed());
+            let corr = service.registry().mint_corr();
             let state = match infer.payload {
                 Payload::State(state) => Ok(state),
                 Payload::Window { candles, num_assets, prev_weights } => service
@@ -258,7 +283,8 @@ fn process_line(
                 }
             };
             let deadline = infer.deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
-            let request = InferenceRequest { id: infer.id, state, seed: infer.seed, deadline };
+            let request =
+                InferenceRequest { id: infer.id, state, seed: infer.seed, deadline, corr };
             match service.submit(request) {
                 Ok(rx) => {
                     let _ = out.send(Outgoing::Pending { id: infer.id, rx });
@@ -285,10 +311,27 @@ fn process_line(
             ])));
             true
         }
+        WireRequest::Control(Control::Metrics { prometheus }) => {
+            let snap = service.metrics_snapshot();
+            let line = if prometheus {
+                protocol::render_ok(vec![
+                    ("schema".to_string(), Value::Str(METRICS_SCHEMA.to_string())),
+                    ("text".to_string(), Value::Str(snap.render_prometheus())),
+                ])
+            } else {
+                protocol::render_ok(vec![
+                    ("schema".to_string(), Value::Str(METRICS_SCHEMA.to_string())),
+                    ("metrics".to_string(), snap.to_value()),
+                ])
+            };
+            let _ = out.send(Outgoing::Line(line));
+            true
+        }
         WireRequest::Control(Control::Stats) => {
             let snap = service.stats();
-            let (swaps, swap_failures) = service.store().swap_counts();
-            let stats = Value::Map(vec![
+            let swap = service.store().swap_status();
+            let (swaps, swap_failures) = (swap.swaps, swap.failures);
+            let mut stats = Value::Map(vec![
                 ("requests".to_string(), Value::U64(snap.requests)),
                 ("served".to_string(), Value::U64(snap.served)),
                 ("shed_queue_full".to_string(), Value::U64(snap.shed_queue_full)),
@@ -302,6 +345,12 @@ fn process_line(
                 ("swaps".to_string(), Value::U64(swaps)),
                 ("swap_failures".to_string(), Value::U64(swap_failures)),
             ]);
+            if let Value::Map(ref mut entries) = stats {
+                entries.push(("last_good_version".to_string(), Value::U64(swap.last_good_version)));
+                if let Some(kind) = swap.last_error_kind {
+                    entries.push(("last_error_kind".to_string(), Value::Str(kind)));
+                }
+            }
             let _ =
                 out.send(Outgoing::Line(protocol::render_ok(vec![("stats".to_string(), stats)])));
             true

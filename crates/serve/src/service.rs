@@ -12,17 +12,29 @@
 //! ([`ShedReason::DeadlineExceeded`]) rather than wasting a batch slot.
 //! [`Service::shutdown`] closes admission, drains every queued request,
 //! and joins the workers.
+//!
+//! Observability: every request is timed through the
+//! [`MetricsRegistry`](crate::metrics::MetricsRegistry) stages (accept →
+//! queue-wait → batch-form → backend-infer; the server front end adds
+//! parse and render), carries a correlation id minted at admission (or
+//! earlier, at parse), and can be sampled 1-in-N into a
+//! [`ChromeTraceRecorder`] so a single request's spans load in Perfetto.
+//! A health monitor compares live output entropy and per-layer firing
+//! rates against a baseline probed whenever a checkpoint becomes live.
 
-use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use spikefolio_telemetry::{labels, Recorder};
+use spikefolio_profile::ChromeTraceRecorder;
+use spikefolio_telemetry::{labels, Record, Recorder};
 
 use crate::lock;
+use crate::metrics::{
+    probe_baseline, weight_entropy, HealthConfig, MetricsRegistry, MetricsSnapshot, Stage,
+};
 use crate::store::ModelStore;
 
 /// Relative tolerance before a weight sum triggers renormalization.
@@ -50,7 +62,7 @@ impl Default for BatchPolicy {
 }
 
 /// Service construction parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServiceConfig {
     /// Batch formation policy.
     pub batch: BatchPolicy,
@@ -59,9 +71,16 @@ pub struct ServiceConfig {
     /// Batcher worker threads. Forced to 1 in deterministic mode.
     pub workers: usize,
     /// Deterministic single-worker mode: one worker, and the protocol
-    /// layer omits timing fields so identical request streams render
-    /// bitwise-identical responses.
+    /// layer omits timing fields (and correlation ids) so identical
+    /// request streams render bitwise-identical responses.
     pub deterministic: bool,
+    /// Health watchdog configuration (SLO, budgets, drift threshold,
+    /// baseline probe).
+    pub health: HealthConfig,
+    /// Request-trace sampling interval: every N-th correlation id is
+    /// exported through the chrome-trace recorder. `0` disables tracing
+    /// (no recorder is created at all).
+    pub trace_sample: u64,
 }
 
 impl Default for ServiceConfig {
@@ -71,6 +90,8 @@ impl Default for ServiceConfig {
             queue_capacity: 256,
             workers: 1,
             deterministic: false,
+            health: HealthConfig::default(),
+            trace_sample: 0,
         }
     }
 }
@@ -87,6 +108,10 @@ pub struct InferenceRequest {
     pub seed: u64,
     /// Absolute deadline; the request is shed if still queued past it.
     pub deadline: Option<Instant>,
+    /// Correlation id. `0` means "unset": [`Service::submit`] mints one
+    /// from the registry; the TCP front end mints at parse so the id
+    /// covers the whole server-side path.
+    pub corr: u64,
 }
 
 /// One served response.
@@ -94,6 +119,8 @@ pub struct InferenceRequest {
 pub struct InferenceResponse {
     /// Echo of the request id.
     pub id: u64,
+    /// Correlation id the request travelled under.
+    pub corr: u64,
     /// Portfolio weight vector (cash first), validated finite and
     /// on-simplex.
     pub weights: Vec<f64>,
@@ -175,47 +202,6 @@ pub struct StatsSnapshot {
     pub batch_hist: Vec<(usize, u64)>,
 }
 
-/// Shared atomic counters; workers update them lock-free except for the
-/// wall-clock accumulator and histogram.
-#[derive(Default)]
-struct ServeStats {
-    requests: AtomicU64,
-    served: AtomicU64,
-    shed_queue_full: AtomicU64,
-    shed_deadline: AtomicU64,
-    invalid_input: AtomicU64,
-    nonfinite_output: AtomicU64,
-    renormalized: AtomicU64,
-    batches: AtomicU64,
-    batched_samples: AtomicU64,
-    max_batch: AtomicU64,
-    queue_depth: AtomicU64,
-    queue_depth_peak: AtomicU64,
-    batch_wall: Mutex<f64>,
-    batch_hist: Mutex<BTreeMap<usize, u64>>,
-}
-
-impl ServeStats {
-    fn snapshot(&self) -> StatsSnapshot {
-        StatsSnapshot {
-            requests: self.requests.load(Ordering::Relaxed),
-            served: self.served.load(Ordering::Relaxed),
-            shed_queue_full: self.shed_queue_full.load(Ordering::Relaxed),
-            shed_deadline: self.shed_deadline.load(Ordering::Relaxed),
-            invalid_input: self.invalid_input.load(Ordering::Relaxed),
-            nonfinite_output: self.nonfinite_output.load(Ordering::Relaxed),
-            renormalized: self.renormalized.load(Ordering::Relaxed),
-            batches: self.batches.load(Ordering::Relaxed),
-            batched_samples: self.batched_samples.load(Ordering::Relaxed),
-            max_batch: self.max_batch.load(Ordering::Relaxed),
-            queue_depth: self.queue_depth.load(Ordering::Relaxed),
-            queue_depth_peak: self.queue_depth_peak.load(Ordering::Relaxed),
-            batch_wall_s: *lock(&self.batch_wall),
-            batch_hist: lock(&self.batch_hist).iter().map(|(&k, &v)| (k, v)).collect(),
-        }
-    }
-}
-
 /// One queued unit of work.
 struct Job {
     request: InferenceRequest,
@@ -223,13 +209,26 @@ struct Job {
     reply: SyncSender<Result<InferenceResponse, ServeError>>,
 }
 
+/// Everything a batcher worker needs, bundled so the thread spawn stays
+/// readable.
+struct WorkerCtx {
+    metrics: Arc<MetricsRegistry>,
+    store: Arc<ModelStore>,
+    policy: BatchPolicy,
+    health: HealthConfig,
+    trace: Option<Arc<Mutex<ChromeTraceRecorder>>>,
+    trace_sample: u64,
+    baselined: Arc<AtomicU64>,
+}
+
 /// The serving engine. Construct with [`Service::start`]; share via `Arc`.
 pub struct Service {
     tx: Mutex<Option<SyncSender<Job>>>,
-    stats: Arc<ServeStats>,
+    metrics: Arc<MetricsRegistry>,
     store: Arc<ModelStore>,
     config: ServiceConfig,
     workers: Mutex<Vec<JoinHandle<()>>>,
+    trace: Option<Arc<Mutex<ChromeTraceRecorder>>>,
 }
 
 impl std::fmt::Debug for Service {
@@ -239,7 +238,9 @@ impl std::fmt::Debug for Service {
 }
 
 impl Service {
-    /// Starts the batcher workers and returns the running service.
+    /// Starts the batcher workers and returns the running service. The
+    /// health baseline is probed from the initial model before any
+    /// traffic is admitted.
     pub fn start(store: Arc<ModelStore>, mut config: ServiceConfig) -> Arc<Self> {
         if config.deterministic {
             config.workers = 1;
@@ -247,24 +248,44 @@ impl Service {
         config.workers = config.workers.max(1);
         config.batch.max_batch = config.batch.max_batch.max(1);
         config.queue_capacity = config.queue_capacity.max(1);
+        let metrics = Arc::new(MetricsRegistry::new());
+        let trace =
+            (config.trace_sample > 0).then(|| Arc::new(Mutex::new(ChromeTraceRecorder::new())));
+
+        let model = store.current();
+        metrics.health().set_baseline(probe_baseline(
+            model.backend.as_ref(),
+            &config.health,
+            model.version,
+        ));
+        let baselined = Arc::new(AtomicU64::new(model.version));
+        drop(model);
+
         let (tx, rx) = sync_channel::<Job>(config.queue_capacity);
         let queue_rx = Arc::new(Mutex::new(rx));
         let service = Arc::new(Self {
             tx: Mutex::new(Some(tx)),
-            stats: Arc::new(ServeStats::default()),
+            metrics,
             store,
             config,
             workers: Mutex::new(Vec::new()),
+            trace,
         });
         let mut handles = Vec::with_capacity(config.workers);
         for i in 0..config.workers {
             let rx = Arc::clone(&queue_rx);
-            let stats = Arc::clone(&service.stats);
-            let store = Arc::clone(&service.store);
-            let policy = config.batch;
+            let ctx = WorkerCtx {
+                metrics: Arc::clone(&service.metrics),
+                store: Arc::clone(&service.store),
+                policy: config.batch,
+                health: config.health,
+                trace: service.trace.as_ref().map(Arc::clone),
+                trace_sample: config.trace_sample,
+                baselined: Arc::clone(&baselined),
+            };
             let handle = std::thread::Builder::new()
                 .name(format!("serve-batcher-{i}"))
-                .spawn(move || worker_loop(&rx, &stats, &store, policy));
+                .spawn(move || worker_loop(&rx, &ctx));
             if let Ok(h) = handle {
                 handles.push(h);
             }
@@ -284,8 +305,15 @@ impl Service {
         &self.store
     }
 
+    /// The metrics registry — the server front end observes its parse and
+    /// render stages and mints correlation ids from it.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
     /// Validates and enqueues a request; the returned channel yields the
-    /// response (or shed/invalid error) exactly once.
+    /// response (or shed/invalid error) exactly once. A request arriving
+    /// with `corr == 0` gets a correlation id minted here.
     ///
     /// # Errors
     ///
@@ -296,17 +324,22 @@ impl Service {
         &self,
         request: InferenceRequest,
     ) -> Result<Receiver<Result<InferenceResponse, ServeError>>, ServeError> {
+        let accept_t0 = Instant::now();
+        let mut request = request;
+        if request.corr == 0 {
+            request.corr = self.metrics.mint_corr();
+        }
         let model = self.store.current();
         let dim = model.backend.state_dim();
         if request.state.len() != dim {
-            self.stats.invalid_input.fetch_add(1, Ordering::Relaxed);
+            self.metrics.invalid_input.fetch_add(1, Ordering::Relaxed);
             return Err(ServeError::Invalid(format!(
                 "state has {} values, model expects {dim}",
                 request.state.len()
             )));
         }
         if !request.state.iter().all(|v| v.is_finite()) {
-            self.stats.invalid_input.fetch_add(1, Ordering::Relaxed);
+            self.metrics.invalid_input.fetch_add(1, Ordering::Relaxed);
             return Err(ServeError::Invalid("state contains non-finite values".to_string()));
         }
         let (reply_tx, reply_rx) = sync_channel(1);
@@ -317,13 +350,14 @@ impl Service {
         };
         match tx.try_send(job) {
             Ok(()) => {
-                self.stats.requests.fetch_add(1, Ordering::Relaxed);
-                let depth = self.stats.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
-                self.stats.queue_depth_peak.fetch_max(depth, Ordering::Relaxed);
+                self.metrics.requests.fetch_add(1, Ordering::Relaxed);
+                let depth = self.metrics.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+                self.metrics.queue_depth_peak.fetch_max(depth, Ordering::Relaxed);
+                self.metrics.observe_stage(Stage::Accept, accept_t0.elapsed());
                 Ok(reply_rx)
             }
             Err(TrySendError::Full(_)) => {
-                self.stats.shed_queue_full.fetch_add(1, Ordering::Relaxed);
+                self.metrics.shed_queue_full.fetch_add(1, Ordering::Relaxed);
                 Err(ServeError::Shed(ShedReason::QueueFull))
             }
             Err(TrySendError::Disconnected(_)) => Err(ServeError::Shed(ShedReason::ShuttingDown)),
@@ -343,15 +377,54 @@ impl Service {
 
     /// Current counters.
     pub fn stats(&self) -> StatsSnapshot {
-        self.stats.snapshot()
+        let m = &self.metrics;
+        let c = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        StatsSnapshot {
+            requests: c(&m.requests),
+            served: c(&m.served),
+            shed_queue_full: c(&m.shed_queue_full),
+            shed_deadline: c(&m.shed_deadline),
+            invalid_input: c(&m.invalid_input),
+            nonfinite_output: c(&m.nonfinite_output),
+            renormalized: c(&m.renormalized),
+            batches: c(&m.batches),
+            batched_samples: c(&m.batched_samples),
+            max_batch: c(&m.max_batch),
+            queue_depth: c(&m.queue_depth),
+            queue_depth_peak: c(&m.queue_depth_peak),
+            batch_wall_s: *lock(&m.batch_wall),
+            batch_hist: lock(&m.batch_hist).iter().map(|(&k, &v)| (k, v)).collect(),
+        }
     }
 
-    /// Dumps all counters, the queue-depth peak gauge, and the aggregate
-    /// per-batch span into `rec`. Observe-only; typically called once at
-    /// shutdown against a JSONL sink.
+    /// Freezes the full observatory: stage histograms, per-version
+    /// metrics, swap status, and the health watchdog verdict (which is
+    /// evaluated — and the degraded flag updated — as part of taking the
+    /// snapshot).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let model = self.store.current();
+        self.metrics.snapshot(
+            &self.config.health,
+            model.backend.name().to_string(),
+            model.version,
+            self.store.swap_status(),
+            (self.config.trace_sample > 0).then_some(self.config.trace_sample),
+        )
+    }
+
+    /// Chrome-trace JSON of the sampled request traces, or `None` when
+    /// tracing is disabled (`trace_sample == 0`).
+    pub fn trace_json(&self) -> Option<String> {
+        self.trace.as_ref().map(|t| lock(t).to_chrome_json())
+    }
+
+    /// Dumps all counters, the queue-depth peak gauge, the aggregate
+    /// per-batch span, and a `serve_health` record into `rec`.
+    /// Observe-only; typically called once at shutdown against a JSONL
+    /// sink.
     pub fn flush_telemetry(&self, rec: &mut dyn Recorder) {
-        let snap = self.stats.snapshot();
-        let (swaps, swap_failures) = self.store.swap_counts();
+        let snap = self.stats();
+        let m = self.metrics_snapshot();
         rec.counter(labels::COUNTER_SERVE_REQUESTS, snap.requests);
         rec.counter(labels::COUNTER_SERVE_SERVED, snap.served);
         rec.counter(labels::COUNTER_SERVE_SHED_QUEUE_FULL, snap.shed_queue_full);
@@ -360,12 +433,37 @@ impl Service {
         rec.counter(labels::COUNTER_SERVE_NONFINITE_OUTPUT, snap.nonfinite_output);
         rec.counter(labels::COUNTER_SERVE_RENORMALIZED, snap.renormalized);
         rec.counter(labels::COUNTER_SERVE_BATCHES, snap.batches);
-        rec.counter(labels::COUNTER_SERVE_SWAPS, swaps);
-        rec.counter(labels::COUNTER_SERVE_SWAP_FAILURES, swap_failures);
+        rec.counter(labels::COUNTER_SERVE_SWAPS, m.swap.swaps);
+        rec.counter(labels::COUNTER_SERVE_SWAP_FAILURES, m.swap.failures);
+        rec.counter(
+            labels::COUNTER_SERVE_PARSE_ERRORS,
+            self.metrics.parse_errors.load(Ordering::Relaxed),
+        );
+        rec.counter(labels::COUNTER_SERVE_OVER_SLO, self.metrics.over_slo.load(Ordering::Relaxed));
+        rec.counter(labels::COUNTER_SERVE_TRACES_SAMPLED, m.traces_sampled);
+        rec.counter(labels::COUNTER_SERVE_HEALTH_DEGRADED, u64::from(m.health.degraded));
         rec.gauge(labels::GAUGE_SERVE_QUEUE_DEPTH, snap.queue_depth_peak as f64);
+        rec.gauge(labels::GAUGE_SERVE_HEALTH_DRIFT, m.health.drift_score);
+        rec.gauge(labels::GAUGE_SERVE_HEALTH_BURN, m.health.burn_rate);
+        rec.gauge(labels::GAUGE_SERVE_HEALTH_SHED, m.health.shed_rate);
         if snap.batches > 0 {
             rec.span(labels::SPAN_SERVE_BATCH, snap.batch_wall_s);
         }
+        let mut record = Record::new("serve_health")
+            .field("degraded", m.health.degraded)
+            .field("drift_score", m.health.drift_score)
+            .field("entropy_drift", m.health.entropy_drift)
+            .field("rate_drift", m.health.rate_drift)
+            .field("burn_rate", m.health.burn_rate)
+            .field("shed_rate", m.health.shed_rate)
+            .field("model_version", m.model_version);
+        if let Some(e) = m.health.live_entropy {
+            record = record.field("live_entropy", e);
+        }
+        if let Some(e) = m.health.baseline_entropy {
+            record = record.field("baseline_entropy", e);
+        }
+        rec.emit(record);
     }
 
     /// Graceful drain: closes admission (new submits shed with
@@ -387,15 +485,17 @@ impl Drop for Service {
 }
 
 /// Collects one micro-batch: blocks for the first job, then fills up to
-/// `max_batch` within `max_wait_us`. Returns `None` when the queue is
-/// closed and empty.
-fn collect_batch(rx: &Mutex<Receiver<Job>>, policy: BatchPolicy) -> Option<Vec<Job>> {
+/// `max_batch` within `max_wait_us`. Returns the jobs plus the formation
+/// time (first arrival → dispatch); `None` when the queue is closed and
+/// empty.
+fn collect_batch(rx: &Mutex<Receiver<Job>>, policy: BatchPolicy) -> Option<(Vec<Job>, Duration)> {
     let rx = lock(rx);
     let mut jobs = Vec::with_capacity(policy.max_batch);
     match rx.recv() {
         Ok(job) => jobs.push(job),
         Err(_) => return None,
     }
+    let opened = Instant::now();
     if policy.max_wait_us == 0 {
         while jobs.len() < policy.max_batch {
             match rx.try_recv() {
@@ -403,10 +503,9 @@ fn collect_batch(rx: &Mutex<Receiver<Job>>, policy: BatchPolicy) -> Option<Vec<J
                 Err(_) => break,
             }
         }
-        return Some(jobs);
+        return Some((jobs, opened.elapsed()));
     }
     let window = Duration::from_micros(policy.max_wait_us);
-    let opened = Instant::now();
     while jobs.len() < policy.max_batch {
         let elapsed = opened.elapsed();
         if elapsed >= window {
@@ -417,37 +516,52 @@ fn collect_batch(rx: &Mutex<Receiver<Job>>, policy: BatchPolicy) -> Option<Vec<J
             Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => break,
         }
     }
-    Some(jobs)
+    Some((jobs, opened.elapsed()))
 }
 
-fn worker_loop(
-    rx: &Mutex<Receiver<Job>>,
-    stats: &ServeStats,
-    store: &ModelStore,
-    policy: BatchPolicy,
-) {
-    while let Some(jobs) = collect_batch(rx, policy) {
-        stats.queue_depth.fetch_sub(jobs.len() as u64, Ordering::Relaxed);
-        run_batch(jobs, stats, store);
+fn worker_loop(rx: &Mutex<Receiver<Job>>, ctx: &WorkerCtx) {
+    while let Some((jobs, form)) = collect_batch(rx, ctx.policy) {
+        ctx.metrics.queue_depth.fetch_sub(jobs.len() as u64, Ordering::Relaxed);
+        run_batch(jobs, form, ctx);
+    }
+}
+
+/// Re-probes the health baseline when a hot swap changed the live model
+/// version since the last probe. `compare_exchange` makes exactly one
+/// worker probe each new version, covering swaps done directly on the
+/// store (bypassing any service API).
+fn maybe_rebaseline(ctx: &WorkerCtx, version: u64, backend: &dyn crate::InferenceBackend) {
+    let seen = ctx.baselined.load(Ordering::Acquire);
+    if version != seen
+        && ctx
+            .baselined
+            .compare_exchange(seen, version, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+    {
+        ctx.metrics.health().set_baseline(probe_baseline(backend, &ctx.health, version));
     }
 }
 
 /// Dispatches one collected batch: sheds expired jobs, runs the rest on
-/// the current model, validates and fans out the results.
-fn run_batch(jobs: Vec<Job>, stats: &ServeStats, store: &ModelStore) {
-    let model = store.current();
+/// the current model, validates and fans out the results, and feeds every
+/// observability signal (stage histograms, per-version metrics, health
+/// EWMAs, sampled request traces).
+fn run_batch(jobs: Vec<Job>, form: Duration, ctx: &WorkerCtx) {
+    let metrics = &ctx.metrics;
+    let model = ctx.store.current();
     let backend = model.backend.as_ref();
+    maybe_rebaseline(ctx, model.version, backend);
     let dim = backend.state_dim();
     let now = Instant::now();
     let mut live = Vec::with_capacity(jobs.len());
     for job in jobs {
         if job.request.deadline.is_some_and(|d| d <= now) {
-            stats.shed_deadline.fetch_add(1, Ordering::Relaxed);
+            metrics.shed_deadline.fetch_add(1, Ordering::Relaxed);
             let _ = job.reply.try_send(Err(ServeError::Shed(ShedReason::DeadlineExceeded)));
         } else if job.request.state.len() != dim {
             // A hot swap cannot change dims, but stay defensive: a shape
             // mismatch must never reach `infer_batch` as a panic.
-            stats.invalid_input.fetch_add(1, Ordering::Relaxed);
+            metrics.invalid_input.fetch_add(1, Ordering::Relaxed);
             let _ = job.reply.try_send(Err(ServeError::Invalid(format!(
                 "state has {} values, model expects {dim}",
                 job.request.state.len()
@@ -461,6 +575,38 @@ fn run_batch(jobs: Vec<Job>, stats: &ServeStats, store: &ModelStore) {
     }
 
     let batch = live.len();
+    let dispatch = Instant::now();
+    let queue_waits: Vec<Duration> =
+        live.iter().map(|job| dispatch.duration_since(job.enqueued)).collect();
+    for wait in &queue_waits {
+        metrics.observe_stage(Stage::QueueWait, *wait);
+        metrics.observe_stage(Stage::BatchForm, form);
+    }
+    let sampled: Vec<bool> = live
+        .iter()
+        .map(|job| ctx.trace_sample > 0 && job.request.corr % ctx.trace_sample == 0)
+        .collect();
+    // Queue-wait spans are recorded at dispatch so their reconstructed
+    // interval ends exactly where the infer span begins.
+    if sampled.iter().any(|&s| s) {
+        if let Some(trace) = &ctx.trace {
+            let mut t = lock(trace);
+            for (job, (wait, &is_sampled)) in
+                live.iter().zip(queue_waits.iter().zip(sampled.iter()))
+            {
+                if is_sampled {
+                    let corr = job.request.corr;
+                    t.span_on_track(
+                        &format!("serve/req/{corr:x}/queue_wait"),
+                        wait.as_secs_f64(),
+                        corr,
+                    );
+                }
+            }
+            t.span_on_track("serve/batch_form", form.as_secs_f64(), 1);
+        }
+    }
+
     let mut states = Vec::with_capacity(batch * dim);
     let mut seeds = Vec::with_capacity(batch);
     for job in &live {
@@ -469,25 +615,60 @@ fn run_batch(jobs: Vec<Job>, stats: &ServeStats, store: &ModelStore) {
     }
     let t0 = Instant::now();
     let mut actions = backend.infer_batch(&states, &seeds);
-    let infer_s = t0.elapsed().as_secs_f64();
+    let infer = t0.elapsed();
+    let infer_s = infer.as_secs_f64();
     let infer_us = (infer_s * 1e6) as u64;
 
-    stats.batches.fetch_add(1, Ordering::Relaxed);
-    stats.batched_samples.fetch_add(batch as u64, Ordering::Relaxed);
-    stats.max_batch.fetch_max(batch as u64, Ordering::Relaxed);
-    *lock(&stats.batch_wall) += infer_s;
-    *lock(&stats.batch_hist).entry(batch).or_insert(0) += 1;
+    metrics.batches.fetch_add(1, Ordering::Relaxed);
+    metrics.batched_samples.fetch_add(batch as u64, Ordering::Relaxed);
+    metrics.max_batch.fetch_max(batch as u64, Ordering::Relaxed);
+    *lock(&metrics.batch_wall) += infer_s;
+    *lock(&metrics.batch_hist).entry(batch).or_insert(0) += 1;
+    if let Some(rates) = backend.layer_firing_rates() {
+        metrics.health().observe_rates(&rates);
+    }
+    let version_metrics = metrics.version_metrics(model.version, backend.name());
 
-    for (job, weights) in live.into_iter().zip(actions.drain(..)) {
-        let queue_us = (job.enqueued.elapsed().as_secs_f64() * 1e6) as u64;
+    if sampled.iter().any(|&s| s) {
+        if let Some(trace) = &ctx.trace {
+            let mut t = lock(trace);
+            t.span_on_track("serve/batch_infer", infer_s, 1);
+            for (job, &is_sampled) in live.iter().zip(sampled.iter()) {
+                if is_sampled {
+                    let corr = job.request.corr;
+                    t.span_on_track(&format!("serve/req/{corr:x}/backend_infer"), infer_s, corr);
+                    // The parent span covers enqueue → now; export-time
+                    // left-edge snapping pins it over its children.
+                    t.span_on_track(
+                        &format!("serve/req/{corr:x}"),
+                        job.enqueued.elapsed().as_secs_f64(),
+                        corr,
+                    );
+                    metrics.count_trace_sample();
+                }
+            }
+        }
+    }
+
+    for ((job, weights), wait) in live.into_iter().zip(actions.drain(..)).zip(queue_waits) {
+        metrics.observe_stage(Stage::BackendInfer, infer);
+        let queue_us = (wait.as_secs_f64() * 1e6) as u64;
         let reply = match validate_weights(weights) {
             Ok((weights, renormalized)) => {
-                stats.served.fetch_add(1, Ordering::Relaxed);
+                metrics.served.fetch_add(1, Ordering::Relaxed);
                 if renormalized {
-                    stats.renormalized.fetch_add(1, Ordering::Relaxed);
+                    metrics.renormalized.fetch_add(1, Ordering::Relaxed);
                 }
+                if ctx.health.latency_slo_us > 0 && queue_us + infer_us > ctx.health.latency_slo_us
+                {
+                    metrics.over_slo.fetch_add(1, Ordering::Relaxed);
+                }
+                version_metrics.served.fetch_add(1, Ordering::Relaxed);
+                version_metrics.infer.observe(infer);
+                metrics.health().observe_entropy(weight_entropy(&weights));
                 Ok(InferenceResponse {
                     id: job.request.id,
+                    corr: job.request.corr,
                     weights,
                     model_version: model.version,
                     batch_size: batch,
@@ -497,7 +678,7 @@ fn run_batch(jobs: Vec<Job>, stats: &ServeStats, store: &ModelStore) {
                 })
             }
             Err(msg) => {
-                stats.nonfinite_output.fetch_add(1, Ordering::Relaxed);
+                metrics.nonfinite_output.fetch_add(1, Ordering::Relaxed);
                 Err(ServeError::Invalid(msg))
             }
         };
@@ -597,7 +778,7 @@ mod tests {
     }
 
     fn req(id: u64) -> InferenceRequest {
-        InferenceRequest { id, state: vec![0.1, 0.2, 0.3, 0.4], seed: id, deadline: None }
+        InferenceRequest { id, state: vec![0.1, 0.2, 0.3, 0.4], seed: id, deadline: None, corr: 0 }
     }
 
     #[test]
@@ -607,6 +788,7 @@ mod tests {
         assert_eq!(resp.id, 7);
         assert_eq!(resp.model_version, 1);
         assert_eq!(resp.weights.len(), 3);
+        assert!(resp.corr > 0, "submit must mint a correlation id");
         let sum: f64 = resp.weights.iter().sum();
         assert!((sum - 1.0).abs() < 1e-9);
         svc.shutdown();
@@ -744,5 +926,103 @@ mod tests {
         assert_eq!(rec.counter_total(labels::COUNTER_SERVE_SERVED), 1);
         assert_eq!(rec.counter_total(labels::COUNTER_SERVE_REQUESTS), 1);
         assert_eq!(rec.span_total(labels::SPAN_SERVE_BATCH).1, 1);
+        assert_eq!(rec.counter_total(labels::COUNTER_SERVE_HEALTH_DEGRADED), 0);
+    }
+
+    #[test]
+    fn service_stages_count_once_per_request() {
+        let svc = service(0, ServiceConfig::default());
+        for i in 0..9 {
+            svc.call(req(i)).unwrap();
+        }
+        svc.shutdown();
+        let snap = svc.metrics_snapshot();
+        for (stage, hist) in &snap.stages {
+            let expected = match stage {
+                Stage::Parse | Stage::Render => 0, // server front-end stages
+                _ => 9,
+            };
+            assert_eq!(
+                hist.count,
+                expected,
+                "stage {} observed {} times, expected {expected}",
+                stage.name(),
+                hist.count
+            );
+        }
+        assert_eq!(snap.versions.len(), 1);
+        assert_eq!(snap.versions[0].served, 9);
+        assert_eq!(snap.versions[0].infer.count, 9);
+    }
+
+    #[test]
+    fn correlation_ids_are_distinct_and_echoed() {
+        let svc = service(0, ServiceConfig::default());
+        let a = svc.call(req(1)).unwrap();
+        let b = svc.call(req(2)).unwrap();
+        assert_ne!(a.corr, b.corr);
+        // A pre-minted id is carried through untouched.
+        let mut r = req(3);
+        r.corr = 0xC0FFEE;
+        assert_eq!(svc.call(r).unwrap().corr, 0xC0FFEE);
+    }
+
+    #[test]
+    fn trace_sampling_exports_request_spans() {
+        let cfg = ServiceConfig { trace_sample: 2, ..ServiceConfig::default() };
+        let svc = service(0, cfg);
+        for i in 0..8 {
+            svc.call(req(i)).unwrap();
+        }
+        svc.shutdown();
+        let snap = svc.metrics_snapshot();
+        // Corr ids 1..=8: exactly 2, 4, 6, 8 are sampled.
+        assert_eq!(snap.traces_sampled, 4);
+        assert_eq!(snap.trace_sample, Some(2));
+        let json = svc.trace_json().expect("tracing enabled");
+        assert!(json.contains("serve/req/2/queue_wait"), "missing queue span: {json}");
+        assert!(json.contains("serve/req/2/backend_infer"));
+        assert!(json.contains("serve/batch_infer"));
+        // Unsampled corr 3 must not appear as its own track.
+        assert!(!json.contains("serve/req/3\""));
+    }
+
+    #[test]
+    fn tracing_disabled_has_no_recorder() {
+        let svc = service(0, ServiceConfig::default());
+        svc.call(req(1)).unwrap();
+        assert!(svc.trace_json().is_none());
+        assert_eq!(svc.metrics_snapshot().traces_sampled, 0);
+    }
+
+    #[test]
+    fn slo_burn_trips_degraded_with_slow_backend() {
+        let cfg = ServiceConfig {
+            health: HealthConfig { latency_slo_us: 100, ..HealthConfig::default() },
+            ..ServiceConfig::default()
+        };
+        // Every request takes ≥ 5 ms against a 100 µs SLO.
+        let svc = service(5, cfg);
+        for i in 0..10 {
+            svc.call(req(i)).unwrap();
+        }
+        let snap = svc.metrics_snapshot();
+        assert!(snap.health.degraded, "burned SLO must degrade: {:?}", snap.health);
+        assert!(snap.health.reasons.contains(&"latency_burn"));
+        assert!(snap.health.burn_rate > 1.0);
+        assert!(svc.registry().health().is_degraded());
+    }
+
+    #[test]
+    fn hot_swap_rebaselines_health() {
+        let svc = service(0, ServiceConfig::default());
+        svc.call(req(1)).unwrap();
+        assert_eq!(svc.metrics_snapshot().health.baseline_version, Some(1));
+        svc.store().reload("echo").unwrap();
+        svc.call(req(2)).unwrap();
+        svc.shutdown();
+        let snap = svc.metrics_snapshot();
+        assert_eq!(snap.health.baseline_version, Some(2), "swap must re-probe the baseline");
+        assert_eq!(snap.versions.len(), 2, "both versions keep their metrics");
     }
 }

@@ -9,9 +9,10 @@
 //! and any failure leaves the previous model serving untouched.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 use crate::backend::InferenceBackend;
+use crate::lock;
 
 /// Loads a backend from a source string (typically a checkpoint path).
 ///
@@ -58,12 +59,31 @@ impl std::fmt::Debug for LoadedModel {
     }
 }
 
+/// Why the most recent reload failed, plus what kept serving: makes
+/// rollbacks observable through the `metrics` snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SwapStatus {
+    /// Successful hot swaps.
+    pub swaps: u64,
+    /// Rejected swap attempts.
+    pub failures: u64,
+    /// Version that kept (or started) serving after the last reload
+    /// attempt — the rollback target when a reload fails.
+    pub last_good_version: u64,
+    /// Kind of the most recent reload failure (`load_failed` |
+    /// `dim_mismatch`), or `None` if no reload ever failed.
+    pub last_error_kind: Option<String>,
+    /// Human-readable message of the most recent reload failure.
+    pub last_error: Option<String>,
+}
+
 /// The store: current model + loader + swap counters.
 pub struct ModelStore {
     loader: Box<dyn ModelLoader>,
     current: RwLock<Arc<LoadedModel>>,
     swaps: AtomicU64,
     swap_failures: AtomicU64,
+    last_error: Mutex<Option<(String, String)>>,
 }
 
 impl std::fmt::Debug for ModelStore {
@@ -87,6 +107,7 @@ impl ModelStore {
             current: RwLock::new(model),
             swaps: AtomicU64::new(0),
             swap_failures: AtomicU64::new(0),
+            last_error: Mutex::new(None),
         })
     }
 
@@ -115,29 +136,33 @@ impl ModelStore {
     /// "never moved the pointer") and the failure counter increments.
     pub fn reload(&self, source: &str) -> Result<u64, String> {
         let result = self.try_reload(source);
-        match result {
+        match &result {
             Ok(_) => {
                 self.swaps.fetch_add(1, Ordering::Relaxed);
             }
-            Err(_) => {
+            Err((kind, msg)) => {
                 self.swap_failures.fetch_add(1, Ordering::Relaxed);
+                *lock(&self.last_error) = Some((kind.clone(), msg.clone()));
             }
         }
-        result
+        result.map_err(|(_, msg)| msg)
     }
 
-    fn try_reload(&self, source: &str) -> Result<u64, String> {
-        let backend = self.loader.load(source)?;
+    fn try_reload(&self, source: &str) -> Result<u64, (String, String)> {
+        let backend = self.loader.load(source).map_err(|msg| ("load_failed".to_string(), msg))?;
         let old = self.current();
         if backend.state_dim() != old.backend.state_dim()
             || backend.action_dim() != old.backend.action_dim()
         {
-            return Err(format!(
-                "refusing hot swap: candidate dims {}x{} differ from serving model {}x{}",
-                backend.state_dim(),
-                backend.action_dim(),
-                old.backend.state_dim(),
-                old.backend.action_dim()
+            return Err((
+                "dim_mismatch".to_string(),
+                format!(
+                    "refusing hot swap: candidate dims {}x{} differ from serving model {}x{}",
+                    backend.state_dim(),
+                    backend.action_dim(),
+                    old.backend.state_dim(),
+                    old.backend.action_dim()
+                ),
             ));
         }
         let mut slot = self.current.write().unwrap_or_else(std::sync::PoisonError::into_inner);
@@ -149,6 +174,24 @@ impl ModelStore {
     /// `(successful swaps, rejected swap attempts)` so far.
     pub fn swap_counts(&self) -> (u64, u64) {
         (self.swaps.load(Ordering::Relaxed), self.swap_failures.load(Ordering::Relaxed))
+    }
+
+    /// Full swap status including the last failure (kind + message) and
+    /// the version that kept serving through it.
+    pub fn swap_status(&self) -> SwapStatus {
+        let (swaps, failures) = self.swap_counts();
+        let last = lock(&self.last_error).clone();
+        let (last_error_kind, last_error) = match last {
+            Some((kind, msg)) => (Some(kind), Some(msg)),
+            None => (None, None),
+        };
+        SwapStatus {
+            swaps,
+            failures,
+            last_good_version: self.version(),
+            last_error_kind,
+            last_error,
+        }
     }
 }
 
@@ -245,5 +288,33 @@ mod tests {
         assert!(err.contains("refusing hot swap"), "{err}");
         assert_eq!(store.version(), 1);
         assert_eq!(store.swap_counts(), (0, 1));
+    }
+
+    #[test]
+    fn swap_status_starts_clean() {
+        let store = ModelStore::open(test_loader(), "a").expect("open");
+        let status = store.swap_status();
+        assert_eq!(status, SwapStatus { last_good_version: 1, ..SwapStatus::default() });
+    }
+
+    #[test]
+    fn swap_status_records_error_kind_and_last_good_version() {
+        let store = ModelStore::open(test_loader(), "a").expect("open");
+        assert!(store.reload("missing").is_err());
+        let status = store.swap_status();
+        assert_eq!(status.failures, 1);
+        assert_eq!(status.last_good_version, 1);
+        assert_eq!(status.last_error_kind.as_deref(), Some("load_failed"));
+        assert!(status.last_error.as_deref().unwrap().contains("no such model"));
+
+        // A dim mismatch reports its own kind; a later success keeps the
+        // error visible but advances the last-good version.
+        assert!(store.reload("narrow").is_err());
+        assert_eq!(store.swap_status().last_error_kind.as_deref(), Some("dim_mismatch"));
+        assert_eq!(store.reload("b"), Ok(2));
+        let status = store.swap_status();
+        assert_eq!(status.swaps, 1);
+        assert_eq!(status.last_good_version, 2);
+        assert_eq!(status.last_error_kind.as_deref(), Some("dim_mismatch"));
     }
 }

@@ -91,6 +91,22 @@ pub const COUNTER_SERVE_BATCHES: &str = "serve/batches";
 pub const COUNTER_SERVE_SWAPS: &str = "serve/swaps";
 /// Counter: rejected hot-swap attempts (old model kept serving).
 pub const COUNTER_SERVE_SWAP_FAILURES: &str = "serve/swap_failures";
+/// Counter: inference lines the server front end failed to parse.
+pub const COUNTER_SERVE_PARSE_ERRORS: &str = "serve/parse_errors";
+/// Counter: served responses whose queue+infer latency exceeded the SLO.
+pub const COUNTER_SERVE_OVER_SLO: &str = "serve/over_slo";
+/// Counter: request traces sampled into the chrome-trace exporter.
+pub const COUNTER_SERVE_TRACES_SAMPLED: &str = "serve/traces_sampled";
+/// Counter: snapshots taken while the health watchdog flagged the
+/// service degraded (0 = healthy for the whole run).
+pub const COUNTER_SERVE_HEALTH_DEGRADED: &str = "serve/health/degraded";
+/// Gauge: model-health drift score (max of entropy and firing-rate
+/// drift) at flush time.
+pub const GAUGE_SERVE_HEALTH_DRIFT: &str = "serve/health/drift_score";
+/// Gauge: latency SLO burn rate (over-SLO fraction / budget) at flush.
+pub const GAUGE_SERVE_HEALTH_BURN: &str = "serve/health/burn_rate";
+/// Gauge: shed fraction of admitted requests at flush time.
+pub const GAUGE_SERVE_HEALTH_SHED: &str = "serve/health/shed_rate";
 
 /// Counter: dense multiply–accumulates an equivalent ANN forward pass
 /// would execute for the same workload (`Σ_k in_k · out_k · T` per

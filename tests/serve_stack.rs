@@ -11,7 +11,8 @@ use spikefolio::serving::{
     run_loadgen_smoke, write_reference_checkpoint, BackendKind, CheckpointBackendLoader,
 };
 use spikefolio_serve::{
-    InferenceRequest, ModelLoader, ModelStore, Server, ServerOptions, Service, ServiceConfig,
+    InferenceBackend, InferenceRequest, LatencyHistogram, ModelLoader, ModelStore, Server,
+    ServerOptions, Service, ServiceConfig,
 };
 use spikefolio_telemetry::value::{parse, Value};
 use std::io::{BufRead, BufReader, Write as _};
@@ -92,6 +93,7 @@ fn hot_swap_under_load_switches_versions_and_survives_bad_reload() {
                             state: state.clone(),
                             seed: probe_seed,
                             deadline: None,
+                            corr: 0,
                         })
                         .expect("call during swap");
                     let expect = match resp.model_version {
@@ -119,7 +121,13 @@ fn hot_swap_under_load_switches_versions_and_survives_bad_reload() {
 
     // After the swap every new request sees version 2.
     let resp = service
-        .call(InferenceRequest { id: 9999, state: state.clone(), seed: probe_seed, deadline: None })
+        .call(InferenceRequest {
+            id: 9999,
+            state: state.clone(),
+            seed: probe_seed,
+            deadline: None,
+            corr: 0,
+        })
         .expect("post-swap call");
     assert_eq!(resp.model_version, 2);
     assert_eq!(bits(&resp.weights), bits(&expect_b));
@@ -130,7 +138,7 @@ fn hot_swap_under_load_switches_versions_and_survives_bad_reload() {
     assert_eq!(store.version(), 2);
     assert_eq!(store.swap_counts(), (1, 1), "one swap, one rejected swap");
     let resp = service
-        .call(InferenceRequest { id: 10_000, state, seed: probe_seed, deadline: None })
+        .call(InferenceRequest { id: 10_000, state, seed: probe_seed, deadline: None, corr: 0 })
         .expect("call after failed reload");
     assert_eq!(resp.model_version, 2);
     assert_eq!(bits(&resp.weights), bits(&expect_b));
@@ -163,7 +171,7 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed);
         let state: Vec<f64> = (0..*state_dim).map(|_| rng.gen_range(-scale..scale)).collect();
         let resp = service
-            .call(InferenceRequest { id: seed, state, seed, deadline: None })
+            .call(InferenceRequest { id: seed, state, seed, deadline: None, corr: 0 })
             .expect("adversarial-but-finite state must be served");
         prop_assert!(resp.weights.iter().all(|w| w.is_finite()));
         prop_assert!(
@@ -284,6 +292,183 @@ fn tcp_protocol_round_trip_state_window_and_control_verbs() {
     assert!(is_true(&ack, "ok"), "{ack:?}");
     assert!(join.join().expect("server thread").is_ok());
     assert!(handle.is_stopped());
+}
+
+// ------------------------------------------------ metrics verb (observatory)
+
+#[test]
+fn metrics_verb_reports_schema_exact_stage_counts_and_corr_echo() {
+    let ckpt = temp_ckpt("metrics", 7);
+    let (addr, handle, join) = start_tcp_server(&ckpt, ServiceConfig::default());
+    let stream = TcpStream::connect(&addr).expect("connect");
+    let mut reader = BufReader::new(stream);
+
+    let dim = loader().load(&ckpt).expect("load").state_dim();
+    let state_json = fixed_state(dim).iter().map(f64::to_string).collect::<Vec<_>>().join(",");
+    let requests = 12u64;
+    let mut corrs = Vec::new();
+    for i in 0..requests {
+        let resp =
+            send_line(&mut reader, &format!(r#"{{"id":{i},"state":[{state_json}],"seed":{i}}}"#));
+        assert!(is_true(&resp, "ok"), "{resp:?}");
+        corrs.push(resp.get("corr").and_then(Value::as_u64).expect("served response carries corr"));
+    }
+    // Correlation IDs are minted per request: all distinct, never zero.
+    let mut unique = corrs.clone();
+    unique.sort_unstable();
+    unique.dedup();
+    assert_eq!(unique.len(), corrs.len(), "correlation ids not distinct: {corrs:?}");
+    assert!(corrs.iter().all(|&c| c > 0));
+
+    // One infer request per response has passed every stage exactly once,
+    // so all six per-stage histogram counts equal the request tally.
+    let reply = send_line(&mut reader, r#"{"cmd":"metrics"}"#);
+    assert!(is_true(&reply, "ok"), "{reply:?}");
+    assert_eq!(reply.get("schema").and_then(Value::as_str), Some("spikefolio.metrics.v1"));
+    let metrics = reply.get("metrics").expect("metrics map");
+    let stages = metrics.get("stages").expect("stages map");
+    for stage in ["accept", "parse", "queue_wait", "batch_form", "backend_infer", "render"] {
+        let count = stages.get(stage).and_then(|s| s.get("count")).and_then(Value::as_u64);
+        assert_eq!(count, Some(requests), "stage {stage} count mismatch: {metrics:?}");
+    }
+    assert_eq!(
+        metrics.get("counters").and_then(|c| c.get("served")).and_then(Value::as_u64),
+        Some(requests)
+    );
+    assert_eq!(
+        metrics.get("swap").and_then(|s| s.get("last_good_version")).and_then(Value::as_u64),
+        Some(1)
+    );
+
+    // The Prometheus exposition renders the same counters as text.
+    let prom = send_line(&mut reader, r#"{"cmd":"metrics","format":"prometheus"}"#);
+    assert!(is_true(&prom, "ok"), "{prom:?}");
+    let text = prom.get("text").and_then(Value::as_str).expect("prometheus text");
+    assert!(text.contains(&format!("spikefolio_serve_served_total {requests}")), "{text}");
+    assert!(text.contains("spikefolio_serve_stage_latency_seconds_bucket"), "{text}");
+
+    handle.shutdown();
+    assert!(join.join().expect("server thread").is_ok());
+}
+
+/// A backend that sleeps through every batch: what a wedged or
+/// mis-deployed model looks like to the SLO watchdog.
+struct SlowBackend {
+    dim: usize,
+    delay_ms: u64,
+}
+
+impl InferenceBackend for SlowBackend {
+    fn name(&self) -> &str {
+        "slow-test"
+    }
+    fn state_dim(&self) -> usize {
+        self.dim
+    }
+    fn action_dim(&self) -> usize {
+        3
+    }
+    fn infer_batch(&self, _states: &[f64], seeds: &[u64]) -> Vec<Vec<f64>> {
+        std::thread::sleep(std::time::Duration::from_millis(self.delay_ms));
+        seeds.iter().map(|_| vec![0.5, 0.25, 0.25]).collect()
+    }
+}
+
+struct SlowLoader;
+
+impl ModelLoader for SlowLoader {
+    fn load(&self, _source: &str) -> Result<Box<dyn InferenceBackend>, String> {
+        Ok(Box::new(SlowBackend { dim: 4, delay_ms: 5 }))
+    }
+}
+
+#[test]
+fn degraded_flag_trips_over_tcp_with_injected_slow_backend() {
+    let store = Arc::new(ModelStore::open(Box::new(SlowLoader), "slow").expect("open store"));
+    let mut config = ServiceConfig::default();
+    // A 5 ms backend against a 100 µs SLO: every request burns budget.
+    config.health.latency_slo_us = 100;
+    let service = Service::start(store, config);
+    let server =
+        Server::bind("127.0.0.1:0", service, ServerOptions::default()).expect("bind loopback");
+    let handle = server.handle();
+    let addr = handle.addr().to_string();
+    let join = std::thread::spawn(move || server.run());
+
+    let stream = TcpStream::connect(&addr).expect("connect");
+    let mut reader = BufReader::new(stream);
+    for i in 0..8u64 {
+        let resp = send_line(&mut reader, &format!(r#"{{"id":{i},"state":[1,1,1,1],"seed":{i}}}"#));
+        assert!(is_true(&resp, "ok"), "{resp:?}");
+    }
+    let reply = send_line(&mut reader, r#"{"cmd":"metrics"}"#);
+    let health = reply.get("metrics").and_then(|m| m.get("health")).expect("health map");
+    assert!(is_true(health, "degraded"), "slow backend did not trip the watchdog: {reply:?}");
+    let reasons: Vec<&str> = health
+        .get("reasons")
+        .and_then(Value::as_list)
+        .expect("reasons list")
+        .iter()
+        .filter_map(Value::as_str)
+        .collect();
+    assert!(reasons.contains(&"latency_burn"), "reasons: {reasons:?}");
+
+    handle.shutdown();
+    assert!(join.join().expect("server thread").is_ok());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Exact-count invariant under adversarial durations: however many
+    /// observations land and however they are split across two
+    /// histograms, the merge is bucket-exact and the total count is
+    /// conserved — including extreme values (0, 1, u64::MAX).
+    #[test]
+    fn histogram_merge_is_exact_under_adversarial_durations(
+        raw in collection::vec(0u64..=u64::MAX, 1usize..64),
+        split in 0usize..64,
+    ) {
+        // Interleave bucket-boundary extremes with the random stream so
+        // every case also exercises 0, 1, the exact-range edge (7/8),
+        // and saturation at u64::MAX.
+        let durations: Vec<u64> = raw
+            .iter()
+            .enumerate()
+            .map(|(k, &v)| match k % 7 {
+                0 => 0,
+                1 => 1,
+                2 => 7,
+                3 => 8,
+                4 => u64::MAX,
+                _ => v,
+            })
+            .collect();
+        let whole = LatencyHistogram::new();
+        let left = LatencyHistogram::new();
+        let right = LatencyHistogram::new();
+        let cut = split.min(durations.len());
+        for (k, &ns) in durations.iter().enumerate() {
+            whole.observe_ns(ns);
+            if k < cut { left.observe_ns(ns) } else { right.observe_ns(ns) }
+        }
+        left.merge_from(&right);
+        let merged = left.snapshot();
+        let direct = whole.snapshot();
+        prop_assert_eq!(merged.count, durations.len() as u64);
+        prop_assert_eq!(&merged.buckets, &direct.buckets);
+        prop_assert_eq!(merged.max_us.to_bits(), direct.max_us.to_bits());
+        // Quantiles are monotone and bounded by the exact max.
+        prop_assert!(merged.p50_us <= merged.p95_us);
+        prop_assert!(merged.p95_us <= merged.p99_us);
+        prop_assert!(merged.p99_us <= merged.max_us);
+        // Every observed duration maps into a bucket whose bounds hold it.
+        for &ns in &durations {
+            let idx = spikefolio_serve::metrics::bucket_index(ns);
+            let (lo, hi) = spikefolio_serve::metrics::bucket_bounds_ns(idx);
+            prop_assert!(lo <= ns && ns <= hi);
+        }
+    }
 }
 
 // ------------------------------------------------- bitwise determinism
