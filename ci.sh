@@ -16,6 +16,9 @@ cargo test -q
 echo "==> chaos suite (fault injection + property tests)"
 cargo test -q -p spikefolio --test fault_injection
 
+echo "==> live-desk chaos acceptance (gate invariants, bitwise replay)"
+cargo test -q -p spikefolio --test live_desk
+
 echo "==> sparse-kernel equivalence battery (dense vs event-driven, bitwise)"
 cargo test -q -p spikefolio --test sparse_kernels
 
@@ -117,5 +120,33 @@ python3 -c "import json; d=json.load(open('target/serve_trace.json')); \
 events=[e for e in d['traceEvents'] if e.get('name','').startswith('serve/req/')]; \
 assert events, 'no sampled request spans in trace'; \
 print(f'    serve_trace.json OK ({len(events)} request spans)')"
+
+echo "==> live-desk smoke (seeded fault script; serving must never regress)"
+rm -rf target/live_desk_smoke
+# Seed 5 is picked so the faulted rounds reach their fault's pipeline
+# stage (a round the reward floor rejects never attempts its swap, so a
+# swapio fault scheduled there would go unexercised).
+cargo run --release -q --bin spikefolio -- live-desk --seed 5 --rounds 4 --epochs 2 \
+  --faults "corrupt@1,nan@2,swapio@3" --dir target/live_desk_smoke \
+  --out target/live_desk_smoke/report.json
+python3 - <<'PYEOF'
+import json
+d = json.load(open("target/live_desk_smoke/report.json"))
+assert d["schema"] == "spikefolio.desk.v1", f"schema: {d.get('schema')}"
+gated = set(d["gate_passed_versions"])
+for r in d["rounds"]:
+    s, i = r["serving_reward"], r["incumbent_reward"]
+    if s == s and i == i:  # both finite (NaN != NaN)
+        assert s >= i, f"round {r['round']}: served {s} regressed below incumbent {i}"
+    assert r["served_version"] in gated, \
+        f"round {r['round']} served ungated v{r['served_version']}"
+assert d["final_version"] in gated, f"final v{d['final_version']} ungated"
+assert d["recoveries"] >= 3, f"3 injected faults, only {d['recoveries']} recoveries"
+assert d["degraded"] is False, "desk must end healthy after recovering every fault"
+assert d["ended_early"] is False, "feed must not stall in the smoke"
+print(f"    live-desk OK: {d['promotions']} promoted, {d['quarantines']} quarantined, "
+      f"{d['recoveries']} recoveries, serving v{d['final_version']} "
+      f"(crc {d['final_weights_crc']:#010x}), degraded cleared")
+PYEOF
 
 echo "CI checks passed."

@@ -20,8 +20,13 @@
 //! spikefolio loadgen --smoke [--checkpoint CKPT] [--seed N]
 //! spikefolio loadgen --addr HOST:PORT [--requests N] [--concurrency N] [--open-rps R]
 //!                    [--seed N] [--deadline-ms N] [--check-determinism] [--out REPORT.json]
+//!                    [--retry N] [--backoff-ms N]
 //! spikefolio loadgen --self-bench --checkpoint CKPT [--smoke|--full] [--assets N]
 //!                    [--requests N] [--concurrency N] [--seed N] [--max-batch N]
+//! spikefolio live-desk [--full] [--seed N] [--rounds N] [--warmup N] [--reveal N]
+//!                      [--window N] [--epochs N] [--val-fraction F] [--drift-threshold F]
+//!                      [--faults SPEC] [--dir DIR] [--csv FEED.csv] [--backend float|loihi]
+//!                      [--out REPORT.json] [--telemetry RUN.jsonl]
 //! ```
 //!
 //! Unrecognized flags are rejected with an error rather than silently
@@ -39,7 +44,7 @@ use spikefolio::serving::{
     BackendKind, ServeRunOptions, ServeTopOptions,
 };
 use spikefolio::telemetry_report::{empty_run_message, format_run_summary};
-use spikefolio::SdpConfig;
+use spikefolio::{parse_fault_spec, run_desk, DeskOptions, SdpConfig};
 use spikefolio_market::experiments::ExperimentPreset;
 use spikefolio_market::stats::market_stats;
 use spikefolio_serve::{run_loadgen, LoadgenOptions, ServiceConfig};
@@ -174,7 +179,8 @@ fn usage() -> ! {
            checkpoint init <PATH>            write a fresh reference checkpoint\n  \
            serve        serve a checkpoint over NDJSON/TCP (--checkpoint CKPT)\n  \
            serve-top    live metrics dashboard for a running server (--addr HOST:PORT)\n  \
-           loadgen      drive a server: --smoke | --addr HOST:PORT | --self-bench\n\
+           loadgen      drive a server: --smoke | --addr HOST:PORT | --self-bench\n  \
+           live-desk    continuous-learning loop: train, gate, hot-swap (--faults SPEC)\n\
          flags: --full | --smoke | --seed N | --out DIR | --telemetry RUN.jsonl\n        \
                 --trace TRACE.json (profile) | --guard (fault-guarded SDP training)\n        \
                 --sanitize (market data sanitizer)"
@@ -281,8 +287,29 @@ const LOADGEN_FLAGS: FlagSpec = FlagSpec {
         "--out",
         "--max-batch",
         "--assets",
+        "--retry",
+        "--backoff-ms",
     ],
     boolean: &["--full", "--smoke", "--self-bench", "--check-determinism"],
+};
+const LIVE_DESK_FLAGS: FlagSpec = FlagSpec {
+    value: &[
+        "--seed",
+        "--rounds",
+        "--warmup",
+        "--reveal",
+        "--window",
+        "--epochs",
+        "--val-fraction",
+        "--drift-threshold",
+        "--faults",
+        "--dir",
+        "--csv",
+        "--backend",
+        "--out",
+        "--telemetry",
+    ],
+    boolean: &["--full"],
 };
 const CHECKPOINT_FLAGS: FlagSpec =
     FlagSpec { value: &["--seed", "--assets"], boolean: &["--full", "--smoke"] };
@@ -607,6 +634,8 @@ fn main() {
                         })
                     }),
                     runs: if has_flag(a, "--check-determinism") { 2 } else { 1 },
+                    connect_retries: parsed_flag(a, "--retry", 0u32),
+                    connect_backoff_ms: parsed_flag(a, "--backoff-ms", 50u64),
                 };
                 let report = run_loadgen(addr, &load).unwrap_or_else(|e| fail(&e));
                 print!("{}", report.render());
@@ -622,6 +651,49 @@ fn main() {
                     std::process::exit(1);
                 }
             }
+        }
+        "live-desk" => {
+            LIVE_DESK_FLAGS.check(&args[1..]);
+            let a = &args[1..];
+            let dir =
+                std::path::PathBuf::from(flag_value(a, "--dir").unwrap_or("target/live-desk"));
+            let mut opts = DeskOptions::smoke(dir);
+            if has_flag(a, "--full") {
+                opts.config = SdpConfig::paper();
+                opts.config.training.parallelism = num_threads();
+            }
+            opts.seed = parsed_flag(a, "--seed", opts.seed);
+            opts.rounds = parsed_flag(a, "--rounds", opts.rounds);
+            opts.warmup = parsed_flag(a, "--warmup", opts.warmup);
+            opts.reveal_per_round = parsed_flag(a, "--reveal", opts.reveal_per_round);
+            opts.window = parsed_flag(a, "--window", opts.window);
+            opts.config.training.epochs = parsed_flag(a, "--epochs", opts.config.training.epochs);
+            opts.val_fraction = parsed_flag(a, "--val-fraction", opts.val_fraction);
+            opts.drift_threshold = parsed_flag(a, "--drift-threshold", opts.drift_threshold);
+            opts.csv = flag_value(a, "--csv").map(std::path::PathBuf::from);
+            opts.backend = flag_value(a, "--backend")
+                .unwrap_or("float")
+                .parse()
+                .unwrap_or_else(|e: String| fail(&e));
+            if let Some(spec) = flag_value(a, "--faults") {
+                opts.faults = parse_fault_spec(spec, opts.seed).unwrap_or_else(|e| fail(&e));
+            }
+            let out = flag_value(a, "--out").map(str::to_owned);
+            run_with_optional_telemetry(
+                a,
+                |rec| run_desk(opts.clone(), rec).unwrap_or_else(|e| fail(&e)),
+                |report| {
+                    if let Some(path) = &out {
+                        let mut json = report.to_json();
+                        json.push('\n');
+                        std::fs::write(path, json).unwrap_or_else(|e| {
+                            fail(&format!("cannot write report '{path}': {e}"))
+                        });
+                        eprintln!("desk report written to {path}");
+                    }
+                    report.render()
+                },
+            );
         }
         other => fail(&format!("unknown command '{other}'")),
     }

@@ -239,6 +239,32 @@ pub fn load_sdp_faulted(
     Ok(())
 }
 
+/// Probes the checkpoint at `path` against `agent` and rewrites it from
+/// the agent's in-memory parameters if it is unreadable, corrupt, or the
+/// wrong shape. Returns `true` when a heal (rewrite) happened, `false`
+/// when the file verified clean.
+///
+/// The rewrite goes through the same atomic temp-file + fsync + rename
+/// path as every checkpoint write, so a heal racing a concurrent swap of
+/// the same file can never expose a truncated or CRC-invalid checkpoint:
+/// readers see either the old bytes or the new bytes, whole.
+///
+/// # Errors
+///
+/// Returns the I/O error if the healing rewrite itself fails (a clean or
+/// corrupt probe never errors; a missing file is healed by writing it).
+pub fn heal_sdp(agent: &SdpAgent, path: impl AsRef<Path>) -> std::io::Result<bool> {
+    let path = path.as_ref();
+    let mut probe = agent.clone();
+    match load_sdp(&mut probe, path) {
+        Ok(()) => Ok(false),
+        Err(_) => {
+            save_sdp(agent, path)?;
+            Ok(true)
+        }
+    }
+}
+
 /// Saves a DRL baseline agent's parameters (v2 format, atomic write).
 ///
 /// # Errors
@@ -397,6 +423,28 @@ mod tests {
         let mut restored = SdpAgent::new(&cfg, 5, 999);
         let err = load_sdp(&mut restored, &path).unwrap_err();
         assert!(matches!(err, LoadCheckpointError::Corrupt { .. }), "{err}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn heal_rewrites_corrupt_and_missing_files_only() {
+        let cfg = SdpConfig::smoke();
+        let agent = SdpAgent::new(&cfg, 5, 7);
+        let path = tmp("heal.ckpt");
+        std::fs::remove_file(&path).ok();
+        // Missing file: healed by writing it.
+        assert!(heal_sdp(&agent, &path).unwrap(), "missing file must heal");
+        // Clean file: untouched.
+        assert!(!heal_sdp(&agent, &path).unwrap(), "clean file must not heal");
+        // Corrupt file: healed back to the agent's parameters.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x04;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(heal_sdp(&agent, &path).unwrap(), "corrupt file must heal");
+        let mut restored = SdpAgent::new(&cfg, 5, 999);
+        load_sdp(&mut restored, &path).unwrap();
+        assert_eq!(flat_params(&restored.network), flat_params(&agent.network));
         std::fs::remove_file(path).ok();
     }
 

@@ -49,6 +49,7 @@ pub mod agent;
 pub mod checkpoint;
 pub mod config;
 pub mod deploy;
+pub mod desk;
 pub mod drl;
 pub mod eiie;
 pub mod experiments;
@@ -66,6 +67,7 @@ pub mod validation;
 pub use agent::SdpAgent;
 pub use config::SdpConfig;
 pub use deploy::LoihiDeployment;
+pub use desk::{parse_fault_spec, run_desk, run_desk_quiet, DeskOptions, DeskReport, RoundRecord};
 pub use drl::DrlAgent;
 pub use guarded::{train_sdp_guarded, GuardedOutcome, ResilienceOptions};
 pub use training::{Trainer, TrainingLog};

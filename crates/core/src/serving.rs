@@ -516,6 +516,20 @@ fn render_top(m: &Value) -> String {
         cnt("batches"),
         gauge("max_batch"),
     );
+    if let Some(swap) = m.get("swap") {
+        let su = |k: &str| swap.get(k).and_then(Value::as_u64).unwrap_or(0);
+        let mut line = format!(
+            "swaps {}  io-failed {}  gate-rejected {}  last good v{}",
+            su("swaps"),
+            su("failures"),
+            su("rejected"),
+            su("last_good_version"),
+        );
+        if let Some(kind) = swap.get("last_rejection_kind").and_then(Value::as_str) {
+            line.push_str(&format!("  [last rejection: {kind}]"));
+        }
+        let _ = writeln!(out, "{line}");
+    }
     let degraded = matches!(health.and_then(|h| h.get("degraded")), Some(Value::Bool(true)));
     let reasons: Vec<&str> = health
         .and_then(|h| h.get("reasons"))
@@ -661,7 +675,17 @@ pub fn run_loadgen_smoke(checkpoint: Option<&str>, seed: u64) -> Result<SmokeOut
     let (server, handle, _service) = build_server(&opts)?;
     let addr = handle.addr().to_string();
     let server_thread = std::thread::spawn(move || server.run());
-    let load = LoadgenOptions { requests: 64, concurrency: 4, seed, runs: 2, ..Default::default() };
+    // A few connection retries: the smoke shares a loopback with whatever
+    // else the test runner has saturated, and a refused first connect
+    // while the listener thread warms up should not fail the smoke.
+    let load = LoadgenOptions {
+        requests: 64,
+        concurrency: 4,
+        seed,
+        runs: 2,
+        connect_retries: 3,
+        ..Default::default()
+    };
     let result = run_loadgen(&addr, &load);
     handle.shutdown();
     let clean_shutdown = matches!(server_thread.join(), Ok(Ok(())));
@@ -729,6 +753,7 @@ fn unreachable_report() -> LoadReport {
         deterministic: None,
         server_stages: Vec::new(),
         server_degraded: None,
+        connect_retries: 0,
     }
 }
 

@@ -43,6 +43,7 @@ pub mod io;
 pub mod regime;
 pub mod sanitize;
 pub mod stats;
+pub mod tail;
 pub mod time;
 pub mod universe;
 
@@ -51,4 +52,5 @@ pub use data::MarketData;
 pub use generator::{AssetSpec, GeneratorConfig, MarketGenerator};
 pub use regime::{Regime, RegimeParams};
 pub use sanitize::{sanitize_market, RepairPolicy, SanitizeConfig, SanitizeReport};
+pub use tail::{CsvTail, CsvTailReader, TailError};
 pub use time::Date;

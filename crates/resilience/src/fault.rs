@@ -46,6 +46,46 @@ pub struct MarketFault {
     pub kind: MarketFaultKind,
 }
 
+/// A pipeline-level fault injected into one live-desk round.
+///
+/// Unlike [`GradFault`] (which fires inside a single training epoch),
+/// these target the stages *between* training and serving: candidate
+/// checkpoint bytes, validation data, the hot-swap write, and the data
+/// feed itself. Every kind has a deterministic recovery path, which is
+/// what lets the chaos acceptance test demand that a recovered run end
+/// bitwise-equal to the fault-free run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PipelineFaultKind {
+    /// The round's first training epoch produces NaN gradients
+    /// (recovered by the guarded loop's rollback policy).
+    TrainerNan,
+    /// The round's trainer aborts mid-flight, as if a worker panicked;
+    /// the desk retries the round's training from the incumbent snapshot.
+    TrainerPanic,
+    /// The candidate checkpoint's stored bytes are bit-flipped after the
+    /// write; the integrity probe catches it and the desk heals the file
+    /// from the in-memory candidate.
+    CorruptCandidate,
+    /// The round's validation slice is poisoned with non-finite prices;
+    /// the gate detects it and re-extracts from the pristine window.
+    ValData,
+    /// The swap-time copy into the serving path fails with transient IO
+    /// errors (absorbed by bounded exponential-backoff retry).
+    SwapIo,
+    /// The data feed stalls for this many polls before yielding new
+    /// periods; the desk's watchdog re-polls with capped backoff.
+    FeedStall(u32),
+}
+
+/// One scripted pipeline fault: `kind` fires in desk round `round`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineFault {
+    /// 0-based desk round the fault fires in.
+    pub round: u64,
+    /// The fault injected.
+    pub kind: PipelineFaultKind,
+}
+
 fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = *state;
@@ -70,6 +110,7 @@ pub struct FaultPlan {
     /// Writes observed so far, per label.
     writes_seen: Vec<(String, u64)>,
     market_faults: Vec<MarketFault>,
+    pipeline_faults: Vec<PipelineFault>,
     corruption_nonce: u64,
 }
 
@@ -87,6 +128,7 @@ impl FaultPlan {
             && self.corrupt_writes.is_empty()
             && self.truncate_writes.is_empty()
             && self.market_faults.is_empty()
+            && self.pipeline_faults.is_empty()
     }
 
     /// Schedules a gradient fault for training epoch `epoch` (one-shot:
@@ -137,6 +179,33 @@ impl FaultPlan {
     /// layer; this crate stays market-agnostic).
     pub fn market_faults(&self) -> &[MarketFault] {
         &self.market_faults
+    }
+
+    /// Schedules a pipeline fault for desk round `round` (0-based).
+    pub fn pipeline_fault(mut self, round: u64, kind: PipelineFaultKind) -> Self {
+        self.pipeline_faults.push(PipelineFault { round, kind });
+        self
+    }
+
+    /// The scripted pipeline faults still pending (applied by the
+    /// desk-owning layer; this crate stays pipeline-agnostic).
+    pub fn pipeline_faults(&self) -> &[PipelineFault] {
+        &self.pipeline_faults
+    }
+
+    /// Consumes every pipeline fault scheduled for `round`, in schedule
+    /// order (one-shot: a retried round runs clean).
+    pub fn take_pipeline_faults(&mut self, round: u64) -> Vec<PipelineFaultKind> {
+        let mut taken = Vec::new();
+        self.pipeline_faults.retain(|f| {
+            if f.round == round {
+                taken.push(f.kind);
+                false
+            } else {
+                true
+            }
+        });
+        taken
     }
 
     /// Consumes the gradient fault scheduled for `epoch`, if any.
@@ -283,6 +352,23 @@ mod tests {
         let mut c = base.clone();
         FaultPlan::new(10).corrupt_bytes(&mut c);
         assert_ne!(a, c, "different seed, different corruption");
+    }
+
+    #[test]
+    fn pipeline_faults_are_one_shot_and_round_scoped() {
+        let mut plan = FaultPlan::new(4)
+            .pipeline_fault(1, PipelineFaultKind::CorruptCandidate)
+            .pipeline_fault(1, PipelineFaultKind::SwapIo)
+            .pipeline_fault(3, PipelineFaultKind::FeedStall(2));
+        assert!(!plan.is_empty());
+        assert!(plan.take_pipeline_faults(0).is_empty());
+        assert_eq!(
+            plan.take_pipeline_faults(1),
+            vec![PipelineFaultKind::CorruptCandidate, PipelineFaultKind::SwapIo],
+        );
+        assert!(plan.take_pipeline_faults(1).is_empty(), "retried round must run clean");
+        assert_eq!(plan.take_pipeline_faults(3), vec![PipelineFaultKind::FeedStall(2)]);
+        assert!(plan.is_empty());
     }
 
     #[test]

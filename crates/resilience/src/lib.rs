@@ -33,6 +33,8 @@ pub mod guard;
 pub mod io;
 
 pub use crc::crc32;
-pub use fault::{FaultPlan, GradFault, MarketFault, MarketFaultKind};
+pub use fault::{
+    FaultPlan, GradFault, MarketFault, MarketFaultKind, PipelineFault, PipelineFaultKind,
+};
 pub use guard::{check_epoch, EpochHealth, GuardConfig, GuardPolicy, HealthIssue};
 pub use io::{atomic_write, atomic_write_faulted, retry_io, RetryOutcome};

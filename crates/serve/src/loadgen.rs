@@ -41,6 +41,13 @@ pub struct LoadgenOptions {
     /// Number of identical passes; with 2 the report carries a bitwise
     /// determinism verdict comparing served weights across passes.
     pub runs: usize,
+    /// Connection-setup retries per socket (0 = fail on the first
+    /// refusal). Chaos runs restart the server mid-load; with retries
+    /// the harness rides out the gap instead of aborting.
+    pub connect_retries: u32,
+    /// Base of the capped exponential backoff between connection
+    /// attempts, milliseconds.
+    pub connect_backoff_ms: u64,
 }
 
 impl Default for LoadgenOptions {
@@ -52,6 +59,8 @@ impl Default for LoadgenOptions {
             seed: 2016,
             deadline_ms: None,
             runs: 1,
+            connect_retries: 0,
+            connect_backoff_ms: 50,
         }
     }
 }
@@ -123,6 +132,10 @@ pub struct LoadReport {
     pub server_stages: Vec<(String, ServerStage)>,
     /// The server's health `degraded` flag at scrape time.
     pub server_degraded: Option<bool>,
+    /// Connection-setup retries absorbed across every socket of the run
+    /// (probe + workers, all passes) — non-zero when the server was
+    /// restarting under load.
+    pub connect_retries: u64,
 }
 
 impl LoadReport {
@@ -182,6 +195,7 @@ impl LoadReport {
                 ),
             ),
             ("server_degraded".to_string(), self.server_degraded.map_or(Value::Null, Value::Bool)),
+            ("connect_retries".to_string(), Value::U64(self.connect_retries)),
         ])
         .to_json()
     }
@@ -258,7 +272,42 @@ impl LoadReport {
                 if degraded { "DEGRADED" } else { "ok" }
             ));
         }
+        if self.connect_retries > 0 {
+            out.push_str(&format!(
+                "  connect retries: {} (server was away; reconnects absorbed)\n",
+                self.connect_retries
+            ));
+        }
         out
+    }
+}
+
+/// Connects with bounded retry and capped exponential backoff: chaos
+/// runs restart the server mid-load, so a refused connection a few
+/// milliseconds after a swap or restart is expected, not fatal. Returns
+/// the stream (nodelay set) plus the retries it took.
+fn connect_with_retry(
+    addr: &str,
+    retries_allowed: u32,
+    backoff_ms: u64,
+) -> Result<(TcpStream, u64), String> {
+    let mut retries = 0u64;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => {
+                stream.set_nodelay(true).map_err(|e| format!("set_nodelay: {e}"))?;
+                return Ok((stream, retries));
+            }
+            Err(e) if retries >= retries_allowed as u64 => {
+                return Err(format!("connect {addr}: {e} (after {retries} retries)"));
+            }
+            Err(_) => {
+                if backoff_ms > 0 {
+                    std::thread::sleep(Duration::from_millis(backoff_ms << retries.min(10)));
+                }
+                retries += 1;
+            }
+        }
     }
 }
 
@@ -317,6 +366,7 @@ struct RunTally {
     latencies_us: Vec<u64>,
     batch_hist: BTreeMap<usize, u64>,
     weights_bits: HashMap<u64, Vec<u64>>,
+    connect_retries: u64,
 }
 
 impl RunTally {
@@ -358,6 +408,7 @@ impl RunTally {
             *self.batch_hist.entry(k).or_insert(0) += c;
         }
         self.weights_bits.extend(other.weights_bits);
+        self.connect_retries += other.connect_retries;
     }
 }
 
@@ -374,9 +425,10 @@ fn render_request(id: u64, state: &[f64], seed: u64, deadline_ms: Option<u64>) -
 }
 
 /// Queries the server's `info` verb for the expected state dimension.
-fn probe_state_dim(addr: &str) -> Result<usize, String> {
-    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
-    stream.set_nodelay(true).map_err(|e| format!("set_nodelay: {e}"))?;
+/// Returns the dimension plus the connection retries it took.
+fn probe_state_dim(addr: &str, opts: &LoadgenOptions) -> Result<(usize, u64), String> {
+    let (stream, retries) =
+        connect_with_retry(addr, opts.connect_retries, opts.connect_backoff_ms)?;
     let mut writer = stream.try_clone().map_err(|e| format!("clone stream: {e}"))?;
     writer.write_all(b"{\"cmd\":\"info\"}\n").map_err(|e| format!("send info: {e}"))?;
     let mut reader = BufReader::new(stream);
@@ -385,7 +437,7 @@ fn probe_state_dim(addr: &str) -> Result<usize, String> {
     let v = parse(line.trim()).map_err(|e| format!("parse info response: {e}"))?;
     v.get("state_dim")
         .and_then(Value::as_u64)
-        .map(|d| d as usize)
+        .map(|d| (d as usize, retries))
         .ok_or_else(|| format!("info response carries no state_dim: {}", line.trim()))
 }
 
@@ -437,15 +489,20 @@ fn scrape_server_metrics(addr: &str) -> (Vec<(String, ServerStage)>, Option<bool
 
 /// One closed-loop worker: send, wait, repeat over its pre-rendered
 /// request lines.
-fn closed_loop_worker(addr: &str, requests: &[(u64, String)]) -> Result<RunTally, String> {
-    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
-    // Without this, Nagle on our side plus delayed ACK on the server's
-    // turns every request into a ~40 ms stall: the newline sits in the
-    // socket until the server acknowledges the first fragment.
-    stream.set_nodelay(true).map_err(|e| format!("set_nodelay: {e}"))?;
+fn closed_loop_worker(
+    addr: &str,
+    requests: &[(u64, String)],
+    opts: &LoadgenOptions,
+) -> Result<RunTally, String> {
+    // Nodelay is set inside connect_with_retry: without it, Nagle on our
+    // side plus delayed ACK on the server's turns every request into a
+    // ~40 ms stall (the newline sits in the socket until the server
+    // acknowledges the first fragment).
+    let (stream, retries) =
+        connect_with_retry(addr, opts.connect_retries, opts.connect_backoff_ms)?;
     let mut writer = stream.try_clone().map_err(|e| format!("clone stream: {e}"))?;
     let mut reader = BufReader::new(stream);
-    let mut tally = RunTally::default();
+    let mut tally = RunTally { connect_retries: retries, ..Default::default() };
     let mut line = String::new();
     for (i, req) in requests {
         let sent = Instant::now();
@@ -468,9 +525,10 @@ fn open_loop_worker(
     addr: &str,
     requests: Vec<(u64, String)>,
     interarrival: Duration,
+    opts: &LoadgenOptions,
 ) -> Result<RunTally, String> {
-    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
-    stream.set_nodelay(true).map_err(|e| format!("set_nodelay: {e}"))?;
+    let (stream, connect_retries) =
+        connect_with_retry(addr, opts.connect_retries, opts.connect_backoff_ms)?;
     let mut writer = stream.try_clone().map_err(|e| format!("clone stream: {e}"))?;
     let reader_stream = stream;
     let sent_at = Mutex::new(HashMap::<u64, Instant>::new());
@@ -492,7 +550,7 @@ fn open_loop_worker(
             Ok(())
         });
 
-        let mut tally = RunTally::default();
+        let mut tally = RunTally { connect_retries, ..Default::default() };
         let mut reader = BufReader::new(reader_stream);
         let mut line = String::new();
         for _ in 0..expected {
@@ -537,8 +595,8 @@ fn one_pass(addr: &str, opts: &LoadgenOptions, dim: usize) -> Result<(RunTally, 
             .into_iter()
             .map(|requests| {
                 scope.spawn(move || match interarrival {
-                    None => closed_loop_worker(addr, &requests),
-                    Some(gap) => open_loop_worker(addr, requests, gap),
+                    None => closed_loop_worker(addr, &requests, opts),
+                    Some(gap) => open_loop_worker(addr, requests, gap, opts),
                 })
             })
             .collect();
@@ -568,14 +626,16 @@ pub fn run_loadgen(addr: &str, opts: &LoadgenOptions) -> Result<LoadReport, Stri
     if opts.requests == 0 {
         return Err("loadgen needs at least one request".to_string());
     }
-    let dim = probe_state_dim(addr)?;
+    let (dim, probe_retries) = probe_state_dim(addr, opts)?;
     let (first, wall_s) = one_pass(addr, opts, dim)?;
+    let mut connect_retries = probe_retries + first.connect_retries;
     let mut deterministic = None;
     for _ in 1..opts.runs.max(1) {
         let (next, _) = one_pass(addr, opts, dim)?;
         let same = next.weights_bits == first.weights_bits
             && next.weights_bits.len() == first.served as usize;
         deterministic = Some(deterministic.unwrap_or(true) && same);
+        connect_retries += next.connect_retries;
     }
     let max_batch = first.batch_hist.keys().max().copied().unwrap_or(0) as u64;
     let (server_stages, server_degraded) = scrape_server_metrics(addr);
@@ -594,6 +654,7 @@ pub fn run_loadgen(addr: &str, opts: &LoadgenOptions) -> Result<LoadReport, Stri
         deterministic,
         server_stages,
         server_degraded,
+        connect_retries,
     })
 }
 
@@ -669,6 +730,7 @@ mod tests {
                 ),
             ],
             server_degraded: Some(false),
+            connect_retries: 2,
         };
         let v = parse(&report.to_json()).expect("report must be valid JSON");
         assert_eq!(v.get("schema").and_then(Value::as_str), Some(SERVE_SCHEMA));

@@ -884,6 +884,21 @@ impl MetricsSnapshot {
                     None => Value::Null,
                 },
             ),
+            ("rejected".to_string(), Value::U64(self.swap.rejected)),
+            (
+                "last_rejection_kind".to_string(),
+                match &self.swap.last_rejection_kind {
+                    Some(k) => Value::Str(k.clone()),
+                    None => Value::Null,
+                },
+            ),
+            (
+                "last_rejection".to_string(),
+                match &self.swap.last_rejection {
+                    Some(m) => Value::Str(m.clone()),
+                    None => Value::Null,
+                },
+            ),
         ]);
         let h = &self.health;
         let opt_f = |v: Option<f64>| v.map_or(Value::Null, Value::F64);
@@ -942,6 +957,19 @@ impl MetricsSnapshot {
         for (name, v) in gauges {
             let _ = writeln!(out, "# TYPE spikefolio_serve_{name} gauge");
             let _ = writeln!(out, "spikefolio_serve_{name} {v}");
+        }
+        // Swap counters come from the model store rather than the
+        // registry; `swap_rejected` (gate said no) is deliberately a
+        // different series from `swap_failures` (reload IO/validation
+        // broke mid-swap).
+        let swap_counters: [(&str, u64); 3] = [
+            ("swaps", self.swap.swaps),
+            ("swap_failures", self.swap.failures),
+            ("swap_rejected", self.swap.rejected),
+        ];
+        for (name, v) in swap_counters {
+            let _ = writeln!(out, "# TYPE spikefolio_serve_{name}_total counter");
+            let _ = writeln!(out, "spikefolio_serve_{name}_total {v}");
         }
         let _ = writeln!(out, "# TYPE spikefolio_serve_model_version gauge");
         let _ = writeln!(out, "spikefolio_serve_model_version {}", self.model_version);
@@ -1195,6 +1223,9 @@ mod tests {
                 last_good_version: 1,
                 last_error_kind: Some("load_failed".to_string()),
                 last_error: Some("boom".to_string()),
+                rejected: 2,
+                last_rejection_kind: Some("drift".to_string()),
+                last_rejection: Some("entropy drift 0.4 over bound 0.25".to_string()),
             },
             Some(64),
         )
@@ -1211,6 +1242,11 @@ mod tests {
         assert_eq!(
             v.get("swap").and_then(|s| s.get("last_error_kind")).and_then(Value::as_str),
             Some("load_failed")
+        );
+        assert_eq!(v.get("swap").and_then(|s| s.get("rejected")).and_then(Value::as_u64), Some(2));
+        assert_eq!(
+            v.get("swap").and_then(|s| s.get("last_rejection_kind")).and_then(Value::as_str),
+            Some("drift")
         );
         assert_eq!(
             v.get("trace").and_then(|t| t.get("sample_every")).and_then(Value::as_u64),
@@ -1238,6 +1274,8 @@ mod tests {
             }
         );
         assert!(text.contains("spikefolio_serve_degraded 0"));
+        assert!(text.contains("spikefolio_serve_swap_rejected_total 2"));
+        assert!(text.contains("spikefolio_serve_swaps_total 1"));
         // Cumulative bucket counts must be monotone per stage.
         let mut last = 0u64;
         for line in text.lines() {

@@ -344,11 +344,15 @@ fn process_line(
                 ("queue_depth_peak".to_string(), Value::U64(snap.queue_depth_peak)),
                 ("swaps".to_string(), Value::U64(swaps)),
                 ("swap_failures".to_string(), Value::U64(swap_failures)),
+                ("swap_rejected".to_string(), Value::U64(swap.rejected)),
             ]);
             if let Value::Map(ref mut entries) = stats {
                 entries.push(("last_good_version".to_string(), Value::U64(swap.last_good_version)));
                 if let Some(kind) = swap.last_error_kind {
                     entries.push(("last_error_kind".to_string(), Value::Str(kind)));
+                }
+                if let Some(kind) = swap.last_rejection_kind {
+                    entries.push(("last_rejection_kind".to_string(), Value::Str(kind)));
                 }
             }
             let _ =

@@ -435,6 +435,7 @@ impl Service {
         rec.counter(labels::COUNTER_SERVE_BATCHES, snap.batches);
         rec.counter(labels::COUNTER_SERVE_SWAPS, m.swap.swaps);
         rec.counter(labels::COUNTER_SERVE_SWAP_FAILURES, m.swap.failures);
+        rec.counter(labels::COUNTER_SERVE_SWAP_REJECTED, m.swap.rejected);
         rec.counter(
             labels::COUNTER_SERVE_PARSE_ERRORS,
             self.metrics.parse_errors.load(Ordering::Relaxed),

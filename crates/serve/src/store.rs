@@ -75,6 +75,16 @@ pub struct SwapStatus {
     pub last_error_kind: Option<String>,
     /// Human-readable message of the most recent reload failure.
     pub last_error: Option<String>,
+    /// Candidates rejected *before* a swap was attempted — a validation
+    /// gate said no (integrity probe, reward floor, drift bound). Kept
+    /// separate from `failures` so dashboards can distinguish "the gate
+    /// worked" from "the swap IO broke".
+    pub rejected: u64,
+    /// Kind of the most recent gate rejection (`integrity` | `validation`
+    /// | `drift`), or `None` if no candidate was ever rejected.
+    pub last_rejection_kind: Option<String>,
+    /// Human-readable reason for the most recent gate rejection.
+    pub last_rejection: Option<String>,
 }
 
 /// The store: current model + loader + swap counters.
@@ -83,7 +93,9 @@ pub struct ModelStore {
     current: RwLock<Arc<LoadedModel>>,
     swaps: AtomicU64,
     swap_failures: AtomicU64,
+    swap_rejections: AtomicU64,
     last_error: Mutex<Option<(String, String)>>,
+    last_rejection: Mutex<Option<(String, String)>>,
 }
 
 impl std::fmt::Debug for ModelStore {
@@ -107,7 +119,9 @@ impl ModelStore {
             current: RwLock::new(model),
             swaps: AtomicU64::new(0),
             swap_failures: AtomicU64::new(0),
+            swap_rejections: AtomicU64::new(0),
             last_error: Mutex::new(None),
+            last_rejection: Mutex::new(None),
         })
     }
 
@@ -176,21 +190,40 @@ impl ModelStore {
         (self.swaps.load(Ordering::Relaxed), self.swap_failures.load(Ordering::Relaxed))
     }
 
-    /// Full swap status including the last failure (kind + message) and
-    /// the version that kept serving through it.
+    /// Records a candidate the validation gate turned away *before* any
+    /// reload was attempted: `kind` is the gate that said no
+    /// (`integrity` | `validation` | `drift`), `reason` the evidence.
+    /// The serving model is untouched; this only feeds the
+    /// `serve/swap_rejected` counter and the metrics snapshot.
+    pub fn record_rejection(&self, kind: &str, reason: &str) {
+        self.swap_rejections.fetch_add(1, Ordering::Relaxed);
+        *lock(&self.last_rejection) = Some((kind.to_owned(), reason.to_owned()));
+    }
+
+    /// Gate rejections recorded so far.
+    pub fn rejection_count(&self) -> u64 {
+        self.swap_rejections.load(Ordering::Relaxed)
+    }
+
+    /// Full swap status including the last failure (kind + message), the
+    /// last gate rejection, and the version that kept serving through it.
     pub fn swap_status(&self) -> SwapStatus {
         let (swaps, failures) = self.swap_counts();
-        let last = lock(&self.last_error).clone();
-        let (last_error_kind, last_error) = match last {
+        let split = |pair: Option<(String, String)>| match pair {
             Some((kind, msg)) => (Some(kind), Some(msg)),
             None => (None, None),
         };
+        let (last_error_kind, last_error) = split(lock(&self.last_error).clone());
+        let (last_rejection_kind, last_rejection) = split(lock(&self.last_rejection).clone());
         SwapStatus {
             swaps,
             failures,
             last_good_version: self.version(),
             last_error_kind,
             last_error,
+            rejected: self.rejection_count(),
+            last_rejection_kind,
+            last_rejection,
         }
     }
 }
@@ -316,5 +349,25 @@ mod tests {
         assert_eq!(status.swaps, 1);
         assert_eq!(status.last_good_version, 2);
         assert_eq!(status.last_error_kind.as_deref(), Some("dim_mismatch"));
+    }
+
+    #[test]
+    fn gate_rejections_are_counted_separately_from_failures() {
+        let store = ModelStore::open(test_loader(), "a").expect("open");
+        store.record_rejection("validation", "candidate reward -0.01 below incumbent 0.02");
+        store.record_rejection("drift", "entropy drift 0.41 over bound 0.25");
+        let status = store.swap_status();
+        assert_eq!(status.rejected, 2);
+        assert_eq!(status.failures, 0, "gate rejections never attempt a reload");
+        assert_eq!(status.last_rejection_kind.as_deref(), Some("drift"));
+        assert!(status.last_rejection.as_deref().unwrap().contains("0.41"));
+        assert!(status.last_error_kind.is_none(), "rejections don't pollute swap errors");
+
+        // A real swap failure keeps its own channel.
+        assert!(store.reload("missing").is_err());
+        let status = store.swap_status();
+        assert_eq!((status.rejected, status.failures), (2, 1));
+        assert_eq!(status.last_error_kind.as_deref(), Some("load_failed"));
+        assert_eq!(status.last_rejection_kind.as_deref(), Some("drift"));
     }
 }

@@ -91,6 +91,9 @@ pub const COUNTER_SERVE_BATCHES: &str = "serve/batches";
 pub const COUNTER_SERVE_SWAPS: &str = "serve/swaps";
 /// Counter: rejected hot-swap attempts (old model kept serving).
 pub const COUNTER_SERVE_SWAP_FAILURES: &str = "serve/swap_failures";
+/// Counter: candidate models the validation gate turned away before any
+/// swap was attempted (integrity / validation / drift rejections).
+pub const COUNTER_SERVE_SWAP_REJECTED: &str = "serve/swap_rejected";
 /// Counter: inference lines the server front end failed to parse.
 pub const COUNTER_SERVE_PARSE_ERRORS: &str = "serve/parse_errors";
 /// Counter: served responses whose queue+infer latency exceeded the SLO.
@@ -107,6 +110,21 @@ pub const GAUGE_SERVE_HEALTH_DRIFT: &str = "serve/health/drift_score";
 pub const GAUGE_SERVE_HEALTH_BURN: &str = "serve/health/burn_rate";
 /// Gauge: shed fraction of admitted requests at flush time.
 pub const GAUGE_SERVE_HEALTH_SHED: &str = "serve/health/shed_rate";
+
+/// Counter: live-desk rounds completed (one feed poll → train →
+/// gate → swap/quarantine cycle each).
+pub const COUNTER_DESK_ROUNDS: &str = "desk/rounds";
+/// Counter: candidate checkpoints that passed the gate and were
+/// hot-swapped into serving.
+pub const COUNTER_DESK_PROMOTIONS: &str = "desk/promotions";
+/// Counter: candidate checkpoints quarantined (gate rejection or
+/// unrecoverable fault) while serving stayed on last-good.
+pub const COUNTER_DESK_QUARANTINES: &str = "desk/quarantines";
+/// Counter: pipeline faults the desk absorbed and recovered from
+/// (trainer retries, candidate heals, swap IO retries, feed re-polls).
+pub const COUNTER_DESK_RECOVERIES: &str = "desk/recoveries";
+/// Counter: feed polls that returned no new data (stall watchdog ticks).
+pub const COUNTER_DESK_FEED_STALLS: &str = "desk/feed_stalls";
 
 /// Counter: dense multiply–accumulates an equivalent ANN forward pass
 /// would execute for the same workload (`Σ_k in_k · out_k · T` per
