@@ -148,5 +148,44 @@ print(f"    live-desk OK: {d['promotions']} promoted, {d['quarantines']} quarant
       f"{d['recoveries']} recoveries, serving v{d['final_version']} "
       f"(crc {d['final_weights_crc']:#010x}), degraded cleared")
 PYEOF
+# The desk-top dashboard must render one frame from the final status file.
+cargo run --release -q --bin spikefolio -- desk-top \
+  --status target/live_desk_smoke/desk-top.json --iterations 1 \
+  | grep -q "spikefolio desk-top" || { echo "desk-top frame missing"; exit 1; }
+
+echo "==> blackbox crash smoke (panic mid-round must leave an ordered flight-recorder dump)"
+rm -rf target/blackbox_smoke
+cargo run --release -q --bin spikefolio -- live-desk --seed 5 --rounds 2 --epochs 2 \
+  --faults "crash@1" --dir target/blackbox_smoke > target/blackbox_smoke.log 2>&1 \
+  && { echo "crash fault did not kill the desk"; exit 1; } || true
+python3 - <<'PYEOF'
+import json
+d = json.load(open("target/blackbox_smoke/blackbox.json"))
+assert d["schema"] == "spikefolio.blackbox.v1", f"schema: {d.get('schema')}"
+ev = d["events"]
+assert ev, "empty dump"
+seqs = [e["seq"] for e in ev]
+assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs), f"unordered tail: {seqs}"
+assert ev[-1]["stage"] == "panic", f"last event {ev[-1]['stage']!r} is not the panic"
+stages = [e["stage"] for e in ev]
+ci = stages.index("fault/crash")
+assert ci < len(stages) - 1, "crash event must precede the panic"
+assert ev[ci]["round"] == 1, f"crash recorded for round {ev[ci].get('round')}, scheduled for 1"
+print(f"    blackbox dump OK: {len(ev)} events, ordered tail ends at the panic (seq {seqs[-1]})")
+PYEOF
+
+echo "==> lineage ledger smoke (verb renders; JSON schema checks out)"
+cargo run --release -q --bin spikefolio -- lineage target/live_desk_smoke/lineage.jsonl \
+  | grep -q "round" || { echo "lineage table missing"; exit 1; }
+cargo run --release -q --bin spikefolio -- lineage target/live_desk_smoke/lineage.jsonl --json \
+  > target/lineage_smoke.json
+python3 - <<'PYEOF'
+import json
+d = json.load(open("target/lineage_smoke.json"))
+assert d["schema"] == "spikefolio.lineage-log.v1", f"schema: {d.get('schema')}"
+assert d["skipped"] == 0, f"{d['skipped']} torn/corrupt ledger lines in a clean run"
+assert len(d["entries"]) == 4, f"{len(d['entries'])} ledger entries != 4 desk rounds"
+print(f"    lineage ledger OK: {len(d['entries'])} entries, 0 skipped")
+PYEOF
 
 echo "CI checks passed."

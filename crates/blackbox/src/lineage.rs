@@ -1,0 +1,356 @@
+//! The model lineage ledger: an append-only, torn-write-safe JSONL file
+//! recording every candidate version's gate evaluation.
+//!
+//! Each line is a complete JSON object whose final field is a CRC32 of
+//! all the bytes before it, so the reader can tell a torn append (crash
+//! mid-line, truncated copy) from an intact entry without trusting the
+//! line to parse. A torn line costs exactly itself: [`read_ledger`]
+//! skips it, counts it, and keeps every intact entry around it.
+
+use spikefolio_resilience::crc32;
+use spikefolio_telemetry::value::{parse, Value};
+use std::io::Write;
+use std::path::Path;
+
+/// Schema tag carried by every ledger line.
+pub const LINEAGE_SCHEMA: &str = "spikefolio.lineage.v1";
+
+/// Byte length of the CRC frame suffix `,"crc":"XXXXXXXX"}`.
+const FRAME_LEN: usize = 18;
+
+/// One candidate's trip through the desk gate, as recorded in the ledger.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LineageEntry {
+    /// Desk round that produced the candidate.
+    pub round: u64,
+    /// Version the candidate was fine-tuned from.
+    pub parent_version: u64,
+    /// Version the candidate became, if it was promoted.
+    pub promoted_version: Option<u64>,
+    /// Version left serving after the round.
+    pub served_version: u64,
+    /// First period index of the training window.
+    pub window_from: u64,
+    /// Periods revealed (window end) when the candidate trained.
+    pub revealed: u64,
+    /// Gate stage 1: did the checkpoint load CRC-clean (after heal)?
+    pub integrity_ok: bool,
+    /// Gate stage 2: candidate's held-out validation reward.
+    pub candidate_reward: f64,
+    /// Gate stage 2: incumbent's reward on the same held-out slice.
+    pub incumbent_reward: f64,
+    /// Gate stage 3: candidate's entropy drift from the serving baseline.
+    pub entropy_drift: f64,
+    /// Gate stage 3: configured drift bound.
+    pub drift_bound: f64,
+    /// Round outcome: `promoted`, `quarantined`, or `swap_failed`.
+    pub outcome: String,
+    /// Quarantine kind (`integrity` / `validation` / `drift`), if any.
+    pub kind: Option<String>,
+    /// Human-readable quarantine reason, if any.
+    pub reason: Option<String>,
+}
+
+impl LineageEntry {
+    /// The entry as a JSON-ready [`Value`] map (without the CRC frame).
+    pub fn to_value(&self) -> Value {
+        let opt_u64 = |v: &Option<u64>| v.map_or(Value::Null, Value::U64);
+        let opt_str = |v: &Option<String>| v.clone().map_or(Value::Null, Value::Str);
+        Value::Map(vec![
+            ("schema".to_owned(), Value::Str(LINEAGE_SCHEMA.to_owned())),
+            ("round".to_owned(), Value::U64(self.round)),
+            ("parent_version".to_owned(), Value::U64(self.parent_version)),
+            ("promoted_version".to_owned(), opt_u64(&self.promoted_version)),
+            ("served_version".to_owned(), Value::U64(self.served_version)),
+            ("window_from".to_owned(), Value::U64(self.window_from)),
+            ("revealed".to_owned(), Value::U64(self.revealed)),
+            ("integrity_ok".to_owned(), Value::Bool(self.integrity_ok)),
+            ("candidate_reward".to_owned(), Value::F64(self.candidate_reward)),
+            ("incumbent_reward".to_owned(), Value::F64(self.incumbent_reward)),
+            ("entropy_drift".to_owned(), Value::F64(self.entropy_drift)),
+            ("drift_bound".to_owned(), Value::F64(self.drift_bound)),
+            ("outcome".to_owned(), Value::Str(self.outcome.clone())),
+            ("kind".to_owned(), opt_str(&self.kind)),
+            ("reason".to_owned(), opt_str(&self.reason)),
+        ])
+    }
+
+    /// Parses an entry back from a ledger line's payload [`Value`].
+    /// Non-finite rewards serialize as JSON `null` and read back as NaN.
+    pub fn from_value(v: &Value) -> Option<Self> {
+        if v.get("schema").and_then(Value::as_str) != Some(LINEAGE_SCHEMA) {
+            return None;
+        }
+        let f64_or_nan = |key: &str| v.get(key).and_then(Value::as_f64).unwrap_or(f64::NAN);
+        Some(Self {
+            round: v.get("round").and_then(Value::as_u64)?,
+            parent_version: v.get("parent_version").and_then(Value::as_u64)?,
+            promoted_version: v.get("promoted_version").and_then(Value::as_u64),
+            served_version: v.get("served_version").and_then(Value::as_u64)?,
+            window_from: v.get("window_from").and_then(Value::as_u64)?,
+            revealed: v.get("revealed").and_then(Value::as_u64)?,
+            integrity_ok: v.get("integrity_ok").and_then(Value::as_bool)?,
+            candidate_reward: f64_or_nan("candidate_reward"),
+            incumbent_reward: f64_or_nan("incumbent_reward"),
+            entropy_drift: f64_or_nan("entropy_drift"),
+            drift_bound: f64_or_nan("drift_bound"),
+            outcome: v.get("outcome").and_then(Value::as_str)?.to_owned(),
+            kind: v.get("kind").and_then(Value::as_str).map(str::to_owned),
+            reason: v.get("reason").and_then(Value::as_str).map(str::to_owned),
+        })
+    }
+
+    /// Frames the entry as one CRC-protected ledger line (no newline).
+    pub fn to_line(&self) -> String {
+        frame_line(&self.to_value().to_json())
+    }
+
+    /// Appends the entry (plus newline) to the ledger at `path`,
+    /// creating the file if needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying IO error from open/write.
+    pub fn append(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let mut file = std::fs::OpenOptions::new().create(true).append(true).open(path.as_ref())?;
+        let mut line = self.to_line();
+        line.push('\n');
+        file.write_all(line.as_bytes())
+    }
+}
+
+/// Wraps a one-line JSON object payload in the CRC frame: the closing
+/// `}` is replaced by `,"crc":"XXXXXXXX"}` where the checksum covers the
+/// payload bytes exactly as written.
+fn frame_line(payload: &str) -> String {
+    debug_assert!(payload.starts_with('{') && payload.ends_with('}'));
+    let crc = crc32(payload.as_bytes());
+    format!("{},\"crc\":\"{crc:08x}\"}}", &payload[..payload.len() - 1])
+}
+
+/// Validates a ledger line's CRC frame and returns the reconstructed
+/// payload JSON, or `None` for torn/corrupt lines.
+fn unframe_line(line: &str) -> Option<String> {
+    if line.len() < FRAME_LEN + 2 || !line.ends_with("\"}") {
+        return None;
+    }
+    let split = line.len().checked_sub(FRAME_LEN)?;
+    if !line.is_char_boundary(split) {
+        return None;
+    }
+    let (head, frame) = line.split_at(split);
+    let hex = frame.strip_prefix(",\"crc\":\"")?.strip_suffix("\"}")?;
+    let recorded = u32::from_str_radix(hex, 16).ok()?;
+    let payload = format!("{head}}}");
+    (crc32(payload.as_bytes()) == recorded).then_some(payload)
+}
+
+/// A parsed ledger: intact entries in file order, plus the count of
+/// torn/corrupt lines the tolerant reader skipped.
+#[derive(Debug, Default)]
+pub struct LineageLog {
+    /// Entries whose CRC frame and schema both checked out.
+    pub entries: Vec<LineageEntry>,
+    /// Lines dropped (torn append, bitrot, foreign schema).
+    pub skipped: u64,
+}
+
+impl LineageLog {
+    /// Walks the ancestry of `version` back to the warmup root: the
+    /// entry that promoted it, then its parent's promotion, and so on.
+    /// Returns promoting entries newest-first; empty if `version` never
+    /// appears as a promotion.
+    pub fn ancestry(&self, version: u64) -> Vec<&LineageEntry> {
+        let mut chain = Vec::new();
+        let mut cursor = version;
+        while let Some(entry) =
+            self.entries.iter().rev().find(|e| e.promoted_version == Some(cursor))
+        {
+            chain.push(entry);
+            if entry.parent_version >= cursor || chain.len() > self.entries.len() {
+                break; // defensive: a corrupt ledger must not loop us
+            }
+            cursor = entry.parent_version;
+        }
+        chain
+    }
+}
+
+/// Reads a ledger tolerantly: every line whose CRC frame verifies and
+/// whose payload parses under [`LINEAGE_SCHEMA`] becomes an entry;
+/// everything else (torn final line, flipped bits, blank lines) is
+/// counted in `skipped`. A missing file reads as an empty ledger.
+///
+/// # Errors
+///
+/// Returns IO errors other than `NotFound`.
+pub fn read_ledger(path: impl AsRef<Path>) -> std::io::Result<LineageLog> {
+    let text = match std::fs::read_to_string(path.as_ref()) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(LineageLog::default()),
+        Err(e) => return Err(e),
+    };
+    let mut log = LineageLog::default();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        let entry = unframe_line(line)
+            .and_then(|payload| parse(&payload).ok())
+            .and_then(|v| LineageEntry::from_value(&v));
+        match entry {
+            Some(entry) => log.entries.push(entry),
+            None => log.skipped += 1,
+        }
+    }
+    Ok(log)
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+    use super::*;
+    use proptest::prelude::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("spikefolio-lineage-{}-{name}", std::process::id()));
+        p
+    }
+
+    fn entry(round: u64, promoted: Option<u64>) -> LineageEntry {
+        LineageEntry {
+            round,
+            parent_version: promoted.map_or(round + 1, |v| v - 1),
+            promoted_version: promoted,
+            served_version: promoted.unwrap_or(1),
+            window_from: round * 6,
+            revealed: 40 + round * 6,
+            integrity_ok: promoted.is_some(),
+            candidate_reward: 0.01 * round as f64,
+            incumbent_reward: -0.005,
+            entropy_drift: 0.125,
+            drift_bound: 0.75,
+            outcome: if promoted.is_some() { "promoted" } else { "quarantined" }.to_owned(),
+            kind: promoted.is_none().then(|| "integrity".to_owned()),
+            reason: promoted.is_none().then(|| "crc mismatch \"torn\"".to_owned()),
+        }
+    }
+
+    #[test]
+    fn entries_round_trip_through_the_frame() {
+        let path = tmp("roundtrip.jsonl");
+        std::fs::remove_file(&path).ok();
+        let a = entry(0, Some(2));
+        let b = entry(1, None);
+        a.append(&path).unwrap();
+        b.append(&path).unwrap();
+        let log = read_ledger(&path).unwrap();
+        assert_eq!(log.skipped, 0);
+        assert_eq!(log.entries, vec![a, b]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn nan_rewards_survive_as_nan() {
+        let mut e = entry(3, None);
+        e.candidate_reward = f64::NAN;
+        let payload = unframe_line(&e.to_line()).unwrap();
+        let back = LineageEntry::from_value(&parse(&payload).unwrap()).unwrap();
+        assert!(back.candidate_reward.is_nan());
+        assert_eq!(back.incumbent_reward, e.incumbent_reward);
+    }
+
+    #[test]
+    fn torn_tail_is_skipped_and_the_rest_survive() {
+        let path = tmp("torn.jsonl");
+        std::fs::remove_file(&path).ok();
+        entry(0, Some(2)).append(&path).unwrap();
+        entry(1, Some(3)).append(&path).unwrap();
+        // Simulate a crash mid-append: half a line, no newline.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let half = entry(2, None).to_line();
+        bytes.extend_from_slice(&half.as_bytes()[..half.len() / 2]);
+        std::fs::write(&path, &bytes).unwrap();
+        let log = read_ledger(&path).unwrap();
+        assert_eq!(log.entries.len(), 2);
+        assert_eq!(log.skipped, 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flipped_bit_fails_the_crc_not_the_reader() {
+        let line = entry(5, Some(4)).to_line();
+        let mut corrupt = line.clone().into_bytes();
+        // Flip a digit inside the payload (never the frame syntax).
+        let pos = line.find("\"round\":5").unwrap() + 9;
+        corrupt[pos - 1] = b'6';
+        let corrupt = String::from_utf8(corrupt).unwrap();
+        assert!(unframe_line(&line).is_some());
+        assert!(unframe_line(&corrupt).is_none());
+    }
+
+    #[test]
+    fn missing_ledger_reads_empty() {
+        let log = read_ledger(tmp("never-written.jsonl")).unwrap();
+        assert!(log.entries.is_empty());
+        assert_eq!(log.skipped, 0);
+    }
+
+    #[test]
+    fn ancestry_walks_promotions_newest_first() {
+        let log = LineageLog {
+            entries: vec![entry(0, Some(2)), entry(1, None), entry(2, Some(3)), entry(3, Some(4))],
+            skipped: 0,
+        };
+        let chain = log.ancestry(4);
+        assert_eq!(
+            chain.iter().map(|e| e.promoted_version).collect::<Vec<_>>(),
+            vec![Some(4), Some(3), Some(2)]
+        );
+        assert!(log.ancestry(9).is_empty());
+    }
+
+    proptest! {
+        // Torn-write safety: whatever byte prefix of a valid ledger a
+        // crash leaves behind, the reader recovers every entry whose
+        // final newline made it to disk and skips at most the one torn
+        // line — it never errors and never fabricates entries.
+        #[test]
+        fn any_truncation_point_loses_at_most_the_torn_line(
+            n_entries in 1usize..6,
+            cut_back in 0usize..200,
+        ) {
+            let lines: Vec<String> = (0..n_entries)
+                .map(|i| entry(i as u64, (i % 2 == 0).then(|| i as u64 + 2)).to_line())
+                .collect();
+            let mut bytes = Vec::new();
+            for line in &lines {
+                bytes.extend_from_slice(line.as_bytes());
+                bytes.push(b'\n');
+            }
+            let cut = bytes.len() - cut_back % bytes.len();
+            // Predict what survives: a line whose full payload made it to
+            // disk is intact (its newline is optional — `lines()` still
+            // yields it); a strict prefix is torn and must be skipped.
+            let (mut consumed, mut intact, mut torn) = (0usize, 0usize, 0u64);
+            for line in &lines {
+                if consumed >= cut {
+                    break;
+                }
+                if cut - consumed >= line.len() {
+                    intact += 1;
+                } else {
+                    torn = 1;
+                }
+                consumed += line.len() + 1;
+            }
+            let path = tmp(&format!("prop-{n_entries}-{cut_back}.jsonl"));
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            let log = read_ledger(&path).unwrap();
+            std::fs::remove_file(&path).ok();
+            prop_assert_eq!(log.entries.len(), intact);
+            prop_assert_eq!(log.skipped, torn);
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! The desk flight recorder: a bounded ring of structured events with a
+//! crash-safe, schema-versioned dump.
+//!
+//! Events are written through shared references (`&self`), so one
+//! [`FlightRecorder`] behind an [`Arc`] can be fed by the desk loop while
+//! the process panic hook holds a second handle for the crash dump. Each
+//! ring slot is an independent mutex, so a writer never blocks behind a
+//! dump for longer than one slot copy, and the dump itself observes a
+//! consistent per-slot snapshot in sequence order.
+
+use spikefolio_resilience::atomic_write;
+use spikefolio_resilience::hook::chain_panic_hook;
+use spikefolio_telemetry::value::Value;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Schema tag of the flight-recorder dump file.
+pub const BLACKBOX_SCHEMA: &str = "spikefolio.blackbox.v1";
+
+/// One structured event in the flight recorder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlackboxEvent {
+    /// Global sequence number (0-based, monotone across the run).
+    pub seq: u64,
+    /// Pipeline stage, e.g. `feed`, `fine_tune`, `gate/integrity`,
+    /// `swap`, `panic`.
+    pub stage: String,
+    /// Structured payload, preserved in insertion order.
+    pub fields: Vec<(String, Value)>,
+}
+
+impl BlackboxEvent {
+    /// The event as a JSON-ready [`Value`] map (`seq`, `stage`, then the
+    /// payload fields inline).
+    pub fn to_value(&self) -> Value {
+        let mut fields: Vec<(String, Value)> = Vec::with_capacity(2 + self.fields.len());
+        fields.push(("seq".to_owned(), Value::U64(self.seq)));
+        fields.push(("stage".to_owned(), Value::Str(self.stage.clone())));
+        fields.extend(self.fields.iter().cloned());
+        Value::Map(fields)
+    }
+}
+
+/// Bounded ring buffer of [`BlackboxEvent`]s with a crash-safe dump.
+///
+/// The ring holds the most recent `capacity` events; older events are
+/// overwritten and counted as `dropped` in the dump header. Recording is
+/// wait-free in the common case (one atomic fetch-add plus one
+/// uncontended slot lock) and observe-only: it never feeds back into the
+/// pipeline being recorded.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    slots: Vec<Mutex<Option<BlackboxEvent>>>,
+    seq: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        let mut slots = Vec::with_capacity(capacity);
+        for _ in 0..capacity {
+            slots.push(Mutex::new(None));
+        }
+        Self { slots, seq: AtomicU64::new(0) }
+    }
+
+    /// Ring capacity in events.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events recorded so far (including any overwritten ones).
+    pub fn seq_end(&self) -> u64 {
+        self.seq.load(Ordering::SeqCst)
+    }
+
+    /// Records one event; returns its sequence number.
+    pub fn record(&self, stage: &str, fields: Vec<(String, Value)>) -> u64 {
+        let seq = self.seq.fetch_add(1, Ordering::SeqCst);
+        let slot = (seq % self.slots.len() as u64) as usize;
+        let event = BlackboxEvent { seq, stage: stage.to_owned(), fields };
+        let mut guard = self.slots[slot].lock().unwrap_or_else(|e| e.into_inner());
+        // Only move forward: a slower writer that lost the slot race to a
+        // later (wrapped-around) event must not clobber it.
+        if guard.as_ref().is_none_or(|held| held.seq < seq) {
+            *guard = Some(event);
+        }
+        seq
+    }
+
+    /// The surviving events, oldest first.
+    pub fn snapshot(&self) -> Vec<BlackboxEvent> {
+        let mut events: Vec<BlackboxEvent> = self
+            .slots
+            .iter()
+            .filter_map(|slot| slot.lock().unwrap_or_else(|e| e.into_inner()).clone())
+            .collect();
+        events.sort_by_key(|e| e.seq);
+        events
+    }
+
+    /// The dump as a JSON-ready [`Value`]: schema tag, ring geometry,
+    /// drop count, and the ordered event tail.
+    pub fn to_value(&self) -> Value {
+        let events = self.snapshot();
+        let seq_end = self.seq_end();
+        let dropped = seq_end.saturating_sub(events.len() as u64);
+        Value::Map(vec![
+            ("schema".to_owned(), Value::Str(BLACKBOX_SCHEMA.to_owned())),
+            ("capacity".to_owned(), Value::U64(self.slots.len() as u64)),
+            ("seq_end".to_owned(), Value::U64(seq_end)),
+            ("dropped".to_owned(), Value::U64(dropped)),
+            (
+                "events".to_owned(),
+                Value::List(events.iter().map(BlackboxEvent::to_value).collect()),
+            ),
+        ])
+    }
+
+    /// Writes the dump atomically (temp file + fsync + rename), so a
+    /// crash during the dump itself can never leave a torn file.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying IO error from the atomic write.
+    pub fn dump(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        atomic_write(path, self.to_value().to_json().as_bytes())
+    }
+}
+
+/// Installs a chained panic hook that records the panic as a final
+/// `panic` event (message + source location) and flushes the recorder to
+/// `path` before the previous hook runs.
+///
+/// The previous hook (usually the default backtrace printer) still runs,
+/// so panics stay visible on stderr; the dump is best-effort — a failing
+/// disk cannot turn a panic into an abort.
+pub fn install_panic_dump(recorder: Arc<FlightRecorder>, path: PathBuf) {
+    chain_panic_hook(move |message, location| {
+        let mut fields = vec![("message".to_owned(), Value::Str(message.to_owned()))];
+        if let Some(location) = location {
+            fields.push(("location".to_owned(), Value::Str(location.to_owned())));
+        }
+        recorder.record("panic", fields);
+        let _ = recorder.dump(&path);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+    use super::*;
+    use spikefolio_telemetry::value::parse;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("spikefolio-blackbox-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn ring_keeps_the_ordered_tail_and_counts_drops() {
+        let rec = FlightRecorder::new(4);
+        for i in 0..10u64 {
+            rec.record("feed", vec![("round".to_owned(), Value::U64(i))]);
+        }
+        let events = rec.snapshot();
+        assert_eq!(events.len(), 4);
+        assert_eq!(events.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![6, 7, 8, 9]);
+        let v = rec.to_value();
+        assert_eq!(v.get("schema").and_then(Value::as_str), Some(BLACKBOX_SCHEMA));
+        assert_eq!(v.get("seq_end").and_then(Value::as_u64), Some(10));
+        assert_eq!(v.get("dropped").and_then(Value::as_u64), Some(6));
+    }
+
+    #[test]
+    fn dump_round_trips_through_json() {
+        let rec = FlightRecorder::new(8);
+        rec.record("fine_tune", vec![("round".to_owned(), Value::U64(2))]);
+        rec.record("gate/reward", vec![("margin".to_owned(), Value::F64(0.25))]);
+        let path = tmp("dump.json");
+        rec.dump(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let v = parse(&text).expect("dump is valid JSON");
+        assert_eq!(v.get("schema").and_then(Value::as_str), Some(BLACKBOX_SCHEMA));
+        let events = v.get("events").and_then(Value::as_list).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[1].get("stage").and_then(Value::as_str), Some("gate/reward"));
+        assert_eq!(events[1].get("margin").and_then(Value::as_f64), Some(0.25));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn concurrent_writers_never_lose_sequence_order() {
+        let rec = Arc::new(FlightRecorder::new(64));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let rec = Arc::clone(&rec);
+                std::thread::spawn(move || {
+                    for i in 0..32u64 {
+                        rec.record("stage", vec![("t".to_owned(), Value::U64(t * 100 + i))]);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(rec.seq_end(), 128);
+        let events = rec.snapshot();
+        assert_eq!(events.len(), 64);
+        // The surviving tail is exactly the last `capacity` sequence
+        // numbers, strictly increasing.
+        for pair in events.windows(2) {
+            assert!(pair[0].seq < pair[1].seq);
+        }
+        assert_eq!(events[0].seq, 64);
+        assert_eq!(events[63].seq, 127);
+    }
+}

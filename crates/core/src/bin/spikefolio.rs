@@ -17,6 +17,7 @@
 //!                  [--queue N] [--workers N] [--deterministic] [--telemetry RUN.jsonl]
 //!                  [--trace TRACE.json] [--trace-sample N] [--slo-us N]
 //! spikefolio serve-top --addr HOST:PORT [--interval-ms N] [--iterations N] [--raw] [--prom]
+//!                      [--lineage LEDGER.jsonl]
 //! spikefolio loadgen --smoke [--checkpoint CKPT] [--seed N]
 //! spikefolio loadgen --addr HOST:PORT [--requests N] [--concurrency N] [--open-rps R]
 //!                    [--seed N] [--deadline-ms N] [--check-determinism] [--out REPORT.json]
@@ -27,6 +28,11 @@
 //!                      [--window N] [--epochs N] [--val-fraction F] [--drift-threshold F]
 //!                      [--faults SPEC] [--dir DIR] [--csv FEED.csv] [--backend float|loihi]
 //!                      [--out REPORT.json] [--telemetry RUN.jsonl]
+//!                      [--blackbox DUMP.json] [--lineage LEDGER.jsonl] [--status STATUS.json]
+//! spikefolio desk triage --dir DIR [--round N] [--full] [--json]
+//! spikefolio desk-top --status STATUS.json [--interval-ms N] [--iterations N] [--raw]
+//! spikefolio lineage LEDGER.jsonl [--json] [--version N]
+//! spikefolio profile merge --out TRACE.json A.json B.json [...]
 //! ```
 //!
 //! Unrecognized flags are rejected with an error rather than silently
@@ -44,7 +50,10 @@ use spikefolio::serving::{
     BackendKind, ServeRunOptions, ServeTopOptions,
 };
 use spikefolio::telemetry_report::{empty_run_message, format_run_summary};
-use spikefolio::{parse_fault_spec, run_desk, DeskOptions, SdpConfig};
+use spikefolio::{
+    lineage_json, parse_fault_spec, render_ancestry, render_lineage_ledger, run_desk, run_desk_top,
+    run_triage, DeskOptions, DeskTopOptions, SdpConfig, TriageOptions,
+};
 use spikefolio_market::experiments::ExperimentPreset;
 use spikefolio_market::stats::market_stats;
 use spikefolio_serve::{run_loadgen, LoadgenOptions, ServiceConfig};
@@ -180,7 +189,11 @@ fn usage() -> ! {
            serve        serve a checkpoint over NDJSON/TCP (--checkpoint CKPT)\n  \
            serve-top    live metrics dashboard for a running server (--addr HOST:PORT)\n  \
            loadgen      drive a server: --smoke | --addr HOST:PORT | --self-bench\n  \
-           live-desk    continuous-learning loop: train, gate, hot-swap (--faults SPEC)\n\
+           live-desk    continuous-learning loop: train, gate, hot-swap (--faults SPEC)\n  \
+           desk triage  replay a quarantined candidate's gate bitwise (--dir DIR)\n  \
+           desk-top     live desk dashboard from a status file (--status PATH)\n  \
+           lineage <LEDGER.jsonl>            render the model lineage ledger\n  \
+           profile merge --out T.json A B    merge chrome traces onto one timeline\n\
          flags: --full | --smoke | --seed N | --out DIR | --telemetry RUN.jsonl\n        \
                 --trace TRACE.json (profile) | --guard (fault-guarded SDP training)\n        \
                 --sanitize (market data sanitizer)"
@@ -273,8 +286,10 @@ const SERVE_FLAGS: FlagSpec = FlagSpec {
     ],
     boolean: &["--full", "--smoke", "--deterministic"],
 };
-const SERVE_TOP_FLAGS: FlagSpec =
-    FlagSpec { value: &["--addr", "--interval-ms", "--iterations"], boolean: &["--raw", "--prom"] };
+const SERVE_TOP_FLAGS: FlagSpec = FlagSpec {
+    value: &["--addr", "--interval-ms", "--iterations", "--lineage"],
+    boolean: &["--raw", "--prom"],
+};
 const LOADGEN_FLAGS: FlagSpec = FlagSpec {
     value: &[
         "--checkpoint",
@@ -308,11 +323,19 @@ const LIVE_DESK_FLAGS: FlagSpec = FlagSpec {
         "--backend",
         "--out",
         "--telemetry",
+        "--blackbox",
+        "--lineage",
+        "--status",
     ],
     boolean: &["--full"],
 };
 const CHECKPOINT_FLAGS: FlagSpec =
     FlagSpec { value: &["--seed", "--assets"], boolean: &["--full", "--smoke"] };
+const TRIAGE_FLAGS: FlagSpec =
+    FlagSpec { value: &["--dir", "--round"], boolean: &["--full", "--json"] };
+const DESK_TOP_FLAGS: FlagSpec =
+    FlagSpec { value: &["--status", "--interval-ms", "--iterations"], boolean: &["--raw"] };
+const LINEAGE_FLAGS: FlagSpec = FlagSpec { value: &["--version"], boolean: &["--json"] };
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -421,6 +444,53 @@ fn main() {
                 return;
             }
             print!("{}", format_run_summary(&summary));
+        }
+        "profile" if args.get(1).map(String::as_str) == Some("merge") => {
+            // `profile merge --out T.json A.json B.json ...` takes
+            // positional trace paths, so it parses its own arguments
+            // instead of going through FlagSpec.
+            let a = &args[2..];
+            let mut out: Option<&str> = None;
+            let mut inputs: Vec<&str> = Vec::new();
+            let mut i = 0;
+            while i < a.len() {
+                match a[i].as_str() {
+                    "--out" => match a.get(i + 1) {
+                        Some(v) if !v.starts_with("--") => {
+                            out = Some(v);
+                            i += 2;
+                        }
+                        _ => fail("flag '--out' requires a value"),
+                    },
+                    s if s.starts_with("--") => fail(&format!("unrecognized flag '{s}'")),
+                    s => {
+                        inputs.push(s);
+                        i += 1;
+                    }
+                }
+            }
+            let Some(out) = out else { fail("profile merge requires --out TRACE.json") };
+            if inputs.len() < 2 {
+                fail("profile merge expects at least two input trace files");
+            }
+            let docs: Vec<(String, String)> = inputs
+                .iter()
+                .map(|p| {
+                    let text = std::fs::read_to_string(p)
+                        .unwrap_or_else(|e| fail(&format!("cannot read trace '{p}': {e}")));
+                    let label = std::path::Path::new(p)
+                        .file_stem()
+                        .map(|s| s.to_string_lossy().into_owned())
+                        .unwrap_or_else(|| (*p).to_owned());
+                    (label, text)
+                })
+                .collect();
+            let mut merged =
+                spikefolio_profile::merge_chrome_traces(&docs).unwrap_or_else(|e| fail(&e));
+            merged.push('\n');
+            std::fs::write(out, merged)
+                .unwrap_or_else(|e| fail(&format!("cannot write trace '{out}': {e}")));
+            println!("merged {} traces into {out} (load in Perfetto)", inputs.len());
         }
         "profile" => {
             PROFILE_FLAGS.check(&args[1..]);
@@ -555,6 +625,7 @@ fn main() {
                 iterations: parsed_flag(a, "--iterations", 0usize),
                 raw: has_flag(a, "--raw"),
                 prometheus: has_flag(a, "--prom"),
+                lineage: flag_value(a, "--lineage").map(str::to_owned),
             };
             run_serve_top(&opts).unwrap_or_else(|e| fail(&e));
         }
@@ -652,12 +723,96 @@ fn main() {
                 }
             }
         }
+        "desk" => match args.get(1).map(String::as_str) {
+            Some("triage") => {
+                TRIAGE_FLAGS.check(&args[2..]);
+                let a = &args[2..];
+                let Some(dir) = flag_value(a, "--dir") else {
+                    fail("desk triage requires --dir DIR (the live-desk working directory)");
+                };
+                let opts = TriageOptions {
+                    config: serve_config(a),
+                    dir: std::path::PathBuf::from(dir),
+                    round: flag_value(a, "--round").map(|s| {
+                        s.parse().unwrap_or_else(|_| {
+                            fail(&format!("--round expects an integer, got '{s}'"))
+                        })
+                    }),
+                };
+                let report = run_triage(&opts).unwrap_or_else(|e| fail(&e));
+                if has_flag(a, "--json") {
+                    println!("{}", report.to_value().to_json());
+                } else {
+                    print!("{}", report.render());
+                }
+                if !report.reproduced() {
+                    std::process::exit(1);
+                }
+            }
+            Some(other) => fail(&format!("unknown desk subcommand '{other}'")),
+            None => usage(),
+        },
+        "desk-top" => {
+            DESK_TOP_FLAGS.check(&args[1..]);
+            let a = &args[1..];
+            let Some(status) = flag_value(a, "--status") else {
+                fail("desk-top requires --status PATH (the desk's status file)");
+            };
+            let opts = DeskTopOptions {
+                path: std::path::PathBuf::from(status),
+                interval_ms: parsed_flag(a, "--interval-ms", 1000u64),
+                iterations: parsed_flag(a, "--iterations", 0usize),
+                raw: has_flag(a, "--raw"),
+            };
+            run_desk_top(&opts).unwrap_or_else(|e| fail(&e));
+        }
+        "lineage" => {
+            let Some(path) = args.get(1) else {
+                fail("lineage expects a ledger path");
+            };
+            if path.starts_with("--") {
+                fail("lineage expects the ledger path first, then flags");
+            }
+            LINEAGE_FLAGS.check(&args[2..]);
+            let a = &args[2..];
+            let log = spikefolio_blackbox::read_ledger(path)
+                .unwrap_or_else(|e| fail(&format!("cannot read ledger '{path}': {e}")));
+            if let Some(v) = flag_value(a, "--version") {
+                let version: u64 = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("--version expects an integer, got '{v}'")));
+                let chain = render_ancestry(&log, version);
+                if chain.is_empty() {
+                    println!("v{version} has no promotion trail in {path}");
+                } else {
+                    println!("{chain}");
+                }
+            } else if has_flag(a, "--json") {
+                println!("{}", lineage_json(&log));
+            } else {
+                print!("{}", render_lineage_ledger(&log));
+            }
+        }
         "live-desk" => {
             LIVE_DESK_FLAGS.check(&args[1..]);
             let a = &args[1..];
             let dir =
                 std::path::PathBuf::from(flag_value(a, "--dir").unwrap_or("target/live-desk"));
+            // The observability sidecar is on by default, filed under the
+            // desk directory; flags repoint the individual outputs.
+            let blackbox = flag_value(a, "--blackbox")
+                .map(std::path::PathBuf::from)
+                .unwrap_or_else(|| dir.join("blackbox.json"));
+            let lineage = flag_value(a, "--lineage")
+                .map(std::path::PathBuf::from)
+                .unwrap_or_else(|| dir.join("lineage.jsonl"));
+            let status = flag_value(a, "--status")
+                .map(std::path::PathBuf::from)
+                .unwrap_or_else(|| dir.join("desk-top.json"));
             let mut opts = DeskOptions::smoke(dir);
+            opts.blackbox = Some(blackbox);
+            opts.lineage = Some(lineage);
+            opts.status = Some(status);
             if has_flag(a, "--full") {
                 opts.config = SdpConfig::paper();
                 opts.config.training.parallelism = num_threads();

@@ -34,9 +34,12 @@
 //! weights** to a fault-free run of the same seed — asserted by
 //! `tests/live_desk.rs` via [`DeskReport::final_weights_crc`].
 
+use std::collections::BTreeMap;
 use std::path::PathBuf;
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
+use spikefolio_blackbox::{install_panic_dump, FlightRecorder, LineageEntry};
 use spikefolio_env::Backtester;
 use spikefolio_market::experiments::ExperimentPreset;
 use spikefolio_market::{Candle, CsvTail, Date, MarketData};
@@ -100,6 +103,17 @@ pub struct DeskOptions {
     /// Base of the capped exponential backoff between feed polls,
     /// milliseconds (`0` disables sleeping — used by tests).
     pub backoff_base_ms: u64,
+    /// Flight-recorder dump path. `Some` arms the blackbox: pipeline
+    /// events are ring-buffered and flushed here atomically on panic (a
+    /// chained process hook), on every faulted round, and at run end.
+    pub blackbox: Option<PathBuf>,
+    /// Lineage-ledger path (`spikefolio.lineage.v1` JSONL, CRC-framed
+    /// per line). `Some` appends one entry per completed round.
+    pub lineage: Option<PathBuf>,
+    /// Desk-top status-file path. `Some` atomically rewrites a
+    /// `spikefolio.deskstatus.v1` snapshot after every round, which the
+    /// `desk-top` dashboard polls.
+    pub status: Option<PathBuf>,
 }
 
 impl DeskOptions {
@@ -123,6 +137,9 @@ impl DeskOptions {
             csv: None,
             max_stall_polls: 8,
             backoff_base_ms: 0,
+            blackbox: None,
+            lineage: None,
+            status: None,
         }
     }
 }
@@ -354,6 +371,16 @@ impl Feed {
                     if let Some(data) = tail.poll().map_err(|e| format!("feed: {e}"))? {
                         *last = Some(data);
                     }
+                    for warning in tail.take_warnings() {
+                        rec.counter(labels::COUNTER_DESK_FEED_WARNINGS, 1);
+                        if rec.enabled() {
+                            rec.emit(
+                                Record::new("desk_feed_warning")
+                                    .field("kind", warning.kind())
+                                    .field("line", warning.line()),
+                            );
+                        }
+                    }
                     if let Some(data) = last {
                         if data.num_periods() >= target {
                             return Ok(Some(data.clone()));
@@ -385,7 +412,7 @@ fn sleep_backoff(base_ms: u64, k: u32) {
 /// history so its first decision has a full state. Returns
 /// `(fit, val, val_from)` — `val_from` lets callers re-extract a
 /// pristine validation slice after detecting poisoned data.
-fn fit_val_split(
+pub(crate) fn fit_val_split(
     window: &MarketData,
     val_fraction: f64,
     min_period: usize,
@@ -400,7 +427,7 @@ fn fit_val_split(
 /// backtest. Evaluates a clone, so the agent under test is never
 /// perturbed — promotions depend only on training, not on how often the
 /// gate looked.
-fn out_of_sample_reward(trainer: &Trainer, agent: &SdpAgent, val: &MarketData) -> f64 {
+pub(crate) fn out_of_sample_reward(trainer: &Trainer, agent: &SdpAgent, val: &MarketData) -> f64 {
     let mut probe = agent.clone();
     Backtester::new(trainer.config().backtest).run(&mut probe, val).metrics.mean_log_return
 }
@@ -424,7 +451,7 @@ fn market_is_finite(m: &MarketData) -> bool {
 /// baseline ([`probe_baseline`]) run against a float backend built from
 /// the agent's network. Both sides of the drift gate use the float
 /// probe, so the gate measures the *policy*, not quantization noise.
-fn policy_entropy(agent: &SdpAgent) -> f64 {
+pub(crate) fn policy_entropy(agent: &SdpAgent) -> f64 {
     let backend = FloatPolicyBackend::new(agent.network.clone(), *agent.state_builder());
     probe_baseline(&backend, &HealthConfig::default(), 0).entropy
 }
@@ -443,13 +470,16 @@ fn fault_label(kind: PipelineFaultKind) -> String {
         PipelineFaultKind::ValData => "val".to_string(),
         PipelineFaultKind::SwapIo => "swapio".to_string(),
         PipelineFaultKind::FeedStall(k) => format!("stall x{k}"),
+        PipelineFaultKind::Crash => "crash".to_string(),
     }
 }
 
 /// Parses a fault-schedule spec into a [`FaultPlan`] of pipeline
 /// faults: comma-separated `<kind>@<round>` tokens where kind is one of
-/// `nan`, `panic`, `corrupt`, `val`, `swapio`, or `stall` (optionally
-/// `stall@<round>x<ticks>`). Example: `"corrupt@1,nan@2,swapio@3"`.
+/// `nan`, `panic`, `corrupt`, `val`, `swapio`, `crash`, or `stall`
+/// (optionally `stall@<round>x<ticks>`). `crash` panics the whole desk
+/// process mid-round — it has no recovery path and exists to exercise
+/// the flight recorder's crash dump. Example: `"corrupt@1,nan@2,swapio@3"`.
 ///
 /// # Errors
 ///
@@ -465,6 +495,7 @@ pub fn parse_fault_spec(spec: &str, seed: u64) -> Result<FaultPlan, String> {
             "corrupt" => (at, PipelineFaultKind::CorruptCandidate),
             "val" => (at, PipelineFaultKind::ValData),
             "swapio" => (at, PipelineFaultKind::SwapIo),
+            "crash" => (at, PipelineFaultKind::Crash),
             "stall" => match at.split_once('x') {
                 Some((r, ticks)) => {
                     let t: u32 = ticks
@@ -477,7 +508,7 @@ pub fn parse_fault_spec(spec: &str, seed: u64) -> Result<FaultPlan, String> {
             other => {
                 return Err(format!(
                     "fault {tok:?}: unknown kind {other:?} \
-                     (expected nan|panic|corrupt|val|swapio|stall)"
+                     (expected nan|panic|corrupt|val|swapio|crash|stall)"
                 ))
             }
         };
@@ -511,20 +542,152 @@ struct DeskPaths {
     quarantine_dir: PathBuf,
 }
 
+/// Schema tag of the desk-top status file ([`DeskOptions::status`]).
+pub const DESK_STATUS_SCHEMA: &str = "spikefolio.deskstatus.v1";
+
+/// Schema tag of the per-quarantine triage manifest written next to
+/// every quarantined checkpoint.
+pub const TRIAGE_MANIFEST_SCHEMA: &str = "spikefolio.triage.v1";
+
+/// The desk's observability sidecar: flight recorder, lineage ledger,
+/// and desk-top status file. Everything here is observe-only and
+/// best-effort — a failing disk degrades the evidence, never the desk.
+struct Observatory {
+    flight: Option<(Arc<FlightRecorder>, PathBuf)>,
+    lineage: Option<PathBuf>,
+    status: Option<PathBuf>,
+    seed: u64,
+    rounds_total: usize,
+    /// Quarantine tally by typed reason, for the status file.
+    quarantines_by_kind: BTreeMap<String, u64>,
+    /// Per-round `(reward margin, entropy drift)` history for the
+    /// desk-top sparklines (NaN margin = round never reached the gate).
+    margins: Vec<(f64, f64)>,
+    /// Monotone status-file revision, so pollers can detect staleness.
+    status_seq: u64,
+}
+
+impl Observatory {
+    fn new(opts: &DeskOptions) -> Self {
+        Self {
+            flight: opts
+                .blackbox
+                .as_ref()
+                .map(|path| (Arc::new(FlightRecorder::new(256)), path.clone())),
+            lineage: opts.lineage.clone(),
+            status: opts.status.clone(),
+            seed: opts.seed,
+            rounds_total: opts.rounds,
+            quarantines_by_kind: BTreeMap::new(),
+            margins: Vec::new(),
+            status_seq: 0,
+        }
+    }
+
+    /// Records one flight-recorder event (no-op when the blackbox is
+    /// unarmed).
+    fn event(&self, stage: &str, fields: Vec<(String, Value)>) {
+        if let Some((flight, _)) = &self.flight {
+            flight.record(stage, fields);
+        }
+    }
+
+    /// Flushes the flight recorder to its dump path, best-effort.
+    fn dump(&self) {
+        if let Some((flight, path)) = &self.flight {
+            let _ = flight.dump(path);
+        }
+    }
+
+    /// Appends one lineage entry, best-effort.
+    fn lineage_append(&self, entry: &LineageEntry) {
+        if let Some(path) = &self.lineage {
+            let _ = entry.append(path);
+        }
+    }
+
+    /// Atomically rewrites the desk-top status snapshot, best-effort.
+    fn write_status(&mut self, report: &DeskReport, served_version: u64, done: bool) {
+        let Some(path) = &self.status else { return };
+        self.status_seq += 1;
+        let last = report.rounds.last();
+        let by_kind =
+            self.quarantines_by_kind.iter().map(|(k, &n)| (k.clone(), Value::U64(n))).collect();
+        let margins = self
+            .margins
+            .iter()
+            .map(|&(m, d)| Value::List(vec![Value::F64(m), Value::F64(d)]))
+            .collect();
+        let v = Value::Map(vec![
+            ("schema".to_string(), Value::Str(DESK_STATUS_SCHEMA.to_string())),
+            ("seq".to_string(), Value::U64(self.status_seq)),
+            ("seed".to_string(), Value::U64(self.seed)),
+            ("rounds_total".to_string(), Value::U64(self.rounds_total as u64)),
+            ("rounds_done".to_string(), Value::U64(report.rounds.len() as u64)),
+            ("done".to_string(), Value::Bool(done)),
+            ("served_version".to_string(), Value::U64(served_version)),
+            ("promotions".to_string(), Value::U64(report.promotions)),
+            ("quarantines".to_string(), Value::U64(report.quarantines)),
+            ("quarantines_by_kind".to_string(), Value::Map(by_kind)),
+            ("recoveries".to_string(), Value::U64(report.recoveries)),
+            ("feed_stalls".to_string(), Value::U64(report.feed_stalls)),
+            ("degraded".to_string(), Value::Bool(report.degraded)),
+            ("last_round".to_string(), last.map_or(Value::Null, |r| Value::U64(r.round as u64))),
+            (
+                "last_outcome".to_string(),
+                last.map_or(Value::Null, |r| Value::Str(r.outcome.clone())),
+            ),
+            (
+                "last_revealed".to_string(),
+                last.map_or(Value::Null, |r| Value::U64(r.revealed as u64)),
+            ),
+            (
+                "last_candidate_reward".to_string(),
+                last.map_or(Value::Null, |r| Value::F64(r.candidate_reward)),
+            ),
+            (
+                "last_incumbent_reward".to_string(),
+                last.map_or(Value::Null, |r| Value::F64(r.incumbent_reward)),
+            ),
+            ("last_drift".to_string(), last.map_or(Value::Null, |r| Value::F64(r.entropy_drift))),
+            ("margins".to_string(), Value::List(margins)),
+        ]);
+        let _ = spikefolio_resilience::atomic_write(path, v.to_json().as_bytes());
+    }
+}
+
 /// Identity of one round for the record helper.
 struct RoundInfo {
     round: usize,
     revealed: usize,
     faults: Vec<String>,
+    /// Store version of the incumbent the round fine-tuned from.
+    parent_version: u64,
+    /// First period index of this round's training window.
+    window_from: usize,
+    /// Asset count of the feed (for the triage manifest).
+    num_assets: usize,
+    /// Fine-tune wall seconds (0 when the round never trained).
+    fine_tune_wall_s: f64,
+    /// When the round started, for the whole-round trace span.
+    started: Instant,
 }
 
-/// Gate-side numbers of a finished round.
+/// Gate-side numbers of a finished round, plus which stages actually
+/// ran — the triage manifest records this so a replay knows what is
+/// reproducible and what was never computed.
 struct GateNumbers {
     candidate_reward: f64,
     incumbent_reward: f64,
     entropy_drift: f64,
     recoveries: u64,
     degraded: bool,
+    /// Integrity probe result; `None` = the probe never ran.
+    integrity: Option<bool>,
+    /// Whether the out-of-sample rewards were computed.
+    reward_evaluated: bool,
+    /// Whether the entropy-drift stage ran.
+    drift_evaluated: bool,
 }
 
 /// How a round ended (the stalled case is handled at the feed).
@@ -534,28 +697,99 @@ enum RoundDecision {
     SwapFailed(GateNumbers),
 }
 
+/// Read-only round context shared by the record helper.
+struct DeskCtx<'a> {
+    store: &'a ModelStore,
+    paths: &'a DeskPaths,
+    opts: &'a DeskOptions,
+}
+
+/// Writes the `spikefolio.triage.v1` manifest next to a quarantined
+/// checkpoint: everything `desk triage` needs to bitwise-replay the
+/// gate (feed geometry, gate knobs, and the recorded numbers both as
+/// floats and as raw f64 bits), plus the incumbent bytes it was judged
+/// against. Best-effort — forensics must never fail the desk.
+fn write_triage_manifest(
+    ctx: &DeskCtx,
+    info: &RoundInfo,
+    kind: &str,
+    reason: &str,
+    g: &GateNumbers,
+) {
+    let opts = ctx.opts;
+    let stem = format!("round-{}-{kind}", info.round);
+    let incumbent_name = format!("{stem}.incumbent.ckpt");
+    // The serving checkpoint is exactly the incumbent's bytes (it only
+    // changes on promotion); snapshot it before later rounds advance it.
+    let _ = std::fs::copy(&ctx.paths.serving, ctx.paths.quarantine_dir.join(&incumbent_name));
+    let bits = |x: f64| Value::U64(x.to_bits());
+    let v = Value::Map(vec![
+        ("schema".to_string(), Value::Str(TRIAGE_MANIFEST_SCHEMA.to_string())),
+        ("seed".to_string(), Value::U64(opts.seed)),
+        ("round".to_string(), Value::U64(info.round as u64)),
+        ("kind".to_string(), Value::Str(kind.to_string())),
+        ("reason".to_string(), Value::Str(reason.to_string())),
+        ("revealed".to_string(), Value::U64(info.revealed as u64)),
+        ("window_from".to_string(), Value::U64(info.window_from as u64)),
+        ("num_assets".to_string(), Value::U64(info.num_assets as u64)),
+        (
+            "feed_periods".to_string(),
+            Value::U64((opts.warmup + opts.rounds * opts.reveal_per_round) as u64),
+        ),
+        ("val_fraction".to_string(), Value::F64(opts.val_fraction)),
+        ("drift_threshold".to_string(), Value::F64(opts.drift_threshold)),
+        (
+            "csv".to_string(),
+            opts.csv.as_ref().map_or(Value::Null, |p| Value::Str(p.to_string_lossy().into_owned())),
+        ),
+        (
+            "integrity".to_string(),
+            g.integrity
+                .map_or(Value::Null, |ok| Value::Str(if ok { "pass" } else { "fail" }.to_string())),
+        ),
+        ("reward_evaluated".to_string(), Value::Bool(g.reward_evaluated)),
+        ("drift_evaluated".to_string(), Value::Bool(g.drift_evaluated)),
+        ("candidate_reward".to_string(), Value::F64(g.candidate_reward)),
+        ("candidate_reward_bits".to_string(), bits(g.candidate_reward)),
+        ("incumbent_reward".to_string(), Value::F64(g.incumbent_reward)),
+        ("incumbent_reward_bits".to_string(), bits(g.incumbent_reward)),
+        ("entropy_drift".to_string(), Value::F64(g.entropy_drift)),
+        ("entropy_drift_bits".to_string(), bits(g.entropy_drift)),
+        ("candidate_ckpt".to_string(), Value::Str(format!("{stem}.ckpt"))),
+        ("incumbent_ckpt".to_string(), Value::Str(incumbent_name)),
+    ]);
+    let _ = spikefolio_resilience::atomic_write(
+        ctx.paths.quarantine_dir.join(format!("{stem}.json")),
+        v.to_json().as_bytes(),
+    );
+}
+
 /// Books a finished round: quarantine side effects (forensic copy,
-/// store rejection, counters), the `desk_round` telemetry record, the
-/// report row, and the rolling degraded/recovery totals.
+/// triage manifest, store rejection, counters), the `desk_round`
+/// telemetry record and trace spans, the lineage-ledger entry, the
+/// desk-top status snapshot, the report row, and the rolling
+/// degraded/recovery totals.
 fn finish_round(
     report: &mut DeskReport,
-    store: &ModelStore,
     rec: &mut dyn Recorder,
-    paths: &DeskPaths,
+    obs: &mut Observatory,
+    ctx: &DeskCtx,
     info: RoundInfo,
     decision: RoundDecision,
 ) {
-    let (outcome, serving_reward, g) = match decision {
-        RoundDecision::Promoted(g) => ("promoted".to_string(), g.candidate_reward, g),
+    let (outcome, quarantine, serving_reward, g) = match decision {
+        RoundDecision::Promoted(g) => ("promoted".to_string(), None, g.candidate_reward, g),
         RoundDecision::Quarantined { kind, reason, g } => {
-            let qpath = paths.quarantine_dir.join(format!("round-{}-{kind}.ckpt", info.round));
+            let qpath = ctx.paths.quarantine_dir.join(format!("round-{}-{kind}.ckpt", info.round));
             // Keep the rejected bytes for forensics; a missing candidate
             // file (trainer abort) is fine.
-            let _ = std::fs::copy(&paths.candidate, &qpath);
-            store.record_rejection(kind, &reason);
+            let _ = std::fs::copy(&ctx.paths.candidate, &qpath);
+            write_triage_manifest(ctx, &info, kind, &reason, &g);
+            ctx.store.record_rejection(kind, &reason);
             rec.counter(labels::COUNTER_SERVE_SWAP_REJECTED, 1);
             rec.counter(labels::COUNTER_DESK_QUARANTINES, 1);
             report.quarantines += 1;
+            *obs.quarantines_by_kind.entry(kind.to_string()).or_insert(0) += 1;
             if rec.enabled() {
                 rec.emit(
                     Record::new("desk_quarantine")
@@ -564,12 +798,14 @@ fn finish_round(
                         .field("reason", reason.as_str()),
                 );
             }
-            (format!("rejected:{kind}"), g.incumbent_reward, g)
+            (format!("rejected:{kind}"), Some((kind, reason)), g.incumbent_reward, g)
         }
-        RoundDecision::SwapFailed(g) => ("swap_failed".to_string(), g.incumbent_reward, g),
+        RoundDecision::SwapFailed(g) => ("swap_failed".to_string(), None, g.incumbent_reward, g),
     };
-    let served_version = store.version();
+    let served_version = ctx.store.version();
     if rec.enabled() {
+        rec.span(&format!("desk/round/{:03}/fine_tune", info.round), info.fine_tune_wall_s);
+        rec.span(&format!("desk/round/{:03}", info.round), info.started.elapsed().as_secs_f64());
         rec.emit(
             Record::new("desk_round")
                 .field("round", info.round as u64)
@@ -580,9 +816,46 @@ fn finish_round(
                 .field("candidate_reward", g.candidate_reward)
                 .field("serving_reward", serving_reward)
                 .field("recoveries", g.recoveries)
-                .field("degraded", g.degraded),
+                .field("degraded", g.degraded)
+                .field("wall_s", info.fine_tune_wall_s),
         );
     }
+    obs.event(
+        "round/outcome",
+        vec![
+            ("round".to_string(), Value::U64(info.round as u64)),
+            ("outcome".to_string(), Value::Str(outcome.clone())),
+            ("served_version".to_string(), Value::U64(served_version)),
+            ("candidate_reward".to_string(), Value::F64(g.candidate_reward)),
+            ("incumbent_reward".to_string(), Value::F64(g.incumbent_reward)),
+            ("entropy_drift".to_string(), Value::F64(g.entropy_drift)),
+        ],
+    );
+    let (kind, reason) = match &quarantine {
+        Some((kind, reason)) => (Some((*kind).to_string()), Some(reason.clone())),
+        None => (None, None),
+    };
+    obs.lineage_append(&LineageEntry {
+        round: info.round as u64,
+        parent_version: info.parent_version,
+        promoted_version: (outcome == "promoted").then_some(served_version),
+        served_version,
+        window_from: info.window_from as u64,
+        revealed: info.revealed as u64,
+        integrity_ok: g.integrity.unwrap_or(false),
+        candidate_reward: g.candidate_reward,
+        incumbent_reward: g.incumbent_reward,
+        entropy_drift: g.entropy_drift,
+        drift_bound: ctx.opts.drift_threshold,
+        outcome: match outcome.as_str() {
+            "promoted" => "promoted".to_string(),
+            "swap_failed" => "swap_failed".to_string(),
+            _ => "quarantined".to_string(),
+        },
+        kind,
+        reason,
+    });
+    obs.margins.push((g.candidate_reward - g.incumbent_reward, g.entropy_drift));
     report.rounds.push(RoundRecord {
         round: info.round,
         revealed: info.revealed,
@@ -598,6 +871,12 @@ fn finish_round(
     });
     report.degraded = g.degraded;
     report.recoveries += g.recoveries;
+    obs.write_status(report, served_version, false);
+    if quarantine.is_some() || g.recoveries > 0 {
+        // A faulted round is a dump trigger: flush the evidence while
+        // it is fresh (a later hard crash must not cost us this round).
+        obs.dump();
+    }
 }
 
 /// Runs the live desk. See the [module docs](self) for the protocol.
@@ -618,6 +897,12 @@ pub fn run_desk(mut opts: DeskOptions, rec: &mut dyn Recorder) -> Result<DeskRep
         .map_err(|e| format!("create {}: {e}", paths.quarantine_dir.display()))?;
     let serving_str = paths.serving.to_string_lossy().into_owned();
     let mut faults = std::mem::take(&mut opts.faults);
+    let mut obs = Observatory::new(&opts);
+    if let Some((flight, path)) = &obs.flight {
+        // Crash safety: a panic anywhere in this process (injected crash
+        // faults included) flushes the ring before the default hook runs.
+        install_panic_dump(Arc::clone(flight), path.clone());
+    }
 
     let mut report = DeskReport {
         seed: opts.seed,
@@ -655,8 +940,18 @@ pub fn run_desk(mut opts: DeskOptions, rec: &mut dyn Recorder) -> Result<DeskRep
         .map_err(|e| format!("write {}: {e}", paths.serving.display()))?;
     let loader = CheckpointBackendLoader::new(opts.config.clone(), num_assets, opts.backend);
     let store = ModelStore::open(Box::new(loader), &serving_str)?;
+    obs.event(
+        "warmup",
+        vec![
+            ("revealed".to_string(), Value::U64(data.num_periods() as u64)),
+            ("version".to_string(), Value::U64(store.version())),
+        ],
+    );
+    let ctx = DeskCtx { store: &store, paths: &paths, opts: &opts };
 
     for round in 0..opts.rounds {
+        let round_started = Instant::now();
+        let parent_version = store.version();
         rec.counter(labels::COUNTER_DESK_ROUNDS, 1);
         let scheduled = faults.take_pipeline_faults(round as u64);
         let fault_labels: Vec<String> = scheduled.iter().map(|&k| fault_label(k)).collect();
@@ -695,9 +990,33 @@ pub fn run_desk(mut opts: DeskOptions, rec: &mut dyn Recorder) -> Result<DeskRep
             report.recoveries += recoveries;
             report.ended_early = true;
             report.degraded = true;
+            obs.event(
+                "feed/stalled",
+                vec![
+                    ("round".to_string(), Value::U64(round as u64)),
+                    ("target".to_string(), Value::U64(target as u64)),
+                ],
+            );
+            obs.write_status(&report, store.version(), false);
+            obs.dump();
             break;
         };
         let revealed = data.num_periods();
+        obs.event(
+            "feed",
+            vec![
+                ("round".to_string(), Value::U64(round as u64)),
+                ("revealed".to_string(), Value::U64(revealed as u64)),
+                ("stalls".to_string(), Value::U64(u64::from(injected_stalls))),
+            ],
+        );
+        if scheduled.contains(&PipelineFaultKind::Crash) {
+            // A scripted hard crash: flush what we have (belt) and let
+            // the chained panic hook append the panic event (suspenders).
+            obs.event("fault/crash", vec![("round".to_string(), Value::U64(round as u64))]);
+            obs.dump();
+            panic!("injected crash fault (round {round})");
+        }
         let from = if opts.window > 0 { revealed.saturating_sub(opts.window) } else { 0 };
         let window = data.slice(from, revealed);
         let (fit, mut val, val_from) = fit_val_split(&window, opts.val_fraction, min_period);
@@ -708,6 +1027,7 @@ pub fn run_desk(mut opts: DeskOptions, rec: &mut dyn Recorder) -> Result<DeskRep
         // so the desk discards it and retrains from the incumbent —
         // training is deterministic, so the retry converges on the
         // fault-free result.
+        let fine_tune_started = Instant::now();
         let nan_scheduled = scheduled.contains(&PipelineFaultKind::TrainerNan);
         let panics = scheduled.iter().filter(|k| **k == PipelineFaultKind::TrainerPanic).count();
         for _ in 0..panics {
@@ -739,6 +1059,16 @@ pub fn run_desk(mut opts: DeskOptions, rec: &mut dyn Recorder) -> Result<DeskRep
         if outcome.recoveries > 0 {
             rec.counter(labels::COUNTER_DESK_RECOVERIES, outcome.recoveries);
         }
+        let fine_tune_wall_s = fine_tune_started.elapsed().as_secs_f64();
+        obs.event(
+            "fine_tune",
+            vec![
+                ("round".to_string(), Value::U64(round as u64)),
+                ("parent_version".to_string(), Value::U64(parent_version)),
+                ("recoveries".to_string(), Value::U64(recoveries)),
+                ("aborted".to_string(), Value::Bool(outcome.aborted)),
+            ],
+        );
 
         // 3. Validation data: a poisoned slice is detected by the
         // finiteness scan and rebuilt from the pristine window before
@@ -765,7 +1095,16 @@ pub fn run_desk(mut opts: DeskOptions, rec: &mut dyn Recorder) -> Result<DeskRep
             rec.counter(labels::COUNTER_DESK_RECOVERIES, 1);
         }
 
-        let info = RoundInfo { round, revealed, faults: fault_labels };
+        let info = RoundInfo {
+            round,
+            revealed,
+            faults: fault_labels,
+            parent_version,
+            window_from: from,
+            num_assets,
+            fine_tune_wall_s,
+            started: round_started,
+        };
         if !market_is_finite(&val) {
             // Even the pristine window is unevaluable: refuse to gate on
             // garbage, keep serving last-good.
@@ -775,10 +1114,13 @@ pub fn run_desk(mut opts: DeskOptions, rec: &mut dyn Recorder) -> Result<DeskRep
                 entropy_drift: 0.0,
                 recoveries,
                 degraded: true,
+                integrity: None,
+                reward_evaluated: false,
+                drift_evaluated: false,
             };
             let reason = "validation slice non-finite even after rebuild".to_string();
             let decision = RoundDecision::Quarantined { kind: "validation", reason, g };
-            finish_round(&mut report, &store, rec, &paths, info, decision);
+            finish_round(&mut report, rec, &mut obs, &ctx, info, decision);
             continue;
         }
         let incumbent_reward = out_of_sample_reward(&trainer, &incumbent, &val);
@@ -789,11 +1131,14 @@ pub fn run_desk(mut opts: DeskOptions, rec: &mut dyn Recorder) -> Result<DeskRep
                 entropy_drift: 0.0,
                 recoveries,
                 degraded: true,
+                integrity: None,
+                reward_evaluated: false,
+                drift_evaluated: false,
             };
             let reason =
                 "trainer aborted: epoch stayed unhealthy through the retry budget".to_string();
             let decision = RoundDecision::Quarantined { kind: "integrity", reason, g };
-            finish_round(&mut report, &store, rec, &paths, info, decision);
+            finish_round(&mut report, rec, &mut obs, &ctx, info, decision);
             continue;
         }
         let candidate_reward = out_of_sample_reward(&trainer, &candidate, &val);
@@ -809,10 +1154,13 @@ pub fn run_desk(mut opts: DeskOptions, rec: &mut dyn Recorder) -> Result<DeskRep
                 entropy_drift: 0.0,
                 recoveries,
                 degraded: true,
+                integrity: Some(false),
+                reward_evaluated: true,
+                drift_evaluated: false,
             };
             let reason = format!("candidate write failed: {e}");
             let decision = RoundDecision::Quarantined { kind: "integrity", reason, g };
-            finish_round(&mut report, &store, rec, &paths, info, decision);
+            finish_round(&mut report, rec, &mut obs, &ctx, info, decision);
             continue;
         }
         let mut corruptions =
@@ -836,6 +1184,13 @@ pub fn run_desk(mut opts: DeskOptions, rec: &mut dyn Recorder) -> Result<DeskRep
             }
             integrity_ok = probe_checkpoint(&opts, num_assets, &paths.candidate);
         }
+        obs.event(
+            "gate/integrity",
+            vec![
+                ("round".to_string(), Value::U64(round as u64)),
+                ("ok".to_string(), Value::Bool(integrity_ok)),
+            ],
+        );
         if !integrity_ok {
             let g = GateNumbers {
                 candidate_reward,
@@ -843,16 +1198,27 @@ pub fn run_desk(mut opts: DeskOptions, rec: &mut dyn Recorder) -> Result<DeskRep
                 entropy_drift: 0.0,
                 recoveries,
                 degraded: true,
+                integrity: Some(false),
+                reward_evaluated: true,
+                drift_evaluated: false,
             };
             let reason =
                 "candidate checkpoint failed its integrity probe even after healing".to_string();
             let decision = RoundDecision::Quarantined { kind: "integrity", reason, g };
-            finish_round(&mut report, &store, rec, &paths, info, decision);
+            finish_round(&mut report, rec, &mut obs, &ctx, info, decision);
             continue;
         }
 
         // 5. Gate stage 2 — reward floor: never swap in a model that is
         // out-of-sample worse than what is serving.
+        obs.event(
+            "gate/reward",
+            vec![
+                ("round".to_string(), Value::U64(round as u64)),
+                ("candidate".to_string(), Value::F64(candidate_reward)),
+                ("incumbent".to_string(), Value::F64(incumbent_reward)),
+            ],
+        );
         if !candidate_reward.is_finite() || candidate_reward < incumbent_reward {
             let g = GateNumbers {
                 candidate_reward,
@@ -860,13 +1226,16 @@ pub fn run_desk(mut opts: DeskOptions, rec: &mut dyn Recorder) -> Result<DeskRep
                 entropy_drift: 0.0,
                 recoveries,
                 degraded: false,
+                integrity: Some(true),
+                reward_evaluated: true,
+                drift_evaluated: false,
             };
             let reason = format!(
                 "candidate reward {candidate_reward:.6} below incumbent \
                  {incumbent_reward:.6} on the held-out slice"
             );
             let decision = RoundDecision::Quarantined { kind: "validation", reason, g };
-            finish_round(&mut report, &store, rec, &paths, info, decision);
+            finish_round(&mut report, rec, &mut obs, &ctx, info, decision);
             continue;
         }
 
@@ -874,6 +1243,14 @@ pub fn run_desk(mut opts: DeskOptions, rec: &mut dyn Recorder) -> Result<DeskRep
         let inc_entropy = policy_entropy(&incumbent);
         let cand_entropy = policy_entropy(&candidate);
         let entropy_drift = (cand_entropy - inc_entropy).abs() / inc_entropy.abs().max(1e-6);
+        obs.event(
+            "gate/drift",
+            vec![
+                ("round".to_string(), Value::U64(round as u64)),
+                ("drift".to_string(), Value::F64(entropy_drift)),
+                ("bound".to_string(), Value::F64(opts.drift_threshold)),
+            ],
+        );
         if !entropy_drift.is_finite() || entropy_drift > opts.drift_threshold {
             let g = GateNumbers {
                 candidate_reward,
@@ -881,11 +1258,14 @@ pub fn run_desk(mut opts: DeskOptions, rec: &mut dyn Recorder) -> Result<DeskRep
                 entropy_drift,
                 recoveries,
                 degraded: false,
+                integrity: Some(true),
+                reward_evaluated: true,
+                drift_evaluated: true,
             };
             let reason =
                 format!("entropy drift {entropy_drift:.4} over bound {:.4}", opts.drift_threshold);
             let decision = RoundDecision::Quarantined { kind: "drift", reason, g };
-            finish_round(&mut report, &store, rec, &paths, info, decision);
+            finish_round(&mut report, rec, &mut obs, &ctx, info, decision);
             continue;
         }
 
@@ -906,24 +1286,45 @@ pub fn run_desk(mut opts: DeskOptions, rec: &mut dyn Recorder) -> Result<DeskRep
             rec.counter(labels::COUNTER_DESK_RECOVERIES, attempt.retries as u64);
         }
         // A reload error keeps last-good; the store counted the failure.
+        let swap_started = Instant::now();
         let swapped = match attempt.result {
             Ok(()) => store.reload(&serving_str).ok(),
             Err(_) => None,
         };
+        obs.event(
+            "swap",
+            vec![
+                ("round".to_string(), Value::U64(round as u64)),
+                ("version".to_string(), swapped.map_or(Value::Null, Value::U64)),
+                ("retries".to_string(), Value::U64(attempt.retries as u64)),
+            ],
+        );
         match swapped {
             Some(version) => {
                 incumbent = candidate;
                 report.gate_passed_versions.push(version);
                 report.promotions += 1;
                 rec.counter(labels::COUNTER_DESK_PROMOTIONS, 1);
+                if rec.enabled() {
+                    // The version-tagged swap span is the trace key that
+                    // joins a desk round to the serving model it shipped
+                    // (and onward to `serve/req/*` request tracks).
+                    rec.span(
+                        &format!("desk/round/{round:03}/swap/v{version}"),
+                        swap_started.elapsed().as_secs_f64(),
+                    );
+                }
                 let g = GateNumbers {
                     candidate_reward,
                     incumbent_reward,
                     entropy_drift,
                     recoveries,
                     degraded: false,
+                    integrity: Some(true),
+                    reward_evaluated: true,
+                    drift_evaluated: true,
                 };
-                finish_round(&mut report, &store, rec, &paths, info, RoundDecision::Promoted(g));
+                finish_round(&mut report, rec, &mut obs, &ctx, info, RoundDecision::Promoted(g));
             }
             None => {
                 // The swap write/reload stayed broken through the retry
@@ -934,8 +1335,11 @@ pub fn run_desk(mut opts: DeskOptions, rec: &mut dyn Recorder) -> Result<DeskRep
                     entropy_drift,
                     recoveries,
                     degraded: true,
+                    integrity: Some(true),
+                    reward_evaluated: true,
+                    drift_evaluated: true,
                 };
-                finish_round(&mut report, &store, rec, &paths, info, RoundDecision::SwapFailed(g));
+                finish_round(&mut report, rec, &mut obs, &ctx, info, RoundDecision::SwapFailed(g));
             }
         }
     }
@@ -946,6 +1350,9 @@ pub fn run_desk(mut opts: DeskOptions, rec: &mut dyn Recorder) -> Result<DeskRep
     let _ = probe_baseline(model.backend.as_ref(), &HealthConfig::default(), model.version);
     report.final_version = model.version;
     report.final_weights_crc = weights_crc(&incumbent);
+    obs.event("serve/probe", vec![("version".to_string(), Value::U64(model.version))]);
+    obs.write_status(&report, model.version, true);
+    obs.dump();
     Ok(report)
 }
 
@@ -981,7 +1388,7 @@ mod tests {
 
     #[test]
     fn fault_spec_parses_every_kind() {
-        let plan = parse_fault_spec("nan@0, panic@1,corrupt@2,val@3,swapio@4,stall@5x3", 7)
+        let plan = parse_fault_spec("nan@0, panic@1,corrupt@2,val@3,swapio@4,stall@5x3,crash@6", 7)
             .expect("spec parses");
         let kinds: Vec<_> = plan.pipeline_faults().iter().map(|f| (f.round, f.kind)).collect();
         assert_eq!(
@@ -993,6 +1400,7 @@ mod tests {
                 (3, PipelineFaultKind::ValData),
                 (4, PipelineFaultKind::SwapIo),
                 (5, PipelineFaultKind::FeedStall(3)),
+                (6, PipelineFaultKind::Crash),
             ]
         );
         assert_eq!(

@@ -1,0 +1,316 @@
+//! `spikefolio desk-top`: a live terminal dashboard over the desk's
+//! status file, plus the lineage-ledger renderers shared with the
+//! `lineage` verb and serve-top.
+//!
+//! The desk atomically rewrites a `spikefolio.deskstatus.v1` snapshot
+//! after every round (see `DeskOptions::status`); the dashboard polls
+//! that file — never the desk process — so it can attach, detach, and
+//! survive a desk crash, and the `seq` field lets it tell a live desk
+//! from a stale file.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use spikefolio_blackbox::{LineageEntry, LineageLog};
+use spikefolio_telemetry::value::{parse, Value};
+
+/// `spikefolio desk-top` parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeskTopOptions {
+    /// Status file to poll (the desk's `--status` path).
+    pub path: PathBuf,
+    /// Poll interval (ms).
+    pub interval_ms: u64,
+    /// Number of polls; `0` polls until the desk reports `done`.
+    pub iterations: usize,
+    /// Print the raw status JSON per poll instead of the dashboard.
+    pub raw: bool,
+}
+
+/// Unicode sparkline of `values` (min..max auto-scaled, non-finite
+/// values render as `·`, an all-equal series renders flat).
+fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    let (lo, hi) = finite
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    values
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() {
+                '·'
+            } else if hi <= lo {
+                BARS[0]
+            } else {
+                let t = (v - lo) / (hi - lo);
+                BARS[((t * 7.0).round() as usize).min(7)]
+            }
+        })
+        .collect()
+}
+
+/// Formats one `spikefolio.deskstatus.v1` snapshot as the desk-top frame.
+pub fn render_desk_top(v: &Value) -> String {
+    use std::fmt::Write as _;
+    let u = |k: &str| v.get(k).and_then(Value::as_u64).unwrap_or(0);
+    let f = |k: &str| v.get(k).and_then(Value::as_f64).unwrap_or(f64::NAN);
+    let done = matches!(v.get("done"), Some(Value::Bool(true)));
+    let degraded = matches!(v.get("degraded"), Some(Value::Bool(true)));
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "spikefolio desk-top  seed {}  round {}/{}  serving v{}  [{}]",
+        u("seed"),
+        u("rounds_done"),
+        u("rounds_total"),
+        u("served_version"),
+        if done { "DONE" } else { "RUNNING" },
+    );
+    let by_kind = match v.get("quarantines_by_kind") {
+        Some(Value::Map(pairs)) if !pairs.is_empty() => {
+            let parts: Vec<String> =
+                pairs.iter().map(|(k, n)| format!("{k} {}", n.as_u64().unwrap_or(0))).collect();
+            format!(" ({})", parts.join(", "))
+        }
+        _ => String::new(),
+    };
+    let _ = writeln!(
+        out,
+        "promotions {}  quarantines {}{by_kind}  recoveries {}  feed stalls {}  health {}",
+        u("promotions"),
+        u("quarantines"),
+        u("recoveries"),
+        u("feed_stalls"),
+        if degraded { "DEGRADED" } else { "ok" },
+    );
+    if let Some(Value::U64(round)) = v.get("last_round") {
+        let _ = writeln!(
+            out,
+            "last round {round}: {}  revealed {}  cand {:+.5}  inc {:+.5}  drift {:.3}",
+            v.get("last_outcome").and_then(Value::as_str).unwrap_or("?"),
+            u("last_revealed"),
+            f("last_candidate_reward"),
+            f("last_incumbent_reward"),
+            f("last_drift"),
+        );
+    }
+    if let Some(Value::List(margins)) = v.get("margins") {
+        let col = |i: usize| -> Vec<f64> {
+            margins
+                .iter()
+                .map(|pair| {
+                    pair.as_list()
+                        .and_then(|p| p.get(i))
+                        .and_then(Value::as_f64)
+                        .unwrap_or(f64::NAN)
+                })
+                .collect()
+        };
+        if !margins.is_empty() {
+            let _ = writeln!(
+                out,
+                "gate margin  {}  (candidate − incumbent reward)",
+                sparkline(&col(0))
+            );
+            let _ = writeln!(out, "drift        {}", sparkline(&col(1)));
+        }
+    }
+    out
+}
+
+/// `spikefolio desk-top`: polls the desk status file and repaints a
+/// terminal dashboard until the desk reports `done` (or the iteration
+/// budget runs out). A missing file is reported and re-polled, so the
+/// dashboard can be started before the desk.
+///
+/// # Errors
+///
+/// A status file that exists but does not parse as
+/// `spikefolio.deskstatus.v1`.
+pub fn run_desk_top(opts: &DeskTopOptions) -> Result<(), String> {
+    use std::io::Write as _;
+    let mut done_polls = 0usize;
+    loop {
+        match std::fs::read_to_string(&opts.path) {
+            Ok(raw) => {
+                let v = parse(raw.trim())
+                    .map_err(|e| format!("status file {}: {e}", opts.path.display()))?;
+                if v.get("schema").and_then(Value::as_str) != Some(crate::desk::DESK_STATUS_SCHEMA)
+                {
+                    return Err(format!(
+                        "status file {} is not a {} document",
+                        opts.path.display(),
+                        crate::desk::DESK_STATUS_SCHEMA
+                    ));
+                }
+                if opts.raw {
+                    println!("{}", v.to_json());
+                } else {
+                    if opts.iterations != 1 {
+                        print!("\x1b[2J\x1b[H");
+                    }
+                    print!("{}", render_desk_top(&v));
+                }
+                if matches!(v.get("done"), Some(Value::Bool(true))) {
+                    let _ = std::io::stdout().flush();
+                    return Ok(());
+                }
+            }
+            Err(_) => println!("waiting for status file {} ...", opts.path.display()),
+        }
+        let _ = std::io::stdout().flush();
+        done_polls += 1;
+        if opts.iterations != 0 && done_polls >= opts.iterations {
+            return Ok(());
+        }
+        std::thread::sleep(Duration::from_millis(opts.interval_ms.max(50)));
+    }
+}
+
+/// One-line ancestry chain of `version` from the lineage ledger:
+/// `v4 ←(round 3, margin +1.2e-3) v3 ←(round 1, margin +4.5e-4) v1`.
+/// Empty when the ledger never promoted `version` (e.g. the warmup v1).
+pub fn render_ancestry(log: &LineageLog, version: u64) -> String {
+    let chain = log.ancestry(version);
+    if chain.is_empty() {
+        return String::new();
+    }
+    let mut out = format!("v{version}");
+    for e in &chain {
+        out.push_str(&format!(
+            " ←(round {}, margin {:+.3e}) v{}",
+            e.round,
+            e.candidate_reward - e.incumbent_reward,
+            e.parent_version,
+        ));
+    }
+    out
+}
+
+/// Renders the whole lineage ledger as a table, newest round last, with
+/// the tolerant reader's torn/corrupt-line count when nonzero.
+pub fn render_lineage_ledger(log: &LineageLog) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>5} {:>7} {:<13} {:>7} {:>14} {:>14} {:>8}  reason",
+        "round", "parent", "outcome", "served", "cand reward", "inc reward", "drift"
+    );
+    for e in &log.entries {
+        let outcome = match &e.kind {
+            Some(kind) => format!("{}:{kind}", e.outcome),
+            None => e.outcome.clone(),
+        };
+        let _ = writeln!(
+            out,
+            "{:>5} {:>7} {:<13} {:>7} {:>14} {:>14} {:>8}  {}",
+            e.round,
+            format!("v{}", e.parent_version),
+            outcome,
+            format!("v{}", e.served_version),
+            format!("{:+.5e}", e.candidate_reward),
+            format!("{:+.5e}", e.incumbent_reward),
+            format!("{:.4}", e.entropy_drift),
+            e.reason.as_deref().unwrap_or(""),
+        );
+    }
+    if log.skipped > 0 {
+        let _ = writeln!(out, "skipped {} torn/corrupt ledger line(s)", log.skipped);
+    }
+    out
+}
+
+/// Renders a single lineage entry for machine consumers (`--json`).
+pub fn lineage_json(log: &LineageLog) -> String {
+    let entries: Vec<Value> = log.entries.iter().map(LineageEntry::to_value).collect();
+    Value::Map(vec![
+        ("schema".to_string(), Value::Str("spikefolio.lineage-log.v1".to_string())),
+        ("entries".to_string(), Value::List(entries)),
+        ("skipped".to_string(), Value::U64(log.skipped)),
+    ])
+    .to_json()
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+    use super::*;
+
+    fn entry(round: u64, parent: u64, promoted: Option<u64>) -> LineageEntry {
+        LineageEntry {
+            round,
+            parent_version: parent,
+            promoted_version: promoted,
+            served_version: promoted.unwrap_or(parent),
+            window_from: 0,
+            revealed: 40 + 6 * round,
+            integrity_ok: true,
+            candidate_reward: 0.01 + round as f64 * 1e-3,
+            incumbent_reward: 0.005,
+            entropy_drift: 0.01,
+            drift_bound: 0.75,
+            outcome: if promoted.is_some() { "promoted" } else { "quarantined" }.to_string(),
+            kind: promoted.is_none().then(|| "drift".to_string()),
+            reason: promoted.is_none().then(|| "entropy drift over bound".to_string()),
+        }
+    }
+
+    #[test]
+    fn sparkline_scales_and_handles_degenerate_series() {
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('▁') && s.ends_with('█'), "{s}");
+        assert_eq!(sparkline(&[2.0, 2.0]), "▁▁", "flat series renders flat");
+        assert_eq!(sparkline(&[f64::NAN, 1.0]).chars().next(), Some('·'));
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    fn desk_top_frame_carries_round_progress_and_sparklines() {
+        let json = concat!(
+            r#"{"schema":"spikefolio.deskstatus.v1","seq":3,"seed":9,"rounds_total":4,"#,
+            r#""rounds_done":3,"done":false,"served_version":2,"promotions":1,"#,
+            r#""quarantines":2,"quarantines_by_kind":{"drift":1,"validation":1},"#,
+            r#""recoveries":1,"feed_stalls":0,"degraded":false,"#,
+            r#""last_round":2,"last_outcome":"rejected:drift","last_revealed":58,"#,
+            r#""last_candidate_reward":0.01,"last_incumbent_reward":0.02,"last_drift":0.9,"#,
+            r#""margins":[[-0.01,0.1],[0.02,0.2],[-0.01,0.9]]}"#,
+        );
+        let v = parse(json).expect("synthetic status parses");
+        let frame = render_desk_top(&v);
+        assert!(frame.contains("round 3/4"), "{frame}");
+        assert!(frame.contains("serving v2"), "{frame}");
+        assert!(frame.contains("quarantines 2 (drift 1, validation 1)"), "{frame}");
+        assert!(frame.contains("rejected:drift"), "{frame}");
+        assert!(frame.contains("gate margin"), "{frame}");
+        assert!(frame.contains("RUNNING"), "{frame}");
+    }
+
+    #[test]
+    fn ancestry_renders_newest_first_chain() {
+        let log = LineageLog {
+            entries: vec![entry(0, 1, Some(2)), entry(1, 2, None), entry(2, 2, Some(3))],
+            skipped: 0,
+        };
+        let chain = render_ancestry(&log, 3);
+        assert!(chain.starts_with("v3 ←(round 2"), "{chain}");
+        assert!(chain.contains("v2 ←(round 0"), "{chain}");
+        assert!(chain.ends_with("v1"), "{chain}");
+        assert_eq!(render_ancestry(&log, 1), "", "warmup root has no promoting entry");
+    }
+
+    #[test]
+    fn ledger_table_shows_outcomes_and_skip_count() {
+        let log = LineageLog { entries: vec![entry(0, 1, Some(2)), entry(1, 2, None)], skipped: 2 };
+        let table = render_lineage_ledger(&log);
+        assert!(table.contains("promoted"), "{table}");
+        assert!(table.contains("quarantined:drift"), "{table}");
+        assert!(table.contains("skipped 2 torn/corrupt"), "{table}");
+        let json = lineage_json(&log);
+        let v = parse(&json).expect("lineage json parses");
+        assert_eq!(v.get("skipped").and_then(Value::as_u64), Some(2));
+        assert_eq!(v.get("entries").and_then(Value::as_list).map(<[Value]>::len), Some(2));
+    }
+}

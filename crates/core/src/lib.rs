@@ -50,6 +50,7 @@ pub mod checkpoint;
 pub mod config;
 pub mod deploy;
 pub mod desk;
+pub mod desk_top;
 pub mod drl;
 pub mod eiie;
 pub mod experiments;
@@ -62,12 +63,18 @@ pub mod serving;
 pub mod sweep;
 pub mod telemetry_report;
 pub mod training;
+pub mod triage;
 pub mod validation;
 
 pub use agent::SdpAgent;
 pub use config::SdpConfig;
 pub use deploy::LoihiDeployment;
 pub use desk::{parse_fault_spec, run_desk, run_desk_quiet, DeskOptions, DeskReport, RoundRecord};
+pub use desk_top::{
+    lineage_json, render_ancestry, render_desk_top, render_lineage_ledger, run_desk_top,
+    DeskTopOptions,
+};
 pub use drl::DrlAgent;
 pub use guarded::{train_sdp_guarded, GuardedOutcome, ResilienceOptions};
 pub use training::{Trainer, TrainingLog};
+pub use triage::{run_triage, TriageOptions, TriageReport};

@@ -445,6 +445,9 @@ pub struct ServeTopOptions {
     /// Print the Prometheus text exposition per poll instead of the
     /// dashboard.
     pub prometheus: bool,
+    /// Desk lineage ledger to resolve the serving model's ancestry
+    /// from; the chain is appended to every dashboard frame.
+    pub lineage: Option<String>,
 }
 
 impl Default for ServeTopOptions {
@@ -455,6 +458,7 @@ impl Default for ServeTopOptions {
             iterations: 0,
             raw: false,
             prometheus: false,
+            lineage: None,
         }
     }
 }
@@ -602,6 +606,23 @@ pub fn run_serve_top(opts: &ServeTopOptions) -> Result<(), String> {
                     print!("\x1b[2J\x1b[H");
                 }
                 print!("{}", render_top(metrics));
+                if let Some(ledger) = &opts.lineage {
+                    // Ancestry of the model answering requests right now,
+                    // resolved against the desk's lineage ledger (re-read
+                    // per poll: the desk may still be promoting).
+                    let version = metrics.get("model_version").and_then(Value::as_u64).unwrap_or(0);
+                    match spikefolio_blackbox::read_ledger(ledger) {
+                        Ok(log) => {
+                            let chain = crate::desk_top::render_ancestry(&log, version);
+                            if chain.is_empty() {
+                                println!("lineage: v{version} has no promotion trail in {ledger}");
+                            } else {
+                                println!("lineage: {chain}");
+                            }
+                        }
+                        Err(e) => println!("lineage: cannot read {ledger}: {e}"),
+                    }
+                }
             }
         }
         let _ = std::io::stdout().flush();

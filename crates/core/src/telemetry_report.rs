@@ -24,7 +24,9 @@ pub fn empty_run_message(path: &str, s: &RunSummary) -> Option<String> {
         || !s.spans.is_empty()
         || !s.counters.is_empty()
         || s.spike_totals.samples > 0
-        || !s.firing_rates.is_empty();
+        || !s.firing_rates.is_empty()
+        || !s.desk_rounds.is_empty()
+        || !s.desk_quarantines_by_kind.is_empty();
     if has_content {
         return None;
     }
@@ -53,8 +55,48 @@ pub fn format_run_summary(s: &RunSummary) -> String {
     push_phases(&mut out, s);
     push_counters(&mut out, s);
     push_backtests(&mut out, s);
+    push_desk(&mut out, s);
     push_energy(&mut out, s);
     out
+}
+
+fn push_desk(out: &mut String, s: &RunSummary) {
+    if s.desk_rounds.is_empty() && s.desk_quarantines_by_kind.is_empty() {
+        return;
+    }
+    out.push_str("\n== live desk ==\n");
+    if !s.desk_rounds.is_empty() {
+        let promotions = s.desk_rounds.iter().filter(|r| r.outcome == "promoted").count();
+        out.push_str(&format!(
+            "{} round(s), {} promoted, {} quarantined\n",
+            s.desk_rounds.len(),
+            promotions,
+            s.desk_quarantines_by_kind.values().sum::<u64>(),
+        ));
+        out.push_str(&format!(
+            "{:<7} {:<18} {:>8} {:>12} {:>12} {:>10}\n",
+            "round", "outcome", "serving", "candidate", "incumbent", "tune(s)"
+        ));
+        let opt = |v: Option<f64>| v.map_or_else(|| "-".to_owned(), |x| format!("{x:.3}"));
+        for r in &s.desk_rounds {
+            out.push_str(&format!(
+                "{:<7} {:<18} {:>8} {:>12.6} {:>12.6} {:>10}\n",
+                r.round,
+                r.outcome,
+                format!("v{}", r.served_version),
+                r.candidate_reward,
+                r.incumbent_reward,
+                opt(r.wall_s)
+            ));
+        }
+    }
+    if !s.desk_quarantines_by_kind.is_empty() {
+        out.push_str("quarantines by kind:");
+        for (kind, n) in &s.desk_quarantines_by_kind {
+            out.push_str(&format!(" {kind}={n}"));
+        }
+        out.push('\n');
+    }
 }
 
 fn push_rewards(out: &mut String, s: &RunSummary) {
@@ -281,6 +323,48 @@ mod tests {
         let text = format_run_summary(&summary);
         let row = text.lines().find(|l| l.starts_with("sdp")).unwrap();
         assert_eq!(row.split_whitespace().rev().take(2).collect::<Vec<_>>(), ["-", "-"], "{text}");
+    }
+
+    #[test]
+    fn desk_section_renders_rounds_and_quarantine_tally() {
+        let mut sink = spikefolio_telemetry::JsonlSink::new(Vec::new());
+        sink.emit(
+            Record::new("desk_round")
+                .field("round", 0u64)
+                .field("outcome", "promoted")
+                .field("served_version", 2u64)
+                .field("candidate_reward", 0.12)
+                .field("incumbent_reward", 0.10)
+                .field("wall_s", 0.8),
+        );
+        sink.emit(
+            Record::new("desk_quarantine")
+                .field("round", 1u64)
+                .field("kind", "drift")
+                .field("reason", "entropy drifted"),
+        );
+        sink.emit(
+            Record::new("desk_round")
+                .field("round", 1u64)
+                .field("outcome", "rejected:drift")
+                .field("served_version", 2u64)
+                .field("candidate_reward", 0.08)
+                .field("incumbent_reward", 0.10)
+                .field("wall_s", 0.7),
+        );
+        let log = sink.finish().unwrap();
+        let summary = spikefolio_telemetry::summarize_lines(&log[..]).unwrap();
+        let text = format_run_summary(&summary);
+        for needle in [
+            "== live desk ==",
+            "2 round(s), 1 promoted, 1 quarantined",
+            "rejected:drift",
+            "quarantines by kind: drift=1",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        // A desk-only log is summarizable, not "empty".
+        assert!(empty_run_message("desk.jsonl", &summary).is_none());
     }
 
     #[test]

@@ -52,5 +52,5 @@ pub use data::MarketData;
 pub use generator::{AssetSpec, GeneratorConfig, MarketGenerator};
 pub use regime::{Regime, RegimeParams};
 pub use sanitize::{sanitize_market, RepairPolicy, SanitizeConfig, SanitizeReport};
-pub use tail::{CsvTail, CsvTailReader, TailError};
+pub use tail::{CsvTail, CsvTailReader, TailError, TailWarning};
 pub use time::Date;

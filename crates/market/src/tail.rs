@@ -38,18 +38,37 @@ pub const CSV_HEADER: &str = "period,asset,open,high,low,close,volume";
 pub struct CsvTailReader {
     path: PathBuf,
     offset: u64,
+    /// The previous poll left a partial (torn) line on disk.
+    torn_pending: bool,
+    /// The line that completed a previously torn tail on the most
+    /// recent poll — the one row whose bytes were written in (at least)
+    /// two installments and deserve extra scrutiny.
+    torn_completed: Option<String>,
 }
 
 impl CsvTailReader {
     /// A reader positioned at the start of `path` (which need not exist
     /// yet).
     pub fn new(path: impl AsRef<Path>) -> Self {
-        Self { path: path.as_ref().to_path_buf(), offset: 0 }
+        Self {
+            path: path.as_ref().to_path_buf(),
+            offset: 0,
+            torn_pending: false,
+            torn_completed: None,
+        }
     }
 
     /// Bytes consumed so far (always a complete-line boundary).
     pub fn offset(&self) -> u64 {
         self.offset
+    }
+
+    /// Takes the line (if any) that the most recent [`poll`](Self::poll)
+    /// assembled from a previously held-back torn tail. Callers that
+    /// validate rows use this to tell "this row was torn across writes"
+    /// from "this row arrived whole".
+    pub fn take_torn_completed(&mut self) -> Option<String> {
+        self.torn_completed.take()
     }
 
     /// Reads every complete line appended since the last poll.
@@ -63,30 +82,45 @@ impl CsvTailReader {
     /// IO failures other than the file not existing yet (which yields an
     /// empty batch).
     pub fn poll(&mut self) -> io::Result<Vec<String>> {
+        self.torn_completed = None;
         let mut file = match File::open(&self.path) {
             Ok(f) => f,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                self.torn_pending = false;
+                return Ok(Vec::new());
+            }
             Err(e) => return Err(e),
         };
         if file.metadata()?.len() < self.offset {
             // The feed was rotated or truncated under us; start over.
+            // Whatever torn tail we were tracking is gone with the bytes.
             self.offset = 0;
+            self.torn_pending = false;
         }
         file.seek(SeekFrom::Start(self.offset))?;
         let mut buf = Vec::new();
         file.read_to_end(&mut buf)?;
         let Some(last_nl) = buf.iter().rposition(|&b| b == b'\n') else {
             // Nothing but a torn line so far: leave it for the next poll.
+            self.torn_pending = !buf.is_empty();
             return Ok(Vec::new());
         };
+        let was_torn = self.torn_pending;
         let complete = &buf[..=last_nl];
         self.offset += complete.len() as u64;
+        self.torn_pending = last_nl + 1 < buf.len();
         let text = String::from_utf8_lossy(complete);
-        Ok(text
+        let lines: Vec<String> = text
             .lines()
             .map(|l| l.trim_end_matches('\r').to_owned())
             .filter(|l| !l.trim().is_empty())
-            .collect())
+            .collect();
+        if was_torn {
+            // The first complete line is the re-read of the tail held
+            // back last poll (plus whatever bytes finished it).
+            self.torn_completed = lines.first().cloned();
+        }
+        Ok(lines)
     }
 }
 
@@ -116,6 +150,66 @@ impl fmt::Display for TailError {
 
 impl std::error::Error for TailError {}
 
+/// A non-fatal feed anomaly surfaced by [`CsvTail::take_warnings`].
+///
+/// Warnings cover conditions the tail can recover from on its own —
+/// unlike [`TailError`], which stops the poll.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TailWarning {
+    /// A line held back as torn (no trailing newline yet) finally
+    /// completed on a later poll, but the re-read of the full line still
+    /// failed field-level validation. The row was dropped: a torn write
+    /// that never becomes a valid row is a writer fault on that one
+    /// line, not a malformed feed.
+    TornLineStillMalformed {
+        /// The completed-but-invalid line, verbatim.
+        line: String,
+    },
+}
+
+impl TailWarning {
+    /// Short machine-friendly tag for counters and structured records.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::TornLineStillMalformed { .. } => "torn_line_still_malformed",
+        }
+    }
+
+    /// The offending feed line, verbatim.
+    pub fn line(&self) -> &str {
+        match self {
+            Self::TornLineStillMalformed { line } => line,
+        }
+    }
+}
+
+impl fmt::Display for TailWarning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::TornLineStillMalformed { line } => {
+                write!(f, "torn feed line completed but is still malformed, dropped: {line:?}")
+            }
+        }
+    }
+}
+
+/// Whether `line` has the shape of a valid market CSV data row:
+/// seven comma-separated fields, an unsigned period index, a non-empty
+/// asset name, and five parseable prices/volumes.
+fn row_is_well_formed(line: &str) -> bool {
+    let fields: Vec<&str> = line.split(',').collect();
+    if fields.len() != 7 {
+        return false;
+    }
+    if fields[0].trim().parse::<usize>().is_err() {
+        return false;
+    }
+    if fields[1].trim().is_empty() {
+        return false;
+    }
+    fields[2..].iter().all(|f| f.trim().parse::<f64>().is_ok())
+}
+
 /// Market-level CSV tail: accumulates complete rows from a growing feed
 /// file and rebuilds a [`MarketData`] snapshot when new data arrives.
 ///
@@ -129,6 +223,7 @@ pub struct CsvTail {
     periods_per_day: u32,
     header_seen: bool,
     lines: Vec<String>,
+    warnings: Vec<TailWarning>,
 }
 
 impl CsvTail {
@@ -141,12 +236,18 @@ impl CsvTail {
             periods_per_day,
             header_seen: false,
             lines: Vec::new(),
+            warnings: Vec::new(),
         }
     }
 
     /// Complete data rows accumulated so far (header excluded).
     pub fn rows_seen(&self) -> usize {
         self.lines.len()
+    }
+
+    /// Drains every [`TailWarning`] accumulated since the last drain.
+    pub fn take_warnings(&mut self) -> Vec<TailWarning> {
+        std::mem::take(&mut self.warnings)
     }
 
     /// Polls the feed. `Ok(Some(data))` carries a fresh snapshot over
@@ -159,6 +260,7 @@ impl CsvTail {
     /// malformed even after dropping the trailing incomplete period.
     pub fn poll(&mut self) -> Result<Option<MarketData>, TailError> {
         let fresh = self.reader.poll().map_err(TailError::Io)?;
+        let torn = self.reader.take_torn_completed();
         let mut grew = false;
         for line in fresh {
             if !self.header_seen {
@@ -166,6 +268,11 @@ impl CsvTail {
                     return Err(TailError::Header(line));
                 }
                 self.header_seen = true;
+            } else if torn.as_deref() == Some(line.as_str()) && !row_is_well_formed(&line) {
+                // The held-back torn tail re-read whole and *still* does
+                // not parse: drop the one poisoned row with a warning so
+                // later rows (and a re-emitted fix) keep the feed alive.
+                self.warnings.push(TailWarning::TornLineStillMalformed { line });
             } else {
                 self.lines.push(line);
                 grew = true;
@@ -320,6 +427,49 @@ mod tests {
         append(&path, "not,a,market,header\n");
         let mut tail = CsvTail::new(&path, start(), 48);
         assert!(matches!(tail.poll(), Err(TailError::Header(_))));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_line_that_completes_malformed_warns_and_is_dropped() {
+        let path = tmp("torn-malformed");
+        let _ = fs::remove_file(&path);
+        append(&path, "period,asset,open,high,low,close,volume\n");
+        append(&path, "0,BTC,1,2,0.5,1.5,10\n");
+        // Writer tears period 1's row mid-field...
+        append(&path, "1,BTC,1.5,ga");
+        let mut tail = CsvTail::new(&path, start(), 48);
+        let snap = tail.poll().unwrap().expect("period 0 is complete");
+        assert_eq!(snap.num_periods(), 1);
+        assert!(tail.take_warnings().is_empty(), "held-back tail is not yet a warning");
+        // ...and finishes it with garbage: the completed line is junk.
+        append(&path, "rbage,oops\n");
+        assert!(tail.poll().unwrap().is_none(), "poisoned row adds no data");
+        let warnings = tail.take_warnings();
+        assert_eq!(warnings.len(), 1);
+        assert_eq!(warnings[0].kind(), "torn_line_still_malformed");
+        assert_eq!(warnings[0].line(), "1,BTC,1.5,garbage,oops");
+        assert!(tail.take_warnings().is_empty(), "drain is one-shot");
+        // The writer re-emits the row correctly; the feed recovers.
+        append(&path, "1,BTC,1.5,2.5,1,2,12\n");
+        let snap = tail.poll().unwrap().expect("re-emitted row lands");
+        assert_eq!(snap.num_periods(), 2);
+        assert_eq!(snap.close(1, 0), 2.0);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_line_that_completes_valid_carries_no_warning() {
+        let path = tmp("torn-valid");
+        let _ = fs::remove_file(&path);
+        append(&path, "period,asset,open,high,low,close,volume\n");
+        append(&path, "0,BTC,1,2,0.5,1.5,10\n1,BTC,1.5,2.5");
+        let mut tail = CsvTail::new(&path, start(), 48);
+        tail.poll().unwrap();
+        append(&path, ",1,2,12\n");
+        let snap = tail.poll().unwrap().expect("row completed");
+        assert_eq!(snap.num_periods(), 2);
+        assert!(tail.take_warnings().is_empty());
         let _ = fs::remove_file(&path);
     }
 

@@ -31,4 +31,4 @@ pub mod trace;
 
 pub use bench::{compare, BenchBaseline, BenchEntry, CompareReport, CompareThresholds};
 pub use cost::{CostReport, LayerCost};
-pub use trace::ChromeTraceRecorder;
+pub use trace::{merge_chrome_traces, ChromeTraceRecorder};

@@ -228,6 +228,57 @@ impl Recorder for ChromeTraceRecorder {
     }
 }
 
+/// Merges several chrome-trace JSON documents into one Perfetto-loadable
+/// timeline, one process track per input.
+///
+/// Each entry is `(label, json)`: the label names the merged track (a
+/// `process_name` metadata event), and every event from that document is
+/// re-homed to a distinct `pid` so e.g. a live-desk trace and a serving
+/// trace render side by side instead of colliding on `pid 1`. Timestamps
+/// are preserved verbatim — tracks align exactly when the traces share a
+/// clock origin (recorded in one process), and remain individually
+/// correct otherwise.
+///
+/// # Errors
+///
+/// A readable message naming the offending input when a document is not
+/// valid JSON, lacks a `traceEvents` array, or holds a non-object event.
+pub fn merge_chrome_traces(docs: &[(String, String)]) -> Result<String, String> {
+    let mut merged: Vec<Value> = Vec::new();
+    for (i, (label, json)) in docs.iter().enumerate() {
+        let pid = (i + 1) as u64;
+        let doc = spikefolio_telemetry::value::parse(json)
+            .map_err(|e| format!("{label}: not valid trace JSON: {e}"))?;
+        let events = doc
+            .get("traceEvents")
+            .and_then(Value::as_list)
+            .ok_or_else(|| format!("{label}: missing traceEvents array"))?;
+        merged.push(Value::Map(vec![
+            ("name".into(), Value::Str("process_name".into())),
+            ("ph".into(), Value::Str("M".into())),
+            ("pid".into(), Value::U64(pid)),
+            ("tid".into(), Value::U64(0)),
+            ("args".into(), Value::Map(vec![("name".into(), Value::Str(label.clone()))])),
+        ]));
+        for ev in events {
+            let Value::Map(fields) = ev else {
+                return Err(format!("{label}: traceEvents entry is not an object"));
+            };
+            let mut fields = fields.clone();
+            match fields.iter_mut().find(|(k, _)| k == "pid") {
+                Some((_, v)) => *v = Value::U64(pid),
+                None => fields.push(("pid".into(), Value::U64(pid))),
+            }
+            merged.push(Value::Map(fields));
+        }
+    }
+    Ok(Value::Map(vec![
+        ("traceEvents".into(), Value::List(merged)),
+        ("displayTimeUnit".into(), Value::Str("ms".into())),
+    ])
+    .to_json())
+}
+
 /// Renders span totals as an indented phase tree: labels are grouped by
 /// their `/`-separated path segments, children sorted by total seconds
 /// descending. Labels with recorded time show `total(s)  count  mean(ms)`;
@@ -297,6 +348,47 @@ mod tests {
     use super::*;
     use spikefolio_telemetry::value::parse;
     use spikefolio_telemetry::Stopwatch;
+
+    #[test]
+    fn merge_rehomes_each_trace_to_its_own_process_track() {
+        let mut desk = ChromeTraceRecorder::new();
+        desk.span("desk/round/000", 1e-3);
+        let mut serve = ChromeTraceRecorder::new();
+        serve.span("serve/request", 5e-4);
+        let merged = merge_chrome_traces(&[
+            ("desk".to_owned(), desk.to_chrome_json()),
+            ("serve".to_owned(), serve.to_chrome_json()),
+        ])
+        .unwrap();
+        let v = parse(&merged).expect("merged trace is valid JSON");
+        let events = v.get("traceEvents").and_then(Value::as_list).unwrap();
+        // 2 process_name metadata events + 1 span each.
+        assert_eq!(events.len(), 4);
+        let pid_of = |name: &str| {
+            events
+                .iter()
+                .find(|e| e.get("name").and_then(Value::as_str) == Some(name))
+                .and_then(|e| e.get("pid").and_then(Value::as_u64))
+                .expect(name)
+        };
+        assert_eq!(pid_of("desk/round/000"), 1);
+        assert_eq!(pid_of("serve/request"), 2);
+        let labels: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("M"))
+            .filter_map(|e| e.get("args").and_then(|a| a.get("name")).and_then(Value::as_str))
+            .collect();
+        assert_eq!(labels, vec!["desk", "serve"]);
+    }
+
+    #[test]
+    fn merge_rejects_documents_without_trace_events() {
+        let err = merge_chrome_traces(&[("bad".to_owned(), "{}".to_owned())]).unwrap_err();
+        assert!(err.contains("bad"), "{err}");
+        assert!(err.contains("traceEvents"), "{err}");
+        let err = merge_chrome_traces(&[("junk".to_owned(), "not json".to_owned())]).unwrap_err();
+        assert!(err.contains("junk"), "{err}");
+    }
 
     #[test]
     fn spans_become_nested_complete_events() {

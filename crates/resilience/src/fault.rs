@@ -75,6 +75,10 @@ pub enum PipelineFaultKind {
     /// The data feed stalls for this many polls before yielding new
     /// periods; the desk's watchdog re-polls with capped backoff.
     FeedStall(u32),
+    /// The whole desk process panics mid-round — no recovery path; this
+    /// exists to exercise crash-time observers (the flight recorder's
+    /// panic-hook dump) and post-mortem tooling.
+    Crash,
 }
 
 /// One scripted pipeline fault: `kind` fires in desk round `round`.

@@ -1,0 +1,72 @@
+//! Chained process panic hooks.
+//!
+//! A crash-time observer (the desk flight recorder's dump, a metrics
+//! flush) must run *in addition to* whatever panic reporting is already
+//! installed, not instead of it. [`chain_panic_hook`] takes the current
+//! hook, runs the new callback first, then delegates — so stacking
+//! several observers keeps them all, and the default backtrace printer
+//! still fires last.
+
+/// Installs a panic hook that calls `callback` with the panic message
+/// and source location (as `file:line`), then invokes the previously
+/// installed hook.
+///
+/// The callback must not panic; a panic inside a panic hook aborts the
+/// process. Keep crash-time work best-effort (swallow IO errors).
+pub fn chain_panic_hook(callback: impl Fn(&str, Option<&str>) + Send + Sync + 'static) {
+    let previous = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let message = panic_message(info.payload());
+        let location = info.location().map(|l| format!("{}:{}", l.file(), l.line()));
+        callback(message, location.as_deref());
+        previous(info);
+    }));
+}
+
+/// Extracts the human-readable message from a panic payload (`&str` and
+/// `String` payloads cover `panic!` with and without formatting).
+fn panic_message(payload: &dyn std::any::Any) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.as_str()
+    } else {
+        "non-string panic payload"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Arc, Mutex};
+
+    // One test exercises the whole module: panic hooks are process-global
+    // state, so independent tests would race each other's installs.
+    #[test]
+    fn chained_hooks_all_fire_and_see_the_message() {
+        let seen: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+        let fired = Arc::new(AtomicU64::new(0));
+        // Quiet base hook: keeps the expected panic below out of test
+        // output while still giving the chain something to delegate to.
+        std::panic::set_hook(Box::new(|_| {}));
+        for tag in ["outer", "inner"] {
+            let seen = Arc::clone(&seen);
+            let fired = Arc::clone(&fired);
+            chain_panic_hook(move |message, location| {
+                fired.fetch_add(1, Ordering::SeqCst);
+                let mut seen = seen.lock().unwrap_or_else(|e| e.into_inner());
+                seen.push(format!("{tag}: {message} @ {}", location.unwrap_or("?")));
+            });
+        }
+        let result = std::panic::catch_unwind(|| panic!("boom {}", 7));
+        assert!(result.is_err());
+        let seen = seen.lock().unwrap().clone();
+        assert_eq!(fired.load(Ordering::SeqCst), 2);
+        // Most-recently-installed runs first, then delegates outward.
+        assert!(seen[0].starts_with("inner: boom 7 @ "), "{seen:?}");
+        assert!(seen[1].starts_with("outer: boom 7 @ "), "{seen:?}");
+        assert!(seen[0].contains("hook.rs:"), "{seen:?}");
+    }
+}

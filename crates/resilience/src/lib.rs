@@ -30,6 +30,7 @@
 pub mod crc;
 pub mod fault;
 pub mod guard;
+pub mod hook;
 pub mod io;
 
 pub use crc::crc32;
@@ -37,4 +38,5 @@ pub use fault::{
     FaultPlan, GradFault, MarketFault, MarketFaultKind, PipelineFault, PipelineFaultKind,
 };
 pub use guard::{check_epoch, EpochHealth, GuardConfig, GuardPolicy, HealthIssue};
+pub use hook::chain_panic_hook;
 pub use io::{atomic_write, atomic_write_faulted, retry_io, RetryOutcome};

@@ -790,6 +790,21 @@ pub struct VersionSnapshot {
     pub infer: HistogramSnapshot,
 }
 
+/// Escapes a Prometheus label value: backslash, double quote, and
+/// newline must be backslash-escaped per the text exposition format.
+fn escape_label_value(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
 /// The full `spikefolio.metrics.v1` snapshot.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricsSnapshot {
@@ -886,6 +901,16 @@ impl MetricsSnapshot {
             ),
             ("rejected".to_string(), Value::U64(self.swap.rejected)),
             (
+                "rejected_by_kind".to_string(),
+                Value::Map(
+                    self.swap
+                        .rejected_by_kind
+                        .iter()
+                        .map(|(k, n)| (k.clone(), Value::U64(*n)))
+                        .collect(),
+                ),
+            ),
+            (
                 "last_rejection_kind".to_string(),
                 match &self.swap.last_rejection_kind {
                     Some(k) => Value::Str(k.clone()),
@@ -962,14 +987,26 @@ impl MetricsSnapshot {
         // registry; `swap_rejected` (gate said no) is deliberately a
         // different series from `swap_failures` (reload IO/validation
         // broke mid-swap).
-        let swap_counters: [(&str, u64); 3] = [
-            ("swaps", self.swap.swaps),
-            ("swap_failures", self.swap.failures),
-            ("swap_rejected", self.swap.rejected),
-        ];
+        let swap_counters: [(&str, u64); 2] =
+            [("swaps", self.swap.swaps), ("swap_failures", self.swap.failures)];
         for (name, v) in swap_counters {
             let _ = writeln!(out, "# TYPE spikefolio_serve_{name}_total counter");
             let _ = writeln!(out, "spikefolio_serve_{name}_total {v}");
+        }
+        // Gate rejections are labeled by the gate stage that said no, so
+        // a dashboard can tell an integrity rot from a reward regression
+        // without scraping logs.
+        let _ = writeln!(out, "# TYPE spikefolio_serve_swap_rejected_total counter");
+        if self.swap.rejected_by_kind.is_empty() {
+            let _ = writeln!(out, "spikefolio_serve_swap_rejected_total {}", self.swap.rejected);
+        } else {
+            for (kind, n) in &self.swap.rejected_by_kind {
+                let _ = writeln!(
+                    out,
+                    "spikefolio_serve_swap_rejected_total{{reason=\"{}\"}} {n}",
+                    escape_label_value(kind)
+                );
+            }
         }
         let _ = writeln!(out, "# TYPE spikefolio_serve_model_version gauge");
         let _ = writeln!(out, "spikefolio_serve_model_version {}", self.model_version);
@@ -1226,6 +1263,7 @@ mod tests {
                 rejected: 2,
                 last_rejection_kind: Some("drift".to_string()),
                 last_rejection: Some("entropy drift 0.4 over bound 0.25".to_string()),
+                rejected_by_kind: vec![("drift".to_string(), 1), ("validation".to_string(), 1)],
             },
             Some(64),
         )
@@ -1248,6 +1286,9 @@ mod tests {
             v.get("swap").and_then(|s| s.get("last_rejection_kind")).and_then(Value::as_str),
             Some("drift")
         );
+        let by_kind = v.get("swap").and_then(|s| s.get("rejected_by_kind")).expect("by-kind map");
+        assert_eq!(by_kind.get("drift").and_then(Value::as_u64), Some(1));
+        assert_eq!(by_kind.get("validation").and_then(Value::as_u64), Some(1));
         assert_eq!(
             v.get("trace").and_then(|t| t.get("sample_every")).and_then(Value::as_u64),
             Some(64)
@@ -1263,6 +1304,22 @@ mod tests {
     }
 
     #[test]
+    fn label_values_escape_prometheus_metacharacters() {
+        assert_eq!(escape_label_value("drift"), "drift");
+        assert_eq!(escape_label_value(r#"a"b"#), r#"a\"b"#);
+        assert_eq!(escape_label_value(r"a\b"), r"a\\b");
+        assert_eq!(escape_label_value("a\nb"), "a\\nb");
+        // A hostile kind renders as one well-formed sample line.
+        let mut snap = sample_snapshot();
+        snap.swap.rejected_by_kind = vec![("bad\"kind\n".to_string(), 3)];
+        let text = snap.render_prometheus();
+        assert!(
+            text.contains("spikefolio_serve_swap_rejected_total{reason=\"bad\\\"kind\\n\"} 3"),
+            "{text}"
+        );
+    }
+
+    #[test]
     fn prometheus_rendering_is_well_formed() {
         let text = sample_snapshot().render_prometheus();
         assert!(text.contains("spikefolio_serve_requests_total 3"));
@@ -1274,7 +1331,8 @@ mod tests {
             }
         );
         assert!(text.contains("spikefolio_serve_degraded 0"));
-        assert!(text.contains("spikefolio_serve_swap_rejected_total 2"));
+        assert!(text.contains("spikefolio_serve_swap_rejected_total{reason=\"drift\"} 1"));
+        assert!(text.contains("spikefolio_serve_swap_rejected_total{reason=\"validation\"} 1"));
         assert!(text.contains("spikefolio_serve_swaps_total 1"));
         // Cumulative bucket counts must be monotone per stage.
         let mut last = 0u64;

@@ -8,6 +8,7 @@
 //! checkpoint is fully loaded and shape-checked before the pointer moves,
 //! and any failure leaves the previous model serving untouched.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
@@ -85,6 +86,9 @@ pub struct SwapStatus {
     pub last_rejection_kind: Option<String>,
     /// Human-readable reason for the most recent gate rejection.
     pub last_rejection: Option<String>,
+    /// Gate rejections tallied by kind, sorted by kind name — the data
+    /// behind the per-reason `swap_rejected` Prometheus series.
+    pub rejected_by_kind: Vec<(String, u64)>,
 }
 
 /// The store: current model + loader + swap counters.
@@ -96,6 +100,7 @@ pub struct ModelStore {
     swap_rejections: AtomicU64,
     last_error: Mutex<Option<(String, String)>>,
     last_rejection: Mutex<Option<(String, String)>>,
+    rejections_by_kind: Mutex<BTreeMap<String, u64>>,
 }
 
 impl std::fmt::Debug for ModelStore {
@@ -122,6 +127,7 @@ impl ModelStore {
             swap_rejections: AtomicU64::new(0),
             last_error: Mutex::new(None),
             last_rejection: Mutex::new(None),
+            rejections_by_kind: Mutex::new(BTreeMap::new()),
         })
     }
 
@@ -198,6 +204,7 @@ impl ModelStore {
     pub fn record_rejection(&self, kind: &str, reason: &str) {
         self.swap_rejections.fetch_add(1, Ordering::Relaxed);
         *lock(&self.last_rejection) = Some((kind.to_owned(), reason.to_owned()));
+        *lock(&self.rejections_by_kind).entry(kind.to_owned()).or_insert(0) += 1;
     }
 
     /// Gate rejections recorded so far.
@@ -224,6 +231,10 @@ impl ModelStore {
             rejected: self.rejection_count(),
             last_rejection_kind,
             last_rejection,
+            rejected_by_kind: lock(&self.rejections_by_kind)
+                .iter()
+                .map(|(k, &n)| (k.clone(), n))
+                .collect(),
         }
     }
 }
@@ -360,6 +371,11 @@ mod tests {
         assert_eq!(status.rejected, 2);
         assert_eq!(status.failures, 0, "gate rejections never attempt a reload");
         assert_eq!(status.last_rejection_kind.as_deref(), Some("drift"));
+        assert_eq!(
+            status.rejected_by_kind,
+            vec![("drift".to_string(), 1), ("validation".to_string(), 1)],
+            "per-kind tally is sorted by kind name"
+        );
         assert!(status.last_rejection.as_deref().unwrap().contains("0.41"));
         assert!(status.last_error_kind.is_none(), "rejections don't pollute swap errors");
 

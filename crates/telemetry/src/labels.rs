@@ -125,6 +125,9 @@ pub const COUNTER_DESK_QUARANTINES: &str = "desk/quarantines";
 pub const COUNTER_DESK_RECOVERIES: &str = "desk/recoveries";
 /// Counter: feed polls that returned no new data (stall watchdog ticks).
 pub const COUNTER_DESK_FEED_STALLS: &str = "desk/feed_stalls";
+/// Counter: non-fatal feed anomalies the tail recovered from on its own
+/// (e.g. a torn line that completed but stayed malformed and was dropped).
+pub const COUNTER_DESK_FEED_WARNINGS: &str = "desk/feed_warnings";
 
 /// Counter: dense multiply–accumulates an equivalent ANN forward pass
 /// would execute for the same workload (`Σ_k in_k · out_k · T` per

@@ -78,6 +78,23 @@ pub struct BacktestSummary {
     pub turnover: f64,
 }
 
+/// One live-desk round as read back from its `desk_round` record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeskRoundPoint {
+    /// Round index.
+    pub round: u64,
+    /// Round outcome (`"promoted"`, `"rejected:<kind>"`, ...).
+    pub outcome: String,
+    /// Model version serving after the round resolved.
+    pub served_version: u64,
+    /// Candidate out-of-sample reward at the gate.
+    pub candidate_reward: f64,
+    /// Incumbent out-of-sample reward at the gate.
+    pub incumbent_reward: f64,
+    /// Fine-tune wall-clock seconds, if the writer recorded it.
+    pub wall_s: Option<f64>,
+}
+
 /// Aggregated view of one run log.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunSummary {
@@ -102,6 +119,11 @@ pub struct RunSummary {
     pub counters: BTreeMap<String, u64>,
     /// Completed backtests, in log order.
     pub backtests: Vec<BacktestSummary>,
+    /// Live-desk rounds, in log order (empty for non-desk runs).
+    pub desk_rounds: Vec<DeskRoundPoint>,
+    /// Live-desk quarantine tallies keyed by gate kind
+    /// (`"integrity"`, `"validation"`, `"drift"`, ...).
+    pub desk_quarantines_by_kind: BTreeMap<String, u64>,
 }
 
 impl RunSummary {
@@ -224,6 +246,32 @@ pub fn summarize_lines(reader: impl BufRead) -> io::Result<RunSummary> {
                 if s.timesteps.is_none() {
                     s.timesteps = v.get("timesteps").and_then(Value::as_u64);
                 }
+            }
+            Some("desk_round") => s.desk_rounds.push(DeskRoundPoint {
+                round: v.get("round").and_then(Value::as_u64).unwrap_or(0),
+                outcome: v.get("outcome").and_then(Value::as_str).unwrap_or("unknown").to_owned(),
+                served_version: v.get("served_version").and_then(Value::as_u64).unwrap_or(0),
+                candidate_reward: v
+                    .get("candidate_reward")
+                    .and_then(Value::as_f64)
+                    .unwrap_or(f64::NAN),
+                incumbent_reward: v
+                    .get("incumbent_reward")
+                    .and_then(Value::as_f64)
+                    .unwrap_or(f64::NAN),
+                wall_s: v.get("wall_s").and_then(Value::as_f64),
+            }),
+            Some("desk_quarantine") => {
+                // The gate kind is a *field* also named "kind", so it lands
+                // as the second "kind" entry after the record kind itself.
+                let gate_kind = match &v {
+                    Value::Map(fields) => {
+                        fields.iter().rfind(|(k, _)| k == "kind").and_then(|(_, fv)| fv.as_str())
+                    }
+                    _ => None,
+                };
+                let kind = gate_kind.unwrap_or("unknown").to_owned();
+                *s.desk_quarantines_by_kind.entry(kind).or_insert(0) += 1;
             }
             Some("backtest_end") => s.backtests.push(BacktestSummary {
                 policy: v.get("policy").and_then(Value::as_str).unwrap_or("policy").to_owned(),
@@ -406,6 +454,52 @@ mod tests {
         let stats = s.reward_stats("sdp").unwrap();
         assert_eq!(stats.mean_wall_s, None);
         assert_eq!(stats.mean_grad_norm, None);
+    }
+
+    #[test]
+    fn desk_records_aggregate_into_rounds_and_quarantine_tallies() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.emit(
+            Record::new("desk_round")
+                .field("round", 0u64)
+                .field("outcome", "promoted")
+                .field("served_version", 2u64)
+                .field("candidate_reward", 0.12)
+                .field("incumbent_reward", 0.10)
+                .field("wall_s", 1.25),
+        );
+        sink.emit(
+            Record::new("desk_quarantine")
+                .field("round", 1u64)
+                .field("kind", "drift")
+                .field("reason", "entropy drifted"),
+        );
+        sink.emit(
+            Record::new("desk_round")
+                .field("round", 1u64)
+                .field("outcome", "rejected:drift")
+                .field("served_version", 2u64)
+                .field("candidate_reward", 0.08)
+                .field("incumbent_reward", 0.10),
+        );
+        sink.emit(
+            Record::new("desk_quarantine")
+                .field("round", 2u64)
+                .field("kind", "drift")
+                .field("reason", "entropy drifted again"),
+        );
+        let log = sink.finish().unwrap();
+
+        let s = summarize_lines(&log[..]).unwrap();
+        assert_eq!(s.desk_rounds.len(), 2);
+        assert_eq!(s.desk_rounds[0].round, 0);
+        assert_eq!(s.desk_rounds[0].outcome, "promoted");
+        assert_eq!(s.desk_rounds[0].served_version, 2);
+        assert_eq!(s.desk_rounds[0].wall_s, Some(1.25));
+        assert_eq!(s.desk_rounds[1].outcome, "rejected:drift");
+        assert_eq!(s.desk_rounds[1].wall_s, None);
+        assert_eq!(s.desk_quarantines_by_kind.get("drift"), Some(&2));
+        assert_eq!(s.desk_quarantines_by_kind.len(), 1);
     }
 
     #[test]

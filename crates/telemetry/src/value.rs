@@ -56,6 +56,14 @@ impl Value {
         }
     }
 
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
     /// String view.
     pub fn as_str(&self) -> Option<&str> {
         match self {

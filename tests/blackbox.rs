@@ -1,0 +1,173 @@
+//! Flight-recorder, lineage-ledger, and quarantine-triage acceptance
+//! suite.
+//!
+//! The headline properties: an injected mid-round crash leaves an
+//! atomically written `spikefolio.blackbox.v1` dump whose ordered event
+//! tail ends at the panic; `desk triage` replays a quarantined round's
+//! gate numbers **bitwise** from the manifest and artifacts alone; and
+//! the lineage ledger written during a run reads back losslessly with a
+//! walkable promotion ancestry.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use spikefolio::{
+    render_ancestry, render_desk_top, run_desk_quiet, run_triage, DeskOptions, TriageOptions,
+};
+use spikefolio_blackbox::read_ledger;
+use spikefolio_resilience::FaultPlan;
+use spikefolio_telemetry::value::{parse, Value};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn tmp_dir(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("spikefolio-blackbox-{}-{name}", std::process::id()))
+}
+
+/// The smoke desk shrunk to a test-speed trainer, with the full
+/// observability sidecar armed under its working directory.
+fn fast_opts(name: &str) -> DeskOptions {
+    let dir = tmp_dir(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut opts = DeskOptions::smoke(dir);
+    opts.config.training.epochs = 2;
+    opts.config.training.steps_per_epoch = 2;
+    opts.config.training.batch_size = 4;
+    opts.blackbox = Some(opts.dir.join("blackbox.json"));
+    opts.lineage = Some(opts.dir.join("lineage.jsonl"));
+    opts.status = Some(opts.dir.join("desk-top.json"));
+    opts
+}
+
+#[test]
+fn injected_crash_writes_an_ordered_blackbox_dump() {
+    let dir = tmp_dir("crash-dump");
+    let _ = std::fs::remove_dir_all(&dir);
+    // A scripted `crash` fault panics the desk process mid-round 1; the
+    // chained panic hook must flush the flight recorder on the way down.
+    let out = Command::new(env!("CARGO_BIN_EXE_spikefolio"))
+        .args(["live-desk", "--seed", "5", "--rounds", "2", "--epochs", "2"])
+        .args(["--faults", "crash@1", "--dir"])
+        .arg(&dir)
+        .output()
+        .expect("spawn spikefolio");
+    assert!(!out.status.success(), "a crash fault must kill the process");
+
+    let raw = std::fs::read_to_string(dir.join("blackbox.json")).expect("crash dump written");
+    let v = parse(raw.trim()).expect("dump parses as JSON");
+    assert_eq!(v.get("schema").and_then(Value::as_str), Some("spikefolio.blackbox.v1"));
+    let events = v.get("events").and_then(Value::as_list).expect("events array");
+    assert!(!events.is_empty());
+
+    // Sequence numbers are strictly increasing: the ring preserved order.
+    let seqs: Vec<u64> =
+        events.iter().map(|e| e.get("seq").and_then(Value::as_u64).unwrap()).collect();
+    assert!(seqs.windows(2).all(|w| w[0] < w[1]), "unordered tail: {seqs:?}");
+
+    // The tail runs right up to the fault: the crash event carries its
+    // round, and the very last event is the panic itself.
+    let stages: Vec<&str> =
+        events.iter().map(|e| e.get("stage").and_then(Value::as_str).unwrap()).collect();
+    assert_eq!(*stages.last().unwrap(), "panic", "{stages:?}");
+    let crash = stages.iter().position(|s| *s == "fault/crash").expect("fault/crash recorded");
+    assert!(crash < stages.len() - 1, "crash event must precede the panic: {stages:?}");
+    assert_eq!(events[crash].get("round").and_then(Value::as_u64), Some(1));
+    let message = events.last().unwrap().get("message").and_then(Value::as_str).unwrap_or("");
+    assert!(message.contains("injected crash fault"), "{message:?}");
+}
+
+#[test]
+fn triage_replays_a_quarantined_gate_bitwise() {
+    // A zero drift bound quarantines every candidate whose entropy moved
+    // at all — guaranteeing at least one manifest with the reward stage
+    // (and usually the drift stage) evaluated.
+    let mut opts = fast_opts("triage-drift");
+    opts.rounds = 2;
+    opts.drift_threshold = 0.0;
+    let dir = opts.dir.clone();
+    let config = opts.config.clone();
+    let report = run_desk_quiet(opts).expect("desk completes");
+    assert!(report.quarantines >= 1, "zero drift bound must quarantine: {report:?}");
+
+    let t = run_triage(&TriageOptions { config, dir, round: None }).expect("triage replays");
+    assert!(matches!(t.kind.as_str(), "drift" | "validation"), "{t:?}");
+    assert!(t.reward_evaluated, "reward stage ran at desk time: {t:?}");
+    assert_eq!(t.candidate_reward.bitwise_match(), Some(true), "{t:?}");
+    assert_eq!(t.incumbent_reward.bitwise_match(), Some(true), "{t:?}");
+    if t.drift_evaluated {
+        assert_eq!(t.entropy_drift.bitwise_match(), Some(true), "{t:?}");
+    }
+    assert!(t.reproduced(), "{t:?}");
+}
+
+#[test]
+fn triage_reproduces_an_integrity_quarantine_as_a_failing_load() {
+    // Two corruptions in round 1 re-rot the heal, so the integrity probe
+    // rejects the candidate and the rotten bytes land in quarantine. The
+    // *reproduction* of that quarantine is the load failing again.
+    let mut opts = fast_opts("triage-integrity");
+    opts.rounds = 2;
+    opts.faults = spikefolio::parse_fault_spec("corrupt@1,corrupt@1", opts.seed).unwrap();
+    let dir = opts.dir.clone();
+    let config = opts.config.clone();
+    let report = run_desk_quiet(opts).expect("desk completes");
+    assert_eq!(report.rounds[1].outcome, "rejected:integrity", "{report:?}");
+
+    let t = run_triage(&TriageOptions { config, dir, round: Some(1) }).expect("triage replays");
+    assert_eq!(t.kind, "integrity");
+    assert_eq!(t.integrity_recorded, Some(false));
+    assert!(!t.integrity_replayed, "rotten bytes must still fail to load");
+    assert!(t.candidate_load_error.is_some());
+    // The desk judged the *in-memory* candidate's reward before probing
+    // the bytes on disk, so the candidate side is unreplayable from the
+    // rotten artifact — while the incumbent still replays bitwise.
+    assert_eq!(t.candidate_reward.bitwise_match(), None, "{t:?}");
+    assert_eq!(t.incumbent_reward.bitwise_match(), Some(true), "{t:?}");
+    assert!(t.reproduced(), "{t:?}");
+}
+
+#[test]
+fn desk_run_writes_readable_ledger_ancestry_and_status() {
+    let opts = fast_opts("ledger");
+    let dir = opts.dir.clone();
+    let report = run_desk_quiet(opts).expect("desk completes");
+
+    let log = read_ledger(dir.join("lineage.jsonl")).expect("ledger reads");
+    assert_eq!(log.skipped, 0, "a clean run's ledger has no torn lines");
+    assert_eq!(log.entries.len(), report.rounds.len(), "one entry per round");
+    if report.promotions > 0 {
+        let chain = render_ancestry(&log, report.final_version);
+        assert!(
+            chain.contains(&format!("v{}", report.final_version)),
+            "ancestry of the final version must start at it: {chain:?}"
+        );
+    }
+
+    // The final status snapshot marks the run done and renders a frame.
+    let raw = std::fs::read_to_string(dir.join("desk-top.json")).expect("status written");
+    let v = parse(raw.trim()).expect("status parses");
+    assert_eq!(v.get("schema").and_then(Value::as_str), Some("spikefolio.deskstatus.v1"));
+    assert_eq!(v.get("done"), Some(&Value::Bool(true)));
+    let frame = render_desk_top(&v);
+    assert!(frame.contains("DONE"), "{frame}");
+
+    // A clean run still flushes its blackbox at run end.
+    let dump = std::fs::read_to_string(dir.join("blackbox.json")).expect("end-of-run dump");
+    let d = parse(dump.trim()).expect("dump parses");
+    assert_eq!(d.get("schema").and_then(Value::as_str), Some("spikefolio.blackbox.v1"));
+}
+
+#[test]
+fn armed_recorder_does_not_change_the_desk_outcome() {
+    // The sidecar is observe-only: a run with the blackbox, ledger, and
+    // status file armed must land on bitwise the same decisions and
+    // weights as a bare run of the same seed.
+    let mut bare = fast_opts("bare");
+    bare.blackbox = None;
+    bare.lineage = None;
+    bare.status = None;
+    bare.faults = FaultPlan::default();
+    let bare_report = run_desk_quiet(bare).expect("bare run completes");
+    let armed_report = run_desk_quiet(fast_opts("armed")).expect("armed run completes");
+    assert_eq!(bare_report.final_weights_crc, armed_report.final_weights_crc);
+    assert_eq!(bare_report.to_json(), armed_report.to_json());
+}
