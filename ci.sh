@@ -188,4 +188,37 @@ assert len(d["entries"]) == 4, f"{len(d['entries'])} ledger entries != 4 desk ro
 print(f"    lineage ledger OK: {len(d['entries'])} entries, 0 skipped")
 PYEOF
 
+echo "==> scenario matrix smoke (2 universes x 2 scenarios; schema + determinism + coverage)"
+cargo run --release -q --bin spikefolio -- scenarios run \
+  --universes crypto,equity --scenarios calm,flash-crash --smoke --seed 11 \
+  --json --out target/scenario_smoke_a.json > /dev/null
+cargo run --release -q --bin spikefolio -- scenarios run \
+  --universes crypto,equity --scenarios calm,flash-crash --smoke --seed 11 \
+  --json --out target/scenario_smoke_b.json > /dev/null
+cmp target/scenario_smoke_a.json target/scenario_smoke_b.json \
+  || { echo "scorecard not bitwise-deterministic under a pinned seed"; exit 1; }
+python3 - <<'PYEOF'
+import json
+d = json.load(open("target/scenario_smoke_a.json"))
+assert d["schema"] == "spikefolio.scorecard.v1", f"schema: {d.get('schema')}"
+assert d["seed"] == 11, f"seed: {d.get('seed')}"
+universes, scenarios = ["crypto", "equity"], ["calm", "flash-crash"]
+strategies = ["SDP", "DRL[Jiang]", "EIIE", "DDPG", "ONS", "ANTICOR", "UCRP", "Buy and Hold"]
+assert d["universes"] == universes and d["scenarios"] == scenarios, \
+    f"axes: {d['universes']} x {d['scenarios']}"
+assert set(d["strategies"]) == set(strategies), f"strategies: {d['strategies']}"
+cells = {(c["universe"], c["scenario"], c["strategy"]): c for c in d["cells"]}
+assert len(cells) == len(d["cells"]) == len(universes) * len(scenarios) * len(strategies), \
+    f"{len(d['cells'])} cells (after dedup {len(cells)})"
+for u in universes:
+    for s in scenarios:
+        for strat in strategies:
+            c = cells[(u, s, strat)]
+            for k in ("reward", "sharpe", "max_drawdown", "turnover", "cost_drag", "final_value"):
+                assert isinstance(c[k], (int, float)) and c[k] == c[k], f"{(u,s,strat)}: bad {k}"
+            assert c["final_value"] > 0, f"{(u,s,strat)}: value {c['final_value']}"
+assert "wall_s" not in json.dumps(d), "scorecard must not carry wall-clock fields"
+print(f"    scenario matrix OK: {len(d['cells'])} cells, deterministic replay, all strategies scored")
+PYEOF
+
 echo "CI checks passed."

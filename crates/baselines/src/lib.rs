@@ -78,9 +78,29 @@ pub fn extended_baselines() -> Vec<Box<dyn Policy>> {
     v
 }
 
+/// Compact roster for the scenario stress matrix: one representative per
+/// survey family (meta-learning ONS, follow-the-loser ANTICOR, benchmark
+/// UCRP) plus buy-and-hold as the zero-turnover control — small enough
+/// that the full (universe × scenario) matrix stays fast, broad enough
+/// that every family is scored under stress.
+pub fn scenario_baselines() -> Vec<Box<dyn Policy>> {
+    vec![
+        Box::new(Ons::new()),
+        Box::new(Anticor::new()),
+        Box::new(Ucrp::new()),
+        Box::new(BuyAndHold::new()),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn scenario_roster_is_compact_with_a_zero_turnover_control() {
+        let names: Vec<String> = scenario_baselines().iter().map(|p| p.name().to_owned()).collect();
+        assert_eq!(names, vec!["ONS", "ANTICOR", "UCRP", "Buy and Hold"]);
+    }
 
     #[test]
     fn all_five_baselines_are_exposed() {

@@ -29,6 +29,8 @@
 //!                      [--faults SPEC] [--dir DIR] [--csv FEED.csv] [--backend float|loihi]
 //!                      [--out REPORT.json] [--telemetry RUN.jsonl]
 //!                      [--blackbox DUMP.json] [--lineage LEDGER.jsonl] [--status STATUS.json]
+//! spikefolio scenarios run [--all | --universes a,b] [--scenarios x,y] [--seed N] [--smoke]
+//!                          [--out CARD.json] [--json] [--telemetry RUN.jsonl]
 //! spikefolio desk triage --dir DIR [--round N] [--full] [--json]
 //! spikefolio desk-top --status STATUS.json [--interval-ms N] [--iterations N] [--raw]
 //! spikefolio lineage LEDGER.jsonl [--json] [--version N]
@@ -52,10 +54,12 @@ use spikefolio::serving::{
 use spikefolio::telemetry_report::{empty_run_message, format_run_summary};
 use spikefolio::{
     lineage_json, parse_fault_spec, render_ancestry, render_lineage_ledger, run_desk, run_desk_top,
-    run_triage, DeskOptions, DeskTopOptions, SdpConfig, TriageOptions,
+    run_scenario_matrix, run_triage, DeskOptions, DeskTopOptions, ScenarioMatrixOptions, SdpConfig,
+    TriageOptions,
 };
 use spikefolio_market::experiments::ExperimentPreset;
 use spikefolio_market::stats::market_stats;
+use spikefolio_scenario::Scenario;
 use spikefolio_serve::{run_loadgen, LoadgenOptions, ServiceConfig};
 use spikefolio_telemetry::JsonlSink;
 
@@ -190,6 +194,7 @@ fn usage() -> ! {
            serve-top    live metrics dashboard for a running server (--addr HOST:PORT)\n  \
            loadgen      drive a server: --smoke | --addr HOST:PORT | --self-bench\n  \
            live-desk    continuous-learning loop: train, gate, hot-swap (--faults SPEC)\n  \
+           scenarios run  stress-suite matrix: universes × scenarios × strategies scorecard\n  \
            desk triage  replay a quarantined candidate's gate bitwise (--dir DIR)\n  \
            desk-top     live desk dashboard from a status file (--status PATH)\n  \
            lineage <LEDGER.jsonl>            render the model lineage ledger\n  \
@@ -336,6 +341,10 @@ const TRIAGE_FLAGS: FlagSpec =
 const DESK_TOP_FLAGS: FlagSpec =
     FlagSpec { value: &["--status", "--interval-ms", "--iterations"], boolean: &["--raw"] };
 const LINEAGE_FLAGS: FlagSpec = FlagSpec { value: &["--version"], boolean: &["--json"] };
+const SCENARIOS_FLAGS: FlagSpec = FlagSpec {
+    value: &["--seed", "--universes", "--scenarios", "--out", "--telemetry"],
+    boolean: &["--all", "--smoke", "--json"],
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -723,6 +732,69 @@ fn main() {
                 }
             }
         }
+        "scenarios" => match args.get(1).map(String::as_str) {
+            Some("run") => {
+                SCENARIOS_FLAGS.check(&args[2..]);
+                let a = &args[2..];
+                let subset = flag_value(a, "--universes").is_some()
+                    || flag_value(a, "--scenarios").is_some();
+                if has_flag(a, "--all") && subset {
+                    fail("--all cannot be combined with --universes/--scenarios");
+                }
+                if !has_flag(a, "--all") && !subset {
+                    fail(
+                        "scenarios run expects --all (full matrix) or a subset via \
+                         --universes/--scenarios",
+                    );
+                }
+                let mut opts = ScenarioMatrixOptions::default();
+                opts.seed = parsed_flag(a, "--seed", opts.seed);
+                opts.smoke = has_flag(a, "--smoke");
+                if let Some(list) = flag_value(a, "--universes") {
+                    opts.universes = list.split(',').map(str::to_owned).collect();
+                }
+                if let Some(list) = flag_value(a, "--scenarios") {
+                    opts.scenarios = list
+                        .split(',')
+                        .map(|name| {
+                            Scenario::from_name(name).unwrap_or_else(|| {
+                                let known: Vec<&str> =
+                                    Scenario::ALL.iter().map(Scenario::name).collect();
+                                fail(&format!(
+                                    "unknown scenario '{name}'; known: {}",
+                                    known.join(", ")
+                                ))
+                            })
+                        })
+                        .collect();
+                }
+                let json = has_flag(a, "--json");
+                let out = flag_value(a, "--out").map(str::to_owned);
+                run_with_optional_telemetry(
+                    a,
+                    |rec| run_scenario_matrix(&opts, rec).unwrap_or_else(|e| fail(&e)),
+                    |card| {
+                        if let Some(path) = &out {
+                            let mut doc = card.to_json();
+                            doc.push('\n');
+                            std::fs::write(path, doc).unwrap_or_else(|e| {
+                                fail(&format!("cannot write scorecard '{path}': {e}"))
+                            });
+                            eprintln!("scorecard written to {path}");
+                        }
+                        if json {
+                            let mut doc = card.to_json();
+                            doc.push('\n');
+                            doc
+                        } else {
+                            card.render()
+                        }
+                    },
+                );
+            }
+            Some(other) => fail(&format!("unknown scenarios subcommand '{other}'")),
+            None => usage(),
+        },
         "desk" => match args.get(1).map(String::as_str) {
             Some("triage") => {
                 TRIAGE_FLAGS.check(&args[2..]);

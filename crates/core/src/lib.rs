@@ -48,6 +48,7 @@
 pub mod agent;
 pub mod checkpoint;
 pub mod config;
+pub mod ddpg;
 pub mod deploy;
 pub mod desk;
 pub mod desk_top;
@@ -59,6 +60,7 @@ pub mod guarded;
 pub mod online;
 pub mod profiling;
 pub mod report;
+pub mod scenarios;
 pub mod serving;
 pub mod sweep;
 pub mod telemetry_report;
@@ -68,6 +70,7 @@ pub mod validation;
 
 pub use agent::SdpAgent;
 pub use config::SdpConfig;
+pub use ddpg::DdpgAgent;
 pub use deploy::LoihiDeployment;
 pub use desk::{parse_fault_spec, run_desk, run_desk_quiet, DeskOptions, DeskReport, RoundRecord};
 pub use desk_top::{
@@ -76,5 +79,6 @@ pub use desk_top::{
 };
 pub use drl::DrlAgent;
 pub use guarded::{train_sdp_guarded, GuardedOutcome, ResilienceOptions};
+pub use scenarios::{run_scenario_matrix, ScenarioMatrixOptions};
 pub use training::{Trainer, TrainingLog};
 pub use triage::{run_triage, TriageOptions, TriageReport};

@@ -1,0 +1,244 @@
+//! The scenario matrix runner: (universe × scenario × strategy) →
+//! [`Scorecard`].
+//!
+//! For every selected universe the runner generates the seeded market,
+//! trains the four learned agents (SDP, DRL\[Jiang\], EIIE, DDPG) once on
+//! the *clean* training window, then backtests each trained agent — plus
+//! the classical [`scenario_baselines`] roster — on every stress overlay
+//! of the test window. Training never sees the stress: the matrix
+//! measures how policies fit on ordinary regimes survive tails they were
+//! not shown.
+//!
+//! Determinism contract: the scorecard depends only on `(options, seed)`.
+//! Per-cell wall-clock goes to telemetry `scenario_cell` records, never
+//! into the scorecard document.
+
+use crate::agent::SdpAgent;
+use crate::config::SdpConfig;
+use crate::ddpg::DdpgAgent;
+use crate::drl::DrlAgent;
+use crate::eiie::EiieAgent;
+use crate::training::Trainer;
+use spikefolio_baselines::scenario_baselines;
+use spikefolio_env::{BacktestConfig, Backtester, CostModel, Policy};
+use spikefolio_market::{UniverseGrid, UniverseSpec};
+use spikefolio_scenario::{Scenario, Scorecard, ScorecardCell};
+use spikefolio_telemetry::{Record, Recorder};
+use std::time::Instant;
+
+/// Options for one `scenarios run`.
+#[derive(Debug, Clone)]
+pub struct ScenarioMatrixOptions {
+    /// Master seed: market generation, agent init, and training all derive
+    /// from it.
+    pub seed: u64,
+    /// Universe names to include (empty = the whole
+    /// [`UniverseSpec::standard_set`]).
+    pub universes: Vec<String>,
+    /// Scenarios to include (empty = [`Scenario::ALL`]).
+    pub scenarios: Vec<Scenario>,
+    /// Use the minutes-scale smoke grid and training budget (CI scale).
+    pub smoke: bool,
+    /// Cost model applied in every cell (training and evaluation).
+    pub costs: CostModel,
+}
+
+impl Default for ScenarioMatrixOptions {
+    fn default() -> Self {
+        Self {
+            seed: 20220314,
+            universes: Vec::new(),
+            scenarios: Vec::new(),
+            smoke: false,
+            costs: CostModel::realistic_frictions(),
+        }
+    }
+}
+
+/// Short human-readable tag for the scorecard's `cost_model` field.
+fn describe_costs(costs: &CostModel) -> String {
+    match *costs {
+        CostModel::Free => "free".to_owned(),
+        CostModel::Proportional { rate } => format!("proportional(rate={rate})"),
+        CostModel::Iterative { buy, sell } => format!("iterative(buy={buy}, sell={sell})"),
+        CostModel::Frictional { commission, half_spread, impact, depth } => {
+            format!("frictional(c={commission}, s={half_spread}, k={impact}, d={depth})")
+        }
+    }
+}
+
+/// Resolves the universe specs for `opts`, validating requested names.
+fn select_universes(opts: &ScenarioMatrixOptions) -> Result<Vec<UniverseSpec>, String> {
+    let grid = if opts.smoke { UniverseGrid::smoke() } else { UniverseGrid::standard() };
+    let all = UniverseSpec::standard_set(grid);
+    if opts.universes.is_empty() {
+        return Ok(all);
+    }
+    let known: Vec<&str> = all.iter().map(|s| s.name.as_str()).collect();
+    let mut picked = Vec::new();
+    for name in &opts.universes {
+        match all.iter().find(|s| &s.name == name) {
+            Some(spec) => picked.push(spec.clone()),
+            None => return Err(format!("unknown universe {name:?}; known: {}", known.join(", "))),
+        }
+    }
+    Ok(picked)
+}
+
+/// The training/evaluation configuration for one universe of the matrix.
+fn matrix_config(opts: &ScenarioMatrixOptions) -> SdpConfig {
+    let mut cfg = SdpConfig::smoke();
+    if !opts.smoke {
+        cfg.training.epochs = 6;
+        cfg.training.steps_per_epoch = 16;
+        cfg.training.batch_size = 32;
+    }
+    cfg.backtest.costs = opts.costs;
+    cfg.seed = opts.seed;
+    cfg
+}
+
+/// Runs the full matrix, emitting one telemetry `scenario_cell` record per
+/// evaluated cell (with wall-clock) and returning the scorecard (without
+/// wall-clock — the document is bitwise-deterministic under a pinned
+/// seed).
+///
+/// # Errors
+///
+/// Returns an error for an unknown universe name.
+pub fn run_scenario_matrix(
+    opts: &ScenarioMatrixOptions,
+    rec: &mut dyn Recorder,
+) -> Result<Scorecard, String> {
+    let specs = select_universes(opts)?;
+    let scenarios: Vec<Scenario> =
+        if opts.scenarios.is_empty() { Scenario::ALL.to_vec() } else { opts.scenarios.clone() };
+    let cfg = matrix_config(opts);
+    let backtester = Backtester::new(BacktestConfig {
+        costs: opts.costs,
+        risk_free_per_period: cfg.backtest.risk_free_per_period,
+    });
+
+    let mut card =
+        Scorecard { seed: opts.seed, cost_model: describe_costs(&opts.costs), cells: Vec::new() };
+    for (u_idx, spec) in specs.iter().enumerate() {
+        let (train, test) = spec.generate_split(opts.seed);
+        // Per-universe agent seed: distinct streams per universe, all
+        // derived from the master seed.
+        let agent_seed = opts.seed.wrapping_add(u_idx as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut ucfg = cfg.clone();
+        ucfg.seed = agent_seed;
+        let trainer = Trainer::new(&ucfg);
+
+        let mut sdp = SdpAgent::new(&ucfg, train.num_assets(), agent_seed);
+        trainer.train_sdp_with(&mut sdp, &train, rec);
+        let mut drl = DrlAgent::new(&ucfg, train.num_assets(), agent_seed ^ 0xd71);
+        trainer.train_drl_with(&mut drl, &train, rec);
+        let mut eiie = EiieAgent::new(&ucfg, train.num_assets(), agent_seed ^ 0xe11e);
+        trainer.train_eiie_with(&mut eiie, &train, rec);
+        let mut ddpg = DdpgAgent::new(&ucfg, train.num_assets(), agent_seed ^ 0xddb6);
+        trainer.train_ddpg_with(&mut ddpg, &train, rec);
+
+        for scenario in &scenarios {
+            let stressed = scenario.apply(&test);
+            let mut roster: Vec<Box<dyn Policy>> = vec![
+                Box::new(sdp.clone()),
+                Box::new(drl.clone()),
+                Box::new(eiie.clone()),
+                Box::new(ddpg.clone()),
+            ];
+            roster.extend(scenario_baselines());
+            for mut policy in roster {
+                let t0 = Instant::now();
+                let result = backtester.run(policy.as_mut(), &stressed);
+                let wall_s = t0.elapsed().as_secs_f64();
+                let cell = ScorecardCell {
+                    universe: spec.name.clone(),
+                    scenario: scenario.name().to_owned(),
+                    strategy: result.policy_name.clone(),
+                    reward: result.log_returns.iter().sum(),
+                    sharpe: result.metrics.sharpe,
+                    max_drawdown: result.metrics.mdd,
+                    turnover: result.turnover,
+                    cost_drag: result.cost_drag(),
+                    final_value: result.fapv(),
+                };
+                if rec.enabled() {
+                    rec.emit(
+                        Record::new("scenario_cell")
+                            .field("universe", cell.universe.as_str())
+                            .field("scenario", cell.scenario.as_str())
+                            .field("strategy", cell.strategy.as_str())
+                            .field("reward", cell.reward)
+                            .field("sharpe", cell.sharpe)
+                            .field("max_drawdown", cell.max_drawdown)
+                            .field("turnover", cell.turnover)
+                            .field("cost_drag", cell.cost_drag)
+                            .field("final_value", cell.final_value)
+                            .field("wall_s", wall_s),
+                    );
+                }
+                card.cells.push(cell);
+            }
+        }
+    }
+    Ok(card)
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+    use super::*;
+    use spikefolio_telemetry::{NoopRecorder, Value};
+
+    fn smoke_opts() -> ScenarioMatrixOptions {
+        ScenarioMatrixOptions {
+            seed: 7,
+            universes: vec!["crypto".into()],
+            scenarios: vec![Scenario::Calm, Scenario::FlashCrash],
+            smoke: true,
+            costs: CostModel::realistic_frictions(),
+        }
+    }
+
+    #[test]
+    fn unknown_universe_is_rejected_with_known_names() {
+        let mut opts = smoke_opts();
+        opts.universes = vec!["moonbase".into()];
+        let err = run_scenario_matrix(&opts, &mut NoopRecorder).unwrap_err();
+        assert!(err.contains("moonbase") && err.contains("crypto"), "{err}");
+    }
+
+    #[test]
+    fn matrix_covers_every_cell_and_emits_telemetry() {
+        let opts = smoke_opts();
+        let mut rec = spikefolio_telemetry::MemoryRecorder::new();
+        let card = run_scenario_matrix(&opts, &mut rec).unwrap();
+        // 1 universe × 2 scenarios × (4 learned + 4 classical) strategies.
+        assert_eq!(card.cells.len(), 2 * 8);
+        assert_eq!(card.universes(), vec!["crypto"]);
+        assert_eq!(card.scenarios(), vec!["calm", "flash-crash"]);
+        let strategies = card.strategies();
+        for expected in ["SDP", "DRL[Jiang]", "EIIE", "DDPG", "ONS", "Buy and Hold"] {
+            assert!(strategies.contains(&expected), "missing {expected}");
+        }
+        // Telemetry carries wall-clock; the scorecard does not.
+        let scenario_records: Vec<_> =
+            rec.records().iter().filter(|r| r.kind() == "scenario_cell").collect();
+        assert_eq!(scenario_records.len(), 16);
+        assert!(scenario_records.iter().all(|r| r.get("wall_s").and_then(Value::as_f64).is_some()));
+        assert!(!card.to_json().contains("wall_s"));
+    }
+
+    #[test]
+    fn scorecard_replays_bitwise_under_the_same_seed() {
+        let opts = ScenarioMatrixOptions {
+            scenarios: vec![Scenario::Calm],
+            universes: vec!["fx".into()],
+            ..smoke_opts()
+        };
+        let a = run_scenario_matrix(&opts, &mut NoopRecorder).unwrap();
+        let b = run_scenario_matrix(&opts, &mut NoopRecorder).unwrap();
+        assert_eq!(a.to_json(), b.to_json());
+    }
+}

@@ -26,7 +26,8 @@ pub fn empty_run_message(path: &str, s: &RunSummary) -> Option<String> {
         || s.spike_totals.samples > 0
         || !s.firing_rates.is_empty()
         || !s.desk_rounds.is_empty()
-        || !s.desk_quarantines_by_kind.is_empty();
+        || !s.desk_quarantines_by_kind.is_empty()
+        || !s.scenario_cells.is_empty();
     if has_content {
         return None;
     }
@@ -56,8 +57,46 @@ pub fn format_run_summary(s: &RunSummary) -> String {
     push_counters(&mut out, s);
     push_backtests(&mut out, s);
     push_desk(&mut out, s);
+    push_scenarios(&mut out, s);
     push_energy(&mut out, s);
     out
+}
+
+fn push_scenarios(out: &mut String, s: &RunSummary) {
+    if s.scenario_cells.is_empty() {
+        return;
+    }
+    out.push_str("\n== scenario matrix ==\n");
+    let universes: Vec<&str> = {
+        let mut seen = Vec::new();
+        for c in &s.scenario_cells {
+            if !seen.contains(&c.universe.as_str()) {
+                seen.push(c.universe.as_str());
+            }
+        }
+        seen
+    };
+    out.push_str(&format!(
+        "{} cell(s) across {} universe(s); metrics live in the scorecard JSON\n",
+        s.scenario_cells.len(),
+        universes.len(),
+    ));
+    out.push_str(&format!(
+        "{:<14} {:<20} {:<20} {:>10} {:>12} {:>10}\n",
+        "universe", "scenario", "strategy", "reward", "value", "wall(s)"
+    ));
+    let opt = |v: Option<f64>| v.map_or_else(|| "-".to_owned(), |x| format!("{x:.3}"));
+    for c in &s.scenario_cells {
+        out.push_str(&format!(
+            "{:<14} {:<20} {:<20} {:>10.4} {:>12.4} {:>10}\n",
+            c.universe,
+            c.scenario,
+            c.strategy,
+            c.reward,
+            c.final_value,
+            opt(c.wall_s)
+        ));
+    }
 }
 
 fn push_desk(out: &mut String, s: &RunSummary) {
@@ -365,6 +404,43 @@ mod tests {
         }
         // A desk-only log is summarizable, not "empty".
         assert!(empty_run_message("desk.jsonl", &summary).is_none());
+    }
+
+    #[test]
+    fn scenario_section_renders_cells_with_wall_clock() {
+        let mut sink = spikefolio_telemetry::JsonlSink::new(Vec::new());
+        sink.emit(
+            Record::new("scenario_cell")
+                .field("universe", "crypto")
+                .field("scenario", "flash-crash")
+                .field("strategy", "SDP")
+                .field("reward", -0.12)
+                .field("final_value", 0.8869)
+                .field("wall_s", 0.031),
+        );
+        sink.emit(
+            Record::new("scenario_cell")
+                .field("universe", "equity")
+                .field("scenario", "calm")
+                .field("strategy", "Buy and Hold")
+                .field("reward", 0.04)
+                .field("final_value", 1.0408)
+                .field("wall_s", 0.005),
+        );
+        let log = sink.finish().unwrap();
+        let summary = spikefolio_telemetry::summarize_lines(&log[..]).unwrap();
+        let text = format_run_summary(&summary);
+        for needle in [
+            "== scenario matrix ==",
+            "2 cell(s) across 2 universe(s)",
+            "flash-crash",
+            "Buy and Hold",
+            "0.031",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        // A scenario-only log is summarizable, not "empty".
+        assert!(empty_run_message("matrix.jsonl", &summary).is_none());
     }
 
     #[test]

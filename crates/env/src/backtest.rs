@@ -74,6 +74,8 @@ pub struct BacktestResult {
     pub log_returns: Vec<f64>,
     /// Total one-way turnover `Σ_t Σ_i |w_t,i − w'_t,i|`.
     pub turnover: f64,
+    /// Value fraction `1 − μ_t` paid to transaction costs at each step.
+    pub costs_paid: Vec<f64>,
     /// Metric bundle over the value curve.
     pub metrics: Metrics,
 }
@@ -82,6 +84,13 @@ impl BacktestResult {
     /// Final accumulated portfolio value (eq. 15).
     pub fn fapv(&self) -> f64 {
         self.metrics.fapv
+    }
+
+    /// Total cost drag: the fraction of final value lost to transaction
+    /// costs over the whole run, `1 − Π_t μ_t`. Zero when every rebalance
+    /// was free.
+    pub fn cost_drag(&self) -> f64 {
+        1.0 - self.costs_paid.iter().map(|c| 1.0 - c).product::<f64>()
     }
 
     /// Per-period simple returns of the run.
@@ -155,6 +164,11 @@ impl Backtester {
         let mut weights_hist = Vec::new();
         let mut log_returns = Vec::new();
         let mut turnover = 0.0;
+        let mut costs_paid = Vec::new();
+        // Volume-dependent models read per-leg liquidity; the others get
+        // an empty slice (typical liquidity) and skip the volume scan.
+        let volume_sensitive = matches!(self.config.costs, CostModel::Frictional { .. });
+        let mut liquidity: Vec<f64> = Vec::new();
 
         for t in warmup..n_periods - 1 {
             let step_watch = Stopwatch::start(rec);
@@ -175,10 +189,14 @@ impl Backtester {
             let step_turnover =
                 spikefolio_tensor::vector::l1_distance(&target, portfolio.weights());
             turnover += step_turnover;
+            if volume_sensitive {
+                liquidity = relative_liquidity(market, t);
+            }
             let y = market.price_relatives_with_cash(t + 1);
-            let r = portfolio.step(&target, &y, &self.config.costs);
+            let r = portfolio.step_with_liquidity(&target, &y, &self.config.costs, &liquidity);
             values.push(portfolio.value());
             log_returns.push(r);
+            costs_paid.push(1.0 - portfolio.last_shrink_factor());
             weights_hist.push(target);
             step_watch.stop(rec, labels::SPAN_BACKTEST_STEP);
             if rec.enabled() {
@@ -204,6 +222,7 @@ impl Backtester {
             weights: weights_hist,
             log_returns,
             turnover,
+            costs_paid,
             metrics,
         };
         if rec.enabled() {
@@ -212,11 +231,30 @@ impl Backtester {
                     .field("policy", result.policy_name.as_str())
                     .field("steps", result.log_returns.len() as u64)
                     .field("final_value", result.fapv())
-                    .field("turnover", result.turnover),
+                    .field("turnover", result.turnover)
+                    .field("cost_drag", result.cost_drag()),
             );
         }
         result
     }
+}
+
+/// Per-leg relative liquidity at period `t`: the period's traded volume
+/// over its trailing-window average (window `LIQUIDITY_WINDOW`), clamped
+/// to `[0.05, 20]` so a single torn print can't zero out the book.
+fn relative_liquidity(market: &MarketData, t: usize) -> Vec<f64> {
+    const LIQUIDITY_WINDOW: usize = 20;
+    let window = LIQUIDITY_WINDOW.min(t + 1);
+    (0..market.num_assets())
+        .map(|a| {
+            let avg = market.trailing_volume(t, a, window) / window as f64;
+            if avg <= 0.0 {
+                1.0
+            } else {
+                (market.candle(t, a).volume / avg).clamp(0.05, 20.0)
+            }
+        })
+        .collect()
 }
 
 /// Always-cash policy (useful as a control and for warm-up accounting).
@@ -340,6 +378,42 @@ mod tests {
         .run(&mut Flipper(false), &m);
         assert!(paid.fapv() < free.fapv());
         assert!(paid.turnover > 1.0);
+    }
+
+    #[test]
+    fn cost_drag_is_positive_for_rebalancers_and_zero_when_free() {
+        let m = market();
+        let paid = Backtester::default().run(&mut Uniform, &m);
+        assert!(paid.cost_drag() > 0.0, "uniform rebalancing paid no costs");
+        assert_eq!(paid.costs_paid.len(), paid.log_returns.len());
+        let free =
+            Backtester::new(BacktestConfig { costs: CostModel::Free, risk_free_per_period: 0.0 })
+                .run(&mut Uniform, &m);
+        assert_eq!(free.cost_drag(), 0.0);
+        let idle = Backtester::default().run(&mut HoldCash, &m);
+        assert_eq!(idle.cost_drag(), 0.0, "holding cash paid costs");
+    }
+
+    #[test]
+    fn frictional_costs_exceed_bare_commission_costs() {
+        let m = market();
+        let comm = Backtester::new(BacktestConfig {
+            costs: CostModel::Proportional { rate: 0.0025 },
+            risk_free_per_period: 0.0,
+        })
+        .run(&mut Uniform, &m);
+        let frict = Backtester::new(BacktestConfig {
+            costs: CostModel::realistic_frictions(),
+            risk_free_per_period: 0.0,
+        })
+        .run(&mut Uniform, &m);
+        assert!(
+            frict.cost_drag() > comm.cost_drag(),
+            "frictions {} not dearer than commission {}",
+            frict.cost_drag(),
+            comm.cost_drag()
+        );
+        assert!(frict.fapv() < comm.fapv());
     }
 
     #[test]

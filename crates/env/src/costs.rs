@@ -1,13 +1,17 @@
 //! Transaction-cost models: the `μ_t` shrink factor of eq. (1).
 //!
 //! Rebalancing from the drifted weights `w'` to the target weights `w`
-//! shrinks portfolio value by a factor `μ_t ∈ (0, 1]`. Two models are
+//! shrinks portfolio value by a factor `μ_t ∈ (0, 1]`. Three models are
 //! provided:
 //!
 //! * [`CostModel::Proportional`] — the common first-order approximation
 //!   `μ = 1 − c · Σ_{i≥1} |w_i − w'_i|` over the risky assets.
 //! * [`CostModel::Iterative`] — Jiang et al.'s exact fixed-point equation
 //!   with separate buy/sell commission rates, solved by iteration.
+//! * [`CostModel::Frictional`] — microstructure frictions: commission plus
+//!   quoted half-spread plus a volume-dependent impact term, quadratic in
+//!   trade size and inversely proportional to available liquidity (see
+//!   [`CostModel::shrink_factor_with_liquidity`]).
 //!
 //! Weight vectors are `N = M + 1` long with the **cash entry first**.
 
@@ -32,6 +36,29 @@ pub enum CostModel {
         /// Sale commission rate `c_s`.
         sell: f64,
     },
+    /// Microstructure frictions. Per risky leg trading a value fraction
+    /// `q_i = |w_i − w'_i|` the cost is
+    ///
+    /// ```text
+    /// q_i · (commission + half_spread + impact · q_i / (depth · ℓ_i))
+    /// ```
+    ///
+    /// where `ℓ_i` is the leg's relative liquidity (1 = typical volume;
+    /// see [`CostModel::shrink_factor_with_liquidity`]). The impact term
+    /// is quadratic in trade size — slippage per traded unit grows
+    /// linearly with participation — and blows up as liquidity dries up.
+    Frictional {
+        /// Commission per unit of one-way turnover.
+        commission: f64,
+        /// Half the quoted bid/ask spread, paid on every traded unit.
+        half_spread: f64,
+        /// Impact coefficient: extra cost per traded unit at a trade size
+        /// of `depth` under typical liquidity.
+        impact: f64,
+        /// Trade-size scale (fraction of portfolio value) at which impact
+        /// reaches `impact` per traded unit. Must be positive.
+        depth: f64,
+    },
 }
 
 impl Default for CostModel {
@@ -52,6 +79,28 @@ impl CostModel {
     ///
     /// Panics if the vectors have different or zero lengths.
     pub fn shrink_factor(&self, w_target: &[f64], w_drifted: &[f64]) -> f64 {
+        self.shrink_factor_with_liquidity(w_target, w_drifted, &[])
+    }
+
+    /// [`shrink_factor`](Self::shrink_factor) with per-leg liquidity.
+    ///
+    /// `liquidity[i]` is the relative depth of risky asset `i + 1` (so the
+    /// slice is `N − 1` long, cash excluded): 1 = typical traded volume,
+    /// 0.1 = a drought where impact is 10× dearer. An empty slice means
+    /// typical liquidity everywhere. Only [`CostModel::Frictional`] reads
+    /// it; the other models price turnover irrespective of volume.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight vectors have different or zero lengths, or if
+    /// `liquidity` is non-empty with a length other than
+    /// `w_target.len() − 1`, or contains a non-positive entry.
+    pub fn shrink_factor_with_liquidity(
+        &self,
+        w_target: &[f64],
+        w_drifted: &[f64],
+        liquidity: &[f64],
+    ) -> f64 {
         assert_eq!(w_target.len(), w_drifted.len(), "weight length mismatch");
         assert!(!w_target.is_empty(), "empty weight vectors");
         match *self {
@@ -62,6 +111,44 @@ impl CostModel {
                 (1.0 - rate * turnover).clamp(1e-6, 1.0)
             }
             CostModel::Iterative { buy, sell } => iterative_mu(w_target, w_drifted, buy, sell),
+            CostModel::Frictional { commission, half_spread, impact, depth } => {
+                assert!(depth > 0.0, "frictional depth must be positive");
+                if !liquidity.is_empty() {
+                    assert_eq!(
+                        liquidity.len(),
+                        w_target.len() - 1,
+                        "liquidity length mismatch (one entry per risky asset)"
+                    );
+                    assert!(
+                        liquidity.iter().all(|&l| l > 0.0 && l.is_finite()),
+                        "liquidity entries must be positive and finite"
+                    );
+                }
+                let cost: f64 = w_target[1..]
+                    .iter()
+                    .zip(&w_drifted[1..])
+                    .enumerate()
+                    .map(|(i, (a, b))| {
+                        let q = (a - b).abs();
+                        let liq = liquidity.get(i).copied().unwrap_or(1.0);
+                        q * (commission + half_spread + impact * q / (depth * liq))
+                    })
+                    .sum();
+                (1.0 - cost).clamp(1e-6, 1.0)
+            }
+        }
+    }
+
+    /// The first-order cost per unit of one-way turnover: the linear term
+    /// the training loops differentiate through. The quadratic impact of
+    /// [`CostModel::Frictional`] is second-order in trade size and enters
+    /// only the reward, not this rate.
+    pub fn linear_rate(&self) -> f64 {
+        match *self {
+            CostModel::Free => 0.0,
+            CostModel::Proportional { rate } => rate,
+            CostModel::Iterative { buy, sell } => buy + sell - buy * sell,
+            CostModel::Frictional { commission, half_spread, .. } => commission + half_spread,
         }
     }
 
@@ -69,6 +156,14 @@ impl CostModel {
     /// `1 − μ_t`.
     pub fn cost(&self, w_target: &[f64], w_drifted: &[f64]) -> f64 {
         1.0 - self.shrink_factor(w_target, w_drifted)
+    }
+
+    /// The scenario engine's realistic friction preset: 25 bp commission
+    /// (Poloniex taker), 10 bp half-spread, and an impact term costing an
+    /// extra 50 bp per traded unit when a single leg turns over half the
+    /// portfolio at typical liquidity.
+    pub fn realistic_frictions() -> Self {
+        CostModel::Frictional { commission: 0.0025, half_spread: 0.001, impact: 0.005, depth: 0.5 }
     }
 }
 
@@ -182,6 +277,104 @@ mod tests {
         assert!((m.cost(&wt, &wd) + m.shrink_factor(&wt, &wd) - 1.0).abs() < 1e-12);
     }
 
+    #[test]
+    fn zero_rate_models_are_no_ops() {
+        // Satellite: a zero-rate model must leave rewards untouched — the
+        // shrink factor is exactly 1 for any rebalance.
+        let zeroes = [
+            CostModel::Proportional { rate: 0.0 },
+            CostModel::Iterative { buy: 0.0, sell: 0.0 },
+            CostModel::Frictional { commission: 0.0, half_spread: 0.0, impact: 0.0, depth: 0.5 },
+        ];
+        let wt = [0.0, 0.9, 0.1];
+        let wd = [0.5, 0.0, 0.5];
+        for model in zeroes {
+            assert_eq!(model.shrink_factor(&wt, &wd), 1.0, "{model:?}");
+            assert_eq!(model.cost(&wt, &wd), 0.0, "{model:?}");
+            assert_eq!(model.linear_rate(), 0.0, "{model:?}");
+        }
+    }
+
+    #[test]
+    fn proportional_cost_is_rate_times_turnover_identity() {
+        // Satellite: cost == rate × turnover for a grid of rebalances.
+        let rate = 0.0025;
+        let model = CostModel::Proportional { rate };
+        let cases: [(&[f64], &[f64]); 3] = [
+            (&[0.2, 0.6, 0.2], &[0.2, 0.2, 0.6]),
+            (&[0.0, 1.0, 0.0], &[1.0, 0.0, 0.0]),
+            (&[0.1, 0.3, 0.6], &[0.1, 0.6, 0.3]),
+        ];
+        for (wt, wd) in cases {
+            let turnover: f64 = wt[1..].iter().zip(&wd[1..]).map(|(a, b)| (a - b).abs()).sum();
+            assert!(
+                (model.cost(wt, wd) - rate * turnover).abs() < 1e-15,
+                "cost {} != rate×turnover {}",
+                model.cost(wt, wd),
+                rate * turnover
+            );
+        }
+    }
+
+    #[test]
+    fn frictional_slippage_is_monotone_in_trade_size() {
+        // Satellite: growing one leg's trade size must strictly raise the
+        // cost, and superlinearly (the impact term is quadratic).
+        let model = CostModel::realistic_frictions();
+        let wd = [1.0, 0.0, 0.0];
+        let mut last_cost = 0.0;
+        let mut last_per_unit = 0.0;
+        for k in 1..=10 {
+            let q = 0.1 * k as f64;
+            let wt = [1.0 - q, q, 0.0];
+            let cost = model.cost(&wt, &wd);
+            assert!(cost > last_cost, "cost not monotone at q={q}: {cost} <= {last_cost}");
+            let per_unit = cost / q;
+            assert!(
+                per_unit > last_per_unit,
+                "impact not superlinear at q={q}: {per_unit} <= {last_per_unit}"
+            );
+            last_cost = cost;
+            last_per_unit = per_unit;
+        }
+    }
+
+    #[test]
+    fn frictional_cost_rises_as_liquidity_dries_up() {
+        let model = CostModel::realistic_frictions();
+        let wt = [0.5, 0.5, 0.0];
+        let wd = [1.0, 0.0, 0.0];
+        let typical = 1.0 - model.shrink_factor_with_liquidity(&wt, &wd, &[1.0, 1.0]);
+        let drought = 1.0 - model.shrink_factor_with_liquidity(&wt, &wd, &[0.1, 0.1]);
+        let flush = 1.0 - model.shrink_factor_with_liquidity(&wt, &wd, &[10.0, 10.0]);
+        assert!(drought > typical, "drought {drought} not dearer than typical {typical}");
+        assert!(flush < typical, "flush {flush} not cheaper than typical {typical}");
+        // Empty slice means typical liquidity.
+        let implicit = 1.0 - model.shrink_factor_with_liquidity(&wt, &wd, &[]);
+        assert_eq!(implicit, typical);
+        // Only the impact term is liquidity-sensitive: the linear part of
+        // the drought cost matches the typical linear part.
+        let q = 0.5;
+        let linear = q * model.linear_rate();
+        assert!((drought - linear) > (typical - linear) * 9.0);
+    }
+
+    #[test]
+    fn frictional_exceeds_bare_commission_for_any_trade() {
+        let frict = CostModel::realistic_frictions();
+        let comm = CostModel::Proportional { rate: 0.0025 };
+        let wt = [0.2, 0.5, 0.3];
+        let wd = [0.6, 0.1, 0.3];
+        assert!(frict.cost(&wt, &wd) > comm.cost(&wt, &wd));
+    }
+
+    #[test]
+    #[should_panic(expected = "liquidity length mismatch")]
+    fn wrong_liquidity_length_panics() {
+        let model = CostModel::realistic_frictions();
+        let _ = model.shrink_factor_with_liquidity(&[0.5, 0.5], &[1.0, 0.0], &[1.0, 1.0]);
+    }
+
     proptest! {
         #[test]
         fn mu_always_in_unit_interval(
@@ -194,6 +387,7 @@ mod tests {
                 CostModel::Free,
                 CostModel::Proportional { rate: 0.0025 },
                 CostModel::Iterative { buy: 0.0025, sell: 0.0025 },
+                CostModel::realistic_frictions(),
             ] {
                 let mu = model.shrink_factor(&wt, &wd);
                 prop_assert!((0.0..=1.0).contains(&mu), "{:?} gave {}", model, mu);

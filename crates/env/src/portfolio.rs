@@ -72,13 +72,32 @@ impl PortfolioState {
     /// Panics if the vector lengths disagree with the portfolio size, or if
     /// any relative is non-positive.
     pub fn step(&mut self, target: &[f64], relatives: &[f64], costs: &CostModel) -> f64 {
+        self.step_with_liquidity(target, relatives, costs, &[])
+    }
+
+    /// [`step`](Self::step) with per-leg relative liquidity for
+    /// volume-dependent cost models (see
+    /// [`CostModel::shrink_factor_with_liquidity`]). An empty slice means
+    /// typical liquidity everywhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the conditions of [`step`](Self::step), or if
+    /// `liquidity` is malformed (wrong length, non-positive entries).
+    pub fn step_with_liquidity(
+        &mut self,
+        target: &[f64],
+        relatives: &[f64],
+        costs: &CostModel,
+        liquidity: &[f64],
+    ) -> f64 {
         assert_eq!(target.len(), self.weights.len(), "target weight length mismatch");
         assert_eq!(relatives.len(), self.weights.len(), "relative vector length mismatch");
         assert!(
             relatives.iter().all(|&y| y > 0.0 && y.is_finite()),
             "price relatives must be positive and finite"
         );
-        let mu = costs.shrink_factor(target, &self.weights);
+        let mu = costs.shrink_factor_with_liquidity(target, &self.weights, liquidity);
         let growth = dot(relatives, target);
         assert!(growth > 0.0, "portfolio growth factor must stay positive");
         self.value *= mu * growth;
@@ -147,6 +166,22 @@ mod tests {
             sum_log += p.step(w, y, &costs);
         }
         assert!((p.value().ln() - sum_log).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drought_liquidity_shrinks_value_more() {
+        let costs = CostModel::realistic_frictions();
+        let target = [0.0, 0.5, 0.5];
+        let y = [1.0, 1.0, 1.0];
+        let mut typical = PortfolioState::new(3);
+        typical.step_with_liquidity(&target, &y, &costs, &[1.0, 1.0]);
+        let mut drought = PortfolioState::new(3);
+        drought.step_with_liquidity(&target, &y, &costs, &[0.1, 0.1]);
+        assert!(drought.value() < typical.value());
+        // And the liquidity-free entry point matches typical liquidity.
+        let mut plain = PortfolioState::new(3);
+        plain.step(&target, &y, &costs);
+        assert_eq!(plain.value(), typical.value());
     }
 
     #[test]

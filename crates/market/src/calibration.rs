@@ -1,0 +1,392 @@
+//! Named market-class calibrations and multi-market universe builders.
+//!
+//! The paper's generator is calibrated to crypto magnitudes. The scenario
+//! engine reuses the same regime calendar and return process for other
+//! market classes by scaling the common factor ([`FactorScale`]) and
+//! reshaping per-asset parameters (betas, idiosyncratic vols, tail
+//! indices). A [`UniverseSpec`] bundles a named calibration with its
+//! train/backtest split so the matrix runner can generate each universe
+//! deterministically from one seed.
+
+use crate::data::MarketData;
+use crate::experiments::crypto_era_calendar;
+use crate::generator::{
+    AssetSpec, FactorBlock, FactorScale, GarchParams, GeneratorConfig, MarketGenerator,
+};
+use crate::time::Date;
+use serde::{Deserialize, Serialize};
+
+/// A market class: one named calibration of the return process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MarketClass {
+    /// Crypto-calibrated: the paper's original process (fat tails, ~80–120%
+    /// annualized factor vol, frequent jumps).
+    Crypto,
+    /// Equity-index-like: ~15–20% factor vol, milder tails, slower GARCH.
+    Equity,
+    /// G10-FX-like: ~8–10% factor vol, near-zero drift, persistent vol.
+    Fx,
+}
+
+impl MarketClass {
+    /// All classes, for exhaustive sweeps.
+    pub const ALL: [MarketClass; 3] = [MarketClass::Crypto, MarketClass::Equity, MarketClass::Fx];
+
+    /// Stable lowercase identifier used in universe names and scorecards.
+    pub fn name(self) -> &'static str {
+        match self {
+            MarketClass::Crypto => "crypto",
+            MarketClass::Equity => "equity",
+            MarketClass::Fx => "fx",
+        }
+    }
+
+    /// Scaling of the regime-driven common factor for this class.
+    pub fn factor_scale(self) -> FactorScale {
+        match self {
+            MarketClass::Crypto => FactorScale::unit(),
+            MarketClass::Equity => FactorScale { drift: 0.15, vol: 0.20, jump: 0.45 },
+            MarketClass::Fx => FactorScale { drift: 0.04, vol: 0.10, jump: 0.25 },
+        }
+    }
+
+    /// Volatility-clustering parameters for this class.
+    pub fn garch(self) -> GarchParams {
+        match self {
+            MarketClass::Crypto => GarchParams::typical(),
+            MarketClass::Equity => GarchParams { alpha: 0.08, beta: 0.90 },
+            MarketClass::Fx => GarchParams { alpha: 0.05, beta: 0.93 },
+        }
+    }
+
+    /// The `idx`-th asset of this class, with class-shaped beta,
+    /// idiosyncratic vol, tail index, and price/volume scale. Deterministic
+    /// in `idx`, so a universe of `n` assets is a pure function of
+    /// `(class, n)`.
+    pub fn asset(self, idx: usize) -> AssetSpec {
+        let i = idx as f64;
+        match self {
+            MarketClass::Crypto => {
+                let beta = 1.0 + 0.05 * (idx % 9) as f64;
+                let price = 650.0 / (1.0 + 1.7 * i);
+                AssetSpec {
+                    name: format!("CRY{idx:02}"),
+                    beta,
+                    idio_vol: 0.55 + 0.03 * (idx % 5) as f64,
+                    alpha: 0.0,
+                    initial_price: price,
+                    tail_df: 4.0,
+                    base_volume: 1.0e6 / price,
+                }
+            }
+            MarketClass::Equity => {
+                let price = 40.0 + 15.0 * i;
+                AssetSpec {
+                    name: format!("EQT{idx:02}"),
+                    beta: 0.7 + 0.06 * (idx % 10) as f64,
+                    idio_vol: 0.20 + 0.02 * (idx % 5) as f64,
+                    alpha: 0.0,
+                    initial_price: price,
+                    tail_df: 6.0,
+                    base_volume: 2.0e6 / price,
+                }
+            }
+            MarketClass::Fx => {
+                let price = 0.8 + 0.25 * (idx % 6) as f64;
+                AssetSpec {
+                    name: format!("FXR{idx:02}"),
+                    beta: 0.4 + 0.05 * (idx % 8) as f64,
+                    idio_vol: 0.06 + 0.01 * (idx % 4) as f64,
+                    alpha: 0.0,
+                    initial_price: price,
+                    tail_df: 5.0,
+                    base_volume: 5.0e7,
+                }
+            }
+        }
+    }
+
+    /// Cross-market block parameters: how strongly this class's block
+    /// factor loads on the global (crypto-scale) factor, and the vol of
+    /// its block-local component.
+    fn block_params(self) -> (f64, f64) {
+        match self {
+            MarketClass::Crypto => (0.70, 0.50),
+            MarketClass::Equity => (0.25, 0.12),
+            MarketClass::Fx => (0.08, 0.05),
+        }
+    }
+}
+
+impl std::fmt::Display for MarketClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A named, fully-specified universe: generator configuration plus the
+/// date splitting training data from the backtest window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UniverseSpec {
+    /// Scorecard row label ("crypto", "equity", "fx", "cross-market", ...).
+    pub name: String,
+    /// The validated generator configuration.
+    pub config: GeneratorConfig,
+    /// First backtest date; everything before it is training data.
+    pub split: Date,
+}
+
+/// Time-grid parameters shared by a set of universes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UniverseGrid {
+    /// First simulated calendar day.
+    pub start: Date,
+    /// Training span in days (before the split).
+    pub train_days: i64,
+    /// Backtest span in days (after the split).
+    pub test_days: i64,
+    /// Candles per calendar day.
+    pub periods_per_day: u32,
+    /// Intra-candle sub-steps.
+    pub substeps: u32,
+}
+
+impl UniverseGrid {
+    /// The scenario engine's default grid: 2018-06 onwards so the era
+    /// calendar spans bear, recovery, crash, and mania segments.
+    pub fn standard() -> Self {
+        Self {
+            start: Date::new(2018, 6, 1),
+            train_days: 420,
+            test_days: 120,
+            periods_per_day: 2,
+            substeps: 4,
+        }
+    }
+
+    /// A deliberately tiny grid for smokes and CI.
+    pub fn smoke() -> Self {
+        Self {
+            start: Date::new(2020, 1, 1),
+            train_days: 60,
+            test_days: 20,
+            periods_per_day: 2,
+            substeps: 4,
+        }
+    }
+
+    fn split(&self) -> Date {
+        self.start + self.train_days
+    }
+
+    fn end(&self) -> Date {
+        self.start + self.train_days + self.test_days
+    }
+}
+
+impl UniverseSpec {
+    /// A single-class universe of `num_assets` assets on `grid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_assets == 0` or the grid produces an invalid
+    /// configuration (degenerate spans).
+    pub fn single_class(class: MarketClass, num_assets: usize, grid: UniverseGrid) -> Self {
+        assert!(num_assets > 0, "universe needs at least one asset");
+        let config = GeneratorConfig {
+            assets: (0..num_assets).map(|i| class.asset(i)).collect(),
+            start: grid.start,
+            end: grid.end(),
+            periods_per_day: grid.periods_per_day,
+            substeps: grid.substeps,
+            calendar: crypto_era_calendar(),
+            garch: Some(class.garch()),
+            factor_scale: class.factor_scale(),
+            blocks: Vec::new(),
+        };
+        #[allow(clippy::expect_used)]
+        MarketGenerator::new(config.clone()).expect("calibrated config is valid");
+        Self { name: class.name().to_owned(), config, split: grid.split() }
+    }
+
+    /// A cross-market universe: one correlation block per `(class, count)`
+    /// entry, sharing a global factor so classes co-move loosely while
+    /// assets within a class co-move tightly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is empty, a count is zero, or a class repeats.
+    pub fn cross_market(classes: &[(MarketClass, usize)], grid: UniverseGrid) -> Self {
+        assert!(!classes.is_empty(), "cross-market universe needs at least one class");
+        let mut assets = Vec::new();
+        let mut blocks = Vec::new();
+        for (class, count) in classes {
+            assert!(*count > 0, "class {class} has zero assets");
+            assert!(
+                !blocks.iter().any(|b: &FactorBlock| b.name == class.name()),
+                "class {class} listed twice"
+            );
+            let first = assets.len();
+            // Class scaling is delivered through the block factor (loading
+            // + local vol), so member betas stay near 1 relative to it.
+            for i in 0..*count {
+                let mut spec = class.asset(i);
+                spec.beta = 0.9 + 0.05 * (i % 5) as f64;
+                if *class != MarketClass::Crypto {
+                    spec.idio_vol = class.asset(i).idio_vol;
+                }
+                assets.push(spec);
+            }
+            let (global_loading, local_vol) = class.block_params();
+            blocks.push(FactorBlock {
+                name: class.name().to_owned(),
+                members: (first..assets.len()).collect(),
+                global_loading,
+                local_vol,
+                drift_shift: 0.0,
+            });
+        }
+        let config = GeneratorConfig {
+            assets,
+            start: grid.start,
+            end: grid.end(),
+            periods_per_day: grid.periods_per_day,
+            substeps: grid.substeps,
+            calendar: crypto_era_calendar(),
+            garch: Some(GarchParams::typical()),
+            factor_scale: FactorScale::unit(),
+            blocks,
+        };
+        #[allow(clippy::expect_used)]
+        MarketGenerator::new(config.clone()).expect("cross-market config is valid");
+        Self { name: "cross-market".to_owned(), config, split: grid.split() }
+    }
+
+    /// The scenario engine's standard universe set: one universe per
+    /// market class plus a blocked cross-market universe.
+    pub fn standard_set(grid: UniverseGrid) -> Vec<UniverseSpec> {
+        vec![
+            UniverseSpec::single_class(MarketClass::Crypto, 8, grid),
+            UniverseSpec::single_class(MarketClass::Equity, 6, grid),
+            UniverseSpec::single_class(MarketClass::Fx, 5, grid),
+            UniverseSpec::cross_market(
+                &[(MarketClass::Crypto, 3), (MarketClass::Equity, 3), (MarketClass::Fx, 2)],
+                grid,
+            ),
+        ]
+    }
+
+    /// Generates the full (train + backtest) market for this universe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stored configuration fails validation (constructors
+    /// validate, so this only fires on hand-built specs).
+    pub fn generate(&self, seed: u64) -> MarketData {
+        #[allow(clippy::expect_used)]
+        MarketGenerator::new(self.config.clone()).expect("universe config is valid").generate(seed)
+    }
+
+    /// Generates and splits at the universe's backtest date.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid stored configuration (see
+    /// [`generate`](Self::generate)).
+    pub fn generate_split(&self, seed: u64) -> (MarketData, MarketData) {
+        self.generate(seed).split_at_date(self.split)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+    use super::*;
+
+    fn assert_identical(a: &MarketData, b: &MarketData) {
+        assert_eq!(a.num_periods(), b.num_periods());
+        assert_eq!(a.num_assets(), b.num_assets());
+        for t in 0..a.num_periods() {
+            for i in 0..a.num_assets() {
+                assert_eq!(a.candle(t, i), b.candle(t, i));
+            }
+        }
+    }
+
+    #[test]
+    fn every_calibration_is_seed_deterministic() {
+        // Satellite: same seed → identical candles, for every named
+        // calibration including the blocked cross-market universe.
+        for u in UniverseSpec::standard_set(UniverseGrid::smoke()) {
+            let a = u.generate(2016);
+            let b = u.generate(2016);
+            assert_identical(&a, &b);
+        }
+    }
+
+    #[test]
+    fn different_calibrations_produce_different_series() {
+        let set = UniverseSpec::standard_set(UniverseGrid::smoke());
+        for i in 0..set.len() {
+            for j in i + 1..set.len() {
+                let a = set[i].generate(7);
+                let b = set[j].generate(7);
+                // Compare the first shared asset's mid-run close.
+                let t = a.num_periods() / 2;
+                assert_ne!(
+                    a.candle(t, 0).close,
+                    b.candle(t, 0).close,
+                    "{} and {} generated identical series",
+                    set[i].name,
+                    set[j].name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ_within_each_calibration() {
+        for u in UniverseSpec::standard_set(UniverseGrid::smoke()) {
+            let a = u.generate(1);
+            let b = u.generate(2);
+            let t = a.num_periods() / 2;
+            assert_ne!(a.candle(t, 0).close, b.candle(t, 0).close, "{}", u.name);
+        }
+    }
+
+    #[test]
+    fn standard_set_names_are_unique_and_stable() {
+        let names: Vec<String> =
+            UniverseSpec::standard_set(UniverseGrid::smoke()).into_iter().map(|u| u.name).collect();
+        assert_eq!(names, vec!["crypto", "equity", "fx", "cross-market"]);
+    }
+
+    #[test]
+    fn split_partitions_the_grid() {
+        let grid = UniverseGrid::smoke();
+        let u = UniverseSpec::single_class(MarketClass::Equity, 4, grid);
+        let (train, test) = u.generate_split(3);
+        let ppd = grid.periods_per_day as usize;
+        assert_eq!(train.num_periods(), grid.train_days as usize * ppd);
+        assert_eq!(test.num_periods(), grid.test_days as usize * ppd);
+        assert_eq!(train.num_assets(), 4);
+    }
+
+    #[test]
+    fn class_vol_ordering_is_crypto_over_equity_over_fx() {
+        use crate::stats::realized_volatility;
+        let grid = UniverseGrid::smoke();
+        let vol = |class: MarketClass| {
+            let d = UniverseSpec::single_class(class, 4, grid).generate(11);
+            (0..d.num_assets()).map(|a| realized_volatility(&d, a)).sum::<f64>() / 4.0
+        };
+        let (c, e, f) = (vol(MarketClass::Crypto), vol(MarketClass::Equity), vol(MarketClass::Fx));
+        assert!(c > e && e > f, "vol ordering violated: crypto {c}, equity {e}, fx {f}");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero assets")]
+    fn cross_market_rejects_empty_class() {
+        let _ = UniverseSpec::cross_market(&[(MarketClass::Crypto, 0)], UniverseGrid::smoke());
+    }
+}

@@ -2,7 +2,7 @@
 //! calendar they draw from.
 
 use crate::data::MarketData;
-use crate::generator::{AssetSpec, GarchParams, GeneratorConfig, MarketGenerator};
+use crate::generator::{AssetSpec, FactorScale, GarchParams, GeneratorConfig, MarketGenerator};
 use crate::regime::Regime;
 use crate::time::Date;
 
@@ -131,6 +131,8 @@ impl ExperimentPreset {
             substeps: self.substeps,
             calendar: crypto_era_calendar(),
             garch: Some(GarchParams::typical()),
+            factor_scale: FactorScale::unit(),
+            blocks: Vec::new(),
         }
     }
 

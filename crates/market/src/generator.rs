@@ -98,6 +98,78 @@ pub struct GeneratorConfig {
     /// regime vols. `None` leaves clustering to the regime switching
     /// alone.
     pub garch: Option<GarchParams>,
+    /// Scaling of the regime-driven common factor. The regime calendar is
+    /// calibrated to crypto magnitudes; other market classes reuse the
+    /// same calendars with damped drift/vol/jump terms.
+    /// [`FactorScale::unit`] reproduces the legacy process bit-for-bit.
+    pub factor_scale: FactorScale,
+    /// Cross-market block-correlation structure: each block owns a factor
+    /// that loads on the global market factor and adds a block-local
+    /// component, so assets correlate tightly within a block and loosely
+    /// across blocks. Assets not listed in any block load directly on the
+    /// global factor. Empty = single-factor legacy behaviour (bitwise).
+    pub blocks: Vec<FactorBlock>,
+}
+
+/// Multiplicative scaling of the common factor's regime parameters,
+/// letting one era calendar describe different market classes (an equity
+/// index moves ~5× less than crypto, a G10 FX cross ~10× less).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FactorScale {
+    /// Multiplier on the regime's annualized drift.
+    pub drift: f64,
+    /// Multiplier on the regime's annualized volatility.
+    pub vol: f64,
+    /// Multiplier on the regime's jump *size* (arrival intensity is kept,
+    /// so the draw sequence is identical across scales).
+    pub jump: f64,
+}
+
+impl FactorScale {
+    /// The identity scaling: the legacy crypto-calibrated process.
+    pub fn unit() -> Self {
+        Self { drift: 1.0, vol: 1.0, jump: 1.0 }
+    }
+
+    /// Validates that all multipliers are finite and non-negative.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending multiplier.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [("drift", self.drift), ("vol", self.vol), ("jump", self.jump)] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("factor_scale.{name} must be finite and >= 0, got {v}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One correlation block of a cross-market universe.
+///
+/// The block factor for a sub-step is
+///
+/// ```text
+/// r_b = drift_shift·dt + global_loading · r_market + local_vol·√dt·√h · z_b
+/// ```
+///
+/// with `z_b` a fresh standard normal per sub-step (drawn after the
+/// market factor, in block order) and `h` the shared GARCH multiplier.
+/// Member assets then use `r_b` in place of `r_market`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FactorBlock {
+    /// Display name ("crypto", "equity", ...).
+    pub name: String,
+    /// Indices into [`GeneratorConfig::assets`] belonging to this block.
+    pub members: Vec<usize>,
+    /// Loading of the block factor on the global market factor; 0 =
+    /// independent block, 1 = fully inherits the global factor.
+    pub global_loading: f64,
+    /// Annualized volatility of the block-local factor component.
+    pub local_vol: f64,
+    /// Annualized drift offset of the block factor.
+    pub drift_shift: f64,
 }
 
 /// GARCH(1,1) multiplier on the per-substep volatility:
@@ -171,6 +243,28 @@ impl GeneratorConfig {
         }
         if let Some(g) = &self.garch {
             g.validate()?;
+        }
+        self.factor_scale.validate()?;
+        let mut claimed = vec![false; self.assets.len()];
+        for b in &self.blocks {
+            if b.members.is_empty() {
+                return Err(format!("block {} has no members", b.name));
+            }
+            if !(0.0..=1.0).contains(&b.global_loading) {
+                return Err(format!("block {} global_loading must be in [0, 1]", b.name));
+            }
+            if !b.local_vol.is_finite() || b.local_vol < 0.0 {
+                return Err(format!("block {} local_vol must be finite and >= 0", b.name));
+            }
+            for &m in &b.members {
+                if m >= self.assets.len() {
+                    return Err(format!("block {} member index {m} out of range", b.name));
+                }
+                if claimed[m] {
+                    return Err(format!("asset index {m} appears in more than one block"));
+                }
+                claimed[m] = true;
+            }
         }
         for a in &self.assets {
             if a.initial_price <= 0.0 {
@@ -256,6 +350,14 @@ impl MarketGenerator {
         let mut prices: Vec<f64> = cfg.assets.iter().map(|a| a.initial_price).collect();
         let mut candles: Vec<Candle> = Vec::with_capacity(n_periods * n_assets);
         let mut garch_h = 1.0_f64; // conditional variance multiplier
+                                   // Asset → owning block (validated disjoint); None = global factor.
+        let mut asset_block: Vec<Option<usize>> = vec![None; n_assets];
+        for (b, block) in cfg.blocks.iter().enumerate() {
+            for &m in &block.members {
+                asset_block[m] = Some(b);
+            }
+        }
+        let mut r_blocks = vec![0.0_f64; cfg.blocks.len()];
 
         for period in 0..n_periods {
             let date = cfg.start + (period / cfg.periods_per_day as usize) as i64;
@@ -269,18 +371,33 @@ impl MarketGenerator {
                 // Common factor increment, with optional GARCH clustering.
                 let z: f64 = normal.sample(&mut rng);
                 let vol_mult = garch_h.sqrt();
-                let mut r_m = params.drift(dt_sub) + params.vol(dt_sub) * vol_mult * z;
+                let mut r_m = params.drift(dt_sub) * cfg.factor_scale.drift
+                    + params.vol(dt_sub) * cfg.factor_scale.vol * vol_mult * z;
                 if let Some(g) = cfg.garch {
                     garch_h = g.omega() + g.alpha * z * z * garch_h + g.beta * garch_h;
                 }
-                // Market-wide jump.
+                // Market-wide jump: arrival probability is scale-free so
+                // the RNG draw sequence is identical across calibrations.
                 if rng.gen::<f64>() < params.jump_rate(dt_sub) {
                     let j: f64 = normal.sample(&mut rng);
-                    r_m += params.jump_mean + params.jump_vol * j;
+                    r_m += cfg.factor_scale.jump * (params.jump_mean + params.jump_vol * j);
+                }
+                // Block factors: one fresh shock per block, in block order
+                // (no draws at all when `blocks` is empty, preserving the
+                // legacy single-factor stream bit-for-bit).
+                for (b, block) in cfg.blocks.iter().enumerate() {
+                    let zb: f64 = normal.sample(&mut rng);
+                    r_blocks[b] = block.drift_shift * dt_sub
+                        + block.global_loading * r_m
+                        + block.local_vol * dt_sub.sqrt() * vol_mult * zb;
                 }
                 for (i, spec) in cfg.assets.iter().enumerate() {
+                    let factor = match asset_block[i] {
+                        Some(b) => r_blocks[b],
+                        None => r_m,
+                    };
                     let t_shock: f64 = tails[i].sample(&mut rng) * tail_scale[i];
-                    let mut r = spec.beta * r_m
+                    let mut r = spec.beta * factor
                         + spec.alpha * dt_sub
                         + spec.idio_vol * dt_sub.sqrt() * t_shock;
                     // Rare idiosyncratic jump (exchange outages, forks...).
@@ -336,6 +453,8 @@ mod tests {
             substeps: 6,
             calendar: vec![(Date::new(2020, 1, 1), Regime::MildBull)],
             garch: None,
+            factor_scale: FactorScale::unit(),
+            blocks: Vec::new(),
         }
     }
 
@@ -470,6 +589,127 @@ mod tests {
         let mut cfg = small_config();
         cfg.garch = Some(GarchParams { alpha: 0.9, beta: 0.2 });
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn unit_factor_scale_is_bitwise_identical_to_legacy() {
+        // Multiplying by 1.0 must not perturb a single bit, so configs
+        // predating `factor_scale`/`blocks` regenerate their exact data.
+        let mut cfg = small_config();
+        cfg.garch = Some(GarchParams::typical());
+        let baseline = MarketGenerator::new(cfg.clone()).unwrap().generate(7);
+        cfg.factor_scale = FactorScale::unit();
+        cfg.blocks = Vec::new();
+        let scaled = MarketGenerator::new(cfg).unwrap().generate(7);
+        for t in 0..baseline.num_periods() {
+            for i in 0..baseline.num_assets() {
+                assert_eq!(baseline.candle(t, i), scaled.candle(t, i));
+            }
+        }
+    }
+
+    #[test]
+    fn damped_factor_scale_reduces_dispersion() {
+        let mut wild = small_config();
+        wild.end = Date::new(2020, 6, 1);
+        let mut tame = wild.clone();
+        tame.factor_scale = FactorScale { drift: 0.2, vol: 0.2, jump: 0.2 };
+        for a in &mut tame.assets {
+            a.idio_vol *= 0.2;
+        }
+        let spread = |cfg: GeneratorConfig| -> f64 {
+            let d = MarketGenerator::new(cfg).unwrap().generate(5);
+            let last = d.num_periods() - 1;
+            (0..d.num_assets())
+                .map(|i| (d.candle(last, i).close / d.candle(0, i).open).ln().abs())
+                .sum::<f64>()
+        };
+        let s_wild = spread(wild);
+        let s_tame = spread(tame);
+        assert!(
+            s_tame < s_wild * 0.6,
+            "damped scale did not calm the market: {s_tame} vs {s_wild}"
+        );
+    }
+
+    fn return_correlation(d: &MarketData, a: usize, b: usize) -> f64 {
+        use crate::stats::log_returns;
+        let (ra, rb) = (log_returns(d, a), log_returns(d, b));
+        let n = ra.len() as f64;
+        let (ma, mb) = (ra.iter().sum::<f64>() / n, rb.iter().sum::<f64>() / n);
+        let cov: f64 = ra.iter().zip(&rb).map(|(x, y)| (x - ma) * (y - mb)).sum();
+        let va: f64 = ra.iter().map(|x| (x - ma).powi(2)).sum();
+        let vb: f64 = rb.iter().map(|y| (y - mb).powi(2)).sum();
+        cov / (va.sqrt() * vb.sqrt()).max(1e-12)
+    }
+
+    #[test]
+    fn blocks_raise_within_block_correlation_above_cross_block() {
+        let mut cfg = small_config();
+        cfg.end = Date::new(2020, 12, 1);
+        cfg.assets.truncate(8);
+        // Two independent 4-asset blocks with strong local factors.
+        cfg.blocks = vec![
+            FactorBlock {
+                name: "a".into(),
+                members: vec![0, 1, 2, 3],
+                global_loading: 0.2,
+                local_vol: 0.9,
+                drift_shift: 0.0,
+            },
+            FactorBlock {
+                name: "b".into(),
+                members: vec![4, 5, 6, 7],
+                global_loading: 0.2,
+                local_vol: 0.9,
+                drift_shift: 0.0,
+            },
+        ];
+        let d = MarketGenerator::new(cfg).unwrap().generate(17);
+        let within = (return_correlation(&d, 0, 1)
+            + return_correlation(&d, 2, 3)
+            + return_correlation(&d, 4, 5)
+            + return_correlation(&d, 6, 7))
+            / 4.0;
+        let across = (return_correlation(&d, 0, 4)
+            + return_correlation(&d, 1, 5)
+            + return_correlation(&d, 2, 6)
+            + return_correlation(&d, 3, 7))
+            / 4.0;
+        assert!(
+            within > across + 0.1,
+            "block structure missing: within {within} vs across {across}"
+        );
+    }
+
+    #[test]
+    fn block_validation_catches_errors() {
+        let block = |members: Vec<usize>, loading: f64| FactorBlock {
+            name: "x".into(),
+            members,
+            global_loading: loading,
+            local_vol: 0.5,
+            drift_shift: 0.0,
+        };
+        let mut cfg = small_config();
+        cfg.blocks = vec![block(vec![], 0.5)];
+        assert!(cfg.validate().is_err(), "empty block accepted");
+
+        let mut cfg = small_config();
+        cfg.blocks = vec![block(vec![99], 0.5)];
+        assert!(cfg.validate().is_err(), "out-of-range member accepted");
+
+        let mut cfg = small_config();
+        cfg.blocks = vec![block(vec![0, 1], 0.5), block(vec![1, 2], 0.5)];
+        assert!(cfg.validate().is_err(), "overlapping blocks accepted");
+
+        let mut cfg = small_config();
+        cfg.blocks = vec![block(vec![0], 1.5)];
+        assert!(cfg.validate().is_err(), "loading > 1 accepted");
+
+        let mut cfg = small_config();
+        cfg.factor_scale = FactorScale { drift: -1.0, vol: 1.0, jump: 1.0 };
+        assert!(cfg.validate().is_err(), "negative scale accepted");
     }
 
     #[test]

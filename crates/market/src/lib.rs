@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 
+pub mod calibration;
 pub mod candle;
 pub mod data;
 pub mod experiments;
@@ -47,9 +48,10 @@ pub mod tail;
 pub mod time;
 pub mod universe;
 
+pub use calibration::{MarketClass, UniverseGrid, UniverseSpec};
 pub use candle::Candle;
 pub use data::MarketData;
-pub use generator::{AssetSpec, GeneratorConfig, MarketGenerator};
+pub use generator::{AssetSpec, FactorBlock, FactorScale, GeneratorConfig, MarketGenerator};
 pub use regime::{Regime, RegimeParams};
 pub use sanitize::{sanitize_market, RepairPolicy, SanitizeConfig, SanitizeReport};
 pub use tail::{CsvTail, CsvTailReader, TailError, TailWarning};

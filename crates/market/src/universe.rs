@@ -15,7 +15,11 @@ pub fn top_by_volume(data: &MarketData, at: usize, trailing: usize, k: usize) ->
     assert!(at < data.num_periods(), "period {at} out of range");
     let mut scored: Vec<(usize, f64)> =
         (0..data.num_assets()).map(|a| (a, data.trailing_volume(at, a, trailing))).collect();
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    // Ties (and incomparable NaNs) break on the asset index so the
+    // selection is a deterministic function of the data alone.
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+    });
     scored.truncate(k);
     scored.into_iter().map(|(a, _)| a).collect()
 }
@@ -97,6 +101,45 @@ mod tests {
         assert_eq!(top_by_volume(&d, 3, 4, 3), vec![1, 2, 0]);
         assert_eq!(top_by_volume(&d, 3, 4, 2), vec![1, 2]);
         assert_eq!(top_by_volume(&d, 3, 4, 1), vec![1]);
+    }
+
+    #[test]
+    fn equal_volumes_break_ties_on_asset_index() {
+        // All assets share one volume: the ranking must be the identity
+        // permutation (ascending index), not an artifact of sort order.
+        let mut candles = Vec::new();
+        for _ in 0..3 {
+            for a in 0..5 {
+                let p = (a + 1) as f64;
+                candles.push(Candle::new(p, p, p, p, 42.0));
+            }
+        }
+        let d = MarketData::new(
+            (0..5).map(|a| format!("A{a}")).collect(),
+            Date::new(2020, 1, 1),
+            1,
+            5,
+            candles,
+        );
+        assert_eq!(top_by_volume(&d, 2, 3, 5), vec![0, 1, 2, 3, 4]);
+        assert_eq!(top_by_volume(&d, 2, 3, 3), vec![0, 1, 2]);
+        // Partial ties: raise asset 3 above the tied block.
+        let mut candles2 = Vec::new();
+        for _ in 0..3 {
+            for a in 0..5 {
+                let p = (a + 1) as f64;
+                let v = if a == 3 { 99.0 } else { 42.0 };
+                candles2.push(Candle::new(p, p, p, p, v));
+            }
+        }
+        let d2 = MarketData::new(
+            (0..5).map(|a| format!("A{a}")).collect(),
+            Date::new(2020, 1, 1),
+            1,
+            5,
+            candles2,
+        );
+        assert_eq!(top_by_volume(&d2, 2, 3, 5), vec![3, 0, 1, 2, 4]);
     }
 
     #[test]

@@ -1,0 +1,41 @@
+//! Scenario engine substrate for `spikefolio`: named stress overlays on
+//! generated markets and the schema-versioned scorecard they feed.
+//!
+//! The paper backtests on one market (Poloniex crypto, Table 1). This
+//! crate widens the evaluation to a *matrix*: parameterized universes
+//! (built from [`spikefolio_market::calibration`]) crossed with named
+//! stress scenarios, each cell scoring every strategy under realistic
+//! frictions ([`spikefolio_env::CostModel::realistic_frictions`]). The
+//! matrix runner itself lives in the `spikefolio` core crate (next to the
+//! agents it trains); this crate owns the two deterministic, data-level
+//! halves:
+//!
+//! * [`stress`] — the scenario library: deterministic return/volume
+//!   overlays ([`Scenario`]) applied to a generated test window,
+//! * [`scorecard`] — the `spikefolio.scorecard.v1` report model:
+//!   schema-versioned JSON with one row per (universe × scenario ×
+//!   strategy) cell, plus a terminal renderer.
+//!
+//! # Example
+//!
+//! ```
+//! use spikefolio_market::{UniverseGrid, UniverseSpec, MarketClass};
+//! use spikefolio_scenario::Scenario;
+//!
+//! let spec = UniverseSpec::single_class(MarketClass::Crypto, 4, UniverseGrid::smoke());
+//! let (_train, test) = spec.generate_split(7);
+//! let stressed = Scenario::FlashCrash.apply(&test);
+//! assert_eq!(stressed.num_periods(), test.num_periods());
+//! // Same seed, same scenario → bitwise-identical overlay.
+//! assert_eq!(stressed, Scenario::FlashCrash.apply(&test));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
+pub mod scorecard;
+pub mod stress;
+
+pub use scorecard::{Scorecard, ScorecardCell, SCORECARD_SCHEMA};
+pub use stress::Scenario;

@@ -1,0 +1,287 @@
+//! The `spikefolio.scorecard.v1` report: one row per
+//! (universe × scenario × strategy) cell of the stress matrix.
+//!
+//! The scorecard is the durable artifact of a `scenarios run`: a
+//! schema-versioned JSON document that downstream tooling can diff,
+//! archive, or gate releases on. Determinism is part of the contract —
+//! the document contains *no* wall-clock or host-dependent fields, so the
+//! same seed and matrix produce bitwise-identical JSON (per-cell timings
+//! go to telemetry `scenario_cell` records instead).
+
+use spikefolio_telemetry::{value, Value};
+
+/// Schema identifier stamped into every scorecard document.
+pub const SCORECARD_SCHEMA: &str = "spikefolio.scorecard.v1";
+
+/// One evaluated cell of the matrix: a strategy's backtest on one
+/// (universe, scenario) pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScorecardCell {
+    /// Universe name (e.g. `"crypto"`, `"cross-market"`).
+    pub universe: String,
+    /// Scenario name (e.g. `"flash-crash"`).
+    pub scenario: String,
+    /// Strategy display name (e.g. `"SDP"`, `"DDPG"`, `"ONS"`).
+    pub strategy: String,
+    /// Cumulative eq. (1) reward: the sum of per-period log returns.
+    pub reward: f64,
+    /// Annualized Sharpe ratio over the cell's value curve.
+    pub sharpe: f64,
+    /// Maximum drawdown (fraction in `[0, 1]`).
+    pub max_drawdown: f64,
+    /// Total one-way turnover over the backtest.
+    pub turnover: f64,
+    /// Fraction of final value lost to transaction costs, `1 − Π μ_t`.
+    pub cost_drag: f64,
+    /// Final accumulated portfolio value (eq. 15).
+    pub final_value: f64,
+}
+
+impl ScorecardCell {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("universe".into(), Value::from(self.universe.clone())),
+            ("scenario".into(), Value::from(self.scenario.clone())),
+            ("strategy".into(), Value::from(self.strategy.clone())),
+            ("reward".into(), Value::F64(self.reward)),
+            ("sharpe".into(), Value::F64(self.sharpe)),
+            ("max_drawdown".into(), Value::F64(self.max_drawdown)),
+            ("turnover".into(), Value::F64(self.turnover)),
+            ("cost_drag".into(), Value::F64(self.cost_drag)),
+            ("final_value".into(), Value::F64(self.final_value)),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<Self, String> {
+        let text = |key: &str| -> Result<String, String> {
+            v.get(key)
+                .and_then(Value::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("cell missing string field {key:?}"))
+        };
+        let num = |key: &str| -> Result<f64, String> {
+            v.get(key)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("cell missing numeric field {key:?}"))
+        };
+        Ok(Self {
+            universe: text("universe")?,
+            scenario: text("scenario")?,
+            strategy: text("strategy")?,
+            reward: num("reward")?,
+            sharpe: num("sharpe")?,
+            max_drawdown: num("max_drawdown")?,
+            turnover: num("turnover")?,
+            cost_drag: num("cost_drag")?,
+            final_value: num("final_value")?,
+        })
+    }
+}
+
+/// A complete stress-matrix scorecard.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Scorecard {
+    /// Seed the whole matrix ran under.
+    pub seed: u64,
+    /// Human-readable cost model description (e.g.
+    /// `"frictional(c=0.0025, s=0.001)"`).
+    pub cost_model: String,
+    /// Evaluated cells, in (universe, scenario, strategy) emission order.
+    pub cells: Vec<ScorecardCell>,
+}
+
+impl Scorecard {
+    /// Distinct universe names, in first-seen order.
+    pub fn universes(&self) -> Vec<&str> {
+        distinct(self.cells.iter().map(|c| c.universe.as_str()))
+    }
+
+    /// Distinct scenario names, in first-seen order.
+    pub fn scenarios(&self) -> Vec<&str> {
+        distinct(self.cells.iter().map(|c| c.scenario.as_str()))
+    }
+
+    /// Distinct strategy names, in first-seen order.
+    pub fn strategies(&self) -> Vec<&str> {
+        distinct(self.cells.iter().map(|c| c.strategy.as_str()))
+    }
+
+    /// The cell for an exact (universe, scenario, strategy) triple.
+    pub fn cell(&self, universe: &str, scenario: &str, strategy: &str) -> Option<&ScorecardCell> {
+        self.cells
+            .iter()
+            .find(|c| c.universe == universe && c.scenario == scenario && c.strategy == strategy)
+    }
+
+    /// Serializes to the `spikefolio.scorecard.v1` document.
+    pub fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("schema".into(), Value::from(SCORECARD_SCHEMA)),
+            ("seed".into(), Value::U64(self.seed)),
+            ("cost_model".into(), Value::from(self.cost_model.clone())),
+            (
+                "universes".into(),
+                Value::List(self.universes().into_iter().map(Value::from).collect()),
+            ),
+            (
+                "scenarios".into(),
+                Value::List(self.scenarios().into_iter().map(Value::from).collect()),
+            ),
+            (
+                "strategies".into(),
+                Value::List(self.strategies().into_iter().map(Value::from).collect()),
+            ),
+            ("cells".into(), Value::List(self.cells.iter().map(ScorecardCell::to_value).collect())),
+        ])
+    }
+
+    /// Compact JSON of [`to_value`](Self::to_value).
+    pub fn to_json(&self) -> String {
+        self.to_value().to_json()
+    }
+
+    /// Parses a `spikefolio.scorecard.v1` JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on malformed JSON, a wrong/missing schema tag, or
+    /// a cell missing required fields.
+    pub fn from_json(input: &str) -> Result<Self, String> {
+        let v = value::parse(input)?;
+        let schema = v.get("schema").and_then(Value::as_str).unwrap_or_default();
+        if schema != SCORECARD_SCHEMA {
+            return Err(format!("unsupported scorecard schema {schema:?}"));
+        }
+        let seed = v.get("seed").and_then(Value::as_u64).ok_or("missing seed")?;
+        let cost_model = v.get("cost_model").and_then(Value::as_str).unwrap_or_default().to_owned();
+        let cells = v
+            .get("cells")
+            .and_then(Value::as_list)
+            .ok_or("missing cells array")?
+            .iter()
+            .map(ScorecardCell::from_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { seed, cost_model, cells })
+    }
+
+    /// Renders the matrix as a terminal table, one block per universe ×
+    /// scenario, strategies as rows.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Stress-suite scorecard  (seed {}, costs: {})\n",
+            self.seed, self.cost_model
+        ));
+        for universe in self.universes() {
+            for scenario in self.scenarios() {
+                let rows: Vec<&ScorecardCell> = self
+                    .cells
+                    .iter()
+                    .filter(|c| c.universe == universe && c.scenario == scenario)
+                    .collect();
+                if rows.is_empty() {
+                    continue;
+                }
+                out.push_str(&format!("\n── {universe} × {scenario} ──\n"));
+                out.push_str(&format!(
+                    "  {:<14} {:>9} {:>8} {:>7} {:>9} {:>9} {:>8}\n",
+                    "strategy", "reward", "sharpe", "mdd", "turnover", "costdrag", "value"
+                ));
+                for c in rows {
+                    out.push_str(&format!(
+                        "  {:<14} {:>9.4} {:>8.2} {:>6.1}% {:>9.2} {:>8.2}% {:>8.3}\n",
+                        c.strategy,
+                        c.reward,
+                        c.sharpe,
+                        c.max_drawdown * 100.0,
+                        c.turnover,
+                        c.cost_drag * 100.0,
+                        c.final_value,
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn distinct<'a>(items: impl Iterator<Item = &'a str>) -> Vec<&'a str> {
+    let mut seen = Vec::new();
+    for item in items {
+        if !seen.contains(&item) {
+            seen.push(item);
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+    use super::*;
+
+    fn sample() -> Scorecard {
+        let mut cells = Vec::new();
+        for universe in ["crypto", "equity"] {
+            for scenario in ["calm", "flash-crash"] {
+                for strategy in ["SDP", "DDPG"] {
+                    cells.push(ScorecardCell {
+                        universe: universe.into(),
+                        scenario: scenario.into(),
+                        strategy: strategy.into(),
+                        reward: 0.12,
+                        sharpe: 1.5,
+                        max_drawdown: 0.2,
+                        turnover: 3.4,
+                        cost_drag: 0.011,
+                        final_value: 1.13,
+                    });
+                }
+            }
+        }
+        Scorecard { seed: 42, cost_model: "frictional".into(), cells }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let s = sample();
+        let json = s.to_json();
+        assert!(json.starts_with(&format!("{{\"schema\":\"{SCORECARD_SCHEMA}\"")));
+        assert_eq!(Scorecard::from_json(&json).unwrap(), s);
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        assert_eq!(sample().to_json(), sample().to_json());
+    }
+
+    #[test]
+    fn axis_accessors_deduplicate_in_order() {
+        let s = sample();
+        assert_eq!(s.universes(), vec!["crypto", "equity"]);
+        assert_eq!(s.scenarios(), vec!["calm", "flash-crash"]);
+        assert_eq!(s.strategies(), vec!["SDP", "DDPG"]);
+        assert!(s.cell("crypto", "calm", "DDPG").is_some());
+        assert!(s.cell("crypto", "calm", "ONS").is_none());
+    }
+
+    #[test]
+    fn rejects_wrong_schema_and_malformed_cells() {
+        assert!(Scorecard::from_json("{}").is_err());
+        assert!(Scorecard::from_json(r#"{"schema":"spikefolio.run.v1"}"#).is_err());
+        let missing_field =
+            format!(r#"{{"schema":"{SCORECARD_SCHEMA}","seed":1,"cells":[{{"universe":"a"}}]}}"#);
+        assert!(Scorecard::from_json(&missing_field).is_err());
+        assert!(Scorecard::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn render_mentions_every_cell_once() {
+        let s = sample();
+        let text = s.render();
+        assert!(text.contains("crypto × flash-crash"));
+        assert!(text.contains("equity × calm"));
+        assert_eq!(text.matches("SDP").count(), 4, "one SDP row per block");
+        assert!(text.contains("seed 42"));
+    }
+}

@@ -1,0 +1,279 @@
+//! The named stress-scenario library: deterministic overlays on a
+//! generated market.
+//!
+//! Each scenario is a pure function of the input data — no RNG — so a
+//! scorecard cell replays bitwise under a pinned seed. Overlays work in
+//! return/volume space: per-period log returns are scaled and/or shifted,
+//! the close path is rebuilt by compounding, and candles are re-chained so
+//! the OHLC invariants (`open = previous close`, `low ≤ body ≤ high`)
+//! hold by construction. Volume multipliers couple with the frictional
+//! cost model's volume-dependent slippage, so a liquidity drought hurts
+//! exactly the strategies that trade through it.
+
+use spikefolio_market::{Candle, MarketData};
+
+/// A named stress scenario, applied as a deterministic overlay to the
+/// *test* window of a generated universe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scenario {
+    /// Control cell: the unmodified generated market.
+    Calm,
+    /// A sudden deep drop one quarter in, partially retraced over the
+    /// following periods, with panic volume.
+    FlashCrash,
+    /// Traded volume collapses to a tenth for the middle half of the
+    /// window; prices are untouched. Only volume-aware cost models feel
+    /// this one.
+    LiquidityDrought,
+    /// Return volatility doubles for the second half of the window — the
+    /// regime the agent trained on flips under it.
+    VolRegimeFlip,
+    /// A correlated grind lower: every asset loses ~4% per period for ten
+    /// periods, with elevated volume. Diversification stops working.
+    CorrelatedMeltdown,
+}
+
+impl Scenario {
+    /// Every scenario, in canonical scorecard order (calm control first).
+    pub const ALL: [Scenario; 5] = [
+        Scenario::Calm,
+        Scenario::FlashCrash,
+        Scenario::LiquidityDrought,
+        Scenario::VolRegimeFlip,
+        Scenario::CorrelatedMeltdown,
+    ];
+
+    /// Stable kebab-case identifier used in CLI flags and scorecard JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scenario::Calm => "calm",
+            Scenario::FlashCrash => "flash-crash",
+            Scenario::LiquidityDrought => "liquidity-drought",
+            Scenario::VolRegimeFlip => "vol-regime-flip",
+            Scenario::CorrelatedMeltdown => "correlated-meltdown",
+        }
+    }
+
+    /// Parses a [`name`](Self::name) back to the scenario.
+    pub fn from_name(name: &str) -> Option<Scenario> {
+        Scenario::ALL.iter().copied().find(|s| s.name() == name)
+    }
+
+    /// One-line description for reports.
+    pub fn description(&self) -> &'static str {
+        match self {
+            Scenario::Calm => "unmodified generated market (control)",
+            Scenario::FlashCrash => "deep sudden drop with partial recovery and panic volume",
+            Scenario::LiquidityDrought => "volume collapses to 10% for the middle half",
+            Scenario::VolRegimeFlip => "return volatility doubles in the second half",
+            Scenario::CorrelatedMeltdown => "all assets grind down together for ten periods",
+        }
+    }
+
+    /// Applies the overlay, returning the stressed copy of `data`.
+    ///
+    /// Deterministic: equal inputs give bitwise-equal outputs. The
+    /// [`Calm`](Scenario::Calm) control returns an exact clone.
+    pub fn apply(&self, data: &MarketData) -> MarketData {
+        let n = data.num_periods();
+        match self {
+            Scenario::Calm => data.clone(),
+            Scenario::FlashCrash => {
+                let t0 = n / 4;
+                overlay(data, |t| {
+                    if t == t0 {
+                        (1.0, -0.25, 5.0)
+                    } else if t > t0 && t <= t0 + 5 {
+                        // Partial retrace: half the shock comes back.
+                        (1.0, 0.025, 5.0)
+                    } else {
+                        identity(t)
+                    }
+                })
+            }
+            Scenario::LiquidityDrought => overlay(data, |t| {
+                if (n / 4..3 * n / 4).contains(&t) {
+                    (1.0, 0.0, 0.1)
+                } else {
+                    identity(t)
+                }
+            }),
+            Scenario::VolRegimeFlip => {
+                overlay(data, |t| if t >= n / 2 { (2.0, 0.0, 1.5) } else { identity(t) })
+            }
+            Scenario::CorrelatedMeltdown => {
+                let t0 = n / 3;
+                overlay(data, |t| {
+                    if (t0..(t0 + 10).min(n)).contains(&t) {
+                        (1.0, -0.04, 3.0)
+                    } else {
+                        identity(t)
+                    }
+                })
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The no-op overlay tuple `(return scale, log-return shift, volume
+/// scale)`.
+fn identity(_t: usize) -> (f64, f64, f64) {
+    (1.0, 0.0, 1.0)
+}
+
+/// Rebuilds `data` with per-period overlays.
+///
+/// `f(t)` returns `(ret_scale, ret_shift, vol_scale)`: the period-`t` log
+/// return of every asset becomes `ret_scale · r + ret_shift`, and its
+/// volume is multiplied by `vol_scale`. Closes are re-compounded from the
+/// original starting open; opens re-chain to the previous close; high/low
+/// scale with the close and are widened just enough to contain the new
+/// body.
+fn overlay(data: &MarketData, f: impl Fn(usize) -> (f64, f64, f64)) -> MarketData {
+    let n = data.num_periods();
+    let m = data.num_assets();
+    let mut out = data.clone();
+    for a in 0..m {
+        let mut prev_old = data.candle(0, a).open;
+        let mut prev_new = prev_old;
+        for t in 0..n {
+            let c = data.candle(t, a);
+            let (scale, shift, vol_scale) = f(t);
+            let r = (c.close / prev_old).ln();
+            let close = prev_new * (scale * r + shift).exp();
+            let open = prev_new;
+            // Keep the candle's wick proportions relative to its close.
+            let ratio = close / c.close;
+            let high = (c.high * ratio).max(open.max(close));
+            let low = (c.low * ratio).min(open.min(close));
+            out.set_candle_unchecked(
+                t,
+                a,
+                Candle::new(open, high, low, close, c.volume * vol_scale),
+            );
+            prev_old = c.close;
+            prev_new = close;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+    use super::*;
+    use spikefolio_market::{MarketClass, UniverseGrid, UniverseSpec};
+
+    fn test_window() -> MarketData {
+        let spec = UniverseSpec::single_class(MarketClass::Crypto, 4, UniverseGrid::smoke());
+        spec.generate_split(11).1
+    }
+
+    fn candles_are_valid(d: &MarketData) {
+        for t in 0..d.num_periods() {
+            for a in 0..d.num_assets() {
+                let c = d.candle(t, a);
+                assert!(c.open > 0.0 && c.close > 0.0, "({t},{a}) non-positive body");
+                assert!(c.low <= c.open.min(c.close) + 1e-12, "({t},{a}) low above body");
+                assert!(c.high >= c.open.max(c.close) - 1e-12, "({t},{a}) high below body");
+                assert!(c.volume >= 0.0 && c.volume.is_finite(), "({t},{a}) bad volume");
+                if t > 0 {
+                    assert!(
+                        (c.open - d.candle(t - 1, a).close).abs() < 1e-9,
+                        "({t},{a}) open does not chain to previous close"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn names_round_trip_and_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for s in Scenario::ALL {
+            assert_eq!(Scenario::from_name(s.name()), Some(s));
+            assert!(seen.insert(s.name()), "duplicate name {}", s.name());
+            assert!(!s.description().is_empty());
+        }
+        assert_eq!(Scenario::from_name("no-such-thing"), None);
+    }
+
+    #[test]
+    fn calm_is_the_identity() {
+        let d = test_window();
+        assert_eq!(Scenario::Calm.apply(&d), d);
+    }
+
+    #[test]
+    fn overlays_are_deterministic_and_keep_invariants() {
+        let d = test_window();
+        for s in Scenario::ALL {
+            let x = s.apply(&d);
+            assert_eq!(x, s.apply(&d), "{s} is not deterministic");
+            assert_eq!(x.num_periods(), d.num_periods());
+            assert_eq!(x.num_assets(), d.num_assets());
+            candles_are_valid(&x);
+        }
+    }
+
+    #[test]
+    fn flash_crash_dents_the_price_path() {
+        let d = test_window();
+        let x = Scenario::FlashCrash.apply(&d);
+        let t0 = d.num_periods() / 4;
+        for a in 0..d.num_assets() {
+            let before = d.price_relatives(t0)[a];
+            let after = x.price_relatives(t0)[a];
+            assert!(after < before * 0.85, "asset {a}: crash relative {after} vs {before}");
+        }
+        // Panic volume during the crash window.
+        assert!(x.candle(t0, 0).volume > d.candle(t0, 0).volume * 4.0);
+    }
+
+    #[test]
+    fn liquidity_drought_touches_only_volume() {
+        let d = test_window();
+        let x = Scenario::LiquidityDrought.apply(&d);
+        let mid = d.num_periods() / 2;
+        for a in 0..d.num_assets() {
+            assert!((x.close(mid, a) - d.close(mid, a)).abs() < 1e-9, "price moved");
+            let (vd, vo) = (x.candle(mid, a).volume, d.candle(mid, a).volume);
+            assert!((vd - vo * 0.1).abs() < 1e-9 * vo.max(1.0), "volume not collapsed");
+        }
+        // Outside the drought window, volume is untouched.
+        assert_eq!(x.candle(0, 0).volume, d.candle(0, 0).volume);
+    }
+
+    #[test]
+    fn vol_flip_amplifies_second_half_swings() {
+        let d = test_window();
+        let x = Scenario::VolRegimeFlip.apply(&d);
+        let n = d.num_periods();
+        let sum_abs = |data: &MarketData, from: usize, to: usize| -> f64 {
+            (from..to).map(|t| data.log_return(t, 0).abs()).sum()
+        };
+        let first = sum_abs(&x, 1, n / 2);
+        let first_orig = sum_abs(&d, 1, n / 2);
+        let second = sum_abs(&x, n / 2, n);
+        let second_orig = sum_abs(&d, n / 2, n);
+        assert!((first - first_orig).abs() < 1e-9, "first half should be untouched");
+        assert!((second - 2.0 * second_orig).abs() < 1e-6, "second half should double");
+    }
+
+    #[test]
+    fn meltdown_drags_every_asset_down_together() {
+        let d = test_window();
+        let x = Scenario::CorrelatedMeltdown.apply(&d);
+        let t0 = d.num_periods() / 3;
+        for a in 0..d.num_assets() {
+            let window: f64 = (t0..t0 + 10).map(|t| x.log_return(t, a) - d.log_return(t, a)).sum();
+            assert!((window + 0.4).abs() < 1e-9, "asset {a} shift {window} != -0.40");
+        }
+    }
+}

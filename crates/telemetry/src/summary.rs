@@ -95,6 +95,26 @@ pub struct DeskRoundPoint {
     pub wall_s: Option<f64>,
 }
 
+/// One evaluated stress-matrix cell as read back from its
+/// `scenario_cell` record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioCellPoint {
+    /// Universe name (`"crypto"`, `"equity"`, ...).
+    pub universe: String,
+    /// Stress-scenario name (`"calm"`, `"flash-crash"`, ...).
+    pub scenario: String,
+    /// Strategy display name (`"SDP"`, `"DDPG"`, `"ONS"`, ...).
+    pub strategy: String,
+    /// Cumulative log-return reward of the cell's backtest.
+    pub reward: f64,
+    /// Final accumulated portfolio value of the cell's backtest.
+    pub final_value: f64,
+    /// Backtest wall-clock seconds, if the writer recorded it. This lives
+    /// only in telemetry: the scorecard document itself is
+    /// bitwise-deterministic and carries no timings.
+    pub wall_s: Option<f64>,
+}
+
 /// Aggregated view of one run log.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunSummary {
@@ -124,6 +144,8 @@ pub struct RunSummary {
     /// Live-desk quarantine tallies keyed by gate kind
     /// (`"integrity"`, `"validation"`, `"drift"`, ...).
     pub desk_quarantines_by_kind: BTreeMap<String, u64>,
+    /// Stress-matrix cells, in log order (empty for non-scenario runs).
+    pub scenario_cells: Vec<ScenarioCellPoint>,
 }
 
 impl RunSummary {
@@ -273,6 +295,14 @@ pub fn summarize_lines(reader: impl BufRead) -> io::Result<RunSummary> {
                 let kind = gate_kind.unwrap_or("unknown").to_owned();
                 *s.desk_quarantines_by_kind.entry(kind).or_insert(0) += 1;
             }
+            Some("scenario_cell") => s.scenario_cells.push(ScenarioCellPoint {
+                universe: v.get("universe").and_then(Value::as_str).unwrap_or("unknown").to_owned(),
+                scenario: v.get("scenario").and_then(Value::as_str).unwrap_or("unknown").to_owned(),
+                strategy: v.get("strategy").and_then(Value::as_str).unwrap_or("unknown").to_owned(),
+                reward: v.get("reward").and_then(Value::as_f64).unwrap_or(f64::NAN),
+                final_value: v.get("final_value").and_then(Value::as_f64).unwrap_or(f64::NAN),
+                wall_s: v.get("wall_s").and_then(Value::as_f64),
+            }),
             Some("backtest_end") => s.backtests.push(BacktestSummary {
                 policy: v.get("policy").and_then(Value::as_str).unwrap_or("policy").to_owned(),
                 steps: v.get("steps").and_then(Value::as_u64).unwrap_or(0),
@@ -500,6 +530,40 @@ mod tests {
         assert_eq!(s.desk_rounds[1].wall_s, None);
         assert_eq!(s.desk_quarantines_by_kind.get("drift"), Some(&2));
         assert_eq!(s.desk_quarantines_by_kind.len(), 1);
+    }
+
+    #[test]
+    fn scenario_cell_records_aggregate_in_log_order() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.emit(
+            Record::new("scenario_cell")
+                .field("universe", "crypto")
+                .field("scenario", "flash-crash")
+                .field("strategy", "SDP")
+                .field("reward", -0.12)
+                .field("final_value", 0.89)
+                .field("wall_s", 0.03),
+        );
+        sink.emit(
+            Record::new("scenario_cell")
+                .field("universe", "crypto")
+                .field("scenario", "flash-crash")
+                .field("strategy", "Buy and Hold")
+                .field("reward", -0.25)
+                .field("final_value", 0.78),
+        );
+        let log = sink.finish().unwrap();
+
+        let s = summarize_lines(&log[..]).unwrap();
+        assert_eq!(s.scenario_cells.len(), 2);
+        assert_eq!(s.scenario_cells[0].universe, "crypto");
+        assert_eq!(s.scenario_cells[0].scenario, "flash-crash");
+        assert_eq!(s.scenario_cells[0].strategy, "SDP");
+        assert_eq!(s.scenario_cells[0].reward, -0.12);
+        assert_eq!(s.scenario_cells[0].final_value, 0.89);
+        assert_eq!(s.scenario_cells[0].wall_s, Some(0.03));
+        assert_eq!(s.scenario_cells[1].strategy, "Buy and Hold");
+        assert_eq!(s.scenario_cells[1].wall_s, None);
     }
 
     #[test]
